@@ -1,0 +1,108 @@
+// Reproduces Figure 5 of the paper: per-edge EM3D execution times for 10%,
+// 40%, 70% and 100% remote edges, for the base / ghost / bulk versions in
+// Split-C and CC++, broken into cpu / net / thread mgmt / thread sync /
+// runtime components and normalized against Split-C.
+//
+// Workload (Section 5): a synthetic bipartite graph of 800 nodes of degree
+// 20 spread over 4 processors.
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/em3d.hpp"
+#include "stats/table.hpp"
+
+namespace tham {
+namespace {
+
+using apps::RunResult;
+using apps::em3d::Config;
+using apps::em3d::Version;
+
+struct Cell {
+  RunResult sc, cc;
+  double edges_per_proc = 0;
+  int iters = 0;
+};
+
+void per_edge(const RunResult& r, const Cell& c, int procs, double out[7]) {
+  double denom = c.edges_per_proc * c.iters;
+  for (int i = 0; i < sim::kNumComponents; ++i) {
+    out[i] = to_usec(r.breakdown.t[static_cast<std::size_t>(i)]) /
+             procs / denom;
+  }
+  out[5] = to_usec(r.elapsed) / denom;            // per-edge wall time
+  out[6] = to_sec(r.elapsed);                     // absolute seconds
+}
+
+}  // namespace
+
+int bench_main() {
+  const double fractions[] = {0.1, 0.4, 0.7, 1.0};
+  const Version versions[] = {Version::Base, Version::Ghost, Version::Bulk};
+
+  std::printf("Figure 5: EM3D per-edge execution time breakdown\n");
+  std::printf("Graph: 800 nodes, degree 20, 4 processors, 10 iterations.\n");
+  std::printf("Columns are per-edge microseconds; 'norm' is the CC++/Split-C"
+              " total ratio (the paper's bar height).\n\n");
+
+  stats::Table t({"version", "remote%", "lang", "cpu", "net", "tmgmt",
+                  "tsync", "runtime", "total", "norm", "abs(s)"});
+
+  double abs_100[6];  // absolute seconds at 100% for the caption line
+  int abs_i = 0;
+
+  for (Version v : versions) {
+    for (double f : fractions) {
+      Config cfg;
+      cfg.remote_fraction = f;
+      cfg.iters = 10;
+      Cell cell;
+      cell.iters = cfg.iters;
+      apps::em3d::Graph g = apps::em3d::build_graph(cfg);
+      cell.edges_per_proc =
+          static_cast<double>(g.total_edges()) / cfg.procs;
+      cell.sc = apps::em3d::run_splitc(cfg, v);
+      cell.cc = apps::em3d::run_ccxx(cfg, v);
+
+      double s[7], c[7];
+      per_edge(cell.sc, cell, cfg.procs, s);
+      per_edge(cell.cc, cell, cfg.procs, c);
+      int pct = static_cast<int>(f * 100 + 0.5);
+      auto n2 = [](double x) { return stats::Table::num(x, 2); };
+      t.add_row({apps::em3d::version_name(v), std::to_string(pct), "split-c",
+                 n2(s[0]), n2(s[1]), n2(s[2]), n2(s[3]), n2(s[4]), n2(s[5]),
+                 "1.00", stats::Table::num(s[6], 2)});
+      t.add_row({apps::em3d::version_name(v), std::to_string(pct), "cc++",
+                 n2(c[0]), n2(c[1]), n2(c[2]), n2(c[3]), n2(c[4]), n2(c[5]),
+                 n2(c[5] / s[5]), stats::Table::num(c[6], 2)});
+      if (pct == 100 && abs_i < 6) {
+        abs_100[abs_i++] = s[6];
+        abs_100[abs_i++] = c[6];
+      }
+    }
+  }
+  t.print();
+
+  std::printf("\nAbsolute seconds at 100%% remote edges "
+              "(paper: sc/cc base 68.0/136.0, ghost 7.6/18.3, "
+              "bulk 0.26/0.29, at the paper's unknown iteration count):\n");
+  std::printf("  base  sc %.2f  cc %.2f   (ratio %.2f, paper ~2.0)\n",
+              abs_100[0], abs_100[1], abs_100[1] / abs_100[0]);
+  std::printf("  ghost sc %.2f  cc %.2f   (ratio %.2f, paper ~2.4)\n",
+              abs_100[2], abs_100[3], abs_100[3] / abs_100[2]);
+  std::printf("  bulk  sc %.2f  cc %.2f   (ratio %.2f, paper ~1.1)\n",
+              abs_100[4], abs_100[5], abs_100[5] / abs_100[4]);
+  std::printf("\nPaper shape checks:\n");
+  std::printf("  ghost reduces base by %.0f%% (sc) / %.0f%% (cc); paper 87-89%%\n",
+              100 * (1 - abs_100[2] / abs_100[0]),
+              100 * (1 - abs_100[3] / abs_100[1]));
+  std::printf("  bulk reduces ghost by %.0f%% (sc) / %.0f%% (cc); paper >95%%\n",
+              100 * (1 - abs_100[4] / abs_100[2]),
+              100 * (1 - abs_100[5] / abs_100[3]));
+  return 0;
+}
+
+}  // namespace tham
+
+int main() { return tham::bench_main(); }

@@ -1,0 +1,123 @@
+// Host-machine (real-time) performance of the simulator's own primitives,
+// via google-benchmark: fiber context switches, event dispatch, AM round
+// trips, marshalling throughput. These bound how large a workload the
+// simulated multicomputer can drive; the paper-facing numbers come from the
+// virtual-time benches.
+
+#include <benchmark/benchmark.h>
+
+#include "am/am.hpp"
+#include "ccxx/serial.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+
+namespace tham {
+namespace {
+
+void BM_FiberSwitch(benchmark::State& state) {
+  sim::StackPool pool(64 * 1024);
+  bool stop = false;
+  sim::Fiber f(
+      [&] {
+        while (!stop) sim::Fiber::suspend();
+      },
+      pool);
+  for (auto _ : state) {
+    f.resume();  // one switch in + one switch out
+  }
+  stop = true;
+  f.resume();
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  // Measures end-to-end simulation throughput: a 2-node ping-pong of raw
+  // messages, events per second.
+  auto iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e(2);
+    e.node(0).spawn(
+        [&e, iters] {
+          sim::Node& n = sim::this_node();
+          for (int i = 0; i < iters; ++i) {
+            e.node(1).push_message(sim::Message{
+                n.now() + usec(10), 0, e.next_seq(), 0, [](sim::Node&) {}});
+            n.advance(usec(1));
+          }
+        },
+        "sender");
+    e.node(1).spawn(
+        [&e] {
+          sim::Node& n = sim::this_node();
+          while (n.wait_for_inbox(true)) {
+            while (n.poll_one()) {
+            }
+          }
+        },
+        "receiver", /*daemon=*/true);
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * iters);
+}
+BENCHMARK(BM_EngineEventDispatch)->Arg(1000);
+
+void BM_AmRoundTrip(benchmark::State& state) {
+  // Real-time cost of one simulated AM round trip (request + reply).
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine(2);
+    net::Network net(engine);
+    am::AmLayer am(net);
+    bool done = false;
+    am::HandlerId h_done = am.register_short(
+        "done", [&](sim::Node&, am::Token, const am::Words&) { done = true; });
+    am::HandlerId h_ping = am.register_short(
+        "ping", [&](sim::Node&, am::Token tok, const am::Words&) {
+          am.reply(tok, h_done);
+        });
+    constexpr int kIters = 1000;
+    engine.node(0).spawn(
+        [&] {
+          for (int i = 0; i < kIters; ++i) {
+            done = false;
+            am.request(1, h_ping);
+            am.poll_until([&] { return done; });
+          }
+        },
+        "pinger");
+    engine.node(1).spawn(
+        [&] {
+          sim::Node& n = sim::this_node();
+          while (n.wait_for_inbox(true)) {
+            while (n.poll_one()) {
+            }
+          }
+        },
+        "poller", /*daemon=*/true);
+    state.ResumeTiming();
+    engine.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_AmRoundTrip);
+
+void BM_SerializerRoundTrip(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    ccxx::Serializer s;
+    ccxx::cc_marshal(s, v);
+    ccxx::Deserializer d(s.data(), s.size());
+    auto out = ccxx::unmarshal_one<std::vector<double>>(d);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(v.size()) * 8);
+}
+BENCHMARK(BM_SerializerRoundTrip)->Arg(20)->Arg(1000);
+
+}  // namespace
+}  // namespace tham
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Reproduces Table 1 of the paper: source code size of the runtime
+// implementations. The paper contrasts CC++ v4.0 on Nexus v3.0 (39k + 7k
+// lines) with CC++ v4.0 on ThAM (2.7k + 1.3k lines plus the small ThAM
+// support library). Here we count the analogous modules of this repository:
+// the lean runtime stack (ccxx + threads + am) versus the portable-runtime
+// baseline (nexus), plus the shared substrate for context.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "stats/table.hpp"
+
+namespace tham {
+namespace {
+
+struct Count {
+  long code = 0;     ///< non-blank, non-pure-comment lines in .cpp
+  long header = 0;   ///< same in .hpp
+};
+
+bool is_blank_or_comment(const std::string& line) {
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == ' ' || c == '\t') continue;
+    if (c == '/' && i + 1 < line.size() &&
+        (line[i + 1] == '/' || line[i + 1] == '*')) {
+      return true;
+    }
+    return false;
+  }
+  return true;
+}
+
+Count count_dir(const std::filesystem::path& dir) {
+  Count c;
+  if (!std::filesystem::exists(dir)) return c;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    auto ext = entry.path().extension().string();
+    bool hdr = ext == ".hpp" || ext == ".h";
+    bool src = ext == ".cpp" || ext == ".cc";
+    if (!hdr && !src) continue;
+    std::ifstream in(entry.path());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (is_blank_or_comment(line)) continue;
+      (hdr ? c.header : c.code) += 1;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+int bench_main() {
+  std::filesystem::path src = THAM_SOURCE_DIR;
+  src /= "src";
+
+  std::printf("Table 1: runtime source code size (non-blank, non-comment"
+              " lines)\n");
+  std::printf("Paper: Nexus 39226 .C + 6552 .H; CC++/Nexus glue 1936 + 1366;"
+              " ThAM 1155 + 726; CC++/ThAM glue 2682 + 1346.\n");
+  std::printf("The point is the order-of-magnitude reduction from the"
+              " portable runtime to the lean one.\n\n");
+
+  stats::Table t({"module", "role", ".cpp lines", ".hpp lines"});
+  struct Mod {
+    const char* dir;
+    const char* role;
+  };
+  const Mod mods[] = {
+      {"ccxx", "CC++ runtime over ThAM (lean MPMD runtime)"},
+      {"threads", "lightweight threads package"},
+      {"am", "Active Messages layer"},
+      {"nexus", "portable-runtime baseline (Nexus-style)"},
+      {"splitc", "Split-C runtime (SPMD baseline)"},
+      {"sim", "simulated multicomputer substrate"},
+      {"net", "simulated interconnect"},
+      {"msg", "MPL-like two-sided messaging"},
+      {"apps", "EM3D / Water / LU applications"},
+  };
+  long lean_total = 0;
+  for (const Mod& m : mods) {
+    Count c = count_dir(src / m.dir);
+    if (std::string(m.dir) == "ccxx" || std::string(m.dir) == "threads" ||
+        std::string(m.dir) == "am") {
+      lean_total += c.code + c.header;
+    }
+    t.add_row({m.dir, m.role, std::to_string(c.code),
+               std::to_string(c.header)});
+  }
+  t.print();
+  std::printf("\nLean MPMD runtime stack (ccxx + threads + am): %ld lines —"
+              " the same order as the paper's ThAM stack (~6k),\n"
+              "an order of magnitude below a Nexus-class portable runtime"
+              " (~46k).\n", lean_total);
+  return 0;
+}
+
+}  // namespace tham
+
+int main() { return tham::bench_main(); }

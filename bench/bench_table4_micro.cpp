@@ -1,0 +1,358 @@
+// Reproduces Table 4 of the paper: the micro-benchmark family comparing
+// CC++ RMI variants against Split-C global-pointer operations (Figures 2
+// and 3 give the pseudo-code these implement), plus the IBM MPL round-trip
+// reference.
+//
+// Accounting follows the paper: for each operation, Total is the caller's
+// round-trip virtual time; ThreadsTime and Runtime are the *active* charges
+// summed over both endpoints; AM is the remainder (messaging-layer
+// overheads plus wire time on the critical path), so that
+// Total = AM + Threads + Runtime, as in the paper's table.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "ccxx/runtime.hpp"
+#include "msg/mpl.hpp"
+#include "splitc/world.hpp"
+#include "stats/stats.hpp"
+#include "stats/table.hpp"
+
+namespace tham {
+namespace {
+
+struct Row {
+  const char* name;
+  double paper_cc_total;  ///< Table 4 CC++ Total (us); <0 means N/A
+  double paper_sc_total;  ///< Table 4 Split-C Time (us); <0 means N/A
+  double cc_total = -1, cc_am = -1, cc_threads = -1, cc_runtime = -1;
+  double cc_yield = 0, cc_create = 0, cc_sync = 0;
+  double sc_total = -1, sc_am = -1, sc_runtime = -1;
+};
+
+struct Measured {
+  double total, am, threads, runtime, yield, create, sync;
+};
+
+/// Measures `iters` repetitions of `op` on a fresh 2-node machine; `setup`
+/// runs once inside the program for warm-up (stub cache, buffers).
+struct Micro {
+  std::function<void()> warm;
+  std::function<void()> op;
+};
+
+Measured run_cc(const std::function<Micro(ccxx::Runtime&)>& make, int iters) {
+  std::fprintf(stderr, ".");
+  sim::Engine engine(2);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  ccxx::Runtime rt(engine, net, am);
+  Micro micro = make(rt);
+  stats::Snapshot a0, a1, b0, b1;
+  rt.run_main([&] {
+    micro.warm();
+    a0 = stats::snap(engine.node(0));
+    b0 = stats::snap(engine.node(1));
+    for (int i = 0; i < iters; ++i) micro.op();
+    a1 = stats::snap(engine.node(0));
+    b1 = stats::snap(engine.node(1));
+  });
+  auto da = stats::delta(a0, a1);
+  auto db = stats::delta(b0, b1);
+  stats::PerIter pa = stats::per_iter(da, iters);
+  stats::PerIter pb = stats::per_iter(db, iters);
+  Measured m{};
+  m.total = pa.total_us;
+  m.threads = pa.threads_time() + pb.threads_time();
+  m.runtime = pa.runtime() + pb.runtime();
+  m.am = m.total - m.threads - m.runtime - pa.cpu() - pb.cpu();
+  m.yield = pa.switches + pb.switches;
+  m.create = pa.creates + pb.creates;
+  m.sync = pa.sync_ops + pb.sync_ops;
+  return m;
+}
+
+Measured run_sc(const std::function<Micro(splitc::World&)>& make, int iters) {
+  std::fprintf(stderr, "s");
+  sim::Engine engine(2);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  splitc::World world(engine, net, am);
+  Micro micro = make(world);
+  stats::Snapshot a0, a1, b0, b1;
+  world.run([&] {
+    if (splitc::MYPROC() == 0) {
+      micro.warm();
+      a0 = stats::snap(engine.node(0));
+      b0 = stats::snap(engine.node(1));
+      for (int i = 0; i < iters; ++i) micro.op();
+      a1 = stats::snap(engine.node(0));
+      b1 = stats::snap(engine.node(1));
+    }
+    splitc::barrier();
+  });
+  auto da = stats::delta(a0, a1);
+  auto db = stats::delta(b0, b1);
+  stats::PerIter pa = stats::per_iter(da, iters);
+  stats::PerIter pb = stats::per_iter(db, iters);
+  Measured m{};
+  m.total = pa.total_us;
+  m.runtime = pa.runtime() + pb.runtime();
+  m.am = m.total - m.runtime - pa.cpu() - pb.cpu() - pa.threads_time() -
+         pb.threads_time();
+  return m;
+}
+
+struct Target {
+  long dummy = 0;
+  std::vector<double> arr = std::vector<double>(20, 1.0);
+
+  long nop() { return 0; }
+  long one(long) { return 0; }
+  long two(long, long) { return 0; }
+  long put(std::vector<double> v) {
+    arr = std::move(v);
+    return 0;
+  }
+  std::vector<double> get() { return arr; }
+};
+
+}  // namespace
+
+int bench_main() {
+  constexpr int kIters = 10000;  // as in the paper (Table 4 caption)
+
+  std::vector<Row> rows = {
+      {"0-Word Simple", 67, -1},
+      {"0-Word", 77, -1},
+      {"1-Word", 94, -1},
+      {"2-Word", 95, -1},
+      {"0-Word Threaded", 87, -1},
+      {"0-Word Atomic", 88, 56},
+      {"GP 2-Word Read", 92, 57},
+      {"BulkWrite 40-Word", 154, 74},
+      {"BulkRead 40-Word", 177, 75},
+      {"Prefetch 20-Word (per elem)", 35.4, 12.1},
+  };
+
+  // --- CC++ side -----------------------------------------------------------
+  auto cc_null = [&](ccxx::RmiMode mode) {
+    return [mode](ccxx::Runtime& rt) {
+      auto m = rt.def_method("Target::nop", &Target::nop, mode);
+      auto obj = rt.place<Target>(1);
+      return Micro{[&rt, obj, m] { (void)rt.rmi(obj, m); },
+                   [&rt, obj, m] { (void)rt.rmi(obj, m); }};
+    };
+  };
+  auto cc = [&](int i, Measured m) {
+    rows[static_cast<std::size_t>(i)].cc_total = m.total;
+    rows[static_cast<std::size_t>(i)].cc_am = m.am;
+    rows[static_cast<std::size_t>(i)].cc_threads = m.threads;
+    rows[static_cast<std::size_t>(i)].cc_runtime = m.runtime;
+    rows[static_cast<std::size_t>(i)].cc_yield = m.yield;
+    rows[static_cast<std::size_t>(i)].cc_create = m.create;
+    rows[static_cast<std::size_t>(i)].cc_sync = m.sync;
+  };
+
+  cc(0, run_cc(cc_null(ccxx::RmiMode::Simple), kIters));
+  cc(1, run_cc(cc_null(ccxx::RmiMode::Blocking), kIters));
+  cc(2, run_cc(
+            [](ccxx::Runtime& rt) {
+              auto m = rt.def_method("Target::one", &Target::one,
+                                     ccxx::RmiMode::Blocking);
+              auto obj = rt.place<Target>(1);
+              return Micro{[&rt, obj, m] { (void)rt.rmi(obj, m, 1L); },
+                           [&rt, obj, m] { (void)rt.rmi(obj, m, 1L); }};
+            },
+            kIters));
+  cc(3, run_cc(
+            [](ccxx::Runtime& rt) {
+              auto m = rt.def_method("Target::two", &Target::two,
+                                     ccxx::RmiMode::Blocking);
+              auto obj = rt.place<Target>(1);
+              return Micro{[&rt, obj, m] { (void)rt.rmi(obj, m, 1L, 2L); },
+                           [&rt, obj, m] { (void)rt.rmi(obj, m, 1L, 2L); }};
+            },
+            kIters));
+  cc(4, run_cc(cc_null(ccxx::RmiMode::Threaded), kIters));
+  cc(5, run_cc(cc_null(ccxx::RmiMode::Atomic), kIters));
+  cc(6, run_cc(
+            [](ccxx::Runtime& rt) {
+              static double cell = 1.0;
+              return Micro{[&rt] { (void)rt.read(ccxx::gvar<double>{1, &cell}); },
+                           [&rt] { (void)rt.read(ccxx::gvar<double>{1, &cell}); }};
+            },
+            kIters));
+  cc(7, run_cc(
+            [](ccxx::Runtime& rt) {
+              auto m = rt.def_method("Target::put", &Target::put,
+                                     ccxx::RmiMode::Threaded);
+              auto obj = rt.place<Target>(1);
+              auto data = std::make_shared<std::vector<double>>(20, 2.0);
+              return Micro{[&rt, obj, m, data] { (void)rt.rmi(obj, m, *data); },
+                           [&rt, obj, m, data] { (void)rt.rmi(obj, m, *data); }};
+            },
+            kIters));
+  cc(8, run_cc(
+            [](ccxx::Runtime& rt) {
+              auto m = rt.def_method("Target::get", &Target::get,
+                                     ccxx::RmiMode::Threaded);
+              auto obj = rt.place<Target>(1);
+              return Micro{[&rt, obj, m] { (void)rt.rmi(obj, m); },
+                           [&rt, obj, m] { (void)rt.rmi(obj, m); }};
+            },
+            kIters));
+  {
+    // Prefetch: 20 concurrent gp reads via parfor; report per element.
+    Measured m = run_cc(
+        [](ccxx::Runtime& rt) {
+          static std::vector<double> cells(20, 1.0);
+          auto op = [&rt] {
+            rt.parfor(0, 20, [&rt](int i) {
+              (void)rt.read(ccxx::gvar<double>{
+                  1, &cells[static_cast<std::size_t>(i)]});
+            });
+          };
+          return Micro{op, op};
+        },
+        kIters / 10);
+    m.total /= 20;
+    m.am /= 20;
+    m.threads /= 20;
+    m.runtime /= 20;
+    m.yield /= 20;
+    m.create /= 20;
+    m.sync /= 20;
+    cc(9, m);
+  }
+
+  // --- Split-C side ----------------------------------------------------------
+  auto sc = [&](int i, Measured m) {
+    rows[static_cast<std::size_t>(i)].sc_total = m.total;
+    rows[static_cast<std::size_t>(i)].sc_am = m.am;
+    rows[static_cast<std::size_t>(i)].sc_runtime = m.runtime;
+  };
+
+  sc(5, run_sc(
+            [](splitc::World& w) {
+              int fn = w.register_atomic([](sim::Node&, am::Word, am::Word,
+                                            am::Word, am::Word) -> am::Word {
+                return 0;
+              });
+              return Micro{[&w, fn] { (void)w.atomic(fn, 1); },
+                           [&w, fn] { (void)w.atomic(fn, 1); }};
+            },
+            kIters));
+  sc(6, run_sc(
+            [](splitc::World&) {
+              static double cell = 1.0;
+              auto op = [] {
+                (void)splitc::read(splitc::global_ptr<double>(1, &cell));
+              };
+              return Micro{op, op};
+            },
+            kIters));
+  sc(7, run_sc(
+            [](splitc::World&) {
+              static std::vector<double> remote(20, 0.0);
+              static std::vector<double> local(20, 3.0);
+              auto op = [] {
+                splitc::bulk_write(
+                    splitc::global_ptr<double>(1, remote.data()),
+                    local.data(), 20 * sizeof(double));
+              };
+              return Micro{op, op};
+            },
+            kIters));
+  sc(8, run_sc(
+            [](splitc::World&) {
+              static std::vector<double> remote(20, 4.0);
+              static std::vector<double> local(20, 0.0);
+              auto op = [] {
+                splitc::bulk_read(local.data(),
+                                  splitc::global_ptr<double>(1, remote.data()),
+                                  20 * sizeof(double));
+              };
+              return Micro{op, op};
+            },
+            kIters));
+  {
+    Measured m = run_sc(
+        [](splitc::World&) {
+          static std::vector<double> remote(20, 1.0);
+          static std::vector<double> local(20, 0.0);
+          auto op = [] {
+            for (int i = 0; i < 20; ++i) {
+              splitc::get(&local[static_cast<std::size_t>(i)],
+                          splitc::global_ptr<double>(
+                              1, &remote[static_cast<std::size_t>(i)]));
+            }
+            splitc::sync();
+          };
+          return Micro{op, op};
+        },
+        kIters / 10);
+    m.total /= 20;
+    m.am /= 20;
+    m.runtime /= 20;
+    sc(9, m);
+  }
+
+  // --- MPL reference ------------------------------------------------------
+  double mpl_rt = 0;
+  {
+    sim::Engine engine(2);
+    net::Network net(engine);
+    msg::MplLayer mpl(net);
+    SimTime elapsed = 0;
+    constexpr int kMpl = 2000;
+    engine.node(0).spawn(
+        [&] {
+          char c = 'x';
+          SimTime t0 = sim::this_node().now();
+          for (int i = 0; i < kMpl; ++i) {
+            mpl.send(1, 1, &c, 0);
+            mpl.recv(1, 2, &c, 1);
+          }
+          elapsed = (sim::this_node().now() - t0) / kMpl;
+        },
+        "pinger");
+    engine.node(1).spawn(
+        [&] {
+          char c = 'y';
+          for (int i = 0; i < kMpl; ++i) {
+            mpl.recv(0, 1, &c, 1);
+            mpl.send(0, 2, &c, 0);
+          }
+        },
+        "ponger");
+    engine.run();
+    mpl_rt = to_usec(elapsed);
+  }
+
+  // --- Print ------------------------------------------------------------------
+  std::printf("Table 4: micro-benchmarks (us, averaged over %d iterations)\n",
+              kIters);
+  std::printf("CC++ columns: Total = AM + ThreadsTime + Runtime;"
+              " Yield/Create/Sync are per-iteration thread-op counts.\n\n");
+  auto n1 = [](double v) { return v < 0 ? std::string("-")
+                                        : stats::Table::num(v, 1); };
+  stats::Table t({"Benchmark", "cc.Total", "cc.AM", "cc.Thr", "cc.Yld",
+                  "cc.Crt", "cc.Syn", "cc.RT", "sc.Total", "sc.AM", "sc.RT",
+                  "paper.cc", "paper.sc"});
+  for (const Row& r : rows) {
+    t.add_row({r.name, n1(r.cc_total), n1(r.cc_am), n1(r.cc_threads),
+               n1(r.cc_yield), n1(r.cc_create), n1(r.cc_sync),
+               n1(r.cc_runtime), n1(r.sc_total), n1(r.sc_am),
+               n1(r.sc_runtime), n1(r.paper_cc_total), n1(r.paper_sc_total)});
+  }
+  t.print();
+  std::printf("\nIBM MPL round-trip reference: %.1f us (paper: 88 us)\n",
+              mpl_rt);
+  return 0;
+}
+
+}  // namespace tham
+
+int main() { return tham::bench_main(); }

@@ -1,0 +1,52 @@
+// em3d_demo: runs the paper's EM3D application in both languages and all
+// three optimization versions on one workload, validates every run against
+// the serial reference, and prints the per-edge cost and the MPMD/SPMD gap
+// — a miniature of Figure 5 for a single remote-edge fraction.
+//
+// Usage: em3d_demo [remote_fraction (default 0.4)]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/em3d.hpp"
+
+using namespace tham;
+using apps::em3d::Config;
+using apps::em3d::Version;
+
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.remote_fraction = argc > 1 ? std::atof(argv[1]) : 0.4;
+  cfg.iters = 10;
+
+  std::printf("EM3D: %d graph nodes, degree %d, %d processors, %.0f%%"
+              " remote edges, %d iterations\n\n",
+              cfg.graph_nodes, cfg.degree, cfg.procs,
+              cfg.remote_fraction * 100, cfg.iters);
+
+  double expect = apps::em3d::run_serial(cfg);
+  std::printf("serial reference checksum: %.12g\n\n", expect);
+
+  apps::em3d::Graph g = apps::em3d::build_graph(cfg);
+  double edges = static_cast<double>(g.total_edges()) / cfg.procs * cfg.iters;
+
+  for (Version v : {Version::Base, Version::Ghost, Version::Bulk}) {
+    apps::RunResult sc = apps::em3d::run_splitc(cfg, v);
+    apps::RunResult cc = apps::em3d::run_ccxx(cfg, v);
+    bool ok = std::abs(sc.checksum - expect) < 1e-9 &&
+              std::abs(cc.checksum - expect) < 1e-9;
+    std::printf("%-11s split-c %8.3f ms (%5.2f us/edge)   cc++ %8.3f ms"
+                " (%5.2f us/edge)   gap %.2fx   %s\n",
+                apps::em3d::version_name(v), to_usec(sc.elapsed) / 1000,
+                to_usec(sc.elapsed) / edges, to_usec(cc.elapsed) / 1000,
+                to_usec(cc.elapsed) / edges,
+                static_cast<double>(cc.elapsed) /
+                    static_cast<double>(sc.elapsed),
+                ok ? "results match serial" : "RESULT MISMATCH");
+  }
+
+  std::printf("\nThe paper's observation: the same optimizations (ghost"
+              " caching, bulk aggregation)\nbenefit both languages, and the"
+              " MPMD gap narrows as communication is amortized.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// pipeline: an MPMD dataflow pipeline using split-phase RMI (futures).
+// Node 1 parses records, node 2 enriches them, node 3 aggregates — a
+// composition of separately-written program stages, the modularity argument
+// of the paper's introduction. The driver keeps several records in flight
+// with rmi_async, so stage latencies overlap; compare the measured
+// throughput against the sequential lower bound.
+
+#include <cstdio>
+#include <deque>
+#include <string>
+
+#include "ccxx/runtime.hpp"
+
+using namespace tham;
+
+struct Parser {
+  long parsed = 0;
+  long parse(std::string raw) {
+    sim::this_node().advance(usec(120));  // tokenize etc.
+    ++parsed;
+    return static_cast<long>(raw.size());
+  }
+};
+
+struct Enricher {
+  long enrich(long tokens) {
+    sim::this_node().advance(usec(180));  // lookups
+    return tokens * 10 + 1;
+  }
+};
+
+struct Aggregator {
+  long total = 0;
+  long add(long enriched) {
+    sim::this_node().advance(usec(60));
+    total += enriched;
+    return total;
+  }
+};
+
+int main() {
+  sim::Engine engine(4);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  ccxx::Runtime rt(engine, net, am);
+
+  auto parse = rt.def_method("Parser::parse", &Parser::parse);
+  auto enrich = rt.def_method("Enricher::enrich", &Enricher::enrich);
+  auto add = rt.def_method("Aggregator::add", &Aggregator::add);
+
+  auto parser = rt.place<Parser>(1);
+  auto enricher = rt.place<Enricher>(2);
+  auto agg = rt.place<Aggregator>(3);
+
+  constexpr int kRecords = 64;
+  constexpr int kWindow = 8;  // records in flight
+
+  rt.run_main([&] {
+    sim::Node& n = sim::this_node();
+
+    // Sequential baseline: one record fully through the pipeline at a time.
+    SimTime t0 = n.now();
+    long check_seq = 0;
+    for (int i = 0; i < kRecords; ++i) {
+      long t = rt.rmi(parser, parse, std::string("record-") +
+                                         std::to_string(i));
+      long e = rt.rmi(enricher, enrich, t);
+      check_seq = rt.rmi(agg, add, e);
+    }
+    SimTime seq = n.now() - t0;
+
+    // Pipelined: a window of records in flight, each stage hand-off a
+    // future. (One thread per in-flight record, CC++-style.)
+    t0 = n.now();
+    std::vector<std::function<void()>> lanes;
+    for (int lane = 0; lane < kWindow; ++lane) {
+      lanes.push_back([&, lane] {
+        for (int i = lane; i < kRecords; i += kWindow) {
+          auto ft = rt.rmi_async(parser, parse,
+                                 std::string("record-") + std::to_string(i));
+          auto fe = rt.rmi_async(enricher, enrich, ft.get());
+          (void)rt.rmi(agg, add, fe.get());
+        }
+      });
+    }
+    rt.par(std::move(lanes));
+    SimTime pipe = n.now() - t0;
+
+    std::printf("records: %d, pipeline window: %d\n", kRecords, kWindow);
+    std::printf("sequential: %8.2f ms  (%.0f us/record)\n",
+                to_usec(seq) / 1000, to_usec(seq) / kRecords);
+    std::printf("pipelined:  %8.2f ms  (%.0f us/record, %.1fx speedup)\n",
+                to_usec(pipe) / 1000, to_usec(pipe) / kRecords,
+                static_cast<double>(seq) / static_cast<double>(pipe));
+    std::printf("aggregate checksum: %ld (sequential pass: %ld)\n",
+                rt.rmi(agg, add, 0L), check_seq);
+  });
+  return 0;
+}

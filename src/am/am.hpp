@@ -1,0 +1,107 @@
+#pragma once
+// Active Messages, after von Eicken et al. [22] and the SP port of Chang et
+// al. [5]: a request carries a handler identifier and up to four words; the
+// handler runs at the receiver, in the context of the thread that polls the
+// message, and may send at most a reply. Bulk transfers (xfer/get) move
+// contiguous memory into a remote address and then run a handler there.
+//
+// Message reception is polling-based: every send polls the inbox (the
+// paper: "message reception is based on polling that occurs on a node every
+// time a message is sent"), and runtimes poll explicitly in wait loops.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/node.hpp"
+
+namespace tham::am {
+
+using Word = std::uint64_t;
+using HandlerId = std::uint32_t;
+/// Short-message argument words. The SP2 AM layer carried 4 x 32-bit words;
+/// we carry 6 x 64-bit words so that full 64-bit simulated addresses fit —
+/// the cost model treats every short message as one flat-cost packet either
+/// way, so this does not change the measured shape.
+using Words = std::array<Word, 6>;
+
+/// Identifies the requesting node inside a handler; used to reply.
+struct Token {
+  NodeId reply_to = kInvalidNode;
+};
+
+/// Runs at the receiver for 4-word messages.
+using ShortHandler = std::function<void(sim::Node& self, Token, const Words&)>;
+/// Runs at the receiver after a bulk payload has been deposited at `addr`.
+using BulkHandler = std::function<void(sim::Node& self, Token, void* addr,
+                                       std::size_t len, const Words&)>;
+
+/// Casts between pointers and AM words (one address space per simulated
+/// node, but one *process* overall, so addresses are exchangeable — exactly
+/// as on the SP where every node ran the same binary image).
+inline Word to_word(const void* p) { return reinterpret_cast<Word>(p); }
+template <typename T>
+T* to_ptr(Word w) { return reinterpret_cast<T*>(w); }
+
+class AmLayer {
+ public:
+  explicit AmLayer(net::Network& net);
+
+  AmLayer(const AmLayer&) = delete;
+  AmLayer& operator=(const AmLayer&) = delete;
+
+  /// Registers a handler (same table on every node: single program image).
+  HandlerId register_short(std::string name, ShortHandler fn);
+  HandlerId register_bulk(std::string name, BulkHandler fn);
+  const std::string& handler_name(HandlerId h) const;
+
+  // --- Sending (all send from the current task's node, poll on send) ------
+  /// Short request; `h` must be a short handler.
+  void request(NodeId dst, HandlerId h, Word w0 = 0, Word w1 = 0, Word w2 = 0,
+               Word w3 = 0, Word w4 = 0, Word w5 = 0);
+  /// Reply from inside a handler (short).
+  void reply(const Token& tok, HandlerId h, Word w0 = 0, Word w1 = 0,
+             Word w2 = 0, Word w3 = 0, Word w4 = 0, Word w5 = 0);
+  /// Bulk store: deposits [data, data+len) at `dst_addr` in `dst`'s address
+  /// space, then runs bulk handler `h` there.
+  void xfer(NodeId dst, void* dst_addr, const void* data, std::size_t len,
+            HandlerId h, Word w0 = 0, Word w1 = 0, Word w2 = 0, Word w3 = 0);
+  /// Bulk get: fetches len bytes at `remote_addr` on `dst` into
+  /// `local_addr`, then runs short handler `done` locally with
+  /// w0 = local_addr, w1 = len, w2 = cookie.
+  void get(NodeId dst, const void* remote_addr, void* local_addr,
+           std::size_t len, HandlerId done, Word cookie = 0);
+
+  // --- Receiving -----------------------------------------------------------
+  /// Drains every due message on the current node. Returns # delivered.
+  int poll();
+  /// Polls until `pred()` holds, idling (virtual time) while the inbox is
+  /// empty. The standard split-phase completion wait.
+  void poll_until(const std::function<bool()>& pred);
+
+  net::Network& network() { return net_; }
+  const CostModel& cost() const { return net_.engine().cost(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    ShortHandler short_fn;
+    BulkHandler bulk_fn;
+  };
+
+  void send_short(NodeId dst, HandlerId h, const Words& w);
+  void deliver_short(sim::Node& self, Token tok, HandlerId h, const Words& w);
+  void deliver_bulk(sim::Node& self, Token tok, HandlerId h, void* dst_addr,
+                    std::vector<std::byte> payload, const Words& w);
+
+  net::Network& net_;
+  std::vector<Entry> handlers_;
+  HandlerId get_server_ = 0;  ///< internal handler servicing am::get
+};
+
+}  // namespace tham::am

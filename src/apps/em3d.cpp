@@ -1,0 +1,451 @@
+#include "apps/em3d.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace tham::apps::em3d {
+
+using sim::Component;
+
+namespace {
+
+/// Virtual CPU cost of one edge accumulation (multiply-add plus loop and
+/// index overhead on the simulated P2SC).
+constexpr int kFlopsPerEdge = 4;
+
+/// A ghost-resolution plan shared by the ghost and bulk versions:
+/// for each (consumer p, producer q, kind) the sorted list of producer-local
+/// indices p needs, plus per-edge rewrites pointing into ghost slots.
+struct GhostPlan {
+  // needs[kind][p][q] = indices of q's nodes that p reads. kind 0 = H
+  // values needed by the E phase; kind 1 = E values needed by the H phase.
+  std::vector<std::vector<std::vector<int>>> needs[2];
+  // ghost[kind][p][q] = landing storage aligned with needs.
+  std::vector<std::vector<std::vector<double>>> ghost[2];
+  // Edge rewrites: for each proc and kind, edges with src_proc == -1 read
+  // locally; otherwise (src_proc = q, src_index = slot into ghost[p][q]).
+  std::vector<std::vector<Edge>> e_edges, h_edges;
+
+  static GhostPlan build(const Graph& g) {
+    GhostPlan plan;
+    int P = g.cfg.procs;
+    auto sz = static_cast<std::size_t>(P);
+    for (int k = 0; k < 2; ++k) {
+      plan.needs[k].assign(sz, std::vector<std::vector<int>>(sz));
+      plan.ghost[k].assign(sz, std::vector<std::vector<double>>(sz));
+    }
+    plan.e_edges.assign(sz, {});
+    plan.h_edges.assign(sz, {});
+    for (int p = 0; p < P; ++p) {
+      auto up = static_cast<std::size_t>(p);
+      // kind 0: E edges read H values; kind 1: H edges read E values.
+      for (int k = 0; k < 2; ++k) {
+        const auto& in = k == 0 ? g.e_edges[up] : g.h_edges[up];
+        auto& out = k == 0 ? plan.e_edges[up] : plan.h_edges[up];
+        std::map<std::pair<int, int>, int> slot;  // (q, idx) -> ghost slot
+        for (const Edge& e : in) {
+          if (e.src_proc == p) {
+            out.push_back(Edge{e.dst, -1, e.src_index, e.w});
+            continue;
+          }
+          auto key = std::make_pair(e.src_proc, e.src_index);
+          auto it = slot.find(key);
+          int s;
+          if (it == slot.end()) {
+            auto& lst =
+                plan.needs[k][up][static_cast<std::size_t>(e.src_proc)];
+            s = static_cast<int>(lst.size());
+            lst.push_back(e.src_index);
+            slot.emplace(key, s);
+          } else {
+            s = it->second;
+          }
+          out.push_back(Edge{e.dst, e.src_proc, s, e.w});
+        }
+        for (int q = 0; q < P; ++q) {
+          plan.ghost[k][up][static_cast<std::size_t>(q)].assign(
+              plan.needs[k][up][static_cast<std::size_t>(q)].size(), 0.0);
+        }
+      }
+    }
+    return plan;
+  }
+};
+
+}  // namespace
+
+Graph build_graph(const Config& cfg) {
+  THAM_CHECK(cfg.graph_nodes % (2 * cfg.procs) == 0);
+  Graph g;
+  g.cfg = cfg;
+  g.per_proc_e = cfg.graph_nodes / 2 / cfg.procs;
+  auto P = static_cast<std::size_t>(cfg.procs);
+  auto n = static_cast<std::size_t>(g.per_proc_e);
+  g.e_vals.assign(P, std::vector<double>(n, 1.0));
+  g.h_vals.assign(P, std::vector<double>(n, 1.0));
+  g.e_edges.assign(P, {});
+  g.h_edges.assign(P, {});
+
+  Rng rng(cfg.seed);
+  int remote_deg = static_cast<int>(cfg.degree * cfg.remote_fraction + 0.5);
+  for (int p = 0; p < cfg.procs; ++p) {
+    for (int kind = 0; kind < 2; ++kind) {  // 0: E reads H, 1: H reads E
+      auto& edges = kind == 0 ? g.e_edges[static_cast<std::size_t>(p)]
+                              : g.h_edges[static_cast<std::size_t>(p)];
+      for (int d = 0; d < g.per_proc_e; ++d) {
+        for (int e = 0; e < cfg.degree; ++e) {
+          int src_proc;
+          if (e < remote_deg && cfg.procs > 1) {
+            src_proc = static_cast<int>(
+                rng.next_below(static_cast<std::uint64_t>(cfg.procs - 1)));
+            if (src_proc >= p) ++src_proc;
+          } else {
+            src_proc = p;
+          }
+          int src_index = static_cast<int>(
+              rng.next_below(static_cast<std::uint64_t>(g.per_proc_e)));
+          double w = rng.next_double(0.01, 0.02);
+          edges.push_back(Edge{d, src_proc, src_index, w});
+        }
+      }
+    }
+  }
+  return g;
+}
+
+double run_serial(const Config& cfg) {
+  Graph g = build_graph(cfg);
+  auto P = static_cast<std::size_t>(cfg.procs);
+  for (int it = 0; it < cfg.iters; ++it) {
+    // E phase: new E from current H.
+    std::vector<std::vector<double>> new_e = g.e_vals;
+    for (std::size_t p = 0; p < P; ++p) {
+      std::vector<double> acc(g.e_vals[p].size(), 0.0);
+      for (const Edge& e : g.e_edges[p]) {
+        acc[static_cast<std::size_t>(e.dst)] +=
+            e.w * g.h_vals[static_cast<std::size_t>(e.src_proc)]
+                          [static_cast<std::size_t>(e.src_index)];
+      }
+      new_e[p] = acc;
+    }
+    g.e_vals = new_e;
+    // H phase: new H from new E.
+    for (std::size_t p = 0; p < P; ++p) {
+      std::vector<double> acc(g.h_vals[p].size(), 0.0);
+      for (const Edge& e : g.h_edges[p]) {
+        acc[static_cast<std::size_t>(e.dst)] +=
+            e.w * g.e_vals[static_cast<std::size_t>(e.src_proc)]
+                          [static_cast<std::size_t>(e.src_index)];
+      }
+      g.h_vals[p] = acc;
+    }
+  }
+  double sum = 0;
+  for (std::size_t p = 0; p < P; ++p) {
+    for (double v : g.e_vals[p]) sum += v;
+    for (double v : g.h_vals[p]) sum += v;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Split-C versions
+// ---------------------------------------------------------------------------
+
+RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
+                     const Config& cfg, Version version) {
+  Graph g = build_graph(cfg);
+  GhostPlan plan = GhostPlan::build(g);
+  splitc::World world(engine, net, am);
+  double checksum = 0;
+
+  world.run([&] {
+    sim::Node& n = sim::this_node();
+    NodeId me = splitc::MYPROC();
+    auto ume = static_cast<std::size_t>(me);
+    SimTime edge_cost = kFlopsPerEdge * engine.cost().flop;
+
+    // One E-or-H half step for the base version (direct gp derefs).
+    auto base_phase = [&](const std::vector<Edge>& edges,
+                          std::vector<std::vector<double>>& src,
+                          std::vector<double>& dst) {
+      std::vector<double> acc(dst.size(), 0.0);
+      for (const Edge& e : edges) {
+        splitc::global_ptr<double> gp(
+            e.src_proc, &src[static_cast<std::size_t>(e.src_proc)]
+                             [static_cast<std::size_t>(e.src_index)]);
+        double v = splitc::read(gp);
+        n.advance(edge_cost);
+        acc[static_cast<std::size_t>(e.dst)] += e.w * v;
+      }
+      dst = acc;
+    };
+
+    // Ghost version: fetch distinct remote values with split-phase gets.
+    auto ghost_fetch = [&](int kind, std::vector<std::vector<double>>& src) {
+      for (int q = 0; q < cfg.procs; ++q) {
+        auto uq = static_cast<std::size_t>(q);
+        const auto& need = plan.needs[kind][ume][uq];
+        auto& land = plan.ghost[kind][ume][uq];
+        for (std::size_t i = 0; i < need.size(); ++i) {
+          splitc::get(&land[i],
+                      splitc::global_ptr<double>(
+                          q, &src[uq][static_cast<std::size_t>(need[i])]));
+        }
+      }
+      splitc::sync();
+    };
+
+    // Bulk version: the *producer* pushes aggregated values to consumers.
+    auto bulk_push = [&](int kind, std::vector<double>& myvals) {
+      for (int q = 0; q < cfg.procs; ++q) {
+        if (q == me) continue;
+        auto uq = static_cast<std::size_t>(q);
+        const auto& need = plan.needs[kind][uq][ume];  // q reads from me
+        if (need.empty()) continue;
+        std::vector<double> packed(need.size());
+        for (std::size_t i = 0; i < need.size(); ++i) {
+          packed[i] = myvals[static_cast<std::size_t>(need[i])];
+          n.advance(engine.cost().flop);  // packing
+        }
+        splitc::bulk_store(
+            splitc::global_ptr<double>(q, plan.ghost[kind][uq][ume].data()),
+            packed.data(), packed.size() * sizeof(double));
+      }
+      splitc::all_store_sync();
+    };
+
+    // Local compute over ghost-rewritten edges (ghost & bulk versions).
+    auto ghost_phase = [&](int kind, const std::vector<Edge>& edges,
+                           std::vector<double>& local_src,
+                           std::vector<double>& dst) {
+      std::vector<double> acc(dst.size(), 0.0);
+      for (const Edge& e : edges) {
+        double v =
+            e.src_proc < 0
+                ? local_src[static_cast<std::size_t>(e.src_index)]
+                : plan.ghost[kind][ume][static_cast<std::size_t>(e.src_proc)]
+                            [static_cast<std::size_t>(e.src_index)];
+        n.advance(edge_cost);
+        acc[static_cast<std::size_t>(e.dst)] += e.w * v;
+      }
+      dst = acc;
+    };
+
+    for (int it = 0; it < cfg.iters; ++it) {
+      switch (version) {
+        case Version::Base:
+          base_phase(g.e_edges[ume], g.h_vals, g.e_vals[ume]);
+          splitc::barrier();
+          base_phase(g.h_edges[ume], g.e_vals, g.h_vals[ume]);
+          splitc::barrier();
+          break;
+        case Version::Ghost:
+          ghost_fetch(0, g.h_vals);
+          ghost_phase(0, plan.e_edges[ume], g.h_vals[ume], g.e_vals[ume]);
+          splitc::barrier();
+          ghost_fetch(1, g.e_vals);
+          ghost_phase(1, plan.h_edges[ume], g.e_vals[ume], g.h_vals[ume]);
+          splitc::barrier();
+          break;
+        case Version::Bulk:
+          bulk_push(0, g.h_vals[ume]);
+          ghost_phase(0, plan.e_edges[ume], g.h_vals[ume], g.e_vals[ume]);
+          splitc::barrier();
+          bulk_push(1, g.e_vals[ume]);
+          ghost_phase(1, plan.h_edges[ume], g.e_vals[ume], g.h_vals[ume]);
+          splitc::barrier();
+          break;
+      }
+    }
+    double sum = 0;
+    for (double v : g.e_vals[ume]) sum += v;
+    for (double v : g.h_vals[ume]) sum += v;
+    checksum = world.all_reduce_sum(sum);
+  });
+
+  RunResult r = collect(engine);
+  r.checksum = checksum;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// CC++ versions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The per-node processor object of the CC++ port: owns nothing (the graph
+/// lives in host-shared memory, partitioned per node), but receives the
+/// bulk ghost pushes as remote method invocations.
+struct Em3dProc {
+  GhostPlan* plan = nullptr;
+  NodeId me = kInvalidNode;
+
+  /// Bulk RMI: deposit ghost values of `kind` coming from processor `from`.
+  long recv_ghost(int kind, int from, std::vector<double> vals) {
+    auto& land = plan->ghost[kind][static_cast<std::size_t>(me)]
+                            [static_cast<std::size_t>(from)];
+    THAM_CHECK(vals.size() == land.size());
+    std::copy(vals.begin(), vals.end(), land.begin());
+    return static_cast<long>(vals.size());
+  }
+};
+
+}  // namespace
+
+RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version) {
+  sim::Engine& engine = rt.engine();
+  Graph g = build_graph(cfg);
+  GhostPlan plan = GhostPlan::build(g);
+
+  auto recv_ghost = rt.def_method("Em3dProc::recv_ghost",
+                                  &Em3dProc::recv_ghost, ccxx::RmiMode::Threaded);
+  std::vector<ccxx::gptr<Em3dProc>> procs;
+  for (int p = 0; p < cfg.procs; ++p) {
+    auto gp = rt.place<Em3dProc>(p);
+    gp.ptr->plan = &plan;
+    gp.ptr->me = p;
+    procs.push_back(gp);
+  }
+
+  double checksum = 0;
+  rt.run_spmd([&] {
+    sim::Node& n = sim::this_node();
+    NodeId me = n.id();
+    auto ume = static_cast<std::size_t>(me);
+    SimTime edge_cost = kFlopsPerEdge * engine.cost().flop;
+
+    // Base: every access (local or remote) through a global pointer.
+    auto base_phase = [&](const std::vector<Edge>& edges,
+                          std::vector<std::vector<double>>& src,
+                          std::vector<double>& dst) {
+      std::vector<double> acc(dst.size(), 0.0);
+      for (const Edge& e : edges) {
+        ccxx::gvar<double> gv{e.src_proc,
+                              &src[static_cast<std::size_t>(e.src_proc)]
+                                  [static_cast<std::size_t>(e.src_index)]};
+        double v = rt.read(gv);
+        n.advance(edge_cost);
+        acc[static_cast<std::size_t>(e.dst)] += e.w * v;
+      }
+      dst = acc;
+    };
+
+    // Ghost: parfor'd global-pointer reads of the deduplicated remote set
+    // (threads hide part of the latency, as in the Prefetch bench).
+    auto ghost_fetch = [&](int kind, std::vector<std::vector<double>>& src) {
+      for (int q = 0; q < cfg.procs; ++q) {
+        if (q == me) continue;
+        auto uq = static_cast<std::size_t>(q);
+        const auto& need = plan.needs[kind][ume][uq];
+        auto& land = plan.ghost[kind][ume][uq];
+        if (need.empty()) continue;
+        rt.parfor(0, static_cast<int>(need.size()), [&](int i) {
+          auto ui = static_cast<std::size_t>(i);
+          ccxx::gvar<double> gv{
+              q, &src[uq][static_cast<std::size_t>(need[ui])]};
+          land[ui] = rt.read(gv);
+        });
+      }
+    };
+
+    // Bulk: aggregated ghost values pushed as one RMI per consumer. The
+    // pushes run in a par block so their round trips overlap (the standard
+    // CC++ latency-hiding idiom).
+    auto bulk_push = [&](int kind, std::vector<double>& myvals) {
+      std::vector<std::function<void()>> pushes;
+      for (int q = 0; q < cfg.procs; ++q) {
+        if (q == me) continue;
+        auto uq = static_cast<std::size_t>(q);
+        const auto& need = plan.needs[kind][uq][ume];
+        if (need.empty()) continue;
+        auto packed = std::make_shared<std::vector<double>>(need.size());
+        for (std::size_t i = 0; i < need.size(); ++i) {
+          (*packed)[i] = myvals[static_cast<std::size_t>(need[i])];
+          n.advance(engine.cost().flop);
+        }
+        pushes.push_back([&rt, &procs, &recv_ghost, kind, me, uq, packed] {
+          rt.rmi(procs[uq], recv_ghost, kind, static_cast<int>(me), *packed);
+        });
+      }
+      rt.par(std::move(pushes));
+      rt.barrier();
+    };
+
+    auto ghost_phase = [&](int kind, const std::vector<Edge>& edges,
+                           std::vector<double>& local_src,
+                           std::vector<double>& dst) {
+      std::vector<double> acc(dst.size(), 0.0);
+      for (const Edge& e : edges) {
+        double v;
+        if (e.src_proc < 0) {
+          // CC++ still reaches local data through the global pointer.
+          ccxx::gvar<double> gv{
+              me, &local_src[static_cast<std::size_t>(e.src_index)]};
+          v = rt.read(gv);
+        } else {
+          v = plan.ghost[kind][ume][static_cast<std::size_t>(e.src_proc)]
+                        [static_cast<std::size_t>(e.src_index)];
+        }
+        n.advance(edge_cost);
+        acc[static_cast<std::size_t>(e.dst)] += e.w * v;
+      }
+      dst = acc;
+    };
+
+    for (int it = 0; it < cfg.iters; ++it) {
+      switch (version) {
+        case Version::Base:
+          base_phase(g.e_edges[ume], g.h_vals, g.e_vals[ume]);
+          rt.barrier();
+          base_phase(g.h_edges[ume], g.e_vals, g.h_vals[ume]);
+          rt.barrier();
+          break;
+        case Version::Ghost:
+          ghost_fetch(0, g.h_vals);
+          ghost_phase(0, plan.e_edges[ume], g.h_vals[ume], g.e_vals[ume]);
+          rt.barrier();
+          ghost_fetch(1, g.e_vals);
+          ghost_phase(1, plan.h_edges[ume], g.e_vals[ume], g.h_vals[ume]);
+          rt.barrier();
+          break;
+        case Version::Bulk:
+          bulk_push(0, g.h_vals[ume]);
+          ghost_phase(0, plan.e_edges[ume], g.h_vals[ume], g.e_vals[ume]);
+          rt.barrier();
+          bulk_push(1, g.e_vals[ume]);
+          ghost_phase(1, plan.h_edges[ume], g.e_vals[ume], g.h_vals[ume]);
+          rt.barrier();
+          break;
+      }
+    }
+    double sum = 0;
+    for (double v : g.e_vals[ume]) sum += v;
+    for (double v : g.h_vals[ume]) sum += v;
+    checksum = rt.all_reduce_sum(sum);
+  });
+
+  RunResult r = collect(engine);
+  r.checksum = checksum;
+  return r;
+}
+
+RunResult run_splitc(const Config& cfg, Version v, const CostModel& cm) {
+  sim::Engine engine(cfg.procs, cm);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  return run_splitc(engine, net, am, cfg, v);
+}
+
+RunResult run_ccxx(const Config& cfg, Version v, const CostModel& cm) {
+  sim::Engine engine(cfg.procs, cm);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  ccxx::Runtime rt(engine, net, am);
+  return run_ccxx(rt, cfg, v);
+}
+
+}  // namespace tham::apps::em3d

@@ -1,0 +1,95 @@
+#pragma once
+// EM3D: electromagnetic wave propagation on a bipartite graph (Culler et
+// al. [7]; Madsen [17]) — the paper's first application (Section 5).
+//
+// Three versions per language, as in the paper:
+//   base  — every neighbor value is read through a global pointer each time
+//           it is needed (remote *and* local accesses go through the
+//           global-pointer path);
+//   ghost — remote values are fetched once per iteration into local ghost
+//           nodes (Split-C: split-phase gets; CC++: parfor'd gp reads),
+//           deduplicated across co-located graph nodes;
+//   bulk  — ghost values aggregated per source processor and pushed with
+//           one bulk transfer (Split-C: bulk_store + all_store_sync;
+//           CC++: one bulk RMI per neighbor processor).
+//
+// The default workload is the paper's: 800 graph nodes of degree 20 over
+// 4 processors, remote-edge fraction swept from 10% to 100%.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/results.hpp"
+#include "ccxx/runtime.hpp"
+#include "common/rng.hpp"
+#include "splitc/world.hpp"
+
+namespace tham::apps::em3d {
+
+struct Config {
+  int procs = 4;
+  int graph_nodes = 800;  ///< total (half E, half H)
+  int degree = 20;
+  double remote_fraction = 1.0;  ///< fraction of edges crossing processors
+  int iters = 10;
+  std::uint64_t seed = 12345;
+};
+
+enum class Version { Base, Ghost, Bulk };
+
+inline const char* version_name(Version v) {
+  switch (v) {
+    case Version::Base: return "em3d-base";
+    case Version::Ghost: return "em3d-ghost";
+    case Version::Bulk: return "em3d-bulk";
+  }
+  return "?";
+}
+
+/// One directed dependency: local node `dst` (E or H) reads neighbor
+/// (`src_proc`, `src_index`) of the other kind with weight `w`.
+struct Edge {
+  int dst;
+  int src_proc;
+  int src_index;
+  double w;
+};
+
+/// The partitioned bipartite graph. Host-built, deterministic in the seed;
+/// shared read-only by all versions so results are comparable.
+struct Graph {
+  Config cfg;
+  int per_proc_e = 0;  ///< E nodes per processor (same for H)
+  // Per processor: values and in-edges for each kind.
+  std::vector<std::vector<double>> e_vals, h_vals;
+  std::vector<std::vector<Edge>> e_edges, h_edges;  ///< grouped by dst
+
+  int total_edges() const {
+    std::size_t n = 0;
+    for (const auto& v : e_edges) n += v.size();
+    for (const auto& v : h_edges) n += v.size();
+    return static_cast<int>(n);
+  }
+};
+
+/// Builds the synthetic graph of the paper's Section 5.
+Graph build_graph(const Config& cfg);
+
+/// Serial reference: same update order, single address space.
+/// Returns the checksum (sum of all node values after cfg.iters steps).
+double run_serial(const Config& cfg);
+
+/// Split-C versions. The engine/world must be fresh (one run each).
+RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
+                     const Config& cfg, Version version);
+
+/// CC++ versions (used for both ThAM and Nexus cost models).
+RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version);
+
+/// Convenience: build a fresh machine with `cm`, run, and collect.
+RunResult run_splitc(const Config& cfg, Version v,
+                     const CostModel& cm = sp2_cost_model());
+RunResult run_ccxx(const Config& cfg, Version v,
+                   const CostModel& cm = sp2_cost_model());
+
+}  // namespace tham::apps::em3d

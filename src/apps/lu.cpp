@@ -1,0 +1,416 @@
+#include "apps/lu.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace tham::apps::lu {
+
+namespace {
+
+/// In-place unblocked LU (no pivoting; the matrix is made diagonally
+/// dominant at construction) of a B x B block.
+void factor_block(double* a, int b) {
+  for (int c = 0; c < b; ++c) {
+    double inv = 1.0 / a[c * b + c];
+    for (int r = c + 1; r < b; ++r) a[r * b + c] *= inv;
+    for (int r = c + 1; r < b; ++r) {
+      double l = a[r * b + c];
+      for (int cc = c + 1; cc < b; ++cc) a[r * b + cc] -= l * a[c * b + cc];
+    }
+  }
+}
+
+/// A[k][j] <- L(pivot)^-1 * A[k][j] (forward substitution, unit lower).
+void row_solve(const double* pivot, double* a, int b) {
+  for (int c = 0; c < b; ++c) {
+    for (int r = c + 1; r < b; ++r) {
+      double l = pivot[r * b + c];
+      for (int cc = 0; cc < b; ++cc) a[r * b + cc] -= l * a[c * b + cc];
+    }
+  }
+}
+
+/// A[i][k] <- A[i][k] * U(pivot)^-1 (backward substitution on columns).
+void col_solve(const double* pivot, double* a, int b) {
+  for (int c = 0; c < b; ++c) {
+    double inv = 1.0 / pivot[c * b + c];
+    for (int r = 0; r < b; ++r) a[r * b + c] *= inv;
+    for (int cc = c + 1; cc < b; ++cc) {
+      double u = pivot[c * b + cc];
+      for (int r = 0; r < b; ++r) a[r * b + cc] -= a[r * b + c] * u;
+    }
+  }
+}
+
+/// A[i][j] -= A[i][k] * A[k][j] (dgemm).
+void update_block(double* aij, const double* aik, const double* akj, int b) {
+  for (int r = 0; r < b; ++r) {
+    for (int c2 = 0; c2 < b; ++c2) {
+      double l = aik[r * b + c2];
+      if (l == 0.0) continue;
+      const double* src = &akj[c2 * b];
+      double* dst = &aij[r * b];
+      for (int c = 0; c < b; ++c) dst[c] -= l * src[c];
+    }
+  }
+}
+
+SimTime factor_cost(const CostModel& cm, int b) {
+  return static_cast<SimTime>(2.0 / 3.0 * b * b * b) * cm.flop;
+}
+SimTime solve_cost(const CostModel& cm, int b) {
+  return static_cast<SimTime>(b) * b * b * cm.flop;
+}
+SimTime gemm_cost(const CostModel& cm, int b) {
+  return static_cast<SimTime>(2 * b) * b * b * cm.flop;
+}
+
+}  // namespace
+
+Matrix build_matrix(const Config& cfg) {
+  THAM_CHECK(cfg.n % cfg.block == 0);
+  int pr = static_cast<int>(std::lround(std::sqrt(cfg.procs)));
+  THAM_CHECK_MSG(pr * pr == cfg.procs, "LU needs a square processor count");
+  Matrix m;
+  m.cfg = cfg;
+  m.layout.nb = cfg.n / cfg.block;
+  m.layout.pr = pr;
+  auto nb = static_cast<std::size_t>(m.layout.nb);
+  auto bb = static_cast<std::size_t>(cfg.block) *
+            static_cast<std::size_t>(cfg.block);
+  Rng rng(cfg.seed);
+  m.blocks.assign(nb, std::vector<std::vector<double>>(nb));
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    for (std::size_t bj = 0; bj < nb; ++bj) {
+      auto& blk = m.blocks[bi][bj];
+      blk.resize(bb);
+      for (auto& v : blk) v = rng.next_double(-1.0, 1.0);
+      if (bi == bj) {
+        // Diagonal dominance so unpivoted LU is stable.
+        for (int d = 0; d < cfg.block; ++d) {
+          blk[static_cast<std::size_t>(d * cfg.block + d)] += 2.0 * cfg.n;
+        }
+      }
+    }
+  }
+  return m;
+}
+
+double run_serial(const Config& cfg) {
+  Matrix m = build_matrix(cfg);
+  int nb = m.layout.nb, b = cfg.block;
+  for (int k = 0; k < nb; ++k) {
+    auto uk = static_cast<std::size_t>(k);
+    factor_block(m.blocks[uk][uk].data(), b);
+    for (int j = k + 1; j < nb; ++j) {
+      row_solve(m.blocks[uk][uk].data(),
+                m.blocks[uk][static_cast<std::size_t>(j)].data(), b);
+    }
+    for (int i = k + 1; i < nb; ++i) {
+      col_solve(m.blocks[uk][uk].data(),
+                m.blocks[static_cast<std::size_t>(i)][uk].data(), b);
+    }
+    for (int i = k + 1; i < nb; ++i) {
+      for (int j = k + 1; j < nb; ++j) {
+        update_block(
+            m.blocks[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]
+                .data(),
+            m.blocks[static_cast<std::size_t>(i)][uk].data(),
+            m.blocks[uk][static_cast<std::size_t>(j)].data(), b);
+      }
+    }
+  }
+  double sum = 0;
+  for (auto& row : m.blocks) {
+    for (auto& blk : row) {
+      for (double v : blk) sum += v;
+    }
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Split-C version (sc-lu): one-way stores for pivot blocks, split-phase
+// bulk-get prefetch before the interior update.
+// ---------------------------------------------------------------------------
+
+RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
+                     const Config& cfg) {
+  Matrix m = build_matrix(cfg);
+  splitc::World world(engine, net, am);
+  int nb = m.layout.nb, b = cfg.block;
+  auto bb = static_cast<std::size_t>(b) * static_cast<std::size_t>(b);
+  double checksum = 0;
+
+  // Per-processor landing areas (host-allocated; each proc only touches
+  // its own row).
+  std::vector<std::vector<double>> pivot_land(
+      static_cast<std::size_t>(cfg.procs), std::vector<double>(bb));
+
+  world.run([&] {
+    sim::Node& node = sim::this_node();
+    NodeId me = splitc::MYPROC();
+    const CostModel& cm = engine.cost();
+    auto owner = [&](int i, int j) { return m.layout.owner(i, j); };
+    auto blk = [&](int i, int j) -> std::vector<double>& {
+      return m.blocks[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(j)];
+    };
+
+    // Prefetch caches for the interior update.
+    std::vector<std::vector<double>> row_cache(static_cast<std::size_t>(nb)),
+        col_cache(static_cast<std::size_t>(nb));
+
+    for (int k = 0; k < nb; ++k) {
+      // --- Sub-step 1: factor the pivot block -----------------------------
+      if (owner(k, k) == me) {
+        node.advance(factor_cost(cm, b));
+        factor_block(blk(k, k).data(), b);
+        // Push the pivot to every other processor with one-way stores.
+        for (int q = 0; q < cfg.procs; ++q) {
+          if (q == me) continue;
+          splitc::bulk_store(
+              splitc::global_ptr<double>(
+                  q, pivot_land[static_cast<std::size_t>(q)].data()),
+              blk(k, k).data(), bb * sizeof(double));
+        }
+        pivot_land[static_cast<std::size_t>(me)] = blk(k, k);
+      }
+      splitc::all_store_sync();
+      const double* pivot = pivot_land[static_cast<std::size_t>(me)].data();
+
+      // --- Sub-step 2: triangular solves on row k and column k ------------
+      for (int j = k + 1; j < nb; ++j) {
+        if (owner(k, j) == me) {
+          node.advance(solve_cost(cm, b));
+          row_solve(pivot, blk(k, j).data(), b);
+        }
+      }
+      for (int i = k + 1; i < nb; ++i) {
+        if (owner(i, k) == me) {
+          node.advance(solve_cost(cm, b));
+          col_solve(pivot, blk(i, k).data(), b);
+        }
+      }
+      splitc::barrier();
+
+      // --- Sub-step 3: prefetch all needed blocks, then update -------------
+      for (int j = k + 1; j < nb; ++j) {
+        if (owner(k, j) == me) continue;
+        bool needed = false;
+        for (int i = k + 1; i < nb && !needed; ++i) {
+          needed = owner(i, j) == me;
+        }
+        if (!needed) continue;
+        auto uj = static_cast<std::size_t>(j);
+        row_cache[uj].resize(bb);
+        splitc::bulk_get(row_cache[uj].data(),
+                         splitc::global_ptr<double>(owner(k, j),
+                                                    blk(k, j).data()),
+                         bb * sizeof(double));
+      }
+      for (int i = k + 1; i < nb; ++i) {
+        if (owner(i, k) == me) continue;
+        bool needed = false;
+        for (int j = k + 1; j < nb && !needed; ++j) {
+          needed = owner(i, j) == me;
+        }
+        if (!needed) continue;
+        auto ui = static_cast<std::size_t>(i);
+        col_cache[ui].resize(bb);
+        splitc::bulk_get(col_cache[ui].data(),
+                         splitc::global_ptr<double>(owner(i, k),
+                                                    blk(i, k).data()),
+                         bb * sizeof(double));
+      }
+      splitc::sync();
+
+      for (int i = k + 1; i < nb; ++i) {
+        for (int j = k + 1; j < nb; ++j) {
+          if (owner(i, j) != me) continue;
+          const double* aik = owner(i, k) == me
+                                  ? blk(i, k).data()
+                                  : col_cache[static_cast<std::size_t>(i)]
+                                        .data();
+          const double* akj = owner(k, j) == me
+                                  ? blk(k, j).data()
+                                  : row_cache[static_cast<std::size_t>(j)]
+                                        .data();
+          node.advance(gemm_cost(cm, b));
+          update_block(blk(i, j).data(), aik, akj, b);
+        }
+      }
+      splitc::barrier();
+    }
+
+    double sum = 0;
+    for (int i = 0; i < nb; ++i) {
+      for (int j = 0; j < nb; ++j) {
+        if (owner(i, j) != me) continue;
+        for (double v : blk(i, j)) sum += v;
+      }
+    }
+    checksum = world.all_reduce_sum(sum);
+  });
+
+  RunResult r = collect(engine);
+  r.checksum = checksum;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// CC++ version (cc-lu): the one-way stores and prefetches become RMIs.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LuProc {
+  Matrix* m = nullptr;
+  NodeId me = kInvalidNode;
+  std::vector<double> pivot_land;
+
+  long put_pivot(std::vector<double> data) {
+    pivot_land = std::move(data);
+    return static_cast<long>(pivot_land.size());
+  }
+
+  std::vector<double> get_block(long bi, long bj) {
+    return m->blocks[static_cast<std::size_t>(bi)]
+                    [static_cast<std::size_t>(bj)];
+  }
+};
+
+}  // namespace
+
+RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg) {
+  sim::Engine& engine = rt.engine();
+  Matrix m = build_matrix(cfg);
+  int nb = m.layout.nb, b = cfg.block;
+  double checksum = 0;
+
+  auto put_pivot = rt.def_method("LuProc::put_pivot", &LuProc::put_pivot,
+                                 ccxx::RmiMode::Threaded);
+  auto get_block = rt.def_method("LuProc::get_block", &LuProc::get_block,
+                                 ccxx::RmiMode::Threaded);
+  std::vector<ccxx::gptr<LuProc>> procs;
+  for (int p = 0; p < cfg.procs; ++p) {
+    auto gp = rt.place<LuProc>(p);
+    gp.ptr->m = &m;
+    gp.ptr->me = p;
+    procs.push_back(gp);
+  }
+
+  rt.run_spmd([&] {
+    sim::Node& node = sim::this_node();
+    NodeId me = node.id();
+    auto ume = static_cast<std::size_t>(me);
+    const CostModel& cm = engine.cost();
+    auto owner = [&](int i, int j) { return m.layout.owner(i, j); };
+    auto blk = [&](int i, int j) -> std::vector<double>& {
+      return m.blocks[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(j)];
+    };
+
+    std::vector<std::vector<double>> row_cache(static_cast<std::size_t>(nb)),
+        col_cache(static_cast<std::size_t>(nb));
+
+    for (int k = 0; k < nb; ++k) {
+      if (owner(k, k) == me) {
+        node.advance(factor_cost(cm, b));
+        factor_block(blk(k, k).data(), b);
+        // Pivot distribution by RMI instead of one-way stores.
+        for (int q = 0; q < cfg.procs; ++q) {
+          if (q == me) continue;
+          rt.rmi(procs[static_cast<std::size_t>(q)], put_pivot, blk(k, k));
+        }
+        procs[ume].ptr->pivot_land = blk(k, k);
+      }
+      rt.barrier();
+      const double* pivot = procs[ume].ptr->pivot_land.data();
+
+      for (int j = k + 1; j < nb; ++j) {
+        if (owner(k, j) == me) {
+          node.advance(solve_cost(cm, b));
+          row_solve(pivot, blk(k, j).data(), b);
+        }
+      }
+      for (int i = k + 1; i < nb; ++i) {
+        if (owner(i, k) == me) {
+          node.advance(solve_cost(cm, b));
+          col_solve(pivot, blk(i, k).data(), b);
+        }
+      }
+      rt.barrier();
+
+      // The Split-C version's aggregated prefetch is exactly what the RMI
+      // style loses (Section 5: "the one-way stores and prefetches are
+      // replaced by RMIs"): cc-lu fetches blocks on demand inside the
+      // update loop — the column block once per row (the loop structure
+      // caches it naturally), the row block per update.
+      for (int i = k + 1; i < nb; ++i) {
+        bool own_any = false;
+        for (int j = k + 1; j < nb && !own_any; ++j) {
+          own_any = owner(i, j) == me;
+        }
+        if (!own_any) continue;
+        const double* aik;
+        if (owner(i, k) == me) {
+          aik = blk(i, k).data();
+        } else {
+          col_cache[static_cast<std::size_t>(i)] =
+              rt.rmi(procs[static_cast<std::size_t>(owner(i, k))], get_block,
+                     static_cast<long>(i), static_cast<long>(k));
+          aik = col_cache[static_cast<std::size_t>(i)].data();
+        }
+        for (int j = k + 1; j < nb; ++j) {
+          if (owner(i, j) != me) continue;
+          const double* akj;
+          if (owner(k, j) == me) {
+            akj = blk(k, j).data();
+          } else {
+            row_cache[static_cast<std::size_t>(j)] =
+                rt.rmi(procs[static_cast<std::size_t>(owner(k, j))],
+                       get_block, static_cast<long>(k),
+                       static_cast<long>(j));
+            akj = row_cache[static_cast<std::size_t>(j)].data();
+          }
+          node.advance(gemm_cost(cm, b));
+          update_block(blk(i, j).data(), aik, akj, b);
+        }
+      }
+      rt.barrier();
+    }
+
+    double sum = 0;
+    for (int i = 0; i < nb; ++i) {
+      for (int j = 0; j < nb; ++j) {
+        if (owner(i, j) != me) continue;
+        for (double v : blk(i, j)) sum += v;
+      }
+    }
+    checksum = rt.all_reduce_sum(sum);
+  });
+
+  RunResult r = collect(engine);
+  r.checksum = checksum;
+  return r;
+}
+
+RunResult run_splitc(const Config& cfg, const CostModel& cm) {
+  sim::Engine engine(cfg.procs, cm);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  return run_splitc(engine, net, am, cfg);
+}
+
+RunResult run_ccxx(const Config& cfg, const CostModel& cm) {
+  sim::Engine engine(cfg.procs, cm);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  ccxx::Runtime rt(engine, net, am);
+  return run_ccxx(rt, cfg);
+}
+
+}  // namespace tham::apps::lu

@@ -1,0 +1,60 @@
+#pragma once
+// Blocked LU decomposition of a dense matrix (SPLASH [20]) — the paper's
+// third application. The matrix is divided into B x B blocks distributed
+// block-cyclically over a 2D processor grid. Every step k has three
+// sub-steps: (1) the owner factors the pivot block (k,k); (2) processors
+// with blocks in row/column k obtain the pivot block and do triangular
+// solves; (3) all interior blocks (i,j), i,j > k are updated with
+// A[i][j] -= A[i][k] * A[k][j], fetching the needed row/column blocks first.
+//
+// sc-lu uses one-way bulk stores to push the pivot block and split-phase
+// bulk gets to prefetch all blocks before sub-step 3; cc-lu replaces both
+// with RMIs (Section 5). Default input: 512x512 doubles, 16x16 blocks,
+// 4 processors.
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/results.hpp"
+#include "ccxx/runtime.hpp"
+#include "splitc/world.hpp"
+
+namespace tham::apps::lu {
+
+struct Config {
+  int procs = 4;      ///< must be a perfect square (2D grid)
+  int n = 512;        ///< matrix dimension
+  int block = 16;     ///< block dimension
+  std::uint64_t seed = 777;
+};
+
+/// Block-cyclic layout over a sqrt(P) x sqrt(P) grid.
+struct Layout {
+  int nb = 0;    ///< blocks per dimension
+  int pr = 0;    ///< processor grid rows (= cols)
+  int owner(int bi, int bj) const { return (bi % pr) * pr + (bj % pr); }
+};
+
+/// The distributed matrix: blocks[bi][bj] is a block-major row-major
+/// B*B array, conceptually resident on its owner.
+struct Matrix {
+  Config cfg;
+  Layout layout;
+  std::vector<std::vector<std::vector<double>>> blocks;
+};
+
+Matrix build_matrix(const Config& cfg);
+
+/// Serial reference: the same blocked algorithm in one address space.
+/// Returns the checksum (sum of all elements of the factored matrix).
+double run_serial(const Config& cfg);
+
+RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
+                     const Config& cfg);
+RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg);
+
+RunResult run_splitc(const Config& cfg,
+                     const CostModel& cm = sp2_cost_model());
+RunResult run_ccxx(const Config& cfg, const CostModel& cm = sp2_cost_model());
+
+}  // namespace tham::apps::lu

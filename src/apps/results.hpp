@@ -1,0 +1,44 @@
+#pragma once
+// Common result record for application runs: elapsed virtual time and the
+// machine-wide component breakdown (averaged over nodes), which the Figure 5
+// and Figure 6 benches turn into the paper's stacked bars.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/component.hpp"
+#include "sim/engine.hpp"
+
+namespace tham::apps {
+
+struct RunResult {
+  SimTime elapsed = 0;                ///< wall virtual time of the run
+  sim::Breakdown breakdown;           ///< summed over nodes
+  std::uint64_t messages = 0;         ///< total network messages
+  std::uint64_t thread_creates = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t sync_ops = 0;
+  double checksum = 0;                ///< application-defined validation value
+
+  /// Per-node average of a component's time, in seconds.
+  double comp_sec(sim::Component c, int nodes) const {
+    return to_sec(breakdown[c]) / nodes;
+  }
+};
+
+/// Collects machine-wide accounting after engine.run().
+inline RunResult collect(sim::Engine& e) {
+  RunResult r;
+  r.elapsed = e.vtime();
+  for (NodeId i = 0; i < e.size(); ++i) {
+    const sim::Node& n = e.node(i);
+    r.breakdown += n.breakdown();
+    r.messages += n.counters().msgs_sent;
+    r.thread_creates += n.counters().thread_creates;
+    r.context_switches += n.counters().context_switches;
+    r.sync_ops += n.counters().sync_ops;
+  }
+  return r;
+}
+
+}  // namespace tham::apps

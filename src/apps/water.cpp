@@ -1,0 +1,442 @@
+#include "apps/water.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace tham::apps::water {
+
+using am::Word;
+
+namespace {
+
+// Simulated CPU cost of the kernels (P2SC-era flops).
+constexpr int kFlopsPerPair = 60;      ///< one O-O Lennard-Jones evaluation
+constexpr int kFlopsPerMolStep = 40;   ///< predictor/corrector per molecule
+constexpr int kFlopsIntra = 50;        ///< intra-molecular terms per molecule
+
+constexpr double kEps = 0.25;     ///< LJ well depth
+constexpr double kSpring = 8.0;   ///< intra H-O spring constant
+constexpr double kRest = 0.9572;  ///< H-O rest length
+
+double bits_to_double(Word w) {
+  double d;
+  std::memcpy(&d, &w, sizeof(d));
+  return d;
+}
+
+Word double_to_bits(double d) {
+  Word w;
+  std::memcpy(&w, &d, sizeof(w));
+  return w;
+}
+
+/// LJ force of j on i given the separation vector; also accumulates the
+/// pair potential. Pure function shared by every version and the serial
+/// reference so results agree.
+void lj_pair(const double* pi, const double* pj, double f[3], double* pot) {
+  double r[3] = {pi[0] - pj[0], pi[1] - pj[1], pi[2] - pj[2]};
+  double r2 = r[0] * r[0] + r[1] * r[1] + r[2] * r[2];
+  double inv2 = 1.0 / r2;
+  double inv6 = inv2 * inv2 * inv2;
+  double mag = 24.0 * kEps * (2.0 * inv6 * inv6 - inv6) * inv2;
+  for (int c = 0; c < 3; ++c) f[c] = mag * r[c];
+  *pot += 4.0 * kEps * (inv6 * inv6 - inv6);
+}
+
+/// Does molecule pair (i, i+dj mod N) belong to the half-shell?
+bool in_half_shell(int i, int dj, int n) {
+  if (dj == n / 2 && n % 2 == 0) return i < n / 2;
+  return true;
+}
+
+double intra_energy(const ProcState& ps, int l) {
+  double e = 0;
+  for (int h = 0; h < 2; ++h) {
+    const double* d = &ps.hdisp[static_cast<std::size_t>(6 * l + 3 * h)];
+    double len = std::sqrt(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
+    e += kSpring * (len - kRest) * (len - kRest);
+  }
+  return e;
+}
+
+}  // namespace
+
+System build_system(const Config& cfg) {
+  THAM_CHECK(cfg.molecules % cfg.procs == 0);
+  THAM_CHECK(cfg.molecules % 2 == 0);
+  System sys;
+  sys.cfg = cfg;
+  sys.per_proc = cfg.molecules / cfg.procs;
+  sys.proc.resize(static_cast<std::size_t>(cfg.procs));
+  Rng rng(cfg.seed);
+  int side = 1;
+  while (side * side * side < cfg.molecules) ++side;
+  const double spacing = 3.1;
+  for (int m = 0; m < cfg.molecules; ++m) {
+    auto& ps = sys.proc[static_cast<std::size_t>(sys.owner(m))];
+    if (ps.pos.empty()) {
+      auto n = static_cast<std::size_t>(sys.per_proc);
+      ps.pos.assign(3 * n, 0.0);
+      ps.vel.assign(3 * n, 0.0);
+      ps.frc.assign(3 * n, 0.0);
+      ps.hdisp.assign(6 * n, 0.0);
+    }
+    int l = sys.local(m);
+    int x = m % side, y = (m / side) % side, z = m / (side * side);
+    ps.pos[static_cast<std::size_t>(3 * l + 0)] =
+        x * spacing + rng.next_double(-0.1, 0.1);
+    ps.pos[static_cast<std::size_t>(3 * l + 1)] =
+        y * spacing + rng.next_double(-0.1, 0.1);
+    ps.pos[static_cast<std::size_t>(3 * l + 2)] =
+        z * spacing + rng.next_double(-0.1, 0.1);
+    for (int h = 0; h < 6; ++h) {
+      ps.hdisp[static_cast<std::size_t>(6 * l + h)] =
+          (h % 3 == 0 ? kRest : 0.2) + rng.next_double(-0.02, 0.02);
+    }
+  }
+  return sys;
+}
+
+double run_serial(const Config& cfg) {
+  System sys = build_system(cfg);
+  int n = cfg.molecules;
+  double pot = 0;
+  for (int step = 0; step < cfg.steps; ++step) {
+    for (auto& ps : sys.proc) std::fill(ps.frc.begin(), ps.frc.end(), 0.0);
+    pot = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int dj = 1; dj <= n / 2; ++dj) {
+        if (!in_half_shell(i, dj, n)) continue;
+        int j = (i + dj) % n;
+        auto& pi = sys.proc[static_cast<std::size_t>(sys.owner(i))];
+        auto& pj = sys.proc[static_cast<std::size_t>(sys.owner(j))];
+        double f[3];
+        lj_pair(&pi.pos[static_cast<std::size_t>(3 * sys.local(i))],
+                &pj.pos[static_cast<std::size_t>(3 * sys.local(j))], f, &pot);
+        for (int c = 0; c < 3; ++c) {
+          pi.frc[static_cast<std::size_t>(3 * sys.local(i) + c)] += f[c];
+          pj.frc[static_cast<std::size_t>(3 * sys.local(j) + c)] -= f[c];
+        }
+      }
+    }
+    for (int m = 0; m < n; ++m) {
+      auto& ps = sys.proc[static_cast<std::size_t>(sys.owner(m))];
+      int l = sys.local(m);
+      for (int c = 0; c < 3; ++c) {
+        auto k = static_cast<std::size_t>(3 * l + c);
+        ps.vel[k] += ps.frc[k] * cfg.dt;
+        ps.pos[k] += ps.vel[k] * cfg.dt;
+      }
+    }
+  }
+  double kin = 0, intra = 0;
+  for (int m = 0; m < n; ++m) {
+    auto& ps = sys.proc[static_cast<std::size_t>(sys.owner(m))];
+    int l = sys.local(m);
+    for (int c = 0; c < 3; ++c) {
+      double v = ps.vel[static_cast<std::size_t>(3 * l + c)];
+      kin += 0.5 * v * v;
+    }
+    intra += intra_energy(ps, l);
+  }
+  return pot + kin + intra;
+}
+
+// ---------------------------------------------------------------------------
+// Split-C version
+// ---------------------------------------------------------------------------
+
+RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
+                     const Config& cfg, Version version) {
+  System sys = build_system(cfg);
+  splitc::World world(engine, net, am);
+  int n = cfg.molecules;
+  double checksum = 0;
+
+  // Atomic remote force update: a0 = local molecule index at the owner,
+  // a1..a3 = force components (subtracted, i.e. reaction on j).
+  int fn_add = world.register_atomic(
+      [&sys](sim::Node& self, Word a0, Word a1, Word a2, Word a3) -> Word {
+        auto& ps = sys.proc[static_cast<std::size_t>(self.id())];
+        auto l = static_cast<std::size_t>(a0);
+        ps.frc[3 * l + 0] -= bits_to_double(a1);
+        ps.frc[3 * l + 1] -= bits_to_double(a2);
+        ps.frc[3 * l + 2] -= bits_to_double(a3);
+        return 0;
+      });
+
+  world.run([&] {
+    sim::Node& node = sim::this_node();
+    NodeId me = splitc::MYPROC();
+    auto& mine = sys.proc[static_cast<std::size_t>(me)];
+    SimTime pair_cost = kFlopsPerPair * engine.cost().flop;
+    SimTime mol_cost = kFlopsPerMolStep * engine.cost().flop;
+    SimTime intra_cost = kFlopsIntra * engine.cost().flop;
+    int lo = me * sys.per_proc, hi = lo + sys.per_proc;
+
+    // Prefetch cache: positions of every processor, refreshed per step.
+    std::vector<std::vector<double>> cache(
+        static_cast<std::size_t>(cfg.procs));
+
+    double pot = 0;
+    for (int step = 0; step < cfg.steps; ++step) {
+      std::fill(mine.frc.begin(), mine.frc.end(), 0.0);
+      pot = 0;
+      for (int l = 0; l < sys.per_proc; ++l) node.advance(intra_cost);
+      splitc::barrier();
+
+      if (version == Version::Prefetch) {
+        // Selective prefetching: one bulk get per remote processor.
+        for (int q = 0; q < cfg.procs; ++q) {
+          if (q == me) continue;
+          auto uq = static_cast<std::size_t>(q);
+          cache[uq].resize(sys.proc[uq].pos.size());
+          splitc::bulk_get(cache[uq].data(),
+                           splitc::global_ptr<double>(
+                               q, sys.proc[uq].pos.data()),
+                           cache[uq].size() * sizeof(double));
+        }
+        splitc::sync();
+      }
+
+      for (int i = lo; i < hi; ++i) {
+        int li = sys.local(i);
+        for (int dj = 1; dj <= n / 2; ++dj) {
+          if (!in_half_shell(i, dj, n)) continue;
+          int j = (i + dj) % n;
+          int qj = sys.owner(j);
+          int lj = sys.local(j);
+          double pj[3];
+          if (qj == me) {
+            for (int c = 0; c < 3; ++c) {
+              pj[c] = mine.pos[static_cast<std::size_t>(3 * lj + c)];
+            }
+          } else if (version == Version::Prefetch) {
+            for (int c = 0; c < 3; ++c) {
+              pj[c] = cache[static_cast<std::size_t>(qj)]
+                           [static_cast<std::size_t>(3 * lj + c)];
+            }
+          } else {
+            // Atomic reads: three split-phase gets, completed at sync().
+            auto* base = sys.proc[static_cast<std::size_t>(qj)].pos.data();
+            for (int c = 0; c < 3; ++c) {
+              splitc::get(&pj[c],
+                          splitc::global_ptr<double>(qj, base + 3 * lj + c));
+            }
+            splitc::sync();
+          }
+          double f[3];
+          lj_pair(&mine.pos[static_cast<std::size_t>(3 * li)], pj, f, &pot);
+          node.advance(pair_cost);
+          for (int c = 0; c < 3; ++c) {
+            mine.frc[static_cast<std::size_t>(3 * li + c)] += f[c];
+          }
+          if (qj == me) {
+            auto& pq = sys.proc[static_cast<std::size_t>(qj)];
+            for (int c = 0; c < 3; ++c) {
+              pq.frc[static_cast<std::size_t>(3 * lj + c)] -= f[c];
+            }
+          } else {
+            // Atomic write of the reaction force.
+            world.atomic(fn_add, qj, static_cast<Word>(lj),
+                         double_to_bits(f[0]), double_to_bits(f[1]),
+                         double_to_bits(f[2]));
+          }
+        }
+      }
+      splitc::barrier();
+
+      for (int l = 0; l < sys.per_proc; ++l) {
+        node.advance(mol_cost);
+        for (int c = 0; c < 3; ++c) {
+          auto k = static_cast<std::size_t>(3 * l + c);
+          mine.vel[k] += mine.frc[k] * cfg.dt;
+          mine.pos[k] += mine.vel[k] * cfg.dt;
+        }
+      }
+      splitc::barrier();
+    }
+
+    double kin = 0, intra = 0;
+    for (int l = 0; l < sys.per_proc; ++l) {
+      for (int c = 0; c < 3; ++c) {
+        double v = mine.vel[static_cast<std::size_t>(3 * l + c)];
+        kin += 0.5 * v * v;
+      }
+      intra += intra_energy(mine, l);
+    }
+    checksum = world.all_reduce_sum(pot + kin + intra);
+  });
+
+  RunResult r = collect(engine);
+  r.checksum = checksum;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// CC++ version
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The per-node processor object of the CC++ port: receives atomic force
+/// updates and serves bundled position fetches.
+struct WaterProc {
+  System* sys = nullptr;
+  NodeId me = kInvalidNode;
+
+  long add_force(long l, double fx, double fy, double fz) {
+    auto& ps = sys->proc[static_cast<std::size_t>(me)];
+    auto k = static_cast<std::size_t>(3 * l);
+    ps.frc[k + 0] -= fx;
+    ps.frc[k + 1] -= fy;
+    ps.frc[k + 2] -= fz;
+    return 0;
+  }
+
+  std::vector<double> get_positions() {
+    return sys->proc[static_cast<std::size_t>(me)].pos;
+  }
+};
+
+}  // namespace
+
+RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version) {
+  sim::Engine& engine = rt.engine();
+  System sys = build_system(cfg);
+  int n = cfg.molecules;
+
+  auto add_force = rt.def_method("WaterProc::add_force", &WaterProc::add_force,
+                                 ccxx::RmiMode::Atomic);
+  auto get_positions = rt.def_method("WaterProc::get_positions",
+                                     &WaterProc::get_positions,
+                                     ccxx::RmiMode::Threaded);
+  std::vector<ccxx::gptr<WaterProc>> procs;
+  for (int p = 0; p < cfg.procs; ++p) {
+    auto gp = rt.place<WaterProc>(p);
+    gp.ptr->sys = &sys;
+    gp.ptr->me = p;
+    procs.push_back(gp);
+  }
+
+  double checksum = 0;
+  rt.run_spmd([&] {
+    sim::Node& node = sim::this_node();
+    NodeId me = node.id();
+    auto& mine = sys.proc[static_cast<std::size_t>(me)];
+    SimTime pair_cost = kFlopsPerPair * engine.cost().flop;
+    SimTime mol_cost = kFlopsPerMolStep * engine.cost().flop;
+    SimTime intra_cost = kFlopsIntra * engine.cost().flop;
+    int lo = me * sys.per_proc, hi = lo + sys.per_proc;
+
+    std::vector<std::vector<double>> cache(
+        static_cast<std::size_t>(cfg.procs));
+
+    double pot = 0;
+    for (int step = 0; step < cfg.steps; ++step) {
+      std::fill(mine.frc.begin(), mine.frc.end(), 0.0);
+      pot = 0;
+      for (int l = 0; l < sys.per_proc; ++l) node.advance(intra_cost);
+      rt.barrier();
+
+      if (version == Version::Prefetch) {
+        // Bundled fetch: one bulk RMI per remote processor.
+        for (int q = 0; q < cfg.procs; ++q) {
+          if (q == me) continue;
+          auto uq = static_cast<std::size_t>(q);
+          cache[uq] = rt.rmi(procs[uq], get_positions);
+        }
+      }
+
+      for (int i = lo; i < hi; ++i) {
+        int li = sys.local(i);
+        for (int dj = 1; dj <= n / 2; ++dj) {
+          if (!in_half_shell(i, dj, n)) continue;
+          int j = (i + dj) % n;
+          int qj = sys.owner(j);
+          int lj = sys.local(j);
+          double pj[3];
+          if (qj == me) {
+            // CC++ reaches even local molecules through global pointers.
+            for (int c = 0; c < 3; ++c) {
+              ccxx::gvar<double> gv{
+                  me, &mine.pos[static_cast<std::size_t>(3 * lj + c)]};
+              pj[c] = rt.read(gv);
+            }
+          } else if (version == Version::Prefetch) {
+            for (int c = 0; c < 3; ++c) {
+              pj[c] = cache[static_cast<std::size_t>(qj)]
+                           [static_cast<std::size_t>(3 * lj + c)];
+            }
+          } else {
+            // Atomic reads through global pointers (sequential RMIs).
+            auto* base = sys.proc[static_cast<std::size_t>(qj)].pos.data();
+            for (int c = 0; c < 3; ++c) {
+              ccxx::gvar<double> gv{qj, base + 3 * lj + c};
+              pj[c] = rt.read(gv);
+            }
+          }
+          double f[3];
+          lj_pair(&mine.pos[static_cast<std::size_t>(3 * li)], pj, f, &pot);
+          node.advance(pair_cost);
+          for (int c = 0; c < 3; ++c) {
+            mine.frc[static_cast<std::size_t>(3 * li + c)] += f[c];
+          }
+          if (qj == me) {
+            auto& pq = sys.proc[static_cast<std::size_t>(qj)];
+            for (int c = 0; c < 3; ++c) {
+              pq.frc[static_cast<std::size_t>(3 * lj + c)] -= f[c];
+            }
+          } else {
+            rt.rmi(procs[static_cast<std::size_t>(qj)], add_force,
+                   static_cast<long>(lj), f[0], f[1], f[2]);
+          }
+        }
+      }
+      rt.barrier();
+
+      for (int l = 0; l < sys.per_proc; ++l) {
+        node.advance(mol_cost);
+        for (int c = 0; c < 3; ++c) {
+          auto k = static_cast<std::size_t>(3 * l + c);
+          mine.vel[k] += mine.frc[k] * cfg.dt;
+          mine.pos[k] += mine.vel[k] * cfg.dt;
+        }
+      }
+      rt.barrier();
+    }
+
+    double kin = 0, intra = 0;
+    for (int l = 0; l < sys.per_proc; ++l) {
+      for (int c = 0; c < 3; ++c) {
+        double v = mine.vel[static_cast<std::size_t>(3 * l + c)];
+        kin += 0.5 * v * v;
+      }
+      intra += intra_energy(mine, l);
+    }
+    checksum = rt.all_reduce_sum(pot + kin + intra);
+  });
+
+  RunResult r = collect(engine);
+  r.checksum = checksum;
+  return r;
+}
+
+RunResult run_splitc(const Config& cfg, Version v, const CostModel& cm) {
+  sim::Engine engine(cfg.procs, cm);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  return run_splitc(engine, net, am, cfg, v);
+}
+
+RunResult run_ccxx(const Config& cfg, Version v, const CostModel& cm) {
+  sim::Engine engine(cfg.procs, cm);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  ccxx::Runtime rt(engine, net, am);
+  return run_ccxx(rt, cfg, v);
+}
+
+}  // namespace tham::apps::water

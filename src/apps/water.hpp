@@ -1,0 +1,74 @@
+#pragma once
+// Water: N-body molecular dynamics from the SPLASH suite [20] — the paper's
+// second application. A system of water molecules in a cubical box; each
+// step computes intra-molecular forces locally and inter-molecular (O-O)
+// forces over the half-shell of molecule pairs, which requires reads of
+// remote molecule positions and atomic updates of remote forces.
+//
+// Two versions per language, as in the paper:
+//   atomic   — per interacting pair, the O position of the remote molecule
+//              is read with small (atomic) messages and the remote force is
+//              updated with an atomic RPC;
+//   prefetch — selective prefetching: each processor bundles and fetches
+//              the positions it needs from each other processor before the
+//              local compute phase; force updates stay atomic.
+//
+// Default inputs: 64 and 512 molecules over 4 processors (Section 5).
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/results.hpp"
+#include "ccxx/runtime.hpp"
+#include "splitc/world.hpp"
+
+namespace tham::apps::water {
+
+struct Config {
+  int procs = 4;
+  int molecules = 64;
+  int steps = 2;
+  double dt = 1e-3;
+  std::uint64_t seed = 4242;
+};
+
+enum class Version { Atomic, Prefetch };
+
+inline const char* version_name(Version v) {
+  return v == Version::Atomic ? "water-atomic" : "water-prefetch";
+}
+
+/// Per-processor molecule state (structure-of-arrays; O atom only carries
+/// the inter-molecular interaction, the two H atoms are intra-molecular).
+struct ProcState {
+  std::vector<double> pos;  ///< 3 per molecule (O position)
+  std::vector<double> vel;  ///< 3 per molecule
+  std::vector<double> frc;  ///< 3 per molecule
+  std::vector<double> hdisp;  ///< 6 per molecule: H1/H2 displacements
+};
+
+struct System {
+  Config cfg;
+  int per_proc = 0;
+  std::vector<ProcState> proc;
+
+  int owner(int m) const { return m / per_proc; }
+  int local(int m) const { return m % per_proc; }
+};
+
+/// Deterministic initial state (lattice positions + seeded jitter).
+System build_system(const Config& cfg);
+
+/// Serial reference; returns the final total energy (checksum).
+double run_serial(const Config& cfg);
+
+RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
+                     const Config& cfg, Version version);
+RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version);
+
+RunResult run_splitc(const Config& cfg, Version v,
+                     const CostModel& cm = sp2_cost_model());
+RunResult run_ccxx(const Config& cfg, Version v,
+                   const CostModel& cm = sp2_cost_model());
+
+}  // namespace tham::apps::water

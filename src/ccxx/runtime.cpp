@@ -1,0 +1,682 @@
+#include "ccxx/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace tham::ccxx {
+
+using am::to_ptr;
+using am::to_word;
+using am::Word;
+using sim::Component;
+using sim::ComponentScope;
+
+Runtime* Runtime::current_ = nullptr;
+
+namespace {
+constexpr std::size_t kStagingBytes = 1 << 20;
+constexpr Word kErrBit = Word{1} << 63;  ///< reply length word: error flag
+
+RmiMode mode_of(Word flags) { return static_cast<RmiMode>(flags & 0xf); }
+
+/// Fires a completion record: spin flag for Simple mode, condvar otherwise.
+void fire(Runtime::Completion* comp) {
+  if (comp == nullptr) return;
+  if (comp->mode == RmiMode::Simple) {
+    comp->done = true;
+    return;
+  }
+  comp->mu.lock();
+  comp->done = true;
+  comp->cv.signal();
+  comp->mu.unlock();
+}
+}  // namespace
+
+Runtime& Runtime::current() {
+  THAM_CHECK_MSG(current_ != nullptr, "no CC++ runtime is active");
+  return *current_;
+}
+
+Runtime::~Runtime() {
+  for (auto& o : owned_) o.deleter(o.p);
+  current_ = nullptr;
+}
+
+Runtime::Runtime(sim::Engine& engine, net::Network& net, am::AmLayer& am)
+    : engine_(engine), net_(net), am_(am),
+      stats_(static_cast<std::size_t>(engine.size())) {
+  THAM_CHECK_MSG(current_ == nullptr, "only one CC++ runtime at a time");
+  current_ = this;
+  state_.reserve(static_cast<std::size_t>(engine.size()));
+  for (int i = 0; i < engine.size(); ++i) {
+    auto st = std::make_unique<NodeState>();
+    st->staging.resize(kStagingBytes);
+    st->reply_staging.resize(kStagingBytes);
+    state_.push_back(std::move(st));
+  }
+
+  // ---- RMI completion (replies) -------------------------------------------
+  // Short reply: result inline in the words. w0 = completion, w1 = length,
+  // w2..w5 = up to 32 result bytes.
+  h_done_short_ = am_.register_short(
+      "cc.done_short", [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(cost().cc_reply_handling);
+        auto* comp = to_ptr<Completion>(w[0]);
+        auto len = static_cast<std::size_t>(w[1] & ~kErrBit);
+        comp->is_error = (w[1] & kErrBit) != 0;
+        comp->result.resize(len);
+        if (len > 0) std::memcpy(comp->result.data(), &w[2], len);
+        fire(comp);
+      });
+  // Bulk reply: payload landed in this node's reply staging area; copy it
+  // into the completion's buffer. This is the "extra copy" of bulk reads
+  // the paper measures (static buffer -> receive buffer -> object).
+  h_done_bulk_ = am_.register_bulk(
+      "cc.done_bulk", [this](sim::Node& self, am::Token, void* addr,
+                             std::size_t len, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(cost().cc_reply_handling +
+                     static_cast<SimTime>(len) * cost().memcpy_per_byte);
+        auto* comp = to_ptr<Completion>(w[0]);
+        comp->is_error = (w[1] & kErrBit) != 0;
+        comp->result.resize(len);
+        if (len > 0) std::memcpy(comp->result.data(), addr, len);
+        fire(comp);
+      });
+
+  // ---- Warm invocations -----------------------------------------------------
+  // Zero-argument warm call: a single short request.
+  // w0 = receiver-local stub index, w1 = object, w2 = completion, w3 = flags.
+  h_invoke_short_ = am_.register_short(
+      "cc.invoke_short",
+      [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        auto& st = self_state(self);
+        auto local = static_cast<std::uint32_t>(w[0]);
+        dispatch(self, st.canon_of_local.at(local), to_ptr<void>(w[1]),
+                 nullptr, 0, w[3], w[2], tok.reply_to, /*own_args=*/false);
+      });
+  // Warm call with arguments: bulk transfer straight into the method's
+  // persistent R-buffer. Same words as above.
+  h_invoke_bulk_ = am_.register_bulk(
+      "cc.invoke_bulk", [this](sim::Node& self, am::Token tok, void* addr,
+                               std::size_t len, const am::Words& w) {
+        auto& st = self_state(self);
+        auto local = static_cast<std::uint32_t>(w[0]);
+        dispatch(self, st.canon_of_local.at(local), to_ptr<void>(w[1]),
+                 static_cast<const std::byte*>(addr), len, w[3], w[2],
+                 tok.reply_to, /*own_args=*/false);
+      });
+
+  // ---- Cold / staged invocations ---------------------------------------------
+  // Payload lands in the per-node static staging area. Two variants, chosen
+  // by kFlagCold: cold carries [name][args] and triggers a stub-cache
+  // update; staged-oneshot carries args only, stub index in w0.
+  h_invoke_cold_ = am_.register_bulk(
+      "cc.invoke_staged",
+      [this](sim::Node& self, am::Token tok, void* addr, std::size_t len,
+             const am::Words& w) {
+        auto& st = self_state(self);
+        ComponentScope scope(self, Component::Runtime);
+        const auto* bytes = static_cast<const std::byte*>(addr);
+        Word flags = w[3];
+        std::uint32_t canon = 0;
+        std::size_t args_off = 0;
+        if (flags & kFlagCold) {
+          // Resolve the shipped method name against this node's image.
+          Deserializer d(bytes, len);
+          std::string name;
+          cc_unmarshal(d, name);
+          args_off = len - d.remaining();
+          self.advance(cost().cc_stub_install);
+          auto it = st.local_by_hash.find(fnv1a(name));
+          THAM_REQUIRE(it != st.local_by_hash.end(),
+                       "RMI to unknown method: " + name);
+          canon = st.canon_of_local.at(it->second);
+        } else {
+          canon = st.canon_of_local.at(static_cast<std::uint32_t>(w[0]));
+        }
+        const MethodRec& rec = methods_.at(canon);
+        const std::byte* args = bytes + args_off;
+        std::size_t args_len = len - args_off;
+
+        bool send_update = (flags & kFlagCold) && !(flags & kFlagOneshot);
+        // The caller can only manage a persistent R-buffer when it waits
+        // for the reply; fire-and-forget cold calls use a one-shot buffer.
+        bool bind_rbuf = send_update && cost().cc_persistent_buffers &&
+                         !(flags & kFlagNoReply);
+        Word rb = 0, cap = 0;
+        if (bind_rbuf) {
+          // Allocate a persistent R-buffer for (caller, method) and copy
+          // the arguments out of the staging area into it (the charged
+          // cold-call copy, Section 4 "Persistent Buffers").
+          std::uint64_t key =
+              hash_mix(static_cast<std::uint64_t>(tok.reply_to), rec.hash);
+          auto& buf = st.rbufs[key];
+          std::size_t want = std::max<std::size_t>(args_len, 64);
+          if (!buf) buf = std::make_unique<std::vector<std::byte>>(want);
+          if (buf->size() < want) buf->resize(want);
+          self.advance(cost().cc_buffer_alloc +
+                       static_cast<SimTime>(args_len) * cost().memcpy_per_byte);
+          if (args_len > 0) std::memcpy(buf->data(), args, args_len);
+          rb = to_word(buf->data());
+          cap = buf->size();
+          // Dispatch BEFORE the update reply: sending polls, which can
+          // deliver (and dispatch) later messages — replying first would
+          // invert execution order.
+          dispatch(self, canon, to_ptr<void>(w[1]), buf->data(), args_len,
+                   flags, w[2], tok.reply_to, /*own_args=*/false);
+        } else {
+          // One-shot dynamic buffer: the paper's non-persistent path.
+          self.advance(cost().cc_buffer_alloc +
+                       static_cast<SimTime>(args_len) * cost().memcpy_per_byte);
+          dispatch(self, canon, to_ptr<void>(w[1]), args, args_len, flags,
+                   w[2], tok.reply_to, /*own_args=*/true);
+        }
+        if (send_update) {
+          am_.reply(tok, h_update_, rec.hash, 0, rb, cap,
+                    static_cast<Word>(st.local_of_canon.at(canon)));
+        }
+      });
+
+  // Stub-cache update at the original caller.
+  // w0 = method hash, w2 = rbuf, w3 = cap, w4 = receiver-local stub index.
+  h_update_ = am_.register_short(
+      "cc.update", [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(cost().cc_stub_install);
+        auto& st = self_state(self);
+        st.cache_mu.lock();
+        CacheEntry& e = st.cache[hash_mix(
+            static_cast<std::uint64_t>(tok.reply_to), w[0])];
+        e.valid = true;
+        e.remote_stub = static_cast<std::uint32_t>(w[4]);
+        e.rbuf = to_ptr<std::byte>(w[2]);
+        e.rbuf_cap = static_cast<std::size_t>(w[3]);
+        st.cache_mu.unlock();
+      });
+
+  // ---- Global-pointer data access -------------------------------------------
+  // w0 = addr, w1 = nbytes, w2 = completion. Optimized to small
+  // request/reply AMs, but still serviced by a fresh thread (general CC++
+  // semantics: the access may contend with local computation).
+  h_gp_read_ = am_.register_short(
+      "cc.gp_read", [this](sim::Node&, am::Token tok, const am::Words& w) {
+        NodeId caller = tok.reply_to;
+        Word addr = w[0], nbytes = w[1], comp = w[2];
+        threads::Thread t = threads::spawn(
+            [this, addr, nbytes, comp, caller] {
+              sim::Node& n = sim::this_node();
+              ComponentScope scope(n, Component::Runtime);
+              n.advance(cost().cc_dispatch + cost().mem_word_touch);
+              Word v = 0;
+              std::memcpy(&v, to_ptr<const void>(addr),
+                          static_cast<std::size_t>(nbytes));
+              am_.request(caller, h_done_short_, comp, nbytes, v);
+            },
+            "gp_read");
+        threads::detach(t);
+      });
+  // w0 = addr, w1 = nbytes, w2 = value, w3 = completion.
+  h_gp_write_ = am_.register_short(
+      "cc.gp_write",
+      [this](sim::Node&, am::Token tok, const am::Words& w) {
+        NodeId caller = tok.reply_to;
+        Word addr = w[0], nbytes = w[1], value = w[2], comp = w[3];
+        threads::Thread t = threads::spawn(
+            [this, addr, nbytes, value, comp, caller] {
+              sim::Node& n = sim::this_node();
+              ComponentScope scope(n, Component::Runtime);
+              n.advance(cost().cc_dispatch + cost().mem_word_touch);
+              Word v = value;
+              std::memcpy(to_ptr<void>(addr), &v,
+                          static_cast<std::size_t>(nbytes));
+              am_.request(caller, h_done_short_, comp, 0);
+            },
+            "gp_write");
+        threads::detach(t);
+      });
+
+  // ---- Barrier & reduction (RMI-style collectives for the app ports) -----
+  h_bar_release_ = am_.register_short(
+      "cc.bar_release",
+      [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(cost().cc_reply_handling);
+        auto& st = self_state(self);
+        st.gate_mu.lock();
+        st.bar_epoch_seen = w[0];
+        st.gate_cv.broadcast();
+        st.gate_mu.unlock();
+      });
+  h_bar_arrive_ = am_.register_short(
+      "cc.bar_arrive", [this](sim::Node& self, am::Token, const am::Words&) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(cost().cc_dispatch);
+        coord_barrier_arrive(self);
+      });
+  h_red_release_ = am_.register_short(
+      "cc.red_release",
+      [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(cost().cc_reply_handling);
+        auto& st = self_state(self);
+        double v;
+        Word bits = w[1];
+        std::memcpy(&v, &bits, sizeof(v));
+        st.gate_mu.lock();
+        st.red_value = v;
+        st.red_epoch_seen = w[0];
+        st.gate_cv.broadcast();
+        st.gate_mu.unlock();
+      });
+  h_red_arrive_ = am_.register_short(
+      "cc.red_arrive", [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(cost().cc_dispatch);
+        double v;
+        Word bits = w[0];
+        std::memcpy(&v, &bits, sizeof(v));
+        coord_reduce_arrive(self, v);
+      });
+}
+
+std::uint32_t Runtime::add_method(std::string name, RmiMode mode,
+                                  std::uint32_t nargs, Stub stub) {
+  THAM_CHECK_MSG(!images_built_, "def_method after the program started");
+  MethodRec rec;
+  rec.name = std::move(name);
+  rec.hash = fnv1a(rec.name);
+  rec.mode = mode;
+  rec.nargs = nargs;
+  rec.stub = std::move(stub);
+  for (const auto& m : methods_) {
+    THAM_CHECK_MSG(m.hash != rec.hash, "duplicate method name");
+  }
+  methods_.push_back(std::move(rec));
+  return static_cast<std::uint32_t>(methods_.size() - 1);
+}
+
+void Runtime::build_images() {
+  if (images_built_) return;
+  images_built_ = true;
+  // Each node is a separately compiled program image: the stub for a given
+  // method sits at a *different* local index on every node, so stub indices
+  // genuinely require resolution (Section 3, "Method Name Resolution").
+  auto n_methods = static_cast<std::uint32_t>(methods_.size());
+  for (int node = 0; node < engine_.size(); ++node) {
+    auto& st = *state_[static_cast<std::size_t>(node)];
+    std::vector<std::uint32_t> perm(n_methods);
+    std::iota(perm.begin(), perm.end(), 0u);
+    Rng rng(0x9d2c5680u + static_cast<std::uint64_t>(node) * 2654435761u);
+    for (std::uint32_t i = n_methods; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.next_below(i)]);
+    }
+    st.local_of_canon.assign(n_methods, 0);
+    st.canon_of_local.assign(n_methods, 0);
+    for (std::uint32_t local = 0; local < n_methods; ++local) {
+      std::uint32_t canon = perm[local];
+      st.canon_of_local[local] = canon;
+      st.local_of_canon[canon] = local;
+      st.local_by_hash[methods_[canon].hash] = local;
+    }
+  }
+}
+
+void Runtime::start_pollers() {
+  for (int i = 0; i < engine_.size(); ++i) {
+    engine_.node(i).spawn(
+        [this] {
+          sim::Node& n = sim::this_node();
+          ComponentScope scope(n, Component::Net);
+          while (!n.shutting_down()) {
+            if (!n.wait_for_inbox(/*poll_only=*/true)) break;
+            am_.poll();
+          }
+        },
+        "cc-polling-thread", /*daemon=*/true);
+  }
+}
+
+void Runtime::run_spmd(std::function<void()> program) {
+  build_images();
+  start_pollers();
+  for (int i = 0; i < engine_.size(); ++i) {
+    engine_.node(i).spawn(program, "cc-main");
+  }
+  engine_.run();
+}
+
+void Runtime::run_main(std::function<void()> program) {
+  build_images();
+  start_pollers();
+  engine_.node(0).spawn(std::move(program), "cc-main");
+  engine_.run();
+}
+
+Serializer& Runtime::acquire_sbuf(sim::Node& n, NodeId dst,
+                                  std::uint32_t method) {
+  auto& st = self_state(n);
+  if (!cost().cc_persistent_buffers) {
+    // Dynamic allocation per call.
+    n.advance(cost().cc_buffer_alloc);
+    st.scratch_sbuf.clear();
+    return st.scratch_sbuf;
+  }
+  std::uint64_t key =
+      hash_mix(static_cast<std::uint64_t>(dst), methods_.at(method).hash);
+  auto& sb = st.sbufs[key];
+  if (!sb) {
+    n.advance(cost().cc_buffer_alloc);  // first use only
+    sb = std::make_unique<Serializer>();
+  }
+  sb->clear();
+  return *sb;
+}
+
+void Runtime::charge_marshal(sim::Node& n, std::size_t nargs,
+                             std::size_t nbytes) {
+  n.advance(static_cast<SimTime>(nargs) * cost().cc_marshal_fixed +
+            static_cast<SimTime>(nbytes) * cost().memcpy_per_byte);
+}
+
+void Runtime::invoke_remote(sim::Node& n, NodeId dst, std::uint32_t method,
+                            void* obj, Serializer& args, Completion& comp,
+                            bool want_reply) {
+  const MethodRec& rec = methods_.at(method);
+  comp.mode = rec.mode;
+  auto& st = self_state(n);
+  Word flags = static_cast<Word>(rec.mode);
+  if (!want_reply) flags |= kFlagNoReply;
+  Word comp_w = want_reply ? to_word(&comp) : 0;
+
+  CacheEntry* entry = nullptr;
+  if (cost().cc_stub_caching) {
+    st.cache_mu.lock();
+    n.advance(cost().cc_stub_lookup);
+    entry =
+        &st.cache[hash_mix(static_cast<std::uint64_t>(dst), rec.hash)];
+    st.cache_mu.unlock();
+  }
+
+  if (entry != nullptr && entry->valid) {
+    ++self_stats(n).rmi_warm;
+    if (args.size() == 0) {
+      am_.request(dst, h_invoke_short_, entry->remote_stub, to_word(obj),
+                  comp_w, flags);
+      return;
+    }
+    if (want_reply && !entry->in_flight && entry->rbuf != nullptr &&
+        args.size() <= entry->rbuf_cap) {
+      entry->in_flight = true;
+      comp.entry = entry;  // wait_completion releases the R-buffer
+      comp.result.clear();
+      am_.xfer(dst, entry->rbuf, args.data(), args.size(), h_invoke_bulk_,
+               entry->remote_stub, to_word(obj), comp_w, flags);
+      return;
+    }
+    // R-buffer busy, too small, or absent: staged one-shot with a known
+    // stub index (dynamic buffer at the receiver).
+    ++self_stats(n).rmi_oneshot;
+    flags |= kFlagOneshot;
+    auto& remote = *state_[static_cast<std::size_t>(dst)];
+    THAM_CHECK(args.size() <= remote.staging.size());
+    am_.xfer(dst, remote.staging.data(), args.data(), args.size(),
+             h_invoke_cold_, entry->remote_stub, to_word(obj), comp_w, flags);
+    return;
+  }
+
+  // Cold call: ship the full method name ahead of the arguments.
+  ++self_stats(n).rmi_cold;
+  flags |= kFlagCold;
+  if (entry == nullptr) flags |= kFlagOneshot;  // caching disabled
+  Serializer payload;
+  cc_marshal(payload, rec.name);
+  payload.put_bytes(args.data(), args.size());
+  charge_marshal(n, 1, rec.name.size());  // name marshalling
+  auto& remote = *state_[static_cast<std::size_t>(dst)];
+  THAM_CHECK(payload.size() <= remote.staging.size());
+  am_.xfer(dst, remote.staging.data(), payload.data(), payload.size(),
+           h_invoke_cold_, 0, to_word(obj), comp_w, flags);
+}
+
+void Runtime::invoke_remote_noreply(sim::Node& n, NodeId dst,
+                                    std::uint32_t method, void* obj,
+                                    Serializer& args, Completion*) {
+  Completion dummy;  // never waited on
+  invoke_remote(n, dst, method, obj, args, dummy, /*want_reply=*/false);
+}
+
+void Runtime::wait_completion(sim::Node& n, Completion& comp) {
+  if (comp.mode == RmiMode::Simple) {
+    am_.poll_until([&comp] { return comp.done; });
+  } else {
+    comp.mu.lock();
+    while (!comp.done) comp.cv.wait(comp.mu);
+    comp.mu.unlock();
+  }
+  (void)n;
+  // The call is over: release the persistent R-buffer for reuse
+  // (R-buffers are managed by the sender, Section 4).
+  if (comp.entry != nullptr) {
+    comp.entry->in_flight = false;
+    comp.entry = nullptr;
+  }
+}
+
+void Runtime::dispatch(sim::Node& self, std::uint32_t canon, void* obj,
+                       const std::byte* args, std::size_t len, Word flags,
+                       Word completion, NodeId caller, bool own_args) {
+  const MethodRec& rec = methods_.at(canon);
+  RmiMode mode = mode_of(flags);
+  if (mode == RmiMode::Threaded || mode == RmiMode::Atomic) {
+    // General RMI: fork a thread; the method may block (Section 3).
+    std::vector<std::byte> owned;
+    if (own_args && len > 0) owned.assign(args, args + len);
+    const std::byte* p = own_args ? owned.data() : args;
+    threads::Thread t = threads::spawn(
+        [this, &rec, obj, p, len, flags, completion, caller,
+         owned = std::move(owned)] {
+          const std::byte* a = owned.empty() ? p : owned.data();
+          run_method(sim::this_node(), rec, obj, a, len, flags, completion,
+                     caller);
+        },
+        "cc-rmi");
+    threads::detach(t);
+    return;
+  }
+  // Simple / Blocking: run inside the handler (method must not block).
+  run_method(self, rec, obj, args, len, flags, completion, caller);
+}
+
+void Runtime::run_method(sim::Node& self, const MethodRec& m, void* obj,
+                         const std::byte* args, std::size_t len, Word flags,
+                         Word completion, NodeId caller) {
+  ComponentScope scope(self, Component::Runtime);
+  self.advance(cost().cc_dispatch);
+  charge_marshal(self, m.nargs, len);  // unmarshalling
+  Deserializer d(args, len);
+  Serializer out;
+  bool is_error = false;
+  auto run = [&] {
+    try {
+      m.stub(self, obj, d, out);
+    } catch (const std::exception& e) {
+      // Exceptions propagate across the RMI: marshal the message and flag
+      // the reply; the caller rethrows RemoteError.
+      is_error = true;
+      out.clear();
+      cc_marshal(out, std::string(e.what()));
+    }
+  };
+  if (mode_of(flags) == RmiMode::Atomic) {
+    auto& st = self_state(self);
+    st.node_lock.lock();
+    run();
+    st.node_lock.unlock();
+  } else {
+    run();
+  }
+  if (!(flags & kFlagNoReply)) {
+    if (out.size() > 0) charge_marshal(self, 1, out.size());
+    send_reply(self, caller, completion, out, is_error);
+  }
+}
+
+void Runtime::rethrow_if_error(Completion& comp) {
+  if (!comp.is_error) return;
+  Deserializer d(comp.result.data(), comp.result.size());
+  std::string what;
+  cc_unmarshal(d, what);
+  throw RemoteError(what);
+}
+
+void Runtime::send_reply(sim::Node&, NodeId caller, Word completion,
+                         const Serializer& out, bool is_error) {
+  if (completion == 0) return;
+  Word err = is_error ? kErrBit : 0;
+  if (out.size() <= 4 * sizeof(Word)) {
+    Word packed[4] = {0, 0, 0, 0};
+    if (out.size() > 0) std::memcpy(packed, out.data(), out.size());
+    am_.request(caller, h_done_short_, completion, out.size() | err,
+                packed[0], packed[1], packed[2], packed[3]);
+    return;
+  }
+  auto& remote = *state_[static_cast<std::size_t>(caller)];
+  THAM_CHECK(out.size() <= remote.reply_staging.size());
+  am_.xfer(caller, remote.reply_staging.data(), out.data(), out.size(),
+           h_done_bulk_, completion, err);
+}
+
+am::Word Runtime::gp_read_word(NodeId dst, const void* addr,
+                               std::size_t nbytes) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  if (dst == n.id()) {
+    n.advance(cost().cc_local_gp);
+    ++self_stats(n).gp_local;
+    Word v = 0;
+    std::memcpy(&v, addr, nbytes);
+    return v;
+  }
+  ++self_stats(n).gp_remote;
+  n.advance(cost().cc_stub_lookup);
+  Completion comp;
+  comp.mode = RmiMode::Threaded;  // caller blocks; receiver forks
+  am_.request(dst, h_gp_read_, to_word(addr), nbytes, to_word(&comp));
+  wait_completion(n, comp);
+  Word v = 0;
+  std::memcpy(&v, comp.result.data(), std::min(comp.result.size(), nbytes));
+  return v;
+}
+
+void Runtime::gp_write_word(NodeId dst, void* addr, Word value,
+                            std::size_t nbytes) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  if (dst == n.id()) {
+    n.advance(cost().cc_local_gp);
+    ++self_stats(n).gp_local;
+    std::memcpy(addr, &value, nbytes);
+    return;
+  }
+  ++self_stats(n).gp_remote;
+  n.advance(cost().cc_stub_lookup);
+  Completion comp;
+  comp.mode = RmiMode::Threaded;
+  am_.request(dst, h_gp_write_, to_word(addr), nbytes, value, to_word(&comp));
+  wait_completion(n, comp);
+}
+
+void Runtime::par(std::vector<std::function<void()>> blocks) {
+  std::vector<threads::Thread> ts;
+  ts.reserve(blocks.size());
+  for (auto& b : blocks) ts.push_back(threads::spawn(std::move(b), "cc-par"));
+  for (auto& t : ts) threads::join(t);
+}
+
+void Runtime::spawn_thread(std::function<void()> body) {
+  threads::Thread t = threads::spawn(std::move(body), "cc-spawn");
+  threads::detach(t);
+}
+
+void Runtime::coord_barrier_arrive(sim::Node& self) {
+  THAM_CHECK(self.id() == 0);
+  auto& s0 = *state_[0];
+  ++s0.bar_arrivals;
+  if (s0.bar_arrivals < engine_.size()) return;
+  s0.bar_arrivals = 0;
+  ++s0.bar_epoch;
+  // Release everyone (self directly, others by message).
+  s0.gate_mu.lock();
+  s0.bar_epoch_seen = s0.bar_epoch;
+  s0.gate_cv.broadcast();
+  s0.gate_mu.unlock();
+  for (NodeId j = 1; j < engine_.size(); ++j) {
+    am_.request(j, h_bar_release_, s0.bar_epoch);
+  }
+}
+
+void Runtime::coord_reduce_arrive(sim::Node& self, double v) {
+  THAM_CHECK(self.id() == 0);
+  auto& s0 = *state_[0];
+  s0.red_acc += v;
+  ++s0.red_arrivals;
+  if (s0.red_arrivals < engine_.size()) return;
+  s0.red_arrivals = 0;
+  ++s0.red_epoch;
+  double total = s0.red_acc;
+  s0.red_acc = 0;
+  Word bits;
+  std::memcpy(&bits, &total, sizeof(bits));
+  s0.gate_mu.lock();
+  s0.red_value = total;
+  s0.red_epoch_seen = s0.red_epoch;
+  s0.gate_cv.broadcast();
+  s0.gate_mu.unlock();
+  for (NodeId j = 1; j < engine_.size(); ++j) {
+    am_.request(j, h_red_release_, s0.red_epoch, bits);
+  }
+}
+
+void Runtime::barrier() {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  auto& st = self_state(n);
+  std::uint64_t target = ++st.bar_epoch_entered;
+  n.advance(cost().cc_stub_lookup);
+  if (n.id() == 0) {
+    coord_barrier_arrive(n);
+  } else {
+    am_.request(0, h_bar_arrive_);
+  }
+  st.gate_mu.lock();
+  while (st.bar_epoch_seen < target) st.gate_cv.wait(st.gate_mu);
+  st.gate_mu.unlock();
+}
+
+double Runtime::all_reduce_sum(double v) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  auto& st = self_state(n);
+  std::uint64_t target = ++st.red_epoch_entered;
+  n.advance(cost().cc_stub_lookup);
+  if (n.id() == 0) {
+    coord_reduce_arrive(n, v);
+  } else {
+    Word bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    am_.request(0, h_red_arrive_, bits);
+  }
+  st.gate_mu.lock();
+  while (st.red_epoch_seen < target) st.gate_cv.wait(st.gate_mu);
+  double out = st.red_value;
+  st.gate_mu.unlock();
+  return out;
+}
+
+}  // namespace tham::ccxx

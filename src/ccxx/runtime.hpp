@@ -1,0 +1,553 @@
+#pragma once
+// The CC++ runtime ("CC++ over ThAM", Section 4 of the paper): an MPMD
+// runtime layered directly on Active Messages and the lightweight threads
+// package. It provides:
+//
+//   * processor objects referenced by opaque global pointers (gptr<C>),
+//   * remote method invocation with argument marshalling, where the
+//     "compiler-generated stubs" are variadic templates doing exactly the
+//     marshal / name-resolve / dispatch / thread-fork work the CC++
+//     front-end emitted,
+//   * method stub caching: warm calls carry a resolved remote stub index;
+//     cold calls carry the method name and trigger an update reply,
+//   * persistent S-/R-buffers managed by the sender,
+//   * simple / blocking / threaded / atomic RMI variants (the Table 4
+//     micro-benchmark family),
+//   * global-pointer data access (gvar<T>) via small request/reply AMs,
+//   * par / parfor / spawn and write-once sync variables,
+//   * a polling thread per node to avoid deadlock when no thread is
+//     runnable.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "am/am.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "ccxx/serial.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "threads/threads.hpp"
+
+namespace tham::ccxx {
+
+/// How an RMI synchronizes, mirroring the paper's micro-benchmark variants:
+///  Simple   — caller spin-polls; method runs inside the AM handler
+///             (no thread switches at either end; the method must not block).
+///  Blocking — caller blocks on a condition variable (one context switch to
+///             the polling thread); method still runs inside the handler.
+///  Threaded — caller blocks; the receiver forks a new thread to run the
+///             method (the general case: the method may block).
+///  Atomic   — Threaded, plus the method executes atomically with respect
+///             to the target node (holds the node lock).
+enum class RmiMode : std::uint8_t { Simple, Blocking, Threaded, Atomic };
+
+/// Opaque global pointer to a processor object of type C. Unlike Split-C
+/// global pointers, no arithmetic is exposed (Section 2).
+template <class C>
+struct gptr {
+  NodeId node = kInvalidNode;
+  C* ptr = nullptr;
+  bool is_null() const { return ptr == nullptr; }
+};
+
+/// CC++ `T *global`: a global pointer to plain data; dereferences become
+/// RMIs (optimized to small request/reply active messages for simple types).
+template <class T>
+struct gvar {
+  NodeId node = kInvalidNode;
+  T* addr = nullptr;
+};
+
+/// Typed handle to a registered remote method.
+template <class C, class R, class... As>
+struct Method {
+  std::uint32_t id = 0;
+};
+
+/// Typed handle to a registered remote constructor (for rt.create<C>).
+template <class C, class... As>
+struct Factory {
+  std::uint32_t id = 0;
+};
+
+class Runtime;
+
+/// Thrown at the caller when a remote method threw: RMI propagates
+/// exceptions across address spaces by marshalling the message.
+class RemoteError : public RuntimeError {
+ public:
+  explicit RemoteError(const std::string& what) : RuntimeError(what) {}
+};
+
+/// CC++ write-once sync variable: readers block until a writer fills it.
+template <class T>
+class sync_var {
+ public:
+  /// Blocks the calling thread until the value is written.
+  T read() {
+    sim::Node& n = sim::this_node();
+    n.advance(sim::Component::ThreadSync, n.cost().cc_sync_var);
+    mu_.lock();
+    while (!set_) cv_.wait(mu_);
+    T v = val_;
+    mu_.unlock();
+    return v;
+  }
+
+  /// Writes the value exactly once; a second write throws.
+  void write(const T& v) {
+    sim::Node& n = sim::this_node();
+    n.advance(sim::Component::ThreadSync, n.cost().cc_sync_var);
+    mu_.lock();
+    if (set_) {
+      mu_.unlock();
+      throw RuntimeError("sync variable written twice");
+    }
+    val_ = v;
+    set_ = true;
+    cv_.broadcast();
+    mu_.unlock();
+  }
+
+  bool ready() const { return set_; }
+
+ private:
+  threads::Mutex mu_;
+  threads::CondVar cv_;
+  bool set_ = false;
+  T val_{};
+};
+
+class Runtime {
+ public:
+  /// Per-node RMI statistics (beyond the generic node counters).
+  struct CcStats {
+    std::uint64_t rmi_warm = 0;     ///< stub cache hit
+    std::uint64_t rmi_cold = 0;     ///< name shipped, resolution round trip
+    std::uint64_t rmi_oneshot = 0;  ///< dynamic buffer (entry busy / no cache)
+    std::uint64_t rmi_local = 0;    ///< same-node invocation
+    std::uint64_t gp_remote = 0;
+    std::uint64_t gp_local = 0;
+  };
+
+  Runtime(sim::Engine& engine, net::Network& net, am::AmLayer& am);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  static Runtime& current();
+
+  sim::Engine& engine() { return engine_; }
+  int nodes() const { return engine_.size(); }
+  const CostModel& cost() const { return engine_.cost(); }
+  const CcStats& cc_stats(NodeId i) const {
+    return stats_[static_cast<std::size_t>(i)];
+  }
+
+  // --- Program startup ------------------------------------------------------
+  /// Runs `program` on every node (the SPMD-style usage of the paper's
+  /// application ports), plus a polling thread per node. Drives the
+  /// simulation to completion.
+  void run_spmd(std::function<void()> program);
+  /// Runs `program` on node 0 only (true MPMD entry point); every node gets
+  /// a polling thread so its processor objects can service RMIs.
+  void run_main(std::function<void()> program);
+
+  // --- Definition (host side, before run) -----------------------------------
+  template <class C, class R, class... As>
+  Method<C, R, As...> def_method(std::string name, R (C::*pm)(As...),
+                                 RmiMode mode = RmiMode::Threaded) {
+    Method<C, R, As...> h;
+    h.id = add_method(std::move(name), mode, sizeof...(As),
+                      make_stub<C, R, As...>(pm));
+    return h;
+  }
+
+  template <class C, class... As>
+  Factory<C, As...> def_class(std::string name) {
+    Factory<C, As...> f;
+    f.id = add_method(
+        std::move(name), RmiMode::Threaded, sizeof...(As),
+        [](sim::Node&, void*, Deserializer& d, Serializer& out) {
+          auto args = std::tuple<std::decay_t<As>...>{
+              unmarshal_one<std::decay_t<As>>(d)...};
+          C* obj = std::apply(
+              [](auto&&... a) { return new C(std::forward<decltype(a)>(a)...); },
+              args);
+          cc_marshal(out, reinterpret_cast<std::uint64_t>(obj));
+        });
+    return f;
+  }
+
+  /// Host-side placement of a processor object (models objects created at
+  /// program startup). Only before run_*().
+  template <class C, class... As>
+  gptr<C> place(NodeId node, As&&... args) {
+    auto* obj = new C(std::forward<As>(args)...);
+    owned_.push_back({obj, [](void* p) { delete static_cast<C*>(p); }});
+    return gptr<C>{node, obj};
+  }
+
+  // --- Invocation ---------------------------------------------------------
+  struct Completion;  // defined below (wire-protocol internals)
+
+  /// Split-phase RMI handle: issue with rmi_async, overlap computation,
+  /// then get() blocks for (and unmarshals) the result. CC++ expressed the
+  /// same idiom with spawn + sync variables; the future packages it.
+  template <class R>
+  class Future {
+   public:
+    /// Blocks until the reply arrives, then returns the result.
+    /// Call at most once.
+    R get() {
+      THAM_REQUIRE(rt_ != nullptr, "Future::get() on an empty future");
+      Runtime* rt = rt_;
+      rt_ = nullptr;
+      rt->wait_completion(sim::this_node(), *comp_);
+      sim::Node& n = sim::this_node();
+      sim::ComponentScope scope(n, sim::Component::Runtime);
+      rt->rethrow_if_error(*comp_);
+      if constexpr (!std::is_void_v<R>) {
+        Deserializer d(comp_->result.data(), comp_->result.size());
+        rt->charge_marshal(n, 1, comp_->result.size());
+        return unmarshal_one<R>(d);
+      }
+    }
+    bool valid() const { return rt_ != nullptr; }
+    bool ready() const { return comp_ && comp_->done; }
+
+   private:
+    friend class Runtime;
+    Runtime* rt_ = nullptr;
+    std::shared_ptr<Completion> comp_;
+  };
+
+  /// Blocking remote method invocation; returns the method's result.
+  template <class C, class R, class... As, class... Xs>
+  R rmi(gptr<C> obj, const Method<C, R, As...>& m, Xs&&... args) {
+    static_assert(sizeof...(As) == sizeof...(Xs));
+    THAM_REQUIRE(!obj.is_null(), "RMI through a null global pointer");
+    sim::Node& n = sim::this_node();
+    sim::ComponentScope scope(n, sim::Component::Runtime);
+
+    if (obj.node == n.id()) {
+      return local_invoke<R>(n, m.id, obj.ptr,
+                             std::forward<Xs>(args)...);
+    }
+
+    Serializer& s = acquire_sbuf(n, obj.node, m.id);
+    std::size_t nbytes = 0;
+    ((nbytes += marshal_one(s, static_cast<const std::decay_t<As>&>(args))),
+     ...);
+    charge_marshal(n, sizeof...(As), nbytes);
+
+    Completion comp;
+    invoke_remote(n, obj.node, m.id, obj.ptr, s, comp, /*want_reply=*/true);
+    wait_completion(n, comp);
+    rethrow_if_error(comp);
+
+    if constexpr (!std::is_void_v<R>) {
+      Deserializer d(comp.result.data(), comp.result.size());
+      charge_marshal(n, 1, comp.result.size());
+      return unmarshal_one<R>(d);
+    }
+  }
+
+  /// Split-phase RMI: returns immediately with a Future; the reply is
+  /// consumed by Future::get(). The caller may issue many concurrent
+  /// futures (each cold/busy call falls back to a one-shot buffer).
+  template <class C, class R, class... As, class... Xs>
+  Future<R> rmi_async(gptr<C> obj, const Method<C, R, As...>& m,
+                      Xs&&... args) {
+    static_assert(sizeof...(As) == sizeof...(Xs));
+    THAM_REQUIRE(!obj.is_null(), "RMI through a null global pointer");
+    sim::Node& n = sim::this_node();
+    sim::ComponentScope scope(n, sim::Component::Runtime);
+    Future<R> f;
+    f.rt_ = this;
+    f.comp_ = std::make_shared<Completion>();
+    if (obj.node == n.id()) {
+      // Local: run eagerly; get() just unmarshals.
+      Serializer out;
+      local_invoke_raw(n, m.id, obj.ptr, out, std::forward<Xs>(args)...);
+      f.comp_->result.assign(out.data(), out.data() + out.size());
+      f.comp_->done = true;
+      f.comp_->mode = RmiMode::Simple;
+      return f;
+    }
+    Serializer& s = acquire_sbuf(n, obj.node, m.id);
+    std::size_t nbytes = 0;
+    ((nbytes += marshal_one(s, static_cast<const std::decay_t<As>&>(args))),
+     ...);
+    charge_marshal(n, sizeof...(As), nbytes);
+    invoke_remote(n, obj.node, m.id, obj.ptr, s, *f.comp_,
+                  /*want_reply=*/true);
+    return f;
+  }
+
+  /// Fire-and-forget invocation (CC++ spawning a remote method with no
+  /// result): returns as soon as the message is handed to the network.
+  template <class C, class R, class... As, class... Xs>
+  void rmi_spawn(gptr<C> obj, const Method<C, R, As...>& m, Xs&&... args) {
+    THAM_REQUIRE(!obj.is_null(), "RMI through a null global pointer");
+    sim::Node& n = sim::this_node();
+    sim::ComponentScope scope(n, sim::Component::Runtime);
+    if (obj.node == n.id()) {
+      local_invoke<void>(n, m.id, obj.ptr, std::forward<Xs>(args)...);
+      return;
+    }
+    Serializer& s = acquire_sbuf(n, obj.node, m.id);
+    std::size_t nbytes = 0;
+    ((nbytes += marshal_one(s, static_cast<const std::decay_t<As>&>(args))),
+     ...);
+    charge_marshal(n, sizeof...(As), nbytes);
+    Completion* none = nullptr;
+    invoke_remote_noreply(n, obj.node, m.id, obj.ptr, s, none);
+  }
+
+  /// Creates a processor object remotely via a registered factory.
+  template <class C, class... As, class... Xs>
+  gptr<C> create(NodeId node, const Factory<C, As...>& f, Xs&&... args) {
+    sim::Node& n = sim::this_node();
+    sim::ComponentScope scope(n, sim::Component::Runtime);
+    if (node == n.id()) {
+      auto addr =
+          local_invoke<std::uint64_t>(n, f.id, nullptr,
+                                      std::forward<Xs>(args)...);
+      return gptr<C>{node, reinterpret_cast<C*>(addr)};
+    }
+    Serializer& s = acquire_sbuf(n, node, f.id);
+    std::size_t nbytes = 0;
+    ((nbytes += marshal_one(s, static_cast<const std::decay_t<As>&>(args))),
+     ...);
+    charge_marshal(n, sizeof...(As), nbytes);
+    Completion comp;
+    invoke_remote(n, node, f.id, nullptr, s, comp, true);
+    wait_completion(n, comp);
+    Deserializer d(comp.result.data(), comp.result.size());
+    return gptr<C>{node, reinterpret_cast<C*>(unmarshal_one<std::uint64_t>(d))};
+  }
+
+  // --- Global-pointer data access ------------------------------------------
+  template <class T>
+  T read(gvar<T> gv) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "gvar access is for simple types; use bulk methods");
+    am::Word w = gp_read_word(gv.node, gv.addr, sizeof(T));
+    T out;
+    std::memcpy(&out, &w, sizeof(T));
+    return out;
+  }
+
+  template <class T>
+  void write(gvar<T> gv, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "gvar access is for simple types; use bulk methods");
+    am::Word w = 0;
+    std::memcpy(&w, &v, sizeof(T));
+    gp_write_word(gv.node, gv.addr, w, sizeof(T));
+  }
+
+  // --- Concurrency ------------------------------------------------------------
+  /// CC++ `par { ... }`: runs the blocks on new threads, joins all.
+  void par(std::vector<std::function<void()>> blocks);
+  /// CC++ `parfor`: one thread per iteration (the latency-hiding construct
+  /// used by the Prefetch micro-benchmark).
+  template <class F>
+  void parfor(int begin, int end, F&& body) {
+    std::vector<std::function<void()>> blocks;
+    blocks.reserve(static_cast<std::size_t>(end - begin));
+    for (int i = begin; i < end; ++i) {
+      blocks.push_back([i, &body] { body(i); });
+    }
+    par(std::move(blocks));
+  }
+  /// CC++ `spawn`: a detached thread on this node.
+  void spawn_thread(std::function<void()> body);
+
+  // --- Collectives (built from RMI; used by the SPMD-style app ports) ------
+  void barrier();
+  double all_reduce_sum(double v);
+
+  // --- Wire-protocol internals (public for the Nexus transport & tests) ----
+  struct CacheEntry;
+
+  /// Completion record a blocked caller waits on.
+  struct Completion {
+    bool done = false;
+    bool is_error = false;  ///< result holds a marshalled exception message
+    RmiMode mode = RmiMode::Threaded;
+    std::vector<std::byte> result;
+    threads::Mutex mu;
+    threads::CondVar cv;
+    CacheEntry* entry = nullptr;  ///< R-buffer to release on completion
+  };
+
+  /// Throws RemoteError at the caller if the remote method threw.
+  void rethrow_if_error(Completion& comp);
+
+  using Stub = std::function<void(sim::Node& self, void* obj,
+                                  Deserializer& in, Serializer& out)>;
+
+  struct CacheEntry {
+    bool valid = false;
+    bool in_flight = false;     ///< a warm bulk call is using the R-buffer
+    std::uint32_t remote_stub = 0;  ///< receiver-local stub index
+    std::byte* rbuf = nullptr;      ///< persistent R-buffer at the receiver
+    std::size_t rbuf_cap = 0;
+  };
+
+ private:
+  struct MethodRec {
+    std::string name;
+    std::uint64_t hash = 0;
+    RmiMode mode = RmiMode::Threaded;
+    std::uint32_t nargs = 0;
+    Stub stub;
+  };
+
+  struct NodeState {
+    // Stub cache: key = hash_mix(dst, method hash).
+    std::unordered_map<std::uint64_t, CacheEntry> cache;
+    threads::Mutex cache_mu;
+    // Persistent R-buffers owned by this (receiving) node:
+    // key = hash_mix(src, method hash).
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::vector<std::byte>>>
+        rbufs;
+    // Persistent S-buffers (sender side), key as cache.
+    std::unordered_map<std::uint64_t, std::unique_ptr<Serializer>> sbufs;
+    Serializer scratch_sbuf;  ///< non-persistent-mode shared S-buffer
+    std::vector<std::byte> staging;        ///< cold-call landing area
+    std::vector<std::byte> reply_staging;  ///< bulk-reply landing area
+    threads::Mutex node_lock;              ///< atomic-method lock
+    // Name -> receiver-local stub index (each node's "program image").
+    std::unordered_map<std::uint64_t, std::uint32_t> local_by_hash;
+    std::vector<std::uint32_t> canon_of_local;  ///< local idx -> canonical id
+    std::vector<std::uint32_t> local_of_canon;
+    // Barrier / reduction gates.
+    std::uint64_t bar_epoch_seen = 0;
+    std::uint64_t bar_epoch_entered = 0;
+    threads::Mutex gate_mu;
+    threads::CondVar gate_cv;
+    std::uint64_t red_epoch_seen = 0;
+    std::uint64_t red_epoch_entered = 0;
+    double red_value = 0;
+    // Coordinator (node 0) state.
+    int bar_arrivals = 0;
+    std::uint64_t bar_epoch = 0;
+    int red_arrivals = 0;
+    double red_acc = 0;
+    std::uint64_t red_epoch = 0;
+  };
+
+  // Flags word layout for invoke messages.
+  static constexpr am::Word kFlagCold = 1u << 4;
+  static constexpr am::Word kFlagOneshot = 1u << 5;
+  static constexpr am::Word kFlagNoReply = 1u << 6;
+
+  std::uint32_t add_method(std::string name, RmiMode mode, std::uint32_t nargs,
+                           Stub stub);
+
+  template <class C, class R, class... As>
+  static Stub make_stub(R (C::*pm)(As...)) {
+    return [pm](sim::Node&, void* obj, Deserializer& d, Serializer& out) {
+      auto* c = static_cast<C*>(obj);
+      auto args =
+          std::tuple<std::decay_t<As>...>{unmarshal_one<std::decay_t<As>>(d)...};
+      if constexpr (std::is_void_v<R>) {
+        std::apply([&](auto&... a) { (c->*pm)(a...); }, args);
+      } else {
+        R r = std::apply([&](auto&... a) { return (c->*pm)(a...); }, args);
+        cc_marshal(out, r);
+      }
+    };
+  }
+
+  template <class... Xs>
+  void local_invoke_raw(sim::Node& n, std::uint32_t method, void* obj,
+                        Serializer& out, Xs&&... args) {
+    // Local invocation through a global pointer: the runtime detects
+    // locality and short-circuits, but the indirection itself has a cost
+    // (the em3d-base effect at low remote-edge fractions).
+    n.advance(cost().cc_local_gp);
+    ++self_stats(n).rmi_local;
+    Serializer s;
+    (marshal_one(s, static_cast<const std::decay_t<Xs>&>(args)), ...);
+    Deserializer d(s.data(), s.size());
+    methods_.at(method).stub(n, obj, d, out);
+  }
+
+  template <class R, class... Xs>
+  R local_invoke(sim::Node& n, std::uint32_t method, void* obj, Xs&&... args) {
+    Serializer out;
+    local_invoke_raw(n, method, obj, out, std::forward<Xs>(args)...);
+    if constexpr (!std::is_void_v<R>) {
+      Deserializer rd(out.data(), out.size());
+      return unmarshal_one<R>(rd);
+    }
+  }
+
+  // Non-template protocol steps (implemented in runtime.cpp).
+  Serializer& acquire_sbuf(sim::Node& n, NodeId dst, std::uint32_t method);
+  void charge_marshal(sim::Node& n, std::size_t nargs, std::size_t nbytes);
+  void invoke_remote(sim::Node& n, NodeId dst, std::uint32_t method, void* obj,
+                     Serializer& args, Completion& comp, bool want_reply);
+  void invoke_remote_noreply(sim::Node& n, NodeId dst, std::uint32_t method,
+                             void* obj, Serializer& args, Completion* comp);
+  void wait_completion(sim::Node& n, Completion& comp);
+  am::Word gp_read_word(NodeId node, const void* addr, std::size_t nbytes);
+  void gp_write_word(NodeId node, void* addr, am::Word value,
+                     std::size_t nbytes);
+
+  void start_pollers();
+  void build_images();
+  void dispatch(sim::Node& self, std::uint32_t canon, void* obj,
+                const std::byte* args, std::size_t len, am::Word flags,
+                am::Word completion, NodeId caller, bool own_args);
+  void run_method(sim::Node& self, const MethodRec& m, void* obj,
+                  const std::byte* args, std::size_t len, am::Word flags,
+                  am::Word completion, NodeId caller);
+  void send_reply(sim::Node& self, NodeId caller, am::Word completion,
+                  const Serializer& out, bool is_error = false);
+  NodeState& self_state(sim::Node& n) {
+    return *state_[static_cast<std::size_t>(n.id())];
+  }
+  CcStats& self_stats(sim::Node& n) {
+    return stats_[static_cast<std::size_t>(n.id())];
+  }
+
+  void coord_barrier_arrive(sim::Node& self);
+  void coord_reduce_arrive(sim::Node& self, double v);
+
+  sim::Engine& engine_;
+  net::Network& net_;
+  am::AmLayer& am_;
+  std::vector<MethodRec> methods_;
+  std::vector<std::unique_ptr<NodeState>> state_;
+  std::vector<CcStats> stats_;
+  bool images_built_ = false;
+
+  struct Owned {
+    void* p;
+    void (*deleter)(void*);
+  };
+  std::vector<Owned> owned_;
+
+  am::HandlerId h_invoke_short_ = 0, h_invoke_bulk_ = 0, h_invoke_cold_ = 0;
+  am::HandlerId h_update_ = 0, h_done_short_ = 0, h_done_bulk_ = 0;
+  am::HandlerId h_gp_read_ = 0, h_gp_write_ = 0, h_gp_done_ = 0;
+  am::HandlerId h_bar_arrive_ = 0, h_bar_release_ = 0;
+  am::HandlerId h_red_arrive_ = 0, h_red_release_ = 0;
+
+  static Runtime* current_;
+};
+
+}  // namespace tham::ccxx

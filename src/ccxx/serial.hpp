@@ -1,0 +1,139 @@
+#pragma once
+// Argument marshalling for CC++ RMI. "In CC++ the arguments of a remote
+// method invocation can be arbitrary objects and each object defines its own
+// serialization methods" (Section 3). Trivially copyable types marshal by
+// memcpy; containers element-wise; user-defined types provide
+//   void cc_marshal(Serializer&, const T&);
+//   void cc_unmarshal(Deserializer&, T&);
+// found by argument-dependent lookup.
+//
+// The serializer is cost-free; the RMI engine charges the calibrated
+// marshalling costs (per-argument call overhead + per-byte copy) based on
+// the byte counts these classes report.
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tham::ccxx {
+
+class Serializer {
+ public:
+  Serializer() = default;
+
+  void put_bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    put_bytes(&v, sizeof(T));
+  }
+
+  const std::byte* data() const { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Deserializer {
+ public:
+  Deserializer(const std::byte* p, std::size_t n) : p_(p), end_(p + n) {}
+
+  void get_bytes(void* out, std::size_t n) {
+    THAM_REQUIRE(p_ + n <= end_, "RMI message truncated during unmarshal");
+    std::memcpy(out, p_, n);
+    p_ += n;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    T v;
+    get_bytes(&v, sizeof(T));
+    return v;
+  }
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+ private:
+  const std::byte* p_;
+  const std::byte* end_;
+};
+
+// --- Default marshalling: trivially copyable -------------------------------
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void cc_marshal(Serializer& s, const T& v) {
+  s.put(v);
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+void cc_unmarshal(Deserializer& d, T& v) {
+  v = d.get<T>();
+}
+
+// --- std::string -----------------------------------------------------------
+
+inline void cc_marshal(Serializer& s, const std::string& v) {
+  s.put<std::uint64_t>(v.size());
+  s.put_bytes(v.data(), v.size());
+}
+
+inline void cc_unmarshal(Deserializer& d, std::string& v) {
+  auto n = static_cast<std::size_t>(d.get<std::uint64_t>());
+  v.resize(n);
+  d.get_bytes(v.data(), n);
+}
+
+// --- std::vector of marshallable elements ----------------------------------
+
+template <typename T>
+void cc_marshal(Serializer& s, const std::vector<T>& v) {
+  s.put<std::uint64_t>(v.size());
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    s.put_bytes(v.data(), v.size() * sizeof(T));
+  } else {
+    for (const auto& e : v) cc_marshal(s, e);
+  }
+}
+
+template <typename T>
+void cc_unmarshal(Deserializer& d, std::vector<T>& v) {
+  auto n = static_cast<std::size_t>(d.get<std::uint64_t>());
+  v.resize(n);
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    d.get_bytes(v.data(), n * sizeof(T));
+  } else {
+    for (auto& e : v) cc_unmarshal(d, e);
+  }
+}
+
+// --- Helpers used by the RMI engine ------------------------------------------
+
+/// Marshals one value, returning the number of bytes it occupied.
+template <typename T>
+std::size_t marshal_one(Serializer& s, const T& v) {
+  std::size_t before = s.size();
+  cc_marshal(s, v);  // ADL finds user overloads
+  return s.size() - before;
+}
+
+template <typename T>
+T unmarshal_one(Deserializer& d) {
+  T v{};
+  cc_unmarshal(d, v);  // ADL
+  return v;
+}
+
+}  // namespace tham::ccxx

@@ -1,0 +1,45 @@
+#pragma once
+// Lightweight invariant checking. Simulation bugs (causality violations,
+// double-frees of buffers, protocol errors) abort loudly rather than
+// silently corrupting measurements.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace tham {
+
+/// Thrown for user-visible misuse of the runtime APIs (e.g. writing a
+/// write-once sync variable twice, dereferencing a null global pointer).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "THAM_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace tham
+
+/// Internal invariant: aborts the process on failure (never disabled; the
+/// simulator is cheap enough that checks stay on in release builds).
+#define THAM_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::tham::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define THAM_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) ::tham::check_failed(__FILE__, __LINE__, #expr, msg); \
+  } while (0)
+
+/// API misuse: throws tham::RuntimeError so tests can assert on it.
+#define THAM_REQUIRE(expr, msg)                                  \
+  do {                                                           \
+    if (!(expr)) throw ::tham::RuntimeError(std::string(msg));   \
+  } while (0)

@@ -1,0 +1,31 @@
+#pragma once
+// FNV-1a hashing. Used for CC++ method-name hashing (the stub cache of
+// Section 4 of the paper indexes its table by processor number and method
+// name hash value) and for deterministic workload generation.
+
+#include <cstdint>
+#include <string_view>
+
+namespace tham {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// 64-bit FNV-1a over a byte string. constexpr so method hashes can be
+/// computed at compile time for string literals.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = kFnvOffset;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mix an integer into an existing hash (for composite keys).
+constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace tham

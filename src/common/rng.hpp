@@ -1,0 +1,43 @@
+#pragma once
+// Deterministic pseudo-random number generation (SplitMix64). The simulator
+// must be byte-reproducible, so all randomness flows through explicitly
+// seeded generators — std::random_device and wall-clock seeding are banned.
+
+#include <cstdint>
+
+namespace tham {
+
+/// SplitMix64: tiny, fast, full-period 2^64 generator. Good enough for
+/// workload generation; not for cryptography.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t n) {
+    // Modulo bias is irrelevant for workload generation.
+    return next_u64() % n;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double next_double(double lo, double hi) {
+    return lo + next_double() * (hi - lo);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tham

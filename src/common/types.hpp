@@ -1,0 +1,33 @@
+#pragma once
+// Core scalar types shared by every layer of the simulated multicomputer.
+
+#include <cstdint>
+
+namespace tham {
+
+/// Virtual simulation time in nanoseconds. All costs in the system are
+/// expressed in virtual time; nothing in the simulation reads the wall clock.
+using SimTime = std::int64_t;
+
+/// Identifies one node (one address space) of the simulated multicomputer.
+using NodeId = std::int32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Convert microseconds (the unit the paper reports) to SimTime.
+constexpr SimTime usec(double us) { return static_cast<SimTime>(us * 1000.0); }
+
+/// Convert milliseconds to SimTime.
+constexpr SimTime msec(double ms) { return usec(ms * 1000.0); }
+
+/// Convert seconds to SimTime.
+constexpr SimTime sec(double s) { return usec(s * 1e6); }
+
+/// Convert SimTime back to microseconds for reporting.
+constexpr double to_usec(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+/// Convert SimTime back to seconds for reporting.
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace tham

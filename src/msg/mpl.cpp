@@ -1,0 +1,98 @@
+#include "msg/mpl.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace tham::msg {
+
+using sim::Component;
+using sim::ComponentScope;
+
+MplLayer::MplLayer(net::Network& net)
+    : net_(net), state_(static_cast<std::size_t>(net.engine().size())) {}
+
+void MplLayer::send(NodeId dst, int tag, const void* buf, std::size_t len) {
+  sim::Node& src = sim::this_node();
+  ComponentScope scope(src, Component::Net);
+  std::vector<std::byte> data(len);
+  if (len > 0) std::memcpy(data.data(), buf, len);
+  NodeId from = src.id();
+  net_.send(src, dst, net::Wire::Mpl, len,
+            [this, from, tag, data = std::move(data)](sim::Node& self) {
+              // Tag matching and enqueueing happen when the receiver polls;
+              // the matching cost is charged in recv().
+              state_[static_cast<std::size_t>(self.id())].unexpected.push_back(
+                  Unexpected{from, tag, std::move(data)});
+            });
+}
+
+std::size_t MplLayer::recv(NodeId src, int tag, void* buf, std::size_t len) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Net);
+  auto& q = state_[static_cast<std::size_t>(n.id())].unexpected;
+  for (;;) {
+    // Drain every due delivery, then look for a match.
+    while (n.inbox_due()) n.poll_one();
+    for (auto it = q.begin(); it != q.end(); ++it) {
+      if (match(*it, src, tag)) {
+        n.advance(n.cost().mpl_recv_overhead);
+        THAM_CHECK_MSG(it->data.size() <= len, "MPL recv buffer too small");
+        std::size_t got = it->data.size();
+        if (got > 0) std::memcpy(buf, it->data.data(), got);
+        q.erase(it);
+        return got;
+      }
+    }
+    if (!n.wait_for_inbox()) {
+      THAM_CHECK_MSG(false, "MPL recv aborted by shutdown");
+    }
+  }
+}
+
+MplLayer::Request MplLayer::irecv(NodeId src, int tag, void* buf,
+                                  std::size_t len) {
+  Request r;
+  r.layer_ = this;
+  r.src = src;
+  r.tag = tag;
+  r.buf = buf;
+  r.cap = len;
+  // Eager match against already-delivered messages.
+  sim::Node& n = sim::this_node();
+  auto& q = state_[static_cast<std::size_t>(n.id())].unexpected;
+  for (auto it = q.begin(); it != q.end(); ++it) {
+    if (match(*it, src, tag)) {
+      THAM_CHECK_MSG(it->data.size() <= len, "MPL irecv buffer too small");
+      r.got = it->data.size();
+      if (r.got > 0) std::memcpy(buf, it->data.data(), r.got);
+      q.erase(it);
+      r.done = true;
+      break;
+    }
+  }
+  return r;
+}
+
+std::size_t MplLayer::wait(Request& r) {
+  THAM_CHECK_MSG(r.valid(), "wait() on an invalid request");
+  if (r.done) return r.got;
+  r.got = recv(r.src, r.tag, r.buf, r.cap);
+  r.done = true;
+  return r.got;
+}
+
+void MplLayer::wait_all(std::vector<Request*> rs) {
+  for (Request* r : rs) wait(*r);
+}
+
+bool MplLayer::probe(NodeId src, int tag) const {
+  const sim::Node& n = sim::this_node();
+  const auto& q = state_[static_cast<std::size_t>(n.id())].unexpected;
+  for (const auto& u : q) {
+    if (match(u, src, tag)) return true;
+  }
+  return false;
+}
+
+}  // namespace tham::msg

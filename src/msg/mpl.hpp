@@ -1,0 +1,83 @@
+#pragma once
+// A small two-sided, tag-matched messaging layer in the style of IBM MPL /
+// MPI point-to-point. The paper uses MPL's 88 us round-trip as the native
+// messaging reference point in Table 4; this layer reproduces that line and
+// doubles as the "lower-level messaging system" MPMD programs could fall
+// back to (Section 1).
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/node.hpp"
+
+namespace tham::msg {
+
+inline constexpr NodeId kAnySource = -2;
+inline constexpr int kAnyTag = -1;
+
+class MplLayer {
+ public:
+  explicit MplLayer(net::Network& net);
+
+  MplLayer(const MplLayer&) = delete;
+  MplLayer& operator=(const MplLayer&) = delete;
+
+  /// Eager send: copies the buffer out and returns immediately.
+  void send(NodeId dst, int tag, const void* buf, std::size_t len);
+
+  /// Blocking receive with (source, tag) matching; kAnySource / kAnyTag
+  /// wildcards supported. `len` must be >= the matching message's length.
+  /// Returns the number of bytes received.
+  std::size_t recv(NodeId src, int tag, void* buf, std::size_t len);
+
+  /// True if a matching message is already queued (non-blocking probe).
+  bool probe(NodeId src, int tag) const;
+
+  /// Non-blocking receive handle. Post with irecv, complete with wait().
+  class Request {
+   public:
+    bool valid() const { return layer_ != nullptr; }
+
+   private:
+    friend class MplLayer;
+    MplLayer* layer_ = nullptr;
+    NodeId src = kAnySource;
+    int tag = kAnyTag;
+    void* buf = nullptr;
+    std::size_t cap = 0;
+    std::size_t got = 0;
+    bool done = false;
+  };
+
+  /// Posts a receive; the message may be matched now or on a later poll.
+  /// Complete with wait(). Requests complete in post order against the
+  /// matching stream.
+  Request irecv(NodeId src, int tag, void* buf, std::size_t len);
+  /// Blocks until the request completes; returns bytes received.
+  std::size_t wait(Request& r);
+  /// Completes all requests (any order of arrival).
+  void wait_all(std::vector<Request*> rs);
+
+ private:
+  struct Unexpected {
+    NodeId src;
+    int tag;
+    std::vector<std::byte> data;
+  };
+  struct NodeState {
+    std::deque<Unexpected> unexpected;
+  };
+
+  bool match(const Unexpected& u, NodeId src, int tag) const {
+    return (src == kAnySource || u.src == src) &&
+           (tag == kAnyTag || u.tag == tag);
+  }
+
+  net::Network& net_;
+  std::vector<NodeState> state_;
+};
+
+}  // namespace tham::msg

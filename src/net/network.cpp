@@ -1,0 +1,72 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tham::net {
+
+Network::Network(sim::Engine& engine)
+    : engine_(engine),
+      channel_clock_(static_cast<std::size_t>(engine.size()) *
+                     static_cast<std::size_t>(engine.size())) {}
+
+void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
+                   std::function<void(sim::Node&)> deliver) {
+  THAM_CHECK(dst >= 0 && dst < engine_.size());
+  THAM_CHECK_MSG(dst != src.id(), "network send to self");
+  const CostModel& cm = engine_.cost();
+
+  SimTime sender_cpu = 0;   // charged to the sending task
+  SimTime wire_time = 0;    // latency + serialization on the wire
+  SimTime payload = static_cast<SimTime>(bytes);
+  switch (wire) {
+    case Wire::AmShort:
+      sender_cpu = cm.am_send_overhead;
+      wire_time = cm.am_wire_latency;
+      break;
+    case Wire::AmBulk:
+      sender_cpu = cm.am_send_overhead + cm.am_bulk_startup_send;
+      wire_time = cm.am_wire_latency + payload * cm.am_per_byte;
+      break;
+    case Wire::Mpl:
+      sender_cpu = cm.mpl_send_overhead;
+      wire_time = cm.am_wire_latency + payload * cm.mpl_per_byte;
+      break;
+    case Wire::Tcp:
+      sender_cpu = cm.nx_tcp_send;
+      wire_time = cm.nx_tcp_latency +
+                  (payload + cm.nx_envelope_bytes) * cm.nx_per_byte;
+      break;
+  }
+
+  src.advance(sender_cpu);
+
+  SimTime arrival = src.now() + wire_time;
+  // FIFO per channel: a message cannot overtake an earlier one on the same
+  // (src, dst) link.
+  auto chan = static_cast<std::size_t>(src.id()) *
+                  static_cast<std::size_t>(engine_.size()) +
+              static_cast<std::size_t>(dst);
+  arrival = std::max(arrival, channel_clock_[chan]);
+  channel_clock_[chan] = arrival;
+
+  ++total_messages_;
+  total_bytes_ += bytes;
+  ++src.counters().msgs_sent;
+  src.counters().bytes_sent += bytes;
+
+  if (observer_) {
+    observer_(SendEvent{src.id(), dst, src.now(), arrival, bytes, wire});
+  }
+
+  sim::Message m;
+  m.arrival = arrival;
+  m.src = src.id();
+  m.seq = engine_.next_seq();
+  m.wire_bytes = bytes;
+  m.deliver = std::move(deliver);
+  engine_.node(dst).push_message(std::move(m));
+}
+
+}  // namespace tham::net

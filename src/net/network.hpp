@@ -1,0 +1,71 @@
+#pragma once
+// The simulated interconnect: an SP-style crossbar switch connecting all
+// nodes, with a LogGP-flavoured cost model. Channels are FIFO per
+// (src, dst) pair, as on the SP high-performance switch.
+//
+// The network is protocol-agnostic: it charges the sender's CPU, computes
+// the arrival timestamp, and hands the receiving node a delivery closure.
+// The messaging layers (AM, MPL, Nexus/TCP) choose the cost class and
+// provide the closure.
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+
+namespace tham::net {
+
+/// Which protocol path a message takes; selects the cost parameters.
+enum class Wire {
+  AmShort,  ///< 4-word active message (request or reply)
+  AmBulk,   ///< AM bulk transfer (store / get payload)
+  Mpl,      ///< IBM MPL-style two-sided message
+  Tcp,      ///< TCP/IP over the switch (Nexus configuration)
+};
+
+class Network {
+ public:
+  /// Observes every send (src, dst, send time, arrival, bytes, wire).
+  /// Used by stats::Tracer; at most one observer.
+  struct SendEvent {
+    NodeId src;
+    NodeId dst;
+    SimTime send_time;
+    SimTime arrival;
+    std::size_t bytes;
+    Wire wire;
+  };
+  using Observer = std::function<void(const SendEvent&)>;
+
+  explicit Network(sim::Engine& engine);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Sends a message from the current task on `src` to `dst`.
+  /// Charges the sender's per-message CPU overhead under the *current*
+  /// component scope (callers wrap with Component::Net), computes the
+  /// arrival time from latency + per-byte cost + FIFO ordering, and
+  /// enqueues the delivery closure at the destination.
+  void send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
+            std::function<void(sim::Node&)> deliver);
+
+  /// Messages sent so far (all wires).
+  std::uint64_t total_messages() const { return total_messages_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  sim::Engine& engine() { return engine_; }
+
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+ private:
+  Observer observer_;
+  sim::Engine& engine_;
+  std::vector<SimTime> channel_clock_;  ///< last arrival per src*N+dst
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace tham::net

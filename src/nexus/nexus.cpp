@@ -1,0 +1,93 @@
+#include "nexus/nexus.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace tham::nexus {
+
+using sim::Component;
+using sim::ComponentScope;
+
+NexusLayer::NexusLayer(net::Network& net) : net_(net) {}
+
+Startpoint NexusLayer::create_endpoint(NodeId node) {
+  THAM_CHECK(node >= 0 && node < net_.engine().size());
+  Endpoint ep;
+  ep.node = node;
+  endpoints_.push_back(std::move(ep));
+  return Startpoint{node, static_cast<std::uint32_t>(endpoints_.size() - 1)};
+}
+
+void NexusLayer::register_handler(const Startpoint& sp, std::string name,
+                                  RsrHandler fn) {
+  THAM_CHECK(sp.valid());
+  endpoints_.at(sp.endpoint).handlers.emplace(std::move(name), std::move(fn));
+}
+
+void NexusLayer::rsr(const Startpoint& sp, const std::string& handler,
+                     std::vector<std::byte> buf) {
+  THAM_CHECK(sp.valid());
+  sim::Node& src = sim::this_node();
+  const CostModel& cm = src.cost();
+  ++rsr_count_;
+
+  // Local RSR: still pays the buffer + dispatch path (Nexus did not
+  // short-circuit as aggressively as ThAM).
+  if (sp.node == src.id()) {
+    ComponentScope scope(src, Component::Runtime);
+    src.advance(cm.nx_buffer_alloc + cm.nx_name_resolve);
+    const Endpoint& ep = endpoints_.at(sp.endpoint);
+    auto it = ep.handlers.find(handler);
+    THAM_REQUIRE(it != ep.handlers.end(), "RSR to unknown handler " + handler);
+    it->second(src, src.id(), buf);
+    return;
+  }
+
+  // The wire message carries the full handler name plus the buffer.
+  {
+    ComponentScope scope(src, Component::Runtime);
+    src.advance(cm.nx_buffer_alloc);  // outgoing message buffer
+  }
+  ComponentScope scope(src, Component::Net);
+  std::uint32_t epid = sp.endpoint;
+  NodeId from = src.id();
+  std::size_t wire_bytes = buf.size() + handler.size();
+  net_.send(src, sp.node, net::Wire::Tcp, wire_bytes,
+            [this, epid, handler, from,
+             buf = std::move(buf)](sim::Node& self) {
+              const CostModel& c = self.cost();
+              // Interrupt-driven reception: kernel upcall + receive path.
+              {
+                ComponentScope s2(self, Component::Net);
+                self.advance(c.nx_interrupt + c.nx_tcp_recv);
+              }
+              ComponentScope s3(self, Component::Runtime);
+              // Dynamic buffer for the incoming message, then handler
+              // resolution by full name.
+              self.advance(c.nx_buffer_alloc + c.nx_name_resolve);
+              const Endpoint& ep = endpoints_.at(epid);
+              auto it = ep.handlers.find(handler);
+              THAM_REQUIRE(it != ep.handlers.end(),
+                           "RSR to unknown handler " + handler);
+              it->second(self, from, buf);
+            });
+}
+
+void NexusLayer::start_service_threads() {
+  sim::Engine& e = net_.engine();
+  for (NodeId i = 0; i < e.size(); ++i) {
+    e.node(i).spawn(
+        [] {
+          sim::Node& n = sim::this_node();
+          sim::ComponentScope scope(n, Component::Net);
+          while (n.wait_for_inbox(/*poll_only=*/true)) {
+            while (n.poll_one()) {
+            }
+          }
+        },
+        "nexus-service", /*daemon=*/true);
+  }
+}
+
+}  // namespace tham::nexus

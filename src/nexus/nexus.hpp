@@ -1,0 +1,103 @@
+#pragma once
+// A Nexus-style portable communication runtime (Foster, Kesselman, Tuecke
+// [10]) — the substrate under the original CC++ v0.4 implementation the
+// paper compares against. The central abstractions:
+//
+//   * Context     — an address space holding registered handlers;
+//   * Endpoint    — a communication target inside a context, with a table
+//                   of named handlers;
+//   * Startpoint  — a remote reference to an endpoint; copyable, sendable;
+//   * RSR         — remote service request: a one-way message carrying a
+//                   handler *name* and a byte buffer, dispatched at the
+//                   endpoint by name lookup (no caching) on a freshly
+//                   allocated buffer, delivered through the TCP protocol
+//                   module with interrupt-driven reception.
+//
+// The deliberate contrasts with the lean ThAM runtime (Section 4) are the
+// point: full names on every message, a dynamic buffer per message, a
+// protocol envelope, kernel TCP costs, and an interrupt per arrival.
+//
+// (The "CC++ on Nexus" application measurements use nexus_cost_model() with
+// the regular CC++ runtime — same RMI semantics, this cost structure; see
+// DESIGN.md.)
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace tham::nexus {
+
+class NexusLayer;
+
+/// A remote reference to an endpoint. POD-like so it can be marshalled
+/// into RSR buffers and handed between contexts.
+struct Startpoint {
+  NodeId node = kInvalidNode;
+  std::uint32_t endpoint = 0;
+  bool valid() const { return node != kInvalidNode; }
+};
+
+/// Handler invoked by an RSR: receives the sending node and the buffer.
+using RsrHandler =
+    std::function<void(sim::Node& self, NodeId from,
+                       const std::vector<std::byte>& buf)>;
+
+/// One Nexus context per node is implied; endpoints are registered against
+/// the layer and addressed by (node, endpoint id).
+class NexusLayer {
+ public:
+  explicit NexusLayer(net::Network& net);
+
+  NexusLayer(const NexusLayer&) = delete;
+  NexusLayer& operator=(const NexusLayer&) = delete;
+
+  /// Creates an endpoint on `node` (host-side setup, like attaching a
+  /// processor object at startup). Returns a startpoint for it.
+  Startpoint create_endpoint(NodeId node);
+
+  /// Registers a named handler on the endpoint `sp` refers to. Handler
+  /// names are resolved at the *receiver* on every RSR (no stub caching).
+  void register_handler(const Startpoint& sp, std::string name,
+                        RsrHandler fn);
+
+  /// Issues a remote service request: one-way, buffer + handler name.
+  /// Charges the Nexus runtime costs (buffer allocation, envelope, TCP
+  /// send path) at the sender.
+  void rsr(const Startpoint& sp, const std::string& handler,
+           std::vector<std::byte> buf);
+
+  /// Convenience: RSR with a trivially-copyable payload.
+  template <typename T>
+  void rsr(const Startpoint& sp, const std::string& handler, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf(sizeof(T));
+    std::memcpy(buf.data(), &v, sizeof(T));
+    rsr(sp, handler, std::move(buf));
+  }
+
+  /// Interrupt-driven reception is modelled by the delivery closure
+  /// charging the interrupt cost; a per-node service loop still drains the
+  /// inbox (the "kernel upcall thread").
+  void start_service_threads();
+
+  std::uint64_t rsr_count() const { return rsr_count_; }
+
+ private:
+  struct Endpoint {
+    NodeId node = kInvalidNode;
+    std::unordered_map<std::string, RsrHandler> handlers;
+  };
+
+  net::Network& net_;
+  std::vector<Endpoint> endpoints_;
+  std::uint64_t rsr_count_ = 0;
+};
+
+}  // namespace tham::nexus

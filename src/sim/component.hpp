@@ -1,0 +1,61 @@
+#pragma once
+// Execution-time components, matching the stacked-bar decomposition of the
+// paper's Figures 5 and 6: cpu / net / thread mgmt / thread sync / runtime.
+// Every virtual-time charge is attributed to the component currently active
+// on the charging simulated thread.
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace tham::sim {
+
+enum class Component : std::uint8_t {
+  Cpu = 0,     ///< application computation
+  Net,         ///< messaging layer (AM / MPL / TCP) incl. waiting for comms
+  ThreadMgmt,  ///< thread creation and context switches
+  ThreadSync,  ///< locks, condition variables, sync variables
+  Runtime,     ///< language runtime: marshalling, stub lookup, buffers
+  kCount
+};
+
+inline constexpr int kNumComponents = static_cast<int>(Component::kCount);
+
+inline const char* component_name(Component c) {
+  switch (c) {
+    case Component::Cpu: return "cpu";
+    case Component::Net: return "net";
+    case Component::ThreadMgmt: return "thread mgmt";
+    case Component::ThreadSync: return "thread sync";
+    case Component::Runtime: return "runtime";
+    default: return "?";
+  }
+}
+
+/// Per-node (or per-measurement-window) virtual-time breakdown.
+struct Breakdown {
+  std::array<SimTime, kNumComponents> t{};
+
+  SimTime& operator[](Component c) { return t[static_cast<int>(c)]; }
+  SimTime operator[](Component c) const { return t[static_cast<int>(c)]; }
+
+  SimTime total() const {
+    SimTime s = 0;
+    for (SimTime v : t) s += v;
+    return s;
+  }
+
+  Breakdown& operator+=(const Breakdown& o) {
+    for (int i = 0; i < kNumComponents; ++i) t[i] += o.t[i];
+    return *this;
+  }
+
+  Breakdown operator-(const Breakdown& o) const {
+    Breakdown r = *this;
+    for (int i = 0; i < kNumComponents; ++i) r.t[i] -= o.t[i];
+    return r;
+  }
+};
+
+}  // namespace tham::sim

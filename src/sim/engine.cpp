@@ -1,0 +1,60 @@
+#include "sim/engine.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace tham::sim {
+
+Engine::Engine(int num_nodes, const CostModel& cm, std::size_t stack_bytes)
+    : cost_(cm), stack_pool_(stack_bytes) {
+  THAM_CHECK(num_nodes > 0);
+  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(*this, i));
+  }
+}
+
+Engine::~Engine() = default;
+
+void Engine::wake(Node* n, SimTime t) {
+  queue_.push(Ev{t, next_seq(), n->id()});
+}
+
+void Engine::run() {
+  THAM_CHECK_MSG(!ran_, "Engine::run() called twice");
+  ran_ = true;
+
+  // Kick every node that already has spawned tasks.
+  for (auto& n : nodes_) wake(n.get(), 0);
+
+  while (!queue_.empty()) {
+    Ev ev = queue_.top();
+    queue_.pop();
+    if (ev.t > vtime_) vtime_ = ev.t;
+    nodes_[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
+  }
+
+  // Event queue drained: the program is over. Unwind daemon tasks (polling
+  // threads) so their fibers finish cleanly, then look for real deadlocks.
+  for (auto& n : nodes_) n->begin_shutdown();
+  while (!queue_.empty()) {
+    Ev ev = queue_.top();
+    queue_.pop();
+    nodes_[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
+  }
+
+  for (auto& n : nodes_) {
+    for (auto& s : n->stuck_tasks()) stuck_.push_back(s);
+  }
+  deadlocked_ = !stuck_.empty();
+  if (deadlocked_ && !allow_deadlock_) {
+    std::fprintf(stderr,
+                 "simulated program deadlock: %zu task(s) never finished\n",
+                 stuck_.size());
+    for (const auto& s : stuck_) std::fprintf(stderr, "  stuck: %s\n", s.c_str());
+    THAM_CHECK_MSG(false, "simulated program deadlock");
+  }
+}
+
+}  // namespace tham::sim

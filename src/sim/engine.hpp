@@ -1,0 +1,82 @@
+#pragma once
+// The discrete-event engine: owns the nodes, the global event queue, and the
+// fiber stack pool. Single real thread; virtual time only.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/cost_model.hpp"
+#include "common/types.hpp"
+#include "sim/node.hpp"
+
+namespace tham::sim {
+
+class Engine {
+ public:
+  /// Builds a multicomputer with `num_nodes` nodes sharing one cost model.
+  explicit Engine(int num_nodes, const CostModel& cm = sp2_cost_model(),
+                  std::size_t stack_bytes = 128 * 1024);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  Node& node(NodeId i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  const CostModel& cost() const { return cost_; }
+  StackPool& stack_pool() { return stack_pool_; }
+
+  /// Monotonic sequence for message FIFO tie-breaking.
+  std::uint64_t next_seq() { return seq_++; }
+
+  /// Timestamp of the earliest pending event (max SimTime if none).
+  SimTime head_time() const {
+    return queue_.empty() ? std::numeric_limits<SimTime>::max()
+                          : queue_.top().t;
+  }
+
+  /// Schedules a node activation at virtual time `t`.
+  void wake(Node* n, SimTime t);
+
+  /// Runs the simulation until the event queue drains, then shuts down
+  /// daemon tasks. Aborts with a diagnostic if any non-daemon task is still
+  /// blocked (simulated-program deadlock) unless allow_deadlock(true).
+  void run();
+
+  /// Latest event timestamp dispatched: the global elapsed virtual time.
+  SimTime vtime() const { return vtime_; }
+
+  void allow_deadlock(bool v) { allow_deadlock_ = v; }
+  /// After run(): true if non-daemon tasks were left blocked.
+  bool deadlocked() const { return deadlocked_; }
+  const std::vector<std::string>& stuck_tasks() const { return stuck_; }
+
+ private:
+  struct Ev {
+    SimTime t;
+    std::uint64_t seq;
+    NodeId n;
+  };
+  struct EvLater {
+    bool operator()(const Ev& a, const Ev& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  CostModel cost_;
+  StackPool stack_pool_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
+  std::uint64_t seq_ = 0;
+  SimTime vtime_ = 0;
+  bool allow_deadlock_ = false;
+  bool deadlocked_ = false;
+  bool ran_ = false;
+  std::vector<std::string> stuck_;
+};
+
+}  // namespace tham::sim

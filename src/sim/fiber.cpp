@@ -1,0 +1,110 @@
+#include "sim/fiber.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace tham::sim {
+
+namespace {
+// The fiber being started or resumed. Set immediately before swapcontext so
+// the trampoline can find its Fiber. Single real thread -> plain static.
+Fiber* g_current = nullptr;
+}  // namespace
+
+StackPool::StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
+
+StackPool::~StackPool() {
+  for (char* s : free_) ::operator delete[](s, std::align_val_t{64});
+}
+
+char* StackPool::acquire() {
+  if (!free_.empty()) {
+    char* s = free_.back();
+    free_.pop_back();
+    return s;
+  }
+  ++allocated_;
+  return static_cast<char*>(
+      ::operator new[](stack_bytes_, std::align_val_t{64}));
+}
+
+void StackPool::release(char* stack) { free_.push_back(stack); }
+
+Fiber::Fiber(std::function<void()> body, StackPool& pool)
+    : body_(std::move(body)), pool_(pool) {}
+
+Fiber::~Fiber() {
+  // Destroying a *running* fiber is always a bug. Destroying a *suspended*
+  // one is allowed only as teardown of an abandoned (deadlocked) task: the
+  // destructors of its live stack frames never run, so the stack is simply
+  // returned to the pool.
+  THAM_CHECK_MSG(state_ != State::Running,
+                 "fiber destroyed while running");
+  if (stack_ != nullptr) pool_.release(stack_);
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_current;
+  self->run_body();
+  // Unreachable: run_body never returns.
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: uncaught exception in simulated thread: %s\n",
+                 e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr, "fatal: uncaught exception in simulated thread\n");
+    std::abort();
+  }
+  state_ = State::Done;
+  body_ = nullptr;  // release captured resources now, not at destruction
+  pool_.release(stack_);
+  stack_ = nullptr;
+  // Return to the main context for good. setcontext (not swap): this stack
+  // is already back in the pool, so we must never run on it again.
+  ucontext_t* ret = &return_ctx_;
+  g_current = nullptr;
+  setcontext(ret);
+  THAM_CHECK_MSG(false, "resumed a finished fiber");
+}
+
+void Fiber::resume() {
+  THAM_CHECK_MSG(g_current == nullptr, "resume() from inside a fiber");
+  THAM_CHECK_MSG(state_ == State::Ready || state_ == State::Suspended,
+                 "resume() on a fiber that is not runnable");
+  if (state_ == State::Ready) {
+    stack_ = pool_.acquire();
+    THAM_CHECK(getcontext(&ctx_) == 0);
+    ctx_.uc_stack.ss_sp = stack_;
+    ctx_.uc_stack.ss_size = pool_.stack_bytes();
+    ctx_.uc_link = nullptr;  // run_body handles termination explicitly
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+  state_ = State::Running;
+  g_current = this;
+  THAM_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
+  // Back in main: the fiber either suspended or finished.
+  THAM_CHECK(g_current == nullptr);
+}
+
+void Fiber::suspend() {
+  Fiber* self = g_current;
+  THAM_CHECK_MSG(self != nullptr, "suspend() outside a fiber");
+  self->state_ = State::Suspended;
+  g_current = nullptr;
+  THAM_CHECK(swapcontext(&self->ctx_, &self->return_ctx_) == 0);
+  // Resumed again.
+  g_current = self;
+  self->state_ = State::Running;
+}
+
+Fiber* Fiber::current() { return g_current; }
+
+}  // namespace tham::sim

@@ -1,0 +1,77 @@
+#pragma once
+// Stackful fibers (ucontext-based) — the execution substrate for simulated
+// threads. One real OS thread runs the whole simulation; every simulated
+// thread on every simulated node is a Fiber that the node scheduler resumes
+// and that suspends back to the scheduler at blocking points.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+#include <vector>
+
+namespace tham::sim {
+
+/// A pooled fiber stack. Stacks are recycled because MPMD workloads create
+/// and destroy millions of short-lived threads (one per threaded RMI).
+class StackPool {
+ public:
+  explicit StackPool(std::size_t stack_bytes);
+  ~StackPool();
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  char* acquire();
+  void release(char* stack);
+  std::size_t stack_bytes() const { return stack_bytes_; }
+  std::size_t allocated() const { return allocated_; }
+
+ private:
+  std::size_t stack_bytes_;
+  std::size_t allocated_ = 0;
+  std::vector<char*> free_;
+};
+
+/// A suspendable execution context. Fibers form a strict two-level scheme:
+/// the "main" context (the discrete-event engine) resumes a fiber; the fiber
+/// later suspends back to main. Fibers never resume each other directly.
+class Fiber {
+ public:
+  enum class State { Ready, Running, Suspended, Done };
+
+  /// Creates a fiber that will run `body` when first resumed. The stack is
+  /// taken from `pool` and returned to it when the body finishes.
+  Fiber(std::function<void()> body, StackPool& pool);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Runs or continues the fiber until it suspends or finishes.
+  /// Must be called from the main context.
+  void resume();
+
+  /// Suspends the currently running fiber, returning control to the caller
+  /// of resume(). Must be called from inside a fiber.
+  static void suspend();
+
+  /// The fiber currently executing, or nullptr when in the main context.
+  static Fiber* current();
+
+  State state() const { return state_; }
+  bool done() const { return state_ == State::Done; }
+
+ private:
+  static void trampoline();
+  void run_body();
+
+  std::function<void()> body_;
+  StackPool& pool_;
+  char* stack_ = nullptr;
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+  State state_ = State::Ready;
+};
+
+}  // namespace tham::sim

@@ -1,0 +1,34 @@
+#pragma once
+// The unit of inter-node communication at the simulation level. Higher
+// layers (AM, MPL, Nexus) encode their protocols in the `deliver` closure;
+// the simulator only cares about timestamps and ordering.
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace tham::sim {
+
+class Node;
+
+struct Message {
+  SimTime arrival = 0;     ///< virtual time the message is available at dst
+  NodeId src = kInvalidNode;
+  std::uint64_t seq = 0;   ///< global send order; breaks arrival-time ties
+  std::size_t wire_bytes = 0;  ///< payload size on the wire (stats only)
+  /// Runs at the receiving node, in the context of the simulated thread
+  /// that polled the message (exactly Active Message handler semantics).
+  std::function<void(Node&)> deliver;
+};
+
+/// Ordering for the per-node inbox min-heap: earliest arrival first,
+/// FIFO (send order) among equal arrivals.
+struct MessageLater {
+  bool operator()(const Message& a, const Message& b) const {
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace tham::sim

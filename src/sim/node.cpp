@@ -1,0 +1,327 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sim/engine.hpp"
+
+namespace tham::sim {
+
+namespace {
+Node* g_current_node = nullptr;
+}  // namespace
+
+Node& this_node() {
+  THAM_CHECK_MSG(g_current_node != nullptr,
+                 "this_node() outside the simulation");
+  return *g_current_node;
+}
+
+bool in_simulation() { return g_current_node != nullptr; }
+
+ComponentScope::ComponentScope(Node& node, Component c)
+    : node_(node), prev_(node.set_component(c)) {}
+
+ComponentScope::~ComponentScope() { node_.set_component(prev_); }
+
+Node::Node(Engine& engine, NodeId id) : engine_(engine), id_(id) {}
+
+Node::~Node() = default;
+
+const CostModel& Node::cost() const { return engine_.cost(); }
+
+void Node::advance(SimTime dt) {
+  THAM_CHECK_MSG(current_ != nullptr, "advance() outside a task");
+  THAM_CHECK(dt >= 0);
+  breakdown_[current_->comp_] += dt;
+  clock_ += dt;
+  maybe_pause_for_causality();
+}
+
+void Node::advance(Component c, SimTime dt) {
+  THAM_CHECK_MSG(current_ != nullptr, "advance() outside a task");
+  THAM_CHECK(dt >= 0);
+  breakdown_[c] += dt;
+  clock_ += dt;
+  maybe_pause_for_causality();
+}
+
+void Node::maybe_pause_for_causality() {
+  // A task may not run ahead of the global event order: if this node's
+  // clock passed the earliest pending event anywhere in the machine,
+  // suspend and reschedule this node at its own clock.
+  if (clock_ > engine_.head_time()) {
+    schedule_activation(clock_);
+    current_->why_ = Task::Why::CausalityPause;
+    Fiber::suspend();
+  }
+}
+
+Component Node::current_component() const {
+  THAM_CHECK(current_ != nullptr);
+  return current_->comp_;
+}
+
+Component Node::set_component(Component c) {
+  THAM_CHECK(current_ != nullptr);
+  Component prev = current_->comp_;
+  current_->comp_ = c;
+  return prev;
+}
+
+Task* Node::spawn(std::function<void()> body, const char* name, bool daemon) {
+  // Not make_unique: Task's constructor is private to Node.
+  auto t = std::unique_ptr<Task>(new Task(
+      std::move(body), engine_.stack_pool(), name, next_task_id_++, daemon));
+  Task* raw = t.get();
+  raw->slot_ = tasks_.size();
+  tasks_.push_back(std::move(t));
+  raw->why_ = Task::Why::Ready;
+  raw->in_runq_ = true;
+  runq_.push_back(raw);
+  return raw;
+}
+
+void Node::detach(Task* t) {
+  THAM_CHECK(!t->detached_);
+  t->detached_ = true;
+  if (t->done()) reap(t);
+}
+
+void Node::yield() {
+  THAM_CHECK_MSG(current_ != nullptr, "yield() outside a task");
+  THAM_CHECK_MSG(!in_handler(), "yield() inside a message handler");
+  current_->why_ = Task::Why::Yield;
+  Fiber::suspend();
+}
+
+void Node::block() {
+  THAM_CHECK_MSG(current_ != nullptr, "block() outside a task");
+  THAM_CHECK_MSG(!in_handler(), "block() inside a message handler");
+  current_->why_ = Task::Why::Blocked;
+  Fiber::suspend();
+}
+
+void Node::wake(Task* t) {
+  THAM_CHECK(t != nullptr && !t->done());
+  if (t->in_runq_ || t == current_) return;  // already runnable
+  // If it was parked as an inbox waiter, unpark it.
+  auto it = std::find(inbox_waiters_.begin(), inbox_waiters_.end(), t);
+  if (it != inbox_waiters_.end()) inbox_waiters_.erase(it);
+  t->why_ = Task::Why::Ready;
+  t->in_runq_ = true;
+  runq_.push_back(t);
+}
+
+void Node::join(Task* t) {
+  THAM_CHECK_MSG(current_ != nullptr, "join() outside a task");
+  THAM_CHECK_MSG(!t->detached_, "join() on a detached task");
+  THAM_CHECK_MSG(t != current_, "join() on self");
+  while (!t->done()) {
+    t->join_waiters_.push_back(current_);
+    block();
+  }
+  reap(t);
+}
+
+bool Node::wait_for_inbox(bool poll_only) {
+  THAM_CHECK_MSG(current_ != nullptr, "wait_for_inbox() outside a task");
+  THAM_CHECK_MSG(!in_handler(), "wait_for_inbox() inside a message handler");
+  if (shutting_down_) return false;
+  if (inbox_due()) return true;
+  current_->poll_only_wait_ = poll_only;
+  // Park until something happens on this node: a message becomes due, any
+  // message is delivered by another task (its handler may have satisfied
+  // the condition this caller is waiting for), or shutdown. Spurious
+  // wakeups are allowed; callers loop and re-check their own predicate.
+  current_->why_ = Task::Why::InboxWait;
+  Fiber::suspend();
+  return !shutting_down_;
+}
+
+void Node::push_message(Message m) {
+  THAM_CHECK(m.deliver != nullptr);
+  SimTime arrival = m.arrival;
+  inbox_.push(std::move(m));
+  schedule_activation(arrival);
+}
+
+void Node::schedule_activation(SimTime t) {
+  if (t >= earliest_pending_wake_) return;  // an earlier wake covers it
+  earliest_pending_wake_ = t;
+  engine_.wake(this, t);
+}
+
+bool Node::poll_one() {
+  if (!inbox_due()) return false;
+  Message m = inbox_.top();
+  inbox_.pop();
+  ++counters_.msgs_recv;
+  ++handler_depth_;
+  m.deliver(*this);
+  --handler_depth_;
+  // The handler may have satisfied a condition some parked task is waiting
+  // on (e.g. an RMI completion): wake every inbox waiter to re-check.
+  wake_inbox_waiters();
+  return true;
+}
+
+void Node::wake_inbox_waiters() {
+  // Deliveries wake predicate waiters (their condition may now hold) but
+  // not pure polling loops (nothing due means nothing for them to do).
+  std::vector<Task*> keep;
+  for (Task* w : inbox_waiters_) {
+    if (w->poll_only_wait_ && !inbox_due()) {
+      keep.push_back(w);
+      continue;
+    }
+    w->why_ = Task::Why::Ready;
+    w->in_runq_ = true;
+    runq_.push_back(w);
+  }
+  inbox_waiters_.swap(keep);
+}
+
+bool Node::inbox_due() const {
+  return !inbox_.empty() && inbox_.top().arrival <= clock_;
+}
+
+SimTime Node::next_arrival() const {
+  return inbox_.empty() ? SimTime{-1} : inbox_.top().arrival;
+}
+
+void Node::on_wake(SimTime t) {
+  if (t >= earliest_pending_wake_) {
+    earliest_pending_wake_ = std::numeric_limits<SimTime>::max();
+  }
+  if (t > clock_) {
+    // Idle time (waiting for a message to arrive) is attributed to the
+    // component of the waiting task — normally Net, since the waiter sits
+    // inside the messaging layer. This keeps breakdown().total() == now().
+    Component c = inbox_waiters_.empty() ? Component::Cpu
+                                         : inbox_waiters_.front()->comp_;
+    breakdown_[c] += t - clock_;
+    clock_ = t;
+  }
+  if (!inbox_waiters_.empty() && inbox_due()) {
+    // Wake the most recently parked waiter only: every waiter drains all
+    // due messages when it runs, and a delivery re-wakes predicate waiters
+    // (poll_one). Waking everyone would charge spurious context switches
+    // the real system never paid.
+    Task* w = inbox_waiters_.back();
+    inbox_waiters_.pop_back();
+    w->why_ = Task::Why::Ready;
+    w->in_runq_ = true;
+    runq_.push_back(w);
+  }
+  run_ready_tasks();
+}
+
+void Node::run_ready_tasks() {
+  while (!runq_.empty()) {
+    Task* t = runq_.front();
+    // Charge one context switch when control passes from one simulated
+    // thread to a different one (Table 4's "Yield" column counts these).
+    if (t != last_ran_ && last_ran_ != nullptr && !shutting_down_) {
+      ++counters_.context_switches;
+      breakdown_[Component::ThreadMgmt] += cost().context_switch;
+      clock_ += cost().context_switch;
+    }
+    if (clock_ > engine_.head_time()) {
+      // Pausing before the resume: remember the switch is already paid.
+      last_ran_ = t;
+      schedule_activation(clock_);
+      return;
+    }
+    current_ = t;
+    Node* prev_node = g_current_node;
+    g_current_node = this;
+    t->fiber_.resume();
+    g_current_node = prev_node;
+    current_ = nullptr;
+    last_ran_ = t;
+
+    if (t->done()) {
+      runq_.pop_front();
+      t->in_runq_ = false;
+      finish_task(t);
+      continue;
+    }
+    switch (t->why_) {
+      case Task::Why::CausalityPause:
+        // advance() already scheduled our continuation; keep `t` at the
+        // front so it resumes exactly where it paused.
+        return;
+      case Task::Why::Done:
+        THAM_CHECK_MSG(false, "unreachable: Done handled above");
+        break;
+      case Task::Why::Yield:
+        runq_.pop_front();
+        runq_.push_back(t);
+        t->why_ = Task::Why::Ready;
+        break;
+      case Task::Why::Blocked:
+        runq_.pop_front();
+        t->in_runq_ = false;
+        break;
+      case Task::Why::InboxWait:
+        runq_.pop_front();
+        t->in_runq_ = false;
+        inbox_waiters_.push_back(t);
+        break;
+      case Task::Why::Ready:
+        THAM_CHECK_MSG(false, "task suspended without a reason");
+    }
+  }
+  // Nothing runnable. If a poller is waiting and messages are queued for
+  // the future, fast-forward by scheduling a wake at the next arrival
+  // (this is the "idle node jumps to the next event" rule in DESIGN.md).
+  if (!inbox_waiters_.empty() && !inbox_.empty()) {
+    schedule_activation(std::max(clock_, inbox_.top().arrival));
+  }
+}
+
+void Node::finish_task(Task* t) {
+  for (Task* w : t->join_waiters_) wake(w);
+  t->join_waiters_.clear();
+  // Control passing from a finished thread to the next one is not counted
+  // as a context switch (matching the paper's yield accounting).
+  if (last_ran_ == t) last_ran_ = nullptr;
+  if (t->detached_) reap(t);  // frees t
+}
+
+void Node::reap(Task* t) {
+  THAM_CHECK(t->done());
+  std::size_t slot = t->slot_;
+  THAM_CHECK(tasks_[slot].get() == t);
+  if (last_ran_ == t) last_ran_ = nullptr;
+  if (slot != tasks_.size() - 1) {
+    std::swap(tasks_[slot], tasks_.back());
+    tasks_[slot]->slot_ = slot;
+  }
+  tasks_.pop_back();
+}
+
+void Node::begin_shutdown() {
+  shutting_down_ = true;
+  std::vector<Task*> waiters;
+  waiters.swap(inbox_waiters_);
+  for (Task* w : waiters) {
+    w->why_ = Task::Why::Ready;
+    w->in_runq_ = true;
+    runq_.push_back(w);
+  }
+  if (!runq_.empty()) engine_.wake(this, clock_);
+}
+
+std::vector<std::string> Node::stuck_tasks() const {
+  std::vector<std::string> out;
+  for (const auto& t : tasks_) {
+    if (!t->done() && !t->daemon_) {
+      out.push_back("node " + std::to_string(id_) + ": " + t->name());
+    }
+  }
+  return out;
+}
+
+}  // namespace tham::sim

@@ -1,0 +1,210 @@
+#pragma once
+// A simulated node: one address space of the multicomputer, with its own
+// virtual clock, cooperative task scheduler, message inbox, and component
+// time accounting. Nodes execute under a conservative discrete-event
+// discipline: a task that would advance its node's clock past the global
+// event-queue head suspends until the engine reaches that time, so all
+// inter-node interactions happen in global timestamp order.
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/cost_model.hpp"
+#include "common/types.hpp"
+#include "sim/component.hpp"
+#include "sim/fiber.hpp"
+#include "sim/message.hpp"
+
+namespace tham::sim {
+
+class Engine;
+class Node;
+
+/// A simulated thread of control. Created via Node::spawn; scheduled
+/// cooperatively within its node.
+class Task {
+ public:
+  enum class Why : std::uint8_t {
+    Ready,           ///< runnable (initial, or after yield/wake)
+    Yield,           ///< voluntarily yielded; goes to the back of the run queue
+    Blocked,         ///< waiting on a local sync object; needs wake()
+    InboxWait,       ///< waiting for the next due message (or shutdown)
+    CausalityPause,  ///< suspended by the simulator to keep global time order
+    Done
+  };
+
+  const char* name() const { return name_; }
+  bool done() const { return fiber_.done(); }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Node;
+  Task(std::function<void()> body, StackPool& pool, const char* name,
+       std::uint64_t id, bool daemon)
+      : fiber_(std::move(body), pool), name_(name), id_(id), daemon_(daemon) {}
+
+  Fiber fiber_;
+  const char* name_;
+  std::uint64_t id_;
+  bool daemon_;
+  bool detached_ = false;
+  bool in_runq_ = false;
+  bool causality_resume_ = false;  ///< next resume continues a paused charge
+  bool poll_only_wait_ = false;    ///< parked via wait_for_inbox(poll_only)
+  Why why_ = Why::Ready;
+  Component comp_ = Component::Cpu;
+  std::size_t slot_ = 0;  ///< index in Node::tasks_ for O(1) removal
+  std::vector<Task*> join_waiters_;
+};
+
+/// RAII component scope: attributes all virtual-time charges made by the
+/// current task to `c` until destruction.
+class ComponentScope {
+ public:
+  ComponentScope(Node& node, Component c);
+  ~ComponentScope();
+  ComponentScope(const ComponentScope&) = delete;
+  ComponentScope& operator=(const ComponentScope&) = delete;
+
+ private:
+  Node& node_;
+  Component prev_;
+};
+
+class Node {
+ public:
+  Node(Engine& engine, NodeId id);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  Engine& engine() { return engine_; }
+  const CostModel& cost() const;
+
+  // --- Virtual time & accounting -----------------------------------------
+  SimTime now() const { return clock_; }
+
+  /// Charges `dt` of virtual time to the current task's active component.
+  /// May suspend the task to preserve global event order. Must be called
+  /// from inside a task.
+  void advance(SimTime dt);
+  /// Charges under an explicit component (ignores the task's scope).
+  void advance(Component c, SimTime dt);
+
+  Component current_component() const;
+  Component set_component(Component c);
+  const Breakdown& breakdown() const { return breakdown_; }
+
+  /// Cross-layer instrumentation, mirroring what the paper's heavily
+  /// instrumented AM layer and threads package counted.
+  struct Counters {
+    std::uint64_t thread_creates = 0;
+    std::uint64_t context_switches = 0;
+    std::uint64_t sync_ops = 0;        ///< lock/unlock/signal/wait operations
+    std::uint64_t lock_acquires = 0;
+    std::uint64_t lock_contended = 0;  ///< acquires that had to block
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t msgs_recv = 0;
+    std::uint64_t polls = 0;
+  };
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+
+  // --- Task management ----------------------------------------------------
+  /// Creates a task (no virtual-time charge; the threads layer adds the
+  /// thread-creation cost). Daemon tasks do not count as deadlocked when
+  /// the simulation drains, and are woken for shutdown.
+  Task* spawn(std::function<void()> body, const char* name,
+              bool daemon = false);
+  /// Marks a task as never-to-be-joined; it is destroyed when it finishes.
+  void detach(Task* t);
+
+  Task* current() const { return current_; }
+
+  /// Cooperative yield: back of the run queue.
+  void yield();
+  /// Suspends the current task until wake() is called on it.
+  void block();
+  /// Makes a blocked task runnable. Legal only for same-node tasks.
+  void wake(Task* t);
+  /// Blocks until `t` finishes, then reclaims it. Each task joined once.
+  void join(Task* t);
+  /// Parks the current task until something happens on this node: a
+  /// message becomes due, any message is delivered (by any task), or
+  /// shutdown begins. Spurious wakeups are allowed — callers loop and
+  /// re-check their own predicate. Returns false only on shutdown.
+  /// `poll_only` marks a pure polling loop: it is woken for due messages
+  /// and shutdown but not for deliveries made by other tasks (it has no
+  /// predicate of its own to re-check), avoiding spurious context
+  /// switches to the polling thread.
+  bool wait_for_inbox(bool poll_only = false);
+
+  bool shutting_down() const { return shutting_down_; }
+
+  // --- Inbox ----------------------------------------------------------------
+  /// Called by the network at send time with a future arrival timestamp.
+  void push_message(Message m);
+  /// Delivers (runs the handler of) the earliest due message, if any.
+  /// Called from task context; the handler runs on the caller's stack.
+  bool poll_one();
+  bool inbox_due() const;
+  /// Arrival time of the earliest queued message, or -1 if none.
+  SimTime next_arrival() const;
+  bool in_handler() const { return handler_depth_ > 0; }
+
+  // --- Engine interface (not for runtime/application code) ----------------
+  void on_wake(SimTime t);
+  void begin_shutdown();
+  /// Names of non-daemon tasks still blocked after the event queue drained.
+  std::vector<std::string> stuck_tasks() const;
+  std::size_t live_tasks() const { return tasks_.size(); }
+
+ private:
+  /// Schedules an engine activation of this node at time t, deduplicating
+  /// against an already-pending earlier-or-equal activation (any need for a
+  /// later activation is rediscovered when the earlier one fires). Without
+  /// this, redundant wakes accumulate quadratically.
+  void schedule_activation(SimTime t);
+  void run_ready_tasks();
+  void wake_inbox_waiters();
+  void finish_task(Task* t);
+  void reap(Task* t);
+  void maybe_pause_for_causality();
+
+  Engine& engine_;
+  NodeId id_;
+  SimTime clock_ = 0;
+  Breakdown breakdown_;
+  Counters counters_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::deque<Task*> runq_;
+  std::vector<Task*> inbox_waiters_;
+  Task* current_ = nullptr;
+  Task* last_ran_ = nullptr;
+  int handler_depth_ = 0;
+  SimTime earliest_pending_wake_ = std::numeric_limits<SimTime>::max();
+  bool shutting_down_ = false;
+  std::uint64_t next_task_id_ = 0;
+
+  std::priority_queue<Message, std::vector<Message>, MessageLater> inbox_;
+};
+
+/// The node whose task is currently executing. Valid only from inside a
+/// simulated task (or a message handler). This is what lets runtime APIs
+/// read like the paper's code: splitc::read(gp) instead of read(node, gp).
+Node& this_node();
+
+/// True while executing inside a simulated task.
+bool in_simulation();
+
+}  // namespace tham::sim

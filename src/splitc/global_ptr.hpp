@@ -1,0 +1,41 @@
+#pragma once
+// Split-C global pointers: a (processing node, local address) pair whose
+// structure is visible to the programmer (Section 2 of the paper).
+// Arithmetic acts on the local-address part; the node part is explicit.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace tham::splitc {
+
+template <typename T>
+struct global_ptr {
+  NodeId node = 0;
+  T* addr = nullptr;
+
+  constexpr global_ptr() = default;
+  constexpr global_ptr(NodeId n, T* a) : node(n), addr(a) {}
+
+  constexpr bool is_null() const { return addr == nullptr; }
+
+  constexpr global_ptr operator+(std::ptrdiff_t d) const {
+    return global_ptr(node, addr + d);
+  }
+  constexpr global_ptr operator-(std::ptrdiff_t d) const {
+    return global_ptr(node, addr - d);
+  }
+  global_ptr& operator+=(std::ptrdiff_t d) {
+    addr += d;
+    return *this;
+  }
+  constexpr bool operator==(const global_ptr&) const = default;
+
+  /// Re-types the pointer (the Split-C cast).
+  template <typename U>
+  constexpr global_ptr<U> cast() const {
+    return global_ptr<U>(node, reinterpret_cast<U*>(addr));
+  }
+};
+
+}  // namespace tham::splitc

@@ -1,0 +1,70 @@
+#pragma once
+// Spread arrays: Split-C's block-cyclic parallel storage layout
+// (`double A[n]::[b]`). Storage is allocated per node before the SPMD
+// program starts (mirroring Split-C's static allocation) and elements are
+// addressed with global pointers computed from the layout — the "arithmetic
+// on the node part of the global pointer" the paper describes.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/engine.hpp"
+#include "splitc/global_ptr.hpp"
+
+namespace tham::splitc {
+
+template <typename T>
+class SpreadArray {
+ public:
+  /// `n` elements spread over all nodes in blocks of `block` elements,
+  /// round-robin: element i lives on node (i/block) % P at local offset
+  /// (i/(block*P))*block + i%block.
+  SpreadArray(sim::Engine& engine, std::size_t n, std::size_t block = 1)
+      : procs_(engine.size()), n_(n), block_(block),
+        local_(static_cast<std::size_t>(procs_)) {
+    THAM_CHECK(block_ > 0);
+    std::size_t per_node =
+        (n_ / (block_ * static_cast<std::size_t>(procs_)) + 1) * block_;
+    for (auto& v : local_) v.assign(per_node, T{});
+  }
+
+  std::size_t size() const { return n_; }
+  std::size_t block() const { return block_; }
+
+  NodeId owner(std::size_t i) const {
+    return static_cast<NodeId>((i / block_) %
+                               static_cast<std::size_t>(procs_));
+  }
+
+  std::size_t local_index(std::size_t i) const {
+    std::size_t stride = block_ * static_cast<std::size_t>(procs_);
+    return (i / stride) * block_ + i % block_;
+  }
+
+  /// Global pointer to element i.
+  global_ptr<T> gp(std::size_t i) {
+    THAM_CHECK(i < n_);
+    auto node = owner(i);
+    return global_ptr<T>(node,
+                         &local_[static_cast<std::size_t>(node)]
+                                [local_index(i)]);
+  }
+
+  /// Direct host-side access (for setup and verification outside the
+  /// simulated program only).
+  T& at_host(std::size_t i) {
+    return local_[static_cast<std::size_t>(owner(i))][local_index(i)];
+  }
+  const T& at_host(std::size_t i) const {
+    return local_[static_cast<std::size_t>(owner(i))][local_index(i)];
+  }
+
+ private:
+  int procs_;
+  std::size_t n_;
+  std::size_t block_;
+  std::vector<std::vector<T>> local_;
+};
+
+}  // namespace tham::splitc

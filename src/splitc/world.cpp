@@ -1,0 +1,529 @@
+#include "splitc/world.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tham::splitc {
+
+using am::to_ptr;
+using am::to_word;
+using am::Word;
+using sim::Component;
+using sim::ComponentScope;
+
+World* World::current_ = nullptr;
+
+namespace {
+/// Local completion flags live on the waiting thread's stack.
+struct WordWait {
+  bool done = false;
+  Word val = 0;
+};
+}  // namespace
+
+NodeId MYPROC() { return sim::this_node().id(); }
+int PROCS() { return World::current().procs(); }
+
+World& World::current() {
+  THAM_CHECK_MSG(current_ != nullptr, "no Split-C world is active");
+  return *current_;
+}
+
+World::ProcState& World::self_state() {
+  return state_[static_cast<std::size_t>(sim::this_node().id())];
+}
+
+World::ProcState& World::state_of(const sim::Node& n) {
+  return state_[static_cast<std::size_t>(n.id())];
+}
+
+World::~World() { current_ = nullptr; }
+
+World::World(sim::Engine& engine, net::Network& net, am::AmLayer& am)
+    : engine_(engine), net_(net), am_(am),
+      state_(static_cast<std::size_t>(engine.size())) {
+  THAM_CHECK_MSG(current_ == nullptr, "only one Split-C world at a time");
+  current_ = this;
+  for (auto& st : state_) {
+    st.stores_sent.assign(static_cast<std::size_t>(engine.size()), 0);
+  }
+
+  // ---- Synchronous read/write ------------------------------------------
+  h_read_done_ = am_.register_short(
+      "sc.read_done", [](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_complete);
+        auto* wt = to_ptr<WordWait>(w[0]);
+        wt->val = w[1];
+        wt->done = true;
+      });
+  h_read_ = am_.register_short(
+      "sc.read", [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_handler + self.cost().mem_word_touch);
+        Word v = 0;
+        std::memcpy(&v, to_ptr<const void>(w[0]),
+                    static_cast<std::size_t>(w[1]));
+        am_.reply(tok, h_read_done_, w[2], v);
+      });
+  h_ack_ = am_.register_short(
+      "sc.ack", [](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_complete);
+        *to_ptr<bool>(w[0]) = true;
+      });
+  h_write_ = am_.register_short(
+      "sc.write", [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_handler + self.cost().mem_word_touch);
+        Word v = w[2];
+        std::memcpy(to_ptr<void>(w[0]), &v, static_cast<std::size_t>(w[1]));
+        am_.reply(tok, h_ack_, w[3]);
+      });
+
+  // ---- Split-phase get/put ----------------------------------------------
+  h_get_done_ = am_.register_short(
+      "sc.get_done", [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_complete);
+        Word v = w[1];
+        std::memcpy(to_ptr<void>(w[0]), &v, static_cast<std::size_t>(w[2]));
+        --state_of(self).outstanding;
+      });
+  h_get_ = am_.register_short(
+      "sc.get", [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_handler + self.cost().mem_word_touch);
+        Word v = 0;
+        std::memcpy(&v, to_ptr<const void>(w[0]),
+                    static_cast<std::size_t>(w[1]));
+        am_.reply(tok, h_get_done_, w[2], v, w[1]);
+      });
+  h_put_done_ = am_.register_short(
+      "sc.put_done", [this](sim::Node& self, am::Token, const am::Words&) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_complete);
+        --state_of(self).outstanding;
+      });
+  h_put_ = am_.register_short(
+      "sc.put", [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_handler + self.cost().mem_word_touch);
+        Word v = w[2];
+        std::memcpy(to_ptr<void>(w[0]), &v, static_cast<std::size_t>(w[1]));
+        am_.reply(tok, h_put_done_);
+      });
+
+  // ---- One-way stores -----------------------------------------------------
+  h_store_ = am_.register_short(
+      "sc.store", [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_handler + self.cost().mem_word_touch);
+        Word v = w[2];
+        std::memcpy(to_ptr<void>(w[0]), &v, static_cast<std::size_t>(w[1]));
+        ++state_of(self).stores_recv;
+      });
+  h_store_bulk_ = am_.register_bulk(
+      "sc.store_bulk", [this](sim::Node& self, am::Token, void*, std::size_t,
+                              const am::Words&) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_handler);
+        ++state_of(self).stores_recv;
+      });
+  h_store_count_ = am_.register_short(
+      "sc.store_count", [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        auto& st = state_of(self);
+        st.store_expect += w[0];
+        ++st.store_counts_got;
+      });
+
+  // ---- Bulk transfers -----------------------------------------------------
+  h_bulk_done_ = am_.register_short(
+      "sc.bulk_done", [](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_complete);
+        *to_ptr<bool>(w[2]) = true;  // cookie = &flag
+      });
+  h_bulk_get_done_ = am_.register_short(
+      "sc.bulk_get_done",
+      [this](sim::Node& self, am::Token, const am::Words&) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_complete);
+        --state_of(self).outstanding;
+      });
+  h_bulk_write_ = am_.register_bulk(
+      "sc.bulk_write", [this](sim::Node& self, am::Token tok, void*,
+                              std::size_t, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_handler);
+        am_.reply(tok, h_ack_, w[0]);
+      });
+
+  // ---- Barrier -------------------------------------------------------------
+  h_bar_release_ = am_.register_short(
+      "sc.bar_release", [this](sim::Node& self, am::Token, const am::Words& w) {
+        state_of(self).release_epoch = w[0];
+      });
+  h_bar_arrive_ = am_.register_short(
+      "sc.bar_arrive", [this](sim::Node& self, am::Token, const am::Words&) {
+        THAM_CHECK(self.id() == 0);
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_barrier_fan);
+        auto& s0 = state_of(self);
+        ++s0.barrier_arrivals;
+        if (s0.barrier_arrivals == procs()) release_barrier(self);
+      });
+
+  // ---- Atomic RPC ------------------------------------------------------------
+  h_atomic_done_ = am_.register_short(
+      "sc.atomic_done", [](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_complete);
+        auto* wt = to_ptr<WordWait>(w[0]);
+        wt->val = w[1];
+        wt->done = true;
+      });
+  h_atomic_ = am_.register_short(
+      "sc.atomic", [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_handler);
+        Word r = atomics_.at(static_cast<std::size_t>(w[0]))(self, w[2], w[3],
+                                                             w[4], w[5]);
+        am_.reply(tok, h_atomic_done_, w[1], r);
+      });
+
+  // ---- Reduction --------------------------------------------------------------
+  h_red_release_ = am_.register_short(
+      "sc.red_release", [this](sim::Node& self, am::Token, const am::Words& w) {
+        auto& st = state_of(self);
+        double v;
+        Word bits = w[1];
+        std::memcpy(&v, &bits, sizeof(v));
+        st.red_result = v;
+        st.red_release = w[0];
+      });
+  h_red_arrive_ = am_.register_short(
+      "sc.red_arrive", [this](sim::Node& self, am::Token, const am::Words& w) {
+        THAM_CHECK(self.id() == 0);
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().sc_barrier_fan);
+        double v;
+        Word bits = w[0];
+        std::memcpy(&v, &bits, sizeof(v));
+        auto& s0 = state_of(self);
+        s0.red_acc += v;
+        ++s0.red_arrivals;
+        if (s0.red_arrivals == procs()) release_reduction(self);
+      });
+}
+
+void World::release_barrier(sim::Node& node0) {
+  auto& s0 = state_[0];
+  s0.barrier_arrivals = 0;
+  ++s0.barrier_epoch;
+  s0.release_epoch = s0.barrier_epoch;
+  for (NodeId j = 1; j < procs(); ++j) {
+    node0.advance(node0.cost().sc_barrier_fan);
+    am_.request(j, h_bar_release_, s0.barrier_epoch);
+  }
+}
+
+void World::release_reduction(sim::Node& node0) {
+  auto& s0 = state_[0];
+  s0.red_arrivals = 0;
+  ++s0.red_epoch;
+  s0.red_release = s0.red_epoch;
+  s0.red_result = s0.red_acc;
+  Word bits;
+  std::memcpy(&bits, &s0.red_acc, sizeof(bits));
+  for (NodeId j = 1; j < procs(); ++j) {
+    node0.advance(node0.cost().sc_barrier_fan);
+    am_.request(j, h_red_release_, s0.red_epoch, bits);
+  }
+  s0.red_acc = 0;
+}
+
+void World::run(std::function<void()> program) {
+  for (NodeId i = 0; i < engine_.size(); ++i) {
+    engine_.node(i).spawn(program, "splitc-main");
+  }
+  engine_.run();
+}
+
+int World::register_atomic(AtomicFn fn) {
+  atomics_.push_back(std::move(fn));
+  return static_cast<int>(atomics_.size() - 1);
+}
+
+Word World::read_word(NodeId node, const void* addr, std::size_t nbytes) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  THAM_CHECK(nbytes <= 8);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    Word v = 0;
+    std::memcpy(&v, addr, nbytes);
+    return v;
+  }
+  n.advance(n.cost().sc_issue);
+  WordWait wt;
+  am_.request(node, h_read_, to_word(addr), nbytes, to_word(&wt));
+  am_.poll_until([&wt] { return wt.done; });
+  return wt.val;
+}
+
+void World::write_word(NodeId node, void* addr, Word value,
+                       std::size_t nbytes) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  THAM_CHECK(nbytes <= 8);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    std::memcpy(addr, &value, nbytes);
+    return;
+  }
+  n.advance(n.cost().sc_issue);
+  bool done = false;
+  am_.request(node, h_write_, to_word(addr), nbytes, value, to_word(&done));
+  am_.poll_until([&done] { return done; });
+}
+
+void World::get_word(NodeId node, const void* addr, void* dst,
+                     std::size_t nbytes) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  THAM_CHECK(nbytes <= 8);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    std::memcpy(dst, addr, nbytes);
+    return;
+  }
+  n.advance(n.cost().sc_issue);
+  ++self_state().outstanding;
+  am_.request(node, h_get_, to_word(addr), nbytes, to_word(dst));
+}
+
+void World::put_word(NodeId node, void* addr, Word value, std::size_t nbytes) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  THAM_CHECK(nbytes <= 8);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    std::memcpy(addr, &value, nbytes);
+    return;
+  }
+  n.advance(n.cost().sc_issue);
+  ++self_state().outstanding;
+  am_.request(node, h_put_, to_word(addr), nbytes, value);
+}
+
+void World::sync() {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  auto& st = self_state();
+  am_.poll_until([&st] { return st.outstanding == 0; });
+}
+
+void World::store_word(NodeId node, void* addr, Word value,
+                       std::size_t nbytes) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  THAM_CHECK(nbytes <= 8);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    std::memcpy(addr, &value, nbytes);
+    return;
+  }
+  n.advance(n.cost().sc_issue);
+  ++self_state().stores_sent[static_cast<std::size_t>(node)];
+  am_.request(node, h_store_, to_word(addr), nbytes, value);
+}
+
+void World::bulk_store(NodeId node, void* addr, const void* src,
+                       std::size_t len) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    std::memmove(addr, src, len);
+    return;
+  }
+  n.advance(n.cost().sc_issue);
+  ++self_state().stores_sent[static_cast<std::size_t>(node)];
+  am_.xfer(node, addr, src, len, h_store_bulk_);
+}
+
+void World::all_store_sync() {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  auto& st = self_state();
+  NodeId me = n.id();
+  for (NodeId j = 0; j < procs(); ++j) {
+    if (j == me) continue;
+    n.advance(n.cost().sc_barrier_fan);
+    am_.request(j, h_store_count_,
+                st.stores_sent[static_cast<std::size_t>(j)]);
+  }
+  int expect_counts = procs() - 1;
+  am_.poll_until([&st, expect_counts] {
+    return st.store_counts_got == expect_counts &&
+           st.stores_recv == st.store_expect;
+  });
+  st.store_counts_got = 0;
+  st.store_expect = 0;
+  st.stores_recv = 0;
+  std::fill(st.stores_sent.begin(), st.stores_sent.end(), 0);
+  barrier();
+}
+
+void World::bulk_read(void* dst, NodeId node, const void* addr,
+                      std::size_t len) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    std::memmove(dst, addr, len);
+    return;
+  }
+  n.advance(n.cost().sc_issue);
+  bool done = false;
+  am_.get(node, addr, dst, len, h_bulk_done_, to_word(&done));
+  am_.poll_until([&done] { return done; });
+}
+
+void World::bulk_get(void* dst, NodeId node, const void* addr,
+                     std::size_t len) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    std::memmove(dst, addr, len);
+    return;
+  }
+  n.advance(n.cost().sc_issue);
+  ++self_state().outstanding;
+  am_.get(node, addr, dst, len, h_bulk_get_done_);
+}
+
+void World::bulk_write(NodeId node, void* addr, const void* src,
+                       std::size_t len) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    std::memmove(addr, src, len);
+    return;
+  }
+  n.advance(n.cost().sc_issue);
+  bool done = false;
+  am_.xfer(node, addr, src, len, h_bulk_write_, to_word(&done));
+  am_.poll_until([&done] { return done; });
+}
+
+void World::barrier() {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  auto& st = self_state();
+  ++st.my_epoch;
+  std::uint64_t target = st.my_epoch;
+  n.advance(n.cost().sc_barrier_fan);
+  if (n.id() == 0) {
+    auto& s0 = state_[0];
+    ++s0.barrier_arrivals;
+    if (s0.barrier_arrivals == procs()) release_barrier(n);
+  } else {
+    am_.request(0, h_bar_arrive_);
+  }
+  am_.poll_until([&st, target] { return st.release_epoch >= target; });
+}
+
+Word World::atomic(int fn_index, NodeId node, Word a0, Word a1, Word a2,
+                   Word a3) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  if (node == n.id()) {
+    n.advance(n.cost().sc_local_access);
+    return atomics_.at(static_cast<std::size_t>(fn_index))(n, a0, a1, a2, a3);
+  }
+  n.advance(n.cost().sc_issue);
+  WordWait wt;
+  am_.request(node, h_atomic_, static_cast<Word>(fn_index), to_word(&wt), a0,
+              a1, a2, a3);
+  am_.poll_until([&wt] { return wt.done; });
+  return wt.val;
+}
+
+// min/max/broadcast reuse the sum-reduction message protocol by encoding
+// the combiner in the value stream: we run a sum over transformed values.
+// Simpler and fully deterministic: run the generic reduce with a combiner
+// selected per call via a per-epoch mode kept on node 0.
+double World::all_reduce_min(double v) {
+  // Implemented as -max(-v).
+  return -all_reduce_max(-v);
+}
+
+double World::all_reduce_max(double v) {
+  // max(a,b) = log-free trick is messy; use iterated pairwise exchange:
+  // everyone contributes to node 0 via the existing arrive path, but we
+  // cannot reuse red_acc (a sum). Instead: reduce the *bit pattern* via
+  // repeated all_reduce_sum rounds of indicator comparisons would be
+  // expensive; so: gather via P point-to-point reads after a barrier.
+  sim::Node& n = sim::this_node();
+  NodeId me = n.id();
+  auto& st = self_state();
+  st.red_gather = v;
+  barrier();
+  double best = v;
+  for (NodeId j = 0; j < procs(); ++j) {
+    if (j == me) continue;
+    Word w = read_word(j, &state_[static_cast<std::size_t>(j)].red_gather,
+                       sizeof(double));
+    double other;
+    std::memcpy(&other, &w, sizeof(other));
+    best = std::max(best, other);
+  }
+  barrier();
+  return best;
+}
+
+double World::broadcast(NodeId root, double v) {
+  sim::Node& n = sim::this_node();
+  auto& st = self_state();
+  if (n.id() == root) st.red_gather = v;
+  barrier();
+  double out;
+  if (n.id() == root) {
+    out = v;
+  } else {
+    Word w = read_word(root,
+                       &state_[static_cast<std::size_t>(root)].red_gather,
+                       sizeof(double));
+    std::memcpy(&out, &w, sizeof(out));
+  }
+  barrier();
+  return out;
+}
+
+double World::all_reduce_sum(double v) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  auto& st = self_state();
+  std::uint64_t target = st.red_release + 1;
+  Word bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  n.advance(n.cost().sc_barrier_fan);
+  if (n.id() == 0) {
+    auto& s0 = state_[0];
+    s0.red_acc += v;
+    ++s0.red_arrivals;
+    if (s0.red_arrivals == procs()) release_reduction(n);
+  } else {
+    am_.request(0, h_red_arrive_, bits);
+  }
+  am_.poll_until([&st, target] { return st.red_release >= target; });
+  return st.red_result;
+}
+
+}  // namespace tham::splitc

@@ -1,0 +1,206 @@
+#pragma once
+// The Split-C runtime system: an SPMD world in which every node runs the
+// same program, synchronizing through barriers and communicating through
+// global-pointer accesses implemented directly on Active Messages — the
+// highly tuned SPMD baseline of the paper.
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "am/am.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "splitc/global_ptr.hpp"
+
+namespace tham::splitc {
+
+/// An atomic remote procedure (Figure 2's `atomic(foo, 0)`): runs in the
+/// remote handler, atomically with respect to that node's computation.
+/// Up to four argument words.
+using AtomicFn = std::function<am::Word(sim::Node& self, am::Word a0,
+                                        am::Word a1, am::Word a2, am::Word a3)>;
+
+class World {
+ public:
+  /// Builds the runtime on an existing machine. One World per Engine.
+  World(sim::Engine& engine, net::Network& net, am::AmLayer& am);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs `program` SPMD-style: one main thread per node, then drives the
+  /// simulation to completion.
+  void run(std::function<void()> program);
+
+  /// The world of the running program (for the free-function API).
+  static World& current();
+
+  int procs() const { return engine_.size(); }
+  sim::Engine& engine() { return engine_; }
+  am::AmLayer& am() { return am_; }
+
+  /// Registers an atomic remote procedure; same index on all nodes.
+  int register_atomic(AtomicFn fn);
+
+  // --- Communication primitives (operate on the current node) -------------
+  // Synchronous element access. T must be trivially copyable, <= 8 bytes
+  // (larger types go through the bulk primitives, as in Split-C).
+  am::Word read_word(NodeId node, const void* addr, std::size_t nbytes);
+  void write_word(NodeId node, void* addr, am::Word value, std::size_t nbytes);
+
+  // Split-phase: completion via sync().
+  void get_word(NodeId node, const void* addr, void* dst, std::size_t nbytes);
+  void put_word(NodeId node, void* addr, am::Word value, std::size_t nbytes);
+  /// Waits for all outstanding split-phase gets and puts of this node.
+  void sync();
+
+  // One-way stores; global completion via all_store_sync().
+  void store_word(NodeId node, void* addr, am::Word value, std::size_t nbytes);
+  void bulk_store(NodeId node, void* addr, const void* src, std::size_t len);
+  /// Global barrier that additionally waits until every store issued
+  /// anywhere has been deposited (Split-C's all_store_sync).
+  void all_store_sync();
+
+  // Bulk synchronous transfers.
+  void bulk_read(void* dst, NodeId node, const void* addr, std::size_t len);
+  void bulk_write(NodeId node, void* addr, const void* src, std::size_t len);
+  /// Split-phase bulk get; completion via sync().
+  void bulk_get(void* dst, NodeId node, const void* addr, std::size_t len);
+
+  /// Barrier across all nodes.
+  void barrier();
+
+  /// Runs atomic procedure `fn_index` on `node`, returning its result
+  /// (blocking).
+  am::Word atomic(int fn_index, NodeId node, am::Word a0 = 0, am::Word a1 = 0,
+                  am::Word a2 = 0, am::Word a3 = 0);
+
+  /// Global sum reduction (every node calls it; everyone gets the total).
+  double all_reduce_sum(double v);
+  /// Global min / max reductions (same protocol, different combiner).
+  double all_reduce_min(double v);
+  double all_reduce_max(double v);
+  /// Broadcast `v` from `root` to everyone (returns the root's value).
+  double broadcast(NodeId root, double v);
+
+ private:
+  struct ProcState {
+    std::uint64_t outstanding = 0;       ///< split-phase gets+puts in flight
+    std::vector<std::uint64_t> stores_sent;  ///< per destination node
+    std::uint64_t stores_recv = 0;
+    std::uint64_t store_expect = 0;
+    int store_counts_got = 0;
+    // Barrier (counter state lives on node 0).
+    int barrier_arrivals = 0;
+    std::uint64_t barrier_epoch = 0;   ///< completed epochs (node 0)
+    std::uint64_t release_epoch = 0;   ///< last release seen (all nodes)
+    std::uint64_t my_epoch = 0;        ///< epochs this node entered
+    // Reduction (accumulator on node 0).
+    int red_arrivals = 0;
+    double red_acc = 0;
+    std::uint64_t red_epoch = 0;
+    std::uint64_t red_release = 0;
+    double red_result = 0;
+    double red_gather = 0;  ///< staging slot for max/broadcast collectives
+  };
+
+  ProcState& self_state();
+  ProcState& state_of(const sim::Node& n);
+  void release_barrier(sim::Node& node0);
+  void release_reduction(sim::Node& node0);
+
+  sim::Engine& engine_;
+  net::Network& net_;
+  am::AmLayer& am_;
+  std::vector<ProcState> state_;
+  std::vector<AtomicFn> atomics_;
+
+  // Handler ids.
+  am::HandlerId h_read_, h_read_done_, h_write_, h_ack_;
+  am::HandlerId h_get_, h_get_done_, h_put_, h_put_done_;
+  am::HandlerId h_store_, h_store_bulk_, h_store_count_;
+  am::HandlerId h_bulk_write_, h_bulk_done_, h_bulk_get_done_;
+  am::HandlerId h_bar_arrive_, h_bar_release_;
+  am::HandlerId h_atomic_, h_atomic_done_;
+  am::HandlerId h_red_arrive_, h_red_release_;
+
+  static World* current_;
+};
+
+/// Index of the executing processor (Split-C's MYPROC).
+NodeId MYPROC();
+/// Number of processors (Split-C's PROCS).
+int PROCS();
+
+// Free-function API over World::current(), so application code reads like
+// the paper's Figure 2.
+
+template <typename T>
+T read(global_ptr<T> gp) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+  am::Word w = World::current().read_word(gp.node, gp.addr, sizeof(T));
+  T out;
+  std::memcpy(&out, &w, sizeof(T));
+  return out;
+}
+
+template <typename T>
+void write(global_ptr<T> gp, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+  am::Word w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  World::current().write_word(gp.node, gp.addr, w, sizeof(T));
+}
+
+/// Split-phase read into *dst; complete with sync().
+template <typename T>
+void get(T* dst, global_ptr<T> src) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+  World::current().get_word(src.node, src.addr, dst, sizeof(T));
+}
+
+/// Split-phase write; complete with sync().
+template <typename T>
+void put(global_ptr<T> dst, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+  am::Word w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  World::current().put_word(dst.node, dst.addr, w, sizeof(T));
+}
+
+/// One-way store; global completion with all_store_sync().
+template <typename T>
+void store(global_ptr<T> dst, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+  am::Word w = 0;
+  std::memcpy(&w, &v, sizeof(T));
+  World::current().store_word(dst.node, dst.addr, w, sizeof(T));
+}
+
+inline void sync() { World::current().sync(); }
+inline void all_store_sync() { World::current().all_store_sync(); }
+inline void barrier() { World::current().barrier(); }
+
+template <typename T>
+void bulk_read(T* dst, global_ptr<T> src, std::size_t bytes) {
+  World::current().bulk_read(dst, src.node, src.addr, bytes);
+}
+template <typename T>
+void bulk_write(global_ptr<T> dst, const T* src, std::size_t bytes) {
+  World::current().bulk_write(dst.node, dst.addr, src, bytes);
+}
+template <typename T>
+void bulk_get(T* dst, global_ptr<T> src, std::size_t bytes) {
+  World::current().bulk_get(dst, src.node, src.addr, bytes);
+}
+template <typename T>
+void bulk_store(global_ptr<T> dst, const T* src, std::size_t bytes) {
+  World::current().bulk_store(dst.node, dst.addr, src, bytes);
+}
+
+}  // namespace tham::splitc

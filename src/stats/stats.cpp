@@ -1,0 +1,41 @@
+#include "stats/stats.hpp"
+
+namespace tham::stats {
+
+Snapshot snap(const sim::Node& n) {
+  return Snapshot{n.now(), n.breakdown(), n.counters()};
+}
+
+Snapshot delta(const Snapshot& a, const Snapshot& b) {
+  Snapshot d;
+  d.now = b.now - a.now;
+  d.breakdown = b.breakdown - a.breakdown;
+  auto& c = d.counters;
+  const auto& x = a.counters;
+  const auto& y = b.counters;
+  c.thread_creates = y.thread_creates - x.thread_creates;
+  c.context_switches = y.context_switches - x.context_switches;
+  c.sync_ops = y.sync_ops - x.sync_ops;
+  c.lock_acquires = y.lock_acquires - x.lock_acquires;
+  c.lock_contended = y.lock_contended - x.lock_contended;
+  c.msgs_sent = y.msgs_sent - x.msgs_sent;
+  c.bytes_sent = y.bytes_sent - x.bytes_sent;
+  c.msgs_recv = y.msgs_recv - x.msgs_recv;
+  c.polls = y.polls - x.polls;
+  return d;
+}
+
+PerIter per_iter(const Snapshot& window, double iters) {
+  PerIter p;
+  p.total_us = to_usec(window.now) / iters;
+  for (int i = 0; i < sim::kNumComponents; ++i) {
+    p.comp_us[i] = to_usec(window.breakdown.t[static_cast<std::size_t>(i)]) /
+                   iters;
+  }
+  p.creates = static_cast<double>(window.counters.thread_creates) / iters;
+  p.switches = static_cast<double>(window.counters.context_switches) / iters;
+  p.sync_ops = static_cast<double>(window.counters.sync_ops) / iters;
+  return p;
+}
+
+}  // namespace tham::stats

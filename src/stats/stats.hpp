@@ -1,0 +1,52 @@
+#pragma once
+// Measurement utilities: snapshots of per-node accounting (virtual clock,
+// component breakdown, operation counters) and delta arithmetic for
+// measurement windows, mirroring how the paper's instrumented AM layer and
+// threads package accounted for "the number, types, and sizes of message
+// transfers as well as the number of threads, context switches, and
+// synchronization operations" (Section 5).
+
+#include "common/types.hpp"
+#include "sim/component.hpp"
+#include "sim/node.hpp"
+
+namespace tham::stats {
+
+struct Snapshot {
+  SimTime now = 0;
+  sim::Breakdown breakdown;
+  sim::Node::Counters counters;
+};
+
+/// Captures the current accounting state of a node.
+Snapshot snap(const sim::Node& n);
+
+/// Component-wise and counter-wise difference (b - a) of two snapshots of
+/// the same node; defines a measurement window.
+Snapshot delta(const Snapshot& a, const Snapshot& b);
+
+/// Scales a window down by `iters` (per-iteration averages, in us).
+struct PerIter {
+  double total_us = 0;
+  double comp_us[sim::kNumComponents] = {};
+  double creates = 0;
+  double switches = 0;
+  double sync_ops = 0;
+
+  double cpu() const { return comp_us[static_cast<int>(sim::Component::Cpu)]; }
+  double net() const { return comp_us[static_cast<int>(sim::Component::Net)]; }
+  double thread_mgmt() const {
+    return comp_us[static_cast<int>(sim::Component::ThreadMgmt)];
+  }
+  double thread_sync() const {
+    return comp_us[static_cast<int>(sim::Component::ThreadSync)];
+  }
+  double runtime() const {
+    return comp_us[static_cast<int>(sim::Component::Runtime)];
+  }
+  double threads_time() const { return thread_mgmt() + thread_sync(); }
+};
+
+PerIter per_iter(const Snapshot& window, double iters);
+
+}  // namespace tham::stats

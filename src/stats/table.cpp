@@ -1,0 +1,51 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tham::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  THAM_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    width[i] = headers_[i].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      // First column left-aligned (names), the rest right-aligned (numbers).
+      if (i == 0) {
+        std::fprintf(out, "%-*s", static_cast<int>(width[i]), r[i].c_str());
+      } else {
+        std::fprintf(out, "  %*s", static_cast<int>(width[i]), r[i].c_str());
+      }
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < width.size(); ++i) total += width[i] + 2;
+  std::string rule(total, '-');
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace tham::stats

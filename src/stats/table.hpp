@@ -1,0 +1,27 @@
+#pragma once
+// Fixed-width ASCII table printer for the benchmark harnesses. Each bench
+// binary prints the same rows/series the paper's tables and figures report.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace tham::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tham::stats

@@ -1,0 +1,61 @@
+#include "stats/trace.hpp"
+
+#include <cstdio>
+
+namespace tham::stats {
+
+const char* wire_name(net::Wire w) {
+  switch (w) {
+    case net::Wire::AmShort: return "am.short";
+    case net::Wire::AmBulk: return "am.bulk";
+    case net::Wire::Mpl: return "mpl";
+    case net::Wire::Tcp: return "tcp";
+  }
+  return "?";
+}
+
+Tracer::Tracer(net::Network& net) : net_(net) {
+  net_.set_observer([this](const net::Network::SendEvent& e) {
+    events_.push_back(
+        Event{e.src, e.dst, e.send_time, e.arrival, e.bytes, e.wire});
+  });
+}
+
+Tracer::~Tracer() { net_.set_observer(nullptr); }
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  std::uint64_t flow_id = 0;
+  bool first = true;
+  for (const Event& e : events_) {
+    double ts = to_usec(e.send_time);
+    double dur = to_usec(e.arrival - e.send_time);
+    if (dur <= 0) dur = 0.001;
+    // One slice per message on the sender's track...
+    std::fprintf(f,
+                 "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,"
+                 "\"ts\":%.3f,\"dur\":%.3f,"
+                 "\"args\":{\"dst\":%d,\"bytes\":%zu}}",
+                 first ? "" : ",\n", wire_name(e.wire), e.src, ts, dur, e.dst,
+                 e.bytes);
+    first = false;
+    // ...plus a flow arrow to the receiver's track.
+    std::fprintf(f,
+                 ",\n{\"name\":\"msg\",\"ph\":\"s\",\"pid\":0,\"tid\":%d,"
+                 "\"ts\":%.3f,\"id\":%llu}",
+                 e.src, ts, static_cast<unsigned long long>(flow_id));
+    std::fprintf(f,
+                 ",\n{\"name\":\"msg\",\"ph\":\"t\",\"pid\":0,\"tid\":%d,"
+                 "\"ts\":%.3f,\"id\":%llu}",
+                 e.dst, to_usec(e.arrival),
+                 static_cast<unsigned long long>(flow_id));
+    ++flow_id;
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace tham::stats

@@ -1,0 +1,52 @@
+#pragma once
+// Message tracing: records every message on the simulated interconnect and
+// exports a Chrome-tracing JSON file (load in chrome://tracing or Perfetto)
+// where each node is a track and each message a slice from send to
+// delivery, with flow arrows between sender and receiver. Useful for
+// eyeballing protocol behaviour (stub-cache cold calls, barrier fan-ins,
+// prefetch pipelining).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+
+namespace tham::stats {
+
+class Tracer {
+ public:
+  /// Attaches to a network; every subsequent send is recorded.
+  explicit Tracer(net::Network& net);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  std::size_t recorded() const { return events_.size(); }
+
+  /// Writes the Chrome-tracing JSON ("traceEvents" array format).
+  /// Returns false if the file could not be opened.
+  bool write_chrome_json(const std::string& path) const;
+
+  /// In-memory access for tests.
+  struct Event {
+    NodeId src;
+    NodeId dst;
+    SimTime send_time;
+    SimTime arrival;
+    std::size_t bytes;
+    net::Wire wire;
+  };
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  net::Network& net_;
+  std::vector<Event> events_;
+};
+
+/// Human-readable name of a wire class (also used as the slice name).
+const char* wire_name(net::Wire w);
+
+}  // namespace tham::stats

@@ -1,0 +1,170 @@
+#include "threads/threads.hpp"
+
+#include "common/check.hpp"
+
+namespace tham::threads {
+
+using sim::Component;
+
+namespace {
+
+/// Charges one synchronization operation (lock/unlock/signal/wait call).
+void charge_sync(sim::Node& n) {
+  ++n.counters().sync_ops;
+  n.advance(Component::ThreadSync, n.cost().sync_op);
+}
+
+}  // namespace
+
+Thread spawn(std::function<void()> body, const char* name) {
+  sim::Node& n = sim::this_node();
+  ++n.counters().thread_creates;
+  n.advance(Component::ThreadMgmt, n.cost().thread_create);
+  Thread t;
+  t.node_ = &n;
+  t.task_ = n.spawn(std::move(body), name, /*daemon=*/false);
+  return t;
+}
+
+Thread spawn_daemon(std::function<void()> body, const char* name) {
+  sim::Node& n = sim::this_node();
+  ++n.counters().thread_creates;
+  n.advance(Component::ThreadMgmt, n.cost().thread_create);
+  Thread t;
+  t.node_ = &n;
+  t.task_ = n.spawn(std::move(body), name, /*daemon=*/true);
+  return t;
+}
+
+void join(Thread& t) {
+  THAM_CHECK_MSG(t.valid(), "join() on an invalid thread");
+  sim::Node& n = sim::this_node();
+  THAM_CHECK_MSG(t.node_ == &n, "join() across nodes");
+  charge_sync(n);
+  n.join(t.task_);
+  t.task_ = nullptr;
+}
+
+void detach(Thread& t) {
+  THAM_CHECK_MSG(t.valid(), "detach() on an invalid thread");
+  t.node_->detach(t.task_);
+  t.task_ = nullptr;
+}
+
+void yield() { sim::this_node().yield(); }
+
+void Mutex::lock() {
+  sim::Node& n = sim::this_node();
+  charge_sync(n);
+  ++n.counters().lock_acquires;
+  if (owner_ != nullptr) {
+    ++n.counters().lock_contended;
+    do {
+      waiters_.push_back(n.current());
+      n.block();
+    } while (owner_ != nullptr);
+  }
+  owner_ = n.current();
+}
+
+bool Mutex::try_lock() {
+  sim::Node& n = sim::this_node();
+  charge_sync(n);
+  ++n.counters().lock_acquires;
+  if (owner_ != nullptr) return false;
+  owner_ = n.current();
+  return true;
+}
+
+void Mutex::unlock() {
+  sim::Node& n = sim::this_node();
+  THAM_CHECK_MSG(owner_ == n.current(), "unlock() by non-owner");
+  charge_sync(n);
+  owner_ = nullptr;
+  if (!waiters_.empty()) {
+    sim::Task* w = waiters_.front();
+    waiters_.pop_front();
+    n.wake(w);
+  }
+}
+
+void CondVar::wait(Mutex& m) {
+  sim::Node& n = sim::this_node();
+  THAM_CHECK_MSG(m.owner_ == n.current(), "CondVar::wait without the lock");
+  charge_sync(n);
+  waiters_.push_back(n.current());
+  m.unlock();
+  n.block();
+  m.lock();
+}
+
+void CondVar::signal() {
+  sim::Node& n = sim::this_node();
+  charge_sync(n);
+  if (!waiters_.empty()) {
+    sim::Task* w = waiters_.front();
+    waiters_.pop_front();
+    n.wake(w);
+  }
+}
+
+void CondVar::broadcast() {
+  sim::Node& n = sim::this_node();
+  charge_sync(n);
+  while (!waiters_.empty()) {
+    sim::Task* w = waiters_.front();
+    waiters_.pop_front();
+    n.wake(w);
+  }
+}
+
+void Semaphore::acquire() {
+  sim::Node& n = sim::this_node();
+  charge_sync(n);
+  while (count_ == 0) {
+    waiters_.push_back(n.current());
+    n.block();
+  }
+  --count_;
+}
+
+bool Semaphore::try_acquire() {
+  sim::Node& n = sim::this_node();
+  charge_sync(n);
+  if (count_ == 0) return false;
+  --count_;
+  return true;
+}
+
+void Semaphore::release() {
+  sim::Node& n = sim::this_node();
+  charge_sync(n);
+  ++count_;
+  if (!waiters_.empty()) {
+    sim::Task* w = waiters_.front();
+    waiters_.pop_front();
+    n.wake(w);
+  }
+}
+
+ThreadBarrier::ThreadBarrier(int parties) : parties_(parties) {
+  THAM_CHECK(parties > 0);
+}
+
+bool ThreadBarrier::arrive_and_wait() {
+  mu_.lock();
+  std::uint64_t gen = generation_;
+  ++arrived_;
+  bool serial = arrived_ == parties_;
+  if (serial) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.broadcast();
+  } else {
+    while (generation_ == gen) cv_.wait(mu_);
+  }
+  mu_.unlock();
+  return serial;
+}
+
+}  // namespace tham::threads

@@ -1,0 +1,137 @@
+#pragma once
+// The lightweight, non-preemptive, POSIX-style threads package the new CC++
+// runtime is built on (Section 4 of the paper). A thin, instrumented facade
+// over the node scheduler: every create, context switch, lock, unlock,
+// signal and wait is counted and charged its calibrated cost, because the
+// paper's Table 4 "Threads" column is exactly (counts x unit costs).
+//
+// All objects are node-local (one address space): a Mutex created on node 3
+// may only ever be touched by simulated threads of node 3.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/node.hpp"
+
+namespace tham::threads {
+
+/// Handle to a simulated thread. Join-once semantics (like pthreads).
+class Thread {
+ public:
+  Thread() = default;
+  bool valid() const { return task_ != nullptr; }
+
+ private:
+  friend Thread spawn(std::function<void()>, const char*);
+  friend Thread spawn_daemon(std::function<void()>, const char*);
+  friend void join(Thread&);
+  friend void detach(Thread&);
+  sim::Task* task_ = nullptr;
+  sim::Node* node_ = nullptr;
+};
+
+/// Creates a thread on the current node. Charges the thread-creation cost
+/// to the spawner under ThreadMgmt.
+Thread spawn(std::function<void()> body, const char* name = "thread");
+
+/// Daemon variant (e.g. the polling thread): not charged against deadlock
+/// detection; unwound automatically at simulation shutdown.
+Thread spawn_daemon(std::function<void()> body, const char* name = "daemon");
+
+/// Blocks until `t` finishes. Each thread joined or detached exactly once.
+void join(Thread& t);
+
+/// Relinquishes the thread; its resources are reclaimed when it finishes.
+void detach(Thread& t);
+
+/// Cooperative yield to the back of the node's run queue. The context
+/// switch itself is charged by the scheduler when control actually moves.
+void yield();
+
+/// Non-recursive mutex.
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock();
+  void unlock();
+  bool try_lock();
+  bool held() const { return owner_ != nullptr; }
+
+ private:
+  friend class CondVar;
+  sim::Task* owner_ = nullptr;
+  std::deque<sim::Task*> waiters_;
+};
+
+/// RAII lock guard.
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~LockGuard() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable (Mesa semantics: always re-check the predicate).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m);
+  void signal();
+  void broadcast();
+
+ private:
+  std::deque<sim::Task*> waiters_;
+};
+
+/// Counting semaphore (node-local).
+class Semaphore {
+ public:
+  explicit Semaphore(int initial = 0) : count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  /// Decrements; blocks while the count is zero.
+  void acquire();
+  /// Increments; wakes one waiter if any.
+  void release();
+  bool try_acquire();
+  int value() const { return count_; }
+
+ private:
+  int count_;
+  std::deque<sim::Task*> waiters_;
+};
+
+/// Reusable node-local thread barrier for `parties` threads.
+class ThreadBarrier {
+ public:
+  explicit ThreadBarrier(int parties);
+  ThreadBarrier(const ThreadBarrier&) = delete;
+  ThreadBarrier& operator=(const ThreadBarrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived; then all proceed.
+  /// Returns true for exactly one thread per generation (the "serial"
+  /// thread, as in std::barrier's completion step).
+  bool arrive_and_wait();
+
+ private:
+  int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+};
+
+}  // namespace tham::threads

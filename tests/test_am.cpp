@@ -1,0 +1,261 @@
+// Tests for the Active Messages layer: request/reply, bulk transfers, gets,
+// polling semantics, and the calibrated round-trip costs that anchor
+// Table 4 (Split-C null round-trip ~53 us on the simulated SP2).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "am/am.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace tham::am {
+namespace {
+
+using sim::Component;
+using sim::Engine;
+using sim::Node;
+
+struct Machine {
+  explicit Machine(int nodes) : engine(nodes), net(engine), am(net) {}
+  Engine engine;
+  net::Network net;
+  AmLayer am;
+
+  /// Reception is polling-based: a node that runs no program of its own
+  /// needs an explicit polling loop to service requests (exactly why the
+  /// CC++ runtime forks a polling thread, Section 4).
+  void spawn_poller(NodeId id) {
+    engine.node(id).spawn(
+        [this] {
+          Node& n = sim::this_node();
+          while (!n.shutting_down()) {
+            if (!n.wait_for_inbox(/*poll_only=*/true)) break;
+            am.poll();
+          }
+        },
+        "poller", /*daemon=*/true);
+  }
+};
+
+TEST(Am, RequestRunsHandlerAtReceiver) {
+  Machine m(2);
+  NodeId handler_node = kInvalidNode;
+  Words got{};
+  HandlerId h = m.am.register_short(
+      "t", [&](Node& self, Token, const Words& w) {
+        handler_node = self.id();
+        got = w;
+      });
+  m.engine.node(0).spawn([&] { m.am.request(1, h, 11, 22, 33, 44, 55, 66); },
+                         "sender");
+  m.engine.node(1).spawn(
+      [&] { m.am.poll_until([&] { return handler_node != kInvalidNode; }); },
+      "receiver");
+  m.engine.run();
+  EXPECT_EQ(handler_node, 1);
+  EXPECT_EQ(got, (Words{11, 22, 33, 44, 55, 66}));
+}
+
+TEST(Am, ReplyReturnsToRequester) {
+  Machine m(2);
+  bool done = false;
+  HandlerId h_done = m.am.register_short(
+      "done", [&](Node&, Token, const Words& w) {
+        EXPECT_EQ(w[0], 99u);
+        done = true;
+      });
+  HandlerId h_ping = m.am.register_short(
+      "ping", [&](Node&, Token tok, const Words&) {
+        m.am.reply(tok, h_done, 99);
+      });
+  m.spawn_poller(1);
+  m.engine.node(0).spawn(
+      [&] {
+        m.am.request(1, h_ping);
+        m.am.poll_until([&] { return done; });
+      },
+      "pinger");
+  m.engine.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Am, NullRoundTripMatchesSp2Calibration) {
+  // One request+reply round trip should cost ~53 us of virtual time
+  // (the paper's Split-C AM column).
+  Machine m(2);
+  bool done = false;
+  HandlerId h_done =
+      m.am.register_short("done", [&](Node&, Token, const Words&) {
+        done = true;
+      });
+  HandlerId h_ping = m.am.register_short(
+      "ping", [&](Node&, Token tok, const Words&) { m.am.reply(tok, h_done); });
+  SimTime elapsed = 0;
+  m.engine.node(0).spawn(
+      [&] {
+        Node& n = sim::this_node();
+        constexpr int kIters = 1000;
+        SimTime t0 = n.now();
+        for (int i = 0; i < kIters; ++i) {
+          done = false;
+          m.am.request(1, h_ping);
+          m.am.poll_until([&] { return done; });
+        }
+        elapsed = (n.now() - t0) / kIters;
+      },
+      "pinger");
+  m.spawn_poller(1);
+  m.engine.run();
+  double us = to_usec(elapsed);
+  EXPECT_GT(us, 48.0);
+  EXPECT_LT(us, 58.0);
+}
+
+TEST(Am, XferDepositsPayloadAndRunsBulkHandler) {
+  Machine m(2);
+  std::vector<double> dst(20, 0.0);
+  std::vector<double> src(20);
+  for (int i = 0; i < 20; ++i) src[static_cast<size_t>(i)] = i * 1.5;
+  std::size_t got_len = 0;
+  HandlerId h = m.am.register_bulk(
+      "bulk", [&](Node&, Token, void* addr, std::size_t len, const Words& w) {
+        EXPECT_EQ(addr, dst.data());
+        EXPECT_EQ(w[0], 7u);
+        got_len = len;
+      });
+  m.engine.node(0).spawn(
+      [&] {
+        m.am.xfer(1, dst.data(), src.data(), 20 * sizeof(double), h, 7);
+      },
+      "sender");
+  m.engine.node(1).spawn([&] { m.am.poll_until([&] { return got_len > 0; }); },
+                         "receiver");
+  m.engine.run();
+  EXPECT_EQ(got_len, 20 * sizeof(double));
+  EXPECT_EQ(dst, src);
+}
+
+TEST(Am, GetFetchesRemoteMemory) {
+  Machine m(2);
+  std::vector<double> remote(8);
+  for (int i = 0; i < 8; ++i) remote[static_cast<size_t>(i)] = i + 0.25;
+  std::vector<double> local(8, 0.0);
+  bool done = false;
+  Word seen_cookie = 0;
+  HandlerId h_done = m.am.register_short(
+      "done", [&](Node&, Token, const Words& w) {
+        EXPECT_EQ(to_ptr<void>(w[0]), local.data());
+        EXPECT_EQ(w[1], 8 * sizeof(double));
+        seen_cookie = w[2];
+        done = true;
+      });
+  m.engine.node(0).spawn(
+      [&] {
+        m.am.get(1, remote.data(), local.data(), 8 * sizeof(double), h_done,
+                 /*cookie=*/0xabcd);
+        m.am.poll_until([&] { return done; });
+      },
+      "getter");
+  m.spawn_poller(1);
+  m.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(seen_cookie, 0xabcdu);
+  EXPECT_EQ(local, remote);
+}
+
+TEST(Am, BulkRoundTripNearSeventyMicroseconds) {
+  // A get of 40 words (320 bytes): request short + bulk reply; the paper's
+  // AM column reports ~70 us.
+  Machine m(2);
+  std::vector<double> remote(40, 1.0);
+  std::vector<double> local(40, 0.0);
+  int got = 0;
+  HandlerId h_done = m.am.register_short(
+      "done", [&](Node&, Token, const Words&) { ++got; });
+  SimTime elapsed = 0;
+  m.engine.node(0).spawn(
+      [&] {
+        Node& n = sim::this_node();
+        constexpr int kIters = 500;
+        SimTime t0 = n.now();
+        for (int i = 0; i < kIters; ++i) {
+          int before = got;
+          m.am.get(1, remote.data(), local.data(), 40 * 8, h_done);
+          m.am.poll_until([&] { return got > before; });
+        }
+        elapsed = (n.now() - t0) / kIters;
+      },
+      "getter");
+  m.spawn_poller(1);
+  m.engine.run();
+  double us = to_usec(elapsed);
+  EXPECT_GT(us, 62.0);
+  EXPECT_LT(us, 80.0);
+}
+
+TEST(Am, PollDrainsAllDueMessages) {
+  Machine m(2);
+  int count = 0;
+  HandlerId h = m.am.register_short(
+      "inc", [&](Node&, Token, const Words&) { ++count; });
+  m.engine.node(0).spawn(
+      [&] {
+        for (int i = 0; i < 10; ++i) m.am.request(1, h);
+      },
+      "sender");
+  m.engine.node(1).spawn(
+      [&] {
+        m.am.poll_until([&] { return count == 10; });
+        EXPECT_EQ(count, 10);
+      },
+      "receiver");
+  m.engine.run();
+}
+
+TEST(Am, HandlersMayNotBlock) {
+  // The AM discipline: handlers run to completion; blocking in a handler
+  // aborts. This is the restriction that forces MPMD runtimes to fork a
+  // thread for general RMI (Section 3, "Multithreading").
+  Machine m(2);
+  HandlerId h = m.am.register_short(
+      "bad", [&](Node& self, Token, const Words&) { self.block(); });
+  m.engine.node(0).spawn([&] { m.am.request(1, h); }, "sender");
+  m.engine.node(1).spawn(
+      [&] {
+        sim::this_node().wait_for_inbox();
+        EXPECT_DEATH(sim::this_node().poll_one(), "handler");
+      },
+      "receiver");
+  m.engine.allow_deadlock(true);
+  m.engine.run();
+}
+
+TEST(Am, SendCountsMessagesAndBytes) {
+  Machine m(2);
+  HandlerId h = m.am.register_short("nop", [](Node&, Token, const Words&) {});
+  m.engine.node(0).spawn(
+      [&] {
+        m.am.request(1, h);
+        m.am.request(1, h);
+      },
+      "sender");
+  m.engine.node(1).spawn(
+      [&] {
+        Node& n = sim::this_node();
+        n.wait_for_inbox();
+        while (n.poll_one()) {
+        }
+      },
+      "receiver");
+  m.engine.run();
+  EXPECT_EQ(m.engine.node(0).counters().msgs_sent, 2u);
+  EXPECT_EQ(m.engine.node(1).counters().msgs_recv, 2u);
+  EXPECT_EQ(m.net.total_messages(), 2u);
+}
+
+}  // namespace
+}  // namespace tham::am

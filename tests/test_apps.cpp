@@ -1,0 +1,264 @@
+// Application-level integration tests: every language version of EM3D,
+// Water, and LU must reproduce the serial reference result, and the
+// performance relations the paper reports must hold in direction
+// (Split-C <= CC++; optimized versions faster than base versions).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/water.hpp"
+
+namespace tham::apps {
+namespace {
+
+// Small-but-not-trivial configs keep the test suite fast; the benches run
+// the paper-size workloads.
+
+em3d::Config small_em3d(double remote_frac) {
+  em3d::Config c;
+  c.graph_nodes = 160;
+  c.degree = 6;
+  c.remote_fraction = remote_frac;
+  c.iters = 3;
+  return c;
+}
+
+water::Config small_water() {
+  water::Config c;
+  c.molecules = 32;
+  c.steps = 2;
+  return c;
+}
+
+lu::Config small_lu() {
+  lu::Config c;
+  c.n = 96;
+  c.block = 8;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// EM3D
+// ---------------------------------------------------------------------------
+
+class Em3dVersions
+    : public ::testing::TestWithParam<std::tuple<em3d::Version, double>> {};
+
+TEST_P(Em3dVersions, MatchesSerialReference) {
+  auto [version, frac] = GetParam();
+  em3d::Config cfg = small_em3d(frac);
+  double expect = em3d::run_serial(cfg);
+  RunResult sc = em3d::run_splitc(cfg, version);
+  EXPECT_NEAR(sc.checksum, expect, 1e-9 + std::abs(expect) * 1e-9)
+      << "split-c " << em3d::version_name(version);
+  RunResult cc = em3d::run_ccxx(cfg, version);
+  EXPECT_NEAR(cc.checksum, expect, 1e-9 + std::abs(expect) * 1e-9)
+      << "cc++ " << em3d::version_name(version);
+  // MPMD communication costs at least as much as SPMD.
+  EXPECT_GE(cc.elapsed, sc.elapsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Em3dVersions,
+    ::testing::Combine(::testing::Values(em3d::Version::Base,
+                                         em3d::Version::Ghost,
+                                         em3d::Version::Bulk),
+                       ::testing::Values(0.1, 0.5, 1.0)));
+
+TEST(Em3d, OptimizationsReduceTime) {
+  em3d::Config cfg = small_em3d(1.0);
+  SimTime base = em3d::run_splitc(cfg, em3d::Version::Base).elapsed;
+  SimTime ghost = em3d::run_splitc(cfg, em3d::Version::Ghost).elapsed;
+  SimTime bulk = em3d::run_splitc(cfg, em3d::Version::Bulk).elapsed;
+  EXPECT_LT(ghost, base);
+  EXPECT_LT(bulk, ghost);
+  SimTime cbase = em3d::run_ccxx(cfg, em3d::Version::Base).elapsed;
+  SimTime cghost = em3d::run_ccxx(cfg, em3d::Version::Ghost).elapsed;
+  SimTime cbulk = em3d::run_ccxx(cfg, em3d::Version::Bulk).elapsed;
+  EXPECT_LT(cghost, cbase);
+  EXPECT_LT(cbulk, cghost);
+}
+
+TEST(Em3d, RemoteFractionIncreasesCommunication) {
+  em3d::Config lo = small_em3d(0.1);
+  em3d::Config hi = small_em3d(1.0);
+  RunResult a = em3d::run_splitc(lo, em3d::Version::Base);
+  RunResult b = em3d::run_splitc(hi, em3d::Version::Base);
+  EXPECT_GT(b.messages, a.messages);
+  EXPECT_GT(b.elapsed, a.elapsed);
+}
+
+TEST(Em3d, GraphIsDeterministicInSeed) {
+  em3d::Config cfg = small_em3d(0.5);
+  double a = em3d::run_serial(cfg);
+  double b = em3d::run_serial(cfg);
+  EXPECT_EQ(a, b);
+  cfg.seed += 1;
+  double c = em3d::run_serial(cfg);
+  EXPECT_NE(a, c);
+}
+
+TEST(Em3d, GraphRespectsRemoteFraction) {
+  em3d::Config cfg = small_em3d(0.0);
+  em3d::Graph g = em3d::build_graph(cfg);
+  for (const auto& edges : g.e_edges) {
+    for (std::size_t p = 0; p < g.e_edges.size(); ++p) {
+      for (const auto& e : g.e_edges[p]) {
+        EXPECT_EQ(e.src_proc, static_cast<int>(p));
+      }
+    }
+    (void)edges;
+  }
+  cfg.remote_fraction = 1.0;
+  g = em3d::build_graph(cfg);
+  for (std::size_t p = 0; p < g.e_edges.size(); ++p) {
+    for (const auto& e : g.e_edges[p]) {
+      EXPECT_NE(e.src_proc, static_cast<int>(p));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Water
+// ---------------------------------------------------------------------------
+
+class WaterVersions : public ::testing::TestWithParam<water::Version> {};
+
+TEST_P(WaterVersions, MatchesSerialReference) {
+  water::Config cfg = small_water();
+  double expect = water::run_serial(cfg);
+  RunResult sc = water::run_splitc(cfg, GetParam());
+  EXPECT_NEAR(sc.checksum, expect, std::abs(expect) * 1e-9);
+  RunResult cc = water::run_ccxx(cfg, GetParam());
+  EXPECT_NEAR(cc.checksum, expect, std::abs(expect) * 1e-9);
+  EXPECT_GE(cc.elapsed, sc.elapsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, WaterVersions,
+                         ::testing::Values(water::Version::Atomic,
+                                           water::Version::Prefetch));
+
+TEST(Water, PrefetchReducesRemoteAccessesAndTime) {
+  water::Config cfg = small_water();
+  RunResult atomic = water::run_splitc(cfg, water::Version::Atomic);
+  RunResult prefetch = water::run_splitc(cfg, water::Version::Prefetch);
+  EXPECT_LT(prefetch.messages, atomic.messages);
+  EXPECT_LT(prefetch.elapsed, atomic.elapsed);
+  RunResult catomic = water::run_ccxx(cfg, water::Version::Atomic);
+  RunResult cprefetch = water::run_ccxx(cfg, water::Version::Prefetch);
+  EXPECT_LT(cprefetch.messages, catomic.messages);
+  EXPECT_LT(cprefetch.elapsed, catomic.elapsed);
+}
+
+TEST(Water, EnergyIsFiniteAndStable) {
+  water::Config cfg = small_water();
+  cfg.steps = 4;
+  double e = water::run_serial(cfg);
+  EXPECT_TRUE(std::isfinite(e));
+  // The lattice is near equilibrium; energies stay moderate.
+  EXPECT_LT(std::abs(e), 1e4);
+}
+
+// ---------------------------------------------------------------------------
+// LU
+// ---------------------------------------------------------------------------
+
+TEST(Lu, SplitCMatchesSerial) {
+  lu::Config cfg = small_lu();
+  double expect = lu::run_serial(cfg);
+  RunResult sc = lu::run_splitc(cfg);
+  EXPECT_NEAR(sc.checksum, expect, std::abs(expect) * 1e-12);
+}
+
+TEST(Lu, CcxxMatchesSerial) {
+  lu::Config cfg = small_lu();
+  double expect = lu::run_serial(cfg);
+  RunResult cc = lu::run_ccxx(cfg);
+  EXPECT_NEAR(cc.checksum, expect, std::abs(expect) * 1e-12);
+}
+
+TEST(Lu, FactorizationIsCorrect) {
+  // L*U must reconstruct the original matrix (small case, exact algebra).
+  lu::Config cfg;
+  cfg.n = 32;
+  cfg.block = 8;
+  lu::Matrix orig = lu::build_matrix(cfg);
+  // Factor serially via the library path.
+  double checksum = lu::run_serial(cfg);
+  EXPECT_TRUE(std::isfinite(checksum));
+  // Reconstruct: assemble full matrices from the serial factorization by
+  // re-running the reference blocked algorithm here.
+  int n = cfg.n, b = cfg.block, nb = n / b;
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (int bi = 0; bi < nb; ++bi) {
+    for (int bj = 0; bj < nb; ++bj) {
+      for (int r = 0; r < b; ++r) {
+        for (int c = 0; c < b; ++c) {
+          a[static_cast<std::size_t>((bi * b + r) * n + bj * b + c)] =
+              orig.blocks[static_cast<std::size_t>(bi)]
+                         [static_cast<std::size_t>(bj)]
+                         [static_cast<std::size_t>(r * b + c)];
+        }
+      }
+    }
+  }
+  // Unblocked LU on the flat copy.
+  std::vector<double> f = a;
+  for (int c = 0; c < n; ++c) {
+    for (int r = c + 1; r < n; ++r) {
+      f[static_cast<std::size_t>(r * n + c)] /=
+          f[static_cast<std::size_t>(c * n + c)];
+      for (int cc = c + 1; cc < n; ++cc) {
+        f[static_cast<std::size_t>(r * n + cc)] -=
+            f[static_cast<std::size_t>(r * n + c)] *
+            f[static_cast<std::size_t>(c * n + cc)];
+      }
+    }
+  }
+  // L * U == A?
+  double max_err = 0;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      double sum = 0;
+      int m = std::min(r, c);
+      for (int k = 0; k <= m; ++k) {
+        double l = r == k ? 1.0 : f[static_cast<std::size_t>(r * n + k)];
+        double u = f[static_cast<std::size_t>(k * n + c)];
+        if (k <= c && k <= r) sum += (k < r ? l : 1.0) * u;
+      }
+      max_err = std::max(
+          max_err, std::abs(sum - a[static_cast<std::size_t>(r * n + c)]));
+    }
+  }
+  EXPECT_LT(max_err, 1e-8);
+}
+
+TEST(Lu, CcxxSlowerThanSplitC) {
+  lu::Config cfg = small_lu();
+  RunResult sc = lu::run_splitc(cfg);
+  RunResult cc = lu::run_ccxx(cfg);
+  EXPECT_GT(cc.elapsed, sc.elapsed);
+  // The paper's gap is 3.6x at full size; at toy size just require a gap.
+  EXPECT_LT(cc.elapsed, sc.elapsed * 10);
+}
+
+// ---------------------------------------------------------------------------
+// Accounting invariants across all apps
+// ---------------------------------------------------------------------------
+
+TEST(Apps, BreakdownsSumToElapsedPerNode) {
+  em3d::Config cfg = small_em3d(0.5);
+  sim::Engine engine(cfg.procs);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  em3d::run_splitc(engine, net, am, cfg, em3d::Version::Ghost);
+  for (NodeId i = 0; i < engine.size(); ++i) {
+    EXPECT_EQ(engine.node(i).breakdown().total(), engine.node(i).now());
+  }
+}
+
+}  // namespace
+}  // namespace tham::apps

@@ -1,0 +1,486 @@
+// Tests for the CC++ runtime: marshalling, RMI in all four modes, the stub
+// cache protocol (cold -> update -> warm), persistent buffers, global
+// pointer access, sync variables, par/parfor, collectives, and the Table 4
+// calibration of the null RMI.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "ccxx/runtime.hpp"
+
+namespace tham::ccxx {
+namespace {
+
+using sim::Engine;
+
+struct Machine {
+  explicit Machine(int nodes, const CostModel& cm = sp2_cost_model())
+      : engine(nodes, cm), net(engine), am(net), rt(engine, net, am) {}
+  Engine engine;
+  net::Network net;
+  am::AmLayer am;
+  Runtime rt;
+};
+
+// ---------------------------------------------------------------------------
+// Marshalling
+// ---------------------------------------------------------------------------
+
+TEST(Serial, TrivialRoundTrip) {
+  Serializer s;
+  cc_marshal(s, 42);
+  cc_marshal(s, 2.75);
+  cc_marshal(s, 'x');
+  Deserializer d(s.data(), s.size());
+  EXPECT_EQ(unmarshal_one<int>(d), 42);
+  EXPECT_DOUBLE_EQ(unmarshal_one<double>(d), 2.75);
+  EXPECT_EQ(unmarshal_one<char>(d), 'x');
+  EXPECT_EQ(d.remaining(), 0u);
+}
+
+TEST(Serial, StringAndVectorRoundTrip) {
+  Serializer s;
+  cc_marshal(s, std::string("remote method invocation"));
+  std::vector<double> v(17);
+  std::iota(v.begin(), v.end(), 0.5);
+  cc_marshal(s, v);
+  std::vector<std::string> names{"em3d", "water", "lu"};
+  cc_marshal(s, names);
+  Deserializer d(s.data(), s.size());
+  EXPECT_EQ(unmarshal_one<std::string>(d), "remote method invocation");
+  EXPECT_EQ(unmarshal_one<std::vector<double>>(d), v);
+  EXPECT_EQ(unmarshal_one<std::vector<std::string>>(d), names);
+}
+
+TEST(Serial, TruncatedInputThrows) {
+  Serializer s;
+  cc_marshal(s, 123456789ll);
+  Deserializer d(s.data(), s.size() - 1);
+  EXPECT_THROW(unmarshal_one<long long>(d), RuntimeError);
+}
+
+// Property: random payload vectors survive a marshal/unmarshal round trip.
+class SerialSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerialSweep, RandomVectorsRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  auto n = static_cast<std::size_t>(rng.next_below(200));
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_double(-1e6, 1e6);
+  std::string tag(static_cast<std::size_t>(rng.next_below(64)), '\0');
+  for (auto& c : tag) c = static_cast<char>('a' + rng.next_below(26));
+  Serializer s;
+  cc_marshal(s, v);
+  cc_marshal(s, tag);
+  Deserializer d(s.data(), s.size());
+  EXPECT_EQ(unmarshal_one<std::vector<double>>(d), v);
+  EXPECT_EQ(unmarshal_one<std::string>(d), tag);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialSweep, ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------------
+// Processor objects and RMI
+// ---------------------------------------------------------------------------
+
+/// A toy processor object used throughout these tests.
+struct Counter {
+  long value = 0;
+  long add(long d) {
+    value += d;
+    return value;
+  }
+  long get() { return value; }
+  void set(long v) { value = v; }
+  std::vector<double> scale(std::vector<double> xs, double k) {
+    for (auto& x : xs) x *= k;
+    return xs;
+  }
+};
+
+TEST(Rmi, BlockingRoundTripReturnsResult) {
+  Machine m(2);
+  auto add = m.rt.def_method("Counter::add", &Counter::add);
+  auto c = m.rt.place<Counter>(1);
+  m.rt.run_main([&] {
+    EXPECT_EQ(m.rt.rmi(c, add, 5L), 5);
+    EXPECT_EQ(m.rt.rmi(c, add, 7L), 12);
+  });
+  EXPECT_EQ(c.ptr->value, 12);
+}
+
+TEST(Rmi, AllModesProduceSameResult) {
+  Machine m(2);
+  auto a1 = m.rt.def_method("C::a1", &Counter::add, RmiMode::Simple);
+  auto a2 = m.rt.def_method("C::a2", &Counter::add, RmiMode::Blocking);
+  auto a3 = m.rt.def_method("C::a3", &Counter::add, RmiMode::Threaded);
+  auto a4 = m.rt.def_method("C::a4", &Counter::add, RmiMode::Atomic);
+  auto c = m.rt.place<Counter>(1);
+  m.rt.run_main([&] {
+    EXPECT_EQ(m.rt.rmi(c, a1, 1L), 1);
+    EXPECT_EQ(m.rt.rmi(c, a2, 10L), 11);
+    EXPECT_EQ(m.rt.rmi(c, a3, 100L), 111);
+    EXPECT_EQ(m.rt.rmi(c, a4, 1000L), 1111);
+  });
+}
+
+TEST(Rmi, VoidMethodAndLocalInvocation) {
+  Machine m(2);
+  auto set = m.rt.def_method("Counter::set", &Counter::set);
+  auto get = m.rt.def_method("Counter::get", &Counter::get);
+  auto remote = m.rt.place<Counter>(1);
+  auto local = m.rt.place<Counter>(0);
+  m.rt.run_main([&] {
+    m.rt.rmi(remote, set, 77L);
+    m.rt.rmi(local, set, 88L);
+    EXPECT_EQ(m.rt.rmi(remote, get), 77);
+    EXPECT_EQ(m.rt.rmi(local, get), 88);
+  });
+  EXPECT_GE(m.rt.cc_stats(0).rmi_local, 2u);
+}
+
+TEST(Rmi, BulkArgumentsAndResults) {
+  Machine m(2);
+  auto scale = m.rt.def_method("Counter::scale", &Counter::scale);
+  auto c = m.rt.place<Counter>(1);
+  std::vector<double> in(50);
+  std::iota(in.begin(), in.end(), 1.0);
+  m.rt.run_main([&] {
+    auto out = m.rt.rmi(c, scale, in, 3.0);
+    ASSERT_EQ(out.size(), in.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_DOUBLE_EQ(out[i], in[i] * 3.0);
+    }
+  });
+}
+
+TEST(Rmi, ColdThenWarmStubCacheProtocol) {
+  Machine m(2);
+  auto add = m.rt.def_method("Counter::add", &Counter::add);
+  auto c = m.rt.place<Counter>(1);
+  m.rt.run_main([&] {
+    for (int i = 0; i < 10; ++i) m.rt.rmi(c, add, 1L);
+  });
+  const auto& st = m.rt.cc_stats(0);
+  // Exactly one cold call (the name resolution round trip), then cache hits.
+  EXPECT_EQ(st.rmi_cold, 1u);
+  EXPECT_EQ(st.rmi_warm, 9u);
+}
+
+TEST(Rmi, StubCachingDisabledShipsNameEveryTime) {
+  CostModel cm = sp2_cost_model();
+  cm.cc_stub_caching = false;
+  Machine m(2, cm);
+  auto add = m.rt.def_method("Counter::add", &Counter::add);
+  auto c = m.rt.place<Counter>(1);
+  m.rt.run_main([&] {
+    for (int i = 0; i < 10; ++i) m.rt.rmi(c, add, 1L);
+  });
+  EXPECT_EQ(m.rt.cc_stats(0).rmi_cold, 10u);
+  EXPECT_EQ(m.rt.cc_stats(0).rmi_warm, 0u);
+}
+
+TEST(Rmi, WarmCallsAreCheaperThanCold) {
+  auto measure = [](bool caching) {
+    CostModel cm = sp2_cost_model();
+    cm.cc_stub_caching = caching;
+    Machine m(2, cm);
+    auto add = m.rt.def_method("Counter::add", &Counter::add);
+    auto c = m.rt.place<Counter>(1);
+    SimTime elapsed = 0;
+    m.rt.run_main([&] {
+      sim::Node& n = sim::this_node();
+      m.rt.rmi(c, add, 1L);  // warm the cache (or not)
+      SimTime t0 = n.now();
+      for (int i = 0; i < 100; ++i) m.rt.rmi(c, add, 1L);
+      elapsed = n.now() - t0;
+    });
+    return elapsed;
+  };
+  SimTime warm = measure(true);
+  SimTime cold = measure(false);
+  EXPECT_LT(warm, cold);
+}
+
+TEST(Rmi, FireAndForgetSpawn) {
+  Machine m(2);
+  auto add = m.rt.def_method("Counter::add", &Counter::add);
+  auto get = m.rt.def_method("Counter::get", &Counter::get);
+  auto c = m.rt.place<Counter>(1);
+  m.rt.run_main([&] {
+    for (int i = 0; i < 5; ++i) m.rt.rmi_spawn(c, add, 2L);
+    // A blocking RMI behind the spawns observes their effects (same
+    // channel, FIFO delivery; threaded methods run in spawn order here).
+    long v = m.rt.rmi(c, get);
+    EXPECT_EQ(v, 10);
+  });
+}
+
+TEST(Rmi, RemoteObjectCreation) {
+  Machine m(3);
+  auto mk = m.rt.def_class<Counter>("Counter::Counter");
+  auto add = m.rt.def_method("Counter::add", &Counter::add);
+  m.rt.run_main([&] {
+    auto c2 = m.rt.create(2, mk);
+    EXPECT_EQ(c2.node, 2);
+    EXPECT_EQ(m.rt.rmi(c2, add, 3L), 3);
+    EXPECT_EQ(m.rt.rmi(c2, add, 4L), 7);
+  });
+}
+
+TEST(Rmi, NullRmiMatchesTable4Calibration) {
+  // Table 4: CC++ "0-Word Simple" = 67 us total (only ~1.25x the raw AM
+  // round trip and well under MPL's 88 us).
+  Machine m(2);
+  auto get = m.rt.def_method("Counter::get", &Counter::get, RmiMode::Simple);
+  auto c = m.rt.place<Counter>(1);
+  double per_op = 0;
+  m.rt.run_main([&] {
+    sim::Node& n = sim::this_node();
+    m.rt.rmi(c, get);  // warm the cache
+    constexpr int kIters = 1000;
+    SimTime t0 = n.now();
+    for (int i = 0; i < kIters; ++i) m.rt.rmi(c, get);
+    per_op = to_usec(n.now() - t0) / kIters;
+  });
+  EXPECT_GT(per_op, 58.0);
+  EXPECT_LT(per_op, 76.0);
+}
+
+TEST(Rmi, AtomicMethodsSerializeOnNodeLock) {
+  // Two atomic methods invoked concurrently (par) on the same node must not
+  // interleave (the node lock), even though each yields mid-method.
+  struct Critical {
+    int inside = 0;
+    int max_inside = 0;
+    int enter_leave() {
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      threads::yield();  // tempt the scheduler
+      --inside;
+      return max_inside;
+    }
+  };
+  Machine m(2);
+  auto mth =
+      m.rt.def_method("Critical::enter_leave", &Critical::enter_leave,
+                      RmiMode::Atomic);
+  auto obj = m.rt.place<Critical>(1);
+  m.rt.run_main([&] {
+    m.rt.par({[&] { m.rt.rmi(obj, mth); }, [&] { m.rt.rmi(obj, mth); },
+              [&] { m.rt.rmi(obj, mth); }});
+  });
+  EXPECT_EQ(obj.ptr->max_inside, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Global-pointer data access
+// ---------------------------------------------------------------------------
+
+TEST(Gvar, RemoteReadWrite) {
+  Machine m(2);
+  double cell = 1.5;
+  m.rt.run_main([&] {
+    gvar<double> gv{1, &cell};
+    EXPECT_DOUBLE_EQ(m.rt.read(gv), 1.5);
+    m.rt.write(gv, 2.5);
+    EXPECT_DOUBLE_EQ(m.rt.read(gv), 2.5);
+  });
+  EXPECT_DOUBLE_EQ(cell, 2.5);
+  EXPECT_EQ(m.rt.cc_stats(0).gp_remote, 3u);
+}
+
+TEST(Gvar, LocalAccessPaysGlobalPointerOverhead) {
+  Machine m(2);
+  double cell = 9.0;
+  SimTime local_cost = 0;
+  m.rt.run_main([&] {
+    sim::Node& n = sim::this_node();
+    gvar<double> gv{0, &cell};
+    SimTime t0 = n.now();
+    for (int i = 0; i < 100; ++i) (void)m.rt.read(gv);
+    local_cost = (n.now() - t0) / 100;
+  });
+  // Local but non-free: the em3d-base effect (cc_local_gp per access).
+  EXPECT_EQ(local_cost, m.engine.cost().cc_local_gp);
+  EXPECT_EQ(m.rt.cc_stats(0).gp_local, 100u);
+}
+
+TEST(Gvar, GpReadMatchesTable4Calibration) {
+  // Table 4: CC++ "GP 2-Word R/W" = 92 us.
+  Machine m(2);
+  double cell = 1.0;
+  double per_op = 0;
+  m.rt.run_main([&] {
+    sim::Node& n = sim::this_node();
+    gvar<double> gv{1, &cell};
+    (void)m.rt.read(gv);
+    constexpr int kIters = 1000;
+    SimTime t0 = n.now();
+    for (int i = 0; i < kIters; ++i) (void)m.rt.read(gv);
+    per_op = to_usec(n.now() - t0) / kIters;
+  });
+  EXPECT_GT(per_op, 82.0);
+  EXPECT_LT(per_op, 102.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency constructs
+// ---------------------------------------------------------------------------
+
+TEST(Par, BlocksRunConcurrentlyAndJoin) {
+  Machine m(1);
+  std::vector<int> order;
+  m.rt.run_main([&] {
+    m.rt.par({[&] {
+                order.push_back(1);
+                threads::yield();
+                order.push_back(3);
+              },
+              [&] {
+                order.push_back(2);
+                threads::yield();
+                order.push_back(4);
+              }});
+    order.push_back(5);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Par, ParforCoversRange) {
+  Machine m(1);
+  std::vector<int> hits(20, 0);
+  m.rt.run_main([&] {
+    m.rt.parfor(0, 20, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Par, ParforHidesRmiLatency) {
+  // 20 sequential remote reads cost ~20 round trips; 20 parfor'd reads
+  // overlap (the Prefetch micro-benchmark effect).
+  Machine m(2);
+  double cell = 2.0;
+  SimTime seq = 0, par = 0;
+  m.rt.run_main([&] {
+    sim::Node& n = sim::this_node();
+    gvar<double> gv{1, &cell};
+    (void)m.rt.read(gv);  // warm
+    SimTime t0 = n.now();
+    for (int i = 0; i < 20; ++i) (void)m.rt.read(gv);
+    seq = n.now() - t0;
+    t0 = n.now();
+    m.rt.parfor(0, 20, [&](int) { (void)m.rt.read(gv); });
+    par = n.now() - t0;
+  });
+  EXPECT_LT(par, seq * 2 / 3);
+}
+
+TEST(SyncVar, ReaderBlocksUntilWritten) {
+  Machine m(1);
+  std::vector<int> order;
+  m.rt.run_main([&] {
+    sync_var<int> sv;
+    m.rt.par({[&] {
+                order.push_back(1);
+                int v = sv.read();  // blocks
+                EXPECT_EQ(v, 42);
+                order.push_back(3);
+              },
+              [&] {
+                order.push_back(2);
+                sv.write(42);
+              }});
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SyncVar, DoubleWriteThrows) {
+  Machine m(1);
+  m.rt.run_main([&] {
+    sync_var<int> sv;
+    sv.write(1);
+    EXPECT_THROW(sv.write(2), RuntimeError);
+    EXPECT_EQ(sv.read(), 1);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Collectives (SPMD-style usage)
+// ---------------------------------------------------------------------------
+
+TEST(Collectives, BarrierSeparatesPhases) {
+  Machine m(4);
+  std::array<int, 4> phase{};
+  m.rt.run_spmd([&] {
+    NodeId me = sim::this_node().id();
+    phase[static_cast<std::size_t>(me)] = 1;
+    m.rt.barrier();
+    for (int v : phase) EXPECT_EQ(v, 1);
+    m.rt.barrier();
+    phase[static_cast<std::size_t>(me)] = 2;
+    m.rt.barrier();
+    for (int v : phase) EXPECT_EQ(v, 2);
+  });
+}
+
+TEST(Collectives, RepeatedBarriers) {
+  Machine m(4);
+  m.rt.run_spmd([&] {
+    for (int i = 0; i < 25; ++i) m.rt.barrier();
+  });
+  EXPECT_FALSE(m.engine.deadlocked());
+}
+
+TEST(Collectives, AllReduceSum) {
+  Machine m(4);
+  m.rt.run_spmd([&] {
+    double me = 1.0 + sim::this_node().id();
+    EXPECT_DOUBLE_EQ(m.rt.all_reduce_sum(me), 10.0);
+    EXPECT_DOUBLE_EQ(m.rt.all_reduce_sum(1.0), 4.0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Accounting invariants
+// ---------------------------------------------------------------------------
+
+TEST(Accounting, BreakdownSumsToClockUnderRmiLoad) {
+  Machine m(3);
+  auto add = m.rt.def_method("Counter::add", &Counter::add);
+  auto c1 = m.rt.place<Counter>(1);
+  auto c2 = m.rt.place<Counter>(2);
+  m.rt.run_main([&] {
+    for (int i = 0; i < 20; ++i) {
+      m.rt.rmi(c1, add, 1L);
+      m.rt.rmi(c2, add, 2L);
+    }
+  });
+  for (NodeId i = 0; i < 3; ++i) {
+    const sim::Node& n = m.engine.node(i);
+    EXPECT_EQ(n.breakdown().total(), n.now()) << "node " << i;
+  }
+}
+
+TEST(Accounting, MostLockAcquiresAreContentionless) {
+  // The paper: "about 95% of lock acquisitions are contention-less".
+  Machine m(2);
+  auto add = m.rt.def_method("Counter::add", &Counter::add);
+  auto c = m.rt.place<Counter>(1);
+  m.rt.run_main([&] {
+    for (int i = 0; i < 50; ++i) m.rt.rmi(c, add, 1L);
+  });
+  std::uint64_t acq = 0, cont = 0;
+  for (NodeId i = 0; i < 2; ++i) {
+    acq += m.engine.node(i).counters().lock_acquires;
+    cont += m.engine.node(i).counters().lock_contended;
+  }
+  ASSERT_GT(acq, 0u);
+  EXPECT_LT(static_cast<double>(cont) / static_cast<double>(acq), 0.05);
+}
+
+}  // namespace
+}  // namespace tham::ccxx

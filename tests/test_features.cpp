@@ -1,0 +1,367 @@
+// Tests for the extension features layered on the reproduction: RMI
+// futures (split-phase invocation), remote exception propagation,
+// semaphores and thread barriers, non-blocking MPL receives, extra Split-C
+// collectives, and the message tracer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ccxx/runtime.hpp"
+#include "msg/mpl.hpp"
+#include "splitc/world.hpp"
+#include "stats/trace.hpp"
+#include "threads/threads.hpp"
+
+namespace tham {
+namespace {
+
+using sim::Engine;
+
+struct CcMachine {
+  explicit CcMachine(int nodes)
+      : engine(nodes), net(engine), am(net), rt(engine, net, am) {}
+  Engine engine;
+  net::Network net;
+  am::AmLayer am;
+  ccxx::Runtime rt;
+};
+
+struct Sleeper {
+  long slow_add(long a, long b) {
+    sim::this_node().advance(usec(500));
+    return a + b;
+  }
+  long boom(long v) {
+    if (v < 0) throw RuntimeError("negative input to boom");
+    return v * 2;
+  }
+  std::vector<double> big_boom() {
+    throw RuntimeError("bulk failure");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Futures (split-phase RMI)
+// ---------------------------------------------------------------------------
+
+TEST(Future, OverlapsMultipleCalls) {
+  CcMachine m(3);
+  auto slow = m.rt.def_method("Sleeper::slow_add", &Sleeper::slow_add);
+  auto o1 = m.rt.place<Sleeper>(1);
+  auto o2 = m.rt.place<Sleeper>(2);
+  m.rt.run_main([&] {
+    sim::Node& n = sim::this_node();
+    // Warm both caches.
+    (void)m.rt.rmi(o1, slow, 0L, 0L);
+    (void)m.rt.rmi(o2, slow, 0L, 0L);
+    SimTime t0 = n.now();
+    auto f1 = m.rt.rmi_async(o1, slow, 1L, 2L);
+    auto f2 = m.rt.rmi_async(o2, slow, 10L, 20L);
+    EXPECT_EQ(f1.get(), 3);
+    EXPECT_EQ(f2.get(), 30);
+    SimTime overlapped = n.now() - t0;
+    t0 = n.now();
+    long s = m.rt.rmi(o1, slow, 1L, 2L) + m.rt.rmi(o2, slow, 10L, 20L);
+    EXPECT_EQ(s, 33);
+    SimTime sequential = n.now() - t0;
+    // Two overlapped 500us methods must beat two sequential ones clearly.
+    EXPECT_LT(overlapped, sequential * 3 / 4);
+  });
+}
+
+TEST(Future, LocalFutureIsEager) {
+  CcMachine m(2);
+  auto slow = m.rt.def_method("Sleeper::slow_add", &Sleeper::slow_add);
+  auto local = m.rt.place<Sleeper>(0);
+  m.rt.run_main([&] {
+    auto f = m.rt.rmi_async(local, slow, 2L, 3L);
+    EXPECT_TRUE(f.ready());
+    EXPECT_EQ(f.get(), 5);
+  });
+}
+
+TEST(Future, GetOnEmptyFutureThrows) {
+  CcMachine m(2);
+  auto slow = m.rt.def_method("Sleeper::slow_add", &Sleeper::slow_add);
+  auto obj = m.rt.place<Sleeper>(1);
+  m.rt.run_main([&] {
+    auto f = m.rt.rmi_async(obj, slow, 1L, 1L);
+    EXPECT_EQ(f.get(), 2);
+    EXPECT_FALSE(f.valid());
+    EXPECT_THROW(f.get(), RuntimeError);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Remote exceptions
+// ---------------------------------------------------------------------------
+
+TEST(RemoteException, PropagatesMessageToCaller) {
+  CcMachine m(2);
+  auto boom = m.rt.def_method("Sleeper::boom", &Sleeper::boom);
+  auto obj = m.rt.place<Sleeper>(1);
+  m.rt.run_main([&] {
+    EXPECT_EQ(m.rt.rmi(obj, boom, 21L), 42);  // normal path still works
+    try {
+      (void)m.rt.rmi(obj, boom, -1L);
+      FAIL() << "expected RemoteError";
+    } catch (const ccxx::RemoteError& e) {
+      EXPECT_NE(std::string(e.what()).find("negative input"),
+                std::string::npos);
+    }
+    // The runtime survives the exception: further calls succeed.
+    EXPECT_EQ(m.rt.rmi(obj, boom, 5L), 10);
+  });
+}
+
+TEST(RemoteException, ThroughFutures) {
+  CcMachine m(2);
+  auto boom = m.rt.def_method("Sleeper::boom", &Sleeper::boom);
+  auto obj = m.rt.place<Sleeper>(1);
+  m.rt.run_main([&] {
+    auto f = m.rt.rmi_async(obj, boom, -7L);
+    EXPECT_THROW(f.get(), ccxx::RemoteError);
+  });
+}
+
+TEST(RemoteException, FromBulkResultMethod) {
+  CcMachine m(2);
+  auto bb = m.rt.def_method("Sleeper::big_boom", &Sleeper::big_boom);
+  auto obj = m.rt.place<Sleeper>(1);
+  m.rt.run_main([&] {
+    EXPECT_THROW((void)m.rt.rmi(obj, bb), ccxx::RemoteError);
+  });
+}
+
+TEST(RemoteException, InsideAtomicMethodReleasesNodeLock) {
+  struct T {
+    long f(long v) {
+      if (v == 0) throw RuntimeError("zero");
+      return v;
+    }
+  };
+  CcMachine m(2);
+  auto f = m.rt.def_method("T::f", &T::f, ccxx::RmiMode::Atomic);
+  auto obj = m.rt.place<T>(1);
+  m.rt.run_main([&] {
+    EXPECT_THROW((void)m.rt.rmi(obj, f, 0L), ccxx::RemoteError);
+    // Node lock must have been released by the failing atomic call.
+    EXPECT_EQ(m.rt.rmi(obj, f, 9L), 9);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore / ThreadBarrier
+// ---------------------------------------------------------------------------
+
+template <typename F>
+std::unique_ptr<Engine> on_node0(F body) {
+  auto e = std::make_unique<Engine>(1);
+  e->node(0).spawn(body, "main");
+  e->run();
+  return e;
+}
+
+TEST(Semaphore, BoundsConcurrency) {
+  int inside = 0, peak = 0;
+  on_node0([&] {
+    threads::Semaphore sem(2);
+    std::vector<threads::Thread> ts;
+    for (int i = 0; i < 6; ++i) {
+      ts.push_back(threads::spawn([&] {
+        sem.acquire();
+        ++inside;
+        peak = std::max(peak, inside);
+        threads::yield();
+        --inside;
+        sem.release();
+      }));
+    }
+    for (auto& t : ts) threads::join(t);
+  });
+  EXPECT_EQ(peak, 2);
+}
+
+TEST(Semaphore, TryAcquire) {
+  on_node0([] {
+    threads::Semaphore sem(1);
+    EXPECT_TRUE(sem.try_acquire());
+    EXPECT_FALSE(sem.try_acquire());
+    sem.release();
+    EXPECT_TRUE(sem.try_acquire());
+  });
+}
+
+TEST(Semaphore, ProducerConsumer) {
+  std::vector<int> consumed;
+  on_node0([&] {
+    threads::Semaphore items(0);
+    std::deque<int> q;
+    threads::Thread consumer = threads::spawn([&] {
+      for (int i = 0; i < 5; ++i) {
+        items.acquire();
+        consumed.push_back(q.front());
+        q.pop_front();
+      }
+    });
+    for (int i = 0; i < 5; ++i) {
+      q.push_back(i * 11);
+      items.release();
+      threads::yield();
+    }
+    threads::join(consumer);
+  });
+  EXPECT_EQ(consumed, (std::vector<int>{0, 11, 22, 33, 44}));
+}
+
+TEST(ThreadBarrier, SynchronizesGenerations) {
+  std::vector<int> log;
+  on_node0([&] {
+    threads::ThreadBarrier bar(3);
+    int serials = 0;
+    std::vector<threads::Thread> ts;
+    for (int i = 0; i < 3; ++i) {
+      ts.push_back(threads::spawn([&, i] {
+        log.push_back(i);
+        if (bar.arrive_and_wait()) ++serials;
+        log.push_back(10 + i);
+        if (bar.arrive_and_wait()) ++serials;
+      }));
+    }
+    for (auto& t : ts) threads::join(t);
+    EXPECT_EQ(serials, 2);  // one serial thread per generation
+  });
+  // All first-phase entries precede all second-phase entries.
+  for (int i = 0; i < 3; ++i) EXPECT_LT(log[static_cast<size_t>(i)], 10);
+  for (int i = 3; i < 6; ++i) EXPECT_GE(log[static_cast<size_t>(i)], 10);
+}
+
+// ---------------------------------------------------------------------------
+// MPL non-blocking receives
+// ---------------------------------------------------------------------------
+
+TEST(MplIrecv, CompletesOutOfOrderPosts) {
+  Engine engine(2);
+  net::Network net(engine);
+  msg::MplLayer mpl(net);
+  engine.node(0).spawn(
+      [&] {
+        int a = 1, b = 2;
+        mpl.send(1, 10, &a, sizeof(a));
+        mpl.send(1, 20, &b, sizeof(b));
+      },
+      "sender");
+  engine.node(1).spawn(
+      [&] {
+        int x = 0, y = 0;
+        auto rx = mpl.irecv(0, 20, &x, sizeof(x));
+        auto ry = mpl.irecv(0, 10, &y, sizeof(y));
+        mpl.wait_all({&rx, &ry});
+        EXPECT_EQ(x, 2);
+        EXPECT_EQ(y, 1);
+      },
+      "receiver");
+  engine.run();
+}
+
+TEST(MplIrecv, EagerMatchWhenAlreadyQueued) {
+  Engine engine(2);
+  net::Network net(engine);
+  msg::MplLayer mpl(net);
+  engine.node(0).spawn(
+      [&] {
+        int v = 7;
+        mpl.send(1, 1, &v, sizeof(v));
+      },
+      "sender");
+  engine.node(1).spawn(
+      [&] {
+        sim::Node& n = sim::this_node();
+        int v = 0;
+        // Drain the delivery first so irecv can match eagerly.
+        n.wait_for_inbox();
+        while (n.poll_one()) {
+        }
+        auto r = mpl.irecv(0, 1, &v, sizeof(v));
+        EXPECT_EQ(mpl.wait(r), sizeof(int));
+        EXPECT_EQ(v, 7);
+      },
+      "receiver");
+  engine.run();
+}
+
+// ---------------------------------------------------------------------------
+// Split-C extra collectives
+// ---------------------------------------------------------------------------
+
+struct ScMachine {
+  explicit ScMachine(int nodes)
+      : engine(nodes), net(engine), am(net), world(engine, net, am) {}
+  Engine engine;
+  net::Network net;
+  am::AmLayer am;
+  splitc::World world;
+};
+
+TEST(Collectives, MinMax) {
+  ScMachine m(4);
+  m.world.run([&] {
+    double mine = 3.0 - splitc::MYPROC();  // 3, 2, 1, 0
+    EXPECT_DOUBLE_EQ(m.world.all_reduce_max(mine), 3.0);
+    EXPECT_DOUBLE_EQ(m.world.all_reduce_min(mine), 0.0);
+    // Negative values too.
+    EXPECT_DOUBLE_EQ(m.world.all_reduce_min(-1.0 * splitc::MYPROC()), -3.0);
+  });
+}
+
+TEST(Collectives, Broadcast) {
+  ScMachine m(4);
+  m.world.run([&] {
+    double got = m.world.broadcast(2, splitc::MYPROC() == 2 ? 42.5 : -1.0);
+    EXPECT_DOUBLE_EQ(got, 42.5);
+    double got2 = m.world.broadcast(0, splitc::MYPROC() == 0 ? 7.0 : -1.0);
+    EXPECT_DOUBLE_EQ(got2, 7.0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, RecordsMessagesWithCausalTimestamps) {
+  CcMachine m(2);
+  stats::Tracer tracer(m.net);
+  auto boom = m.rt.def_method("Sleeper::boom", &Sleeper::boom);
+  auto obj = m.rt.place<Sleeper>(1);
+  m.rt.run_main([&] {
+    for (int i = 0; i < 3; ++i) (void)m.rt.rmi(obj, boom, 1L);
+  });
+  EXPECT_GE(tracer.recorded(), 6u);  // >= request+reply per call
+  for (const auto& e : tracer.events()) {
+    EXPECT_LT(e.send_time, e.arrival);  // messages take time
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST(Tracer, WritesParseableChromeJson) {
+  CcMachine m(2);
+  stats::Tracer tracer(m.net);
+  auto boom = m.rt.def_method("Sleeper::boom", &Sleeper::boom);
+  auto obj = m.rt.place<Sleeper>(1);
+  m.rt.run_main([&] { (void)m.rt.rmi(obj, boom, 1L); });
+  auto path = std::filesystem::temp_directory_path() / "tham_trace.json";
+  ASSERT_TRUE(tracer.write_chrome_json(path.string()));
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(all.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(all.find("am.bulk"), std::string::npos);  // the cold call
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tham

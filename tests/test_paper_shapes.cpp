@@ -1,0 +1,281 @@
+// Regression tests pinning the paper's headline *shapes* (EXPERIMENTS.md):
+// if a future change to the runtimes or the cost model breaks a ranking or
+// pushes a ratio out of the paper's band, these tests fail. They are the
+// executable form of the reproduction claims.
+
+#include <gtest/gtest.h>
+
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/water.hpp"
+#include "ccxx/runtime.hpp"
+#include "msg/mpl.hpp"
+#include "splitc/world.hpp"
+
+namespace tham {
+namespace {
+
+using sim::Engine;
+
+// ---------------------------------------------------------------------------
+// Table 4 bands (warm per-op microseconds, paper value +/- ~15%)
+// ---------------------------------------------------------------------------
+
+struct Probe {
+  long nop() { return 0; }
+  long put(std::vector<double> v) { return static_cast<long>(v.size()); }
+  std::vector<double> get() { return std::vector<double>(20, 1.0); }
+};
+
+double cc_per_op(ccxx::RmiMode mode, int payload_words) {
+  Engine engine(2);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  ccxx::Runtime rt(engine, net, am);
+  auto nop = rt.def_method("Probe::nop", &Probe::nop, mode);
+  auto put = rt.def_method("Probe::put", &Probe::put, mode);
+  auto obj = rt.place<Probe>(1);
+  std::vector<double> data(static_cast<std::size_t>(payload_words) / 2, 1.0);
+  double out = 0;
+  rt.run_main([&] {
+    sim::Node& n = sim::this_node();
+    auto call = [&] {
+      if (payload_words == 0) {
+        (void)rt.rmi(obj, nop);
+      } else {
+        (void)rt.rmi(obj, put, data);
+      }
+    };
+    call();  // warm
+    SimTime t0 = n.now();
+    for (int i = 0; i < 500; ++i) call();
+    out = to_usec(n.now() - t0) / 500;
+  });
+  return out;
+}
+
+TEST(Table4Shape, NullRmiVariantsOrderedByThreadWork) {
+  double simple = cc_per_op(ccxx::RmiMode::Simple, 0);
+  double blocking = cc_per_op(ccxx::RmiMode::Blocking, 0);
+  double threaded = cc_per_op(ccxx::RmiMode::Threaded, 0);
+  double atomic = cc_per_op(ccxx::RmiMode::Atomic, 0);
+  // Paper: 67 < 77 < 87 <= 88.
+  EXPECT_LT(simple, blocking);
+  EXPECT_LT(blocking, threaded);
+  EXPECT_LE(threaded, atomic);
+  // Bands (+/- ~15% of the paper's values).
+  EXPECT_NEAR(simple, 67, 12);
+  EXPECT_NEAR(blocking, 77, 12);
+  EXPECT_NEAR(threaded, 87, 14);
+  EXPECT_NEAR(atomic, 88, 14);
+}
+
+TEST(Table4Shape, NullRmiBeatsNativeMessagingLayer) {
+  // Paper: the 0-Word Simple RMI (67us) is 21us *faster* than IBM MPL (88).
+  double simple = cc_per_op(ccxx::RmiMode::Simple, 0);
+  Engine engine(2);
+  net::Network net(engine);
+  msg::MplLayer mpl(net);
+  SimTime rt_time = 0;
+  engine.node(0).spawn(
+      [&] {
+        char c = 'x';
+        SimTime t0 = sim::this_node().now();
+        for (int i = 0; i < 200; ++i) {
+          mpl.send(1, 1, &c, 0);
+          mpl.recv(1, 2, &c, 1);
+        }
+        rt_time = (sim::this_node().now() - t0) / 200;
+      },
+      "pinger");
+  engine.node(1).spawn(
+      [&] {
+        char c = 'y';
+        for (int i = 0; i < 200; ++i) {
+          mpl.recv(0, 1, &c, 1);
+          mpl.send(0, 2, &c, 0);
+        }
+      },
+      "ponger");
+  engine.run();
+  EXPECT_LT(simple, to_usec(rt_time));
+}
+
+TEST(Table4Shape, BulkReadCostsMoreThanBulkWrite) {
+  // Paper: 177 vs 154 — the extra copy on the reply path.
+  Engine engine(2);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  ccxx::Runtime rt(engine, net, am);
+  auto put = rt.def_method("Probe::put", &Probe::put);
+  auto get = rt.def_method("Probe::get", &Probe::get);
+  auto obj = rt.place<Probe>(1);
+  std::vector<double> data(20, 1.0);
+  double w = 0, r = 0;
+  rt.run_main([&] {
+    sim::Node& n = sim::this_node();
+    (void)rt.rmi(obj, put, data);
+    (void)rt.rmi(obj, get);
+    SimTime t0 = n.now();
+    for (int i = 0; i < 300; ++i) (void)rt.rmi(obj, put, data);
+    SimTime t1 = n.now();
+    for (int i = 0; i < 300; ++i) (void)rt.rmi(obj, get);
+    w = to_usec(t1 - t0) / 300;
+    r = to_usec(n.now() - t1) / 300;
+  });
+  EXPECT_GT(r, w);
+  EXPECT_LT(r, w * 1.4);  // by a copy, not by a round trip
+}
+
+TEST(Table4Shape, PrefetchHidesLatencyLessEffectivelyInCcxx) {
+  // Paper: Split-C pipelines split-phase gets at ~12us/elem; CC++'s
+  // parfor threads cost ~35us/elem — latency hiding attenuated by thread
+  // management. Check the ratio band (2-4x).
+  double sc = 0, cc = 0;
+  {
+    Engine engine(2);
+    net::Network net(engine);
+    am::AmLayer am(net);
+    splitc::World world(engine, net, am);
+    static std::vector<double> remote(20, 1.0), local(20, 0.0);
+    world.run([&] {
+      if (splitc::MYPROC() == 0) {
+        sim::Node& n = sim::this_node();
+        SimTime t0 = n.now();
+        for (int it = 0; it < 200; ++it) {
+          for (int i = 0; i < 20; ++i) {
+            splitc::get(&local[static_cast<std::size_t>(i)],
+                        splitc::global_ptr<double>(
+                            1, &remote[static_cast<std::size_t>(i)]));
+          }
+          splitc::sync();
+        }
+        sc = to_usec(n.now() - t0) / 200 / 20;
+      }
+      splitc::barrier();
+    });
+  }
+  {
+    Engine engine(2);
+    net::Network net(engine);
+    am::AmLayer am(net);
+    ccxx::Runtime rt(engine, net, am);
+    static std::vector<double> cells(20, 1.0);
+    rt.run_main([&] {
+      sim::Node& n = sim::this_node();
+      SimTime t0 = n.now();
+      for (int it = 0; it < 200; ++it) {
+        rt.parfor(0, 20, [&rt](int i) {
+          (void)rt.read(ccxx::gvar<double>{
+              1, &cells[static_cast<std::size_t>(i)]});
+        });
+      }
+      cc = to_usec(n.now() - t0) / 200 / 20;
+    });
+  }
+  EXPECT_GT(cc / sc, 1.8);
+  EXPECT_LT(cc / sc, 4.5);
+}
+
+// ---------------------------------------------------------------------------
+// Application shapes (reduced sizes for test speed)
+// ---------------------------------------------------------------------------
+
+TEST(AppShape, Em3dBaseGapShrinksWithRemoteFraction) {
+  apps::em3d::Config cfg;
+  cfg.graph_nodes = 240;
+  cfg.degree = 10;
+  cfg.iters = 4;
+  auto ratio = [&](double f) {
+    cfg.remote_fraction = f;
+    double sc = to_sec(
+        apps::em3d::run_splitc(cfg, apps::em3d::Version::Base).elapsed);
+    double cc = to_sec(
+        apps::em3d::run_ccxx(cfg, apps::em3d::Version::Base).elapsed);
+    return cc / sc;
+  };
+  double at10 = ratio(0.1);
+  double at100 = ratio(1.0);
+  EXPECT_GT(at10, at100);       // the local-gp-overhead effect
+  EXPECT_NEAR(at100, 1.8, 0.5);  // converges to ~2 (paper)
+}
+
+TEST(AppShape, Em3dOptimizationsHelpBothLanguagesHeavily) {
+  apps::em3d::Config cfg;
+  cfg.graph_nodes = 240;
+  cfg.degree = 10;
+  cfg.iters = 4;
+  cfg.remote_fraction = 1.0;
+  for (bool use_cc : {false, true}) {
+    auto run = [&](apps::em3d::Version v) {
+      return use_cc ? apps::em3d::run_ccxx(cfg, v).elapsed
+                    : apps::em3d::run_splitc(cfg, v).elapsed;
+    };
+    SimTime base = run(apps::em3d::Version::Base);
+    SimTime ghost = run(apps::em3d::Version::Ghost);
+    SimTime bulk = run(apps::em3d::Version::Bulk);
+    // Paper: ghost cuts base by 87-89%; bulk cuts ghost by >90%.
+    EXPECT_LT(ghost, base / 4) << (use_cc ? "cc" : "sc");
+    EXPECT_LT(bulk, ghost) << (use_cc ? "cc" : "sc");
+  }
+}
+
+TEST(AppShape, WaterGapInPaperBand) {
+  apps::water::Config cfg;
+  cfg.molecules = 64;
+  double sc = to_sec(
+      apps::water::run_splitc(cfg, apps::water::Version::Atomic).elapsed);
+  double cc = to_sec(
+      apps::water::run_ccxx(cfg, apps::water::Version::Atomic).elapsed);
+  double ratio = cc / sc;
+  EXPECT_GT(ratio, 2.0);  // paper band: 2-6x
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(AppShape, LuGapNearPaperValue) {
+  apps::lu::Config cfg;
+  cfg.n = 256;  // quarter-size for test speed; same block structure
+  cfg.block = 16;
+  double sc = to_sec(apps::lu::run_splitc(cfg).elapsed);
+  double cc = to_sec(apps::lu::run_ccxx(cfg).elapsed);
+  double ratio = cc / sc;
+  EXPECT_GT(ratio, 2.0);  // paper: 3.6 at full size
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(AppShape, NexusOrderOfMagnitudeSlowerOnCommBoundApp) {
+  apps::em3d::Config cfg;
+  cfg.graph_nodes = 240;
+  cfg.degree = 10;
+  cfg.iters = 3;
+  cfg.remote_fraction = 1.0;
+  double tham = to_sec(apps::em3d::run_ccxx(cfg, apps::em3d::Version::Ghost,
+                                            sp2_cost_model())
+                           .elapsed);
+  double nexus = to_sec(apps::em3d::run_ccxx(cfg, apps::em3d::Version::Ghost,
+                                             nexus_cost_model())
+                            .elapsed);
+  EXPECT_GT(nexus / tham, 8.0);  // paper: 29x for em3d-ghost
+  EXPECT_LT(nexus / tham, 60.0);
+}
+
+TEST(AppShape, ContentionlessLockFractionMatchesPaper) {
+  // Paper: "about 95% of lock acquisitions are contention-less".
+  apps::water::Config cfg;
+  cfg.molecules = 32;
+  sim::Engine engine(cfg.procs);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  ccxx::Runtime rt(engine, net, am);
+  apps::water::run_ccxx(rt, cfg, apps::water::Version::Atomic);
+  std::uint64_t acq = 0, cont = 0;
+  for (NodeId i = 0; i < cfg.procs; ++i) {
+    acq += engine.node(i).counters().lock_acquires;
+    cont += engine.node(i).counters().lock_contended;
+  }
+  ASSERT_GT(acq, 1000u);
+  EXPECT_LT(static_cast<double>(cont) / static_cast<double>(acq), 0.05);
+}
+
+}  // namespace
+}  // namespace tham

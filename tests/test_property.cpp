@@ -1,0 +1,278 @@
+// Property-style parameterized sweeps across the whole stack:
+//  * correctness of every application versus its serial reference over a
+//    grid of sizes and processor counts,
+//  * determinism of complete simulations,
+//  * accounting invariants (breakdown sums, message conservation) under
+//    randomized communication workloads,
+//  * cost-model monotonicity (more work never takes less virtual time).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/water.hpp"
+#include "ccxx/runtime.hpp"
+#include "common/rng.hpp"
+#include "splitc/world.hpp"
+
+namespace tham {
+namespace {
+
+using sim::Engine;
+
+// ---------------------------------------------------------------------------
+// Application sweeps
+// ---------------------------------------------------------------------------
+
+class LuSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LuSweep, BothLanguagesMatchSerial) {
+  auto [n, block, procs] = GetParam();
+  apps::lu::Config cfg;
+  cfg.n = n;
+  cfg.block = block;
+  cfg.procs = procs;
+  double expect = apps::lu::run_serial(cfg);
+  EXPECT_NEAR(apps::lu::run_splitc(cfg).checksum, expect,
+              std::abs(expect) * 1e-12);
+  EXPECT_NEAR(apps::lu::run_ccxx(cfg).checksum, expect,
+              std::abs(expect) * 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LuSweep,
+    ::testing::Values(std::tuple{32, 8, 4}, std::tuple{64, 8, 4},
+                      std::tuple{64, 16, 4}, std::tuple{96, 8, 9},
+                      std::tuple{128, 16, 4}));
+
+class WaterSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WaterSweep, BothLanguagesBothVersionsMatchSerial) {
+  auto [mols, procs] = GetParam();
+  apps::water::Config cfg;
+  cfg.molecules = mols;
+  cfg.procs = procs;
+  cfg.steps = 2;
+  double expect = apps::water::run_serial(cfg);
+  for (auto v : {apps::water::Version::Atomic,
+                 apps::water::Version::Prefetch}) {
+    EXPECT_NEAR(apps::water::run_splitc(cfg, v).checksum, expect,
+                std::abs(expect) * 1e-8);
+    EXPECT_NEAR(apps::water::run_ccxx(cfg, v).checksum, expect,
+                std::abs(expect) * 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WaterSweep,
+                         ::testing::Values(std::tuple{16, 2},
+                                           std::tuple{32, 4},
+                                           std::tuple{48, 8}));
+
+class Em3dProcSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Em3dProcSweep, ScalesAcrossProcessorCounts) {
+  apps::em3d::Config cfg;
+  cfg.procs = GetParam();
+  cfg.graph_nodes = 32 * cfg.procs;
+  cfg.degree = 5;
+  cfg.iters = 2;
+  cfg.remote_fraction = 0.6;
+  double expect = apps::em3d::run_serial(cfg);
+  for (auto v : {apps::em3d::Version::Base, apps::em3d::Version::Ghost,
+                 apps::em3d::Version::Bulk}) {
+    EXPECT_NEAR(apps::em3d::run_splitc(cfg, v).checksum, expect, 1e-9);
+    EXPECT_NEAR(apps::em3d::run_ccxx(cfg, v).checksum, expect, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, Em3dProcSweep, ::testing::Values(2, 4, 8));
+
+// ---------------------------------------------------------------------------
+// Determinism of whole simulations
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, Em3dIdenticalAcrossRuns) {
+  apps::em3d::Config cfg;
+  cfg.graph_nodes = 160;
+  cfg.degree = 6;
+  cfg.iters = 3;
+  cfg.remote_fraction = 0.7;
+  auto a = apps::em3d::run_ccxx(cfg, apps::em3d::Version::Ghost);
+  auto b = apps::em3d::run_ccxx(cfg, apps::em3d::Version::Ghost);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+TEST(Determinism, WaterIdenticalAcrossRuns) {
+  apps::water::Config cfg;
+  cfg.molecules = 32;
+  auto a = apps::water::run_splitc(cfg, apps::water::Version::Atomic);
+  auto b = apps::water::run_splitc(cfg, apps::water::Version::Atomic);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.sync_ops, b.sync_ops);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized communication fuzz: invariants under arbitrary traffic
+// ---------------------------------------------------------------------------
+
+class CommFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommFuzz, AccountingAndConservationHold) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 99);
+  int procs = 2 + static_cast<int>(rng.next_below(5));
+  Engine engine(procs);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  splitc::World world(engine, net, am);
+
+  // Per-node mailboxes of random sizes.
+  std::vector<std::vector<double>> mail(
+      static_cast<std::size_t>(procs),
+      std::vector<double>(64, 0.0));
+  std::uint64_t base_seed = rng.next_u64();
+
+  // Control flow (op count, barrier placement) comes from a stream shared
+  // by all nodes so collectives stay collective; values and destinations
+  // come from a per-node stream.
+  Rng shared_src(base_seed);
+  int ops = 20 + static_cast<int>(shared_src.next_below(30));
+  std::vector<bool> barrier_here(static_cast<std::size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    barrier_here[static_cast<std::size_t>(i)] = shared_src.next_below(8) == 0;
+  }
+
+  world.run([&] {
+    NodeId me = splitc::MYPROC();
+    Rng local(base_seed + static_cast<std::uint64_t>(me) * 7919);
+    for (int i = 0; i < ops; ++i) {
+      auto dst = static_cast<NodeId>(local.next_below(
+          static_cast<std::uint64_t>(splitc::PROCS())));
+      auto slot = static_cast<int>(local.next_below(64));
+      double val = local.next_double(-10, 10);
+      splitc::global_ptr<double> gp(
+          dst, &mail[static_cast<std::size_t>(dst)]
+                   [static_cast<std::size_t>(slot)]);
+      switch (local.next_below(4)) {
+        case 0: splitc::write(gp, val); break;
+        case 1: (void)splitc::read(gp); break;
+        case 2: splitc::store(gp, val); break;
+        default: {
+          double tmp;
+          splitc::get(&tmp, gp);
+          splitc::sync();
+          break;
+        }
+      }
+      if (barrier_here[static_cast<std::size_t>(i)]) splitc::barrier();
+    }
+    splitc::all_store_sync();
+  });
+
+  // Invariants: every node's component breakdown sums to its clock, and
+  // every sent message was received.
+  std::uint64_t sent = 0, received = 0;
+  for (NodeId i = 0; i < procs; ++i) {
+    const sim::Node& n = engine.node(i);
+    EXPECT_EQ(n.breakdown().total(), n.now()) << "node " << i;
+    sent += n.counters().msgs_sent;
+    received += n.counters().msgs_recv;
+  }
+  EXPECT_EQ(sent, received);
+  EXPECT_EQ(sent, net.total_messages());
+  EXPECT_FALSE(engine.deadlocked());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommFuzz, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Cost-model monotonicity
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, MoreRemoteWorkNeverTakesLessTime) {
+  apps::em3d::Config cfg;
+  cfg.graph_nodes = 160;
+  cfg.degree = 6;
+  cfg.iters = 3;
+  SimTime prev = 0;
+  for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    cfg.remote_fraction = f;
+    SimTime t = apps::em3d::run_splitc(cfg, apps::em3d::Version::Base)
+                    .elapsed;
+    EXPECT_GE(t, prev) << "remote fraction " << f;
+    prev = t;
+  }
+}
+
+TEST(CostModel, SlowerWireSlowsEverything) {
+  apps::em3d::Config cfg;
+  cfg.graph_nodes = 160;
+  cfg.degree = 6;
+  cfg.iters = 2;
+  cfg.remote_fraction = 0.8;
+  CostModel slow = sp2_cost_model();
+  slow.am_wire_latency *= 4;
+  SimTime fast_t =
+      apps::em3d::run_splitc(cfg, apps::em3d::Version::Base).elapsed;
+  SimTime slow_t =
+      apps::em3d::run_splitc(cfg, apps::em3d::Version::Base, slow).elapsed;
+  EXPECT_GT(slow_t, fast_t);
+}
+
+TEST(CostModel, NexusModelDominatesSp2Model) {
+  // Every AM-path cost in the Nexus configuration is >= the SP2 one.
+  CostModel a = sp2_cost_model();
+  CostModel b = nexus_cost_model();
+  EXPECT_GT(b.am_send_overhead, a.am_send_overhead);
+  EXPECT_GT(b.am_recv_overhead, a.am_recv_overhead);
+  EXPECT_GT(b.thread_create, a.thread_create);
+  EXPECT_GT(b.context_switch, a.context_switch);
+  EXPECT_GT(b.sync_op, a.sync_op);
+  EXPECT_GT(b.cc_buffer_alloc, a.cc_buffer_alloc);
+  EXPECT_FALSE(b.cc_stub_caching);
+  EXPECT_FALSE(b.cc_persistent_buffers);
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 accounting identity as a test
+// ---------------------------------------------------------------------------
+
+TEST(Accounting, Table4IdentityHoldsForNullRmi) {
+  struct T {
+    long nop() { return 0; }
+  };
+  Engine engine(2);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  ccxx::Runtime rt(engine, net, am);
+  auto nop = rt.def_method("T::nop", &T::nop);
+  auto obj = rt.place<T>(1);
+  SimTime total = 0;
+  sim::Breakdown sum;
+  rt.run_main([&] {
+    sim::Node& n = sim::this_node();
+    (void)rt.rmi(obj, nop);
+    SimTime t0 = n.now();
+    sim::Breakdown b0 = engine.node(0).breakdown();
+    sim::Breakdown c0 = engine.node(1).breakdown();
+    for (int i = 0; i < 100; ++i) (void)rt.rmi(obj, nop);
+    total = n.now() - t0;
+    sum = (engine.node(0).breakdown() - b0);
+    sum += (engine.node(1).breakdown() - c0);
+  });
+  // Active charges on both ends + caller idle (attributed Net) == total:
+  // the "Total = AM + Threads + Runtime" identity of Table 4, given that
+  // the caller's breakdown covers its whole elapsed window and the
+  // receiver's active work happens strictly inside the caller's waits.
+  SimTime caller_active = total;  // node 0 breakdown over the window
+  EXPECT_EQ(engine.node(0).breakdown().total(), engine.node(0).now());
+  EXPECT_GE(sum.total(), caller_active);
+}
+
+}  // namespace
+}  // namespace tham

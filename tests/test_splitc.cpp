@@ -1,0 +1,281 @@
+// Tests for the Split-C runtime: global-pointer access (sync, split-phase,
+// one-way stores), bulk transfers, barriers, spread arrays, reductions, and
+// the Table 4 calibration of GP read/write (~57 us round trip).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "splitc/spread.hpp"
+#include "splitc/world.hpp"
+
+namespace tham::splitc {
+namespace {
+
+using sim::Engine;
+
+struct Machine {
+  explicit Machine(int nodes)
+      : engine(nodes), net(engine), am(net), world(engine, net, am) {}
+  Engine engine;
+  net::Network net;
+  am::AmLayer am;
+  World world;
+};
+
+TEST(SplitC, SyncReadAndWrite) {
+  Machine m(4);
+  std::array<double, 4> cell{};  // cell[i] "lives" on node i
+  m.world.run([&] {
+    NodeId me = MYPROC();
+    global_ptr<double> mine(me, &cell[static_cast<size_t>(me)]);
+    write(mine, me * 10.0);
+    barrier();
+    // Everyone reads everyone's cell.
+    double sum = 0;
+    for (NodeId j = 0; j < PROCS(); ++j) {
+      global_ptr<double> gp(j, &cell[static_cast<size_t>(j)]);
+      sum += read(gp);
+    }
+    EXPECT_DOUBLE_EQ(sum, 0.0 + 10.0 + 20.0 + 30.0);
+  });
+}
+
+TEST(SplitC, LocalAccessBypassesNetwork) {
+  Machine m(2);
+  double x = 3.5;
+  m.world.run([&] {
+    if (MYPROC() == 0) {
+      global_ptr<double> gp(0, &x);
+      EXPECT_DOUBLE_EQ(read(gp), 3.5);
+      write(gp, 4.5);
+      EXPECT_DOUBLE_EQ(x, 4.5);
+    }
+    barrier();
+  });
+  EXPECT_EQ(m.engine.node(1).counters().msgs_recv, 0u + 1u);  // barrier only
+}
+
+TEST(SplitC, SplitPhaseGetCompletesAtSync) {
+  Machine m(2);
+  std::vector<double> remote(20);
+  std::iota(remote.begin(), remote.end(), 0.0);
+  m.world.run([&] {
+    if (MYPROC() == 0) {
+      std::array<double, 20> local{};
+      for (int i = 0; i < 20; ++i) {
+        get(&local[static_cast<size_t>(i)],
+            global_ptr<double>(1, &remote[static_cast<size_t>(i)]));
+      }
+      sync();
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_DOUBLE_EQ(local[static_cast<size_t>(i)], i);
+      }
+    }
+    barrier();
+  });
+}
+
+TEST(SplitC, SplitPhasePut) {
+  Machine m(2);
+  std::vector<int> remote(8, 0);
+  m.world.run([&] {
+    if (MYPROC() == 0) {
+      for (int i = 0; i < 8; ++i) {
+        put(global_ptr<int>(1, &remote[static_cast<size_t>(i)]), i * i);
+      }
+      sync();
+    }
+    barrier();
+    if (MYPROC() == 1) {
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(remote[static_cast<size_t>(i)], i * i);
+      }
+    }
+  });
+}
+
+TEST(SplitC, StoresCompleteAtAllStoreSync) {
+  Machine m(4);
+  std::vector<double> slot(16, 0.0);  // slot[i*4+j]: from node i on node j
+  m.world.run([&] {
+    NodeId me = MYPROC();
+    for (NodeId j = 0; j < PROCS(); ++j) {
+      store(global_ptr<double>(j, &slot[static_cast<size_t>(me * 4 + j)]),
+            me + j * 0.5);
+    }
+    all_store_sync();
+    for (NodeId i = 0; i < PROCS(); ++i) {
+      EXPECT_DOUBLE_EQ(slot[static_cast<size_t>(i * 4 + me)], i + me * 0.5);
+    }
+    barrier();
+  });
+}
+
+TEST(SplitC, BulkReadAndWrite) {
+  Machine m(2);
+  std::vector<double> remote(20);
+  std::iota(remote.begin(), remote.end(), 1.0);
+  m.world.run([&] {
+    if (MYPROC() == 0) {
+      std::array<double, 20> local{};
+      bulk_read(local.data(), global_ptr<double>(1, remote.data()),
+                20 * sizeof(double));
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_DOUBLE_EQ(local[static_cast<size_t>(i)], i + 1.0);
+      }
+      for (auto& v : local) v *= 2;
+      bulk_write(global_ptr<double>(1, remote.data()), local.data(),
+                 20 * sizeof(double));
+    }
+    barrier();
+    if (MYPROC() == 1) {
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_DOUBLE_EQ(remote[static_cast<size_t>(i)], 2.0 * (i + 1));
+      }
+    }
+  });
+}
+
+TEST(SplitC, BulkStoreWithAllStoreSync) {
+  Machine m(2);
+  std::vector<double> ghost(10, 0.0);
+  m.world.run([&] {
+    if (MYPROC() == 0) {
+      std::vector<double> mine(10, 7.0);
+      bulk_store(global_ptr<double>(1, ghost.data()), mine.data(),
+                 10 * sizeof(double));
+    }
+    all_store_sync();
+    if (MYPROC() == 1) {
+      for (double v : ghost) EXPECT_DOUBLE_EQ(v, 7.0);
+    }
+  });
+}
+
+TEST(SplitC, BarrierSeparatesPhases) {
+  Machine m(4);
+  std::array<int, 4> phase{};
+  m.world.run([&] {
+    NodeId me = MYPROC();
+    phase[static_cast<size_t>(me)] = 1;
+    barrier();
+    // After the barrier, every node must see every phase flag set.
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(phase[static_cast<size_t>(i)], 1);
+    barrier();
+    phase[static_cast<size_t>(me)] = 2;
+    barrier();
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(phase[static_cast<size_t>(i)], 2);
+  });
+}
+
+TEST(SplitC, ManyConsecutiveBarriers) {
+  Machine m(4);
+  m.world.run([&] {
+    for (int i = 0; i < 50; ++i) barrier();
+  });
+  // All nodes participated in all 50 barriers without deadlock.
+  EXPECT_FALSE(m.engine.deadlocked());
+}
+
+TEST(SplitC, AtomicRpc) {
+  Machine m(2);
+  int counter = 0;
+  int fn = m.world.register_atomic(
+      [&](sim::Node& self, am::Word d, am::Word, am::Word, am::Word) {
+        EXPECT_EQ(self.id(), 1);
+        counter += static_cast<int>(d);
+        return static_cast<am::Word>(counter);
+      });
+  m.world.run([&] {
+    if (MYPROC() == 0) {
+      EXPECT_EQ(m.world.atomic(fn, 1, 5), 5u);
+      EXPECT_EQ(m.world.atomic(fn, 1, 3), 8u);
+    }
+    barrier();
+  });
+  EXPECT_EQ(counter, 8);
+}
+
+TEST(SplitC, AllReduceSum) {
+  Machine m(4);
+  m.world.run([&] {
+    double v = (MYPROC() + 1) * 1.5;
+    double total = m.world.all_reduce_sum(v);
+    EXPECT_DOUBLE_EQ(total, 1.5 + 3.0 + 4.5 + 6.0);
+    // Twice in a row (epoch handling).
+    double total2 = m.world.all_reduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(total2, 4.0);
+  });
+}
+
+TEST(SplitC, GpReadMatchesTable4Calibration) {
+  // Table 4: Split-C "GP 2-Word R/W" = 57 us total, 53 us AM.
+  Machine m(2);
+  double cell = 1.0;
+  double per_op_us = 0;
+  m.world.run([&] {
+    if (MYPROC() == 0) {
+      sim::Node& n = sim::this_node();
+      constexpr int kIters = 1000;
+      global_ptr<double> gp(1, &cell);
+      double x = 0;
+      SimTime t0 = n.now();
+      for (int i = 0; i < kIters; ++i) x += read(gp);
+      per_op_us = to_usec(n.now() - t0) / kIters;
+      EXPECT_DOUBLE_EQ(x, 1000.0);
+    }
+    barrier();
+  });
+  EXPECT_GT(per_op_us, 52.0);
+  EXPECT_LT(per_op_us, 62.0);
+}
+
+TEST(SplitC, SpreadArrayLayout) {
+  Engine e(4);
+  SpreadArray<int> a(e, 100, /*block=*/5);
+  // Element i is on node (i/5) % 4.
+  EXPECT_EQ(a.owner(0), 0);
+  EXPECT_EQ(a.owner(4), 0);
+  EXPECT_EQ(a.owner(5), 1);
+  EXPECT_EQ(a.owner(19), 3);
+  EXPECT_EQ(a.owner(20), 0);
+  // Local offsets advance by one block per wrap.
+  EXPECT_EQ(a.local_index(0), 0u);
+  EXPECT_EQ(a.local_index(20), 5u);
+  EXPECT_EQ(a.local_index(24), 9u);
+  // Distinct elements map to distinct storage.
+  a.at_host(3) = 33;
+  a.at_host(23) = 44;
+  EXPECT_EQ(a.at_host(3), 33);
+  EXPECT_EQ(a.at_host(23), 44);
+}
+
+TEST(SplitC, SpreadArrayRemoteAccessThroughGlobalPtr) {
+  Machine m(4);
+  SpreadArray<double> a(m.engine, 64, /*block=*/4);
+  m.world.run([&] {
+    NodeId me = MYPROC();
+    // Each node writes the elements it owns (locally, through the gp API).
+    for (std::size_t i = 0; i < 64; ++i) {
+      if (a.owner(i) == me) write(a.gp(i), static_cast<double>(i));
+    }
+    barrier();
+    // Each node reads a strided slice (mostly remote).
+    double sum = 0;
+    for (std::size_t i = static_cast<std::size_t>(me); i < 64; i += 4) {
+      sum += read(a.gp(i));
+    }
+    double expect = 0;
+    for (std::size_t i = static_cast<std::size_t>(me); i < 64; i += 4) {
+      expect += static_cast<double>(i);
+    }
+    EXPECT_DOUBLE_EQ(sum, expect);
+    barrier();
+  });
+}
+
+}  // namespace
+}  // namespace tham::splitc

@@ -1,0 +1,229 @@
+// Tests for the cooperative threads package: spawn/join/yield semantics,
+// mutex and condition-variable behaviour, and the cost/count instrumentation
+// that Table 4's "Threads" column is built from.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "threads/threads.hpp"
+
+namespace tham::threads {
+namespace {
+
+using sim::Component;
+using sim::Engine;
+using sim::Node;
+
+// Runs `body` as the main thread of node 0 of a fresh 1-node machine and
+// returns the engine for inspection.
+template <typename F>
+std::unique_ptr<Engine> run_on_node0(F body) {
+  auto e = std::make_unique<Engine>(1);
+  e->node(0).spawn(body, "main");
+  e->run();
+  return e;
+}
+
+TEST(Threads, SpawnChargesCreateCost) {
+  auto e = run_on_node0([] {
+    Thread t = spawn([] {});
+    join(t);
+  });
+  Node& n = e->node(0);
+  EXPECT_EQ(n.counters().thread_creates, 1u);
+  EXPECT_GE(n.breakdown()[Component::ThreadMgmt], e->cost().thread_create);
+}
+
+TEST(Threads, JoinObservesChildEffects) {
+  int result = 0;
+  run_on_node0([&] {
+    Thread t = spawn([&] { result = 7; });
+    join(t);
+    EXPECT_EQ(result, 7);
+    result = 8;
+  });
+  EXPECT_EQ(result, 8);
+}
+
+TEST(Threads, DetachedThreadStillRuns) {
+  bool ran = false;
+  run_on_node0([&] {
+    Thread t = spawn([&] { ran = true; });
+    detach(t);
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Threads, ManyThreadsJoinInOrder) {
+  std::vector<int> done;
+  run_on_node0([&] {
+    std::vector<Thread> ts;
+    for (int i = 0; i < 16; ++i) {
+      ts.push_back(spawn([&done, i] { done.push_back(i); }));
+    }
+    for (auto& t : ts) join(t);
+    EXPECT_EQ(done.size(), 16u);
+  });
+  // Cooperative FIFO scheduling: spawn order == completion order.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(done[static_cast<size_t>(i)], i);
+}
+
+TEST(Threads, MutexProvidesMutualExclusion) {
+  int inside = 0;
+  int max_inside = 0;
+  run_on_node0([&] {
+    Mutex m;
+    std::vector<Thread> ts;
+    for (int i = 0; i < 4; ++i) {
+      ts.push_back(spawn([&] {
+        m.lock();
+        ++inside;
+        max_inside = std::max(max_inside, inside);
+        yield();  // try to let others sneak in while we hold the lock
+        --inside;
+        m.unlock();
+      }));
+    }
+    for (auto& t : ts) join(t);
+  });
+  EXPECT_EQ(max_inside, 1);
+}
+
+TEST(Threads, MutexContentionIsCounted) {
+  auto e = run_on_node0([&] {
+    Mutex m;
+    m.lock();
+    Thread t = spawn([&] {
+      m.lock();  // must block: contended
+      m.unlock();
+    });
+    yield();  // let the child hit the held lock
+    m.unlock();
+    join(t);
+  });
+  EXPECT_EQ(e->node(0).counters().lock_contended, 1u);
+  EXPECT_GE(e->node(0).counters().lock_acquires, 2u);
+}
+
+TEST(Threads, UncontendedLocksAreCheap) {
+  auto e = run_on_node0([] {
+    Mutex m;
+    for (int i = 0; i < 100; ++i) {
+      m.lock();
+      m.unlock();
+    }
+  });
+  auto& c = e->node(0).counters();
+  EXPECT_EQ(c.lock_acquires, 100u);
+  EXPECT_EQ(c.lock_contended, 0u);
+  EXPECT_EQ(c.sync_ops, 200u);  // 100 locks + 100 unlocks
+  EXPECT_EQ(e->node(0).breakdown()[Component::ThreadSync],
+            200 * e->cost().sync_op);
+}
+
+TEST(Threads, TryLock) {
+  run_on_node0([] {
+    Mutex m;
+    EXPECT_TRUE(m.try_lock());
+    EXPECT_FALSE(m.try_lock());
+    m.unlock();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+  });
+}
+
+TEST(Threads, CondVarSignalWakesOneWaiter) {
+  int woken = 0;
+  run_on_node0([&] {
+    Mutex m;
+    CondVar cv;
+    bool go = false;
+    std::vector<Thread> ts;
+    for (int i = 0; i < 3; ++i) {
+      ts.push_back(spawn([&] {
+        m.lock();
+        while (!go) cv.wait(m);
+        ++woken;
+        go = false;  // consume the signal
+        m.unlock();
+      }));
+    }
+    for (int i = 0; i < 3; ++i) {
+      yield();  // let waiters park
+      m.lock();
+      go = true;
+      cv.signal();
+      m.unlock();
+      // Drain until someone consumed it.
+      while (go) yield();
+    }
+    for (auto& t : ts) join(t);
+  });
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(Threads, CondVarBroadcastWakesAll) {
+  int woken = 0;
+  run_on_node0([&] {
+    Mutex m;
+    CondVar cv;
+    bool go = false;
+    std::vector<Thread> ts;
+    for (int i = 0; i < 5; ++i) {
+      ts.push_back(spawn([&] {
+        m.lock();
+        while (!go) cv.wait(m);
+        ++woken;
+        m.unlock();
+      }));
+    }
+    yield();
+    m.lock();
+    go = true;
+    cv.broadcast();
+    m.unlock();
+    for (auto& t : ts) join(t);
+  });
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(Threads, ContextSwitchCountMatchesCost) {
+  auto e = run_on_node0([] {
+    Thread t = spawn([] {
+      for (int i = 0; i < 5; ++i) yield();
+    });
+    for (int i = 0; i < 5; ++i) yield();
+    join(t);
+  });
+  Node& n = e->node(0);
+  EXPECT_GT(n.counters().context_switches, 0u);
+  SimTime mgmt = n.breakdown()[Component::ThreadMgmt];
+  SimTime expect =
+      static_cast<SimTime>(n.counters().context_switches) *
+          e->cost().context_switch +
+      static_cast<SimTime>(n.counters().thread_creates) *
+          e->cost().thread_create;
+  EXPECT_EQ(mgmt, expect);
+}
+
+TEST(Threads, BreakdownTotalEqualsClock) {
+  auto e = run_on_node0([] {
+    Mutex m;
+    Thread t = spawn([&] {
+      LockGuard g(m);
+      sim::this_node().advance(usec(10));
+    });
+    {
+      LockGuard g(m);
+      sim::this_node().advance(usec(5));
+    }
+    join(t);
+  });
+  Node& n = e->node(0);
+  EXPECT_EQ(n.breakdown().total(), n.now());
+}
+
+}  // namespace
+}  // namespace tham::threads
