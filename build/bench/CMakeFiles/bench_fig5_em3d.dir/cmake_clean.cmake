@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_em3d.dir/bench_fig5_em3d.cpp.o"
+  "CMakeFiles/bench_fig5_em3d.dir/bench_fig5_em3d.cpp.o.d"
+  "bench_fig5_em3d"
+  "bench_fig5_em3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_em3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

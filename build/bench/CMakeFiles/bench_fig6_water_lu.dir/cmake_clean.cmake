@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_water_lu.dir/bench_fig6_water_lu.cpp.o"
+  "CMakeFiles/bench_fig6_water_lu.dir/bench_fig6_water_lu.cpp.o.d"
+  "bench_fig6_water_lu"
+  "bench_fig6_water_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_water_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hostperf.dir/bench_hostperf.cpp.o"
+  "CMakeFiles/bench_hostperf.dir/bench_hostperf.cpp.o.d"
+  "bench_hostperf"
+  "bench_hostperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hostperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

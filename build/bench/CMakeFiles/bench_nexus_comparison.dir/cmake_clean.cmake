@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nexus_comparison.dir/bench_nexus_comparison.cpp.o"
+  "CMakeFiles/bench_nexus_comparison.dir/bench_nexus_comparison.cpp.o.d"
+  "bench_nexus_comparison"
+  "bench_nexus_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nexus_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

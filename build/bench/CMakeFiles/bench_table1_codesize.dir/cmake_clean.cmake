@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_codesize.dir/bench_table1_codesize.cpp.o"
+  "CMakeFiles/bench_table1_codesize.dir/bench_table1_codesize.cpp.o.d"
+  "bench_table1_codesize"
+  "bench_table1_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_server.dir/client_server.cpp.o"
+  "CMakeFiles/client_server.dir/client_server.cpp.o.d"
+  "client_server"
+  "client_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em3d_demo.dir/em3d_demo.cpp.o"
+  "CMakeFiles/em3d_demo.dir/em3d_demo.cpp.o.d"
+  "em3d_demo"
+  "em3d_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em3d_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_splitc.dir/heat_splitc.cpp.o"
+  "CMakeFiles/heat_splitc.dir/heat_splitc.cpp.o.d"
+  "heat_splitc"
+  "heat_splitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pipeline.cpp" "examples/CMakeFiles/pipeline.dir/pipeline.cpp.o" "gcc" "examples/CMakeFiles/pipeline.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/tham_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/nexus/CMakeFiles/tham_nexus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccxx/CMakeFiles/tham_ccxx.dir/DependInfo.cmake"
+  "/root/repo/build/src/splitc/CMakeFiles/tham_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/tham_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tham_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/tham_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/tham_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tham_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tham_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

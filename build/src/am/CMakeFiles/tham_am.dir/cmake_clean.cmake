@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_am.dir/am.cpp.o"
+  "CMakeFiles/tham_am.dir/am.cpp.o.d"
+  "libtham_am.a"
+  "libtham_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/em3d.cpp" "src/apps/CMakeFiles/tham_apps.dir/em3d.cpp.o" "gcc" "src/apps/CMakeFiles/tham_apps.dir/em3d.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/tham_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/tham_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/water.cpp" "src/apps/CMakeFiles/tham_apps.dir/water.cpp.o" "gcc" "src/apps/CMakeFiles/tham_apps.dir/water.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/splitc/CMakeFiles/tham_splitc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccxx/CMakeFiles/tham_ccxx.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tham_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/am/CMakeFiles/tham_am.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/tham_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tham_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tham_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_apps.dir/em3d.cpp.o"
+  "CMakeFiles/tham_apps.dir/em3d.cpp.o.d"
+  "CMakeFiles/tham_apps.dir/lu.cpp.o"
+  "CMakeFiles/tham_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/tham_apps.dir/water.cpp.o"
+  "CMakeFiles/tham_apps.dir/water.cpp.o.d"
+  "libtham_apps.a"
+  "libtham_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

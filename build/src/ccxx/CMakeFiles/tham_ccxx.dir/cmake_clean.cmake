@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_ccxx.dir/runtime.cpp.o"
+  "CMakeFiles/tham_ccxx.dir/runtime.cpp.o.d"
+  "libtham_ccxx.a"
+  "libtham_ccxx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_ccxx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_msg.dir/mpl.cpp.o"
+  "CMakeFiles/tham_msg.dir/mpl.cpp.o.d"
+  "libtham_msg.a"
+  "libtham_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

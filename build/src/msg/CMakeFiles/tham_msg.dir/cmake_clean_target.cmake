@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtham_msg.a"
+)

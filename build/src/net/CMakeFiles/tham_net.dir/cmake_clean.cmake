@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_net.dir/network.cpp.o"
+  "CMakeFiles/tham_net.dir/network.cpp.o.d"
+  "libtham_net.a"
+  "libtham_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_nexus.dir/nexus.cpp.o"
+  "CMakeFiles/tham_nexus.dir/nexus.cpp.o.d"
+  "libtham_nexus.a"
+  "libtham_nexus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_nexus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tham_nexus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for tham_nexus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_sim.dir/engine.cpp.o"
+  "CMakeFiles/tham_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/tham_sim.dir/fiber.cpp.o"
+  "CMakeFiles/tham_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/tham_sim.dir/node.cpp.o"
+  "CMakeFiles/tham_sim.dir/node.cpp.o.d"
+  "libtham_sim.a"
+  "libtham_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_splitc.dir/world.cpp.o"
+  "CMakeFiles/tham_splitc.dir/world.cpp.o.d"
+  "libtham_splitc.a"
+  "libtham_splitc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_stats.dir/stats.cpp.o"
+  "CMakeFiles/tham_stats.dir/stats.cpp.o.d"
+  "CMakeFiles/tham_stats.dir/table.cpp.o"
+  "CMakeFiles/tham_stats.dir/table.cpp.o.d"
+  "CMakeFiles/tham_stats.dir/trace.cpp.o"
+  "CMakeFiles/tham_stats.dir/trace.cpp.o.d"
+  "libtham_stats.a"
+  "libtham_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

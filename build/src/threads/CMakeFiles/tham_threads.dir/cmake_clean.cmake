@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tham_threads.dir/threads.cpp.o"
+  "CMakeFiles/tham_threads.dir/threads.cpp.o.d"
+  "libtham_threads.a"
+  "libtham_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tham_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

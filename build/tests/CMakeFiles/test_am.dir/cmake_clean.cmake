@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_am.dir/test_am.cpp.o"
+  "CMakeFiles/test_am.dir/test_am.cpp.o.d"
+  "test_am"
+  "test_am.pdb"
+  "test_am[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccxx.dir/test_ccxx.cpp.o"
+  "CMakeFiles/test_ccxx.dir/test_ccxx.cpp.o.d"
+  "test_ccxx"
+  "test_ccxx.pdb"
+  "test_ccxx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccxx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nexus.dir/test_nexus.cpp.o"
+  "CMakeFiles/test_nexus.dir/test_nexus.cpp.o.d"
+  "test_nexus"
+  "test_nexus.pdb"
+  "test_nexus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nexus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

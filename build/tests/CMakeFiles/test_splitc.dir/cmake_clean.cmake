@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splitc.dir/test_splitc.cpp.o"
+  "CMakeFiles/test_splitc.dir/test_splitc.cpp.o.d"
+  "test_splitc"
+  "test_splitc.pdb"
+  "test_splitc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splitc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
