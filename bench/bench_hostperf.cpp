@@ -1,18 +1,48 @@
-// Host-machine (real-time) performance of the simulator's own primitives,
-// via google-benchmark: fiber context switches, event dispatch, AM round
-// trips, marshalling throughput. These bound how large a workload the
-// simulated multicomputer can drive; the paper-facing numbers come from the
-// virtual-time benches.
+// Host-machine (real-time) performance of the simulator's own primitives:
+// fiber context switches, event dispatch, multi-node fan-in/fan-out,
+// threaded-RMI churn, marshalling throughput. These bound how large a
+// workload the simulated multicomputer can drive; the paper-facing numbers
+// come from the virtual-time benches.
+//
+// Two front ends share the workloads:
+//   default        — google-benchmark (wall-time statistics, filters, etc.)
+//   --json[=PATH]  — fixed-size runs written to BENCH_hostperf.json
+//                    (events/sec, switches/sec, allocs per message via the
+//                    counting allocator hook), the cross-PR perf baseline.
+//                    Add --smoke for a seconds-long sanity run in CI.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "am/am.hpp"
 #include "ccxx/serial.hpp"
+#include "common/alloc_count.hpp"
+#include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/fiber.hpp"
+#include "threads/threads.hpp"
 
 namespace tham {
 namespace {
+
+std::uint64_t total_switches(sim::Engine& e) {
+  std::uint64_t s = 0;
+  for (NodeId i = 0; i < e.size(); ++i) {
+    s += e.node(i).counters().context_switches;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark front end
+// ---------------------------------------------------------------------------
 
 void BM_FiberSwitch(benchmark::State& state) {
   sim::StackPool pool(64 * 1024);
@@ -32,23 +62,26 @@ void BM_FiberSwitch(benchmark::State& state) {
 BENCHMARK(BM_FiberSwitch);
 
 void BM_EngineEventDispatch(benchmark::State& state) {
-  // Measures end-to-end simulation throughput: a 2-node ping-pong of raw
-  // messages, events per second.
+  // Measures end-to-end simulation throughput: a 2-node stream of raw
+  // messages, events per second. Engine construction/teardown happens
+  // outside the timed region so the metric is dispatch, not setup.
   auto iters = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    sim::Engine e(2);
-    e.node(0).spawn(
-        [&e, iters] {
+    state.PauseTiming();
+    auto e = std::make_unique<sim::Engine>(2);
+    sim::Engine& eng = *e;
+    eng.node(0).spawn(
+        [&eng, iters] {
           sim::Node& n = sim::this_node();
           for (int i = 0; i < iters; ++i) {
-            e.node(1).push_message(sim::Message{
-                n.now() + usec(10), 0, e.next_seq(), 0, [](sim::Node&) {}});
+            eng.node(1).push_message(sim::Message{
+                n.now() + usec(10), 0, eng.next_seq(), 0, [](sim::Node&) {}});
             n.advance(usec(1));
           }
         },
         "sender");
-    e.node(1).spawn(
-        [&e] {
+    eng.node(1).spawn(
+        [&eng] {
           sim::Node& n = sim::this_node();
           while (n.wait_for_inbox(true)) {
             while (n.poll_one()) {
@@ -56,52 +89,155 @@ void BM_EngineEventDispatch(benchmark::State& state) {
           }
         },
         "receiver", /*daemon=*/true);
-    e.run();
+    state.ResumeTiming();
+    eng.run();
+    state.PauseTiming();
+    e.reset();
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(state.iterations() * iters);
 }
 BENCHMARK(BM_EngineEventDispatch)->Arg(1000);
 
-void BM_AmRoundTrip(benchmark::State& state) {
-  // Real-time cost of one simulated AM round trip (request + reply).
+void BM_MultiNodeFanIn(benchmark::State& state) {
+  // N sender nodes stream short messages into one receiver through the
+  // network layer (per-channel FIFO bookkeeping included).
+  auto senders = static_cast<int>(state.range(0));
+  auto per_sender = static_cast<int>(state.range(1));
   for (auto _ : state) {
     state.PauseTiming();
-    sim::Engine engine(2);
-    net::Network net(engine);
-    am::AmLayer am(net);
-    bool done = false;
-    am::HandlerId h_done = am.register_short(
-        "done", [&](sim::Node&, am::Token, const am::Words&) { done = true; });
-    am::HandlerId h_ping = am.register_short(
-        "ping", [&](sim::Node&, am::Token tok, const am::Words&) {
-          am.reply(tok, h_done);
-        });
-    constexpr int kIters = 1000;
-    engine.node(0).spawn(
-        [&] {
-          for (int i = 0; i < kIters; ++i) {
-            done = false;
-            am.request(1, h_ping);
-            am.poll_until([&] { return done; });
-          }
-        },
-        "pinger");
-    engine.node(1).spawn(
-        [&] {
+    auto e = std::make_unique<sim::Engine>(senders + 1);
+    auto net = std::make_unique<net::Network>(*e);
+    for (NodeId i = 1; i <= senders; ++i) {
+      e->node(i).spawn(
+          [&net, per_sender] {
+            sim::Node& n = sim::this_node();
+            for (int k = 0; k < per_sender; ++k) {
+              net->send(n, 0, net::Wire::AmShort, 0, [](sim::Node&) {});
+              n.advance(usec(1));
+            }
+          },
+          "fan-in-sender");
+    }
+    e->node(0).spawn(
+        [] {
           sim::Node& n = sim::this_node();
           while (n.wait_for_inbox(true)) {
             while (n.poll_one()) {
             }
           }
         },
-        "poller", /*daemon=*/true);
+        "fan-in-sink", /*daemon=*/true);
     state.ResumeTiming();
-    engine.run();
-    benchmark::DoNotOptimize(done);
+    e->run();
+    state.PauseTiming();
+    net.reset();
+    e.reset();
+    state.ResumeTiming();
   }
-  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetItemsProcessed(state.iterations() * senders * per_sender);
 }
-BENCHMARK(BM_AmRoundTrip);
+BENCHMARK(BM_MultiNodeFanIn)->Args({8, 500});
+
+void BM_MultiNodeFanOut(benchmark::State& state) {
+  // One sender sprays short messages round-robin over N receiver nodes.
+  auto receivers = static_cast<int>(state.range(0));
+  auto total = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto e = std::make_unique<sim::Engine>(receivers + 1);
+    auto net = std::make_unique<net::Network>(*e);
+    e->node(0).spawn(
+        [&net, receivers, total] {
+          sim::Node& n = sim::this_node();
+          for (int k = 0; k < total; ++k) {
+            NodeId dst = 1 + static_cast<NodeId>(k % receivers);
+            net->send(n, dst, net::Wire::AmShort, 0, [](sim::Node&) {});
+            n.advance(usec(1));
+          }
+        },
+        "fan-out-source");
+    for (NodeId i = 1; i <= receivers; ++i) {
+      e->node(i).spawn(
+          [] {
+            sim::Node& n = sim::this_node();
+            while (n.wait_for_inbox(true)) {
+              while (n.poll_one()) {
+              }
+            }
+          },
+          "fan-out-sink", /*daemon=*/true);
+    }
+    state.ResumeTiming();
+    e->run();
+    state.PauseTiming();
+    net.reset();
+    e.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * total);
+}
+BENCHMARK(BM_MultiNodeFanOut)->Args({8, 4000});
+
+void BM_ThreadedRmiChurn(benchmark::State& state) {
+  // The paper's MPMD regime: every request spawns a fresh simulated thread
+  // at the receiver which replies and dies. Exercises the Task free list,
+  // the pooled stacks, and the message pool under thread churn.
+  auto rmis = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto e = std::make_unique<sim::Engine>(2);
+    auto net = std::make_unique<net::Network>(*e);
+    auto am = std::make_unique<am::AmLayer>(*net);
+    auto done = std::make_unique<int>(0);
+    int* done_p = done.get();
+    am::AmLayer* am_p = am.get();
+    am::HandlerId h_done = am->register_short(
+        "churn.done",
+        [done_p](sim::Node&, am::Token, const am::Words&) { ++*done_p; });
+    am::HandlerId h_rmi = am->register_short(
+        "churn.rmi", [am_p, h_done](sim::Node&, am::Token tok,
+                                    const am::Words&) {
+          NodeId caller = tok.reply_to;
+          threads::Thread t = threads::spawn(
+              [am_p, h_done, caller] {
+                sim::this_node().advance(usec(1));
+                am_p->request(caller, h_done);
+              },
+              "rmi-thread");
+          threads::detach(t);
+        });
+    e->node(0).spawn(
+        [am_p, done_p, h_rmi, rmis] {
+          for (int i = 0; i < rmis; ++i) {
+            am_p->request(1, h_rmi);
+            am_p->poll_until([done_p, i] { return *done_p > i - 128; });
+          }
+          am_p->poll_until([done_p, rmis] { return *done_p == rmis; });
+        },
+        "churn-driver");
+    e->node(1).spawn(
+        [] {
+          sim::Node& n = sim::this_node();
+          while (n.wait_for_inbox(true)) {
+            while (n.poll_one()) {
+            }
+          }
+        },
+        "churn-server", /*daemon=*/true);
+    state.ResumeTiming();
+    e->run();
+    state.PauseTiming();
+    am.reset();
+    net.reset();
+    e.reset();
+    done.reset();
+    state.ResumeTiming();
+  }
+  // One request + one completion message per RMI.
+  state.SetItemsProcessed(state.iterations() * rmis * 2);
+}
+BENCHMARK(BM_ThreadedRmiChurn)->Arg(1000);
 
 void BM_SerializerRoundTrip(benchmark::State& state) {
   std::vector<double> v(static_cast<std::size_t>(state.range(0)), 1.5);
@@ -117,7 +253,271 @@ void BM_SerializerRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SerializerRoundTrip)->Arg(20)->Arg(1000);
 
+// ---------------------------------------------------------------------------
+// --json front end: the cross-PR baseline (BENCH_hostperf.json)
+// ---------------------------------------------------------------------------
+
+struct HostperfResult {
+  const char* name;
+  int nodes;
+  std::uint64_t messages;
+  double seconds;
+  double events_per_sec;
+  double switches_per_sec;
+  double allocs_per_message;  ///< negative: not measured for this workload
+};
+
+double elapsed_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// 2-node raw-message stream. Also measures steady-state allocations: the
+/// warmup phase grows every pool/heap to its high-water mark, then the
+/// measured phase must not allocate at all.
+HostperfResult run_event_dispatch(int warmup, int iters) {
+  std::uint64_t news_before = 0, news_after = 0;
+  sim::Engine e(2);
+  e.node(0).spawn(
+      [&] {
+        sim::Node& n = sim::this_node();
+        auto blast = [&](int count) {
+          for (int i = 0; i < count; ++i) {
+            e.node(1).push_message(sim::Message{
+                n.now() + usec(10), 0, e.next_seq(), 0, [](sim::Node&) {}});
+            n.advance(usec(1));
+          }
+          // Run past the last arrival so every delivery has happened.
+          n.advance(usec(50));
+        };
+        blast(warmup);
+        news_before = alloc_counts().news;
+        blast(iters);
+        news_after = alloc_counts().news;
+      },
+      "sender");
+  e.node(1).spawn(
+      [&e] {
+        sim::Node& n = sim::this_node();
+        while (n.wait_for_inbox(true)) {
+          while (n.poll_one()) {
+          }
+        }
+      },
+      "receiver", /*daemon=*/true);
+  auto t0 = std::chrono::steady_clock::now();
+  e.run();
+  double s = elapsed_since(t0);
+  auto messages = static_cast<std::uint64_t>(warmup + iters);
+  return {"event_dispatch",
+          2,
+          messages,
+          s,
+          static_cast<double>(messages) / s,
+          static_cast<double>(total_switches(e)) / s,
+          static_cast<double>(news_after - news_before) / iters};
+}
+
+HostperfResult run_fan_in(int senders, int per_sender) {
+  sim::Engine e(senders + 1);
+  net::Network net(e);
+  for (NodeId i = 1; i <= senders; ++i) {
+    e.node(i).spawn(
+        [&net, per_sender] {
+          sim::Node& n = sim::this_node();
+          for (int k = 0; k < per_sender; ++k) {
+            net.send(n, 0, net::Wire::AmShort, 0, [](sim::Node&) {});
+            n.advance(usec(1));
+          }
+        },
+        "fan-in-sender");
+  }
+  e.node(0).spawn(
+      [] {
+        sim::Node& n = sim::this_node();
+        while (n.wait_for_inbox(true)) {
+          while (n.poll_one()) {
+          }
+        }
+      },
+      "fan-in-sink", /*daemon=*/true);
+  auto t0 = std::chrono::steady_clock::now();
+  e.run();
+  double s = elapsed_since(t0);
+  auto messages = static_cast<std::uint64_t>(senders) * per_sender;
+  return {"fan_in",       senders + 1,
+          messages,       s,
+          messages / s,   static_cast<double>(total_switches(e)) / s,
+          -1.0};
+}
+
+HostperfResult run_fan_out(int receivers, int total) {
+  sim::Engine e(receivers + 1);
+  net::Network net(e);
+  e.node(0).spawn(
+      [&net, receivers, total] {
+        sim::Node& n = sim::this_node();
+        for (int k = 0; k < total; ++k) {
+          NodeId dst = 1 + static_cast<NodeId>(k % receivers);
+          net.send(n, dst, net::Wire::AmShort, 0, [](sim::Node&) {});
+          n.advance(usec(1));
+        }
+      },
+      "fan-out-source");
+  for (NodeId i = 1; i <= receivers; ++i) {
+    e.node(i).spawn(
+        [] {
+          sim::Node& n = sim::this_node();
+          while (n.wait_for_inbox(true)) {
+            while (n.poll_one()) {
+            }
+          }
+        },
+        "fan-out-sink", /*daemon=*/true);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  e.run();
+  double s = elapsed_since(t0);
+  auto messages = static_cast<std::uint64_t>(total);
+  return {"fan_out",      receivers + 1,
+          messages,       s,
+          messages / s,   static_cast<double>(total_switches(e)) / s,
+          -1.0};
+}
+
+HostperfResult run_rmi_churn(int rmis) {
+  sim::Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);
+  int done = 0;
+  am::HandlerId h_done = am.register_short(
+      "churn.done", [&done](sim::Node&, am::Token, const am::Words&) {
+        ++done;
+      });
+  am::HandlerId h_rmi = am.register_short(
+      "churn.rmi",
+      [&am, h_done](sim::Node&, am::Token tok, const am::Words&) {
+        NodeId caller = tok.reply_to;
+        threads::Thread t = threads::spawn(
+            [&am, h_done, caller] {
+              sim::this_node().advance(usec(1));
+              am.request(caller, h_done);
+            },
+            "rmi-thread");
+        threads::detach(t);
+      });
+  e.node(0).spawn(
+      [&am, &done, h_rmi, rmis] {
+        for (int i = 0; i < rmis; ++i) {
+          am.request(1, h_rmi);
+          am.poll_until([&done, i] { return done > i - 128; });
+        }
+        am.poll_until([&done, rmis] { return done == rmis; });
+      },
+      "churn-driver");
+  e.node(1).spawn(
+      [] {
+        sim::Node& n = sim::this_node();
+        while (n.wait_for_inbox(true)) {
+          while (n.poll_one()) {
+          }
+        }
+      },
+      "churn-server", /*daemon=*/true);
+  auto t0 = std::chrono::steady_clock::now();
+  e.run();
+  double s = elapsed_since(t0);
+  auto messages = static_cast<std::uint64_t>(rmis) * 2;
+  return {"rmi_churn",    2,
+          messages,       s,
+          messages / s,   static_cast<double>(total_switches(e)) / s,
+          -1.0};
+}
+
+int run_json(const std::string& path, bool smoke) {
+  // Pull in the counting allocator (and record whether it is active).
+  bool counting = alloc_counting_linked();
+  std::vector<HostperfResult> results;
+  if (smoke) {
+    results.push_back(run_event_dispatch(200, 1000));
+    results.push_back(run_fan_in(4, 200));
+    results.push_back(run_fan_out(4, 800));
+    results.push_back(run_rmi_churn(300));
+  } else {
+    results.push_back(run_event_dispatch(20000, 300000));
+    results.push_back(run_fan_in(8, 40000));
+    results.push_back(run_fan_out(8, 320000));
+    results.push_back(run_rmi_churn(50000));
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_hostperf: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"tham-hostperf-v1\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+#if defined(THAM_FIBER_FAST_SWITCH)
+  std::fprintf(f, "  \"fiber_fast_switch\": true,\n");
+#else
+  std::fprintf(f, "  \"fiber_fast_switch\": false,\n");
+#endif
+  std::fprintf(f, "  \"alloc_counting\": %s,\n", counting ? "true" : "false");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const HostperfResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"nodes\": %d, \"messages\": %llu, "
+                 "\"seconds\": %.6f, \"events_per_sec\": %.1f, "
+                 "\"switches_per_sec\": %.1f, \"allocs_per_message\": ",
+                 r.name, r.nodes, static_cast<unsigned long long>(r.messages),
+                 r.seconds, r.events_per_sec, r.switches_per_sec);
+    if (r.allocs_per_message < 0) {
+      std::fprintf(f, "null}");
+    } else {
+      std::fprintf(f, "%.4f}", r.allocs_per_message);
+    }
+    std::fprintf(f, "%s\n", i + 1 < results.size() ? "," : "");
+    std::printf("%-16s %10.0f events/s  %10.0f switches/s", r.name,
+                r.events_per_sec, r.switches_per_sec);
+    if (r.allocs_per_message >= 0) {
+      std::printf("  %.4f allocs/msg", r.allocs_per_message);
+    }
+    std::printf("\n");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace tham
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  bool smoke = false;
+  std::string path = "BENCH_hostperf.json";
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (json) return tham::run_json(path, smoke);
+
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Full verification: tier-1 build + tests, the perf-smoke harness pass
+# (part of ctest), and a second configure with -DTHAM_WERROR=ON so the
+# warnings-as-errors gate actually builds at least once per change.
+#
+# Usage: scripts/verify.sh   (from the repo root)
+set -eu
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure
+
+# Warnings-as-errors build in a separate tree so it never pollutes the
+# primary build's cache.
+cmake -B build-werror -S . -DTHAM_WERROR=ON
+cmake --build build-werror -j
+
+echo "verify: OK"

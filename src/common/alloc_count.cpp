@@ -1,0 +1,63 @@
+#include "common/alloc_count.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::uint64_t g_news = 0;
+std::uint64_t g_deletes = 0;
+
+void* counted_alloc(std::size_t n) {
+  ++g_news;
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t n, std::size_t align) {
+  ++g_news;
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t rounded = (n + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded != 0 ? rounded : align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void counted_free(void* p) {
+  ++g_deletes;
+  std::free(p);
+}
+}  // namespace
+
+namespace tham {
+
+AllocCounts alloc_counts() { return AllocCounts{g_news, g_deletes}; }
+
+bool alloc_counting_linked() { return true; }
+
+}  // namespace tham
+
+// Replaceable global allocation functions ([new.delete.single] / [.array]).
+// Counting every flavor keeps the counters honest for over-aligned types
+// (the fiber StackPool allocates 64-byte-aligned stacks).
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}

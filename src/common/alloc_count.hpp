@@ -1,0 +1,25 @@
+#pragma once
+// Heap-allocation counting hook. Binaries that link `tham_alloc_count` get
+// replacement global operator new/delete that count every call; the
+// zero-allocation guarantees of the message hot path are asserted against
+// these counters (tests/test_hostpath.cpp) and reported as allocs-per-
+// message by the hostperf benchmark. Not linked into ordinary binaries.
+
+#include <cstdint>
+
+namespace tham {
+
+struct AllocCounts {
+  std::uint64_t news = 0;     ///< operator new / new[] calls
+  std::uint64_t deletes = 0;  ///< operator delete / delete[] calls
+};
+
+/// Totals since process start.
+AllocCounts alloc_counts();
+
+/// True when the counting operator new/delete are linked into this binary.
+/// Referencing this symbol is also what pulls the replacements in, so call
+/// it once before relying on alloc_counts().
+bool alloc_counting_linked();
+
+}  // namespace tham

@@ -12,7 +12,7 @@ Network::Network(sim::Engine& engine)
                      static_cast<std::size_t>(engine.size())) {}
 
 void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
-                   std::function<void(sim::Node&)> deliver) {
+                   sim::InlineHandler deliver) {
   THAM_CHECK(dst >= 0 && dst < engine_.size());
   THAM_CHECK_MSG(dst != src.id(), "network send to self");
   const CostModel& cm = engine_.cost();

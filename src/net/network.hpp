@@ -48,9 +48,10 @@ class Network {
   /// Charges the sender's per-message CPU overhead under the *current*
   /// component scope (callers wrap with Component::Net), computes the
   /// arrival time from latency + per-byte cost + FIFO ordering, and
-  /// enqueues the delivery closure at the destination.
+  /// enqueues the delivery closure at the destination. The closure is
+  /// stored inline (sim::InlineHandler): no heap allocation per send.
   void send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
-            std::function<void(sim::Node&)> deliver);
+            sim::InlineHandler deliver);
 
   /// Messages sent so far (all wires).
   std::uint64_t total_messages() const { return total_messages_; }

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/cost_model.hpp"
 #include "common/types.hpp"
 #include "sim/node.hpp"
+#include "sim/quad_heap.hpp"
 
 namespace tham::sim {
 
@@ -60,17 +60,18 @@ class Engine {
     std::uint64_t seq;
     NodeId n;
   };
-  struct EvLater {
+  /// Earliest timestamp first; FIFO (wake order) among equal timestamps.
+  struct EvBefore {
     bool operator()(const Ev& a, const Ev& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
+      if (a.t != b.t) return a.t < b.t;
+      return a.seq < b.seq;
     }
   };
 
   CostModel cost_;
   StackPool stack_pool_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
+  QuadHeap<Ev, EvBefore> queue_;
   std::uint64_t seq_ = 0;
   SimTime vtime_ = 0;
   bool allow_deadlock_ = false;

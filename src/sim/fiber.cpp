@@ -1,15 +1,23 @@
 #include "sim/fiber.hpp"
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 
 #include "common/check.hpp"
 
+#if defined(THAM_FIBER_FAST_SWITCH)
+// Defined in fiber_switch_x86_64.S: swaps stacks entirely in userspace.
+extern "C" void tham_fctx_switch(void** save_sp, void* target_sp);
+extern "C" void tham_fctx_entry();
+#endif
+
 namespace tham::sim {
 
 namespace {
-// The fiber being started or resumed. Set immediately before swapcontext so
+// The fiber being started or resumed. Set immediately before the switch so
 // the trampoline can find its Fiber. Single real thread -> plain static.
 Fiber* g_current = nullptr;
 }  // namespace
@@ -46,11 +54,38 @@ Fiber::~Fiber() {
   if (stack_ != nullptr) pool_.release(stack_);
 }
 
+#if defined(THAM_FIBER_FAST_SWITCH)
+
+void* Fiber::make_initial_sp() {
+  // Builds the frame tham_fctx_switch expects to restore (see the layout
+  // comment in fiber_switch_x86_64.S): FPU control words, six callee-saved
+  // registers with this Fiber in the r12 slot, and tham_fctx_entry as the
+  // return address. The frame is 64 bytes below a 16-byte-aligned top, so
+  // the entry thunk runs with the alignment the SysV ABI requires.
+  auto top = reinterpret_cast<std::uintptr_t>(stack_ + pool_.stack_bytes());
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* frame = reinterpret_cast<std::uintptr_t*>(top - 64);
+  std::memset(frame, 0, 64);
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  std::memcpy(frame, &mxcsr, sizeof(mxcsr));
+  std::memcpy(reinterpret_cast<char*>(frame) + 4, &fcw, sizeof(fcw));
+  frame[4] = reinterpret_cast<std::uintptr_t>(this);  // r12 slot
+  frame[7] = reinterpret_cast<std::uintptr_t>(&tham_fctx_entry);
+  return frame;
+}
+
+#else  // ucontext fallback
+
 void Fiber::trampoline() {
   Fiber* self = g_current;
   self->run_body();
   // Unreachable: run_body never returns.
 }
+
+#endif
 
 void Fiber::run_body() {
   try {
@@ -67,11 +102,16 @@ void Fiber::run_body() {
   body_ = nullptr;  // release captured resources now, not at destruction
   pool_.release(stack_);
   stack_ = nullptr;
-  // Return to the main context for good. setcontext (not swap): this stack
-  // is already back in the pool, so we must never run on it again.
-  ucontext_t* ret = &return_ctx_;
+  // Return to the main context for good. The stack is already back in the
+  // pool, but nothing can reuse it until the main context runs, and the
+  // final switch never touches this stack again.
   g_current = nullptr;
-  setcontext(ret);
+#if defined(THAM_FIBER_FAST_SWITCH)
+  void* scratch;
+  tham_fctx_switch(&scratch, return_sp_);
+#else
+  setcontext(&return_ctx_);
+#endif
   THAM_CHECK_MSG(false, "resumed a finished fiber");
 }
 
@@ -79,6 +119,15 @@ void Fiber::resume() {
   THAM_CHECK_MSG(g_current == nullptr, "resume() from inside a fiber");
   THAM_CHECK_MSG(state_ == State::Ready || state_ == State::Suspended,
                  "resume() on a fiber that is not runnable");
+#if defined(THAM_FIBER_FAST_SWITCH)
+  if (state_ == State::Ready) {
+    stack_ = pool_.acquire();
+    sp_ = make_initial_sp();
+  }
+  state_ = State::Running;
+  g_current = this;
+  tham_fctx_switch(&return_sp_, sp_);
+#else
   if (state_ == State::Ready) {
     stack_ = pool_.acquire();
     THAM_CHECK(getcontext(&ctx_) == 0);
@@ -90,8 +139,15 @@ void Fiber::resume() {
   state_ = State::Running;
   g_current = this;
   THAM_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
+#endif
   // Back in main: the fiber either suspended or finished.
   THAM_CHECK(g_current == nullptr);
+}
+
+void Fiber::reset(std::function<void()> body) {
+  THAM_CHECK_MSG(state_ == State::Done, "reset() on an unfinished fiber");
+  body_ = std::move(body);
+  state_ = State::Ready;
 }
 
 void Fiber::suspend() {
@@ -99,7 +155,11 @@ void Fiber::suspend() {
   THAM_CHECK_MSG(self != nullptr, "suspend() outside a fiber");
   self->state_ = State::Suspended;
   g_current = nullptr;
+#if defined(THAM_FIBER_FAST_SWITCH)
+  tham_fctx_switch(&self->sp_, self->return_sp_);
+#else
   THAM_CHECK(swapcontext(&self->ctx_, &self->return_ctx_) == 0);
+#endif
   // Resumed again.
   g_current = self;
   self->state_ = State::Running;
@@ -108,3 +168,10 @@ void Fiber::suspend() {
 Fiber* Fiber::current() { return g_current; }
 
 }  // namespace tham::sim
+
+#if defined(THAM_FIBER_FAST_SWITCH)
+extern "C" void tham_fiber_trampoline(void* fiber) {
+  static_cast<tham::sim::Fiber*>(fiber)->run_body();
+  // Unreachable: run_body never returns.
+}
+#endif

@@ -1,14 +1,26 @@
 #pragma once
-// Stackful fibers (ucontext-based) — the execution substrate for simulated
-// threads. One real OS thread runs the whole simulation; every simulated
-// thread on every simulated node is a Fiber that the node scheduler resumes
-// and that suspends back to the scheduler at blocking points.
+// Stackful fibers — the execution substrate for simulated threads. One real
+// OS thread runs the whole simulation; every simulated thread on every
+// simulated node is a Fiber that the node scheduler resumes and that
+// suspends back to the scheduler at blocking points.
+//
+// Two switch backends: on x86-64 ELF (THAM_FIBER_FAST_SWITCH, selected by
+// the build) switches are a userspace register swap (~tens of ns); the
+// portable fallback uses ucontext, whose swapcontext costs a sigprocmask
+// syscall per switch.
 
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <ucontext.h>
 #include <vector>
+
+#if !defined(THAM_FIBER_FAST_SWITCH)
+#include <ucontext.h>
+#endif
+
+#if defined(THAM_FIBER_FAST_SWITCH)
+extern "C" void tham_fiber_trampoline(void* fiber);
+#endif
 
 namespace tham::sim {
 
@@ -52,6 +64,10 @@ class Fiber {
   /// Must be called from the main context.
   void resume();
 
+  /// Rearms a finished fiber with a new body (Task recycling): the object
+  /// returns to Ready as if freshly constructed. Must be Done.
+  void reset(std::function<void()> body);
+
   /// Suspends the currently running fiber, returning control to the caller
   /// of resume(). Must be called from inside a fiber.
   static void suspend();
@@ -63,14 +79,24 @@ class Fiber {
   bool done() const { return state_ == State::Done; }
 
  private:
+#if defined(THAM_FIBER_FAST_SWITCH)
+  friend void ::tham_fiber_trampoline(void* fiber);
+  void* make_initial_sp();
+#else
   static void trampoline();
+#endif
   void run_body();
 
   std::function<void()> body_;
   StackPool& pool_;
   char* stack_ = nullptr;
+#if defined(THAM_FIBER_FAST_SWITCH)
+  void* sp_ = nullptr;         ///< fiber's saved stack pointer while parked
+  void* return_sp_ = nullptr;  ///< main context's stack pointer while running
+#else
   ucontext_t ctx_{};
   ucontext_t return_ctx_{};
+#endif
   State state_ = State::Ready;
 };
 

@@ -1,0 +1,98 @@
+#pragma once
+// Fixed-capacity inline closure for message delivery — the allocation-free
+// replacement for std::function<void(Node&)> on the message hot path. The
+// callable is stored in place; a closure that does not fit is rejected with
+// a static_assert at its construction site, so capacity violations are
+// compile errors where the lambda is written, never runtime heap fallbacks.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tham::sim {
+
+class Node;
+
+class InlineHandler {
+ public:
+  /// Inline storage size, sized for the largest steady-state closure: the
+  /// AM bulk-transfer delivery (layer pointer + token + handler id +
+  /// destination address + payload vector + 6 argument words = 96 bytes).
+  static constexpr std::size_t kCapacity = 96;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  InlineHandler() = default;
+
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<
+                            std::decay_t<F>, InlineHandler>>>
+  InlineHandler(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "delivery closure exceeds InlineHandler::kCapacity: "
+                  "shrink the captures (or raise kCapacity)");
+    static_assert(alignof(Fn) <= kAlign,
+                  "delivery closure over-aligned for InlineHandler storage");
+    static_assert(std::is_invocable_v<Fn&, Node&>,
+                  "delivery closure must be callable as void(Node&)");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+    ops_ = &OpsFor<Fn>::ops;
+  }
+
+  InlineHandler(InlineHandler&& o) noexcept { move_from(o); }
+  InlineHandler& operator=(InlineHandler&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineHandler(const InlineHandler&) = delete;
+  InlineHandler& operator=(const InlineHandler&) = delete;
+  ~InlineHandler() { reset(); }
+
+  void operator()(Node& n) { ops_->invoke(buf_, n); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* f, Node& n);
+    void (*relocate)(void* from, void* to);  ///< move-construct, destroy src
+    void (*destroy)(void* f);
+  };
+
+  template <typename Fn>
+  struct OpsFor {
+    static void invoke(void* f, Node& n) { (*static_cast<Fn*>(f))(n); }
+    static void relocate(void* from, void* to) {
+      Fn* src = static_cast<Fn*>(from);
+      ::new (to) Fn(std::move(*src));
+      src->~Fn();
+    }
+    static void destroy(void* f) { static_cast<Fn*>(f)->~Fn(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  void move_from(InlineHandler& o) {
+    if (o.ops_ != nullptr) {
+      o.ops_->relocate(o.buf_, buf_);
+      ops_ = o.ops_;
+      o.ops_ = nullptr;
+    } else {
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kAlign) unsigned char buf_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tham::sim

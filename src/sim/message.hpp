@@ -4,9 +4,9 @@
 // the simulator only cares about timestamps and ordering.
 
 #include <cstdint>
-#include <functional>
 
 #include "common/types.hpp"
+#include "sim/inline_handler.hpp"
 
 namespace tham::sim {
 
@@ -19,16 +19,8 @@ struct Message {
   std::size_t wire_bytes = 0;  ///< payload size on the wire (stats only)
   /// Runs at the receiving node, in the context of the simulated thread
   /// that polled the message (exactly Active Message handler semantics).
-  std::function<void(Node&)> deliver;
-};
-
-/// Ordering for the per-node inbox min-heap: earliest arrival first,
-/// FIFO (send order) among equal arrivals.
-struct MessageLater {
-  bool operator()(const Message& a, const Message& b) const {
-    if (a.arrival != b.arrival) return a.arrival > b.arrival;
-    return a.seq > b.seq;
-  }
+  /// Stored inline — a send never heap-allocates for the closure.
+  InlineHandler deliver;
 };
 
 }  // namespace tham::sim

@@ -1,0 +1,95 @@
+#pragma once
+// Slab-backed pool of in-flight Message records plus an index min-heap over
+// them, replacing the per-node std::priority_queue<Message>. Records live in
+// fixed slabs (never moved, recycled through a free list), and the heap
+// orders 4-byte indices keyed on (arrival, seq) — so every sift moves ints
+// instead of ~120-byte Message objects, and a steady-state push/pop cycle
+// touches no allocator at all once the high-water mark is reached.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/message.hpp"
+#include "sim/quad_heap.hpp"
+
+namespace tham::sim {
+
+class MessagePool {
+ public:
+  using Index = std::uint32_t;
+
+  MessagePool() : heap_(EarlierRecord{this}) {}
+
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// The earliest queued message: min (arrival, seq).
+  const Message& top() const { return record(heap_.top()); }
+
+  void push(Message m) {
+    Index i = acquire();
+    record(i) = std::move(m);
+    heap_.push(i);
+  }
+
+  /// Removes and returns the earliest message; its record returns to the
+  /// free list immediately (the returned Message owns the moved-out state).
+  Message pop() {
+    Index i = heap_.top();
+    heap_.pop();
+    Message m = std::move(record(i));
+    free_.push_back(i);
+    return m;
+  }
+
+  // --- Introspection (tests / stats) ---------------------------------------
+  std::size_t capacity() const { return slabs_.size() * kSlabSize; }
+  std::size_t free_records() const { return free_.size(); }
+
+ private:
+  static constexpr std::size_t kSlabSize = 64;
+
+  Message& record(Index i) { return slabs_[i / kSlabSize][i % kSlabSize]; }
+  const Message& record(Index i) const {
+    return slabs_[i / kSlabSize][i % kSlabSize];
+  }
+
+  Index acquire() {
+    if (free_.empty()) grow();
+    Index i = free_.back();
+    free_.pop_back();
+    return i;
+  }
+
+  void grow() {
+    THAM_CHECK_MSG(capacity() + kSlabSize <= UINT32_MAX,
+                   "MessagePool exhausted the 32-bit index space");
+    auto base = static_cast<Index>(capacity());
+    slabs_.push_back(std::make_unique<Message[]>(kSlabSize));
+    // Descending, so records are first handed out in index order.
+    for (std::size_t k = kSlabSize; k-- > 0;) {
+      free_.push_back(base + static_cast<Index>(k));
+    }
+  }
+
+  struct EarlierRecord {
+    const MessagePool* pool;
+    bool operator()(Index a, Index b) const {
+      const Message& ma = pool->record(a);
+      const Message& mb = pool->record(b);
+      if (ma.arrival != mb.arrival) return ma.arrival < mb.arrival;
+      return ma.seq < mb.seq;
+    }
+  };
+
+  std::vector<std::unique_ptr<Message[]>> slabs_;
+  std::vector<Index> free_;
+  QuadHeap<Index, EarlierRecord> heap_;
+};
+
+}  // namespace tham::sim

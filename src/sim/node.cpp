@@ -70,9 +70,18 @@ Component Node::set_component(Component c) {
 }
 
 Task* Node::spawn(std::function<void()> body, const char* name, bool daemon) {
-  // Not make_unique: Task's constructor is private to Node.
-  auto t = std::unique_ptr<Task>(new Task(
-      std::move(body), engine_.stack_pool(), name, next_task_id_++, daemon));
+  std::unique_ptr<Task> t;
+  if (!task_free_.empty()) {
+    // Recycle a reaped Task shell instead of allocating a fresh one (the
+    // fiber stack is pooled separately; this pools the Task object itself).
+    t = std::move(task_free_.back());
+    task_free_.pop_back();
+    t->recycle(std::move(body), name, next_task_id_++, daemon);
+  } else {
+    // Not make_unique: Task's constructor is private to Node.
+    t = std::unique_ptr<Task>(new Task(std::move(body), engine_.stack_pool(),
+                                       name, next_task_id_++, daemon));
+  }
   Task* raw = t.get();
   raw->slot_ = tasks_.size();
   tasks_.push_back(std::move(t));
@@ -140,7 +149,7 @@ bool Node::wait_for_inbox(bool poll_only) {
 }
 
 void Node::push_message(Message m) {
-  THAM_CHECK(m.deliver != nullptr);
+  THAM_CHECK(static_cast<bool>(m.deliver));
   SimTime arrival = m.arrival;
   inbox_.push(std::move(m));
   schedule_activation(arrival);
@@ -154,8 +163,9 @@ void Node::schedule_activation(SimTime t) {
 
 bool Node::poll_one() {
   if (!inbox_due()) return false;
-  Message m = inbox_.top();
-  inbox_.pop();
+  // pop() moves the handler out and recycles the record before the handler
+  // runs, so a handler that sends (and so pushes) never sees a full pool.
+  Message m = inbox_.pop();
   ++counters_.msgs_recv;
   ++handler_depth_;
   m.deliver(*this);
@@ -169,17 +179,19 @@ bool Node::poll_one() {
 void Node::wake_inbox_waiters() {
   // Deliveries wake predicate waiters (their condition may now hold) but
   // not pure polling loops (nothing due means nothing for them to do).
-  std::vector<Task*> keep;
+  // Compacted in place: this runs once per delivery, so it must not touch
+  // the allocator the way a scratch vector would.
+  std::size_t kept = 0;
   for (Task* w : inbox_waiters_) {
     if (w->poll_only_wait_ && !inbox_due()) {
-      keep.push_back(w);
+      inbox_waiters_[kept++] = w;
       continue;
     }
     w->why_ = Task::Why::Ready;
     w->in_runq_ = true;
     runq_.push_back(w);
   }
-  inbox_waiters_.swap(keep);
+  inbox_waiters_.resize(kept);
 }
 
 bool Node::inbox_due() const {
@@ -295,11 +307,15 @@ void Node::reap(Task* t) {
   std::size_t slot = t->slot_;
   THAM_CHECK(tasks_[slot].get() == t);
   if (last_ran_ == t) last_ran_ = nullptr;
+  std::unique_ptr<Task> dead = std::move(tasks_[slot]);
   if (slot != tasks_.size() - 1) {
-    std::swap(tasks_[slot], tasks_.back());
+    tasks_[slot] = std::move(tasks_.back());
     tasks_[slot]->slot_ = slot;
   }
   tasks_.pop_back();
+  if (task_free_.size() < kMaxFreeTasks) {
+    task_free_.push_back(std::move(dead));
+  }
 }
 
 void Node::begin_shutdown() {

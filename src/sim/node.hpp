@@ -7,11 +7,9 @@
 // inter-node interactions happen in global timestamp order.
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -20,6 +18,8 @@
 #include "sim/component.hpp"
 #include "sim/fiber.hpp"
 #include "sim/message.hpp"
+#include "sim/message_pool.hpp"
+#include "sim/ring_queue.hpp"
 
 namespace tham::sim {
 
@@ -48,6 +48,23 @@ class Task {
   Task(std::function<void()> body, StackPool& pool, const char* name,
        std::uint64_t id, bool daemon)
       : fiber_(std::move(body), pool), name_(name), id_(id), daemon_(daemon) {}
+
+  /// Re-initializes a reaped task for reuse from the node's free list.
+  void recycle(std::function<void()> body, const char* name, std::uint64_t id,
+               bool daemon) {
+    fiber_.reset(std::move(body));
+    name_ = name;
+    id_ = id;
+    daemon_ = daemon;
+    detached_ = false;
+    in_runq_ = false;
+    causality_resume_ = false;
+    poll_only_wait_ = false;
+    why_ = Why::Ready;
+    comp_ = Component::Cpu;
+    slot_ = 0;
+    join_waiters_.clear();
+  }
 
   Fiber fiber_;
   const char* name_;
@@ -187,7 +204,13 @@ class Node {
   Counters counters_;
 
   std::vector<std::unique_ptr<Task>> tasks_;
-  std::deque<Task*> runq_;
+  /// Reaped Task shells awaiting reuse: spawn() pulls from here before
+  /// touching the allocator, so thread churn (one thread per threaded RMI)
+  /// recycles Task objects the way stacks are already recycled. Capped to
+  /// bound idle memory after a spawn burst.
+  static constexpr std::size_t kMaxFreeTasks = 256;
+  std::vector<std::unique_ptr<Task>> task_free_;
+  RingQueue<Task*> runq_;
   std::vector<Task*> inbox_waiters_;
   Task* current_ = nullptr;
   Task* last_ran_ = nullptr;
@@ -196,7 +219,7 @@ class Node {
   bool shutting_down_ = false;
   std::uint64_t next_task_id_ = 0;
 
-  std::priority_queue<Message, std::vector<Message>, MessageLater> inbox_;
+  MessagePool inbox_;
 };
 
 /// The node whose task is currently executing. Valid only from inside a

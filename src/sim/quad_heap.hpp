@@ -1,0 +1,77 @@
+#pragma once
+// Cache-friendly 4-ary min-heap over a flat vector. Compared with the
+// std::priority_queue binary heap, a 4-ary layout halves the tree depth, so
+// sift operations touch half as many (likely-cold) levels while the four
+// children of a node share one or two cache lines. Element moves on sift are
+// plain value moves, so keeping the element small (an index or a 20-byte
+// event record) keeps every reheap cheap.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tham::sim {
+
+/// `Before(a, b)` returns true when `a` must be popped before `b`; it must
+/// be a strict weak ordering. Pop order among equivalent elements is
+/// unspecified, so orderings used by the simulator always include a unique
+/// sequence number to stay deterministic.
+template <typename T, typename Before>
+class QuadHeap {
+ public:
+  explicit QuadHeap(Before before = Before{}) : before_(before) {}
+
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  const T& top() const { return v_.front(); }
+  void reserve(std::size_t n) { v_.reserve(n); }
+
+  void push(T x) {
+    v_.push_back(std::move(x));
+    sift_up(v_.size() - 1);
+  }
+
+  void pop() {
+    T last = std::move(v_.back());
+    v_.pop_back();
+    if (!v_.empty()) {
+      v_.front() = std::move(last);
+      sift_down(0);
+    }
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    T x = std::move(v_[i]);
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 4;
+      if (!before_(x, v_[parent])) break;
+      v_[i] = std::move(v_[parent]);
+      i = parent;
+    }
+    v_[i] = std::move(x);
+  }
+
+  void sift_down(std::size_t i) {
+    T x = std::move(v_[i]);
+    const std::size_t n = v_.size();
+    for (;;) {
+      std::size_t child = 4 * i + 1;
+      if (child >= n) break;
+      std::size_t best = child;
+      std::size_t end = child + 4 < n ? child + 4 : n;
+      for (std::size_t k = child + 1; k < end; ++k) {
+        if (before_(v_[k], v_[best])) best = k;
+      }
+      if (!before_(v_[best], x)) break;
+      v_[i] = std::move(v_[best]);
+      i = best;
+    }
+    v_[i] = std::move(x);
+  }
+
+  std::vector<T> v_;
+  Before before_;
+};
+
+}  // namespace tham::sim

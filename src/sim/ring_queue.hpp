@@ -1,0 +1,50 @@
+#pragma once
+// Power-of-two ring buffer FIFO. Replaces std::deque for the node run
+// queue: a deque releases and re-acquires its block storage as the window
+// of live elements slides, so a steady spawn/finish rhythm keeps touching
+// the allocator. The ring only allocates on capacity growth, which stops
+// once the workload's high-water mark is reached.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tham::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  T& front() { return buf_[head_]; }
+  const T& front() const { return buf_[head_]; }
+
+  void push_back(T x) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(x);
+    ++count_;
+  }
+
+  void pop_front() {
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+  }
+
+ private:
+  void grow() {
+    std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_.swap(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace tham::sim

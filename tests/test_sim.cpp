@@ -237,8 +237,7 @@ TEST(Node, DetachedTasksAreReaped) {
 // ---------------------------------------------------------------------------
 
 // Builds a raw message (bypassing the AM layer, which has its own tests).
-Message raw_msg(Engine& e, NodeId src, SimTime arrival,
-                std::function<void(Node&)> fn) {
+Message raw_msg(Engine& e, NodeId src, SimTime arrival, InlineHandler fn) {
   Message m;
   m.arrival = arrival;
   m.src = src;
