@@ -1,18 +1,46 @@
 #!/usr/bin/env sh
-# Full verification: tier-1 build + tests, the perf-smoke harness pass
-# (part of ctest), and a second configure with -DTHAM_WERROR=ON so the
-# warnings-as-errors gate actually builds at least once per change.
+# Full verification, five legs:
 #
-# Usage: scripts/verify.sh   (from the repo root)
+#   1. tier-1:  default build + the whole ctest suite (includes the
+#      perf-smoke harness and the checker unit tests, which compile in
+#      every flavor).
+#   2. werror:  -DTHAM_WERROR=ON build, so the warnings-as-errors gate
+#      actually builds at least once per change.
+#   3. check:   -DTHAM_CHECK=ON build + ctest. Turns on the tham-check
+#      runtime hooks: the seeded-defect tests stop skipping, and the
+#      CheckerSmoke suite proves the apps run diagnostic-clean and
+#      bit-identical under instrumentation.
+#   4. asan:    -DTHAM_SANITIZE=ON (ASan+UBSan) build + ctest. The fiber
+#      switcher carries the sanitizer annotations; this leg keeps them
+#      honest.
+#   5. lint:    scripts/lint.sh (clang-tidy; skips when not installed).
+#
+# Each flavor gets its own build tree so caches never cross-pollute.
+#
+# Usage: scripts/verify.sh        all legs
+#        scripts/verify.sh quick  tier-1 only
 set -eu
 
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure
 
-# Warnings-as-errors build in a separate tree so it never pollutes the
-# primary build's cache.
+if [ "${1:-}" = "quick" ]; then
+  echo "verify: OK (quick)"
+  exit 0
+fi
+
 cmake -B build-werror -S . -DTHAM_WERROR=ON
 cmake --build build-werror -j
+
+cmake -B build-check -S . -DTHAM_CHECK=ON
+cmake --build build-check -j
+ctest --test-dir build-check --output-on-failure
+
+cmake -B build-asan -S . -DTHAM_SANITIZE=ON
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure
+
+scripts/lint.sh
 
 echo "verify: OK"

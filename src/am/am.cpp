@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "check/hooks.hpp"
 #include "common/check.hpp"
 
 namespace tham::am {
@@ -70,6 +71,7 @@ void AmLayer::reply(const Token& tok, HandlerId h, Word w0, Word w1, Word w2,
                     Word w3, Word w4, Word w5) {
   THAM_CHECK_MSG(handlers_.at(h).short_fn != nullptr,
                  "reply with a non-short handler");
+  THAM_HOOK(on_am_reply(sim::this_node().id(), tok.reply_to));
   send_short(tok.reply_to, h, Words{w0, w1, w2, w3, w4, w5});
 }
 
@@ -78,6 +80,7 @@ void AmLayer::xfer(NodeId dst, void* dst_addr, const void* data,
                    Word w3) {
   sim::Node& src = sim::this_node();
   ComponentScope scope(src, Component::Net);
+  THAM_HOOK(on_am_bulk_send(src.id(), dst_addr, len));
   Token tok{src.id()};
   std::vector<std::byte> payload(len);
   if (len > 0) std::memcpy(payload.data(), data, len);

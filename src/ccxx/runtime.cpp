@@ -26,11 +26,13 @@ RmiMode mode_of(Word flags) { return static_cast<RmiMode>(flags & 0xf); }
 void fire(Runtime::Completion* comp) {
   if (comp == nullptr) return;
   if (comp->mode == RmiMode::Simple) {
-    comp->done = true;
+    // Poll-protocol flag: the waiter's own poll loop runs this handler, so
+    // ordering is by construction (see Completion::done).
+    comp->done.raw() = true;
     return;
   }
   comp->mu.lock();
-  comp->done = true;
+  comp->done.set(true, "rmi.completion");
   comp->cv.signal();
   comp->mu.unlock();
 }
@@ -249,7 +251,7 @@ Runtime::Runtime(sim::Engine& engine, net::Network& net, am::AmLayer& am)
         self.advance(cost().cc_reply_handling);
         auto& st = self_state(self);
         st.gate_mu.lock();
-        st.bar_epoch_seen = w[0];
+        st.bar_epoch_seen.set(w[0], "cc.bar_epoch");
         st.gate_cv.broadcast();
         st.gate_mu.unlock();
       });
@@ -269,8 +271,8 @@ Runtime::Runtime(sim::Engine& engine, net::Network& net, am::AmLayer& am)
         Word bits = w[1];
         std::memcpy(&v, &bits, sizeof(v));
         st.gate_mu.lock();
-        st.red_value = v;
-        st.red_epoch_seen = w[0];
+        st.red_value.set(v, "cc.red_value");
+        st.red_epoch_seen.set(w[0], "cc.red_epoch");
         st.gate_cv.broadcast();
         st.gate_mu.unlock();
       });
@@ -453,10 +455,10 @@ void Runtime::invoke_remote_noreply(sim::Node& n, NodeId dst,
 
 void Runtime::wait_completion(sim::Node& n, Completion& comp) {
   if (comp.mode == RmiMode::Simple) {
-    am_.poll_until([&comp] { return comp.done; });
+    am_.poll_until([&comp] { return comp.done.raw(); });
   } else {
     comp.mu.lock();
-    while (!comp.done) comp.cv.wait(comp.mu);
+    while (!comp.done.get("rmi.completion")) comp.cv.wait(comp.mu);
     comp.mu.unlock();
   }
   (void)n;
@@ -613,7 +615,7 @@ void Runtime::coord_barrier_arrive(sim::Node& self) {
   ++s0.bar_epoch;
   // Release everyone (self directly, others by message).
   s0.gate_mu.lock();
-  s0.bar_epoch_seen = s0.bar_epoch;
+  s0.bar_epoch_seen.set(s0.bar_epoch, "cc.bar_epoch");
   s0.gate_cv.broadcast();
   s0.gate_mu.unlock();
   for (NodeId j = 1; j < engine_.size(); ++j) {
@@ -634,8 +636,8 @@ void Runtime::coord_reduce_arrive(sim::Node& self, double v) {
   Word bits;
   std::memcpy(&bits, &total, sizeof(bits));
   s0.gate_mu.lock();
-  s0.red_value = total;
-  s0.red_epoch_seen = s0.red_epoch;
+  s0.red_value.set(total, "cc.red_value");
+  s0.red_epoch_seen.set(s0.red_epoch, "cc.red_epoch");
   s0.gate_cv.broadcast();
   s0.gate_mu.unlock();
   for (NodeId j = 1; j < engine_.size(); ++j) {
@@ -655,7 +657,9 @@ void Runtime::barrier() {
     am_.request(0, h_bar_arrive_);
   }
   st.gate_mu.lock();
-  while (st.bar_epoch_seen < target) st.gate_cv.wait(st.gate_mu);
+  while (st.bar_epoch_seen.get("cc.bar_epoch") < target) {
+    st.gate_cv.wait(st.gate_mu);
+  }
   st.gate_mu.unlock();
 }
 
@@ -673,8 +677,10 @@ double Runtime::all_reduce_sum(double v) {
     am_.request(0, h_red_arrive_, bits);
   }
   st.gate_mu.lock();
-  while (st.red_epoch_seen < target) st.gate_cv.wait(st.gate_mu);
-  double out = st.red_value;
+  while (st.red_epoch_seen.get("cc.red_epoch") < target) {
+    st.gate_cv.wait(st.gate_mu);
+  }
+  double out = st.red_value.get("cc.red_value");
   st.gate_mu.unlock();
   return out;
 }

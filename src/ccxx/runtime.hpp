@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "am/am.hpp"
+#include "check/checked.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -95,8 +96,8 @@ class sync_var {
     sim::Node& n = sim::this_node();
     n.advance(sim::Component::ThreadSync, n.cost().cc_sync_var);
     mu_.lock();
-    while (!set_) cv_.wait(mu_);
-    T v = val_;
+    while (!set_.get("sync_var.set")) cv_.wait(mu_);
+    T v = val_.get("sync_var.val");
     mu_.unlock();
     return v;
   }
@@ -106,23 +107,24 @@ class sync_var {
     sim::Node& n = sim::this_node();
     n.advance(sim::Component::ThreadSync, n.cost().cc_sync_var);
     mu_.lock();
-    if (set_) {
+    if (set_.get("sync_var.set")) {
       mu_.unlock();
       throw RuntimeError("sync variable written twice");
     }
-    val_ = v;
-    set_ = true;
+    val_.set(v, "sync_var.val");
+    set_.set(true, "sync_var.set");
     cv_.broadcast();
     mu_.unlock();
   }
 
-  bool ready() const { return set_; }
+  /// Lock-free peek; ordering is the caller's problem (hence raw()).
+  bool ready() const { return set_.raw(); }
 
  private:
   threads::Mutex mu_;
   threads::CondVar cv_;
-  bool set_ = false;
-  T val_{};
+  checked<bool> set_;
+  checked<T> val_;
 };
 
 class Runtime {
@@ -176,12 +178,15 @@ class Runtime {
     Factory<C, As...> f;
     f.id = add_method(
         std::move(name), RmiMode::Threaded, sizeof...(As),
-        [](sim::Node&, void*, Deserializer& d, Serializer& out) {
+        [this](sim::Node&, void*, Deserializer& d, Serializer& out) {
           auto args = std::tuple<std::decay_t<As>...>{
               unmarshal_one<std::decay_t<As>>(d)...};
           C* obj = std::apply(
               [](auto&&... a) { return new C(std::forward<decltype(a)>(a)...); },
               args);
+          // The runtime owns remotely created objects, same as place():
+          // CC++ processor objects live until the program ends.
+          owned_.push_back({obj, [](void* p) { delete static_cast<C*>(p); }});
           cc_marshal(out, reinterpret_cast<std::uint64_t>(obj));
         });
     return f;
@@ -222,7 +227,7 @@ class Runtime {
       }
     }
     bool valid() const { return rt_ != nullptr; }
-    bool ready() const { return comp_ && comp_->done; }
+    bool ready() const { return comp_ && comp_->done.raw(); }
 
    private:
     friend class Runtime;
@@ -279,7 +284,7 @@ class Runtime {
       Serializer out;
       local_invoke_raw(n, m.id, obj.ptr, out, std::forward<Xs>(args)...);
       f.comp_->result.assign(out.data(), out.data() + out.size());
-      f.comp_->done = true;
+      f.comp_->done.raw() = true;  // same-task: get() unmarshals eagerly
       f.comp_->mode = RmiMode::Simple;
       return f;
     }
@@ -382,7 +387,11 @@ class Runtime {
 
   /// Completion record a blocked caller waits on.
   struct Completion {
-    bool done = false;
+    /// Completion flag. Threaded/Atomic waits access it under mu (and so
+    /// through the race detector); the Simple-mode spin in wait_completion
+    /// uses raw() because its ordering comes from the poll protocol (the
+    /// reply handler runs on the waiting task's own stack), not a lock.
+    check::checked<bool> done;
     bool is_error = false;  ///< result holds a marshalled exception message
     RmiMode mode = RmiMode::Threaded;
     std::vector<std::byte> result;
@@ -432,14 +441,17 @@ class Runtime {
     std::unordered_map<std::uint64_t, std::uint32_t> local_by_hash;
     std::vector<std::uint32_t> canon_of_local;  ///< local idx -> canonical id
     std::vector<std::uint32_t> local_of_canon;
-    // Barrier / reduction gates.
-    std::uint64_t bar_epoch_seen = 0;
+    // Barrier / reduction gates. The *_seen epochs and the reduction value
+    // cross tasks (release handlers write them, waiting threads read them),
+    // so they go through the race detector; every app barrier exercises
+    // the mutex and message happens-before edges this way.
+    check::checked<std::uint64_t> bar_epoch_seen;
     std::uint64_t bar_epoch_entered = 0;
     threads::Mutex gate_mu;
     threads::CondVar gate_cv;
-    std::uint64_t red_epoch_seen = 0;
+    check::checked<std::uint64_t> red_epoch_seen;
     std::uint64_t red_epoch_entered = 0;
-    double red_value = 0;
+    check::checked<double> red_value;
     // Coordinator (node 0) state.
     int bar_arrivals = 0;
     std::uint64_t bar_epoch = 0;

@@ -1,0 +1,58 @@
+#pragma once
+// tham::checked<T>: a shared-state wrapper that reports every access to the
+// happens-before race detector. Storage is a plain T; in THAM_CHECK=OFF
+// builds get()/set() compile down to the bare load/store.
+//
+// Use it for state crossed between simulated threads (sync-variable
+// payloads, completion flags, gate epochs). raw() is the documented escape
+// hatch for reads whose ordering comes from the cooperative poll protocol
+// rather than a lock (e.g. a poll_until predicate spinning on a flag its
+// own task's handlers set): such reads are sanctioned by construction and
+// would only add noise to the detector.
+
+#include <utility>
+
+#include "check/hooks.hpp"
+
+namespace tham::check {
+
+template <class T>
+class checked {
+ public:
+  checked() = default;
+  explicit checked(T v) : value_(std::move(v)) {}
+  ~checked() { THAM_HOOK(on_var_destroy(&value_)); }
+
+  // A copied/moved wrapper is a new variable at a new address; the access
+  // history stays with the source.
+  checked(const checked& other) : value_(other.value_) {}
+  checked& operator=(const checked& other) {
+    value_ = other.value_;
+    return *this;
+  }
+
+  /// Instrumented load. `what` names the variable in race reports.
+  T get([[maybe_unused]] const char* what) const {
+    THAM_HOOK(on_read(&value_, what));
+    return value_;
+  }
+
+  /// Instrumented store.
+  void set(T v, [[maybe_unused]] const char* what) {
+    THAM_HOOK(on_write(&value_, what));
+    value_ = std::move(v);
+  }
+
+  /// Uninstrumented access (see header comment for when this is sound).
+  const T& raw() const { return value_; }
+  T& raw() { return value_; }
+
+ private:
+  T value_{};
+};
+
+}  // namespace tham::check
+
+namespace tham {
+using check::checked;  // the spelling used at instrumentation sites
+}

@@ -1,0 +1,380 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tham::check {
+
+namespace {
+/// A checked address keeps at most this many concurrent-reader epochs;
+/// beyond it the read set is restarted (a bounded, conservative forget).
+constexpr std::size_t kMaxReadSet = 64;
+}  // namespace
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Race: return "race";
+    case Kind::Deadlock: return "deadlock";
+    case Kind::LostMessage: return "lost-message";
+    case Kind::LeakedRecord: return "leaked-record";
+    case Kind::AmProtocol: return "am-protocol";
+  }
+  return "?";
+}
+
+Checker::Checker() {
+  // Slot 0 is the host pseudo-task: everything the driver does before and
+  // after Engine::run() (building graphs, reading results).
+  slot_floor_.push_back(0);
+  TaskState host;
+  host.slot = 0;
+  host.node = -1;
+  host.id = 0;
+  host.name = "<host>";
+  host.vc.assign(1, 1);
+  tasks_.emplace(0, std::move(host));
+}
+
+Checker::~Checker() {
+  if (installed_) uninstall();
+}
+
+void Checker::install() noexcept {
+  prev_ = active_;
+  active_ = this;
+  installed_ = true;
+}
+
+void Checker::uninstall() noexcept {
+  if (!installed_) return;
+  // Stacked discipline: only the innermost checker may detach, but be
+  // forgiving if an outer engine is destroyed first.
+  if (active_ == this) active_ = prev_;
+  installed_ = false;
+}
+
+Checker::TaskState& Checker::cur() {
+  auto it = tasks_.find(cur_key_);
+  THAM_CHECK_MSG(it != tasks_.end(), "checker lost its current context");
+  return it->second;
+}
+
+Checker::TaskState& Checker::state_of(int node, std::uint64_t task) {
+  auto it = tasks_.find(key_of(node, task));
+  THAM_CHECK_MSG(it != tasks_.end(), "checker hook for an unknown task");
+  return it->second;
+}
+
+std::uint32_t Checker::alloc_slot() {
+  if (!free_slots_.empty()) {
+    std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slot_floor_.push_back(0);
+  return static_cast<std::uint32_t>(slot_floor_.size() - 1);
+}
+
+void Checker::join_vc(VC& dst, const VC& src) {
+  if (dst.size() < src.size()) dst.resize(src.size(), 0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    dst[i] = std::max(dst[i], src[i]);
+  }
+}
+
+// --- Task lifecycle --------------------------------------------------------
+
+void Checker::on_task_start(int node, std::uint64_t task, const char* name) {
+  TaskState& creator = cur();
+  TaskState t;
+  t.slot = alloc_slot();
+  t.node = node;
+  t.id = task;
+  t.name = name;
+  t.vc = creator.vc;  // spawn edge: the child sees everything so far
+  if (t.vc.size() <= t.slot) t.vc.resize(t.slot + 1, 0);
+  // A recycled slot continues past its previous occupant's final clock, so
+  // stale epochs of a dead task can never pair with the new one.
+  t.vc[t.slot] = std::max(t.vc[t.slot], slot_floor_[t.slot]) + 1;
+  tick(creator);  // the creator's later work is not ordered into the child
+  tasks_[key_of(node, task)] = std::move(t);
+}
+
+void Checker::on_task_resume(int node, std::uint64_t task, SimTime now) {
+  cur_key_ = key_of(node, task);
+  cur().last_vtime = now;
+}
+
+void Checker::on_task_out(int node, std::uint64_t task, SimTime now) {
+  auto it = tasks_.find(key_of(node, task));
+  if (it != tasks_.end()) {
+    it->second.last_vtime = now;
+    // Each scheduling segment is its own epoch: a yield orders nothing
+    // across tasks, it only closes the yielding task's current epoch.
+    if (it->second.live) tick(it->second);
+  }
+  cur_key_ = 0;  // back in the engine loop / host
+}
+
+void Checker::on_task_finish(int node, std::uint64_t task) {
+  TaskState& t = state_of(node, task);
+  t.live = false;
+  // Free the slot but remember how far its clock got; the final VC stays
+  // in tasks_ until the join/reap so joiners can inherit it.
+  slot_floor_[t.slot] = std::max(slot_floor_[t.slot], t.vc[t.slot]);
+  free_slots_.push_back(t.slot);
+}
+
+void Checker::on_task_join(int node, std::uint64_t task) {
+  auto it = tasks_.find(key_of(node, task));
+  if (it == tasks_.end()) return;
+  join_vc(cur().vc, it->second.vc);  // join edge: child's work is visible
+}
+
+void Checker::on_task_reaped(int node, std::uint64_t task) {
+  tasks_.erase(key_of(node, task));
+}
+
+// --- Sync objects ----------------------------------------------------------
+
+void Checker::on_acquire(const void* obj) {
+  auto it = sync_.find(obj);
+  if (it != sync_.end()) join_vc(cur().vc, it->second);
+}
+
+void Checker::on_release(const void* obj) {
+  TaskState& t = cur();
+  join_vc(sync_[obj], t.vc);
+  tick(t);
+}
+
+// --- Messages --------------------------------------------------------------
+
+std::uint32_t Checker::on_send(int /*src_node*/) {
+  TaskState& t = cur();
+  std::uint32_t id;
+  if (!free_msg_ids_.empty()) {
+    id = free_msg_ids_.back();
+    free_msg_ids_.pop_back();
+    msg_clocks_[id - 1] = t.vc;
+  } else {
+    msg_clocks_.push_back(t.vc);
+    id = static_cast<std::uint32_t>(msg_clocks_.size());
+  }
+  tick(t);
+  return id;
+}
+
+void Checker::on_deliver_begin(int /*node*/, int src_node,
+                               std::uint32_t clock_id, SimTime now) {
+  TaskState& t = cur();
+  // Frames are per task, so this only fires when one task starts a second
+  // delivery under an unfinished handler — real reentrancy, not another
+  // task delivering while this handler waits out a causality pause.
+  if (!t.frames.empty()) {
+    report(Kind::AmProtocol, t,
+           "message from node " + std::to_string(src_node) +
+               " delivered while a handler from node " +
+               std::to_string(t.frames.back().src) +
+               " is still running (handler reentrancy)");
+  }
+  t.frames.push_back(Frame{src_node, false});
+  if (clock_id != 0) {
+    // Deliver edge: the handler sees everything the sender did before send.
+    join_vc(t.vc, msg_clocks_[clock_id - 1]);
+    msg_clocks_[clock_id - 1].clear();
+    free_msg_ids_.push_back(clock_id);
+  }
+  t.last_vtime = now;
+}
+
+void Checker::on_deliver_end(int /*node*/) {
+  TaskState& t = cur();
+  THAM_CHECK_MSG(!t.frames.empty(), "deliver_end without deliver_begin");
+  t.frames.pop_back();
+}
+
+// --- AM protocol -----------------------------------------------------------
+
+void Checker::on_am_reply(int /*node*/, int reply_to) {
+  TaskState& t = cur();
+  if (t.frames.empty()) {
+    report(Kind::AmProtocol, t,
+           "reply() to node " + std::to_string(reply_to) +
+               " outside any message handler (orphaned reply)");
+    return;
+  }
+  Frame& f = t.frames.back();
+  if (f.replied) {
+    report(Kind::AmProtocol, t,
+           "handler replied more than once to node " +
+               std::to_string(reply_to));
+  } else if (f.src != reply_to) {
+    report(Kind::AmProtocol, t,
+           "reply addressed to node " + std::to_string(reply_to) +
+               " but the request came from node " + std::to_string(f.src));
+  }
+  f.replied = true;
+}
+
+void Checker::on_am_bulk_send(int /*node*/, const void* dst_addr,
+                              std::size_t len) {
+  if (len > 0 && dst_addr == nullptr) {
+    report(Kind::AmProtocol, cur(),
+           "bulk transfer of " + std::to_string(len) +
+               " bytes with a null destination address");
+  }
+}
+
+// --- Instrumented variables ------------------------------------------------
+
+Checker::Access Checker::snapshot(const char* /*what*/) {
+  TaskState& t = cur();
+  Access a;
+  a.slot = t.slot;
+  a.clock = t.vc[t.slot];
+  a.key = cur_key_;
+  a.task = t.id;
+  a.task_name = t.name;
+  a.node = t.node;
+  a.vtime = t.last_vtime;
+  return a;
+}
+
+void Checker::on_read(const void* addr, const char* what) {
+  VarState& v = vars_[addr];
+  Access me = snapshot(what);
+  if (v.has_write && v.write.key != me.key && !ordered(v.write, cur())) {
+    report_race(v.write, "write", me, "read", what);
+    v.has_write = false;  // one report per conflicting pair, not per access
+  }
+  for (Access& r : v.reads) {
+    if (r.key == me.key) {
+      r = me;  // same task read again: keep only the latest epoch
+      return;
+    }
+  }
+  if (v.reads.size() >= kMaxReadSet) v.reads.clear();
+  v.reads.push_back(me);
+}
+
+void Checker::on_write(const void* addr, const char* what) {
+  VarState& v = vars_[addr];
+  Access me = snapshot(what);
+  if (v.has_write && v.write.key != me.key && !ordered(v.write, cur())) {
+    report_race(v.write, "write", me, "write", what);
+  }
+  for (const Access& r : v.reads) {
+    if (r.key != me.key && !ordered(r, cur())) {
+      report_race(r, "read", me, "write", what);
+      break;  // one report per write is enough to localize the bug
+    }
+  }
+  v.write = me;
+  v.has_write = true;
+  v.reads.clear();
+}
+
+void Checker::on_var_destroy(const void* addr) { vars_.erase(addr); }
+
+// --- Terminal audit --------------------------------------------------------
+
+void Checker::audit_stuck_task(int node, std::uint64_t task, const char* name,
+                               const char* why, SimTime node_time) {
+  Diagnostic d;
+  d.kind = Kind::Deadlock;
+  d.node = node;
+  d.task = task;
+  d.task_name = name;
+  d.vtime = node_time;
+  d.message = std::string("task never finished: parked as ") + why +
+              " when the event queue drained";
+  diags_.push_back(std::move(d));
+  ++process_diags_;
+}
+
+void Checker::audit_inbox(int node, std::size_t pending,
+                          SimTime earliest_arrival, int earliest_src,
+                          SimTime node_time) {
+  Diagnostic d;
+  d.kind = Kind::LostMessage;
+  d.node = node;
+  d.vtime = node_time;
+  d.message = std::to_string(pending) +
+              " message(s) never delivered (earliest from node " +
+              std::to_string(earliest_src) + ", arrival t=" +
+              std::to_string(earliest_arrival) + ")";
+  diags_.push_back(std::move(d));
+  ++process_diags_;
+}
+
+void Checker::audit_pool(int node, std::size_t capacity,
+                         std::size_t free_records, std::size_t pending,
+                         SimTime node_time) {
+  if (free_records + pending == capacity) return;
+  Diagnostic d;
+  d.kind = Kind::LeakedRecord;
+  d.node = node;
+  d.vtime = node_time;
+  d.message = "MessagePool leak: capacity " + std::to_string(capacity) +
+              " != free " + std::to_string(free_records) + " + pending " +
+              std::to_string(pending);
+  diags_.push_back(std::move(d));
+  ++process_diags_;
+}
+
+void Checker::finish_run() {
+  cur_key_ = 0;
+  TaskState& host = tasks_.at(0);
+  for (auto& [key, t] : tasks_) {
+    if (key != 0) join_vc(host.vc, t.vc);
+  }
+  tick(host);
+}
+
+// --- Reporting -------------------------------------------------------------
+
+std::size_t Checker::count(Kind k) const noexcept {
+  std::size_t n = 0;
+  for (const auto& d : diags_) {
+    if (d.kind == k) ++n;
+  }
+  return n;
+}
+
+void Checker::report(Kind kind, const TaskState& where, std::string message) {
+  Diagnostic d;
+  d.kind = kind;
+  d.node = where.node;
+  d.task = where.id;
+  d.task_name = where.name;
+  d.vtime = where.last_vtime;
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+  ++process_diags_;
+}
+
+void Checker::report_race(const Access& prev, const char* prev_op,
+                          const Access& now, const char* now_op,
+                          const char* what) {
+  std::string msg = std::string("data race on '") + what + "': " + now_op +
+                    " by task '" + now.task_name + "' (node " +
+                    std::to_string(now.node) + ", t=" +
+                    std::to_string(now.vtime) + ") is unordered with " +
+                    prev_op + " by task '" + prev.task_name + "' (node " +
+                    std::to_string(prev.node) + ", t=" +
+                    std::to_string(prev.vtime) + ")";
+  report(Kind::Race, cur(), std::move(msg));
+}
+
+void Checker::print(std::FILE* out) const {
+  for (const auto& d : diags_) {
+    std::fprintf(out, "tham-check: [%s] node %d task %llu '%s' t=%lld: %s\n",
+                 kind_name(d.kind), d.node,
+                 static_cast<unsigned long long>(d.task), d.task_name.c_str(),
+                 static_cast<long long>(d.vtime), d.message.c_str());
+  }
+}
+
+}  // namespace tham::check

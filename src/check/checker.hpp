@@ -1,0 +1,236 @@
+#pragma once
+// tham-check: runtime correctness checking for the simulated MPMD machine.
+//
+// Three analyses share one Checker instance:
+//
+//  1. Happens-before race detection. Every task (and the host, as a
+//     pseudo-task) carries a vector clock. Edges come from the places the
+//     cooperative runtime actually synchronizes: task spawn/join, Mutex
+//     unlock->lock, CondVar signal->wait-return, Semaphore release->acquire
+//     (ThreadBarrier synchronizes transitively through its Mutex/CondVar),
+//     and message send->deliver. A yield is only an epoch boundary for the
+//     yielding task — it orders nothing across tasks — so two accesses that
+//     merely happen not to interleave under the cooperative schedule are
+//     still flagged as a race, exactly the bugs a preemptive schedule would
+//     surface. Accesses are reported through tham::checked<T> (checked.hpp)
+//     or the raw on_read/on_write hooks.
+//
+//  2. Terminal-state audit. When the engine drains, each node reports tasks
+//     still blocked (with their Task::Why), undelivered inbox messages, and
+//     MessagePool records that escaped the free list, all stamped with the
+//     node's final virtual time.
+//
+//  3. AM/RMI protocol lint. Request/reply pairing (a reply must come from
+//     inside a handler, at most once, addressed to the requester), handler
+//     reentrancy (no delivery may start while another handler is running),
+//     and bulk-payload invariants (a non-empty transfer needs a
+//     destination address).
+//
+// The checker deliberately speaks only in primitive ids (node index, task
+// id, void* addresses) so it sits between common and sim in the layer
+// stack: every layer above can call into it without an inclusion cycle.
+//
+// Builds with THAM_CHECK=OFF compile this header too (tests drive the
+// Checker directly in both flavors); only the THAM_HOOK call sites in the
+// runtime vanish, which is what makes the OFF build zero-cost.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tham::check {
+
+#if defined(THAM_CHECK_ENABLED)
+/// True when the runtime was built with its THAM_HOOK call sites enabled.
+inline constexpr bool kHooksCompiledIn = true;
+#else
+inline constexpr bool kHooksCompiledIn = false;
+#endif
+
+enum class Kind : std::uint8_t {
+  Race,        ///< unordered read/write pair on a checked variable
+  Deadlock,    ///< non-daemon task still blocked at engine drain
+  LostMessage, ///< inbox messages never delivered
+  LeakedRecord,///< MessagePool records missing from free list + heap
+  AmProtocol,  ///< reply pairing / reentrancy / payload violations
+};
+
+const char* kind_name(Kind k);
+
+struct Diagnostic {
+  Kind kind = Kind::Race;
+  int node = -1;               ///< -1 = host context
+  std::uint64_t task = 0;      ///< node-local task id (0 for host)
+  std::string task_name;
+  SimTime vtime = 0;           ///< node virtual time at detection
+  std::string message;
+};
+
+class Checker {
+ public:
+  Checker();
+  ~Checker();
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  /// The installed checker the THAM_HOOK sites report to (null when none).
+  static Checker* active() noexcept { return active_; }
+  /// Makes this the active checker (stacked: uninstall restores the
+  /// previous one, so nested engines each audit their own run).
+  void install() noexcept;
+  void uninstall() noexcept;
+
+  /// When true (the default), every Engine built with THAM_CHECK=ON
+  /// constructs and installs its own Checker. Turn off for A/B runs and
+  /// for zero-allocation assertions (see ScopedAutoAttach).
+  static bool auto_attach() noexcept { return auto_attach_; }
+  static void set_auto_attach(bool v) noexcept { auto_attach_ = v; }
+
+  // --- Task lifecycle (Node) ---------------------------------------------
+  void on_task_start(int node, std::uint64_t task, const char* name);
+  void on_task_resume(int node, std::uint64_t task, SimTime now);
+  void on_task_out(int node, std::uint64_t task, SimTime now);
+  void on_task_finish(int node, std::uint64_t task);
+  void on_task_join(int node, std::uint64_t task);
+  void on_task_reaped(int node, std::uint64_t task);
+
+  // --- Sync objects (threads) --------------------------------------------
+  void on_acquire(const void* obj);
+  void on_release(const void* obj);
+
+  // --- Messages (net + Node) ---------------------------------------------
+  /// Snapshots the sender's clock; the returned id rides in the Message.
+  std::uint32_t on_send(int src_node);
+  void on_deliver_begin(int node, int src_node, std::uint32_t clock_id,
+                        SimTime now);
+  void on_deliver_end(int node);
+
+  // --- AM protocol (am) ---------------------------------------------------
+  void on_am_reply(int node, int reply_to);
+  void on_am_bulk_send(int node, const void* dst_addr, std::size_t len);
+
+  // --- Instrumented variables (checked<T>) --------------------------------
+  void on_read(const void* addr, const char* what);
+  void on_write(const void* addr, const char* what);
+  /// Forgets a variable's access history (called from ~checked<T> so a
+  /// reused address never pairs with a dead object's epochs).
+  void on_var_destroy(const void* addr);
+
+  // --- Terminal audit (Engine / Node, at drain) ---------------------------
+  void audit_stuck_task(int node, std::uint64_t task, const char* name,
+                        const char* why, SimTime node_time);
+  void audit_inbox(int node, std::size_t pending, SimTime earliest_arrival,
+                   int earliest_src, SimTime node_time);
+  void audit_pool(int node, std::size_t capacity, std::size_t free_records,
+                  std::size_t pending, SimTime node_time);
+  /// Joins every surviving task clock into the host context so post-run
+  /// host-side reads of checked variables are ordered after the run.
+  void finish_run();
+
+  // --- Results ------------------------------------------------------------
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diags_;
+  }
+  std::size_t count(Kind k) const noexcept;
+  void print(std::FILE* out) const;
+
+  /// Total diagnostics emitted by every Checker since process start;
+  /// lets tests assert "this run was clean" across engines they did not
+  /// construct themselves.
+  static std::uint64_t process_diagnostic_count() noexcept {
+    return process_diags_;
+  }
+
+ private:
+  using VC = std::vector<std::uint64_t>;
+
+  struct Frame {
+    int src = kInvalidNode;  ///< requester the handler may reply to
+    bool replied = false;
+  };
+
+  struct TaskState {
+    std::uint32_t slot = 0;  ///< vector-clock dimension
+    int node = -1;
+    std::uint64_t id = 0;
+    const char* name = "";
+    SimTime last_vtime = 0;  ///< node time at the last scheduling point
+    bool live = true;        ///< false between finish and reap
+    VC vc;
+    /// Handler frames are per task: a handler that pauses for causality
+    /// leaves its frame open while other tasks legitimately deliver.
+    std::vector<Frame> frames;
+  };
+
+  /// One endpoint of a potential race, kept per checked address.
+  struct Access {
+    std::uint32_t slot = 0;
+    std::uint64_t clock = 0;
+    std::uint64_t key = 0;
+    std::uint64_t task = 0;
+    const char* task_name = "";
+    int node = -1;
+    SimTime vtime = 0;
+  };
+
+  struct VarState {
+    bool has_write = false;
+    Access write;
+    std::vector<Access> reads;
+  };
+
+  static std::uint64_t key_of(int node, std::uint64_t task) {
+    return (static_cast<std::uint64_t>(node) + 2) << 48 | task;
+  }
+  TaskState& cur();
+  TaskState& state_of(int node, std::uint64_t task);
+  std::uint32_t alloc_slot();
+  void tick(TaskState& t) { ++t.vc[t.slot]; }
+  static void join_vc(VC& dst, const VC& src);
+  /// True if the access epoch happened-before everything `t` has seen.
+  static bool ordered(const Access& a, const TaskState& t) {
+    return a.slot < t.vc.size() && a.clock <= t.vc[a.slot];
+  }
+  Access snapshot(const char* what);
+  void report(Kind kind, const TaskState& where, std::string message);
+  void report_race(const Access& prev, const char* prev_op,
+                   const Access& now, const char* now_op, const char* what);
+
+  inline static Checker* active_ = nullptr;
+  inline static bool auto_attach_ = true;
+  inline static std::uint64_t process_diags_ = 0;
+
+  Checker* prev_ = nullptr;      ///< restored by uninstall()
+  bool installed_ = false;
+  std::uint64_t cur_key_ = 0;    ///< 0 = host pseudo-task
+  std::unordered_map<std::uint64_t, TaskState> tasks_;
+  std::vector<std::uint64_t> slot_floor_;  ///< last clock a freed slot reached
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<const void*, VC> sync_;
+  std::vector<VC> msg_clocks_;             ///< index = message clock id - 1
+  std::vector<std::uint32_t> free_msg_ids_;
+  std::unordered_map<const void*, VarState> vars_;
+  std::vector<Diagnostic> diags_;
+};
+
+/// RAII override of the auto-attach flag: tests use it to run an engine
+/// with the checker forced on (smoke runs) or off (A/B timing and
+/// zero-allocation assertions). Compiled in both build flavors.
+class ScopedAutoAttach {
+ public:
+  explicit ScopedAutoAttach(bool v) : prev_(Checker::auto_attach()) {
+    Checker::set_auto_attach(v);
+  }
+  ~ScopedAutoAttach() { Checker::set_auto_attach(prev_); }
+  ScopedAutoAttach(const ScopedAutoAttach&) = delete;
+  ScopedAutoAttach& operator=(const ScopedAutoAttach&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace tham::check

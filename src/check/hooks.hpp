@@ -1,0 +1,26 @@
+#pragma once
+// The instrumentation macro the runtime layers use to talk to tham-check.
+//
+//   THAM_HOOK(on_task_start(id_, t->id(), t->name()));
+//
+// With THAM_CHECK=ON this forwards to the installed Checker (if any); with
+// THAM_CHECK=OFF the argument tokens are discarded unexpanded, so the hot
+// path carries no branch, no load, and no side effects — the zero-cost-
+// when-off guarantee the OFF-build benchmarks assert.
+
+#if defined(THAM_CHECK_ENABLED)
+
+#include "check/checker.hpp"
+
+#define THAM_HOOK(call)                                            \
+  do {                                                             \
+    if (auto* tham_hook_chk_ = ::tham::check::Checker::active()) { \
+      tham_hook_chk_->call;                                        \
+    }                                                              \
+  } while (0)
+
+#else
+
+#define THAM_HOOK(call) ((void)0)
+
+#endif

@@ -1,21 +1,23 @@
 #include "common/alloc_count.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
 namespace {
-std::uint64_t g_news = 0;
-std::uint64_t g_deletes = 0;
+// Relaxed is enough: the counters are totals, never used to order memory.
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
 
 void* counted_alloc(std::size_t n) {
-  ++g_news;
+  g_news.fetch_add(1, std::memory_order_relaxed);
   void* p = std::malloc(n != 0 ? n : 1);
   if (p == nullptr) throw std::bad_alloc();
   return p;
 }
 
 void* counted_aligned_alloc(std::size_t n, std::size_t align) {
-  ++g_news;
+  g_news.fetch_add(1, std::memory_order_relaxed);
   // aligned_alloc requires the size to be a multiple of the alignment.
   std::size_t rounded = (n + align - 1) / align * align;
   void* p = std::aligned_alloc(align, rounded != 0 ? rounded : align);
@@ -23,23 +25,28 @@ void* counted_aligned_alloc(std::size_t n, std::size_t align) {
   return p;
 }
 
-void counted_free(void* p) {
-  ++g_deletes;
+void counted_free(void* p) noexcept {
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 }  // namespace
 
 namespace tham {
 
-AllocCounts alloc_counts() { return AllocCounts{g_news, g_deletes}; }
+AllocCounts alloc_counts() noexcept {
+  return AllocCounts{g_news.load(std::memory_order_relaxed),
+                     g_deletes.load(std::memory_order_relaxed)};
+}
 
-bool alloc_counting_linked() { return true; }
+bool alloc_counting_linked() noexcept { return true; }
 
 }  // namespace tham
 
 // Replaceable global allocation functions ([new.delete.single] / [.array]).
 // Counting every flavor keeps the counters honest for over-aligned types
-// (the fiber StackPool allocates 64-byte-aligned stacks).
+// (the fiber StackPool allocates 64-byte-aligned stacks) and for nothrow
+// callers; the nothrow forms must not let bad_alloc escape (noexcept), so
+// they translate failure back to nullptr.
 void* operator new(std::size_t n) { return counted_alloc(n); }
 void* operator new[](std::size_t n) { return counted_alloc(n); }
 void* operator new(std::size_t n, std::align_val_t a) {
@@ -47,6 +54,37 @@ void* operator new(std::size_t n, std::align_val_t a) {
 }
 void* operator new[](std::size_t n, std::align_val_t a) {
   return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t n, std::align_val_t a,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, std::align_val_t a,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return counted_aligned_alloc(n, static_cast<std::size_t>(a));
+  } catch (...) {
+    return nullptr;
+  }
 }
 
 void operator delete(void* p) noexcept { counted_free(p); }
@@ -59,5 +97,18 @@ void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
   counted_free(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
   counted_free(p);
 }

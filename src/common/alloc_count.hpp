@@ -14,12 +14,16 @@ struct AllocCounts {
   std::uint64_t deletes = 0;  ///< operator delete / delete[] calls
 };
 
-/// Totals since process start.
-AllocCounts alloc_counts();
+/// Totals since process start. The counters are relaxed atomics: the
+/// simulator itself is single-real-threaded, but operator new/delete are
+/// program-wide replacements and may legally be entered from any thread a
+/// linked library spawns, so the hooks must not assume the simulator's
+/// threading model.
+AllocCounts alloc_counts() noexcept;
 
 /// True when the counting operator new/delete are linked into this binary.
 /// Referencing this symbol is also what pulls the replacements in, so call
 /// it once before relying on alloc_counts().
-bool alloc_counting_linked();
+bool alloc_counting_linked() noexcept;
 
 }  // namespace tham

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/checker.hpp"
 #include "common/check.hpp"
 
 namespace tham::net {
@@ -66,6 +67,13 @@ void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
   m.seq = engine_.next_seq();
   m.wire_bytes = bytes;
   m.deliver = std::move(deliver);
+#if defined(THAM_CHECK_ENABLED)
+  // Not THAM_HOOK: the send hook returns the clock-snapshot id that rides
+  // in the message and becomes the send->deliver happens-before edge.
+  if (auto* chk = check::Checker::active()) {
+    m.check_clock = chk->on_send(src.id());
+  }
+#endif
   engine_.node(dst).push_message(std::move(m));
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "check/checker.hpp"
 #include "common/check.hpp"
 
 namespace tham::sim {
@@ -9,13 +10,21 @@ namespace tham::sim {
 Engine::Engine(int num_nodes, const CostModel& cm, std::size_t stack_bytes)
     : cost_(cm), stack_pool_(stack_bytes) {
   THAM_CHECK(num_nodes > 0);
+#if defined(THAM_CHECK_ENABLED)
+  if (check::Checker::auto_attach()) {
+    checker_ = std::make_unique<check::Checker>();
+    checker_->install();
+  }
+#endif
   nodes_.reserve(static_cast<std::size_t>(num_nodes));
   for (NodeId i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(*this, i));
   }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (checker_) checker_->uninstall();
+}
 
 void Engine::wake(Node* n, SimTime t) {
   queue_.push(Ev{t, next_seq(), n->id()});
@@ -42,6 +51,14 @@ void Engine::run() {
     Ev ev = queue_.top();
     queue_.pop();
     nodes_[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
+  }
+
+  if (checker_ && check::Checker::active() == checker_.get()) {
+    for (auto& n : nodes_) n->audit_terminal(*checker_);
+    checker_->finish_run();
+    // Diagnostics are advisory: print them, leave pass/fail to the caller
+    // (tests assert on checker()->diagnostics(), apps on the smoke gate).
+    checker_->print(stderr);
   }
 
   for (auto& n : nodes_) {

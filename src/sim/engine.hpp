@@ -54,6 +54,12 @@ class Engine {
   bool deadlocked() const { return deadlocked_; }
   const std::vector<std::string>& stuck_tasks() const { return stuck_; }
 
+  /// The tham-check instance auditing this engine. Non-null only in
+  /// THAM_CHECK=ON builds with Checker::auto_attach() left on at
+  /// construction; the checker is installed for the engine's lifetime and
+  /// its diagnostics are printed (not fatal) at the end of run().
+  check::Checker* checker() const { return checker_.get(); }
+
  private:
   struct Ev {
     SimTime t;
@@ -78,6 +84,7 @@ class Engine {
   bool deadlocked_ = false;
   bool ran_ = false;
   std::vector<std::string> stuck_;
+  std::unique_ptr<check::Checker> checker_;  ///< null when not auto-attached
 };
 
 }  // namespace tham::sim

@@ -14,12 +14,61 @@ extern "C" void tham_fctx_switch(void** save_sp, void* target_sp);
 extern "C" void tham_fctx_entry();
 #endif
 
+// AddressSanitizer must be told about every stack switch, or its shadow
+// state says the program is running below the thread stack and fake-stack
+// frames of fibers get recycled under live ones. The protocol: announce the
+// destination stack before switching away, confirm the arrival right after
+// gaining control (__sanitizer_{start,finish}_switch_fiber).
+#if defined(__SANITIZE_ADDRESS__)
+#define THAM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define THAM_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(THAM_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+// The trampolines must not be instrumented: run_body never returns, so the
+// compiler inserts __asan_handle_no_return before the call — which would
+// run on the fresh fiber stack *before* __sanitizer_finish_switch_fiber
+// has told ASan about it, and unpoison the wrong stack.
+#define THAM_NO_ASAN __attribute__((no_sanitize_address))
+#else
+#define THAM_NO_ASAN
+#endif
+
 namespace tham::sim {
 
 namespace {
 // The fiber being started or resumed. Set immediately before the switch so
 // the trampoline can find its Fiber. Single real thread -> plain static.
 Fiber* g_current = nullptr;
+
+// Bounds of the scheduler (main-context) stack, captured every time a fiber
+// gains control; suspend() and the final death switch name it as their
+// destination. Unused (but kept declared) without ASan.
+[[maybe_unused]] const void* g_sched_stack_bottom = nullptr;
+[[maybe_unused]] std::size_t g_sched_stack_size = 0;
+
+#if defined(THAM_ASAN_FIBERS)
+void asan_leave(void** fake_save, const void* bottom, std::size_t size) {
+  __sanitizer_start_switch_fiber(fake_save, bottom, size);
+}
+// Arriving on a fiber stack: remember where we came from (the scheduler).
+void asan_enter_fiber(void* fake_save) {
+  __sanitizer_finish_switch_fiber(fake_save, &g_sched_stack_bottom,
+                                  &g_sched_stack_size);
+}
+// Arriving back on the scheduler stack.
+void asan_enter_sched(void* fake_save) {
+  __sanitizer_finish_switch_fiber(fake_save, nullptr, nullptr);
+}
+#else
+inline void asan_leave(void**, const void*, std::size_t) {}
+inline void asan_enter_fiber(void*) {}
+inline void asan_enter_sched(void*) {}
+#endif
 }  // namespace
 
 StackPool::StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
@@ -79,7 +128,7 @@ void* Fiber::make_initial_sp() {
 
 #else  // ucontext fallback
 
-void Fiber::trampoline() {
+THAM_NO_ASAN void Fiber::trampoline() {
   Fiber* self = g_current;
   self->run_body();
   // Unreachable: run_body never returns.
@@ -88,6 +137,7 @@ void Fiber::trampoline() {
 #endif
 
 void Fiber::run_body() {
+  asan_enter_fiber(nullptr);  // first entry: confirm the switch onto this stack
   try {
     body_();
   } catch (const std::exception& e) {
@@ -106,6 +156,8 @@ void Fiber::run_body() {
   // pool, but nothing can reuse it until the main context runs, and the
   // final switch never touches this stack again.
   g_current = nullptr;
+  // nullptr fake-stack save: this fiber is dying, let ASan free its state.
+  asan_leave(nullptr, g_sched_stack_bottom, g_sched_stack_size);
 #if defined(THAM_FIBER_FAST_SWITCH)
   void* scratch;
   tham_fctx_switch(&scratch, return_sp_);
@@ -119,6 +171,7 @@ void Fiber::resume() {
   THAM_CHECK_MSG(g_current == nullptr, "resume() from inside a fiber");
   THAM_CHECK_MSG(state_ == State::Ready || state_ == State::Suspended,
                  "resume() on a fiber that is not runnable");
+  void* fake = nullptr;
 #if defined(THAM_FIBER_FAST_SWITCH)
   if (state_ == State::Ready) {
     stack_ = pool_.acquire();
@@ -126,6 +179,7 @@ void Fiber::resume() {
   }
   state_ = State::Running;
   g_current = this;
+  asan_leave(&fake, stack_, pool_.stack_bytes());
   tham_fctx_switch(&return_sp_, sp_);
 #else
   if (state_ == State::Ready) {
@@ -138,8 +192,10 @@ void Fiber::resume() {
   }
   state_ = State::Running;
   g_current = this;
+  asan_leave(&fake, stack_, pool_.stack_bytes());
   THAM_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
 #endif
+  asan_enter_sched(fake);
   // Back in main: the fiber either suspended or finished.
   THAM_CHECK(g_current == nullptr);
 }
@@ -155,12 +211,15 @@ void Fiber::suspend() {
   THAM_CHECK_MSG(self != nullptr, "suspend() outside a fiber");
   self->state_ = State::Suspended;
   g_current = nullptr;
+  void* fake = nullptr;
+  asan_leave(&fake, g_sched_stack_bottom, g_sched_stack_size);
 #if defined(THAM_FIBER_FAST_SWITCH)
   tham_fctx_switch(&self->sp_, self->return_sp_);
 #else
   THAM_CHECK(swapcontext(&self->ctx_, &self->return_ctx_) == 0);
 #endif
   // Resumed again.
+  asan_enter_fiber(fake);
   g_current = self;
   self->state_ = State::Running;
 }
@@ -170,7 +229,7 @@ Fiber* Fiber::current() { return g_current; }
 }  // namespace tham::sim
 
 #if defined(THAM_FIBER_FAST_SWITCH)
-extern "C" void tham_fiber_trampoline(void* fiber) {
+extern "C" THAM_NO_ASAN void tham_fiber_trampoline(void* fiber) {
   static_cast<tham::sim::Fiber*>(fiber)->run_body();
   // Unreachable: run_body never returns.
 }

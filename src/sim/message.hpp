@@ -21,6 +21,10 @@ struct Message {
   /// that polled the message (exactly Active Message handler semantics).
   /// Stored inline — a send never heap-allocates for the closure.
   InlineHandler deliver;
+  /// tham-check send-clock id: carries the sender's vector-clock snapshot
+  /// to the delivery hook. 0 (no snapshot) whenever no checker is attached.
+  /// Last on purpose: positional aggregate initializers stay valid.
+  std::uint32_t check_clock = 0;
 };
 
 }  // namespace tham::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/checker.hpp"
+#include "check/hooks.hpp"
 #include "common/check.hpp"
 #include "sim/engine.hpp"
 
@@ -10,6 +12,18 @@ namespace tham::sim {
 namespace {
 Node* g_current_node = nullptr;
 }  // namespace
+
+const char* why_name(std::uint8_t why) {
+  switch (static_cast<Task::Why>(why)) {
+    case Task::Why::Ready: return "Ready";
+    case Task::Why::Yield: return "Yield";
+    case Task::Why::Blocked: return "Blocked";
+    case Task::Why::InboxWait: return "InboxWait";
+    case Task::Why::CausalityPause: return "CausalityPause";
+    case Task::Why::Done: return "Done";
+  }
+  return "?";
+}
 
 Node& this_node() {
   THAM_CHECK_MSG(g_current_node != nullptr,
@@ -88,6 +102,7 @@ Task* Node::spawn(std::function<void()> body, const char* name, bool daemon) {
   raw->why_ = Task::Why::Ready;
   raw->in_runq_ = true;
   runq_.push_back(raw);
+  THAM_HOOK(on_task_start(id_, raw->id_, raw->name_));
   return raw;
 }
 
@@ -130,6 +145,7 @@ void Node::join(Task* t) {
     t->join_waiters_.push_back(current_);
     block();
   }
+  THAM_HOOK(on_task_join(id_, t->id_));
   reap(t);
 }
 
@@ -167,9 +183,11 @@ bool Node::poll_one() {
   // runs, so a handler that sends (and so pushes) never sees a full pool.
   Message m = inbox_.pop();
   ++counters_.msgs_recv;
+  THAM_HOOK(on_deliver_begin(id_, m.src, m.check_clock, clock_));
   ++handler_depth_;
   m.deliver(*this);
   --handler_depth_;
+  THAM_HOOK(on_deliver_end(id_));
   // The handler may have satisfied a condition some parked task is waiting
   // on (e.g. an RMI completion): wake every inbox waiter to re-check.
   wake_inbox_waiters();
@@ -248,7 +266,9 @@ void Node::run_ready_tasks() {
     current_ = t;
     Node* prev_node = g_current_node;
     g_current_node = this;
+    THAM_HOOK(on_task_resume(id_, t->id_, clock_));
     t->fiber_.resume();
+    THAM_HOOK(on_task_out(id_, t->id_, clock_));
     g_current_node = prev_node;
     current_ = nullptr;
     last_ran_ = t;
@@ -294,6 +314,7 @@ void Node::run_ready_tasks() {
 }
 
 void Node::finish_task(Task* t) {
+  THAM_HOOK(on_task_finish(id_, t->id_));
   for (Task* w : t->join_waiters_) wake(w);
   t->join_waiters_.clear();
   // Control passing from a finished thread to the next one is not counted
@@ -304,6 +325,7 @@ void Node::finish_task(Task* t) {
 
 void Node::reap(Task* t) {
   THAM_CHECK(t->done());
+  THAM_HOOK(on_task_reaped(id_, t->id_));
   std::size_t slot = t->slot_;
   THAM_CHECK(tasks_[slot].get() == t);
   if (last_ran_ == t) last_ran_ = nullptr;
@@ -328,6 +350,22 @@ void Node::begin_shutdown() {
     runq_.push_back(w);
   }
   if (!runq_.empty()) engine_.wake(this, clock_);
+}
+
+void Node::audit_terminal(check::Checker& chk) const {
+  for (const auto& t : tasks_) {
+    if (!t->done() && !t->daemon_) {
+      chk.audit_stuck_task(id_, t->id_, t->name_,
+                           why_name(static_cast<std::uint8_t>(t->why_)),
+                           clock_);
+    }
+  }
+  if (!inbox_.empty()) {
+    chk.audit_inbox(id_, inbox_.pending(), inbox_.top().arrival,
+                    inbox_.top().src, clock_);
+  }
+  chk.audit_pool(id_, inbox_.capacity(), inbox_.free_records(),
+                 inbox_.pending(), clock_);
 }
 
 std::vector<std::string> Node::stuck_tasks() const {

@@ -21,10 +21,17 @@
 #include "sim/message_pool.hpp"
 #include "sim/ring_queue.hpp"
 
+namespace tham::check {
+class Checker;
+}
+
 namespace tham::sim {
 
 class Engine;
 class Node;
+
+/// Human-readable name of a Task::Why value (diagnostics and audits).
+const char* why_name(std::uint8_t why);
 
 /// A simulated thread of control. Created via Node::spawn; scheduled
 /// cooperatively within its node.
@@ -184,6 +191,9 @@ class Node {
   /// Names of non-daemon tasks still blocked after the event queue drained.
   std::vector<std::string> stuck_tasks() const;
   std::size_t live_tasks() const { return tasks_.size(); }
+  /// Reports terminal state (stuck tasks, undelivered messages, pool
+  /// accounting) to the attached checker after the event queue drained.
+  void audit_terminal(check::Checker& chk) const;
 
  private:
   /// Schedules an engine activation of this node at time t, deduplicating

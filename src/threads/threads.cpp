@@ -1,5 +1,6 @@
 #include "threads/threads.hpp"
 
+#include "check/hooks.hpp"
 #include "common/check.hpp"
 
 namespace tham::threads {
@@ -65,6 +66,7 @@ void Mutex::lock() {
     } while (owner_ != nullptr);
   }
   owner_ = n.current();
+  THAM_HOOK(on_acquire(this));
 }
 
 bool Mutex::try_lock() {
@@ -73,6 +75,7 @@ bool Mutex::try_lock() {
   ++n.counters().lock_acquires;
   if (owner_ != nullptr) return false;
   owner_ = n.current();
+  THAM_HOOK(on_acquire(this));
   return true;
 }
 
@@ -80,6 +83,7 @@ void Mutex::unlock() {
   sim::Node& n = sim::this_node();
   THAM_CHECK_MSG(owner_ == n.current(), "unlock() by non-owner");
   charge_sync(n);
+  THAM_HOOK(on_release(this));
   owner_ = nullptr;
   if (!waiters_.empty()) {
     sim::Task* w = waiters_.front();
@@ -95,12 +99,15 @@ void CondVar::wait(Mutex& m) {
   waiters_.push_back(n.current());
   m.unlock();
   n.block();
+  // Signal->wakeup edge; the mutex edges come from unlock()/lock() above.
+  THAM_HOOK(on_acquire(this));
   m.lock();
 }
 
 void CondVar::signal() {
   sim::Node& n = sim::this_node();
   charge_sync(n);
+  THAM_HOOK(on_release(this));
   if (!waiters_.empty()) {
     sim::Task* w = waiters_.front();
     waiters_.pop_front();
@@ -111,6 +118,7 @@ void CondVar::signal() {
 void CondVar::broadcast() {
   sim::Node& n = sim::this_node();
   charge_sync(n);
+  THAM_HOOK(on_release(this));
   while (!waiters_.empty()) {
     sim::Task* w = waiters_.front();
     waiters_.pop_front();
@@ -126,6 +134,7 @@ void Semaphore::acquire() {
     n.block();
   }
   --count_;
+  THAM_HOOK(on_acquire(this));
 }
 
 bool Semaphore::try_acquire() {
@@ -133,12 +142,14 @@ bool Semaphore::try_acquire() {
   charge_sync(n);
   if (count_ == 0) return false;
   --count_;
+  THAM_HOOK(on_acquire(this));
   return true;
 }
 
 void Semaphore::release() {
   sim::Node& n = sim::this_node();
   charge_sync(n);
+  THAM_HOOK(on_release(this));
   ++count_;
   if (!waiters_.empty()) {
     sim::Task* w = waiters_.front();

@@ -1,0 +1,421 @@
+// Tests for tham-check (src/check): the vector-clock race detector, the
+// terminal-state auditor, and the AM protocol lint.
+//
+// Two layers of coverage:
+//
+//  * CheckerUnit.* drives a Checker instance directly through its hook API.
+//    These run in every build flavor — the checker library is always
+//    compiled — and pin down the happens-before model itself.
+//
+//  * CheckerSeeded.* plants real defects in simulated programs (a data race
+//    across a yield, an orphaned AM reply, a lost-wakeup deadlock) and
+//    asserts the auto-attached checker reports each one with the right
+//    node, task, and virtual time. These need the THAM_HOOK call sites and
+//    skip in THAM_CHECK=OFF builds.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "am/am.hpp"
+#include "check/checked.hpp"
+#include "check/checker.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "threads/threads.hpp"
+
+namespace tham {
+namespace {
+
+using check::Checker;
+using check::Kind;
+
+/// First diagnostic of a kind, or nullptr.
+const check::Diagnostic* find_diag(const Checker& chk, Kind k) {
+  for (const auto& d : chk.diagnostics()) {
+    if (d.kind == k) return &d;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Unit tests: the happens-before model, driven through the raw hook API.
+// ---------------------------------------------------------------------------
+
+TEST(CheckerUnit, UnorderedAccessesAreAReportedRace) {
+  Checker chk;
+  int x = 0;
+  chk.on_task_start(0, 1, "writer");
+  chk.on_task_start(0, 2, "reader");
+
+  chk.on_task_resume(0, 1, 0);
+  chk.on_write(&x, "x");
+  chk.on_task_out(0, 1, 0);
+
+  chk.on_task_resume(0, 2, 7);
+  chk.on_read(&x, "x");
+  chk.on_task_out(0, 2, 7);
+
+  ASSERT_EQ(chk.count(Kind::Race), 1u);
+  const auto& d = chk.diagnostics().front();
+  EXPECT_EQ(d.kind, Kind::Race);
+  EXPECT_EQ(d.node, 0);
+  EXPECT_EQ(d.task, 2u);
+  EXPECT_EQ(d.task_name, "reader");
+  EXPECT_EQ(d.vtime, 7u);
+  EXPECT_NE(d.message.find("'x'"), std::string::npos);
+  EXPECT_NE(d.message.find("writer"), std::string::npos);
+}
+
+TEST(CheckerUnit, MutexReleaseAcquireOrdersAccesses) {
+  Checker chk;
+  int x = 0;
+  int mu = 0;  // any stable address works as a sync object
+  chk.on_task_start(0, 1, "writer");
+  chk.on_task_start(0, 2, "reader");
+
+  chk.on_task_resume(0, 1, 0);
+  chk.on_acquire(&mu);
+  chk.on_write(&x, "x");
+  chk.on_release(&mu);
+  chk.on_task_out(0, 1, 0);
+
+  chk.on_task_resume(0, 2, 1);
+  chk.on_acquire(&mu);
+  chk.on_read(&x, "x");
+  chk.on_release(&mu);
+  chk.on_task_out(0, 2, 1);
+
+  EXPECT_EQ(chk.count(Kind::Race), 0u);
+}
+
+TEST(CheckerUnit, MessageDeliveryOrdersSenderWriteBeforeReceiverRead) {
+  Checker chk;
+  int x = 0;
+  chk.on_task_start(0, 1, "sender");
+  chk.on_task_start(1, 1, "receiver");
+
+  chk.on_task_resume(0, 1, 0);
+  chk.on_write(&x, "x");
+  std::uint32_t id = chk.on_send(0);
+  EXPECT_NE(id, 0u);
+  chk.on_task_out(0, 1, 0);
+
+  // Delivery that carries the clock id joins the sender's history into the
+  // delivering task: the read is ordered after the write.
+  chk.on_task_resume(1, 1, 5);
+  chk.on_deliver_begin(1, 0, id, 5);
+  chk.on_read(&x, "x");
+  chk.on_deliver_end(1);
+  chk.on_task_out(1, 1, 5);
+  EXPECT_EQ(chk.count(Kind::Race), 0u);
+}
+
+TEST(CheckerUnit, UnclockedDeliveryDoesNotOrderAccesses) {
+  Checker chk;
+  int x = 0;
+  chk.on_task_start(0, 1, "sender");
+  chk.on_task_start(1, 1, "receiver");
+
+  chk.on_task_resume(0, 1, 0);
+  chk.on_write(&x, "x");
+  chk.on_task_out(0, 1, 0);
+
+  // Clock id 0 means "no snapshot": delivery creates no edge, so the
+  // receiver's read races with the sender's write.
+  chk.on_task_resume(1, 1, 5);
+  chk.on_deliver_begin(1, 0, 0, 5);
+  chk.on_read(&x, "x");
+  chk.on_deliver_end(1);
+  chk.on_task_out(1, 1, 5);
+  EXPECT_EQ(chk.count(Kind::Race), 1u);
+}
+
+TEST(CheckerUnit, SpawnAndJoinEdgesOrderParentAndChild) {
+  Checker chk;
+  int before = 0;
+  int after = 0;
+
+  // Host writes, then spawns: the child inherits the write.
+  chk.on_write(&before, "before");
+  chk.on_task_start(0, 1, "child");
+  chk.on_task_resume(0, 1, 0);
+  chk.on_read(&before, "before");
+  chk.on_write(&after, "after");
+  chk.on_task_out(0, 1, 0);
+  chk.on_task_finish(0, 1);
+  EXPECT_EQ(chk.count(Kind::Race), 0u);
+
+  // Host reads the child's write only after the join edge.
+  chk.on_task_join(0, 1);
+  chk.on_task_reaped(0, 1);
+  chk.on_read(&after, "after");
+  EXPECT_EQ(chk.count(Kind::Race), 0u);
+}
+
+TEST(CheckerUnit, JoinlessReadOfChildWriteRaces) {
+  Checker chk;
+  int after = 0;
+  chk.on_task_start(0, 1, "child");
+  chk.on_task_resume(0, 1, 0);
+  chk.on_write(&after, "after");
+  chk.on_task_out(0, 1, 0);
+  chk.on_task_finish(0, 1);
+  chk.on_read(&after, "after");  // host never joined
+  EXPECT_EQ(chk.count(Kind::Race), 1u);
+}
+
+TEST(CheckerUnit, VarDestroyForgetsHistory) {
+  Checker chk;
+  int x = 0;
+  chk.on_task_start(0, 1, "writer");
+  chk.on_task_resume(0, 1, 0);
+  chk.on_write(&x, "x");
+  chk.on_task_out(0, 1, 0);
+  chk.on_var_destroy(&x);
+  // A "new variable" at the same address must not pair with the dead one.
+  chk.on_task_start(0, 2, "reader");
+  chk.on_task_resume(0, 2, 1);
+  chk.on_read(&x, "x");
+  chk.on_task_out(0, 2, 1);
+  EXPECT_EQ(chk.count(Kind::Race), 0u);
+}
+
+TEST(CheckerUnit, AmProtocolLintCatchesPairingViolations) {
+  Checker chk;
+
+  // Reply with no handler frame open: orphaned.
+  chk.on_am_reply(0, 3);
+  EXPECT_EQ(chk.count(Kind::AmProtocol), 1u);
+  EXPECT_NE(chk.diagnostics().back().message.find("outside"),
+            std::string::npos);
+
+  // Reply twice inside one frame: the second is a violation.
+  chk.on_deliver_begin(0, 2, 0, 0);
+  chk.on_am_reply(0, 2);
+  chk.on_am_reply(0, 2);
+  chk.on_deliver_end(0);
+  EXPECT_EQ(chk.count(Kind::AmProtocol), 2u);
+
+  // Reply addressed to a node other than the requester.
+  chk.on_deliver_begin(0, 2, 0, 0);
+  chk.on_am_reply(0, 1);
+  chk.on_deliver_end(0);
+  EXPECT_EQ(chk.count(Kind::AmProtocol), 3u);
+
+  // Non-empty bulk transfer into a null destination.
+  chk.on_am_bulk_send(0, nullptr, 16);
+  EXPECT_EQ(chk.count(Kind::AmProtocol), 4u);
+  // Zero-length transfer to null is fine (nothing moves).
+  chk.on_am_bulk_send(0, nullptr, 0);
+  EXPECT_EQ(chk.count(Kind::AmProtocol), 4u);
+}
+
+TEST(CheckerUnit, TerminalAuditReportsStuckTasksInboxesAndLeaks) {
+  Checker chk;
+  chk.audit_stuck_task(1, 7, "waiter", "Blocked", 42);
+  chk.audit_inbox(2, 3, 100, 0, 400);
+  chk.audit_pool(2, 64, 60, 1, 400);  // 64 != 60 free + 1 pending
+  chk.finish_run();
+
+  const auto* dl = find_diag(chk, Kind::Deadlock);
+  ASSERT_NE(dl, nullptr);
+  EXPECT_EQ(dl->node, 1);
+  EXPECT_EQ(dl->task, 7u);
+  EXPECT_EQ(dl->vtime, 42u);
+  EXPECT_NE(dl->message.find("Blocked"), std::string::npos);
+
+  const auto* lost = find_diag(chk, Kind::LostMessage);
+  ASSERT_NE(lost, nullptr);
+  EXPECT_EQ(lost->node, 2);
+
+  const auto* leak = find_diag(chk, Kind::LeakedRecord);
+  ASSERT_NE(leak, nullptr);
+  EXPECT_EQ(leak->node, 2);
+}
+
+TEST(CheckerUnit, InstallStacksAndRestores) {
+  Checker outer;
+  outer.install();
+  EXPECT_EQ(Checker::active(), &outer);
+  {
+    Checker inner;
+    inner.install();
+    EXPECT_EQ(Checker::active(), &inner);
+    inner.uninstall();
+  }
+  EXPECT_EQ(Checker::active(), &outer);
+  outer.uninstall();
+  EXPECT_EQ(Checker::active(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Engine attachment.
+// ---------------------------------------------------------------------------
+
+TEST(CheckerAttach, ScopedAutoAttachControlsEngineChecker) {
+  {
+    check::ScopedAutoAttach off(false);
+    sim::Engine e(1);
+    EXPECT_EQ(e.checker(), nullptr);
+  }
+  if (check::kHooksCompiledIn) {
+    check::ScopedAutoAttach on(true);
+    sim::Engine e(1);
+    EXPECT_NE(e.checker(), nullptr);
+    EXPECT_EQ(Checker::active(), e.checker());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded defects: real simulated programs with planted bugs.
+// ---------------------------------------------------------------------------
+
+#define REQUIRE_HOOKS()                                              \
+  do {                                                               \
+    if (!check::kHooksCompiledIn)                                    \
+      GTEST_SKIP() << "runtime built with THAM_CHECK=OFF";           \
+  } while (0)
+
+TEST(CheckerSeeded, RaceAcrossYieldIsReported) {
+  REQUIRE_HOOKS();
+  sim::Engine e(1);
+  ASSERT_NE(e.checker(), nullptr);
+
+  checked<int> shared;
+  // The writer yields between two writes; the reader reads with no lock.
+  // The cooperative schedule happens to serialize them, but nothing orders
+  // the accesses — a preemptive machine could interleave them anywhere.
+  e.node(0).spawn(
+      [&] {
+        shared.set(1, "shared-counter");
+        sim::this_node().yield();
+        shared.set(2, "shared-counter");
+      },
+      "racy-writer");
+  e.node(0).spawn([&] { (void)shared.get("shared-counter"); },
+                  "racy-reader");
+  e.run();
+
+  const Checker& chk = *e.checker();
+  ASSERT_GE(chk.count(Kind::Race), 1u);
+  const auto* d = find_diag(chk, Kind::Race);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->node, 0);
+  EXPECT_EQ(d->task_name, "racy-reader");
+  // The reader was switched in exactly once before the read.
+  EXPECT_EQ(d->vtime, e.cost().context_switch);
+  EXPECT_NE(d->message.find("'shared-counter'"), std::string::npos);
+  EXPECT_NE(d->message.find("racy-writer"), std::string::npos);
+}
+
+TEST(CheckerSeeded, MutexProtectedSharingIsClean) {
+  REQUIRE_HOOKS();
+  sim::Engine e(1);
+  ASSERT_NE(e.checker(), nullptr);
+
+  checked<int> shared;
+  threads::Mutex mu;
+  e.node(0).spawn(
+      [&] {
+        mu.lock();
+        shared.set(1, "shared-counter");
+        mu.unlock();
+      },
+      "writer");
+  e.node(0).spawn(
+      [&] {
+        mu.lock();
+        (void)shared.get("shared-counter");
+        mu.unlock();
+      },
+      "reader");
+  e.run();
+  EXPECT_EQ(e.checker()->count(Kind::Race), 0u);
+}
+
+TEST(CheckerSeeded, OrphanedAmReplyIsReported) {
+  REQUIRE_HOOKS();
+  sim::Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);
+  am::HandlerId noop =
+      am.register_short("noop", [](sim::Node&, am::Token, const am::Words&) {});
+
+  // A task forges a reply token and replies from outside any handler.
+  e.node(0).spawn([&] { am.reply(am::Token{1}, noop, 0); }, "forger");
+  e.run();
+
+  const Checker& chk = *e.checker();
+  const auto* d = find_diag(chk, Kind::AmProtocol);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->node, 0);
+  EXPECT_EQ(d->task_name, "forger");
+  EXPECT_NE(d->message.find("outside"), std::string::npos);
+  // The forged reply lands on node 1, which never polls: the terminal
+  // audit also reports it as a lost message.
+  EXPECT_GE(chk.count(Kind::LostMessage), 1u);
+}
+
+TEST(CheckerSeeded, DuplicateReplyIsReported) {
+  REQUIRE_HOOKS();
+  sim::Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);
+  am::HandlerId noop =
+      am.register_short("noop", [](sim::Node&, am::Token, const am::Words&) {});
+  am::HandlerId dup = am.register_short(
+      "dup", [&](sim::Node&, am::Token tok, const am::Words&) {
+        am.reply(tok, noop);
+        am.reply(tok, noop);  // planted bug: AM allows at most one reply
+      });
+
+  e.node(0).spawn([&] { am.request(1, dup); }, "requester");
+  for (int n = 0; n < 2; ++n) {
+    e.node(n).spawn(
+        [&, n] {
+          while (e.node(n).wait_for_inbox(true)) am.poll();
+        },
+        "poller", /*daemon=*/true);
+  }
+  e.run();
+
+  const Checker& chk = *e.checker();
+  const auto* d = find_diag(chk, Kind::AmProtocol);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->node, 1);  // the handler runs at the receiver
+  EXPECT_NE(d->message.find("more than once"), std::string::npos);
+}
+
+TEST(CheckerSeeded, LostWakeupDeadlockIsReported) {
+  REQUIRE_HOOKS();
+  sim::Engine e(2);
+  e.allow_deadlock(true);
+
+  threads::Mutex mu;
+  threads::CondVar cv;
+  bool flag = false;
+  // Classic lost wakeup: the waiter checks the flag, but no one ever
+  // signals. The engine drains with the task parked in cv.wait().
+  e.node(1).spawn(
+      [&] {
+        mu.lock();
+        while (!flag) cv.wait(mu);
+        mu.unlock();
+      },
+      "waiter");
+  e.run();
+
+  EXPECT_TRUE(e.deadlocked());
+  const Checker& chk = *e.checker();
+  const auto* d = find_diag(chk, Kind::Deadlock);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->node, 1);
+  EXPECT_EQ(d->task_name, "waiter");
+  EXPECT_NE(d->message.find("Blocked"), std::string::npos);
+  EXPECT_EQ(d->vtime, e.node(1).now());
+}
+
+}  // namespace
+}  // namespace tham

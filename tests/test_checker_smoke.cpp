@@ -1,0 +1,109 @@
+// CheckerSmoke: the three paper applications run end-to-end with the
+// tham-check checker attached, produce zero diagnostics, and are
+// bit-identical — same virtual time, same checksum, same operation counts —
+// to an unchecked run. This is the "checking must not perturb the
+// simulation" contract: the checker observes scheduling, it never alters it.
+//
+// In THAM_CHECK=OFF builds the A/B comparison still runs (it is then a
+// determinism regression test) and the diagnostic count is trivially zero.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/water.hpp"
+#include "check/checker.hpp"
+
+namespace tham::apps {
+namespace {
+
+em3d::Config small_em3d() {
+  em3d::Config c;
+  c.graph_nodes = 160;
+  c.degree = 6;
+  c.iters = 3;
+  return c;
+}
+
+water::Config small_water() {
+  water::Config c;
+  c.molecules = 32;
+  c.steps = 2;
+  return c;
+}
+
+lu::Config small_lu() {
+  lu::Config c;
+  c.n = 96;
+  c.block = 8;
+  return c;
+}
+
+/// Runs `run` twice — checker attached, then detached — asserting the
+/// checked run emitted no diagnostics, and returns both results.
+template <class F>
+std::pair<RunResult, RunResult> ab_run(F run) {
+  std::uint64_t before = check::Checker::process_diagnostic_count();
+  RunResult with_checker;
+  {
+    check::ScopedAutoAttach on(true);
+    with_checker = run();
+  }
+  EXPECT_EQ(check::Checker::process_diagnostic_count(), before)
+      << "checker reported diagnostics on a correct application";
+  RunResult plain;
+  {
+    check::ScopedAutoAttach off(false);
+    plain = run();
+  }
+  return {with_checker, plain};
+}
+
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.thread_creates, b.thread_creates);
+  EXPECT_EQ(a.context_switches, b.context_switches);
+  EXPECT_EQ(a.sync_ops, b.sync_ops);
+  EXPECT_EQ(a.checksum, b.checksum);  // exact: same arithmetic, same order
+}
+
+TEST(CheckerSmoke, Em3dSplitcGhost) {
+  auto [chk, plain] = ab_run(
+      [] { return em3d::run_splitc(small_em3d(), em3d::Version::Ghost); });
+  expect_bit_identical(chk, plain);
+}
+
+TEST(CheckerSmoke, Em3dCcxxBulk) {
+  auto [chk, plain] = ab_run(
+      [] { return em3d::run_ccxx(small_em3d(), em3d::Version::Bulk); });
+  expect_bit_identical(chk, plain);
+}
+
+TEST(CheckerSmoke, WaterSplitcAtomic) {
+  auto [chk, plain] = ab_run(
+      [] { return water::run_splitc(small_water(), water::Version::Atomic); });
+  expect_bit_identical(chk, plain);
+}
+
+TEST(CheckerSmoke, WaterCcxxPrefetch) {
+  auto [chk, plain] = ab_run([] {
+    return water::run_ccxx(small_water(), water::Version::Prefetch);
+  });
+  expect_bit_identical(chk, plain);
+}
+
+TEST(CheckerSmoke, LuSplitc) {
+  auto [chk, plain] = ab_run([] { return lu::run_splitc(small_lu()); });
+  expect_bit_identical(chk, plain);
+}
+
+TEST(CheckerSmoke, LuCcxx) {
+  auto [chk, plain] = ab_run([] { return lu::run_ccxx(small_lu()); });
+  expect_bit_identical(chk, plain);
+}
+
+}  // namespace
+}  // namespace tham::apps

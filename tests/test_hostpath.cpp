@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/em3d.hpp"
+#include "check/checker.hpp"
 #include "common/alloc_count.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
@@ -247,6 +248,10 @@ TEST(Network, SameChannelNeverReorders) {
 // and the run queue; the measured blast must then be allocation-free.
 TEST(HotPath, SteadyStateSendDeliverIsAllocationFree) {
   ASSERT_TRUE(alloc_counting_linked());
+  // With the checker detached, the zero-allocation guarantee must hold in
+  // THAM_CHECK=ON builds too: the hooks themselves cost nothing when no
+  // checker is installed (and vanish entirely in OFF builds).
+  check::ScopedAutoAttach no_checker(false);
   std::uint64_t before = 0;
   std::uint64_t after = 0;
   std::uint64_t delivered = 0;
@@ -290,6 +295,7 @@ TEST(HotPath, SteadyStateSendDeliverIsAllocationFree) {
 // a warm spawn/join churn loop performs no heap allocations either.
 TEST(HotPath, SteadyStateTaskChurnIsAllocationFree) {
   ASSERT_TRUE(alloc_counting_linked());
+  check::ScopedAutoAttach no_checker(false);  // see SendDeliver test above
   std::uint64_t before = 0;
   std::uint64_t after = 0;
   Engine e(1);
