@@ -9,7 +9,9 @@
 //   --json[=PATH]  — fixed-size runs written to BENCH_hostperf.json
 //                    (events/sec, switches/sec, allocs per message via the
 //                    counting allocator hook), the cross-PR perf baseline.
-//                    Add --smoke for a seconds-long sanity run in CI.
+//                    Add --smoke for a seconds-long sanity run in CI, and
+//                    --threads N to run the workloads on the N-thread
+//                    sharded engine (recorded as "sim_threads").
 
 #include <benchmark/benchmark.h>
 
@@ -267,6 +269,11 @@ struct HostperfResult {
   double allocs_per_message;  ///< negative: not measured for this workload
 };
 
+/// Worker threads for the --json workload engines (--threads N). The
+/// google-benchmark micro front end stays sequential: it times single
+/// operations, where sharding only adds barrier noise.
+int g_sim_threads = 1;
+
 double elapsed_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
@@ -278,6 +285,7 @@ double elapsed_since(std::chrono::steady_clock::time_point t0) {
 HostperfResult run_event_dispatch(int warmup, int iters) {
   std::uint64_t news_before = 0, news_after = 0;
   sim::Engine e(2);
+  e.set_threads(g_sim_threads);
   e.node(0).spawn(
       [&] {
         sim::Node& n = sim::this_node();
@@ -320,6 +328,7 @@ HostperfResult run_event_dispatch(int warmup, int iters) {
 
 HostperfResult run_fan_in(int senders, int per_sender) {
   sim::Engine e(senders + 1);
+  e.set_threads(g_sim_threads);
   net::Network net(e);
   for (NodeId i = 1; i <= senders; ++i) {
     e.node(i).spawn(
@@ -353,6 +362,7 @@ HostperfResult run_fan_in(int senders, int per_sender) {
 
 HostperfResult run_fan_out(int receivers, int total) {
   sim::Engine e(receivers + 1);
+  e.set_threads(g_sim_threads);
   net::Network net(e);
   e.node(0).spawn(
       [&net, receivers, total] {
@@ -387,6 +397,7 @@ HostperfResult run_fan_out(int receivers, int total) {
 
 HostperfResult run_rmi_churn(int rmis) {
   sim::Engine e(2);
+  e.set_threads(g_sim_threads);
   net::Network net(e);
   am::AmLayer am(net);
   int done = 0;
@@ -457,6 +468,7 @@ int run_json(const std::string& path, bool smoke) {
   }
   std::fprintf(f, "{\n  \"schema\": \"tham-hostperf-v1\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"sim_threads\": %d,\n", g_sim_threads);
 #if defined(THAM_FIBER_FAST_SWITCH)
   std::fprintf(f, "  \"fiber_fast_switch\": true,\n");
 #else
@@ -508,6 +520,10 @@ int main(int argc, char** argv) {
       path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      tham::g_sim_threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      tham::g_sim_threads = std::atoi(argv[i] + 10);
     } else {
       rest.push_back(argv[i]);
     }

@@ -4,16 +4,36 @@
 // ratio per machine size. The expectation from the paper's analysis: the
 // gap is a per-access property, so it should stay roughly flat while both
 // absolute times fall with added processors (until collective costs bite).
+//
+// Host-scaling mode (the parallel engine):
+//
+//   bench_scaling --threads N [--json[=PATH]]
+//
+// runs a 64-node weak-scaling EM3D workload once on the sequential engine
+// and once sharded across N host worker threads, asserts the two runs are
+// bit-identical (elapsed vtime, checksum, message/switch counts), and
+// reports host wall-clock for both plus the speedup. --json writes
+// BENCH_scaling.json (schema tham-scaling-v1) including host_cpus, because
+// speedup is only attainable when the host actually has spare cores — on a
+// single-core host the honest result is ~1x plus barrier overhead.
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 
+#include "am/am.hpp"
 #include "apps/em3d.hpp"
 #include "apps/water.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
 #include "stats/table.hpp"
 
 namespace tham {
+namespace {
 
-int bench_main() {
+int ratio_sweep() {
   std::printf("Scaling sweep (extension): CC++/Split-C ratio vs processor"
               " count\n\n");
 
@@ -57,6 +77,129 @@ int bench_main() {
   return 0;
 }
 
+// --- Host-scaling mode ------------------------------------------------------
+
+struct HostRun {
+  apps::RunResult result;
+  double seconds = 0;  ///< host wall clock
+};
+
+HostRun run_weak_scaling(int threads) {
+  // 64 simulated nodes, constant work per node: the ROADMAP's large-N
+  // shape, big enough that epoch-barrier overhead is amortized.
+  apps::em3d::Config cfg;
+  cfg.procs = 64;
+  cfg.graph_nodes = 100 * cfg.procs;
+  cfg.degree = 10;
+  cfg.iters = 5;
+  cfg.remote_fraction = 0.5;
+  HostRun r;
+  auto t0 = std::chrono::steady_clock::now();
+  sim::Engine engine(cfg.procs);
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  r.result =
+      apps::em3d::run_splitc(engine, net, am, cfg, apps::em3d::Version::Ghost);
+  auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+bool identical(const apps::RunResult& a, const apps::RunResult& b) {
+  return a.elapsed == b.elapsed && a.checksum == b.checksum &&
+         a.messages == b.messages && a.thread_creates == b.thread_creates &&
+         a.context_switches == b.context_switches && a.sync_ops == b.sync_ops;
+}
+
+int host_scaling(int threads, bool json, const std::string& json_path) {
+  unsigned host_cpus = std::thread::hardware_concurrency();
+  std::printf("Host-scaling run: em3d-ghost, 64 simulated nodes (weak"
+              " scaling), %d worker thread(s), %u host cpu(s)\n\n",
+              threads, host_cpus);
+
+  HostRun seq = run_weak_scaling(1);
+  HostRun par = run_weak_scaling(threads);
+  bool bit = identical(seq.result, par.result);
+  double speedup = par.seconds > 0 ? seq.seconds / par.seconds : 0;
+
+  stats::Table t({"engine", "host (s)", "vtime (s)", "checksum", "messages"});
+  t.add_row({"sequential", stats::Table::num(seq.seconds, 3),
+             stats::Table::num(to_sec(seq.result.elapsed), 3),
+             stats::Table::num(seq.result.checksum, 6),
+             std::to_string(seq.result.messages)});
+  t.add_row({std::to_string(threads) + "-thread",
+             stats::Table::num(par.seconds, 3),
+             stats::Table::num(to_sec(par.result.elapsed), 3),
+             stats::Table::num(par.result.checksum, 6),
+             std::to_string(par.result.messages)});
+  t.print();
+  std::printf("\nbit-identical: %s   speedup: %.2fx\n", bit ? "yes" : "NO",
+              speedup);
+  if (host_cpus < static_cast<unsigned>(threads)) {
+    std::printf("note: %d workers on %u host cpu(s) — wall-clock speedup is"
+                " not attainable here; the run still\nexercises the sharded"
+                " engine and proves bit-identity.\n",
+                threads, host_cpus);
+  }
+
+  if (json) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema\": \"tham-scaling-v1\",\n"
+                 "  \"workload\": \"em3d-ghost weak scaling\",\n"
+                 "  \"sim_nodes\": 64,\n"
+                 "  \"host_cpus\": %u,\n"
+                 "  \"threads\": %d,\n"
+                 "  \"seconds_sequential\": %.6f,\n"
+                 "  \"seconds_parallel\": %.6f,\n"
+                 "  \"speedup\": %.4f,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"vtime_ns\": %lld,\n"
+                 "  \"messages\": %llu\n"
+                 "}\n",
+                 host_cpus, threads, seq.seconds, par.seconds, speedup,
+                 bit ? "true" : "false",
+                 static_cast<long long>(seq.result.elapsed),
+                 static_cast<unsigned long long>(seq.result.messages));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return bit ? 0 : 1;
+}
+
+int bench_main(int argc, char** argv) {
+  int threads = 0;
+  bool json = false;
+  std::string json_path = "BENCH_scaling.json";
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      threads = std::atoi(a + 10);
+    } else if (std::strcmp(a, "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      json = true;
+      json_path = a + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N [--json[=PATH]]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (threads > 0 || json) return host_scaling(threads > 0 ? threads : 4,
+                                               json, json_path);
+  return ratio_sweep();
+}
+
+}  // namespace
 }  // namespace tham
 
-int main() { return tham::bench_main(); }
+int main(int argc, char** argv) { return tham::bench_main(argc, argv); }

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <unordered_map>
@@ -186,7 +187,7 @@ class Runtime {
               args);
           // The runtime owns remotely created objects, same as place():
           // CC++ processor objects live until the program ends.
-          owned_.push_back({obj, [](void* p) { delete static_cast<C*>(p); }});
+          adopt(obj, [](void* p) { delete static_cast<C*>(p); });
           cc_marshal(out, reinterpret_cast<std::uint64_t>(obj));
         });
     return f;
@@ -197,7 +198,7 @@ class Runtime {
   template <class C, class... As>
   gptr<C> place(NodeId node, As&&... args) {
     auto* obj = new C(std::forward<As>(args)...);
-    owned_.push_back({obj, [](void* p) { delete static_cast<C*>(p); }});
+    adopt(obj, [](void* p) { delete static_cast<C*>(p); });
     return gptr<C>{node, obj};
   }
 
@@ -551,6 +552,14 @@ class Runtime {
     void* p;
     void (*deleter)(void*);
   };
+  /// Remote-creation handlers run on shard workers under the parallel
+  /// engine, so registration into the shared ownership list takes a lock
+  /// (cold path: one acquisition per processor-object creation).
+  void adopt(void* p, void (*deleter)(void*)) {
+    std::lock_guard<std::mutex> lk(owned_mu_);
+    owned_.push_back({p, deleter});
+  }
+  std::mutex owned_mu_;
   std::vector<Owned> owned_;
 
   am::HandlerId h_invoke_short_ = 0, h_invoke_bulk_ = 0, h_invoke_cold_ = 0;

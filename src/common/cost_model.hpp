@@ -111,6 +111,19 @@ struct CostModel {
   bool cc_stub_caching = true;       ///< D1: method stub caching
   bool cc_persistent_buffers = true; ///< D2: persistent S-/R-buffers
   bool cc_polling = true;            ///< D3: polling (true) vs interrupts
+
+  /// Conservative-lookahead horizon of the parallel engine: the minimum
+  /// wire time any message can spend in flight, i.e. the LogGP latency L.
+  /// Every Network::send computes its arrival as at least
+  /// `sender clock + wire latency`, so no message issued at virtual time t
+  /// can be delivered before t + lookahead() — which is exactly what lets
+  /// shards advance independently inside one lookahead window. A model
+  /// perturbed to zero latency has no safe horizon; Engine::run() then
+  /// falls back to the sequential executor.
+  SimTime lookahead() const {
+    return am_wire_latency < nx_tcp_latency ? am_wire_latency
+                                            : nx_tcp_latency;
+  }
 };
 
 /// The default SP2-calibrated model.

@@ -1,0 +1,28 @@
+#pragma once
+// Environment-variable configuration knobs. Kept deliberately tiny: the
+// simulator has exactly one runtime knob today (host worker threads), and
+// everything else is explicit CostModel / Config state so runs stay
+// reproducible from code alone.
+
+#include <cstdlib>
+
+namespace tham {
+
+/// Reads an integer environment variable, returning `fallback` when the
+/// variable is unset or unparsable. Negative values are clamped to
+/// `fallback` (no knob in the system means anything for negatives).
+inline int env_int(const char* name, int fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 0) return fallback;
+  return static_cast<int>(v);
+}
+
+/// Host worker threads the discrete-event engine may use (THAM_SIM_THREADS).
+/// 0 or 1 (the default) selects the sequential executor; values above 1
+/// enable the conservative-lookahead parallel executor.
+inline int env_sim_threads() { return env_int("THAM_SIM_THREADS", 1); }
+
+}  // namespace tham

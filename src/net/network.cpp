@@ -52,8 +52,8 @@ void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
   arrival = std::max(arrival, channel_clock_[chan]);
   channel_clock_[chan] = arrival;
 
-  ++total_messages_;
-  total_bytes_ += bytes;
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   ++src.counters().msgs_sent;
   src.counters().bytes_sent += bytes;
 
@@ -64,7 +64,9 @@ void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
   sim::Message m;
   m.arrival = arrival;
   m.src = src.id();
-  m.seq = engine_.next_seq();
+  // Per-source send sequence: the FIFO tie-break key every engine schedule
+  // derives identically (a global counter would encode the schedule).
+  m.seq = src.next_send_seq();
   m.wire_bytes = bytes;
   m.deliver = std::move(deliver);
 #if defined(THAM_CHECK_ENABLED)
@@ -74,7 +76,9 @@ void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
     m.check_clock = chk->on_send(src.id());
   }
 #endif
-  engine_.node(dst).push_message(std::move(m));
+  // Routed through the engine: mid-epoch cross-shard sends park in the
+  // sending shard's outbox until the barrier.
+  engine_.deliver(dst, std::move(m));
 }
 
 }  // namespace tham::net

@@ -8,6 +8,7 @@
 // The messaging layers (AM, MPL, Nexus/TCP) choose the cost class and
 // provide the closure.
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -54,19 +55,32 @@ class Network {
             sim::InlineHandler deliver);
 
   /// Messages sent so far (all wires).
-  std::uint64_t total_messages() const { return total_messages_; }
-  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_messages() const {
+    return total_messages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
 
   sim::Engine& engine() { return engine_; }
 
-  void set_observer(Observer obs) { observer_ = std::move(obs); }
+  /// Installing an observer pins the engine to the sequential executor: a
+  /// single callback watching every send cannot be invoked from concurrent
+  /// shard workers without changing what it observes.
+  void set_observer(Observer obs) {
+    observer_ = std::move(obs);
+    if (observer_) engine_.require_sequential("a network observer is attached");
+  }
 
  private:
   Observer observer_;
   sim::Engine& engine_;
-  std::vector<SimTime> channel_clock_;  ///< last arrival per src*N+dst
-  std::uint64_t total_messages_ = 0;
-  std::uint64_t total_bytes_ = 0;
+  /// Last arrival per src*N+dst. Row `src` is only touched by sends from
+  /// `src`, which all execute on the shard worker owning that node, so
+  /// parallel runs write disjoint elements.
+  std::vector<SimTime> channel_clock_;
+  std::atomic<std::uint64_t> total_messages_{0};
+  std::atomic<std::uint64_t> total_bytes_{0};
 };
 
 }  // namespace tham::net

@@ -1,14 +1,17 @@
 #include "sim/engine.hpp"
 
 #include <cstdio>
+#include <string>
 
 #include "check/checker.hpp"
 #include "common/check.hpp"
+#include "common/env.hpp"
+#include "sim/executor.hpp"
 
 namespace tham::sim {
 
 Engine::Engine(int num_nodes, const CostModel& cm, std::size_t stack_bytes)
-    : cost_(cm), stack_pool_(stack_bytes) {
+    : cost_(cm), stack_pool_(stack_bytes), threads_(env_sim_threads()) {
   THAM_CHECK(num_nodes > 0);
 #if defined(THAM_CHECK_ENABLED)
   if (check::Checker::auto_attach()) {
@@ -20,39 +23,153 @@ Engine::Engine(int num_nodes, const CostModel& cm, std::size_t stack_bytes)
   for (NodeId i = 0; i < num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(*this, i));
   }
+  setup_shards(1);
 }
 
 Engine::~Engine() {
   if (checker_) checker_->uninstall();
 }
 
+void Engine::set_threads(int n) {
+  THAM_CHECK_MSG(!ran_, "set_threads() after run()");
+  threads_ = n < 1 ? 1 : n;
+}
+
+void Engine::require_sequential(const char* why) {
+  if (seq_only_why_ == nullptr) seq_only_why_ = why;
+}
+
+SimTime Engine::head_time() const {
+  SimTime h = std::numeric_limits<SimTime>::max();
+  for (const auto& s : shards_) {
+    if (!s->queue.empty() && s->queue.top().t < h) h = s->queue.top().t;
+  }
+  return h;
+}
+
 void Engine::wake(Node* n, SimTime t) {
-  queue_.push(Ev{t, next_seq(), n->id()});
+  shards_[shard_ix_[static_cast<std::size_t>(n->id())]]->queue.push(
+      Ev{t, n->id()});
+}
+
+void Engine::deliver(NodeId dst, Message m) {
+  if (in_parallel_window_.load(std::memory_order_relaxed)) {
+    int ds = shard_ix_[static_cast<std::size_t>(dst)];
+    int ss = worker_slot();
+    if (ds != ss) {
+      // Mid-epoch cross-shard send: park it in this shard's outbox; the
+      // owning worker moves it into the destination inbox at the barrier
+      // (its arrival is beyond the epoch horizon, so nothing is lost).
+      shards_[static_cast<std::size_t>(ss)]->outbox[static_cast<std::size_t>(
+          ds)].push_back(PendingMsg{dst, std::move(m)});
+      return;
+    }
+  }
+  nodes_[static_cast<std::size_t>(dst)]->enqueue_message(std::move(m));
+}
+
+int Engine::plan_shards() {
+  int want = threads_;
+  if (want > size()) want = size();
+  if (want > StackPool::kMaxSlots) want = StackPool::kMaxSlots;
+  if (want <= 1) return 1;
+  const char* why = seq_only_why_;
+#if defined(THAM_CHECK_ENABLED)
+  // Checker hooks funnel every shard's events into one vector-clock state;
+  // keep those runs on the reference executor rather than lock the hot path.
+  if (why == nullptr && check::Checker::active() != nullptr) {
+    why = "a tham-check checker is attached";
+  }
+#endif
+  if (why == nullptr && cost_.lookahead() <= 0) {
+    why = "the cost model has zero network lookahead";
+  }
+  if (why != nullptr) {
+    std::fprintf(stderr,
+                 "tham-sim: %d-thread run forced onto the sequential "
+                 "executor: %s\n",
+                 threads_, why);
+    return 1;
+  }
+  return want;
+}
+
+void Engine::setup_shards(int count) {
+  // Collect any events already queued (pre-run sends from tests/benches)
+  // so re-sharding never drops an activation.
+  std::vector<Ev> pending;
+  for (auto& s : shards_) {
+    while (!s->queue.empty()) {
+      pending.push_back(s->queue.top());
+      s->queue.pop();
+    }
+  }
+  shards_.clear();
+  shards_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->outbox.resize(static_cast<std::size_t>(count));
+    shards_.push_back(std::move(s));
+  }
+  shard_ix_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    shard_ix_[i] = static_cast<int>(i) % count;
+  }
+  for (const Ev& ev : pending) {
+    shards_[static_cast<std::size_t>(shard_ix_[static_cast<std::size_t>(
+        ev.n)])]->queue.push(ev);
+  }
 }
 
 void Engine::run() {
   THAM_CHECK_MSG(!ran_, "Engine::run() called twice");
   ran_ = true;
 
+  int count = plan_shards();
+  shards_used_ = count;
+  if (count != static_cast<int>(shards_.size())) setup_shards(count);
+
   // Kick every node that already has spawned tasks.
   for (auto& n : nodes_) wake(n.get(), 0);
 
-  while (!queue_.empty()) {
-    Ev ev = queue_.top();
-    queue_.pop();
-    if (ev.t > vtime_) vtime_ = ev.t;
-    nodes_[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
+  if (count > 1) {
+    ParallelExecutor ex(*this, count);
+    ex.run();
+  } else {
+    SequentialExecutor ex(*this);
+    ex.run();
+  }
+  // Elapsed virtual time: the furthest any node's clock reached while the
+  // program ran. Defined on node clocks, not on dispatched event
+  // timestamps, because the activation multiset contains engine-dependent
+  // bookkeeping wakes (epoch pauses) while node clocks are bit-identical
+  // across executors.
+  for (const auto& n : nodes_) {
+    if (n->now() > vtime_) vtime_ = n->now();
   }
 
-  // Event queue drained: the program is over. Unwind daemon tasks (polling
+  // Event queues drained: the program is over. Unwind daemon tasks (polling
   // threads) so their fibers finish cleanly, then look for real deadlocks.
+  // This drain runs merged on the calling thread regardless of shard count.
   for (auto& n : nodes_) n->begin_shutdown();
-  while (!queue_.empty()) {
-    Ev ev = queue_.top();
-    queue_.pop();
+  for (;;) {
+    Shard* best = nullptr;
+    for (auto& s : shards_) {
+      if (s->queue.empty()) continue;
+      if (best == nullptr || EvBefore{}(s->queue.top(), best->queue.top())) {
+        best = s.get();
+      }
+    }
+    if (best == nullptr) break;
+    Ev ev = best->queue.top();
+    best->queue.pop();
     nodes_[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
   }
 
+  finish_run();
+}
+
+void Engine::finish_run() {
   if (checker_ && check::Checker::active() == checker_.get()) {
     for (auto& n : nodes_) n->audit_terminal(*checker_);
     checker_->finish_run();
@@ -66,11 +183,15 @@ void Engine::run() {
   }
   deadlocked_ = !stuck_.empty();
   if (deadlocked_ && !allow_deadlock_) {
-    std::fprintf(stderr,
-                 "simulated program deadlock: %zu task(s) never finished\n",
-                 stuck_.size());
-    for (const auto& s : stuck_) std::fprintf(stderr, "  stuck: %s\n", s.c_str());
-    THAM_CHECK_MSG(false, "simulated program deadlock");
+    // The abort diagnostic carries the full stuck-task list (task name and
+    // the reason it parked), so a deadlock in a batch run is debuggable
+    // from the abort message alone.
+    std::string diag = "simulated program deadlock: " +
+                       std::to_string(stuck_.size()) +
+                       " task(s) never finished";
+    for (const auto& s : stuck_) diag += "\n  stuck: " + s;
+    std::fprintf(stderr, "%s\n", diag.c_str());
+    THAM_CHECK_MSG(false, diag.c_str());
   }
 }
 

@@ -1,7 +1,27 @@
 #pragma once
-// The discrete-event engine: owns the nodes, the global event queue, and the
-// fiber stack pool. Single real thread; virtual time only.
+// The discrete-event engine: owns the nodes, the sharded event queues, and
+// the fiber stack pool. Virtual time only; real execution is delegated to
+// one of two executors (sim/executor.hpp):
+//
+//   * SequentialExecutor — one scheduler thread drains the merged queues in
+//     global (time, node) order; the reference semantics.
+//   * ParallelExecutor — nodes are sharded across host worker threads that
+//     advance in conservative lookahead epochs of width CostModel::
+//     lookahead() (the LogGP latency L). No message sent at virtual time t
+//     can arrive before t + L, so all events strictly inside one epoch
+//     window commute across shards; cross-shard messages are buffered in
+//     per-shard outboxes and exchanged at the epoch barrier. Arrival-time
+//     ties break on (src node, per-source seq) and event-queue ties on
+//     node id — keys every run derives deterministically — so dispatch
+//     order, and therefore every checksum, counter, and breakdown, is
+//     bit-identical to the sequential engine.
+//
+// Thread count comes from set_threads() or THAM_SIM_THREADS (default 1).
+// Runs that attach instrumentation which is not shard-safe (a tham-check
+// checker, a network observer) are forced onto the sequential executor
+// with a diagnostic.
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -13,6 +33,9 @@
 #include "sim/quad_heap.hpp"
 
 namespace tham::sim {
+
+class SequentialExecutor;
+class ParallelExecutor;
 
 class Engine {
  public:
@@ -29,21 +52,66 @@ class Engine {
   const CostModel& cost() const { return cost_; }
   StackPool& stack_pool() { return stack_pool_; }
 
-  /// Monotonic sequence for message FIFO tie-breaking.
-  std::uint64_t next_seq() { return seq_++; }
+  /// Monotonic engine-wide sequence. No longer part of any ordering key
+  /// (message FIFO ties break on per-source sequences); kept for tests and
+  /// benches that hand-build Message records and want unique seq values.
+  /// Atomic so those call sites stay defined under the parallel executor.
+  std::uint64_t next_seq() {
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  /// Timestamp of the earliest pending event (max SimTime if none).
-  SimTime head_time() const {
-    return queue_.empty() ? std::numeric_limits<SimTime>::max()
-                          : queue_.top().t;
+  /// Host worker threads the next run() may use. 1 (default, or from
+  /// THAM_SIM_THREADS) selects the sequential executor. Clamped to
+  /// [1, min(size(), StackPool::kMaxSlots)] at run time. Must be called
+  /// before run().
+  void set_threads(int n);
+  int threads() const { return threads_; }
+  /// Shards the last run() actually used (1 = sequential executor; may be
+  /// forced to 1, see require_sequential()).
+  int shards_used() const { return shards_used_; }
+
+  /// Forces every run() of this engine onto the sequential executor and
+  /// remembers why, for the one-line diagnostic printed when a parallel
+  /// run was requested. Called by subsystems whose instrumentation is not
+  /// safe under sharded dispatch (network observers, attached checkers).
+  void require_sequential(const char* why);
+
+  /// Timestamp of the earliest pending event anywhere (max SimTime if
+  /// none). Sequential-phase view; tests and idle checks only.
+  SimTime head_time() const;
+
+  /// Earliest pending virtual time node `n` may run ahead of: its shard's
+  /// queue head, additionally capped by the epoch horizon while a parallel
+  /// window is executing. This is the causality bound Node::advance checks.
+  SimTime head_limit(NodeId n) const {
+    const Shard& s = *shards_[shard_ix_[static_cast<std::size_t>(n)]];
+    SimTime h = s.queue.empty() ? std::numeric_limits<SimTime>::max()
+                                : s.queue.top().t;
+    if (in_parallel_window_.load(std::memory_order_relaxed)) {
+      SimTime lim = epoch_limit_.load(std::memory_order_relaxed);
+      if (lim < h) h = lim;
+    } else if (shards_.size() > 1) {
+      // Post-epoch sequential drain over a sharded queue set: the bound is
+      // the global head, same as the one-shard sequential engine.
+      for (const auto& sh : shards_) {
+        if (!sh->queue.empty() && sh->queue.top().t < h) h = sh->queue.top().t;
+      }
+    }
+    return h;
   }
 
   /// Schedules a node activation at virtual time `t`.
   void wake(Node* n, SimTime t);
 
-  /// Runs the simulation until the event queue drains, then shuts down
-  /// daemon tasks. Aborts with a diagnostic if any non-daemon task is still
-  /// blocked (simulated-program deadlock) unless allow_deadlock(true).
+  /// Routes a freshly sent message to `dst`: pushed straight into the
+  /// destination inbox, except mid-epoch across shards, where it is
+  /// buffered in the sending shard's outbox and exchanged at the barrier.
+  void deliver(NodeId dst, Message m);
+
+  /// Runs the simulation until the event queues drain, then shuts down
+  /// daemon tasks. Aborts with a diagnostic naming every stuck task and its
+  /// block reason if any non-daemon task is still blocked (simulated-
+  /// program deadlock) unless allow_deadlock(true).
   void run();
 
   /// Latest event timestamp dispatched: the global elapsed virtual time.
@@ -52,6 +120,7 @@ class Engine {
   void allow_deadlock(bool v) { allow_deadlock_ = v; }
   /// After run(): true if non-daemon tasks were left blocked.
   bool deadlocked() const { return deadlocked_; }
+  /// After run(): "node N: name (reason)" for every stuck non-daemon task.
   const std::vector<std::string>& stuck_tasks() const { return stuck_; }
 
   /// The tham-check instance auditing this engine. Non-null only in
@@ -61,28 +130,64 @@ class Engine {
   check::Checker* checker() const { return checker_.get(); }
 
  private:
+  friend class SequentialExecutor;
+  friend class ParallelExecutor;
+
   struct Ev {
     SimTime t;
-    std::uint64_t seq;
     NodeId n;
   };
-  /// Earliest timestamp first; FIFO (wake order) among equal timestamps.
+  /// Earliest timestamp first; node id among equal timestamps. Events of
+  /// different nodes inside one lookahead window commute, so a total order
+  /// on (t, n) — derivable by any schedule — is all determinism needs.
+  /// Duplicate (t, n) entries are idempotent re-wakes.
   struct EvBefore {
     bool operator()(const Ev& a, const Ev& b) const {
       if (a.t != b.t) return a.t < b.t;
-      return a.seq < b.seq;
+      return a.n < b.n;
     }
   };
+
+  /// A cross-shard message parked until the epoch barrier.
+  struct PendingMsg {
+    NodeId dst;
+    Message m;
+  };
+
+  /// One shard: a slice of the nodes, their event queue, and the outboxes
+  /// holding mid-epoch messages for every other shard. Cache-line aligned;
+  /// only its worker thread touches it between barriers.
+  struct alignas(64) Shard {
+    QuadHeap<Ev, EvBefore> queue;
+    std::vector<std::vector<PendingMsg>> outbox;  ///< indexed by dest shard
+  };
+
+  /// Decides the shard count for this run (1 = sequential), printing the
+  /// fallback diagnostic when parallelism was requested but is unsafe.
+  int plan_shards();
+  void setup_shards(int count);
+  /// Audits the terminal state and aborts on deadlock (see run()).
+  void finish_run();
 
   CostModel cost_;
   StackPool stack_pool_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  QuadHeap<Ev, EvBefore> queue_;
-  std::uint64_t seq_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<int> shard_ix_;  ///< node -> shard
+  std::atomic<std::uint64_t> seq_{0};
   SimTime vtime_ = 0;
+  int threads_;  ///< from THAM_SIM_THREADS; see set_threads()
+  int shards_used_ = 1;
+  const char* seq_only_why_ = nullptr;
   bool allow_deadlock_ = false;
   bool deadlocked_ = false;
   bool ran_ = false;
+  /// True while parallel epoch windows execute; switches deliver() to
+  /// outbox buffering and head_limit() to the epoch horizon.
+  std::atomic<bool> in_parallel_window_{false};
+  /// Inclusive upper bound of the current epoch window (window start
+  /// + lookahead - 1): tasks pause once their clock would pass it.
+  std::atomic<SimTime> epoch_limit_{0};
   std::vector<std::string> stuck_;
   std::unique_ptr<check::Checker> checker_;  ///< null when not auto-attached
 };

@@ -1,0 +1,118 @@
+#include "sim/executor.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "sim/fiber.hpp"
+
+namespace tham::sim {
+
+void SequentialExecutor::run() {
+  auto& shards = eng_.shards_;
+  auto& nodes = eng_.nodes_;
+  for (;;) {
+    Engine::Shard* best = nullptr;
+    for (auto& s : shards) {
+      if (s->queue.empty()) continue;
+      if (best == nullptr ||
+          Engine::EvBefore{}(s->queue.top(), best->queue.top())) {
+        best = s.get();
+      }
+    }
+    if (best == nullptr) break;
+    Engine::Ev ev = best->queue.top();
+    best->queue.pop();
+    nodes[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
+  }
+}
+
+ParallelExecutor::ParallelExecutor(Engine& eng, int shards)
+    : eng_(eng), count_(shards), lookahead_(eng.cost().lookahead()) {
+  THAM_CHECK(shards > 1);
+  THAM_CHECK_MSG(lookahead_ > 0, "parallel executor needs positive lookahead");
+}
+
+void ParallelExecutor::run() {
+  eng_.in_parallel_window_.store(true, std::memory_order_release);
+  plan_epoch();  // first window, computed before any worker starts
+  if (!done_.load(std::memory_order_relaxed)) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(count_ - 1));
+    for (int slot = 1; slot < count_; ++slot) {
+      threads.emplace_back([this, slot] { worker(slot); });
+    }
+    worker(0);  // the calling thread is worker 0
+    for (auto& t : threads) t.join();
+  }
+  eng_.in_parallel_window_.store(false, std::memory_order_release);
+}
+
+void ParallelExecutor::worker(int slot) {
+  set_worker_slot(slot);
+  bool sense = false;
+  while (!done_.load(std::memory_order_acquire)) {
+    drain_window(slot);
+    sense = !sense;
+    arrive(sense, /*plan=*/false);  // all drains finished; outboxes final
+    exchange(slot);
+    sense = !sense;
+    arrive(sense, /*plan=*/true);  // all inboxes settled; plan next window
+  }
+  // Leave the slot set: worker 0 is the main thread, and the post-epoch
+  // shutdown drain reuses its slot-0 stack free list.
+}
+
+void ParallelExecutor::drain_window(int slot) {
+  Engine::Shard& s = *eng_.shards_[static_cast<std::size_t>(slot)];
+  const SimTime limit = eng_.epoch_limit_.load(std::memory_order_acquire);
+  auto& nodes = eng_.nodes_;
+  while (!s.queue.empty() && s.queue.top().t <= limit) {
+    Engine::Ev ev = s.queue.top();
+    s.queue.pop();
+    nodes[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
+  }
+}
+
+void ParallelExecutor::exchange(int slot) {
+  auto& nodes = eng_.nodes_;
+  for (auto& from : eng_.shards_) {
+    auto& box = from->outbox[static_cast<std::size_t>(slot)];
+    for (auto& pm : box) {
+      nodes[static_cast<std::size_t>(pm.dst)]->enqueue_message(std::move(pm.m));
+    }
+    box.clear();
+  }
+}
+
+void ParallelExecutor::plan_epoch() {
+  SimTime gmin = std::numeric_limits<SimTime>::max();
+  for (const auto& s : eng_.shards_) {
+    if (!s->queue.empty() && s->queue.top().t < gmin) gmin = s->queue.top().t;
+  }
+  if (gmin == std::numeric_limits<SimTime>::max()) {
+    done_.store(true, std::memory_order_release);
+    return;
+  }
+  // Inclusive horizon one tick short of gmin + lookahead: a cross-shard
+  // message sent at gmin arrives at gmin + lookahead at the earliest, and
+  // the sequential engine delivers an arrival the instant a clock reaches
+  // it — so the window must not let a task's clock reach that boundary.
+  eng_.epoch_limit_.store(gmin + lookahead_ - 1, std::memory_order_release);
+}
+
+void ParallelExecutor::arrive(bool my_sense, bool plan) {
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == count_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    if (plan) plan_epoch();
+    global_sense_.store(my_sense, std::memory_order_release);
+  } else {
+    // Spin briefly (epochs are short), then yield: the common deployment is
+    // more workers than free cores, where pure spinning would live-lock.
+    int spins = 0;
+    while (global_sense_.load(std::memory_order_acquire) != my_sense) {
+      if (++spins > 512) std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace tham::sim

@@ -1,0 +1,63 @@
+#pragma once
+// Execution strategies for Engine::run(). The engine owns the event state
+// (shards, queues, outboxes); an executor owns only the host threads and
+// the epoch protocol that drive it. See engine.hpp for the determinism
+// argument both executors implement.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace tham::sim {
+
+/// Reference semantics: one scheduler thread drains all shards' queues
+/// merged in global (time, node) order.
+class SequentialExecutor {
+ public:
+  explicit SequentialExecutor(Engine& eng) : eng_(eng) {}
+  void run();
+
+ private:
+  Engine& eng_;
+};
+
+/// Conservative-lookahead parallel executor. Each shard gets a host worker
+/// (the calling thread doubles as worker 0). Workers advance in epochs:
+///
+///   plan (serial): gmin = min event time anywhere; window = [gmin,
+///                  gmin + lookahead - 1]; done when queues are empty
+///   drain (parallel): each worker pops its shard's events with t <= limit
+///   exchange (parallel): each worker moves messages parked for its shard
+///                        out of every outbox into its own nodes' inboxes
+///
+/// separated by a sense-reversing spin-then-yield barrier whose last
+/// arriver runs the next plan as the serial section. Cross-shard sends
+/// arrive no earlier than gmin + lookahead, i.e. outside the window, so
+/// draining shards concurrently cannot miss or reorder a delivery.
+class ParallelExecutor {
+ public:
+  ParallelExecutor(Engine& eng, int shards);
+  void run();
+
+ private:
+  void worker(int slot);
+  void drain_window(int slot);
+  void exchange(int slot);
+  /// Serial section: computes the next epoch window, or sets done_.
+  void plan_epoch();
+  /// Sense-reversing barrier; the last arriver runs plan_epoch() when
+  /// `plan` is set, then releases the others.
+  void arrive(bool my_sense, bool plan);
+
+  Engine& eng_;
+  int count_;
+  SimTime lookahead_;
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> global_sense_{false};
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace tham::sim

@@ -42,21 +42,34 @@ namespace tham::sim {
 
 namespace {
 // The fiber being started or resumed. Set immediately before the switch so
-// the trampoline can find its Fiber. Single real thread -> plain static.
-Fiber* g_current = nullptr;
+// the trampoline can find its Fiber. thread_local: each shard worker of the
+// parallel engine is its own scheduler context with its own running fiber.
+thread_local Fiber* g_current = nullptr;
 
-// Bounds of the scheduler (main-context) stack, captured every time a fiber
-// gains control; suspend() and the final death switch name it as their
-// destination. Unused (but kept declared) without ASan.
-[[maybe_unused]] const void* g_sched_stack_bottom = nullptr;
-[[maybe_unused]] std::size_t g_sched_stack_size = 0;
+// Which StackPool free-list shard this thread uses (0 = main/sequential).
+thread_local int g_worker_slot = 0;
+
+// Bounds of the scheduler (this thread's main-context) stack, captured every
+// time a fiber gains control; suspend() and the final death switch name it
+// as their destination. Unused (but kept declared) without ASan.
+[[maybe_unused]] thread_local const void* g_sched_stack_bottom = nullptr;
+[[maybe_unused]] thread_local std::size_t g_sched_stack_size = 0;
+
+// A fiber can suspend on one scheduler thread and (after an executor
+// barrier) be resumed on another, so thread-local accesses made *after* a
+// switch must recompute their TLS address on the new thread. The single
+// x86-64 instruction local-exec TLS uses does that on every access already;
+// the noinline helpers make it hold under any TLS model or inliner.
+[[gnu::noinline]] void set_current_fiber(Fiber* f) { g_current = f; }
 
 #if defined(THAM_ASAN_FIBERS)
 void asan_leave(void** fake_save, const void* bottom, std::size_t size) {
   __sanitizer_start_switch_fiber(fake_save, bottom, size);
 }
 // Arriving on a fiber stack: remember where we came from (the scheduler).
-void asan_enter_fiber(void* fake_save) {
+// noinline so the thread_local slots are those of the resuming thread even
+// when the previous suspension happened on a different one.
+[[gnu::noinline]] void asan_enter_fiber(void* fake_save) {
   __sanitizer_finish_switch_fiber(fake_save, &g_sched_stack_bottom,
                                   &g_sched_stack_size);
 }
@@ -71,24 +84,36 @@ inline void asan_enter_sched(void*) {}
 #endif
 }  // namespace
 
+int worker_slot() { return g_worker_slot; }
+
+void set_worker_slot(int slot) {
+  THAM_CHECK(slot >= 0 && slot < StackPool::kMaxSlots);
+  g_worker_slot = slot;
+}
+
 StackPool::StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
 
 StackPool::~StackPool() {
-  for (char* s : free_) ::operator delete[](s, std::align_val_t{64});
+  for (auto& slot : free_) {
+    for (char* s : slot) ::operator delete[](s, std::align_val_t{64});
+  }
 }
 
 char* StackPool::acquire() {
-  if (!free_.empty()) {
-    char* s = free_.back();
-    free_.pop_back();
+  auto& slot = free_[static_cast<std::size_t>(g_worker_slot)];
+  if (!slot.empty()) {
+    char* s = slot.back();
+    slot.pop_back();
     return s;
   }
-  ++allocated_;
+  allocated_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<char*>(
       ::operator new[](stack_bytes_, std::align_val_t{64}));
 }
 
-void StackPool::release(char* stack) { free_.push_back(stack); }
+void StackPool::release(char* stack) {
+  free_[static_cast<std::size_t>(g_worker_slot)].push_back(stack);
+}
 
 Fiber::Fiber(std::function<void()> body, StackPool& pool)
     : body_(std::move(body)), pool_(pool) {}
@@ -154,8 +179,9 @@ void Fiber::run_body() {
   stack_ = nullptr;
   // Return to the main context for good. The stack is already back in the
   // pool, but nothing can reuse it until the main context runs, and the
-  // final switch never touches this stack again.
-  g_current = nullptr;
+  // final switch never touches this stack again. set_current_fiber: this
+  // fiber may have migrated scheduler threads since run_body was entered.
+  set_current_fiber(nullptr);
   // nullptr fake-stack save: this fiber is dying, let ASan free its state.
   asan_leave(nullptr, g_sched_stack_bottom, g_sched_stack_size);
 #if defined(THAM_FIBER_FAST_SWITCH)
@@ -218,9 +244,10 @@ void Fiber::suspend() {
 #else
   THAM_CHECK(swapcontext(&self->ctx_, &self->return_ctx_) == 0);
 #endif
-  // Resumed again.
+  // Resumed again — possibly on a different scheduler thread than the one
+  // that suspended, so the TLS write goes through the noinline helper.
   asan_enter_fiber(fake);
-  g_current = self;
+  set_current_fiber(self);
   self->state_ = State::Running;
 }
 

@@ -1,14 +1,19 @@
 #pragma once
-// Stackful fibers — the execution substrate for simulated threads. One real
-// OS thread runs the whole simulation; every simulated thread on every
-// simulated node is a Fiber that the node scheduler resumes and that
-// suspends back to the scheduler at blocking points.
+// Stackful fibers — the execution substrate for simulated threads. Every
+// simulated thread on every simulated node is a Fiber that the node
+// scheduler resumes and that suspends back to the scheduler at blocking
+// points. The scheduler context that resumes a fiber may be the main thread
+// (sequential engine) or one of the parallel engine's shard workers; a
+// fiber only ever runs on its node's current scheduler thread, and all
+// cross-thread handoffs happen at executor barriers.
 //
 // Two switch backends: on x86-64 ELF (THAM_FIBER_FAST_SWITCH, selected by
 // the build) switches are a userspace register swap (~tens of ns); the
 // portable fallback uses ucontext, whose swapcontext costs a sigprocmask
 // syscall per switch.
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -24,10 +29,24 @@ extern "C" void tham_fiber_trampoline(void* fiber);
 
 namespace tham::sim {
 
+/// Index of the shard worker the calling thread is executing for (0 on the
+/// main thread and in sequential runs). Set by the parallel executor; used
+/// to pick the lock-free per-worker free list inside StackPool.
+int worker_slot();
+void set_worker_slot(int slot);
+
 /// A pooled fiber stack. Stacks are recycled because MPMD workloads create
 /// and destroy millions of short-lived threads (one per threaded RMI).
+///
+/// Thread safety: free lists are sharded per worker slot. A stack is always
+/// released on the thread that ran the fiber, and a node's fibers run on
+/// exactly one worker per run, so acquire/release stay within one slot and
+/// need no lock; only the allocated-stacks counter is shared (atomic).
 class StackPool {
  public:
+  /// Upper bound on shard workers (and so on engine threads).
+  static constexpr int kMaxSlots = 64;
+
   explicit StackPool(std::size_t stack_bytes);
   ~StackPool();
 
@@ -37,12 +56,14 @@ class StackPool {
   char* acquire();
   void release(char* stack);
   std::size_t stack_bytes() const { return stack_bytes_; }
-  std::size_t allocated() const { return allocated_; }
+  std::size_t allocated() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::size_t stack_bytes_;
-  std::size_t allocated_ = 0;
-  std::vector<char*> free_;
+  std::atomic<std::size_t> allocated_{0};
+  std::array<std::vector<char*>, kMaxSlots> free_;
 };
 
 /// A suspendable execution context. Fibers form a strict two-level scheme:

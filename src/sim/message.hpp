@@ -15,7 +15,11 @@ class Node;
 struct Message {
   SimTime arrival = 0;     ///< virtual time the message is available at dst
   NodeId src = kInvalidNode;
-  std::uint64_t seq = 0;   ///< global send order; breaks arrival-time ties
+  /// Per-source send order (Node::next_send_seq). Arrival-time ties break
+  /// on (src, seq) — a key each sender produces deterministically on its
+  /// own, with no globally interleaved counter, so sequential and parallel
+  /// engines derive the identical delivery order.
+  std::uint64_t seq = 0;
   std::size_t wire_bytes = 0;  ///< payload size on the wire (stats only)
   /// Runs at the receiving node, in the context of the simulated thread
   /// that polled the message (exactly Active Message handler semantics).

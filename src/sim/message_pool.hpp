@@ -83,6 +83,9 @@ class MessagePool {
       const Message& ma = pool->record(a);
       const Message& mb = pool->record(b);
       if (ma.arrival != mb.arrival) return ma.arrival < mb.arrival;
+      // seq is per-source: ties across sources order by source id, ties
+      // within a source by its own send order. Engine-schedule independent.
+      if (ma.src != mb.src) return ma.src < mb.src;
       return ma.seq < mb.seq;
     }
   };

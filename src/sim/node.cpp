@@ -5,12 +5,15 @@
 #include "check/checker.hpp"
 #include "check/hooks.hpp"
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "sim/engine.hpp"
 
 namespace tham::sim {
 
 namespace {
-Node* g_current_node = nullptr;
+// thread_local: each shard worker of the parallel engine schedules its own
+// nodes, so "the node whose task is executing" is a per-thread notion.
+thread_local Node* g_current_node = nullptr;
 }  // namespace
 
 const char* why_name(std::uint8_t why) {
@@ -61,11 +64,16 @@ void Node::advance(Component c, SimTime dt) {
 }
 
 void Node::maybe_pause_for_causality() {
-  // A task may not run ahead of the global event order: if this node's
-  // clock passed the earliest pending event anywhere in the machine,
-  // suspend and reschedule this node at its own clock.
-  if (clock_ > engine_.head_time()) {
-    schedule_activation(clock_);
+  // A task may not run ahead of the event order it can observe: if this
+  // node's clock passed the earliest pending event the engine allows it to
+  // run ahead of (the global queue head sequentially; the shard queue head
+  // capped by the epoch horizon in a parallel window), suspend and
+  // reschedule this node at its own clock. The extra pauses a narrower
+  // parallel horizon inserts are observation-neutral: the resumed task
+  // continues at the same clock with no charge, so every engine schedule
+  // produces identical node state.
+  if (clock_ > engine_.head_limit(id_)) {
+    engine_.wake(this, clock_);
     current_->why_ = Task::Why::CausalityPause;
     Fiber::suspend();
   }
@@ -164,17 +172,18 @@ bool Node::wait_for_inbox(bool poll_only) {
   return !shutting_down_;
 }
 
-void Node::push_message(Message m) {
+void Node::push_message(Message m) { engine_.deliver(id_, std::move(m)); }
+
+void Node::enqueue_message(Message m) {
   THAM_CHECK(static_cast<bool>(m.deliver));
   SimTime arrival = m.arrival;
   inbox_.push(std::move(m));
-  schedule_activation(arrival);
-}
-
-void Node::schedule_activation(SimTime t) {
-  if (t >= earliest_pending_wake_) return;  // an earlier wake covers it
-  earliest_pending_wake_ = t;
-  engine_.wake(this, t);
+  // One activation per message, unconditionally at its arrival time. The
+  // activation multiset is then a pure function of the message set — not of
+  // when this push executed relative to the node's own scheduling — which
+  // is what makes sequential and parallel dispatch orders bit-identical.
+  // (A dedup against pending earlier wakes would re-encode push timing.)
+  engine_.wake(this, arrival);
 }
 
 bool Node::poll_one() {
@@ -183,6 +192,14 @@ bool Node::poll_one() {
   // runs, so a handler that sends (and so pushes) never sees a full pool.
   Message m = inbox_.pop();
   ++counters_.msgs_recv;
+  // Bit-identity witness: digest the delivery order (see Counters).
+  std::uint64_t d = counters_.dispatch_digest;
+  d = hash_mix(d, static_cast<std::uint64_t>(m.arrival));
+  d = hash_mix(d, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                       m.src))
+                   << 32) ^
+                      m.seq);
+  counters_.dispatch_digest = hash_mix(d, static_cast<std::uint64_t>(clock_));
   THAM_HOOK(on_deliver_begin(id_, m.src, m.check_clock, clock_));
   ++handler_depth_;
   m.deliver(*this);
@@ -221,34 +238,40 @@ SimTime Node::next_arrival() const {
 }
 
 void Node::on_wake(SimTime t) {
-  if (t >= earliest_pending_wake_) {
-    earliest_pending_wake_ = std::numeric_limits<SimTime>::max();
-  }
   if (t > clock_) {
     // Idle time (waiting for a message to arrive) is attributed to the
     // component of the waiting task — normally Net, since the waiter sits
     // inside the messaging layer. This keeps breakdown().total() == now().
+    // A jump can only happen while the node is fully idle: every causality
+    // pause leaves an activation at the paused clock, so a wake beyond the
+    // clock implies no task was mid-flight.
     Component c = inbox_waiters_.empty() ? Component::Cpu
                                          : inbox_waiters_.front()->comp_;
     breakdown_[c] += t - clock_;
     clock_ = t;
   }
-  if (!inbox_waiters_.empty() && inbox_due()) {
-    // Wake the most recently parked waiter only: every waiter drains all
-    // due messages when it runs, and a delivery re-wakes predicate waiters
-    // (poll_one). Waking everyone would charge spurious context switches
-    // the real system never paid.
-    Task* w = inbox_waiters_.back();
-    inbox_waiters_.pop_back();
-    w->why_ = Task::Why::Ready;
-    w->in_runq_ = true;
-    runq_.push_back(w);
-  }
+  // Waiter wakeups happen in run_ready_tasks once the run queue drains —
+  // a decision made purely from node state at a deterministic point, so a
+  // spurious extra activation (parallel epochs insert some) is a no-op.
   run_ready_tasks();
 }
 
 void Node::run_ready_tasks() {
-  while (!runq_.empty()) {
+  while (true) {
+    if (runq_.empty()) {
+      // Nothing runnable. If a message is already due and someone is
+      // parked waiting for the inbox, wake the most recently parked waiter
+      // (it drains all due messages when it runs; waking everyone would
+      // charge spurious context switches the real system never paid).
+      // Future arrivals need no action here: every queued message already
+      // has an engine activation at its arrival time.
+      if (inbox_waiters_.empty() || !inbox_due()) return;
+      Task* w = inbox_waiters_.back();
+      inbox_waiters_.pop_back();
+      w->why_ = Task::Why::Ready;
+      w->in_runq_ = true;
+      runq_.push_back(w);
+    }
     Task* t = runq_.front();
     // Charge one context switch when control passes from one simulated
     // thread to a different one (Table 4's "Yield" column counts these).
@@ -257,10 +280,10 @@ void Node::run_ready_tasks() {
       breakdown_[Component::ThreadMgmt] += cost().context_switch;
       clock_ += cost().context_switch;
     }
-    if (clock_ > engine_.head_time()) {
+    if (clock_ > engine_.head_limit(id_)) {
       // Pausing before the resume: remember the switch is already paid.
       last_ran_ = t;
-      schedule_activation(clock_);
+      engine_.wake(this, clock_);
       return;
     }
     current_ = t;
@@ -304,12 +327,6 @@ void Node::run_ready_tasks() {
       case Task::Why::Ready:
         THAM_CHECK_MSG(false, "task suspended without a reason");
     }
-  }
-  // Nothing runnable. If a poller is waiting and messages are queued for
-  // the future, fast-forward by scheduling a wake at the next arrival
-  // (this is the "idle node jumps to the next event" rule in DESIGN.md).
-  if (!inbox_waiters_.empty() && !inbox_.empty()) {
-    schedule_activation(std::max(clock_, inbox_.top().arrival));
   }
 }
 
@@ -372,7 +389,8 @@ std::vector<std::string> Node::stuck_tasks() const {
   std::vector<std::string> out;
   for (const auto& t : tasks_) {
     if (!t->done() && !t->daemon_) {
-      out.push_back("node " + std::to_string(id_) + ": " + t->name());
+      out.push_back("node " + std::to_string(id_) + ": " + t->name() + " (" +
+                    why_name(static_cast<std::uint8_t>(t->why_)) + ")");
     }
   }
   return out;

@@ -139,6 +139,12 @@ class Node {
     std::uint64_t bytes_sent = 0;
     std::uint64_t msgs_recv = 0;
     std::uint64_t polls = 0;
+    /// Order-sensitive digest of this node's message deliveries: folds
+    /// (arrival, src, seq, clock at delivery) per poll_one. Two runs
+    /// dispatched the same events in the same order iff every node's
+    /// digest matches — the bit-identity witness the parallel engine's
+    /// golden and schedule-fuzz tests compare against the sequential run.
+    std::uint64_t dispatch_digest = 0;
   };
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
@@ -175,8 +181,13 @@ class Node {
   bool shutting_down() const { return shutting_down_; }
 
   // --- Inbox ----------------------------------------------------------------
-  /// Called by the network at send time with a future arrival timestamp.
+  /// Queues a message with a future arrival timestamp. Routed through
+  /// Engine::deliver so a push from another shard's worker (mid-epoch,
+  /// parallel engine) parks in the outbox instead of racing this inbox.
   void push_message(Message m);
+  /// Engine-side inbox insertion; must run on the thread owning this
+  /// node's shard (Engine::deliver / the epoch exchange phase).
+  void enqueue_message(Message m);
   /// Delivers (runs the handler of) the earliest due message, if any.
   /// Called from task context; the handler runs on the caller's stack.
   bool poll_one();
@@ -188,7 +199,12 @@ class Node {
   // --- Engine interface (not for runtime/application code) ----------------
   void on_wake(SimTime t);
   void begin_shutdown();
-  /// Names of non-daemon tasks still blocked after the event queue drained.
+  /// Monotonic per-source sequence stamped on outgoing messages by the
+  /// network; combined with the node id it breaks arrival-time ties
+  /// identically under the sequential and parallel engines.
+  std::uint64_t next_send_seq() { return send_seq_++; }
+  /// Non-daemon tasks still blocked after the event queue drained, as
+  /// "node N: name (reason)" lines (reason = the Task::Why it parked with).
   std::vector<std::string> stuck_tasks() const;
   std::size_t live_tasks() const { return tasks_.size(); }
   /// Reports terminal state (stuck tasks, undelivered messages, pool
@@ -196,11 +212,6 @@ class Node {
   void audit_terminal(check::Checker& chk) const;
 
  private:
-  /// Schedules an engine activation of this node at time t, deduplicating
-  /// against an already-pending earlier-or-equal activation (any need for a
-  /// later activation is rediscovered when the earlier one fires). Without
-  /// this, redundant wakes accumulate quadratically.
-  void schedule_activation(SimTime t);
   void run_ready_tasks();
   void wake_inbox_waiters();
   void finish_task(Task* t);
@@ -225,9 +236,9 @@ class Node {
   Task* current_ = nullptr;
   Task* last_ran_ = nullptr;
   int handler_depth_ = 0;
-  SimTime earliest_pending_wake_ = std::numeric_limits<SimTime>::max();
   bool shutting_down_ = false;
   std::uint64_t next_task_id_ = 0;
+  std::uint64_t send_seq_ = 0;
 
   MessagePool inbox_;
 };

@@ -1,0 +1,331 @@
+// Golden-result regression suite: canonical end-to-end results for the
+// paper's three applications (EM3D, Water, LU) at fixed configurations,
+// recorded in tests/golden/*.json. Every workload is replayed under BOTH
+// the sequential engine and the 4-thread parallel engine and compared
+// field-for-field against the golden record — elapsed virtual time,
+// checksum, message/thread/switch/sync counts, and the per-node dispatch
+// digest fold — so any drift in simulation semantics (or any divergence
+// between the two executors) fails loudly.
+//
+// Regenerating after an intentional semantic change:
+//
+//   ./tests/test_golden --regen
+//
+// re-runs every workload, asserts sequential == parallel, and rewrites
+// the JSON files in the source tree (THAM_GOLDEN_DIR). Commit the diff
+// together with the change that justified it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "am/am.hpp"
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/water.hpp"
+#include "ccxx/runtime.hpp"
+#include "common/hash.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace tham;
+using apps::RunResult;
+namespace em3d = apps::em3d;
+namespace water = apps::water;
+namespace lu = apps::lu;
+
+struct GoldenRecord {
+  SimTime elapsed = 0;
+  double checksum = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t thread_creates = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t sync_ops = 0;
+  std::uint64_t digest = 0;  ///< fold of per-node (now, dispatch_digest)
+
+  bool operator==(const GoldenRecord& o) const = default;
+};
+
+GoldenRecord make_record(const RunResult& r, sim::Engine& e) {
+  GoldenRecord g;
+  g.elapsed = r.elapsed;
+  g.checksum = r.checksum;
+  g.messages = r.messages;
+  g.thread_creates = r.thread_creates;
+  g.context_switches = r.context_switches;
+  g.sync_ops = r.sync_ops;
+  for (NodeId i = 0; i < e.size(); ++i) {
+    const sim::Node& n = e.node(i);
+    g.digest = hash_mix(g.digest, static_cast<std::uint64_t>(n.now()));
+    g.digest = hash_mix(g.digest, n.counters().dispatch_digest);
+  }
+  return g;
+}
+
+// --- Workload registry ------------------------------------------------------
+// Paper configurations scaled to regression-test size (same shape: 4
+// processors, same degree/block structure, fewer iterations/elements).
+
+em3d::Config em3d_cfg() {
+  em3d::Config c;
+  c.graph_nodes = 400;
+  c.degree = 10;
+  c.remote_fraction = 0.5;
+  c.iters = 3;
+  return c;
+}
+
+water::Config water_cfg() {
+  water::Config c;
+  c.molecules = 32;
+  c.steps = 2;
+  return c;
+}
+
+lu::Config lu_cfg() {
+  lu::Config c;
+  c.n = 96;
+  c.block = 8;
+  return c;
+}
+
+struct Workload {
+  const char* file;  ///< golden file stem ("em3d", "water", "lu")
+  const char* key;   ///< record key within the file
+  GoldenRecord (*run)(int threads);
+};
+
+template <class Fn>
+GoldenRecord with_machine(int threads, int procs, Fn&& body) {
+  sim::Engine engine(procs);
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  RunResult r = body(engine, net, am);
+  return make_record(r, engine);
+}
+
+template <em3d::Version V, bool Ccxx>
+GoldenRecord run_em3d(int threads) {
+  em3d::Config cfg = em3d_cfg();
+  return with_machine(threads, cfg.procs,
+                      [&](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+                        if constexpr (Ccxx) {
+                          ccxx::Runtime rt(e, n, a);
+                          return em3d::run_ccxx(rt, cfg, V);
+                        } else {
+                          return em3d::run_splitc(e, n, a, cfg, V);
+                        }
+                      });
+}
+
+template <water::Version V, bool Ccxx>
+GoldenRecord run_water(int threads) {
+  water::Config cfg = water_cfg();
+  return with_machine(threads, cfg.procs,
+                      [&](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+                        if constexpr (Ccxx) {
+                          ccxx::Runtime rt(e, n, a);
+                          return water::run_ccxx(rt, cfg, V);
+                        } else {
+                          return water::run_splitc(e, n, a, cfg, V);
+                        }
+                      });
+}
+
+template <bool Ccxx>
+GoldenRecord run_lu(int threads) {
+  lu::Config cfg = lu_cfg();
+  return with_machine(threads, cfg.procs,
+                      [&](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+                        if constexpr (Ccxx) {
+                          ccxx::Runtime rt(e, n, a);
+                          return lu::run_ccxx(rt, cfg);
+                        } else {
+                          return lu::run_splitc(e, n, a, cfg);
+                        }
+                      });
+}
+
+const std::vector<Workload>& workloads() {
+  static const std::vector<Workload> w = {
+      {"em3d", "em3d-base-splitc", run_em3d<em3d::Version::Base, false>},
+      {"em3d", "em3d-base-ccxx", run_em3d<em3d::Version::Base, true>},
+      {"em3d", "em3d-ghost-splitc", run_em3d<em3d::Version::Ghost, false>},
+      {"em3d", "em3d-ghost-ccxx", run_em3d<em3d::Version::Ghost, true>},
+      {"em3d", "em3d-bulk-splitc", run_em3d<em3d::Version::Bulk, false>},
+      {"em3d", "em3d-bulk-ccxx", run_em3d<em3d::Version::Bulk, true>},
+      {"water", "water-atomic-splitc",
+       run_water<water::Version::Atomic, false>},
+      {"water", "water-atomic-ccxx", run_water<water::Version::Atomic, true>},
+      {"water", "water-prefetch-splitc",
+       run_water<water::Version::Prefetch, false>},
+      {"water", "water-prefetch-ccxx",
+       run_water<water::Version::Prefetch, true>},
+      {"lu", "lu-splitc", run_lu<false>},
+      {"lu", "lu-ccxx", run_lu<true>},
+  };
+  return w;
+}
+
+// --- Golden JSON I/O --------------------------------------------------------
+// The files are machine-written (see --regen); the reader only accepts the
+// exact shape the writer produces: one object of key -> flat field object.
+
+std::string golden_path(const std::string& stem) {
+  return std::string(THAM_GOLDEN_DIR) + "/" + stem + ".json";
+}
+
+void write_golden(const std::string& stem,
+                  const std::map<std::string, GoldenRecord>& recs) {
+  std::ofstream out(golden_path(stem));
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", golden_path(stem).c_str());
+    std::exit(1);
+  }
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, g] : recs) {
+    if (!first) out << ",\n";
+    first = false;
+    char checksum[64];
+    std::snprintf(checksum, sizeof checksum, "%.17g", g.checksum);
+    out << "  \"" << key << "\": {\n"
+        << "    \"elapsed\": " << g.elapsed << ",\n"
+        << "    \"checksum\": " << checksum << ",\n"
+        << "    \"messages\": " << g.messages << ",\n"
+        << "    \"thread_creates\": " << g.thread_creates << ",\n"
+        << "    \"context_switches\": " << g.context_switches << ",\n"
+        << "    \"sync_ops\": " << g.sync_ops << ",\n"
+        << "    \"digest\": \"" << std::hex << g.digest << std::dec
+        << "\"\n  }";
+  }
+  out << "\n}\n";
+}
+
+std::map<std::string, GoldenRecord> read_golden(const std::string& stem) {
+  std::map<std::string, GoldenRecord> recs;
+  std::ifstream in(golden_path(stem));
+  if (!in.good()) return recs;
+  std::string key;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto q1 = line.find('"');
+    if (q1 == std::string::npos) continue;
+    auto q2 = line.find('"', q1 + 1);
+    std::string name = line.substr(q1 + 1, q2 - q1 - 1);
+    auto colon = line.find(':', q2);
+    if (colon == std::string::npos) continue;
+    std::string val = line.substr(colon + 1);
+    if (val.find('{') != std::string::npos) {
+      key = name;
+      continue;
+    }
+    GoldenRecord& g = recs[key];
+    std::istringstream vs(val);
+    if (name == "elapsed") {
+      vs >> g.elapsed;
+    } else if (name == "checksum") {
+      vs >> g.checksum;
+    } else if (name == "messages") {
+      vs >> g.messages;
+    } else if (name == "thread_creates") {
+      vs >> g.thread_creates;
+    } else if (name == "context_switches") {
+      vs >> g.context_switches;
+    } else if (name == "sync_ops") {
+      vs >> g.sync_ops;
+    } else if (name == "digest") {
+      auto h1 = val.find('"');
+      auto h2 = val.find('"', h1 + 1);
+      g.digest = std::stoull(val.substr(h1 + 1, h2 - h1 - 1), nullptr, 16);
+    }
+  }
+  return recs;
+}
+
+std::string describe(const GoldenRecord& g) {
+  std::ostringstream os;
+  os << "elapsed=" << g.elapsed << " checksum=" << g.checksum
+     << " messages=" << g.messages << " creates=" << g.thread_creates
+     << " switches=" << g.context_switches << " sync=" << g.sync_ops
+     << " digest=" << std::hex << g.digest;
+  return os.str();
+}
+
+// --- Tests ------------------------------------------------------------------
+
+class Golden : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(Golden, SequentialMatchesGolden) {
+  const Workload& w = GetParam();
+  auto golden = read_golden(w.file);
+  auto it = golden.find(w.key);
+  ASSERT_NE(it, golden.end())
+      << "no golden record for " << w.key << " in " << golden_path(w.file)
+      << " — run ./tests/test_golden --regen and commit the result";
+  GoldenRecord got = w.run(1);
+  EXPECT_TRUE(got == it->second)
+      << w.key << " drifted from golden\n  golden: " << describe(it->second)
+      << "\n  got:    " << describe(got)
+      << "\nIf the change is intentional, run ./tests/test_golden --regen";
+}
+
+TEST_P(Golden, Parallel4MatchesGolden) {
+  const Workload& w = GetParam();
+  auto golden = read_golden(w.file);
+  auto it = golden.find(w.key);
+  ASSERT_NE(it, golden.end())
+      << "no golden record for " << w.key << " in " << golden_path(w.file)
+      << " — run ./tests/test_golden --regen and commit the result";
+  GoldenRecord got = w.run(4);
+  EXPECT_TRUE(got == it->second)
+      << w.key << " under the 4-thread engine diverged from golden\n"
+      << "  golden: " << describe(it->second)
+      << "\n  got:    " << describe(got);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, Golden, ::testing::ValuesIn(workloads()),
+                         [](const auto& pinfo) {
+                           std::string n = pinfo.param.key;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") {
+      std::map<std::string, std::map<std::string, GoldenRecord>> files;
+      for (const auto& w : workloads()) {
+        GoldenRecord seq = w.run(1);
+        GoldenRecord par = w.run(4);
+        if (!(seq == par)) {
+          std::fprintf(stderr,
+                       "refusing to regen: %s differs between sequential and "
+                       "4-thread engines\n  seq: %s\n  par: %s\n",
+                       w.key, describe(seq).c_str(), describe(par).c_str());
+          return 1;
+        }
+        files[w.file][w.key] = seq;
+        std::printf("regen %-24s %s\n", w.key, describe(seq).c_str());
+      }
+      for (const auto& [stem, recs] : files) write_golden(stem, recs);
+      std::printf("golden files written to %s\n", THAM_GOLDEN_DIR);
+      return 0;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

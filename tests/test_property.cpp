@@ -4,18 +4,29 @@
 //  * determinism of complete simulations,
 //  * accounting invariants (breakdown sums, message conservation) under
 //    randomized communication workloads,
+//  * schedule fuzz: 100+ seeded random workloads (spawn/join, mutex/
+//    condvar, AM request/reply, bulk transfers, random node counts) replayed
+//    on the sequential and the parallel engine and compared bit-for-bit,
 //  * cost-model monotonicity (more work never takes less virtual time).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "apps/em3d.hpp"
 #include "apps/lu.hpp"
 #include "apps/water.hpp"
 #include "ccxx/runtime.hpp"
+#include "check/checked.hpp"
+#include "check/checker.hpp"
 #include "common/rng.hpp"
 #include "splitc/world.hpp"
+#include "threads/threads.hpp"
 
 namespace tham {
 namespace {
@@ -189,6 +200,241 @@ TEST_P(CommFuzz, AccountingAndConservationHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CommFuzz, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Schedule fuzz: the parallel engine is bit-identical to the sequential one
+// ---------------------------------------------------------------------------
+// Each seed builds a fresh random machine (2..8 nodes) and drives it with a
+// random mix of every concurrency primitive in the stack: split-c global
+// reads/writes, bulk store/get, raw AM request/reply ping-pongs, local
+// thread spawn/join, mutex and condvar handshakes, compute bursts, yields,
+// and collectively-placed barriers. The workload runs once on the
+// sequential engine and once with a parallel thread count, and every
+// per-node observable — clock, full component breakdown, every counter,
+// and the order-sensitive dispatch digest — must match exactly.
+
+struct FuzzResult {
+  std::string fingerprint;  ///< per-node clocks, breakdowns, counters, digests
+  int shards = 1;           ///< shards the run actually used
+  int procs = 0;            ///< node count the seed chose
+};
+
+FuzzResult run_schedule_fuzz(std::uint64_t seed, int threads) {
+  Rng cfg(seed * 0x9E3779B97F4A7C15ull + 17);
+  int procs = 2 + static_cast<int>(cfg.next_below(7));  // 2..8 nodes
+  Engine engine(procs);
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  splitc::World world(engine, net, am);
+
+  std::vector<std::vector<double>> mail(
+      static_cast<std::size_t>(procs), std::vector<double>(32, 0.0));
+  // AM ping-pong state. Indexed by node id: under the parallel engine each
+  // element is only ever touched by the worker that owns that node.
+  std::vector<std::uint64_t> hits(static_cast<std::size_t>(procs), 0);
+  std::vector<std::uint64_t> acks(static_cast<std::size_t>(procs), 0);
+
+  am::HandlerId pong = am.register_short(
+      "fuzz.pong", [&](sim::Node& self, am::Token, const am::Words& w) {
+        acks[static_cast<std::size_t>(self.id())] += w[0];
+      });
+  am::HandlerId ping = am.register_short(
+      "fuzz.ping", [&](sim::Node& self, am::Token tok, const am::Words& w) {
+        hits[static_cast<std::size_t>(self.id())] += 1;
+        am.reply(tok, pong, w[0]);
+      });
+
+  // As in CommFuzz: op count and barrier placement come from a stream every
+  // node shares (collectives must stay collective); op choices, targets,
+  // and values come from a per-node stream.
+  std::uint64_t base = cfg.next_u64();
+  Rng shared_src(base);
+  int ops = 16 + static_cast<int>(shared_src.next_below(24));
+  std::vector<bool> barrier_here(static_cast<std::size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    barrier_here[static_cast<std::size_t>(i)] = shared_src.next_below(6) == 0;
+  }
+
+  world.run([&] {
+    NodeId me = splitc::MYPROC();
+    Rng local(base + static_cast<std::uint64_t>(me) * 7919 + 1);
+    std::uint64_t my_pings = 0;
+    for (int i = 0; i < ops; ++i) {
+      auto dst = static_cast<NodeId>(local.next_below(
+          static_cast<std::uint64_t>(splitc::PROCS())));
+      auto slot = static_cast<std::size_t>(local.next_below(32));
+      double val = local.next_double(-8, 8);
+      splitc::global_ptr<double> gp(
+          dst, &mail[static_cast<std::size_t>(dst)][slot]);
+      switch (local.next_below(8)) {
+        case 0:
+          splitc::write(gp, val);
+          break;
+        case 1:
+          (void)splitc::read(gp);
+          break;
+        case 2:
+          splitc::store(gp, val);
+          break;
+        case 3: {
+          double tmp;
+          splitc::get(&tmp, gp);
+          splitc::sync();
+          break;
+        }
+        case 4: {  // raw AM round trip: request out, poll until the reply
+          // The network refuses sends to self; pick a strictly remote peer.
+          auto peer = static_cast<NodeId>(
+              (static_cast<std::uint64_t>(me) + 1 +
+               local.next_below(
+                   static_cast<std::uint64_t>(splitc::PROCS() - 1))) %
+              static_cast<std::uint64_t>(splitc::PROCS()));
+          my_pings += 1;
+          am.request(peer, ping, 1);
+          am.poll_until([&] {
+            return acks[static_cast<std::size_t>(me)] >= my_pings;
+          });
+          break;
+        }
+        case 5: {  // local thread fan-out under a mutex
+          threads::Mutex mu;
+          int count = 0;
+          int k = 1 + static_cast<int>(local.next_below(3));
+          std::vector<threads::Thread> ts;
+          for (int j = 0; j < k; ++j) {
+            ts.push_back(threads::spawn(
+                [&] {
+                  mu.lock();
+                  ++count;
+                  mu.unlock();
+                },
+                "fuzz-worker"));
+          }
+          for (auto& t : ts) threads::join(t);
+          break;
+        }
+        case 6: {  // condvar handshake: consumer waits, producer signals
+          threads::Mutex mu;
+          threads::CondVar cv;
+          bool ready = false;
+          threads::Thread prod = threads::spawn(
+              [&] {
+                mu.lock();
+                ready = true;
+                cv.signal();
+                mu.unlock();
+              },
+              "fuzz-producer");
+          mu.lock();
+          while (!ready) cv.wait(mu);
+          mu.unlock();
+          threads::join(prod);
+          break;
+        }
+        default:  // compute burst + cooperative yield
+          sim::this_node().advance(
+              sim::Component::Cpu,
+              static_cast<SimTime>(1 + local.next_below(200)));
+          threads::yield();
+          break;
+      }
+      if (barrier_here[static_cast<std::size_t>(i)]) splitc::barrier();
+    }
+    splitc::all_store_sync();
+  });
+
+  FuzzResult r;
+  r.shards = engine.shards_used();
+  r.procs = procs;
+  std::ostringstream os;
+  for (NodeId i = 0; i < procs; ++i) {
+    const sim::Node& n = engine.node(i);
+    const auto& c = n.counters();
+    os << "node " << i << ": now=" << n.now();
+    for (int k = 0; k < sim::kNumComponents; ++k) {
+      os << ' ' << sim::component_name(static_cast<sim::Component>(k)) << '='
+         << n.breakdown().t[static_cast<std::size_t>(k)];
+    }
+    os << " creates=" << c.thread_creates << " cs=" << c.context_switches
+       << " sync=" << c.sync_ops << " acq=" << c.lock_acquires
+       << " cont=" << c.lock_contended << " sent=" << c.msgs_sent
+       << " bytes=" << c.bytes_sent << " recv=" << c.msgs_recv
+       << " polls=" << c.polls << " digest=" << std::hex << c.dispatch_digest
+       << std::dec << '\n';
+  }
+  os << "vtime=" << engine.vtime() << " net_msgs=" << net.total_messages()
+     << " net_bytes=" << net.total_bytes() << '\n';
+  r.fingerprint = os.str();
+  return r;
+}
+
+class ScheduleFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleFuzz, ParallelEngineBitIdenticalToSequential) {
+  // Four seeds per parameter: 26 * 4 = 104 seeds total, with the requested
+  // thread count cycling over 2..8.
+  for (int k = 0; k < 4; ++k) {
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 4 +
+                         static_cast<std::uint64_t>(k);
+    int threads = 2 + static_cast<int>(seed % 7);
+    FuzzResult seq = run_schedule_fuzz(seed, 1);
+    FuzzResult par = run_schedule_fuzz(seed, threads);
+    ASSERT_EQ(seq.shards, 1) << "seed " << seed;
+    if (!check::kHooksCompiledIn) {
+      // Nothing forces these runs sequential, so the comparison must not be
+      // vacuously seq-vs-seq: the second run really sharded.
+      EXPECT_EQ(par.shards, std::min(threads, par.procs)) << "seed " << seed;
+    }
+    EXPECT_EQ(seq.fingerprint, par.fingerprint)
+        << "seed " << seed << " diverged under " << threads << " threads ("
+        << par.shards << " shards used)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz, ::testing::Range(0, 26));
+
+// A planted data race must produce the same tham-check diagnostics whether
+// the run asked for the sequential or the parallel engine. (An attached
+// checker forces the run onto the sequential executor, so "parallel" here
+// exercises exactly the fallback path a user hits with THAM_SIM_THREADS set
+// in a THAM_CHECK build — the diagnostics must not change.)
+std::vector<std::string> planted_race_diagnostics(int threads) {
+  sim::Engine e(2);
+  e.set_threads(threads);
+  if (e.checker() == nullptr) return {};
+  net::Network net(e);
+  am::AmLayer am(net);
+  checked<int> shared;
+  e.node(0).spawn(
+      [&] {
+        shared.set(1, "fuzz-shared");
+        sim::this_node().yield();
+        shared.set(2, "fuzz-shared");
+      },
+      "racy-writer");
+  e.node(0).spawn([&] { (void)shared.get("fuzz-shared"); }, "racy-reader");
+  e.node(1).spawn([&] { sim::this_node().yield(); }, "bystander");
+  e.run();
+  std::vector<std::string> out;
+  for (const auto& d : e.checker()->diagnostics()) {
+    std::ostringstream os;
+    os << static_cast<int>(d.kind) << " node=" << d.node << " task='"
+       << d.task_name << "' vtime=" << d.vtime << " " << d.message;
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+TEST(ScheduleFuzzCheck, PlantedRaceDiagnosticsIdenticalOnBothEngines) {
+  if (!check::kHooksCompiledIn) {
+    GTEST_SKIP() << "runtime built with THAM_CHECK=OFF";
+  }
+  std::vector<std::string> seq = planted_race_diagnostics(1);
+  std::vector<std::string> par = planted_race_diagnostics(4);
+  ASSERT_FALSE(seq.empty()) << "checker reported nothing for a planted race";
+  EXPECT_EQ(seq, par);
+}
 
 // ---------------------------------------------------------------------------
 // Cost-model monotonicity

@@ -382,6 +382,82 @@ TEST(Engine, DeadlockIsDetected) {
   EXPECT_NE(e.stuck_tasks()[0].find("stuck-forever"), std::string::npos);
 }
 
+TEST(Engine, ParallelRunShardsAcrossRequestedThreads) {
+  Engine e(4);
+  e.set_threads(8);  // clamped to the node count
+  for (NodeId i = 0; i < 4; ++i) {
+    e.node(i).spawn([] { this_node().advance(usec(1)); }, "t");
+  }
+  e.run();
+  // In THAM_CHECK builds an auto-attached checker forces the run onto the
+  // sequential executor; otherwise all four shards are used.
+  EXPECT_EQ(e.shards_used(), e.checker() != nullptr ? 1 : 4);
+}
+
+TEST(Engine, ZeroLookaheadForcesSequentialExecutor) {
+  CostModel cm = sp2_cost_model();
+  cm.am_wire_latency = 0;
+  cm.nx_tcp_latency = 0;
+  Engine e(4, cm);
+  e.set_threads(4);
+  for (NodeId i = 0; i < 4; ++i) {
+    e.node(i).spawn([] { this_node().advance(usec(1)); }, "t");
+  }
+  e.run();
+  EXPECT_EQ(e.shards_used(), 1);
+}
+
+TEST(Engine, RequireSequentialForcesSequentialExecutor) {
+  Engine e(4);
+  e.set_threads(4);
+  e.require_sequential("test asked for it");
+  for (NodeId i = 0; i < 4; ++i) {
+    e.node(i).spawn([] { this_node().advance(usec(1)); }, "t");
+  }
+  e.run();
+  EXPECT_EQ(e.shards_used(), 1);
+}
+
+TEST(Engine, DeadlockReportNamesEveryTaskAndBlockReason) {
+  Engine e(2);
+  e.allow_deadlock(true);
+  // Tasks parked on a sync object stay Blocked through shutdown (an
+  // InboxWait task is released with `false` at shutdown, so it is not a
+  // deadlock unless it then blocks again).
+  e.node(0).spawn([&] { e.node(0).block(); }, "waiter-a");
+  e.node(1).spawn(
+      [&] {
+        (void)e.node(1).wait_for_inbox();
+        e.node(1).block();
+      },
+      "waiter-b");
+  e.run();
+  EXPECT_TRUE(e.deadlocked());
+  ASSERT_EQ(e.stuck_tasks().size(), 2u);
+  EXPECT_NE(e.stuck_tasks()[0].find("node 0: waiter-a (Blocked)"),
+            std::string::npos)
+      << e.stuck_tasks()[0];
+  EXPECT_NE(e.stuck_tasks()[1].find("node 1: waiter-b (Blocked)"),
+            std::string::npos)
+      << e.stuck_tasks()[1];
+}
+
+using EngineDeathTest = ::testing::Test;
+
+TEST(EngineDeathTest, DeadlockAbortListsStuckTasksWithReasons) {
+  // Without allow_deadlock(true) the run aborts, and the abort message must
+  // be enough to debug from: the count, every task name, and its reason.
+  auto deadlock = [] {
+    Engine e(2);
+    e.node(0).spawn([&] { e.node(0).block(); }, "waiter-a");
+    e.node(1).spawn([&] { e.node(1).block(); }, "waiter-b");
+    e.run();
+  };
+  EXPECT_DEATH(deadlock(), "deadlock: 2 task\\(s\\) never finished");
+  EXPECT_DEATH(deadlock(), "stuck: node 0: waiter-a \\(Blocked\\)");
+  EXPECT_DEATH(deadlock(), "stuck: node 1: waiter-b \\(Blocked\\)");
+}
+
 TEST(Engine, DaemonsAreNotDeadlocks) {
   Engine e(1);
   Node& n = e.node(0);
