@@ -24,12 +24,14 @@
 #include <vector>
 
 #include "am/am.hpp"
+#include "json_out.hpp"
 #include "ccxx/serial.hpp"
 #include "common/alloc_count.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "sim/fiber.hpp"
 #include "threads/threads.hpp"
+#include "transport/transport.hpp"
 
 namespace tham {
 namespace {
@@ -110,12 +112,13 @@ void BM_MultiNodeFanIn(benchmark::State& state) {
     state.PauseTiming();
     auto e = std::make_unique<sim::Engine>(senders + 1);
     auto net = std::make_unique<net::Network>(*e);
+    auto ch = std::make_unique<transport::Channel>(*net);
     for (NodeId i = 1; i <= senders; ++i) {
       e->node(i).spawn(
-          [&net, per_sender] {
+          [&ch, per_sender] {
             sim::Node& n = sim::this_node();
             for (int k = 0; k < per_sender; ++k) {
-              net->send(n, 0, net::Wire::AmShort, 0, [](sim::Node&) {});
+              ch->send(n, 0, net::Wire::AmShort, 0, [](sim::Node&) {});
               n.advance(usec(1));
             }
           },
@@ -133,6 +136,7 @@ void BM_MultiNodeFanIn(benchmark::State& state) {
     state.ResumeTiming();
     e->run();
     state.PauseTiming();
+    ch.reset();
     net.reset();
     e.reset();
     state.ResumeTiming();
@@ -149,12 +153,13 @@ void BM_MultiNodeFanOut(benchmark::State& state) {
     state.PauseTiming();
     auto e = std::make_unique<sim::Engine>(receivers + 1);
     auto net = std::make_unique<net::Network>(*e);
+    auto ch = std::make_unique<transport::Channel>(*net);
     e->node(0).spawn(
-        [&net, receivers, total] {
+        [&ch, receivers, total] {
           sim::Node& n = sim::this_node();
           for (int k = 0; k < total; ++k) {
             NodeId dst = 1 + static_cast<NodeId>(k % receivers);
-            net->send(n, dst, net::Wire::AmShort, 0, [](sim::Node&) {});
+            ch->send(n, dst, net::Wire::AmShort, 0, [](sim::Node&) {});
             n.advance(usec(1));
           }
         },
@@ -173,6 +178,7 @@ void BM_MultiNodeFanOut(benchmark::State& state) {
     state.ResumeTiming();
     e->run();
     state.PauseTiming();
+    ch.reset();
     net.reset();
     e.reset();
     state.ResumeTiming();
@@ -330,12 +336,13 @@ HostperfResult run_fan_in(int senders, int per_sender) {
   sim::Engine e(senders + 1);
   e.set_threads(g_sim_threads);
   net::Network net(e);
+  transport::Channel ch(net);
   for (NodeId i = 1; i <= senders; ++i) {
     e.node(i).spawn(
-        [&net, per_sender] {
+        [&ch, per_sender] {
           sim::Node& n = sim::this_node();
           for (int k = 0; k < per_sender; ++k) {
-            net.send(n, 0, net::Wire::AmShort, 0, [](sim::Node&) {});
+            ch.send(n, 0, net::Wire::AmShort, 0, [](sim::Node&) {});
             n.advance(usec(1));
           }
         },
@@ -364,12 +371,13 @@ HostperfResult run_fan_out(int receivers, int total) {
   sim::Engine e(receivers + 1);
   e.set_threads(g_sim_threads);
   net::Network net(e);
+  transport::Channel ch(net);
   e.node(0).spawn(
-      [&net, receivers, total] {
+      [&ch, receivers, total] {
         sim::Node& n = sim::this_node();
         for (int k = 0; k < total; ++k) {
           NodeId dst = 1 + static_cast<NodeId>(k % receivers);
-          net.send(n, dst, net::Wire::AmShort, 0, [](sim::Node&) {});
+          ch.send(n, dst, net::Wire::AmShort, 0, [](sim::Node&) {});
           n.advance(usec(1));
         }
       },
@@ -466,38 +474,44 @@ int run_json(const std::string& path, bool smoke) {
     std::fprintf(stderr, "bench_hostperf: cannot write %s\n", path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"schema\": \"tham-hostperf-v1\",\n");
-  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
-  std::fprintf(f, "  \"sim_threads\": %d,\n", g_sim_threads);
+  {
+    bench::JsonWriter w(f);
+    w.begin_object();
+    w.field("schema", "tham-hostperf-v1");
+    w.machine_field(default_cost_model());
+    w.field("smoke", smoke);
+    w.field("sim_threads", g_sim_threads);
 #if defined(THAM_FIBER_FAST_SWITCH)
-  std::fprintf(f, "  \"fiber_fast_switch\": true,\n");
+    w.field("fiber_fast_switch", true);
 #else
-  std::fprintf(f, "  \"fiber_fast_switch\": false,\n");
+    w.field("fiber_fast_switch", false);
 #endif
-  std::fprintf(f, "  \"alloc_counting\": %s,\n", counting ? "true" : "false");
-  std::fprintf(f, "  \"benchmarks\": [\n");
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const HostperfResult& r = results[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"nodes\": %d, \"messages\": %llu, "
-                 "\"seconds\": %.6f, \"events_per_sec\": %.1f, "
-                 "\"switches_per_sec\": %.1f, \"allocs_per_message\": ",
-                 r.name, r.nodes, static_cast<unsigned long long>(r.messages),
-                 r.seconds, r.events_per_sec, r.switches_per_sec);
-    if (r.allocs_per_message < 0) {
-      std::fprintf(f, "null}");
-    } else {
-      std::fprintf(f, "%.4f}", r.allocs_per_message);
+    w.field("alloc_counting", counting);
+    w.begin_array("benchmarks");
+    for (const HostperfResult& r : results) {
+      w.begin_object(nullptr, /*inline_scope=*/true);
+      w.field("name", r.name);
+      w.field("nodes", r.nodes);
+      w.field("messages", r.messages);
+      w.field("seconds", r.seconds, 6);
+      w.field("events_per_sec", r.events_per_sec, 1);
+      w.field("switches_per_sec", r.switches_per_sec, 1);
+      if (r.allocs_per_message < 0) {
+        w.null_field("allocs_per_message");
+      } else {
+        w.field("allocs_per_message", r.allocs_per_message, 4);
+      }
+      w.end_object();
+      std::printf("%-16s %10.0f events/s  %10.0f switches/s", r.name,
+                  r.events_per_sec, r.switches_per_sec);
+      if (r.allocs_per_message >= 0) {
+        std::printf("  %.4f allocs/msg", r.allocs_per_message);
+      }
+      std::printf("\n");
     }
-    std::fprintf(f, "%s\n", i + 1 < results.size() ? "," : "");
-    std::printf("%-16s %10.0f events/s  %10.0f switches/s", r.name,
-                r.events_per_sec, r.switches_per_sec);
-    if (r.allocs_per_message >= 0) {
-      std::printf("  %.4f allocs/msg", r.allocs_per_message);
-    }
-    std::printf("\n");
+    w.end_array();
+    w.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
   return 0;

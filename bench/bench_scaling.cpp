@@ -25,6 +25,7 @@
 
 #include "am/am.hpp"
 #include "apps/em3d.hpp"
+#include "json_out.hpp"
 #include "apps/water.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -149,24 +150,23 @@ int host_scaling(int threads, bool json, const std::string& json_path) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    std::fprintf(f,
-                 "{\n"
-                 "  \"schema\": \"tham-scaling-v1\",\n"
-                 "  \"workload\": \"em3d-ghost weak scaling\",\n"
-                 "  \"sim_nodes\": 64,\n"
-                 "  \"host_cpus\": %u,\n"
-                 "  \"threads\": %d,\n"
-                 "  \"seconds_sequential\": %.6f,\n"
-                 "  \"seconds_parallel\": %.6f,\n"
-                 "  \"speedup\": %.4f,\n"
-                 "  \"bit_identical\": %s,\n"
-                 "  \"vtime_ns\": %lld,\n"
-                 "  \"messages\": %llu\n"
-                 "}\n",
-                 host_cpus, threads, seq.seconds, par.seconds, speedup,
-                 bit ? "true" : "false",
-                 static_cast<long long>(seq.result.elapsed),
-                 static_cast<unsigned long long>(seq.result.messages));
+    {
+      bench::JsonWriter w(f);
+      w.begin_object();
+      w.field("schema", "tham-scaling-v1");
+      w.machine_field(default_cost_model());
+      w.field("workload", "em3d-ghost weak scaling");
+      w.field("sim_nodes", 64);
+      w.field("host_cpus", host_cpus);
+      w.field("threads", threads);
+      w.field("seconds_sequential", seq.seconds, 6);
+      w.field("seconds_parallel", par.seconds, 6);
+      w.field("speedup", speedup, 4);
+      w.field("bit_identical", bit);
+      w.field("vtime_ns", static_cast<long long>(seq.result.elapsed));
+      w.field("messages", seq.result.messages);
+      w.end_object();
+    }
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

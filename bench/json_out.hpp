@@ -1,0 +1,147 @@
+#pragma once
+// One JSON emitter for every benchmark driver that writes machine-readable
+// results (bench_hostperf, bench_scaling). The hand-rolled fprintf blocks
+// in each driver had already drifted apart in quoting and comma handling;
+// this keeps those rules in one place.
+//
+// The writer is deliberately tiny: objects and arrays nest, the scalar
+// overloads cover exactly the types the benches emit, and row objects can
+// be rendered inline (one line per row) so committed BENCH_*.json diffs
+// stay readable. Every bench header records the active machine profile via
+// machine_field() so a result file is self-describing: a modern-cluster
+// run can never be mistaken for an SP-2 calibration run.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/cost_model.hpp"
+
+namespace tham::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::FILE* f) : f_(f) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  /// Opens `{`. With `inline_scope` the object's members are rendered on
+  /// one line (", "-separated) — the shape used for per-benchmark rows.
+  void begin_object(const char* key = nullptr, bool inline_scope = false) {
+    prefix(key);
+    std::fputc('{', f_);
+    stack_.push_back(Scope{true, inline_scope});
+  }
+  void end_object() { close('}'); }
+
+  void begin_array(const char* key = nullptr) {
+    prefix(key);
+    std::fputc('[', f_);
+    stack_.push_back(Scope{true, false});
+  }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const char* v) {
+    prefix(key);
+    write_string(v);
+  }
+  void field(const char* key, const std::string& v) { field(key, v.c_str()); }
+  void field(const char* key, bool v) {
+    prefix(key);
+    std::fputs(v ? "true" : "false", f_);
+  }
+  void field(const char* key, int v) {
+    prefix(key);
+    std::fprintf(f_, "%d", v);
+  }
+  void field(const char* key, unsigned v) {
+    prefix(key);
+    std::fprintf(f_, "%u", v);
+  }
+  void field(const char* key, long long v) {
+    prefix(key);
+    std::fprintf(f_, "%lld", v);
+  }
+  void field(const char* key, std::uint64_t v) {
+    prefix(key);
+    std::fprintf(f_, "%llu", static_cast<unsigned long long>(v));
+  }
+  /// Doubles carry an explicit precision: benches choose how many digits
+  /// are meaningful per metric (seconds vs. rates).
+  void field(const char* key, double v, int digits) {
+    prefix(key);
+    std::fprintf(f_, "%.*f", digits, v);
+  }
+  void null_field(const char* key) {
+    prefix(key);
+    std::fputs("null", f_);
+  }
+
+  /// Records which machine profile produced the numbers in this file.
+  void machine_field(const CostModel& cm) { field("machine", cm.machine); }
+
+  /// All scopes must be closed before the writer goes away.
+  ~JsonWriter() {
+    THAM_CHECK_MSG(stack_.empty(), "JsonWriter destroyed with open scopes");
+  }
+
+ private:
+  struct Scope {
+    bool first;         ///< no element written yet in this scope
+    bool inline_scope;  ///< members on one line instead of one per line
+  };
+
+  // Emits the separator/indent for the next element, then the key (if any).
+  void prefix(const char* key) {
+    if (!stack_.empty()) {
+      Scope& s = stack_.back();
+      if (!s.first) std::fputc(',', f_);
+      if (s.inline_scope) {
+        if (!s.first) std::fputc(' ', f_);
+      } else {
+        std::fputc('\n', f_);
+        indent();
+      }
+      s.first = false;
+    }
+    if (key != nullptr) {
+      write_string(key);
+      std::fputs(": ", f_);
+    }
+  }
+
+  void close(char closer) {
+    THAM_CHECK(!stack_.empty());
+    Scope done = stack_.back();
+    stack_.pop_back();
+    if (!done.inline_scope && !done.first) {
+      std::fputc('\n', f_);
+      indent();
+    }
+    std::fputc(closer, f_);
+    if (stack_.empty()) std::fputc('\n', f_);
+  }
+
+  void indent() {
+    for (std::size_t i = 0; i < stack_.size(); ++i) std::fputs("  ", f_);
+  }
+
+  // Benchmark names and profile names are identifiers, but escape the two
+  // characters that would corrupt the file if one ever slips through.
+  void write_string(const char* s) {
+    std::fputc('"', f_);
+    for (; *s != '\0'; ++s) {
+      if (*s == '"' || *s == '\\') std::fputc('\\', f_);
+      std::fputc(*s, f_);
+    }
+    std::fputc('"', f_);
+  }
+
+  std::FILE* f_;
+  std::vector<Scope> stack_;
+};
+
+}  // namespace tham::bench

@@ -3,7 +3,8 @@
 #
 #   1. tier-1:  default build + the whole ctest suite (includes the
 #      perf-smoke harness and the checker unit tests, which compile in
-#      every flavor).
+#      every flavor), then the transport conformance suite again under
+#      THAM_MACHINE=modern-cluster.
 #   2. werror:  -DTHAM_WERROR=ON build, so the warnings-as-errors gate
 #      actually builds at least once per change.
 #   3. check:   -DTHAM_CHECK=ON build + ctest. Turns on the tham-check
@@ -24,6 +25,9 @@ set -eu
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure
+# Transport conformance + app smoke under the non-default machine profile
+# (the full suite stays on sp2: the paper benches assert its calibration).
+THAM_MACHINE=modern-cluster ./build/tests/test_transport
 
 if [ "${1:-}" = "quick" ]; then
   echo "verify: OK (quick)"

@@ -9,8 +9,11 @@ namespace tham::am {
 
 using sim::Component;
 using sim::ComponentScope;
+using transport::Charge;
+using transport::Endpoint;
 
-AmLayer::AmLayer(net::Network& net) : net_(net) {
+AmLayer::AmLayer(net::Network& net) : chan_(net) {
+  handlers_.reserve(kReservedHandlers);
   // Handler 0 is reserved as "none".
   handlers_.push_back(Entry{"am.none", nullptr, nullptr});
   // Internal server for am::get: sends the requested bytes back with a bulk
@@ -30,19 +33,19 @@ AmLayer::AmLayer(net::Network& net) : net_(net) {
   // (Encoded via h==0 + w0 != 0 in deliver_bulk.)
 }
 
-HandlerId AmLayer::register_short(std::string name, ShortHandler fn) {
-  THAM_CHECK(fn != nullptr);
-  handlers_.push_back(Entry{std::move(name), std::move(fn), nullptr});
+HandlerId AmLayer::register_short(const char* name, ShortHandler fn) {
+  THAM_CHECK(static_cast<bool>(fn));
+  handlers_.push_back(Entry{name, std::move(fn), nullptr});
   return static_cast<HandlerId>(handlers_.size() - 1);
 }
 
-HandlerId AmLayer::register_bulk(std::string name, BulkHandler fn) {
-  THAM_CHECK(fn != nullptr);
-  handlers_.push_back(Entry{std::move(name), nullptr, std::move(fn)});
+HandlerId AmLayer::register_bulk(const char* name, BulkHandler fn) {
+  THAM_CHECK(static_cast<bool>(fn));
+  handlers_.push_back(Entry{name, nullptr, std::move(fn)});
   return static_cast<HandlerId>(handlers_.size() - 1);
 }
 
-const std::string& AmLayer::handler_name(HandlerId h) const {
+const char* AmLayer::handler_name(HandlerId h) const {
   return handlers_.at(h).name;
 }
 
@@ -50,10 +53,10 @@ void AmLayer::send_short(NodeId dst, HandlerId h, const Words& w) {
   sim::Node& src = sim::this_node();
   ComponentScope scope(src, Component::Net);
   Token tok{src.id()};
-  net_.send(src, dst, net::Wire::AmShort, sizeof(Words),
-            [this, tok, h, w](sim::Node& self) {
-              deliver_short(self, tok, h, w);
-            });
+  chan_.send(src, dst, net::Wire::AmShort, sizeof(Words),
+             [this, tok, h, w](sim::Node& self) {
+               deliver_short(self, tok, h, w);
+             });
   // Poll on send — but never from inside a handler (the AM discipline:
   // handlers run to completion and only reply; polling there would nest
   // handler frames unboundedly).
@@ -62,14 +65,14 @@ void AmLayer::send_short(NodeId dst, HandlerId h, const Words& w) {
 
 void AmLayer::request(NodeId dst, HandlerId h, Word w0, Word w1, Word w2,
                       Word w3, Word w4, Word w5) {
-  THAM_CHECK_MSG(handlers_.at(h).short_fn != nullptr,
+  THAM_CHECK_MSG(static_cast<bool>(handlers_.at(h).short_fn),
                  "request with a non-short handler");
   send_short(dst, h, Words{w0, w1, w2, w3, w4, w5});
 }
 
 void AmLayer::reply(const Token& tok, HandlerId h, Word w0, Word w1, Word w2,
                     Word w3, Word w4, Word w5) {
-  THAM_CHECK_MSG(handlers_.at(h).short_fn != nullptr,
+  THAM_CHECK_MSG(static_cast<bool>(handlers_.at(h).short_fn),
                  "reply with a non-short handler");
   THAM_HOOK(on_am_reply(sim::this_node().id(), tok.reply_to));
   send_short(tok.reply_to, h, Words{w0, w1, w2, w3, w4, w5});
@@ -85,17 +88,17 @@ void AmLayer::xfer(NodeId dst, void* dst_addr, const void* data,
   std::vector<std::byte> payload(len);
   if (len > 0) std::memcpy(payload.data(), data, len);
   Words w{w0, w1, w2, w3, 0, 0};
-  net_.send(src, dst, net::Wire::AmBulk, len,
-            [this, tok, h, dst_addr, payload = std::move(payload),
-             w](sim::Node& self) mutable {
-              deliver_bulk(self, tok, h, dst_addr, std::move(payload), w);
-            });
+  chan_.send(src, dst, net::Wire::AmBulk, len,
+             [this, tok, h, dst_addr, payload = std::move(payload),
+              w](sim::Node& self) mutable {
+               deliver_bulk(self, tok, h, dst_addr, std::move(payload), w);
+             });
   if (!src.in_handler()) poll();  // poll on send (see send_short)
 }
 
 void AmLayer::get(NodeId dst, const void* remote_addr, void* local_addr,
                   std::size_t len, HandlerId done, Word cookie) {
-  THAM_CHECK_MSG(handlers_.at(done).short_fn != nullptr,
+  THAM_CHECK_MSG(static_cast<bool>(handlers_.at(done).short_fn),
                  "get completion must be a short handler");
   request(dst, get_server_, to_word(remote_addr), to_word(local_addr),
           static_cast<Word>(len), static_cast<Word>(done), cookie);
@@ -104,9 +107,9 @@ void AmLayer::get(NodeId dst, const void* remote_addr, void* local_addr,
 void AmLayer::deliver_short(sim::Node& self, Token tok, HandlerId h,
                             const Words& w) {
   ComponentScope scope(self, Component::Net);
-  self.advance(cost().am_recv_overhead);
-  const Entry& e = handlers_.at(h);
-  THAM_CHECK(e.short_fn != nullptr);
+  Endpoint(self).charge(Charge::AmShortRecv);
+  Entry& e = handlers_.at(h);
+  THAM_CHECK(static_cast<bool>(e.short_fn));
   e.short_fn(self, tok, w);
 }
 
@@ -114,48 +117,27 @@ void AmLayer::deliver_bulk(sim::Node& self, Token tok, HandlerId h,
                            void* dst_addr, std::vector<std::byte> payload,
                            const Words& w) {
   ComponentScope scope(self, Component::Net);
-  self.advance(cost().am_recv_overhead + cost().am_bulk_startup_recv);
+  Endpoint(self).charge(Charge::AmBulkRecv);
   if (!payload.empty()) std::memcpy(dst_addr, payload.data(), payload.size());
   if (h != 0) {
-    const Entry& e = handlers_.at(h);
-    THAM_CHECK(e.bulk_fn != nullptr);
+    Entry& e = handlers_.at(h);
+    THAM_CHECK(static_cast<bool>(e.bulk_fn));
     e.bulk_fn(self, tok, dst_addr, payload.size(), w);
   } else if (w[0] != 0) {
     // Completion of an am::get: w[0] = done handler id, w[1] = cookie.
     auto done = static_cast<HandlerId>(w[0]);
-    const Entry& e = handlers_.at(done);
-    THAM_CHECK(e.short_fn != nullptr);
+    Entry& e = handlers_.at(done);
+    THAM_CHECK(static_cast<bool>(e.short_fn));
     e.short_fn(self, tok,
                Words{to_word(dst_addr), static_cast<Word>(payload.size()),
                      w[1], 0, 0, 0});
   }
 }
 
-int AmLayer::poll() {
-  sim::Node& n = sim::this_node();
-  ComponentScope scope(n, Component::Net);
-  ++n.counters().polls;
-  n.advance(cost().am_poll_empty);
-  int delivered = 0;
-  while (n.inbox_due()) {
-    n.advance(cost().am_poll_found);
-    n.poll_one();
-    ++delivered;
-  }
-  return delivered;
-}
+int AmLayer::poll() { return Endpoint::current().poll(); }
 
 void AmLayer::poll_until(const std::function<bool()>& pred) {
-  sim::Node& n = sim::this_node();
-  ComponentScope scope(n, Component::Net);
-  while (!pred()) {
-    poll();
-    if (pred()) break;
-    if (!n.inbox_due()) {
-      if (!n.wait_for_inbox()) break;  // shutdown
-    }
-  }
-  THAM_CHECK_MSG(pred(), "poll_until aborted by shutdown before completion");
+  Endpoint::current().poll_until(pred);
 }
 
 }  // namespace tham::am

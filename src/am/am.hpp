@@ -8,17 +8,22 @@
 // Message reception is polling-based: every send polls the inbox (the
 // paper: "message reception is based on polling that occurs on a node every
 // time a message is sent"), and runtimes poll explicitly in wait loops.
+//
+// This layer is a thin protocol backend over transport::Channel /
+// transport::Endpoint: it contributes the AM envelope (handler id + 6
+// words), the handler tables, and the AM cost charges; the poll/drain
+// machinery and all CostModel reads live in src/transport.
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <string>
 #include <vector>
 
 #include "common/types.hpp"
-#include "net/network.hpp"
+#include "sim/inline_handler.hpp"
 #include "sim/node.hpp"
+#include "transport/transport.hpp"
 
 namespace tham::am {
 
@@ -35,18 +40,26 @@ struct Token {
   NodeId reply_to = kInvalidNode;
 };
 
-/// Runs at the receiver for 4-word messages.
-using ShortHandler = std::function<void(sim::Node& self, Token, const Words&)>;
+/// Runs at the receiver for 4-word messages. Stored inline in the handler
+/// table (sim::InlineFn): registration and dispatch never touch the heap.
+using ShortHandler =
+    sim::InlineFn<void(sim::Node& self, Token, const Words&)>;
 /// Runs at the receiver after a bulk payload has been deposited at `addr`.
-using BulkHandler = std::function<void(sim::Node& self, Token, void* addr,
+using BulkHandler = sim::InlineFn<void(sim::Node& self, Token, void* addr,
                                        std::size_t len, const Words&)>;
 
 /// Casts between pointers and AM words (one address space per simulated
 /// node, but one *process* overall, so addresses are exchangeable — exactly
 /// as on the SP where every node ran the same binary image).
-inline Word to_word(const void* p) { return reinterpret_cast<Word>(p); }
+static_assert(sizeof(Word) >= sizeof(std::uintptr_t),
+              "AM words must be able to carry a host pointer");
+inline Word to_word(const void* p) {
+  return static_cast<Word>(reinterpret_cast<std::uintptr_t>(p));
+}
 template <typename T>
-T* to_ptr(Word w) { return reinterpret_cast<T*>(w); }
+T* to_ptr(Word w) {
+  return reinterpret_cast<T*>(static_cast<std::uintptr_t>(w));
+}
 
 class AmLayer {
  public:
@@ -56,9 +69,11 @@ class AmLayer {
   AmLayer& operator=(const AmLayer&) = delete;
 
   /// Registers a handler (same table on every node: single program image).
-  HandlerId register_short(std::string name, ShortHandler fn);
-  HandlerId register_bulk(std::string name, BulkHandler fn);
-  const std::string& handler_name(HandlerId h) const;
+  /// `name` must outlive the layer — in practice a string literal, as on a
+  /// real AM layer where handler tables are static program structure.
+  HandlerId register_short(const char* name, ShortHandler fn);
+  HandlerId register_bulk(const char* name, BulkHandler fn);
+  const char* handler_name(HandlerId h) const;
 
   // --- Sending (all send from the current task's node, poll on send) ------
   /// Short request; `h` must be a short handler.
@@ -84,22 +99,27 @@ class AmLayer {
   /// empty. The standard split-phase completion wait.
   void poll_until(const std::function<bool()>& pred);
 
-  net::Network& network() { return net_; }
-  const CostModel& cost() const { return net_.engine().cost(); }
+  transport::Channel& channel() { return chan_; }
+  net::Network& network() { return chan_.network(); }
+  const CostModel& cost() const { return chan_.cost(); }
 
  private:
   struct Entry {
-    std::string name;
+    const char* name;
     ShortHandler short_fn;
     BulkHandler bulk_fn;
   };
+
+  /// Handler-table slots reserved up front so steady-state registration
+  /// never reallocates (the runtimes register ~35 handlers combined).
+  static constexpr std::size_t kReservedHandlers = 64;
 
   void send_short(NodeId dst, HandlerId h, const Words& w);
   void deliver_short(sim::Node& self, Token tok, HandlerId h, const Words& w);
   void deliver_bulk(sim::Node& self, Token tok, HandlerId h, void* dst_addr,
                     std::vector<std::byte> payload, const Words& w);
 
-  net::Network& net_;
+  transport::Channel chan_;
   std::vector<Entry> handlers_;
   HandlerId get_server_ = 0;  ///< internal handler servicing am::get
 };

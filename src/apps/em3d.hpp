@@ -88,8 +88,8 @@ RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version);
 
 /// Convenience: build a fresh machine with `cm`, run, and collect.
 RunResult run_splitc(const Config& cfg, Version v,
-                     const CostModel& cm = sp2_cost_model());
+                     const CostModel& cm = default_cost_model());
 RunResult run_ccxx(const Config& cfg, Version v,
-                   const CostModel& cm = sp2_cost_model());
+                   const CostModel& cm = default_cost_model());
 
 }  // namespace tham::apps::em3d

@@ -54,7 +54,8 @@ RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
 RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg);
 
 RunResult run_splitc(const Config& cfg,
-                     const CostModel& cm = sp2_cost_model());
-RunResult run_ccxx(const Config& cfg, const CostModel& cm = sp2_cost_model());
+                     const CostModel& cm = default_cost_model());
+RunResult run_ccxx(const Config& cfg,
+                   const CostModel& cm = default_cost_model());
 
 }  // namespace tham::apps::lu

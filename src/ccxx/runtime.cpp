@@ -333,10 +333,10 @@ void Runtime::start_pollers() {
   for (int i = 0; i < engine_.size(); ++i) {
     engine_.node(i).spawn(
         [this] {
-          sim::Node& n = sim::this_node();
-          ComponentScope scope(n, Component::Net);
-          while (!n.shutting_down()) {
-            if (!n.wait_for_inbox(/*poll_only=*/true)) break;
+          transport::Endpoint ep = transport::Endpoint::current();
+          ComponentScope scope(ep.node(), Component::Net);
+          while (!ep.node().shutting_down()) {
+            if (!ep.wait(/*poll_only=*/true)) break;
             am_.poll();
           }
         },

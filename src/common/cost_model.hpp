@@ -22,7 +22,13 @@
 namespace tham {
 
 struct CostModel {
-  // --- Interconnect / Active Messages (src/net, src/am) ------------------
+  /// Name of the machine profile this model was built from ("sp2",
+  /// "nexus", "modern-cluster", ...; see common/machine.hpp). Purely
+  /// descriptive: reported in bench JSON headers and diagnostics, never
+  /// read for charges. Hand-perturbed copies keep the base name.
+  const char* machine = "sp2";
+
+  // --- Interconnect / Active Messages (src/net, src/transport) -----------
   // One-way short message: o_send + wire_latency + o_recv = 26.5 us,
   // round-trip 53 us, matching the Split-C "0-Word Atomic" AM column.
   SimTime am_send_overhead = usec(3.0);   ///< sender CPU per short message
@@ -140,6 +146,7 @@ inline const CostModel& sp2_cost_model() {
 /// application-level gaps.
 inline CostModel nexus_cost_model() {
   CostModel m;  // start from the SP2 calibration
+  m.machine = "nexus";
   // Transport: every message rides the kernel TCP path instead of
   // user-level AM.
   m.am_send_overhead = m.nx_tcp_send;

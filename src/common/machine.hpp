@@ -1,0 +1,174 @@
+#pragma once
+// Named machine profiles: the registry behind THAM_MACHINE and
+// Engine::set_machine().
+//
+// The SP2 calibration in cost_model.hpp is one *profile* of the simulated
+// machine, not the machine itself: the transport layer and the runtimes
+// charge named costs, and a profile binds those names to numbers. Selecting
+// a profile swaps the whole cost structure at engine construction without
+// touching any layer — which is what lets the same AM/MPL/Nexus stack
+// answer "what would these runtimes cost on a different interconnect?"
+//
+// Profiles:
+//   * "sp2"            — the paper's IBM RS/6000 SP calibration (default).
+//   * "sp2-interrupt"  — the SP with interrupt-driven message reception
+//                        instead of polling (the D3 ablation as a machine:
+//                        every delivery pays the kernel->user upcall).
+//   * "nexus"          — CC++ v0.4 / Nexus v3.0 over TCP on the SP switch
+//                        (the paper's Section 6 comparison machine).
+//   * "modern-cluster" — a synthetic LogGP profile of a commodity cluster
+//                        with user-level NIC access: sub-microsecond
+//                        overheads, ~1.5 us wire latency, ~10 GB/s links,
+//                        cheap threads. Not calibrated against the paper;
+//                        exists so experiments can ask how the AM-vs-MPMD
+//                        gap shifts when the network is no longer the
+//                        bottleneck.
+//
+// Selection: THAM_MACHINE=<name> picks the default profile every Engine is
+// born with; Engine::set_machine(name) overrides per engine before run().
+// Unknown names abort with the list of known profiles — a typo must not
+// silently measure the SP2.
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/cost_model.hpp"
+
+namespace tham {
+
+/// The SP with interrupt-driven reception: reuses the D3 ablation shape —
+/// polling is disabled and every message delivery pays the software
+/// interrupt on top of the normal dispatch cost.
+inline CostModel sp2_interrupt_cost_model() {
+  CostModel m;
+  m.machine = "sp2-interrupt";
+  m.am_recv_overhead += m.software_interrupt;
+  m.cc_polling = false;
+  return m;
+}
+
+/// A synthetic mid-2010s commodity cluster with user-level network access
+/// (LogGP: o ~ 0.5 us, L ~ 1.5 us, G ~ 0.1 ns/B). Software costs shrink
+/// roughly with a 25x faster CPU; kernel TCP stays two orders of magnitude
+/// above user-level injection, just as on the SP. The wire latency keeps
+/// the parallel engine's lookahead positive.
+inline CostModel modern_cluster_cost_model() {
+  CostModel m;
+  m.machine = "modern-cluster";
+  // Interconnect / Active Messages: user-level NIC injection.
+  m.am_send_overhead = usec(0.4);
+  m.am_wire_latency = usec(1.5);
+  m.am_recv_overhead = usec(0.5);
+  m.am_bulk_startup_send = usec(0.8);
+  m.am_bulk_startup_recv = usec(0.8);
+  m.am_per_byte = usec(0.0001);  // ~10 GB/s
+  m.am_poll_empty = usec(0.05);
+  m.am_poll_found = usec(0.03);
+  m.software_interrupt = usec(4.0);
+  // Two-sided messaging: MPI-class matching on the same link.
+  m.mpl_send_overhead = usec(1.0);
+  m.mpl_recv_overhead = usec(1.5);
+  m.mpl_per_byte = usec(0.0002);
+  // Threads: lightweight user-level package on a fast core.
+  m.thread_create = usec(1.0);
+  m.context_switch = usec(0.8);
+  m.sync_op = usec(0.05);
+  // Memory.
+  m.memcpy_per_byte = usec(0.0003);
+  m.mem_word_touch = usec(0.01);
+  // Split-C runtime software path, scaled with CPU speed.
+  m.sc_issue = usec(0.05);
+  m.sc_handler = usec(0.03);
+  m.sc_complete = usec(0.04);
+  m.sc_local_access = usec(0.005);
+  m.sc_barrier_fan = usec(0.06);
+  // CC++ runtime software path.
+  m.cc_stub_lookup = usec(0.12);
+  m.cc_stub_install = usec(0.16);
+  m.cc_dispatch = usec(0.08);
+  m.cc_reply_handling = usec(0.06);
+  m.cc_marshal_fixed = usec(0.02);
+  m.cc_local_gp = usec(0.11);
+  m.cc_buffer_alloc = usec(0.14);
+  m.cc_sync_var = usec(0.03);
+  // Kernel TCP path (still present for the Nexus configuration).
+  m.nx_tcp_send = usec(5.0);
+  m.nx_tcp_recv = usec(6.0);
+  m.nx_tcp_latency = usec(15.0);
+  m.nx_per_byte = usec(0.0008);
+  m.nx_interrupt = usec(4.0);
+  m.nx_buffer_alloc = usec(0.3);
+  m.nx_name_resolve = usec(0.25);
+  m.nx_thread_create = usec(12.0);
+  m.nx_context_switch = usec(2.0);
+  m.nx_sync_op = usec(0.1);
+  // Application compute: ~1 GFLOP/s scalar.
+  m.flop = 1;
+  return m;
+}
+
+/// One registry entry: a name, a one-line summary (printed in diagnostics
+/// and docs), and a factory for the profile's CostModel.
+struct MachineProfile {
+  const char* name;
+  const char* summary;
+  CostModel (*make)();
+};
+
+inline const std::vector<MachineProfile>& machine_profiles() {
+  static const std::vector<MachineProfile> profiles = {
+      {"sp2", "IBM RS/6000 SP, AIX 3.2.5 — the paper's calibration",
+       [] { return sp2_cost_model(); }},
+      {"sp2-interrupt",
+       "SP with interrupt-driven reception instead of polling (D3 as a "
+       "machine)",
+       [] { return sp2_interrupt_cost_model(); }},
+      {"nexus",
+       "CC++ v0.4 / Nexus v3.0: TCP over the SP switch, interrupts, "
+       "heavy threads",
+       [] { return nexus_cost_model(); }},
+      {"modern-cluster",
+       "synthetic LogGP commodity cluster: sub-us overheads, 1.5 us "
+       "latency, 10 GB/s",
+       [] { return modern_cluster_cost_model(); }},
+  };
+  return profiles;
+}
+
+/// Looks a profile up by name; nullptr when unknown.
+inline const MachineProfile* find_machine(std::string_view name) {
+  for (const MachineProfile& p : machine_profiles()) {
+    if (name == p.name) return &p;
+  }
+  return nullptr;
+}
+
+/// Builds the named profile's cost model; aborts (listing the known names)
+/// on an unknown name so a typo cannot silently measure the SP2.
+inline CostModel make_machine(std::string_view name) {
+  const MachineProfile* p = find_machine(name);
+  if (p == nullptr) {
+    std::string known;
+    for (const MachineProfile& k : machine_profiles()) {
+      known += known.empty() ? "" : ", ";
+      known += k.name;
+    }
+    THAM_REQUIRE(false, "unknown machine profile \"" + std::string(name) +
+                            "\" (known: " + known + ")");
+  }
+  return p->make();
+}
+
+/// The cost model every Engine is born with: the profile named by
+/// THAM_MACHINE, or "sp2" when unset. Re-read on every call so tests can
+/// vary the variable between engine constructions.
+inline CostModel default_cost_model() {
+  const char* name = std::getenv("THAM_MACHINE");
+  if (name == nullptr || *name == '\0') return sp2_cost_model();
+  return make_machine(name);
+}
+
+}  // namespace tham

@@ -10,7 +10,7 @@ using sim::Component;
 using sim::ComponentScope;
 
 MplLayer::MplLayer(net::Network& net)
-    : net_(net), state_(static_cast<std::size_t>(net.engine().size())) {}
+    : chan_(net), state_(static_cast<std::size_t>(net.engine().size())) {}
 
 void MplLayer::send(NodeId dst, int tag, const void* buf, std::size_t len) {
   sim::Node& src = sim::this_node();
@@ -18,25 +18,29 @@ void MplLayer::send(NodeId dst, int tag, const void* buf, std::size_t len) {
   std::vector<std::byte> data(len);
   if (len > 0) std::memcpy(data.data(), buf, len);
   NodeId from = src.id();
-  net_.send(src, dst, net::Wire::Mpl, len,
-            [this, from, tag, data = std::move(data)](sim::Node& self) {
-              // Tag matching and enqueueing happen when the receiver polls;
-              // the matching cost is charged in recv().
-              state_[static_cast<std::size_t>(self.id())].unexpected.push_back(
-                  Unexpected{from, tag, std::move(data)});
-            });
+  chan_.send(src, dst, net::Wire::Mpl, len,
+             [this, from, tag, data = std::move(data)](sim::Node& self) {
+               // Tag matching and enqueueing happen when the receiver
+               // polls; the matching cost is charged in recv().
+               state_[static_cast<std::size_t>(self.id())]
+                   .unexpected.push_back(Unexpected{from, tag,
+                                                    std::move(data)});
+             });
 }
 
 std::size_t MplLayer::recv(NodeId src, int tag, void* buf, std::size_t len) {
   sim::Node& n = sim::this_node();
   ComponentScope scope(n, Component::Net);
+  transport::Endpoint ep(n);
   auto& q = state_[static_cast<std::size_t>(n.id())].unexpected;
   for (;;) {
-    // Drain every due delivery, then look for a match.
-    while (n.inbox_due()) n.poll_one();
+    // Drain every due delivery, then look for a match. Two-sided
+    // reception charges nothing per poll; the matching cost is paid once
+    // per received message, below.
+    ep.drain_due();
     for (auto it = q.begin(); it != q.end(); ++it) {
       if (match(*it, src, tag)) {
-        n.advance(n.cost().mpl_recv_overhead);
+        ep.charge(transport::Charge::MplMatch);
         THAM_CHECK_MSG(it->data.size() <= len, "MPL recv buffer too small");
         std::size_t got = it->data.size();
         if (got > 0) std::memcpy(buf, it->data.data(), got);
@@ -44,7 +48,7 @@ std::size_t MplLayer::recv(NodeId src, int tag, void* buf, std::size_t len) {
         return got;
       }
     }
-    if (!n.wait_for_inbox()) {
+    if (!ep.wait()) {
       THAM_CHECK_MSG(false, "MPL recv aborted by shutdown");
     }
   }

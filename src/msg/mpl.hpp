@@ -4,14 +4,18 @@
 // messaging reference point in Table 4; this layer reproduces that line and
 // doubles as the "lower-level messaging system" MPMD programs could fall
 // back to (Section 1).
+//
+// A thin protocol backend over transport::Channel/Endpoint: this layer
+// contributes the (source, tag) envelope, the matching rule, and the MPL
+// charges; inbox draining and all CostModel reads live in src/transport.
 
 #include <cstddef>
 #include <deque>
 #include <vector>
 
 #include "common/types.hpp"
-#include "net/network.hpp"
 #include "sim/node.hpp"
+#include "transport/transport.hpp"
 
 namespace tham::msg {
 
@@ -61,6 +65,9 @@ class MplLayer {
   /// Completes all requests (any order of arrival).
   void wait_all(std::vector<Request*> rs);
 
+  /// This layer's transport channel (per-layer send accounting).
+  transport::Channel& channel() { return chan_; }
+
  private:
   struct Unexpected {
     NodeId src;
@@ -76,7 +83,7 @@ class MplLayer {
            (tag == kAnyTag || u.tag == tag);
   }
 
-  net::Network& net_;
+  transport::Channel chan_;
   std::vector<NodeState> state_;
 };
 

@@ -13,33 +13,10 @@ Network::Network(sim::Engine& engine)
                      static_cast<std::size_t>(engine.size())) {}
 
 void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
+                   SimTime sender_cpu, SimTime wire_time,
                    sim::InlineHandler deliver) {
   THAM_CHECK(dst >= 0 && dst < engine_.size());
   THAM_CHECK_MSG(dst != src.id(), "network send to self");
-  const CostModel& cm = engine_.cost();
-
-  SimTime sender_cpu = 0;   // charged to the sending task
-  SimTime wire_time = 0;    // latency + serialization on the wire
-  SimTime payload = static_cast<SimTime>(bytes);
-  switch (wire) {
-    case Wire::AmShort:
-      sender_cpu = cm.am_send_overhead;
-      wire_time = cm.am_wire_latency;
-      break;
-    case Wire::AmBulk:
-      sender_cpu = cm.am_send_overhead + cm.am_bulk_startup_send;
-      wire_time = cm.am_wire_latency + payload * cm.am_per_byte;
-      break;
-    case Wire::Mpl:
-      sender_cpu = cm.mpl_send_overhead;
-      wire_time = cm.am_wire_latency + payload * cm.mpl_per_byte;
-      break;
-    case Wire::Tcp:
-      sender_cpu = cm.nx_tcp_send;
-      wire_time = cm.nx_tcp_latency +
-                  (payload + cm.nx_envelope_bytes) * cm.nx_per_byte;
-      break;
-  }
 
   src.advance(sender_cpu);
 

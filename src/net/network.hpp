@@ -1,12 +1,15 @@
 #pragma once
 // The simulated interconnect: an SP-style crossbar switch connecting all
-// nodes, with a LogGP-flavoured cost model. Channels are FIFO per
-// (src, dst) pair, as on the SP high-performance switch.
+// nodes. Channels are FIFO per (src, dst) pair, as on the SP
+// high-performance switch.
 //
-// The network is protocol-agnostic: it charges the sender's CPU, computes
-// the arrival timestamp, and hands the receiving node a delivery closure.
-// The messaging layers (AM, MPL, Nexus/TCP) choose the cost class and
-// provide the closure.
+// The network is protocol- AND cost-agnostic: it charges the sender the
+// CPU time it is told to, computes the arrival timestamp from the wire
+// time it is told to, and hands the receiving node a delivery closure.
+// Pricing a message for the active machine profile is the transport
+// layer's job (transport::wire_cost); the messaging backends (AM, MPL,
+// Nexus/TCP) choose the wire class and provide the closure through
+// transport::Channel.
 
 #include <atomic>
 #include <functional>
@@ -46,12 +49,16 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Sends a message from the current task on `src` to `dst`.
-  /// Charges the sender's per-message CPU overhead under the *current*
+  /// Charges `sender_cpu` to the sending task under the *current*
   /// component scope (callers wrap with Component::Net), computes the
-  /// arrival time from latency + per-byte cost + FIFO ordering, and
-  /// enqueues the delivery closure at the destination. The closure is
-  /// stored inline (sim::InlineHandler): no heap allocation per send.
+  /// arrival time as now + `wire_time` clamped to FIFO order on the
+  /// (src, dst) channel, and enqueues the delivery closure at the
+  /// destination. The closure is stored inline (sim::InlineHandler): no
+  /// heap allocation per send. Both costs are precomputed by
+  /// transport::Channel from the machine profile — the network itself
+  /// reads no calibration constants.
   void send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
+            SimTime sender_cpu, SimTime wire_time,
             sim::InlineHandler deliver);
 
   /// Messages sent so far (all wires).

@@ -8,11 +8,12 @@ namespace tham::nexus {
 
 using sim::Component;
 using sim::ComponentScope;
+using transport::Charge;
 
-NexusLayer::NexusLayer(net::Network& net) : net_(net) {}
+NexusLayer::NexusLayer(net::Network& net) : chan_(net) {}
 
 Startpoint NexusLayer::create_endpoint(NodeId node) {
-  THAM_CHECK(node >= 0 && node < net_.engine().size());
+  THAM_CHECK(node >= 0 && node < chan_.engine().size());
   Endpoint ep;
   ep.node = node;
   endpoints_.push_back(std::move(ep));
@@ -29,14 +30,13 @@ void NexusLayer::rsr(const Startpoint& sp, const std::string& handler,
                      std::vector<std::byte> buf) {
   THAM_CHECK(sp.valid());
   sim::Node& src = sim::this_node();
-  const CostModel& cm = src.cost();
   ++rsr_count_;
 
   // Local RSR: still pays the buffer + dispatch path (Nexus did not
   // short-circuit as aggressively as ThAM).
   if (sp.node == src.id()) {
     ComponentScope scope(src, Component::Runtime);
-    src.advance(cm.nx_buffer_alloc + cm.nx_name_resolve);
+    transport::Endpoint(src).charge(Charge::TcpDispatch);
     const Endpoint& ep = endpoints_.at(sp.endpoint);
     auto it = ep.handlers.find(handler);
     THAM_REQUIRE(it != ep.handlers.end(), "RSR to unknown handler " + handler);
@@ -47,47 +47,35 @@ void NexusLayer::rsr(const Startpoint& sp, const std::string& handler,
   // The wire message carries the full handler name plus the buffer.
   {
     ComponentScope scope(src, Component::Runtime);
-    src.advance(cm.nx_buffer_alloc);  // outgoing message buffer
+    transport::Endpoint(src).charge(Charge::TcpTxBuffer);  // outgoing buffer
   }
   ComponentScope scope(src, Component::Net);
   std::uint32_t epid = sp.endpoint;
   NodeId from = src.id();
   std::size_t wire_bytes = buf.size() + handler.size();
-  net_.send(src, sp.node, net::Wire::Tcp, wire_bytes,
-            [this, epid, handler, from,
-             buf = std::move(buf)](sim::Node& self) {
-              const CostModel& c = self.cost();
-              // Interrupt-driven reception: kernel upcall + receive path.
-              {
-                ComponentScope s2(self, Component::Net);
-                self.advance(c.nx_interrupt + c.nx_tcp_recv);
-              }
-              ComponentScope s3(self, Component::Runtime);
-              // Dynamic buffer for the incoming message, then handler
-              // resolution by full name.
-              self.advance(c.nx_buffer_alloc + c.nx_name_resolve);
-              const Endpoint& ep = endpoints_.at(epid);
-              auto it = ep.handlers.find(handler);
-              THAM_REQUIRE(it != ep.handlers.end(),
-                           "RSR to unknown handler " + handler);
-              it->second(self, from, buf);
-            });
+  chan_.send(src, sp.node, net::Wire::Tcp, wire_bytes,
+             [this, epid, handler, from,
+              buf = std::move(buf)](sim::Node& self) {
+               transport::Endpoint rx(self);
+               // Interrupt-driven reception: kernel upcall + receive path.
+               {
+                 ComponentScope s2(self, Component::Net);
+                 rx.charge(Charge::TcpRecv);
+               }
+               ComponentScope s3(self, Component::Runtime);
+               // Dynamic buffer for the incoming message, then handler
+               // resolution by full name.
+               rx.charge(Charge::TcpDispatch);
+               const Endpoint& ep = endpoints_.at(epid);
+               auto it = ep.handlers.find(handler);
+               THAM_REQUIRE(it != ep.handlers.end(),
+                            "RSR to unknown handler " + handler);
+               it->second(self, from, buf);
+             });
 }
 
 void NexusLayer::start_service_threads() {
-  sim::Engine& e = net_.engine();
-  for (NodeId i = 0; i < e.size(); ++i) {
-    e.node(i).spawn(
-        [] {
-          sim::Node& n = sim::this_node();
-          sim::ComponentScope scope(n, Component::Net);
-          while (n.wait_for_inbox(/*poll_only=*/true)) {
-            while (n.poll_one()) {
-            }
-          }
-        },
-        "nexus-service", /*daemon=*/true);
-  }
+  transport::start_service_daemons(chan_.engine(), "nexus-service");
 }
 
 }  // namespace tham::nexus

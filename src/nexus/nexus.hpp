@@ -20,6 +20,10 @@
 // (The "CC++ on Nexus" application measurements use nexus_cost_model() with
 // the regular CC++ runtime — same RMI semantics, this cost structure; see
 // DESIGN.md.)
+//
+// A thin protocol backend over transport::Channel/Endpoint: this layer
+// contributes the named-handler envelope and the Nexus/TCP charges; the
+// service-daemon drain loop and all CostModel reads live in src/transport.
 
 #include <cstdint>
 #include <cstring>
@@ -29,8 +33,8 @@
 #include <vector>
 
 #include "common/types.hpp"
-#include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "transport/transport.hpp"
 
 namespace tham::nexus {
 
@@ -89,13 +93,16 @@ class NexusLayer {
 
   std::uint64_t rsr_count() const { return rsr_count_; }
 
+  /// This layer's transport channel (per-layer send accounting).
+  transport::Channel& channel() { return chan_; }
+
  private:
   struct Endpoint {
     NodeId node = kInvalidNode;
     std::unordered_map<std::string, RsrHandler> handlers;
   };
 
-  net::Network& net_;
+  transport::Channel chan_;
   std::vector<Endpoint> endpoints_;
   std::uint64_t rsr_count_ = 0;
 };

@@ -35,6 +35,11 @@ void Engine::set_threads(int n) {
   threads_ = n < 1 ? 1 : n;
 }
 
+void Engine::set_machine(std::string_view name) {
+  THAM_CHECK_MSG(!ran_, "set_machine() after run()");
+  cost_ = make_machine(name);
+}
+
 void Engine::require_sequential(const char* why) {
   if (seq_only_why_ == nullptr) seq_only_why_ = why;
 }

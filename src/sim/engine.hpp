@@ -25,9 +25,11 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/cost_model.hpp"
+#include "common/machine.hpp"
 #include "common/types.hpp"
 #include "sim/node.hpp"
 #include "sim/quad_heap.hpp"
@@ -40,7 +42,9 @@ class ParallelExecutor;
 class Engine {
  public:
   /// Builds a multicomputer with `num_nodes` nodes sharing one cost model.
-  explicit Engine(int num_nodes, const CostModel& cm = sp2_cost_model(),
+  /// The default is the machine profile named by THAM_MACHINE ("sp2" when
+  /// unset); pass an explicit model or call set_machine() to override.
+  explicit Engine(int num_nodes, const CostModel& cm = default_cost_model(),
                   std::size_t stack_bytes = 128 * 1024);
   ~Engine();
 
@@ -51,6 +55,14 @@ class Engine {
   Node& node(NodeId i) { return *nodes_.at(static_cast<std::size_t>(i)); }
   const CostModel& cost() const { return cost_; }
   StackPool& stack_pool() { return stack_pool_; }
+
+  /// Replaces the cost model with the named machine profile (see
+  /// common/machine.hpp); aborts on an unknown name. Must be called before
+  /// run() — swapping the calibration mid-run would tear the lookahead
+  /// horizon out from under in-flight messages.
+  void set_machine(std::string_view name);
+  /// Name of the machine profile in effect ("sp2" unless overridden).
+  const char* machine() const { return cost_.machine; }
 
   /// Monotonic engine-wide sequence. No longer part of any ordering key
   /// (message FIFO ties break on per-source sequences); kept for tests and

@@ -1,9 +1,16 @@
 #pragma once
-// Fixed-capacity inline closure for message delivery — the allocation-free
-// replacement for std::function<void(Node&)> on the message hot path. The
-// callable is stored in place; a closure that does not fit is rejected with
-// a static_assert at its construction site, so capacity violations are
-// compile errors where the lambda is written, never runtime heap fallbacks.
+// Fixed-capacity inline closures — the allocation-free replacement for
+// std::function on hot paths. The callable is stored in place; a closure
+// that does not fit is rejected with a static_assert at its construction
+// site, so capacity violations are compile errors where the lambda is
+// written, never runtime heap fallbacks.
+//
+// InlineFn<Sig, Cap> is the general shape: a move-only, inline-storage
+// callable with signature Sig. Two hot paths use it:
+//   * message delivery closures  — InlineHandler = InlineFn<void(Node&)>
+//     (PR 1's allocation-free hot path);
+//   * AM handler registration tables (am::ShortHandler / am::BulkHandler),
+//     so registering and dispatching handlers never touches the heap.
 
 #include <cstddef>
 #include <new>
@@ -14,44 +21,55 @@ namespace tham::sim {
 
 class Node;
 
-class InlineHandler {
+template <typename Sig, std::size_t Cap = 96>
+class InlineFn;  // primary template: only the function-signature
+                 // specialization below exists
+
+template <typename R, typename... Args, std::size_t Cap>
+class InlineFn<R(Args...), Cap> {
  public:
-  /// Inline storage size, sized for the largest steady-state closure: the
-  /// AM bulk-transfer delivery (layer pointer + token + handler id +
-  /// destination address + payload vector + 6 argument words = 96 bytes).
-  static constexpr std::size_t kCapacity = 96;
+  /// Inline storage size. The default (96 bytes) is sized for the largest
+  /// steady-state delivery closure: the AM bulk-transfer delivery (layer
+  /// pointer + token + handler id + destination address + payload vector +
+  /// 6 argument words = 96 bytes).
+  static constexpr std::size_t kCapacity = Cap;
   static constexpr std::size_t kAlign = alignof(std::max_align_t);
 
-  InlineHandler() = default;
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
-  template <typename F, typename = std::enable_if_t<!std::is_same_v<
-                            std::decay_t<F>, InlineHandler>>>
-  InlineHandler(F&& fn) {  // NOLINT(google-explicit-constructor)
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     static_assert(sizeof(Fn) <= kCapacity,
-                  "delivery closure exceeds InlineHandler::kCapacity: "
-                  "shrink the captures (or raise kCapacity)");
+                  "closure exceeds InlineFn::kCapacity: shrink the captures "
+                  "(or raise the capacity parameter)");
     static_assert(alignof(Fn) <= kAlign,
-                  "delivery closure over-aligned for InlineHandler storage");
-    static_assert(std::is_invocable_v<Fn&, Node&>,
-                  "delivery closure must be callable as void(Node&)");
+                  "closure over-aligned for InlineFn storage");
+    static_assert(std::is_invocable_r_v<R, Fn&, Args...>,
+                  "closure not callable with this InlineFn's signature");
     ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
     ops_ = &OpsFor<Fn>::ops;
   }
 
-  InlineHandler(InlineHandler&& o) noexcept { move_from(o); }
-  InlineHandler& operator=(InlineHandler&& o) noexcept {
+  InlineFn(InlineFn&& o) noexcept { move_from(o); }
+  InlineFn& operator=(InlineFn&& o) noexcept {
     if (this != &o) {
       reset();
       move_from(o);
     }
     return *this;
   }
-  InlineHandler(const InlineHandler&) = delete;
-  InlineHandler& operator=(const InlineHandler&) = delete;
-  ~InlineHandler() { reset(); }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
 
-  void operator()(Node& n) { ops_->invoke(buf_, n); }
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   explicit operator bool() const { return ops_ != nullptr; }
 
@@ -64,14 +82,16 @@ class InlineHandler {
 
  private:
   struct Ops {
-    void (*invoke)(void* f, Node& n);
+    R (*invoke)(void* f, Args... args);
     void (*relocate)(void* from, void* to);  ///< move-construct, destroy src
     void (*destroy)(void* f);
   };
 
   template <typename Fn>
   struct OpsFor {
-    static void invoke(void* f, Node& n) { (*static_cast<Fn*>(f))(n); }
+    static R invoke(void* f, Args... args) {
+      return (*static_cast<Fn*>(f))(std::forward<Args>(args)...);
+    }
     static void relocate(void* from, void* to) {
       Fn* src = static_cast<Fn*>(from);
       ::new (to) Fn(std::move(*src));
@@ -81,7 +101,7 @@ class InlineHandler {
     static constexpr Ops ops{&invoke, &relocate, &destroy};
   };
 
-  void move_from(InlineHandler& o) {
+  void move_from(InlineFn& o) {
     if (o.ops_ != nullptr) {
       o.ops_->relocate(o.buf_, buf_);
       ops_ = o.ops_;
@@ -94,5 +114,9 @@ class InlineHandler {
   alignas(kAlign) unsigned char buf_[kCapacity];
   const Ops* ops_ = nullptr;
 };
+
+/// The message-delivery closure: what Network::send carries to the
+/// destination inbox.
+using InlineHandler = InlineFn<void(Node&)>;
 
 }  // namespace tham::sim

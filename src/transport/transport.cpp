@@ -1,0 +1,115 @@
+#include "transport/transport.hpp"
+
+#include "common/check.hpp"
+
+namespace tham::transport {
+
+using sim::Component;
+using sim::ComponentScope;
+
+WireCost wire_cost(const CostModel& cm, Wire wire, std::size_t bytes) {
+  WireCost c;
+  SimTime payload = static_cast<SimTime>(bytes);
+  switch (wire) {
+    case Wire::AmShort:
+      c.sender_cpu = cm.am_send_overhead;
+      c.wire_time = cm.am_wire_latency;
+      break;
+    case Wire::AmBulk:
+      c.sender_cpu = cm.am_send_overhead + cm.am_bulk_startup_send;
+      c.wire_time = cm.am_wire_latency + payload * cm.am_per_byte;
+      break;
+    case Wire::Mpl:
+      c.sender_cpu = cm.mpl_send_overhead;
+      c.wire_time = cm.am_wire_latency + payload * cm.mpl_per_byte;
+      break;
+    case Wire::Tcp:
+      c.sender_cpu = cm.nx_tcp_send;
+      c.wire_time = cm.nx_tcp_latency +
+                    (payload + cm.nx_envelope_bytes) * cm.nx_per_byte;
+      break;
+  }
+  return c;
+}
+
+SimTime charge_cost(const CostModel& cm, Charge c) {
+  switch (c) {
+    case Charge::AmShortRecv:
+      return cm.am_recv_overhead;
+    case Charge::AmBulkRecv:
+      return cm.am_recv_overhead + cm.am_bulk_startup_recv;
+    case Charge::MplMatch:
+      return cm.mpl_recv_overhead;
+    case Charge::TcpRecv:
+      return cm.nx_interrupt + cm.nx_tcp_recv;
+    case Charge::TcpDispatch:
+      return cm.nx_buffer_alloc + cm.nx_name_resolve;
+    case Charge::TcpTxBuffer:
+      return cm.nx_buffer_alloc;
+  }
+  return 0;  // unreachable
+}
+
+void Channel::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
+                   sim::InlineHandler deliver) {
+  WireCost wc = wire_cost(cost(), wire, bytes);
+  sends_[static_cast<std::size_t>(wire)].fetch_add(1,
+                                                   std::memory_order_relaxed);
+  bytes_[static_cast<std::size_t>(wire)].fetch_add(
+      bytes, std::memory_order_relaxed);
+  net_.send(src, dst, wire, bytes, wc.sender_cpu, wc.wire_time,
+            std::move(deliver));
+}
+
+std::uint64_t Channel::total_sends() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sends_) total += s.load(std::memory_order_relaxed);
+  return total;
+}
+
+int Endpoint::poll() {
+  ComponentScope scope(node_, Component::Net);
+  ++node_.counters().polls;
+  node_.advance(node_.cost().am_poll_empty);
+  int delivered = 0;
+  while (node_.inbox_due()) {
+    node_.advance(node_.cost().am_poll_found);
+    node_.poll_one();
+    ++delivered;
+  }
+  return delivered;
+}
+
+void Endpoint::poll_until(const std::function<bool()>& pred) {
+  ComponentScope scope(node_, Component::Net);
+  while (!pred()) {
+    poll();
+    if (pred()) break;
+    if (!node_.inbox_due()) {
+      if (!node_.wait_for_inbox()) break;  // shutdown
+    }
+  }
+  THAM_CHECK_MSG(pred(), "poll_until aborted by shutdown before completion");
+}
+
+int Endpoint::drain_due() {
+  int delivered = 0;
+  while (node_.poll_one()) ++delivered;
+  return delivered;
+}
+
+void start_service_daemons(sim::Engine& engine, const char* name) {
+  for (NodeId i = 0; i < engine.size(); ++i) {
+    engine.node(i).spawn(
+        [] {
+          Endpoint ep = Endpoint::current();
+          ComponentScope scope(ep.node(), Component::Net);
+          while (ep.wait(/*poll_only=*/true)) {
+            ep.drain_due();
+          }
+        },
+        name, /*daemon=*/true);
+  }
+}
+
+}  // namespace tham::transport

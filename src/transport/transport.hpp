@@ -1,0 +1,152 @@
+#pragma once
+// The common messaging substrate under the three runtimes' messaging
+// layers. The paper's premise is that AM, MPL, and Nexus are three *cost
+// structures* over the same interconnect; this layer is that shared
+// machinery, so each backend contributes only its protocol: envelope,
+// matching rule, and which named charges it pays.
+//
+//   * Channel  — a backend's send side: resolves the wire-class cost pair
+//     (sender CPU, wire time) from the machine profile, keeps per-wire
+//     send counters, and hands the message to net::Network (which is now
+//     pure mechanics: FIFO clamp, arrival, inbox routing).
+//   * Endpoint — a node's receive side: the poll / drain / wait loops over
+//     the node inbox, and the receive-side protocol charges.
+//   * Charge   — the named receive/dispatch costs a backend may pay.
+//
+// Every messaging-related CostModel field is read HERE (or in
+// wire_cost/charge_cost below) and nowhere else: swapping the machine
+// profile (common/machine.hpp) re-prices all three backends at once, and
+// no backend can drift from the calibration by reading constants directly.
+//
+// Delivery closures stay sim::InlineHandler and messages stay pooled in
+// the per-node MessagePool, so the PR 1 allocation-free hot path is
+// unchanged.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "common/cost_model.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+
+namespace tham::transport {
+
+using net::Wire;
+
+/// Send-side cost of one message: what the sending CPU pays and how long
+/// the message spends on the wire (latency + serialization).
+struct WireCost {
+  SimTime sender_cpu = 0;
+  SimTime wire_time = 0;
+};
+
+/// Resolves the wire-class cost pair from a machine profile.
+WireCost wire_cost(const CostModel& cm, Wire wire, std::size_t bytes);
+
+/// Receive-side / dispatch charge classes a backend may pay. Each names a
+/// protocol step; the mapping to CostModel fields lives in charge_cost().
+enum class Charge {
+  AmShortRecv,  ///< AM short-message handler dispatch
+  AmBulkRecv,   ///< AM bulk deposit: dispatch + bulk startup
+  MplMatch,     ///< MPL tag matching at recv time
+  TcpRecv,      ///< kernel TCP receive path + interrupt upcall
+  TcpDispatch,  ///< dynamic buffer + full-name handler resolution
+  TcpTxBuffer,  ///< outgoing dynamic message buffer (send side)
+};
+
+SimTime charge_cost(const CostModel& cm, Charge c);
+
+/// A backend's send side. Each messaging layer owns one Channel, so the
+/// per-wire counters double as per-layer counters.
+class Channel {
+ public:
+  explicit Channel(net::Network& net) : net_(net) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Sends from the current task on `src`: prices the message for the
+  /// active machine profile, counts it, and hands it to the network.
+  void send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
+            sim::InlineHandler deliver);
+
+  /// Messages / payload bytes this channel has sent on `w`.
+  std::uint64_t sends(Wire w) const {
+    return sends_[static_cast<std::size_t>(w)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t send_bytes(Wire w) const {
+    return bytes_[static_cast<std::size_t>(w)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t total_sends() const;
+
+  net::Network& network() { return net_; }
+  sim::Engine& engine() { return net_.engine(); }
+  const CostModel& cost() const { return net_.engine().cost(); }
+
+ private:
+  static constexpr std::size_t kWires = 4;  // AmShort, AmBulk, Mpl, Tcp
+
+  net::Network& net_;
+  std::array<std::atomic<std::uint64_t>, kWires> sends_{};
+  std::array<std::atomic<std::uint64_t>, kWires> bytes_{};
+};
+
+/// A node's receive side: the one place the per-node inbox is polled,
+/// drained, and waited on, and where receive-side charges are paid.
+/// Lightweight handle — construct on the fly from any node reference.
+class Endpoint {
+ public:
+  explicit Endpoint(sim::Node& node) : node_(node) {}
+
+  /// The endpoint of the node the current task runs on.
+  static Endpoint current() { return Endpoint(sim::this_node()); }
+
+  sim::Node& node() { return node_; }
+
+  /// True while a delivery closure (message handler) is running on this
+  /// node — sends issued there must not poll (the AM discipline).
+  bool in_handler() const { return node_.in_handler(); }
+
+  /// True if a message is due for delivery now.
+  bool has_due() const { return node_.inbox_due(); }
+
+  /// Advances the node by the named protocol charge, under the caller's
+  /// component scope.
+  void charge(Charge c) { node_.advance(charge_cost(node_.cost(), c)); }
+
+  /// One AM-discipline poll: pays the poll cost, then delivers every due
+  /// message, paying the per-message dispatch cost. Counts as one poll in
+  /// the node counters. Returns the number delivered.
+  int poll();
+
+  /// Polls until `pred()` holds, idling in virtual time while the inbox
+  /// is empty. The standard split-phase completion wait.
+  void poll_until(const std::function<bool()>& pred);
+
+  /// Delivers every due message with NO poll charges — the two-sided /
+  /// interrupt-style backends, whose reception costs are charged at match
+  /// or delivery time instead. Returns the number delivered.
+  int drain_due();
+
+  /// Blocks the current task until a message is due (or shutdown; returns
+  /// false). poll_only marks the wait as satisfiable only by delivery,
+  /// exactly Node::wait_for_inbox.
+  bool wait(bool poll_only = false) { return node_.wait_for_inbox(poll_only); }
+
+ private:
+  sim::Node& node_;
+};
+
+/// Spawns one daemon task per node that drains the inbox whenever messages
+/// are due — the "kernel upcall thread" of interrupt-driven runtimes
+/// (Nexus), or any backend whose receivers do not poll explicitly.
+void start_service_daemons(sim::Engine& engine, const char* name);
+
+}  // namespace tham::transport

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "am/am.hpp"
 #include "apps/em3d.hpp"
 #include "check/checker.hpp"
 #include "common/alloc_count.hpp"
@@ -23,6 +24,7 @@
 #include "sim/node.hpp"
 #include "sim/quad_heap.hpp"
 #include "sim/ring_queue.hpp"
+#include "transport/transport.hpp"
 
 namespace tham {
 namespace {
@@ -212,15 +214,16 @@ TEST(MessagePool, GrowsBeyondOneSlab) {
 TEST(Network, SameChannelNeverReorders) {
   Engine e(2);
   net::Network net(e);
+  transport::Channel ch(net);
   std::vector<int> order;
   e.node(0).spawn(
       [&] {
         Node& n = sim::this_node();
         for (int i = 0; i < 16; ++i) {
           bool bulk = (i % 2 == 0);
-          net.send(n, 1, bulk ? net::Wire::AmBulk : net::Wire::AmShort,
-                   bulk ? 8192 : 0,
-                   [&order, i](Node&) { order.push_back(i); });
+          ch.send(n, 1, bulk ? net::Wire::AmBulk : net::Wire::AmShort,
+                  bulk ? 8192 : 0,
+                  [&order, i](Node&) { order.push_back(i); });
         }
       },
       "sender");
@@ -257,13 +260,14 @@ TEST(HotPath, SteadyStateSendDeliverIsAllocationFree) {
   std::uint64_t delivered = 0;
   Engine e(2);
   net::Network net(e);
+  transport::Channel ch(net);
   e.node(0).spawn(
       [&] {
         Node& n = sim::this_node();
         auto blast = [&](int count) {
           for (int i = 0; i < count; ++i) {
-            net.send(n, 1, net::Wire::AmShort, 0,
-                     [&delivered](Node&) { ++delivered; });
+            ch.send(n, 1, net::Wire::AmShort, 0,
+                    [&delivered](Node&) { ++delivered; });
             n.advance(usec(1));
           }
           // Wait out the wire latency so every send has been delivered
@@ -289,6 +293,61 @@ TEST(HotPath, SteadyStateSendDeliverIsAllocationFree) {
   EXPECT_EQ(delivered, 4000u);
   EXPECT_EQ(after - before, 0u)
       << "steady-state message path performed heap allocations";
+}
+
+// The AM handler tables are sim::InlineFn entries in a pre-reserved vector:
+// registering a handler and dispatching short messages through it must not
+// touch the heap — registration from the very first handler (the table is
+// reserved at construction), dispatch once the message pools are warm.
+TEST(HotPath, AmHandlerRegistrationAndDispatchAreAllocationFree) {
+  ASSERT_TRUE(alloc_counting_linked());
+  check::ScopedAutoAttach no_checker(false);
+  Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);  // reserves the handler table once, here
+  std::uint64_t reg_before = alloc_counts().news;
+  std::uint64_t counter = 0;
+  am::HandlerId h = 0;
+  for (int i = 0; i < 32; ++i) {
+    h = am.register_short("hotpath.count",
+                          [&counter](Node&, am::Token, const am::Words&) {
+                            ++counter;
+                          });
+  }
+  EXPECT_EQ(alloc_counts().news - reg_before, 0u)
+      << "AM handler registration performed heap allocations";
+
+  std::uint64_t before = 0;
+  std::uint64_t after = 0;
+  e.node(0).spawn(
+      [&] {
+        Node& n = sim::this_node();
+        auto blast = [&](int count) {
+          for (int i = 0; i < count; ++i) {
+            am.request(1, h, static_cast<am::Word>(i));
+            n.advance(usec(1));
+          }
+          n.advance(usec(200));  // wait out delivery of the tail
+        };
+        blast(2000);
+        before = alloc_counts().news;
+        blast(2000);
+        after = alloc_counts().news;
+      },
+      "sender");
+  e.node(1).spawn(
+      [&] {
+        Node& n = sim::this_node();
+        while (n.wait_for_inbox(/*poll_only=*/true)) {
+          while (n.poll_one()) {
+          }
+        }
+      },
+      "poller", /*daemon=*/true);
+  e.run();
+  EXPECT_EQ(counter, 4000u);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state AM short dispatch performed heap allocations";
 }
 
 // Task shells, fiber stacks, and the inline closure body must all recycle:

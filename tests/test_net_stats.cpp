@@ -11,6 +11,7 @@
 #include "stats/stats.hpp"
 #include "stats/table.hpp"
 #include "stats/trace.hpp"
+#include "transport/transport.hpp"
 
 namespace tham {
 namespace {
@@ -22,12 +23,12 @@ using sim::Node;
 // Network
 // ---------------------------------------------------------------------------
 
-void send_nop(net::Network& net, Node& src, NodeId dst, net::Wire wire,
+void send_nop(transport::Channel& ch, Node& src, NodeId dst, net::Wire wire,
               std::size_t bytes, std::function<void()> on_deliver = {}) {
-  net.send(src, dst, wire, bytes,
-           [fn = std::move(on_deliver)](Node&) {
-             if (fn) fn();
-           });
+  ch.send(src, dst, wire, bytes,
+          [fn = std::move(on_deliver)](Node&) {
+            if (fn) fn();
+          });
 }
 
 TEST(Network, WireClassesHaveDistinctCosts) {
@@ -35,14 +36,16 @@ TEST(Network, WireClassesHaveDistinctCosts) {
   auto one_way = [](net::Wire wire, std::size_t bytes) {
     Engine e(2);
     net::Network net(e);
+    transport::Channel ch(net);
     SimTime arrival = -1;
-    net::Network* np = &net;
+    transport::Channel* cp = &ch;
     e.node(0).spawn(
-        [np, wire, bytes, &arrival, &e] {
-          np->set_observer([&arrival](const net::Network::SendEvent& ev) {
-            arrival = ev.arrival;
-          });
-          send_nop(*np, e.node(0), 1, wire, bytes);
+        [cp, wire, bytes, &arrival, &e] {
+          cp->network().set_observer(
+              [&arrival](const net::Network::SendEvent& ev) {
+                arrival = ev.arrival;
+              });
+          send_nop(*cp, e.node(0), 1, wire, bytes);
         },
         "sender");
     e.run();
@@ -60,14 +63,15 @@ TEST(Network, WireClassesHaveDistinctCosts) {
 TEST(Network, PerByteCostScalesArrival) {
   Engine e(2);
   net::Network net(e);
+  transport::Channel ch(net);
   std::vector<SimTime> arrivals;
   e.node(0).spawn(
       [&] {
         net.set_observer([&](const net::Network::SendEvent& ev) {
           arrivals.push_back(ev.arrival - ev.send_time);
         });
-        send_nop(net, e.node(0), 1, net::Wire::AmBulk, 100);
-        send_nop(net, e.node(0), 1, net::Wire::AmBulk, 10000);
+        send_nop(ch, e.node(0), 1, net::Wire::AmBulk, 100);
+        send_nop(ch, e.node(0), 1, net::Wire::AmBulk, 10000);
       },
       "sender");
   e.run();
@@ -80,13 +84,14 @@ TEST(Network, FifoPerChannelEvenWhenCostsWouldReorder) {
   // one would "arrive" earlier by cost, but FIFO forbids overtaking.
   Engine e(2);
   net::Network net(e);
+  transport::Channel ch(net);
   std::vector<int> order;
   e.node(0).spawn(
       [&] {
-        net.send(e.node(0), 1, net::Wire::AmBulk, 100000,
-                 [&](Node&) { order.push_back(1); });
-        net.send(e.node(0), 1, net::Wire::AmShort, 0,
-                 [&](Node&) { order.push_back(2); });
+        ch.send(e.node(0), 1, net::Wire::AmBulk, 100000,
+                [&](Node&) { order.push_back(1); });
+        ch.send(e.node(0), 1, net::Wire::AmShort, 0,
+                [&](Node&) { order.push_back(2); });
       },
       "sender");
   e.node(1).spawn(
@@ -106,9 +111,10 @@ TEST(Network, FifoPerChannelEvenWhenCostsWouldReorder) {
 TEST(Network, SelfSendIsRejected) {
   Engine e(2);
   net::Network net(e);
+  transport::Channel ch(net);
   e.node(0).spawn(
       [&] {
-        EXPECT_DEATH(send_nop(net, e.node(0), 0, net::Wire::AmShort, 0),
+        EXPECT_DEATH(send_nop(ch, e.node(0), 0, net::Wire::AmShort, 0),
                      "send to self");
       },
       "sender");
@@ -119,10 +125,11 @@ TEST(Network, SelfSendIsRejected) {
 TEST(Network, CountersTrackMessagesAndBytes) {
   Engine e(3);
   net::Network net(e);
+  transport::Channel ch(net);
   e.node(0).spawn(
       [&] {
-        send_nop(net, e.node(0), 1, net::Wire::AmShort, 48);
-        send_nop(net, e.node(0), 2, net::Wire::AmBulk, 100);
+        send_nop(ch, e.node(0), 1, net::Wire::AmShort, 48);
+        send_nop(ch, e.node(0), 2, net::Wire::AmBulk, 100);
       },
       "sender");
   e.run();
@@ -130,6 +137,12 @@ TEST(Network, CountersTrackMessagesAndBytes) {
   EXPECT_EQ(net.total_bytes(), 148u);
   EXPECT_EQ(e.node(0).counters().msgs_sent, 2u);
   EXPECT_EQ(e.node(0).counters().bytes_sent, 148u);
+  // Per-wire channel accounting matches what was sent on each wire class.
+  EXPECT_EQ(ch.sends(net::Wire::AmShort), 1u);
+  EXPECT_EQ(ch.sends(net::Wire::AmBulk), 1u);
+  EXPECT_EQ(ch.send_bytes(net::Wire::AmShort), 48u);
+  EXPECT_EQ(ch.send_bytes(net::Wire::AmBulk), 100u);
+  EXPECT_EQ(ch.total_sends(), 2u);
 }
 
 // ---------------------------------------------------------------------------

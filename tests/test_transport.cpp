@@ -1,0 +1,469 @@
+// Transport-layer conformance: the properties every protocol backend (AM,
+// MPL, Nexus) inherits from transport::Channel/Endpoint — per-(src,dst)
+// FIFO, per-layer send accounting, the poll/drain reception disciplines,
+// and checker-hook emission — plus the machine-profile registry and a
+// modern-cluster smoke of the three paper applications.
+//
+// The point of testing all three backends against the SAME properties is
+// the tentpole claim: AM, MPL, and Nexus are three cost structures over one
+// substrate, so substrate behavior must be invariant across them.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "am/am.hpp"
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/water.hpp"
+#include "check/checker.hpp"
+#include "common/machine.hpp"
+#include "msg/mpl.hpp"
+#include "net/network.hpp"
+#include "nexus/nexus.hpp"
+#include "sim/engine.hpp"
+#include "transport/transport.hpp"
+
+namespace tham {
+namespace {
+
+using sim::Engine;
+using sim::Node;
+
+// ---------------------------------------------------------------------------
+// Machine-profile registry
+// ---------------------------------------------------------------------------
+
+TEST(MachineRegistry, KnownProfilesResolve) {
+  ASSERT_GE(machine_profiles().size(), 4u);
+  for (const char* name : {"sp2", "sp2-interrupt", "nexus", "modern-cluster"}) {
+    const MachineProfile* p = find_machine(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_STREQ(make_machine(name).machine, name);
+  }
+  EXPECT_EQ(find_machine("vax-11/780"), nullptr);
+}
+
+TEST(MachineRegistry, UnknownNameIsRejected) {
+  // A typo must not silently measure the SP2.
+  EXPECT_THROW(make_machine("no-such-machine"), RuntimeError);
+  try {
+    make_machine("no-such-machine");
+  } catch (const RuntimeError& err) {
+    EXPECT_NE(std::string(err.what()).find("modern-cluster"),
+              std::string::npos)
+        << "error should list the known profiles";
+  }
+}
+
+TEST(MachineRegistry, EnvVarSelectsDefaultProfile) {
+  unsetenv("THAM_MACHINE");
+  EXPECT_STREQ(default_cost_model().machine, "sp2");
+  setenv("THAM_MACHINE", "modern-cluster", 1);
+  EXPECT_STREQ(default_cost_model().machine, "modern-cluster");
+  unsetenv("THAM_MACHINE");
+  EXPECT_STREQ(default_cost_model().machine, "sp2");
+}
+
+TEST(MachineRegistry, EngineSetMachine) {
+  Engine e(2);
+  EXPECT_STREQ(e.machine(), "sp2");
+  e.set_machine("modern-cluster");
+  EXPECT_STREQ(e.machine(), "modern-cluster");
+}
+
+TEST(MachineRegistry, Sp2InterruptIsTheD3Ablation) {
+  CostModel sp2 = make_machine("sp2");
+  CostModel irq = make_machine("sp2-interrupt");
+  EXPECT_EQ(irq.am_recv_overhead, sp2.am_recv_overhead + sp2.software_interrupt);
+  EXPECT_FALSE(irq.cc_polling);
+  EXPECT_TRUE(sp2.cc_polling);
+}
+
+TEST(MachineRegistry, ProfilesKeepParallelLookaheadOpen) {
+  // The conservative engine needs lookahead() > 0 on every profile, or the
+  // sharded run degenerates.
+  for (const MachineProfile& p : machine_profiles()) {
+    EXPECT_GT(p.make().lookahead(), 0) << p.name;
+  }
+}
+
+TEST(MachineRegistry, ModernClusterIsFasterWhereItShouldBe) {
+  CostModel sp2 = make_machine("sp2");
+  CostModel mc = make_machine("modern-cluster");
+  EXPECT_LT(mc.am_send_overhead, sp2.am_send_overhead);
+  EXPECT_LT(mc.am_wire_latency, sp2.am_wire_latency);
+  EXPECT_LT(mc.am_per_byte, sp2.am_per_byte);  // 10 GB/s vs ~35 MB/s
+  EXPECT_LT(mc.flop, sp2.flop);
+}
+
+// ---------------------------------------------------------------------------
+// Backend conformance: FIFO per (src, dst)
+// ---------------------------------------------------------------------------
+
+// Each backend sends 0..N-1 from node 0 to node 1; the receiver must see
+// them in send order even though per-message costs differ.
+constexpr int kFifoMsgs = 16;
+
+TEST(TransportConformance, AmFifoPerChannel) {
+  Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);
+  std::vector<int> order;
+  int done = 0;
+  am::HandlerId h = am.register_short(
+      "test.seq", [&](Node&, am::Token, const am::Words& w) {
+        order.push_back(static_cast<int>(w[0]));
+        ++done;
+      });
+  e.node(0).spawn(
+      [&] {
+        for (int i = 0; i < kFifoMsgs; ++i) {
+          am.request(1, h, static_cast<am::Word>(i));
+        }
+      },
+      "sender");
+  e.node(1).spawn([&] { am.poll_until([&] { return done == kFifoMsgs; }); },
+                  "receiver");
+  e.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kFifoMsgs));
+  for (int i = 0; i < kFifoMsgs; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TransportConformance, MplFifoPerChannel) {
+  Engine e(2);
+  net::Network net(e);
+  msg::MplLayer mpl(net);
+  std::vector<int> order;
+  e.node(0).spawn(
+      [&] {
+        for (int i = 0; i < kFifoMsgs; ++i) {
+          mpl.send(1, /*tag=*/7, &i, sizeof(i));
+        }
+      },
+      "sender");
+  e.node(1).spawn(
+      [&] {
+        for (int i = 0; i < kFifoMsgs; ++i) {
+          int v = -1;
+          mpl.recv(0, 7, &v, sizeof(v));
+          order.push_back(v);
+        }
+      },
+      "receiver");
+  e.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kFifoMsgs));
+  for (int i = 0; i < kFifoMsgs; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TransportConformance, NexusFifoPerChannel) {
+  Engine e(2);
+  net::Network net(e);
+  nexus::NexusLayer nx(net);
+  nexus::Startpoint sp = nx.create_endpoint(1);
+  std::vector<int> order;
+  nx.register_handler(sp, "seq",
+                      [&](Node&, NodeId, const std::vector<std::byte>& buf) {
+                        int v;
+                        std::memcpy(&v, buf.data(), sizeof(v));
+                        order.push_back(v);
+                      });
+  nx.start_service_threads();
+  e.node(0).spawn(
+      [&] {
+        for (int i = 0; i < kFifoMsgs; ++i) nx.rsr(sp, "seq", i);
+      },
+      "client");
+  e.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kFifoMsgs));
+  for (int i = 0; i < kFifoMsgs; ++i) EXPECT_EQ(order[i], i);
+}
+
+// ---------------------------------------------------------------------------
+// Backend conformance: per-layer channel accounting
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformance, EachBackendCountsOnItsOwnChannel) {
+  // One machine, all three layers over one network: each layer's sends land
+  // on its own channel and wire class, and nothing bleeds across layers.
+  Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);
+  msg::MplLayer mpl(net);
+  nexus::NexusLayer nx(net);
+  nexus::Startpoint sp = nx.create_endpoint(1);
+  int am_got = 0;
+  am::HandlerId h = am.register_short(
+      "test.count", [&](Node&, am::Token, const am::Words&) { ++am_got; });
+  nx.register_handler(sp, "noop",
+                      [](Node&, NodeId, const std::vector<std::byte>&) {});
+  nx.start_service_threads();
+  e.node(0).spawn(
+      [&] {
+        am.request(1, h);
+        char payload[32] = {};
+        mpl.send(1, 3, payload, sizeof(payload));
+        nx.rsr(sp, "noop", 1);
+      },
+      "sender");
+  e.node(1).spawn(
+      [&] {
+        am.poll_until([&] { return am_got == 1; });
+        char buf[32];
+        mpl.recv(0, 3, buf, sizeof(buf));
+      },
+      "receiver");
+  e.run();
+
+  EXPECT_EQ(am.channel().sends(net::Wire::AmShort), 1u);
+  EXPECT_EQ(am.channel().total_sends(), 1u);
+  EXPECT_EQ(mpl.channel().sends(net::Wire::Mpl), 1u);
+  EXPECT_EQ(mpl.channel().send_bytes(net::Wire::Mpl), 32u);
+  EXPECT_EQ(mpl.channel().total_sends(), 1u);
+  EXPECT_EQ(nx.channel().sends(net::Wire::Tcp), 1u);
+  EXPECT_EQ(nx.channel().total_sends(), 1u);
+  // Cross-layer isolation: no layer saw another layer's wire class.
+  EXPECT_EQ(am.channel().sends(net::Wire::Tcp), 0u);
+  EXPECT_EQ(mpl.channel().sends(net::Wire::AmShort), 0u);
+  EXPECT_EQ(nx.channel().sends(net::Wire::Mpl), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Backend conformance: reception disciplines
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformance, AmPollOnSendDrainsPendingDeliveries) {
+  // The AM discipline: "message reception is based on polling that occurs
+  // on a node every time a message is sent." Node 1 never polls explicitly;
+  // its own send must deliver the message already waiting in its inbox.
+  Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);
+  bool n1_got = false;
+  bool n0_got = false;
+  am::HandlerId h1 = am.register_short(
+      "test.n1", [&](Node&, am::Token, const am::Words&) { n1_got = true; });
+  am::HandlerId h0 = am.register_short(
+      "test.n0", [&](Node&, am::Token, const am::Words&) { n0_got = true; });
+  e.node(0).spawn(
+      [&] {
+        am.request(1, h1);
+        am.poll_until([&] { return n0_got; });
+      },
+      "n0");
+  e.node(1).spawn(
+      [&] {
+        Node& n = sim::this_node();
+        // Wait until the request is due, then send WITHOUT polling
+        // explicitly: the send itself must deliver it.
+        while (!n.inbox_due()) {
+          if (!n.wait_for_inbox()) return;
+        }
+        EXPECT_FALSE(n1_got);
+        am.request(0, h0);
+        EXPECT_TRUE(n1_got) << "send did not poll the inbox";
+      },
+      "n1");
+  e.run();
+  EXPECT_TRUE(n1_got);
+  EXPECT_TRUE(n0_got);
+}
+
+TEST(TransportConformance, EndpointPollChargesAndCountsPolls) {
+  // Endpoint::poll pays the poll cost even on an empty inbox and counts
+  // one poll per call in the node counters.
+  Engine e(2);
+  net::Network net(e);
+  SimTime t_before = -1, t_after = -1;
+  e.node(0).spawn(
+      [&] {
+        Node& n = sim::this_node();
+        std::uint64_t polls_before = n.counters().polls;
+        t_before = n.now();
+        int delivered = transport::Endpoint::current().poll();
+        t_after = n.now();
+        EXPECT_EQ(delivered, 0);
+        EXPECT_EQ(n.counters().polls, polls_before + 1);
+      },
+      "poller");
+  e.run();
+  EXPECT_EQ(t_after - t_before, e.cost().am_poll_empty);
+}
+
+TEST(TransportConformance, DrainDueDeliversWithoutPollCharges) {
+  // Endpoint::drain_due (the MPL/Nexus discipline) delivers due messages
+  // but pays no poll cost and bumps no poll counter.
+  Engine e(2);
+  net::Network net(e);
+  transport::Channel ch(net);
+  int delivered_count = 0;
+  e.node(0).spawn(
+      [&] { ch.send(e.node(0), 1, net::Wire::Mpl, 8, [](Node&) {}); },
+      "sender");
+  e.node(1).spawn(
+      [&] {
+        Node& n = sim::this_node();
+        transport::Endpoint ep(n);
+        while (!ep.has_due()) {
+          if (!ep.wait()) return;
+        }
+        std::uint64_t polls_before = n.counters().polls;
+        SimTime t0 = n.now();
+        delivered_count = ep.drain_due();
+        EXPECT_EQ(n.counters().polls, polls_before);
+        EXPECT_EQ(n.now(), t0);  // no charge from the drain itself
+      },
+      "receiver");
+  e.run();
+  EXPECT_EQ(delivered_count, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Backend conformance: checker-hook emission
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformance, AllBackendsRunDiagnosticCleanUnderChecker) {
+  // Sends routed through transport::Channel must keep emitting the checker
+  // send/delivery hooks: a correct three-layer exchange with the checker
+  // attached reports zero diagnostics (and would report races/protocol
+  // violations if the hooks were dropped, which test_checker covers).
+  std::uint64_t before = check::Checker::process_diagnostic_count();
+  {
+    check::ScopedAutoAttach on(true);
+    Engine e(2);
+    net::Network net(e);
+    am::AmLayer am(net);
+    msg::MplLayer mpl(net);
+    nexus::NexusLayer nx(net);
+    nexus::Startpoint sp = nx.create_endpoint(1);
+    int am_got = 0;
+    am::HandlerId h = am.register_short(
+        "test.chk", [&](Node&, am::Token, const am::Words&) { ++am_got; });
+    nx.register_handler(sp, "noop",
+                        [](Node&, NodeId, const std::vector<std::byte>&) {});
+    nx.start_service_threads();
+    e.node(0).spawn(
+        [&] {
+          am.request(1, h);
+          int v = 42;
+          mpl.send(1, 1, &v, sizeof(v));
+          nx.rsr(sp, "noop", 1);
+        },
+        "sender");
+    e.node(1).spawn(
+        [&] {
+          am.poll_until([&] { return am_got == 1; });
+          int v = 0;
+          mpl.recv(0, 1, &v, sizeof(v));
+          EXPECT_EQ(v, 42);
+        },
+        "receiver");
+    e.run();
+  }
+  EXPECT_EQ(check::Checker::process_diagnostic_count(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Modern-cluster smoke: the three applications on the synthetic profile
+// ---------------------------------------------------------------------------
+
+// Small configs (the checker-smoke sizes) on THAM_MACHINE=modern-cluster:
+// each app must run diagnostic-clean under tham-check and produce the same
+// result sequentially and on a 4-thread sharded engine (digest stability).
+
+apps::em3d::Config small_em3d() {
+  apps::em3d::Config c;
+  c.graph_nodes = 160;
+  c.degree = 6;
+  c.iters = 3;
+  return c;
+}
+
+apps::water::Config small_water() {
+  apps::water::Config c;
+  c.molecules = 32;
+  c.steps = 2;
+  return c;
+}
+
+apps::lu::Config small_lu() {
+  apps::lu::Config c;
+  c.n = 96;
+  c.block = 8;
+  return c;
+}
+
+struct SmokeResult {
+  apps::RunResult run;
+  std::uint64_t digest = 0;  ///< fold of per-node dispatch digests
+};
+
+std::uint64_t fold_digests(Engine& e) {
+  std::uint64_t d = 0;
+  for (NodeId i = 0; i < e.size(); ++i) {
+    d = d * 1000003 + e.node(i).counters().dispatch_digest;
+  }
+  return d;
+}
+
+template <class Body>
+SmokeResult modern_cluster_run(int threads, int procs, Body body) {
+  Engine engine(procs, make_machine("modern-cluster"));
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  SmokeResult r;
+  r.run = body(engine, net, am);
+  r.digest = fold_digests(engine);
+  return r;
+}
+
+template <class Body>
+void expect_modern_cluster_stable(int procs, Body body) {
+  std::uint64_t diags = check::Checker::process_diagnostic_count();
+  SmokeResult seq, par;
+  {
+    check::ScopedAutoAttach on(true);
+    seq = modern_cluster_run(1, procs, body);
+  }
+  EXPECT_EQ(check::Checker::process_diagnostic_count(), diags)
+      << "tham-check diagnostics on modern-cluster";
+  par = modern_cluster_run(4, procs, body);
+  EXPECT_EQ(seq.run.elapsed, par.run.elapsed);
+  EXPECT_EQ(seq.run.checksum, par.run.checksum);
+  EXPECT_EQ(seq.run.messages, par.run.messages);
+  EXPECT_EQ(seq.digest, par.digest) << "dispatch order diverged across "
+                                       "sequential and 4-thread engines";
+  EXPECT_NE(seq.digest, 0u);
+}
+
+TEST(ModernClusterSmoke, Em3dSplitcGhost) {
+  apps::em3d::Config cfg = small_em3d();
+  expect_modern_cluster_stable(
+      cfg.procs, [&](Engine& e, net::Network& net, am::AmLayer& am) {
+        return apps::em3d::run_splitc(e, net, am, cfg,
+                                      apps::em3d::Version::Ghost);
+      });
+}
+
+TEST(ModernClusterSmoke, WaterSplitcAtomic) {
+  apps::water::Config cfg = small_water();
+  expect_modern_cluster_stable(
+      cfg.procs, [&](Engine& e, net::Network& net, am::AmLayer& am) {
+        return apps::water::run_splitc(e, net, am, cfg,
+                                       apps::water::Version::Atomic);
+      });
+}
+
+TEST(ModernClusterSmoke, LuSplitc) {
+  apps::lu::Config cfg = small_lu();
+  expect_modern_cluster_stable(
+      cfg.procs, [&](Engine& e, net::Network& net, am::AmLayer& am) {
+        return apps::lu::run_splitc(e, net, am, cfg);
+      });
+}
+
+}  // namespace
+}  // namespace tham
