@@ -1,0 +1,182 @@
+// Fault-tolerance bench: what reliability costs on a lossy wire.
+//
+//   bench_fault [--json[=PATH]]
+//
+// Sweeps injected loss from 0% to 10% over a fixed EM3D ghost workload
+// running on AM + transport::Reliable, and reports, per loss rate: elapsed
+// virtual time, goodput (application frames per simulated second),
+// retransmission overhead (retransmits per data frame), duplicate/corrupt
+// drops at the receivers, and the protocol's smoothed RTT estimate. The
+// application checksum must be identical at every loss rate — the whole
+// point of the reliable transport — and the bench fails if it is not.
+// --json writes BENCH_fault.json (schema tham-fault-v1); the retransmit
+// overhead column should be monotone in the loss rate.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "am/am.hpp"
+#include "apps/em3d.hpp"
+#include "common/env.hpp"
+#include "fault/fault.hpp"
+#include "json_out.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "stats/table.hpp"
+#include "transport/reliable.hpp"
+
+namespace tham {
+namespace {
+
+constexpr std::uint64_t kPlanSeed = 1729;
+
+struct FaultRun {
+  double loss = 0;
+  apps::RunResult result;
+  transport::Reliable::Stats rel;
+  double srtt_us = 0;  ///< mean smoothed RTT over links with samples
+  std::uint64_t injected_drops = 0;
+};
+
+FaultRun run_at_loss(double loss) {
+  apps::em3d::Config cfg;
+  cfg.procs = 8;
+  cfg.graph_nodes = 100 * cfg.procs;
+  cfg.degree = 10;
+  cfg.iters = 5;
+  cfg.remote_fraction = 0.5;
+
+  sim::Engine engine(cfg.procs);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  transport::Reliable rel(am.channel());
+
+  fault::Plan plan;
+  plan.seed = kPlanSeed;
+  plan.loss = loss;
+  fault::Injector inj(plan, engine.size());
+  if (loss > 0) net.set_injector(&inj);
+
+  FaultRun r;
+  r.loss = loss;
+  r.result =
+      apps::em3d::run_splitc(engine, net, am, cfg, apps::em3d::Version::Ghost);
+  r.rel = rel.total();
+  r.injected_drops = inj.drops();
+  double srtt_sum = 0;
+  int srtt_links = 0;
+  for (NodeId s = 0; s < engine.size(); ++s) {
+    for (NodeId d = 0; d < engine.size(); ++d) {
+      SimTime v = rel.srtt(s, d);
+      if (v > 0) {
+        srtt_sum += to_usec(v);
+        ++srtt_links;
+      }
+    }
+  }
+  r.srtt_us = srtt_links > 0 ? srtt_sum / srtt_links : 0;
+  return r;
+}
+
+int run_sweep(bool json, const std::string& json_path) {
+  std::printf("Fault sweep: em3d-ghost, 8 nodes, AM over transport::Reliable"
+              " (plan seed %llu)\n\n",
+              static_cast<unsigned long long>(kPlanSeed));
+
+  const std::vector<double> rates = {0, 0.005, 0.01, 0.02, 0.05, 0.10};
+  std::vector<FaultRun> runs;
+  runs.reserve(rates.size());
+  for (double rate : rates) runs.push_back(run_at_loss(rate));
+
+  stats::Table t({"loss", "vtime (s)", "goodput (f/s)", "retx", "retx/frame",
+                  "dup drops", "srtt (us)"});
+  bool checksums_ok = true;
+  for (const FaultRun& r : runs) {
+    double vt = to_sec(r.result.elapsed);
+    double goodput = vt > 0 ? static_cast<double>(r.rel.data_frames) / vt : 0;
+    double overhead = r.rel.data_frames > 0
+                          ? static_cast<double>(r.rel.retransmits) /
+                                static_cast<double>(r.rel.data_frames)
+                          : 0;
+    t.add_row({stats::Table::num(r.loss * 100, 1) + "%",
+               stats::Table::num(vt, 4), stats::Table::num(goodput, 0),
+               std::to_string(r.rel.retransmits),
+               stats::Table::num(overhead, 4),
+               std::to_string(r.rel.dup_drops),
+               stats::Table::num(r.srtt_us, 1)});
+    if (r.result.checksum != runs.front().result.checksum) {
+      checksums_ok = false;
+    }
+  }
+  t.print();
+  std::printf("\napplication checksum %s across loss rates\n",
+              checksums_ok ? "identical" : "DIVERGED");
+  if (!checksums_ok) return 1;
+
+  if (json) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    {
+      bench::JsonWriter w(f);
+      w.begin_object();
+      w.header("tham-fault-v1", default_cost_model(), kPlanSeed,
+               env_sim_threads());
+      w.field("workload", "em3d-ghost 8 nodes over transport::Reliable");
+      w.field("checksums_identical", checksums_ok);
+      w.begin_array("sweep");
+      for (const FaultRun& r : runs) {
+        double vt = to_sec(r.result.elapsed);
+        double goodput =
+            vt > 0 ? static_cast<double>(r.rel.data_frames) / vt : 0;
+        double overhead = r.rel.data_frames > 0
+                              ? static_cast<double>(r.rel.retransmits) /
+                                    static_cast<double>(r.rel.data_frames)
+                              : 0;
+        w.begin_object(nullptr, /*inline_scope=*/true);
+        w.field("loss", r.loss, 3);
+        w.field("vtime_s", vt, 6);
+        w.field("goodput_frames_per_s", goodput, 1);
+        w.field("data_frames", r.rel.data_frames);
+        w.field("retransmits", r.rel.retransmits);
+        w.field("retransmit_overhead", overhead, 5);
+        w.field("dup_drops", r.rel.dup_drops);
+        w.field("corrupt_drops", r.rel.corrupt_drops);
+        w.field("acks_sent", r.rel.acks_sent);
+        w.field("injected_drops", r.injected_drops);
+        w.field("srtt_us", r.srtt_us, 2);
+        w.field("checksum", r.result.checksum, 6);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tham
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string path = "BENCH_fault.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=PATH]]\n", argv[0]);
+      return 2;
+    }
+  }
+  return tham::run_sweep(json, path);
+}

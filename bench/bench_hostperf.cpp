@@ -477,10 +477,9 @@ int run_json(const std::string& path, bool smoke) {
   {
     bench::JsonWriter w(f);
     w.begin_object();
-    w.field("schema", "tham-hostperf-v1");
-    w.machine_field(default_cost_model());
+    w.header("tham-hostperf-v1", default_cost_model(), /*seed=*/0,
+             g_sim_threads);
     w.field("smoke", smoke);
-    w.field("sim_threads", g_sim_threads);
 #if defined(THAM_FIBER_FAST_SWITCH)
     w.field("fiber_fast_switch", true);
 #else

@@ -25,6 +25,7 @@
 
 #include "am/am.hpp"
 #include "apps/em3d.hpp"
+#include "common/env.hpp"
 #include "json_out.hpp"
 #include "apps/water.hpp"
 #include "net/network.hpp"
@@ -153,8 +154,8 @@ int host_scaling(int threads, bool json, const std::string& json_path) {
     {
       bench::JsonWriter w(f);
       w.begin_object();
-      w.field("schema", "tham-scaling-v1");
-      w.machine_field(default_cost_model());
+      w.header("tham-scaling-v1", default_cost_model(),
+               apps::em3d::Config{}.seed, env_sim_threads());
       w.field("workload", "em3d-ghost weak scaling");
       w.field("sim_nodes", 64);
       w.field("host_cpus", host_cpus);

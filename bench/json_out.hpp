@@ -83,6 +83,20 @@ class JsonWriter {
   /// Records which machine profile produced the numbers in this file.
   void machine_field(const CostModel& cm) { field("machine", cm.machine); }
 
+  /// The common result-file header every bench writes first, immediately
+  /// after begin_object(): schema name, machine profile, the workload seed
+  /// (0 when the workload is unseeded), and the THAM_SIM_THREADS setting
+  /// the process ran under. Keeping the block here means every committed
+  /// BENCH_*.json is self-describing the same way, and a schema change
+  /// never touches the per-bench payload below it.
+  void header(const char* schema, const CostModel& cm, std::uint64_t seed,
+              int sim_threads) {
+    field("schema", schema);
+    machine_field(cm);
+    field("seed", seed);
+    field("sim_threads", sim_threads);
+  }
+
   /// All scopes must be closed before the writer goes away.
   ~JsonWriter() {
     THAM_CHECK_MSG(stack_.empty(), "JsonWriter destroyed with open scopes");

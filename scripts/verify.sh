@@ -4,7 +4,8 @@
 #   1. tier-1:  default build + the whole ctest suite (includes the
 #      perf-smoke harness and the checker unit tests, which compile in
 #      every flavor), then the transport conformance suite again under
-#      THAM_MACHINE=modern-cluster.
+#      THAM_MACHINE=modern-cluster and the fault/reliable-transport suite
+#      under THAM_MACHINE=lossy-cluster.
 #   2. werror:  -DTHAM_WERROR=ON build, so the warnings-as-errors gate
 #      actually builds at least once per change.
 #   3. check:   -DTHAM_CHECK=ON build + ctest. Turns on the tham-check
@@ -28,6 +29,12 @@ ctest --test-dir build --output-on-failure
 # Transport conformance + app smoke under the non-default machine profile
 # (the full suite stays on sp2: the paper benches assert its calibration).
 THAM_MACHINE=modern-cluster ./build/tests/test_transport
+# Reliable-transport + fault-injection suite on the profile built for it
+# (lossy-cluster: modern-cluster with a misbehaving wire), plus the lossy
+# schedule-fuzz leg, so the exactly-once and bit-identity guarantees are
+# proved on the profile users will actually run faults on.
+THAM_MACHINE=lossy-cluster ./build/tests/test_fault
+THAM_MACHINE=lossy-cluster ./build/tests/test_property --gtest_filter='*FaultFuzz*'
 
 if [ "${1:-}" = "quick" ]; then
   echo "verify: OK (quick)"

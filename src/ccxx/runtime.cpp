@@ -277,13 +277,13 @@ Runtime::Runtime(sim::Engine& engine, net::Network& net, am::AmLayer& am)
         st.gate_mu.unlock();
       });
   h_red_arrive_ = am_.register_short(
-      "cc.red_arrive", [this](sim::Node& self, am::Token, const am::Words& w) {
+      "cc.red_arrive", [this](sim::Node& self, am::Token t, const am::Words& w) {
         ComponentScope scope(self, Component::Runtime);
         self.advance(cost().cc_dispatch);
         double v;
         Word bits = w[0];
         std::memcpy(&v, &bits, sizeof(v));
-        coord_reduce_arrive(self, v);
+        coord_reduce_arrive(self, t.reply_to, v);
       });
 }
 
@@ -623,16 +623,20 @@ void Runtime::coord_barrier_arrive(sim::Node& self) {
   }
 }
 
-void Runtime::coord_reduce_arrive(sim::Node& self, double v) {
+void Runtime::coord_reduce_arrive(sim::Node& self, NodeId rank, double v) {
   THAM_CHECK(self.id() == 0);
   auto& s0 = *state_[0];
-  s0.red_acc += v;
+  if (s0.red_vals.empty()) {
+    s0.red_vals.resize(static_cast<std::size_t>(engine_.size()), 0.0);
+  }
+  s0.red_vals[static_cast<std::size_t>(rank)] = v;
   ++s0.red_arrivals;
   if (s0.red_arrivals < engine_.size()) return;
   s0.red_arrivals = 0;
   ++s0.red_epoch;
-  double total = s0.red_acc;
-  s0.red_acc = 0;
+  // Rank-ordered summation: arrival order cannot change the result.
+  double total = 0;
+  for (double x : s0.red_vals) total += x;
   Word bits;
   std::memcpy(&bits, &total, sizeof(bits));
   s0.gate_mu.lock();
@@ -670,7 +674,7 @@ double Runtime::all_reduce_sum(double v) {
   std::uint64_t target = ++st.red_epoch_entered;
   n.advance(cost().cc_stub_lookup);
   if (n.id() == 0) {
-    coord_reduce_arrive(n, v);
+    coord_reduce_arrive(n, 0, v);
   } else {
     Word bits;
     std::memcpy(&bits, &v, sizeof(bits));

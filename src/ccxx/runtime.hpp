@@ -457,7 +457,9 @@ class Runtime {
     int bar_arrivals = 0;
     std::uint64_t bar_epoch = 0;
     int red_arrivals = 0;
-    double red_acc = 0;
+    /// Per-rank reduction slots, summed in rank order at release so the
+    /// result is independent of arrival order (message timing).
+    std::vector<double> red_vals;
     std::uint64_t red_epoch = 0;
   };
 
@@ -538,7 +540,7 @@ class Runtime {
   }
 
   void coord_barrier_arrive(sim::Node& self);
-  void coord_reduce_arrive(sim::Node& self, double v);
+  void coord_reduce_arrive(sim::Node& self, NodeId rank, double v);
 
   sim::Engine& engine_;
   net::Network& net_;

@@ -123,10 +123,27 @@ class Checker {
   // --- Terminal audit (Engine / Node, at drain) ---------------------------
   void audit_stuck_task(int node, std::uint64_t task, const char* name,
                         const char* why, SimTime node_time);
-  void audit_inbox(int node, std::size_t pending, SimTime earliest_arrival,
-                   int earliest_src, SimTime node_time);
+  /// Undelivered inbox messages at drain. `artifacts` of the `pending`
+  /// records carry fault-injection / transport-protocol markers
+  /// (sim::kFault* bits): residue of injected faults, reported as info.
+  /// Any remaining genuine message is a LostMessage diagnostic — a real
+  /// protocol bug, fault injection or not.
+  void audit_inbox(int node, std::size_t pending, std::size_t artifacts,
+                   SimTime earliest_arrival, int earliest_src,
+                   SimTime node_time);
   void audit_pool(int node, std::size_t capacity, std::size_t free_records,
                   std::size_t pending, SimTime node_time);
+  /// The fault injector's ledger, reported as info: these messages were
+  /// dropped on purpose, so their absence is not a protocol bug.
+  void audit_injector(std::uint64_t drops, std::uint64_t dups,
+                      std::uint64_t delays, std::uint64_t corruptions);
+
+  // --- Reliable transport (transport::Reliable) ---------------------------
+  /// A frame exhausted its retransmission budget: the message is genuinely
+  /// lost despite the reliability protocol. Always a LostMessage
+  /// diagnostic — this is the failure a reliable transport must surface.
+  void on_reliable_give_up(int node, int dst, std::uint64_t rseq, int tries,
+                           SimTime now);
   /// Joins every surviving task clock into the host context so post-run
   /// host-side reads of checked variables are ordered after the run.
   void finish_run();
@@ -135,6 +152,9 @@ class Checker {
   const std::vector<Diagnostic>& diagnostics() const noexcept {
     return diags_;
   }
+  /// Advisory context lines (injected-fault residue, drop ledgers):
+  /// printed alongside diagnostics but never counted as failures.
+  const std::vector<std::string>& infos() const noexcept { return infos_; }
   std::size_t count(Kind k) const noexcept;
   void print(std::FILE* out) const;
 
@@ -215,6 +235,7 @@ class Checker {
   std::vector<std::uint32_t> free_msg_ids_;
   std::unordered_map<const void*, VarState> vars_;
   std::vector<Diagnostic> diags_;
+  std::vector<std::string> infos_;
 };
 
 /// RAII override of the auto-attach flag: tests use it to run an engine

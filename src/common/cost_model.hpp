@@ -108,6 +108,27 @@ struct CostModel {
   SimTime nx_sync_op = usec(3.0);
   SimTime nx_envelope_bytes = 64;       ///< protocol header per message
 
+  // --- Reliable transport service (src/transport reliable.hpp) ------------
+  /// Per-frame sequencing/bookkeeping CPU (stamping a sequence number,
+  /// tracking the unacked window) paid on each transmission and each
+  /// in-order reception of a reliable frame.
+  SimTime rel_frame_overhead = usec(0.5);
+  /// Processing one cumulative acknowledgement at the sender.
+  SimTime rel_ack_overhead = usec(0.3);
+
+  // --- Wire fault defaults (src/fault) -------------------------------------
+  // Per-message probabilities of the machine's interconnect misbehaving;
+  // all zero (a perfect wire, the paper's SP2 assumption) except on
+  // profiles built to study failure, e.g. "lossy-cluster". Read only by
+  // fault::Plan::from_machine — the injector, not the cost model, applies
+  // them.
+  double fault_loss = 0;
+  double fault_dup = 0;
+  double fault_delay = 0;
+  double fault_corrupt = 0;
+  /// Extra wire time a delay-spiked message spends in flight.
+  SimTime fault_delay_spike = 0;
+
   // --- Application compute -------------------------------------------------
   /// One double-precision floating-point operation (P2SC-era compiled code,
   /// ~40 MFLOP/s sustained).

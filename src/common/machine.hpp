@@ -23,6 +23,11 @@
 //                        exists so experiments can ask how the AM-vs-MPMD
 //                        gap shifts when the network is no longer the
 //                        bottleneck.
+//   * "lossy-cluster"  — modern-cluster whose wire misbehaves: the profile
+//                        carries fault-injection defaults (loss, dups,
+//                        delay spikes, corruption) that
+//                        fault::Plan::from_machine turns into a plan for
+//                        the reliable-transport experiments.
 //
 // Selection: THAM_MACHINE=<name> picks the default profile every Engine is
 // born with; Engine::set_machine(name) overrides per engine before run().
@@ -110,6 +115,26 @@ inline CostModel modern_cluster_cost_model() {
   return m;
 }
 
+/// The modern cluster with a misbehaving interconnect: same costs, but the
+/// machine description carries nonzero fault defaults (2% loss, 0.5%
+/// duplication, 1% delay spikes of 50 us, 0.2% payload corruption) that
+/// fault::Plan::from_machine turns into an injection plan. Built for the
+/// reliable-transport experiments: running the apps here over
+/// transport::Reliable shows what retransmission machinery costs when the
+/// wire actually drops things.
+inline CostModel lossy_cluster_cost_model() {
+  CostModel m = modern_cluster_cost_model();
+  m.machine = "lossy-cluster";
+  m.rel_frame_overhead = usec(0.1);  // scaled with the faster CPU
+  m.rel_ack_overhead = usec(0.06);
+  m.fault_loss = 0.02;
+  m.fault_dup = 0.005;
+  m.fault_delay = 0.01;
+  m.fault_corrupt = 0.002;
+  m.fault_delay_spike = usec(50.0);
+  return m;
+}
+
 /// One registry entry: a name, a one-line summary (printed in diagnostics
 /// and docs), and a factory for the profile's CostModel.
 struct MachineProfile {
@@ -134,6 +159,10 @@ inline const std::vector<MachineProfile>& machine_profiles() {
        "synthetic LogGP commodity cluster: sub-us overheads, 1.5 us "
        "latency, 10 GB/s",
        [] { return modern_cluster_cost_model(); }},
+      {"lossy-cluster",
+       "modern-cluster with a misbehaving wire: 2% loss, dups, delay "
+       "spikes, corruption",
+       [] { return lossy_cluster_cost_model(); }},
   };
   return profiles;
 }

@@ -1,0 +1,119 @@
+#include "fault/fault.hpp"
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace tham::fault {
+
+namespace {
+
+// Salts separating the independent per-message draws. Arbitrary distinct
+// constants; part of the meaning of a seed, so never renumber.
+constexpr std::uint64_t kLoss = 0xd1ceb01dfa117e57ull;
+constexpr std::uint64_t kDup = 0x2b1ade5ca1ab1e00ull;
+constexpr std::uint64_t kDelay = 0x5107fee1b0a7ed11ull;
+constexpr std::uint64_t kCorrupt = 0xbadc0ffee0ddf00dull;
+
+/// Finalizer of splitmix64 (Steele et al.): full-avalanche bijection, so
+/// consecutive seq values map to uncorrelated draws.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+std::uint64_t fault_hash(std::uint64_t seed, NodeId src, NodeId dst,
+                         std::uint64_t seq, std::uint64_t salt) {
+  std::uint64_t h = hash_mix(seed, salt);
+  h = hash_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)));
+  h = hash_mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)));
+  h = hash_mix(h, seq);
+  return mix64(h);
+}
+
+double hash_uniform(std::uint64_t h) {
+  // Top 53 bits -> [0, 1): every double in the range is reachable and the
+  // mapping is exact (no rounding), so thresholds compare reproducibly.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Plan Plan::from_machine(const CostModel& cm, std::uint64_t seed) {
+  Plan p;
+  p.seed = seed;
+  p.loss = cm.fault_loss;
+  p.dup = cm.fault_dup;
+  p.delay = cm.fault_delay;
+  p.corrupt = cm.fault_corrupt;
+  p.delay_spike = cm.fault_delay_spike;
+  return p;
+}
+
+Injector::Injector(Plan plan, int num_nodes)
+    : plan_(std::move(plan)),
+      num_nodes_(num_nodes),
+      link_drops_(static_cast<std::size_t>(num_nodes) *
+                  static_cast<std::size_t>(num_nodes)) {
+  THAM_CHECK(num_nodes > 0);
+  THAM_CHECK_MSG(plan_.loss >= 0 && plan_.loss <= 1 && plan_.dup >= 0 &&
+                     plan_.dup <= 1 && plan_.delay >= 0 && plan_.delay <= 1 &&
+                     plan_.corrupt >= 0 && plan_.corrupt <= 1,
+                 "fault::Plan probabilities must be in [0, 1]");
+}
+
+Decision Injector::decide(NodeId src, NodeId dst, std::uint64_t seq,
+                          SimTime send_time) const {
+  Decision d;
+  double loss = plan_.loss;
+  for (const Window& w : plan_.windows) {
+    if (w.src != kInvalidNode && w.src != src) continue;
+    if (w.dst != kInvalidNode && w.dst != dst) continue;
+    if (send_time < w.begin || send_time >= w.end) continue;
+    loss += w.extra_loss;
+  }
+  if (loss > 0 &&
+      hash_uniform(fault_hash(plan_.seed, src, dst, seq, kLoss)) < loss) {
+    d.drop = true;
+    return d;  // a dropped message has no other fate
+  }
+  if (plan_.dup > 0 &&
+      hash_uniform(fault_hash(plan_.seed, src, dst, seq, kDup)) < plan_.dup) {
+    d.duplicate = true;
+  }
+  if (plan_.delay > 0 && plan_.delay_spike > 0 &&
+      hash_uniform(fault_hash(plan_.seed, src, dst, seq, kDelay)) <
+          plan_.delay) {
+    d.extra_delay = plan_.delay_spike;
+  }
+  if (plan_.corrupt > 0 &&
+      hash_uniform(fault_hash(plan_.seed, src, dst, seq, kCorrupt)) <
+          plan_.corrupt) {
+    d.corrupt = true;
+  }
+  return d;
+}
+
+void Injector::record(const Decision& d, NodeId src, NodeId dst) {
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  if (d.drop) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    link_drops_[static_cast<std::size_t>(src) *
+                    static_cast<std::size_t>(num_nodes_) +
+                static_cast<std::size_t>(dst)]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  if (d.duplicate) dups_.fetch_add(1, std::memory_order_relaxed);
+  if (d.extra_delay > 0) delays_.fetch_add(1, std::memory_order_relaxed);
+  if (d.corrupt) corruptions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::drops_on(NodeId src, NodeId dst) const {
+  return ld(link_drops_[static_cast<std::size_t>(src) *
+                            static_cast<std::size_t>(num_nodes_) +
+                        static_cast<std::size_t>(dst)]);
+}
+
+}  // namespace tham::fault

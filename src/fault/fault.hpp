@@ -1,0 +1,126 @@
+#pragma once
+// Deterministic fault injection for the simulated interconnect.
+//
+// A fault::Plan describes how the wire misbehaves (loss, duplication,
+// delay spikes, payload corruption, per-link degradation windows); a
+// fault::Injector turns the plan into per-message decisions at the
+// net::Network boundary.
+//
+// The load-bearing property is schedule independence: a decision is a pure
+// function of (plan seed, src, dst, per-source seq) — plus the send
+// timestamp for degradation windows, which is itself deterministic — and
+// NEVER of host scheduling, wall clock, or any global counter. Each sender
+// stamps its own per-source sequence, so the same program produces the
+// same fault pattern on the sequential engine and on any shard count of
+// the parallel engine: the bit-identity guarantees of PR 3 extend
+// unchanged to lossy runs (the golden-trace and ScheduleFuzz harnesses
+// assert it).
+//
+// Injected artifacts are marked on the Message (sim/message.hpp kFault*
+// bits) so the terminal-state auditor can tell transport residue from a
+// genuinely lost application message, and the injector keeps a ledger
+// (drops/dups/delays/corruptions, per-link drops) that the checker reports
+// as info at the end of a run.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_model.hpp"
+#include "common/types.hpp"
+
+namespace tham::fault {
+
+/// A window of elevated loss on one directed link — a flaky cable or a
+/// congested uplink for part of the run. Matched on the (deterministic)
+/// virtual send time.
+struct Window {
+  NodeId src = kInvalidNode;  ///< kInvalidNode = every source
+  NodeId dst = kInvalidNode;  ///< kInvalidNode = every destination
+  SimTime begin = 0;
+  SimTime end = 0;            ///< exclusive
+  double extra_loss = 0;      ///< added to Plan::loss inside the window
+};
+
+/// What the wire does to traffic. All probabilities in [0, 1]; a
+/// default-constructed plan is a perfect wire.
+struct Plan {
+  std::uint64_t seed = 1;
+  double loss = 0;         ///< message vanishes
+  double dup = 0;          ///< a second copy arrives dup_gap later
+  double delay = 0;        ///< message is held back delay_spike longer
+  double corrupt = 0;      ///< payload arrives damaged (flag only)
+  SimTime delay_spike = 0; ///< extra wire time of a delayed message
+  /// Arrival spacing of a duplicate's second copy. 0 = one minimal tick,
+  /// so the copy sorts strictly after the original without reordering
+  /// against later traffic.
+  SimTime dup_gap = 0;
+  std::vector<Window> windows;
+
+  /// The machine profile's fault defaults (fault_* fields of CostModel)
+  /// under the given seed — how `lossy-cluster` runs get their plan.
+  static Plan from_machine(const CostModel& cm, std::uint64_t seed);
+};
+
+/// The per-message outcome. `drop` wins over everything else; a duplicated
+/// message may also be delayed or corrupted (the copy shares the fate of
+/// the original's payload).
+struct Decision {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  SimTime extra_delay = 0;
+  bool faulty() const { return drop || duplicate || corrupt || extra_delay > 0; }
+};
+
+class Injector {
+ public:
+  /// `num_nodes` sizes the per-link drop ledger.
+  Injector(Plan plan, int num_nodes);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  const Plan& plan() const { return plan_; }
+
+  /// The fault decision for one message. Pure: depends only on the plan
+  /// and the arguments, so any engine schedule derives the same outcome.
+  Decision decide(NodeId src, NodeId dst, std::uint64_t seq,
+                  SimTime send_time) const;
+
+  /// Counts a decision in the ledger. Split from decide() so the decision
+  /// function stays const/pure; called once per message by the network.
+  void record(const Decision& d, NodeId src, NodeId dst);
+
+  // --- Ledger (atomics: shard workers record concurrently) -----------------
+  std::uint64_t decisions() const { return ld(decisions_); }
+  std::uint64_t drops() const { return ld(drops_); }
+  std::uint64_t dups() const { return ld(dups_); }
+  std::uint64_t delays() const { return ld(delays_); }
+  std::uint64_t corruptions() const { return ld(corruptions_); }
+  std::uint64_t drops_on(NodeId src, NodeId dst) const;
+
+ private:
+  static std::uint64_t ld(const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  }
+
+  Plan plan_;
+  int num_nodes_;
+  std::atomic<std::uint64_t> decisions_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> dups_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+  std::vector<std::atomic<std::uint64_t>> link_drops_;  ///< src * N + dst
+};
+
+/// The keyed hash behind every decision: a strong 64-bit mix of
+/// (seed, src, dst, seq, salt). Exposed for the determinism unit tests.
+std::uint64_t fault_hash(std::uint64_t seed, NodeId src, NodeId dst,
+                         std::uint64_t seq, std::uint64_t salt);
+
+/// Maps a hash to a uniform double in [0, 1).
+double hash_uniform(std::uint64_t h);
+
+}  // namespace tham::fault

@@ -12,15 +12,48 @@ Network::Network(sim::Engine& engine)
       channel_clock_(static_cast<std::size_t>(engine.size()) *
                      static_cast<std::size_t>(engine.size())) {}
 
+void Network::set_injector(fault::Injector* injector) {
+  injector_ = injector;
+  if (injector_ != nullptr) {
+    // Terminal audit: report the drop ledger as info so an attached
+    // checker can tell injected drops from a protocol losing messages.
+    fault::Injector* inj = injector_;
+    engine_.add_audit_hook([inj](check::Checker& chk) {
+      chk.audit_injector(inj->drops(), inj->dups(), inj->delays(),
+                         inj->corruptions());
+    });
+  }
+}
+
 void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
                    SimTime sender_cpu, SimTime wire_time,
-                   sim::InlineHandler deliver) {
+                   sim::InlineHandler deliver, std::uint8_t flags) {
   THAM_CHECK(dst >= 0 && dst < engine_.size());
   THAM_CHECK_MSG(dst != src.id(), "network send to self");
 
   src.advance(sender_cpu);
 
-  SimTime arrival = src.now() + wire_time;
+  // Per-source send sequence: the FIFO tie-break key every engine schedule
+  // derives identically (a global counter would encode the schedule) — and
+  // therefore also the fault-decision key.
+  std::uint64_t seq = src.next_send_seq();
+
+  fault::Decision fd;
+  if (injector_ != nullptr) {
+    fd = injector_->decide(src.id(), dst, seq, src.now());
+    // A duplicate needs a second delivery closure; a move-only closure
+    // cannot be copied, so such a message simply is not duplicated.
+    // Deterministic either way: copyability is a property of the call
+    // site, not of the schedule.
+    if (fd.duplicate && !deliver.copyable()) fd.duplicate = false;
+    injector_->record(fd, src.id(), dst);
+  }
+
+  // A delay spike is added to the wire time BEFORE the FIFO clamp: the
+  // slowed message pushes the channel clock forward, so later messages on
+  // the same link still arrive after it (per-link FIFO holds; reordering
+  // happens only relative to other links' traffic).
+  SimTime arrival = src.now() + wire_time + fd.extra_delay;
   // FIFO per channel: a message cannot overtake an earlier one on the same
   // (src, dst) link.
   auto chan = static_cast<std::size_t>(src.id()) *
@@ -34,18 +67,37 @@ void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
   ++src.counters().msgs_sent;
   src.counters().bytes_sent += bytes;
 
-  if (observer_) {
-    observer_(SendEvent{src.id(), dst, src.now(), arrival, bytes, wire});
+  if (fd.drop) {
+    // The bits occupied the wire (channel clock above) but never arrive.
+    // The delivery closure dies here.
+    if (observer_) {
+      observer_(SendEvent{src.id(), dst, src.now(), arrival, bytes, wire,
+                          flags, Fate::Dropped});
+    }
+    return;
   }
+
+  if (observer_) {
+    observer_(SendEvent{src.id(), dst, src.now(), arrival, bytes, wire, flags,
+                        Fate::Delivered});
+  }
+
+  std::uint8_t fault_flags = 0;
+  if (fd.corrupt) fault_flags |= sim::kFaultCorrupt;
+  if ((flags & (kSendRetransmit | kSendAck)) != 0) {
+    fault_flags |= sim::kFaultProtoAux;
+  }
+
+  sim::InlineHandler dup_deliver;
+  if (fd.duplicate) dup_deliver = deliver.clone();
 
   sim::Message m;
   m.arrival = arrival;
   m.src = src.id();
-  // Per-source send sequence: the FIFO tie-break key every engine schedule
-  // derives identically (a global counter would encode the schedule).
-  m.seq = src.next_send_seq();
+  m.seq = seq;
   m.wire_bytes = bytes;
   m.deliver = std::move(deliver);
+  m.fault_flags = fault_flags;
 #if defined(THAM_CHECK_ENABLED)
   // Not THAM_HOOK: the send hook returns the clock-snapshot id that rides
   // in the message and becomes the send->deliver happens-before edge.
@@ -56,6 +108,33 @@ void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
   // Routed through the engine: mid-epoch cross-shard sends park in the
   // sending shard's outbox until the barrier.
   engine_.deliver(dst, std::move(m));
+
+  if (fd.duplicate) {
+    // The second copy trails the original by the plan's dup gap (minimum
+    // one tick, so the two records never tie on (arrival, src, seq)), and
+    // pushes the channel clock so per-link FIFO still holds around it.
+    SimTime gap =
+        injector_->plan().dup_gap > 0 ? injector_->plan().dup_gap : 1;
+    SimTime dup_arrival = arrival + gap;
+    channel_clock_[chan] = std::max(channel_clock_[chan], dup_arrival);
+    if (observer_) {
+      observer_(SendEvent{src.id(), dst, src.now(), dup_arrival, bytes, wire,
+                          flags, Fate::DupCopy});
+    }
+    sim::Message m2;
+    m2.arrival = dup_arrival;
+    m2.src = src.id();
+    m2.seq = seq;  // it IS the same message; receivers dedup on content
+    m2.wire_bytes = bytes;
+    m2.deliver = std::move(dup_deliver);
+    m2.fault_flags = fault_flags | sim::kFaultInjectedDup;
+#if defined(THAM_CHECK_ENABLED)
+    if (auto* chk = check::Checker::active()) {
+      m2.check_clock = chk->on_send(src.id());
+    }
+#endif
+    engine_.deliver(dst, std::move(m2));
+  }
 }
 
 }  // namespace tham::net

@@ -10,12 +10,20 @@
 // layer's job (transport::wire_cost); the messaging backends (AM, MPL,
 // Nexus/TCP) choose the wire class and provide the closure through
 // transport::Channel.
+//
+// This is also where the wire misbehaves: an attached fault::Injector
+// decides — deterministically, from (seed, src, dst, per-source seq) —
+// whether each message is dropped, duplicated, delay-spiked, or corrupted
+// before it reaches the destination inbox. Dropped messages still advance
+// the FIFO channel clock (the bits occupied the wire), so the arrival
+// timestamps of surviving traffic are schedule-independent too.
 
 #include <atomic>
 #include <functional>
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/node.hpp"
 
@@ -29,10 +37,26 @@ enum class Wire {
   Tcp,      ///< TCP/IP over the switch (Nexus configuration)
 };
 
+/// Send-flag bits a transport may attach to a message, so observers
+/// (stats::Tracer) can tell protocol-control traffic from fresh data.
+enum : std::uint8_t {
+  kSendRetransmit = 1u << 0,  ///< reliable-transport retransmission
+  kSendAck = 1u << 1,         ///< reliable-transport cumulative ack
+};
+
 class Network {
  public:
-  /// Observes every send (src, dst, send time, arrival, bytes, wire).
-  /// Used by stats::Tracer; at most one observer.
+  /// What became of a send at the network boundary.
+  enum class Fate : std::uint8_t {
+    Delivered,  ///< enqueued at the destination (possibly delay-spiked)
+    Dropped,    ///< fault injector dropped it; never reaches the inbox
+    DupCopy,    ///< the injector-made second copy of a duplicated message
+  };
+
+  /// Observes every send (src, dst, send time, arrival, bytes, wire,
+  /// flags, fate). Used by stats::Tracer; at most one observer. A
+  /// duplicated message reports two events: the original (Delivered) and
+  /// the extra copy (DupCopy).
   struct SendEvent {
     NodeId src;
     NodeId dst;
@@ -40,6 +64,8 @@ class Network {
     SimTime arrival;
     std::size_t bytes;
     Wire wire;
+    std::uint8_t flags = 0;  ///< kSendRetransmit / kSendAck
+    Fate fate = Fate::Delivered;
   };
   using Observer = std::function<void(const SendEvent&)>;
 
@@ -56,10 +82,11 @@ class Network {
   /// destination. The closure is stored inline (sim::InlineHandler): no
   /// heap allocation per send. Both costs are precomputed by
   /// transport::Channel from the machine profile — the network itself
-  /// reads no calibration constants.
+  /// reads no calibration constants. `flags` (kSendRetransmit/kSendAck)
+  /// mark protocol-control traffic for observers and the terminal audit.
   void send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
-            SimTime sender_cpu, SimTime wire_time,
-            sim::InlineHandler deliver);
+            SimTime sender_cpu, SimTime wire_time, sim::InlineHandler deliver,
+            std::uint8_t flags = 0);
 
   /// Messages sent so far (all wires).
   std::uint64_t total_messages() const {
@@ -70,6 +97,15 @@ class Network {
   }
 
   sim::Engine& engine() { return engine_; }
+
+  /// Attaches a fault injector; every subsequent send asks it for a
+  /// decision. Null detaches. The injector makes schedule-independent
+  /// decisions, so — unlike an observer — it does NOT force the
+  /// sequential executor. Registers the injector's ledger with the
+  /// engine's terminal audit, so injected drops are reported as info
+  /// (not diagnostics) when a checker is attached.
+  void set_injector(fault::Injector* injector);
+  fault::Injector* injector() const { return injector_; }
 
   /// Installing an observer pins the engine to the sequential executor: a
   /// single callback watching every send cannot be invoked from concurrent
@@ -82,6 +118,7 @@ class Network {
  private:
   Observer observer_;
   sim::Engine& engine_;
+  fault::Injector* injector_ = nullptr;
   /// Last arrival per src*N+dst. Row `src` is only touched by sends from
   /// `src`, which all execute on the shard worker owning that node, so
   /// parallel runs write disjoint elements.

@@ -177,6 +177,7 @@ void Engine::run() {
 void Engine::finish_run() {
   if (checker_ && check::Checker::active() == checker_.get()) {
     for (auto& n : nodes_) n->audit_terminal(*checker_);
+    for (auto& hook : audit_hooks_) hook(*checker_);
     checker_->finish_run();
     // Diagnostics are advisory: print them, leave pass/fail to the caller
     // (tests assert on checker()->diagnostics(), apps on the smoke gate).

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string_view>
@@ -141,6 +142,14 @@ class Engine {
   /// its diagnostics are printed (not fatal) at the end of run().
   check::Checker* checker() const { return checker_.get(); }
 
+  /// Registers a hook called during the terminal audit (after the per-node
+  /// audits, before diagnostics print) when a checker is attached.
+  /// Subsystems outside the engine — the fault injector's drop ledger —
+  /// use it to contribute run-level audit context.
+  void add_audit_hook(std::function<void(check::Checker&)> hook) {
+    audit_hooks_.push_back(std::move(hook));
+  }
+
  private:
   friend class SequentialExecutor;
   friend class ParallelExecutor;
@@ -201,6 +210,7 @@ class Engine {
   /// + lookahead - 1): tasks pause once their clock would pass it.
   std::atomic<SimTime> epoch_limit_{0};
   std::vector<std::string> stuck_;
+  std::vector<std::function<void(check::Checker&)>> audit_hooks_;
   std::unique_ptr<check::Checker> checker_;  ///< null when not auto-attached
 };
 

@@ -73,6 +73,22 @@ class InlineFn<R(Args...), Cap> {
 
   explicit operator bool() const { return ops_ != nullptr; }
 
+  /// True if the stored closure can be duplicated (copy-constructible).
+  /// The fault injector needs a second delivery closure to materialize a
+  /// duplicated message; move-only closures simply cannot be duplicated.
+  bool copyable() const { return ops_ != nullptr && ops_->copy != nullptr; }
+
+  /// Duplicates the stored closure. Caller must check copyable() first; a
+  /// clone of an empty or move-only InlineFn returns an empty one.
+  InlineFn clone() const {
+    InlineFn out;
+    if (copyable()) {
+      ops_->copy(buf_, out.buf_);
+      out.ops_ = ops_;
+    }
+    return out;
+  }
+
   void reset() {
     if (ops_ != nullptr) {
       ops_->destroy(buf_);
@@ -84,6 +100,7 @@ class InlineFn<R(Args...), Cap> {
   struct Ops {
     R (*invoke)(void* f, Args... args);
     void (*relocate)(void* from, void* to);  ///< move-construct, destroy src
+    void (*copy)(const void* from, void* to);  ///< null if move-only
     void (*destroy)(void* f);
   };
 
@@ -97,8 +114,15 @@ class InlineFn<R(Args...), Cap> {
       ::new (to) Fn(std::move(*src));
       src->~Fn();
     }
+    static void copy(const void* from, void* to) {
+      if constexpr (std::is_copy_constructible_v<Fn>) {
+        ::new (to) Fn(*static_cast<const Fn*>(from));
+      }
+    }
     static void destroy(void* f) { static_cast<Fn*>(f)->~Fn(); }
-    static constexpr Ops ops{&invoke, &relocate, &destroy};
+    static constexpr Ops ops{
+        &invoke, &relocate,
+        std::is_copy_constructible_v<Fn> ? &copy : nullptr, &destroy};
   };
 
   void move_from(InlineFn& o) {

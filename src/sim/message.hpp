@@ -12,6 +12,20 @@ namespace tham::sim {
 
 class Node;
 
+/// Message::fault_flags bits. Set by the fault injector (net boundary) and
+/// the reliable transport; zero on every message of a fault-free run.
+enum : std::uint8_t {
+  /// Payload-corruption marker: the bits arrived damaged. Receivers that
+  /// care (transport::Reliable) drop the message instead of acking it.
+  kFaultCorrupt = 1u << 0,
+  /// This record is the injector-made duplicate copy, not the original.
+  kFaultInjectedDup = 1u << 1,
+  /// Protocol-internal frame (ack or retransmission) of the reliable
+  /// transport: if still undelivered when the run drains it is transport
+  /// residue, not an application message loss.
+  kFaultProtoAux = 1u << 2,
+};
+
 struct Message {
   SimTime arrival = 0;     ///< virtual time the message is available at dst
   NodeId src = kInvalidNode;
@@ -27,8 +41,10 @@ struct Message {
   InlineHandler deliver;
   /// tham-check send-clock id: carries the sender's vector-clock snapshot
   /// to the delivery hook. 0 (no snapshot) whenever no checker is attached.
-  /// Last on purpose: positional aggregate initializers stay valid.
   std::uint32_t check_clock = 0;
+  /// Fault-injection markers (kFault* bits above). Last on purpose:
+  /// positional aggregate initializers stay valid.
+  std::uint8_t fault_flags = 0;
 };
 
 }  // namespace tham::sim

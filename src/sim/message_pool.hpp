@@ -51,6 +51,13 @@ class MessagePool {
   std::size_t capacity() const { return slabs_.size() * kSlabSize; }
   std::size_t free_records() const { return free_.size(); }
 
+  /// Visits every pending message in unspecified order (terminal audits:
+  /// distinguishing injected-fault artifacts from genuinely lost messages).
+  template <typename F>
+  void for_each_pending(F&& f) const {
+    for (Index i : heap_.data()) f(record(i));
+  }
+
  private:
   static constexpr std::size_t kSlabSize = 64;
 

@@ -158,17 +158,31 @@ void Node::join(Task* t) {
 }
 
 bool Node::wait_for_inbox(bool poll_only) {
+  return wait_for_inbox_until(Task::kNoDeadline, poll_only);
+}
+
+bool Node::wait_for_inbox_until(SimTime deadline, bool poll_only) {
   THAM_CHECK_MSG(current_ != nullptr, "wait_for_inbox() outside a task");
   THAM_CHECK_MSG(!in_handler(), "wait_for_inbox() inside a message handler");
   if (shutting_down_) return false;
   if (inbox_due()) return true;
+  if (deadline != Task::kNoDeadline) {
+    if (deadline <= clock_) return true;  // already expired
+    // The timer activation is created here, at park time — a deterministic
+    // point of the program — so the activation multiset stays a pure
+    // function of the program, not of the engine schedule.
+    engine_.wake(this, deadline);
+  }
   current_->poll_only_wait_ = poll_only;
+  current_->wait_deadline_ = deadline;
   // Park until something happens on this node: a message becomes due, any
   // message is delivered by another task (its handler may have satisfied
-  // the condition this caller is waiting for), or shutdown. Spurious
-  // wakeups are allowed; callers loop and re-check their own predicate.
+  // the condition this caller is waiting for), the deadline is reached, or
+  // shutdown. Spurious wakeups are allowed; callers loop and re-check
+  // their own predicate.
   current_->why_ = Task::Why::InboxWait;
   Fiber::suspend();
+  current_->wait_deadline_ = Task::kNoDeadline;
   return !shutting_down_;
 }
 
@@ -202,7 +216,10 @@ bool Node::poll_one() {
   counters_.dispatch_digest = hash_mix(d, static_cast<std::uint64_t>(clock_));
   THAM_HOOK(on_deliver_begin(id_, m.src, m.check_clock, clock_));
   ++handler_depth_;
+  const Message* prev_delivery = current_delivery_;
+  current_delivery_ = &m;
   m.deliver(*this);
+  current_delivery_ = prev_delivery;
   --handler_depth_;
   THAM_HOOK(on_deliver_end(id_));
   // The handler may have satisfied a condition some parked task is waiting
@@ -237,8 +254,23 @@ SimTime Node::next_arrival() const {
   return inbox_.empty() ? SimTime{-1} : inbox_.top().arrival;
 }
 
+bool Node::has_work_at(SimTime t) const {
+  if (!runq_.empty()) return true;
+  if (!inbox_.empty() && inbox_.top().arrival <= t) return true;
+  for (const Task* w : inbox_waiters_) {
+    if (w->wait_deadline_ <= t) return true;
+  }
+  return false;
+}
+
 void Node::on_wake(SimTime t) {
   if (t > clock_) {
+    // A stale activation (a timer deadline that was re-armed or satisfied
+    // after the wake was queued) must not advance the clock: nothing
+    // happens here, so no virtual time passes. Every activation that does
+    // carry work still jumps — message arrivals are checked against their
+    // own wake time, and live timer deadlines against the waiting task's.
+    if (!has_work_at(t)) return;
     // Idle time (waiting for a message to arrive) is attributed to the
     // component of the waiting task — normally Net, since the waiter sits
     // inside the messaging layer. This keeps breakdown().total() == now().
@@ -256,15 +288,37 @@ void Node::on_wake(SimTime t) {
   run_ready_tasks();
 }
 
+void Node::wake_expired_waiters() {
+  // Timed waiters whose deadline the clock has reached resume regardless
+  // of inbox state — the sim-timer half of wait_for_inbox_until. Decided
+  // only from node state at run-queue drain, like every waiter wakeup, so
+  // the engine schedule cannot leak into who runs. Compacted in place.
+  std::size_t kept = 0;
+  for (Task* w : inbox_waiters_) {
+    if (w->wait_deadline_ > clock_) {
+      inbox_waiters_[kept++] = w;
+      continue;
+    }
+    w->why_ = Task::Why::Ready;
+    w->in_runq_ = true;
+    runq_.push_back(w);
+  }
+  inbox_waiters_.resize(kept);
+}
+
 void Node::run_ready_tasks() {
   while (true) {
     if (runq_.empty()) {
-      // Nothing runnable. If a message is already due and someone is
-      // parked waiting for the inbox, wake the most recently parked waiter
-      // (it drains all due messages when it runs; waking everyone would
-      // charge spurious context switches the real system never paid).
-      // Future arrivals need no action here: every queued message already
-      // has an engine activation at its arrival time.
+      // Nothing runnable. Timed waiters whose deadline has arrived resume
+      // first (they were parked explicitly for this clock), then, if a
+      // message is already due and someone is parked waiting for the
+      // inbox, wake the most recently parked waiter (it drains all due
+      // messages when it runs; waking everyone would charge spurious
+      // context switches the real system never paid). Future arrivals
+      // need no action here: every queued message already has an engine
+      // activation at its arrival time.
+      wake_expired_waiters();
+      if (!runq_.empty()) continue;
       if (inbox_waiters_.empty() || !inbox_due()) return;
       Task* w = inbox_waiters_.back();
       inbox_waiters_.pop_back();
@@ -378,8 +432,25 @@ void Node::audit_terminal(check::Checker& chk) const {
     }
   }
   if (!inbox_.empty()) {
-    chk.audit_inbox(id_, inbox_.pending(), inbox_.top().arrival,
-                    inbox_.top().src, clock_);
+    // Records carrying fault markers (an injector-made duplicate copy, a
+    // corrupted frame a receiver refused, transport acks/retransmits in
+    // flight past the end of the program) are expected residue of a lossy
+    // run, not lost application messages. The earliest *genuine* pending
+    // message names the real problem when there is one.
+    std::size_t artifacts = 0;
+    const Message* earliest = nullptr;
+    inbox_.for_each_pending([&](const Message& m) {
+      if (m.fault_flags != 0) {
+        ++artifacts;
+        return;
+      }
+      if (earliest == nullptr || m.arrival < earliest->arrival) {
+        earliest = &m;
+      }
+    });
+    const Message& top = earliest != nullptr ? *earliest : inbox_.top();
+    chk.audit_inbox(id_, inbox_.pending(), artifacts, top.arrival, top.src,
+                    clock_);
   }
   chk.audit_pool(id_, inbox_.capacity(), inbox_.free_records(),
                  inbox_.pending(), clock_);

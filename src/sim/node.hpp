@@ -56,6 +56,9 @@ class Task {
        std::uint64_t id, bool daemon)
       : fiber_(std::move(body), pool), name_(name), id_(id), daemon_(daemon) {}
 
+  /// Sentinel for "parked with no deadline" (plain wait_for_inbox).
+  static constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::max();
+
   /// Re-initializes a reaped task for reuse from the node's free list.
   void recycle(std::function<void()> body, const char* name, std::uint64_t id,
                bool daemon) {
@@ -67,6 +70,7 @@ class Task {
     in_runq_ = false;
     causality_resume_ = false;
     poll_only_wait_ = false;
+    wait_deadline_ = kNoDeadline;
     why_ = Why::Ready;
     comp_ = Component::Cpu;
     slot_ = 0;
@@ -81,6 +85,9 @@ class Task {
   bool in_runq_ = false;
   bool causality_resume_ = false;  ///< next resume continues a paused charge
   bool poll_only_wait_ = false;    ///< parked via wait_for_inbox(poll_only)
+  /// Virtual-time deadline of a wait_for_inbox_until park; kNoDeadline for
+  /// untimed waits. Reset on every resume.
+  SimTime wait_deadline_ = kNoDeadline;
   Why why_ = Why::Ready;
   Component comp_ = Component::Cpu;
   std::size_t slot_ = 0;  ///< index in Node::tasks_ for O(1) removal
@@ -177,6 +184,15 @@ class Node {
   /// predicate of its own to re-check), avoiding spurious context
   /// switches to the polling thread.
   bool wait_for_inbox(bool poll_only = false);
+  /// wait_for_inbox with a virtual-time deadline: additionally resumes once
+  /// the node's clock reaches `deadline` — the sim timer primitive the
+  /// reliable transport's retransmission service is built on. The deadline
+  /// wake is schedule-independent: the engine activation is created here
+  /// (at park time, a deterministic point of the task's execution) and the
+  /// resume decision is made only from node state at queue-drain time.
+  /// Returns immediately if the deadline has already passed. Returns false
+  /// only on shutdown.
+  bool wait_for_inbox_until(SimTime deadline, bool poll_only = false);
 
   bool shutting_down() const { return shutting_down_; }
 
@@ -195,6 +211,11 @@ class Node {
   /// Arrival time of the earliest queued message, or -1 if none.
   SimTime next_arrival() const;
   bool in_handler() const { return handler_depth_ > 0; }
+  /// The message whose delivery closure is currently running (poll_one),
+  /// or null outside a delivery. Lets a receive-side protocol inspect the
+  /// envelope of the message it is handling — transport::Reliable reads
+  /// fault_flags here to detect injected payload corruption.
+  const Message* current_delivery() const { return current_delivery_; }
 
   // --- Engine interface (not for runtime/application code) ----------------
   void on_wake(SimTime t);
@@ -214,6 +235,13 @@ class Node {
  private:
   void run_ready_tasks();
   void wake_inbox_waiters();
+  void wake_expired_waiters();
+  /// True if an activation at virtual time `t` has anything to do here: a
+  /// runnable task, a message due by `t`, or a timed waiter whose deadline
+  /// has been reached. Guards the idle clock jump in on_wake() so a stale
+  /// timer activation (deadline re-armed or cancelled after the wake was
+  /// queued) does not inflate the node's clock.
+  bool has_work_at(SimTime t) const;
   void finish_task(Task* t);
   void reap(Task* t);
   void maybe_pause_for_causality();
@@ -235,6 +263,7 @@ class Node {
   std::vector<Task*> inbox_waiters_;
   Task* current_ = nullptr;
   Task* last_ran_ = nullptr;
+  const Message* current_delivery_ = nullptr;
   int handler_depth_ = 0;
   bool shutting_down_ = false;
   std::uint64_t next_task_id_ = 0;

@@ -25,6 +25,9 @@ class QuadHeap {
   std::size_t size() const { return v_.size(); }
   const T& top() const { return v_.front(); }
   void reserve(std::size_t n) { v_.reserve(n); }
+  /// The backing vector, in heap (not pop) order. For whole-container scans
+  /// (terminal audits) that need every element but no particular order.
+  const std::vector<T>& data() const { return v_; }
 
   void push(T x) {
     v_.push_back(std::move(x));

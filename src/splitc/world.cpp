@@ -205,17 +205,14 @@ World::World(sim::Engine& engine, net::Network& net, am::AmLayer& am)
         st.red_release = w[0];
       });
   h_red_arrive_ = am_.register_short(
-      "sc.red_arrive", [this](sim::Node& self, am::Token, const am::Words& w) {
+      "sc.red_arrive", [this](sim::Node& self, am::Token t, const am::Words& w) {
         THAM_CHECK(self.id() == 0);
         ComponentScope scope(self, Component::Runtime);
         self.advance(self.cost().sc_barrier_fan);
         double v;
         Word bits = w[0];
         std::memcpy(&v, &bits, sizeof(v));
-        auto& s0 = state_of(self);
-        s0.red_acc += v;
-        ++s0.red_arrivals;
-        if (s0.red_arrivals == procs()) release_reduction(self);
+        reduce_arrive(self, t.reply_to, v);
       });
 }
 
@@ -230,19 +227,32 @@ void World::release_barrier(sim::Node& node0) {
   }
 }
 
+void World::reduce_arrive(sim::Node& node0, NodeId rank, double v) {
+  auto& s0 = state_[0];
+  if (s0.red_vals.empty()) {
+    s0.red_vals.resize(static_cast<std::size_t>(procs()), 0.0);
+  }
+  s0.red_vals[static_cast<std::size_t>(rank)] = v;
+  ++s0.red_arrivals;
+  if (s0.red_arrivals == procs()) release_reduction(node0);
+}
+
 void World::release_reduction(sim::Node& node0) {
   auto& s0 = state_[0];
   s0.red_arrivals = 0;
   ++s0.red_epoch;
   s0.red_release = s0.red_epoch;
-  s0.red_result = s0.red_acc;
+  // Rank-ordered summation: the result is a pure function of the
+  // contributions, whatever order the arrive messages landed in.
+  double acc = 0;
+  for (double v : s0.red_vals) acc += v;
+  s0.red_result = acc;
   Word bits;
-  std::memcpy(&bits, &s0.red_acc, sizeof(bits));
+  std::memcpy(&bits, &acc, sizeof(bits));
   for (NodeId j = 1; j < procs(); ++j) {
     node0.advance(node0.cost().sc_barrier_fan);
     am_.request(j, h_red_release_, s0.red_epoch, bits);
   }
-  s0.red_acc = 0;
 }
 
 void World::run(std::function<void()> program) {
@@ -467,7 +477,8 @@ double World::all_reduce_min(double v) {
 double World::all_reduce_max(double v) {
   // max(a,b) = log-free trick is messy; use iterated pairwise exchange:
   // everyone contributes to node 0 via the existing arrive path, but we
-  // cannot reuse red_acc (a sum). Instead: reduce the *bit pattern* via
+  // cannot reuse the sum-reduction slots. Instead: reduce the *bit
+  // pattern* via
   // repeated all_reduce_sum rounds of indicator comparisons would be
   // expensive; so: gather via P point-to-point reads after a barrier.
   sim::Node& n = sim::this_node();
@@ -515,10 +526,7 @@ double World::all_reduce_sum(double v) {
   std::memcpy(&bits, &v, sizeof(bits));
   n.advance(n.cost().sc_barrier_fan);
   if (n.id() == 0) {
-    auto& s0 = state_[0];
-    s0.red_acc += v;
-    ++s0.red_arrivals;
-    if (s0.red_arrivals == procs()) release_reduction(n);
+    reduce_arrive(n, 0, v);
   } else {
     am_.request(0, h_red_arrive_, bits);
   }

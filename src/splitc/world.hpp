@@ -100,9 +100,12 @@ class World {
     std::uint64_t barrier_epoch = 0;   ///< completed epochs (node 0)
     std::uint64_t release_epoch = 0;   ///< last release seen (all nodes)
     std::uint64_t my_epoch = 0;        ///< epochs this node entered
-    // Reduction (accumulator on node 0).
+    // Reduction (per-rank slots on node 0). Contributions land in their
+    // sender's slot and are summed in rank order at release, so the
+    // floating-point result is independent of arrival order — message
+    // timing (machine profile, injected faults) cannot change a checksum.
     int red_arrivals = 0;
-    double red_acc = 0;
+    std::vector<double> red_vals;
     std::uint64_t red_epoch = 0;
     std::uint64_t red_release = 0;
     double red_result = 0;
@@ -112,6 +115,7 @@ class World {
   ProcState& self_state();
   ProcState& state_of(const sim::Node& n);
   void release_barrier(sim::Node& node0);
+  void reduce_arrive(sim::Node& node0, NodeId rank, double v);
   void release_reduction(sim::Node& node0);
 
   sim::Engine& engine_;

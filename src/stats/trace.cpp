@@ -14,10 +14,22 @@ const char* wire_name(net::Wire w) {
   return "?";
 }
 
-Tracer::Tracer(net::Network& net) : net_(net) {
+const char* Tracer::marker(const Event& e) {
+  if (e.fate == net::Network::Fate::Dropped) return "fault.drop";
+  if (e.fate == net::Network::Fate::DupCopy) return "fault.dup";
+  if ((e.flags & net::kSendRetransmit) != 0) return "rel.retransmit";
+  if ((e.flags & net::kSendAck) != 0) return "rel.ack";
+  return nullptr;
+}
+
+Tracer::Tracer(net::Network& net, std::size_t cap) : net_(net), cap_(cap) {
   net_.set_observer([this](const net::Network::SendEvent& e) {
-    events_.push_back(
-        Event{e.src, e.dst, e.send_time, e.arrival, e.bytes, e.wire});
+    if (events_.size() >= cap_) {
+      ++dropped_events_;
+      return;
+    }
+    events_.push_back(Event{e.src, e.dst, e.send_time, e.arrival, e.bytes,
+                            e.wire, e.flags, e.fate});
   });
 }
 
@@ -41,19 +53,37 @@ bool Tracer::write_chrome_json(const std::string& path) const {
                  first ? "" : ",\n", wire_name(e.wire), e.src, ts, dur, e.dst,
                  e.bytes);
     first = false;
-    // ...plus a flow arrow to the receiver's track.
+    // ...an instant marker when the message is fault/protocol traffic...
+    if (const char* mark = marker(e)) {
+      std::fprintf(f,
+                   ",\n{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                   "\"tid\":%d,\"ts\":%.3f,"
+                   "\"args\":{\"dst\":%d,\"wire\":\"%s\"}}",
+                   mark, e.src, ts, e.dst, wire_name(e.wire));
+    }
+    // ...plus a flow arrow to the receiver's track. A dropped message
+    // never arrives, so its arrow ends back on the sender's track at the
+    // instant the wire would have delivered it — the visual gap on the
+    // receiver is the point.
+    bool delivered = e.fate != net::Network::Fate::Dropped;
+    const char* flow = delivered ? "msg" : "msg.lost";
     std::fprintf(f,
-                 ",\n{\"name\":\"msg\",\"ph\":\"s\",\"pid\":0,\"tid\":%d,"
+                 ",\n{\"name\":\"%s\",\"ph\":\"s\",\"pid\":0,\"tid\":%d,"
                  "\"ts\":%.3f,\"id\":%llu}",
-                 e.src, ts, static_cast<unsigned long long>(flow_id));
+                 flow, e.src, ts, static_cast<unsigned long long>(flow_id));
     std::fprintf(f,
-                 ",\n{\"name\":\"msg\",\"ph\":\"t\",\"pid\":0,\"tid\":%d,"
+                 ",\n{\"name\":\"%s\",\"ph\":\"t\",\"pid\":0,\"tid\":%d,"
                  "\"ts\":%.3f,\"id\":%llu}",
-                 e.dst, to_usec(e.arrival),
+                 flow, delivered ? e.dst : e.src, to_usec(e.arrival),
                  static_cast<unsigned long long>(flow_id));
     ++flow_id;
   }
   std::fprintf(f, "\n]}\n");
+  if (dropped_events_ > 0) {
+    std::fprintf(stderr,
+                 "tham-stats: trace buffer full, %llu event(s) not recorded\n",
+                 static_cast<unsigned long long>(dropped_events_));
+  }
   std::fclose(f);
   return true;
 }

@@ -5,6 +5,14 @@
 // delivery, with flow arrows between sender and receiver. Useful for
 // eyeballing protocol behaviour (stub-cache cold calls, barrier fan-ins,
 // prefetch pipelining).
+//
+// Fault-injected and reliable-transport traffic is distinguishable:
+// injected drops, injected duplicates, retransmissions, and protocol acks
+// each get a distinct instant marker on top of their slice, so a lossy run
+// reads at a glance (every "fault.drop" should pair with a later
+// "rel.retransmit" of the same link). Long lossy runs can generate
+// unbounded protocol chatter, so the event buffer is capped; overflow is
+// counted, not silently swallowed.
 
 #include <cstdint>
 #include <string>
@@ -17,14 +25,20 @@ namespace tham::stats {
 
 class Tracer {
  public:
-  /// Attaches to a network; every subsequent send is recorded.
-  explicit Tracer(net::Network& net);
+  /// Default event-buffer cap (~1M events, a few hundred MB of JSON).
+  static constexpr std::size_t kDefaultCap = 1u << 20;
+
+  /// Attaches to a network; every subsequent send is recorded, up to
+  /// `cap` events (further sends are counted in dropped_events()).
+  explicit Tracer(net::Network& net, std::size_t cap = kDefaultCap);
   ~Tracer();
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
   std::size_t recorded() const { return events_.size(); }
+  /// Sends that arrived after the event buffer filled up.
+  std::uint64_t dropped_events() const { return dropped_events_; }
 
   /// Writes the Chrome-tracing JSON ("traceEvents" array format).
   /// Returns false if the file could not be opened.
@@ -38,11 +52,19 @@ class Tracer {
     SimTime arrival;
     std::size_t bytes;
     net::Wire wire;
+    std::uint8_t flags;        ///< net::kSend* bits
+    net::Network::Fate fate;
   };
   const std::vector<Event>& events() const { return events_; }
 
+  /// The instant-marker name for an event, or null for plain data
+  /// traffic: "fault.drop", "fault.dup", "rel.retransmit", "rel.ack".
+  static const char* marker(const Event& e);
+
  private:
   net::Network& net_;
+  std::size_t cap_;
+  std::uint64_t dropped_events_ = 0;
   std::vector<Event> events_;
 };
 

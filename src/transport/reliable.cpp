@@ -1,0 +1,284 @@
+#include "transport/reliable.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "check/checker.hpp"
+#include "check/hooks.hpp"
+#include "common/check.hpp"
+#include "sim/engine.hpp"
+
+namespace tham::transport {
+
+using sim::Component;
+using sim::ComponentScope;
+
+Reliable::Reliable(Channel& chan, Config cfg) : chan_(chan), cfg_(cfg) {
+  const CostModel& cm = chan.cost();
+  // Defaults scale with the machine's wire latency: the RTO starts a few
+  // round-trips out, never drops under one round-trip, and backoff is
+  // capped so a long loss burst cannot park a link for ever.
+  SimTime lat = wire_cost(cm, Wire::AmShort, 0).wire_time;
+  if (lat <= 0) lat = 1;
+  if (cfg_.rto_initial <= 0) cfg_.rto_initial = 8 * lat;
+  if (cfg_.rto_min <= 0) cfg_.rto_min = 2 * lat;
+  if (cfg_.rto_max <= 0) cfg_.rto_max = 1024 * lat;
+  THAM_CHECK_MSG(cfg_.backoff >= 1, "Reliable: backoff multiplier < 1");
+  THAM_CHECK_MSG(cfg_.max_retries >= 1, "Reliable: max_retries < 1");
+
+  sim::Engine& e = chan.engine();
+  int n = e.size();
+  for (int i = 0; i < n; ++i) {
+    NodeState& st = state_.emplace_back();
+    st.tx.resize(static_cast<std::size_t>(n));
+    st.rx.resize(static_cast<std::size_t>(n));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    sim::Node& node = e.node(i);
+    state_[static_cast<std::size_t>(i)].daemon = node.spawn(
+        [this, &node] { daemon_loop(node); }, "rel.timer", /*daemon=*/true);
+  }
+  chan.set_reliable(this);
+}
+
+Reliable::Stats Reliable::total() const {
+  Stats t;
+  for (const NodeState& st : state_) {
+    t.data_frames += st.st.data_frames;
+    t.retransmits += st.st.retransmits;
+    t.dup_drops += st.st.dup_drops;
+    t.corrupt_drops += st.st.corrupt_drops;
+    t.acks_sent += st.st.acks_sent;
+    t.acks_recv += st.st.acks_recv;
+    t.gave_up += st.st.gave_up;
+  }
+  return t;
+}
+
+Reliable::Frame* Reliable::alloc_frame(NodeState& st) {
+  if (!st.free_frames.empty()) {
+    Frame* f = st.free_frames.back();
+    st.free_frames.pop_back();
+    return f;
+  }
+  st.arena.emplace_back();
+  return &st.arena.back();
+}
+
+void Reliable::free_frame(NodeState& st, Frame* f) {
+  f->payload = sim::InlineHandler();
+  st.free_frames.push_back(f);
+}
+
+void Reliable::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
+                    sim::InlineHandler deliver) {
+  NodeState& st = state_[static_cast<std::size_t>(src.id())];
+  LinkTx& tx = st.tx[static_cast<std::size_t>(dst)];
+  Frame* f = alloc_frame(st);
+  f->dst = dst;
+  f->wire = wire;
+  f->bytes = bytes;
+  f->rseq = tx.next_rseq++;
+  f->tries = 0;
+  f->payload = std::move(deliver);
+  tx.unacked.push_back(f);
+  ++st.st.data_frames;
+  src.advance(Component::Net,
+              charge_cost(chan_.cost(), Charge::RelFrameSend));
+  transmit(src, tx, *f, /*flags=*/0);
+  nudge(src, st);
+}
+
+void Reliable::transmit(sim::Node& src, LinkTx& tx, Frame& f,
+                        std::uint8_t flags) {
+  if (f.tries == 0) f.first_sent = src.now();
+  f.last_sent = src.now();
+  ++f.tries;
+  Reliable* rel = this;
+  NodeId s = src.id();
+  std::uint64_t rseq = f.rseq;
+  Frame* fp = &f;
+  chan_.raw_send(src, f.dst, f.wire, f.bytes, flags,
+                 [rel, s, rseq, fp](sim::Node& n) {
+                   rel->on_frame(n, s, rseq, fp);
+                 });
+  if (tx.unacked.front() == &f) {
+    if (tx.rto_cur <= 0) tx.rto_cur = cfg_.rto_initial;
+    tx.deadline = src.now() + tx.rto_cur;
+  }
+}
+
+void Reliable::send_ack(sim::Node& recv, NodeId to, std::uint64_t acked,
+                        NodeState& st) {
+  ++st.st.acks_sent;
+  Reliable* rel = this;
+  NodeId from = recv.id();
+  chan_.raw_send(recv, to, Wire::AmShort, 0, net::kSendAck,
+                 [rel, from, acked](sim::Node& n) {
+                   rel->on_ack(n, from, acked);
+                 });
+}
+
+void Reliable::on_frame(sim::Node& n, NodeId src, std::uint64_t rseq,
+                        Frame* f) {
+  NodeState& st = state_[static_cast<std::size_t>(n.id())];
+  LinkRx& rx = st.rx[static_cast<std::size_t>(src)];
+  n.advance(Component::Net,
+            charge_cost(chan_.cost(), Charge::RelFrameRecv));
+  const sim::Message* m = n.current_delivery();
+  if (m != nullptr && (m->fault_flags & sim::kFaultCorrupt) != 0) {
+    // A corrupted frame fails its (modelled) checksum: discard without
+    // acking and let the sender's timer repair it.
+    ++st.st.corrupt_drops;
+    return;
+  }
+  bool buffered_dup =
+      std::any_of(rx.buffered.begin(), rx.buffered.end(),
+                  [rseq](const auto& p) { return p.first == rseq; });
+  if (rseq < rx.expected || buffered_dup) {
+    // A duplicate: an injected copy, or a retransmit whose original made
+    // it through. The frame pointer may be stale (sender frees frames once
+    // they are cumulatively acked, and rseq < expected implies this one
+    // was acked), so the sequence check alone decides — never touch `f`.
+    ++st.st.dup_drops;
+    send_ack(n, src, rx.expected - 1, st);
+    return;
+  }
+  if (rseq == rx.expected) {
+    f->payload(n);
+    ++rx.expected;
+    // Drain frames the gap was holding back. Each drained payload is its
+    // own delivery in the checker's eyes (fresh reply-lint frame, same
+    // source); the happens-before edge was already joined when the
+    // buffered copy arrived through poll_one.
+    while (!rx.buffered.empty() &&
+           rx.buffered.front().first == rx.expected) {
+      Frame* next = rx.buffered.front().second;
+      rx.buffered.erase(rx.buffered.begin());
+      THAM_HOOK(on_deliver_end(n.id()));
+      THAM_HOOK(on_deliver_begin(n.id(), src, /*clock_id=*/0, n.now()));
+      next->payload(n);
+      ++rx.expected;
+    }
+    send_ack(n, src, rx.expected - 1, st);
+  } else {
+    // Out of order: hold for the gap, ack what we have (the cumulative
+    // ack doubles as a duplicate-ack hint that something is missing).
+    auto it = std::lower_bound(
+        rx.buffered.begin(), rx.buffered.end(), rseq,
+        [](const auto& p, std::uint64_t v) { return p.first < v; });
+    rx.buffered.insert(it, {rseq, f});
+    send_ack(n, src, rx.expected - 1, st);
+  }
+}
+
+void Reliable::on_ack(sim::Node& n, NodeId from, std::uint64_t acked) {
+  NodeState& st = state_[static_cast<std::size_t>(n.id())];
+  LinkTx& tx = st.tx[static_cast<std::size_t>(from)];
+  n.advance(Component::Net, charge_cost(chan_.cost(), Charge::RelAckRecv));
+  const sim::Message* m = n.current_delivery();
+  if (m != nullptr && (m->fault_flags & sim::kFaultCorrupt) != 0) {
+    return;  // corrupted ack: discard; a retransmit re-acks
+  }
+  ++st.st.acks_recv;
+  bool popped = false;
+  while (!tx.unacked.empty() && tx.unacked.front()->rseq <= acked) {
+    Frame* f = tx.unacked.front();
+    tx.unacked.pop_front();
+    popped = true;
+    if (f->tries == 1) {
+      // Karn's rule: only never-retransmitted frames give an unambiguous
+      // RTT sample (a retransmitted frame's ack could answer either copy).
+      SimTime sample = n.now() - f->first_sent;
+      tx.srtt = tx.srtt == 0 ? sample : (7 * tx.srtt + sample) / 8;
+      tx.rto_cur = std::clamp(3 * tx.srtt, cfg_.rto_min, cfg_.rto_max);
+    }
+    free_frame(st, f);
+  }
+  if (!popped) return;  // stale/duplicate ack
+  if (tx.unacked.empty()) {
+    tx.deadline = kNoTimer;
+  } else {
+    SimTime rto = tx.rto_cur > 0 ? tx.rto_cur : cfg_.rto_initial;
+    tx.deadline = std::max(n.now(), tx.unacked.front()->last_sent + rto);
+  }
+  nudge(n, st);
+}
+
+SimTime Reliable::next_deadline(const NodeState& st) const {
+  SimTime dl = kNoTimer;
+  for (const LinkTx& tx : st.tx) dl = std::min(dl, tx.deadline);
+  return dl;
+}
+
+void Reliable::nudge(sim::Node& n, NodeState& st) {
+  if (n.shutting_down() || st.daemon == nullptr || st.daemon->done()) return;
+  SimTime want = next_deadline(st);
+  if (want == st.armed) return;
+  bool earlier =
+      want != kNoTimer && (st.armed == kNoTimer || want < st.armed);
+  bool disarm = want == kNoTimer && st.armed != kNoTimer;
+  // Waking on disarm lets the daemon re-park untimed; the engine wake
+  // queued for the old deadline then finds no expired waiter and does not
+  // jump the node clock (Node::has_work_at), so cancelled timers never
+  // inflate the run's virtual time.
+  if (earlier || disarm) n.wake(st.daemon);
+}
+
+void Reliable::daemon_loop(sim::Node& n) {
+  ComponentScope scope(n, Component::Net);
+  NodeState& st = state_[static_cast<std::size_t>(n.id())];
+  for (;;) {
+    SimTime dl = next_deadline(st);
+    st.armed = dl;
+    bool alive = dl == kNoTimer
+                     ? n.wait_for_inbox(/*poll_only=*/true)
+                     : n.wait_for_inbox_until(dl, /*poll_only=*/true);
+    if (!alive) return;
+    // Contract of a poll_only waiter woken for due traffic: deliver it.
+    Endpoint(n).drain_due();
+    fire_due(n, st);
+  }
+}
+
+void Reliable::fire_due(sim::Node& n, NodeState& st) {
+  const CostModel& cm = chan_.cost();
+  // Destination order keeps multi-link timeout bursts deterministic.
+  for (std::size_t dst = 0; dst < st.tx.size(); ++dst) {
+    LinkTx& tx = st.tx[dst];
+    if (tx.unacked.empty() || tx.deadline == kNoTimer ||
+        tx.deadline > n.now()) {
+      continue;
+    }
+    Frame* f = tx.unacked.front();
+    if (f->tries > cfg_.max_retries) {
+      // Retransmission budget exhausted: the message is genuinely lost,
+      // reliability notwithstanding. Surface it loudly — this is the one
+      // loss a reliable transport must never paper over.
+      tx.unacked.pop_front();
+      ++st.st.gave_up;
+      std::fprintf(stderr,
+                   "tham-transport: node %d gave up on frame %llu to node "
+                   "%d after %d attempts\n",
+                   n.id(), static_cast<unsigned long long>(f->rseq), f->dst,
+                   f->tries);
+      if (auto* chk = check::Checker::active()) {
+        chk->on_reliable_give_up(n.id(), f->dst, f->rseq, f->tries, n.now());
+      }
+      free_frame(st, f);
+      if (tx.unacked.empty()) {
+        tx.deadline = kNoTimer;
+      } else {
+        tx.deadline = n.now() + tx.rto_cur;
+      }
+      continue;
+    }
+    ++st.st.retransmits;
+    if (tx.rto_cur <= 0) tx.rto_cur = cfg_.rto_initial;
+    tx.rto_cur = std::min(tx.rto_cur * cfg_.backoff, cfg_.rto_max);
+    n.advance(Component::Net, charge_cost(cm, Charge::RelFrameSend));
+    transmit(n, tx, *f, net::kSendRetransmit);
+  }
+}
+
+}  // namespace tham::transport

@@ -1,0 +1,174 @@
+#pragma once
+// transport::Reliable — a reliable-delivery service over an unreliable
+// Channel, in the spirit of the reliability sublayers the paper's three
+// runtimes carried over lossy fabrics (AM's request/reply retry layer,
+// MPL's sequenced packets, Nexus-over-UDP): per-link sequence numbers,
+// cumulative acknowledgements, timeout-driven retransmission with
+// exponential backoff, and receiver-side deduplication.
+//
+// The service sits between a messaging layer and its Channel: attach it
+// with Channel::set_reliable() and every Channel::send() is framed
+// through it, while the service itself uses Channel::raw_send() (flagged
+// net::kSendRetransmit / net::kSendAck) so protocol traffic is priced
+// through the same WireCost/Charge machinery as application traffic —
+// retransmits pay the full wire cost again, and the bookkeeping costs are
+// the CostModel's rel_frame_overhead / rel_ack_overhead.
+//
+// Determinism: every protocol decision is a function of virtual time and
+// single-node state. Timeouts run on a per-node "rel.timer" daemon parked
+// in Node::wait_for_inbox_until (the sim-timer primitive), deadlines are
+// re-armed from deterministic points (send, ack processing), and frames
+// retransmit in destination order — so runs are bit-identical across host
+// thread counts even while the fault injector drops, duplicates, delays,
+// and corrupts traffic (see tests/test_property.cpp's fault fuzz leg).
+//
+// Memory discipline matches the PR 1 hot path: frames are pooled
+// per node (address-stable arena + free list), the wire closure is a
+// 32-byte {service, src, rseq, frame} capture, and the application
+// payload is invoked by reference from the frame — never cloned, even
+// across retransmits. A receiver validates the sequence number BEFORE
+// touching the frame pointer: a stale pointer can only arrive on a
+// duplicate of an already-delivered frame (the sender frees frames only
+// after the cumulative ack, which happens-after the receiver advanced
+// past them), and duplicates are dropped on the sequence check alone.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "common/cost_model.hpp"
+#include "common/types.hpp"
+#include "transport/transport.hpp"
+
+namespace tham::check {
+class Checker;
+}
+
+namespace tham::transport {
+
+class Reliable {
+ public:
+  struct Config {
+    /// Retransmission timer before the first RTT sample; 0 = derive from
+    /// the machine profile (a small multiple of the wire latency).
+    SimTime rto_initial = 0;
+    SimTime rto_min = 0;      ///< 0 = derive (floor under the RTT estimate)
+    SimTime rto_max = 0;      ///< 0 = derive (cap on backoff growth)
+    int backoff = 2;          ///< RTO multiplier per timeout
+    int max_retries = 20;     ///< retransmissions before giving up
+  };
+
+  /// Per-node protocol counters (owner-shard writes; read after run()).
+  struct Stats {
+    std::uint64_t data_frames = 0;    ///< application frames sent
+    std::uint64_t retransmits = 0;    ///< timeout-driven re-sends
+    std::uint64_t dup_drops = 0;      ///< duplicate frames discarded (rx)
+    std::uint64_t corrupt_drops = 0;  ///< corrupted frames discarded (rx)
+    std::uint64_t acks_sent = 0;
+    std::uint64_t acks_recv = 0;
+    std::uint64_t gave_up = 0;        ///< frames that exhausted max_retries
+  };
+
+  /// Attaches to `chan` (Channel::set_reliable) and spawns one "rel.timer"
+  /// daemon per node. Construct before Engine::run(); the service must
+  /// outlive the run.
+  explicit Reliable(Channel& chan) : Reliable(chan, Config()) {}
+  Reliable(Channel& chan, Config cfg);
+
+  Reliable(const Reliable&) = delete;
+  Reliable& operator=(const Reliable&) = delete;
+
+  /// Frames, sequences, and transmits one application message. Called by
+  /// Channel::send() when the service is attached.
+  void send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
+            sim::InlineHandler deliver);
+
+  const Config& config() const { return cfg_; }
+  const Stats& stats(NodeId node) const {
+    return state_[static_cast<std::size_t>(node)].st;
+  }
+  Stats total() const;
+  /// Smoothed RTT estimate of the src->dst link (0 until first sample).
+  SimTime srtt(NodeId src, NodeId dst) const {
+    return state_[static_cast<std::size_t>(src)]
+        .tx[static_cast<std::size_t>(dst)]
+        .srtt;
+  }
+
+ private:
+  /// "No retransmission timer armed" sentinel.
+  static constexpr SimTime kNoTimer = std::numeric_limits<SimTime>::max();
+
+  /// One in-flight application message. Pooled per sending node; the
+  /// address is stable for the frame's lifetime (arena of deque slabs).
+  struct Frame {
+    NodeId dst = kInvalidNode;
+    Wire wire = Wire::AmShort;
+    std::size_t bytes = 0;
+    std::uint64_t rseq = 0;    ///< 1-based per-link sequence number
+    int tries = 0;             ///< transmissions so far
+    SimTime first_sent = 0;    ///< for Karn-rule RTT sampling
+    SimTime last_sent = 0;
+    sim::InlineHandler payload;
+  };
+
+  /// Sender side of one (this node -> dst) link.
+  struct LinkTx {
+    std::uint64_t next_rseq = 1;
+    std::deque<Frame*> unacked;   ///< in rseq order; front owns the timer
+    SimTime srtt = 0;             ///< smoothed RTT (0 = no sample yet)
+    SimTime rto_cur = 0;          ///< current timeout (0 = cfg default)
+    SimTime deadline = kNoTimer;  ///< when the front frame times out
+  };
+
+  /// Receiver side of one (src -> this node) link.
+  struct LinkRx {
+    std::uint64_t expected = 1;   ///< next in-order rseq
+    /// Out-of-order frames held for the gap to fill, sorted by rseq.
+    std::vector<std::pair<std::uint64_t, Frame*>> buffered;
+  };
+
+  struct NodeState {
+    std::vector<LinkTx> tx;       ///< indexed by destination node
+    std::vector<LinkRx> rx;       ///< indexed by source node
+    std::deque<Frame> arena;      ///< address-stable frame storage
+    std::vector<Frame*> free_frames;
+    sim::Task* daemon = nullptr;
+    /// Deadline the daemon last parked with (kNoTimer = untimed wait);
+    /// nudge() compares against it to decide whether to wake the daemon.
+    SimTime armed = kNoTimer;
+    Stats st;
+  };
+
+  Frame* alloc_frame(NodeState& st);
+  void free_frame(NodeState& st, Frame* f);
+  /// (Re)transmits `f` on the wire and re-arms the link timer if `f` is
+  /// the front of the unacked queue.
+  void transmit(sim::Node& src, LinkTx& tx, Frame& f, std::uint8_t flags);
+  void send_ack(sim::Node& recv, NodeId to, std::uint64_t acked,
+                NodeState& st);
+  /// Receiver-side frame processing (the wire delivery closure).
+  void on_frame(sim::Node& n, NodeId src, std::uint64_t rseq, Frame* f);
+  /// Sender-side cumulative-ack processing (the ack delivery closure).
+  void on_ack(sim::Node& n, NodeId from, std::uint64_t acked);
+  /// Earliest armed deadline across this node's links.
+  SimTime next_deadline(const NodeState& st) const;
+  /// Wakes the node's timer daemon when the earliest deadline moved
+  /// earlier than what it parked with (or all timers were disarmed, so a
+  /// stale park deadline never inflates the node clock at drain).
+  void nudge(sim::Node& n, NodeState& st);
+  /// Timer daemon body: park until the earliest deadline, deliver due
+  /// messages, fire expired retransmissions in destination order.
+  void daemon_loop(sim::Node& n);
+  void fire_due(sim::Node& n, NodeState& st);
+
+  Channel& chan_;
+  Config cfg_;
+  /// Indexed by node; owner-shard access only. A deque so NodeState (which
+  /// holds a move-only frame arena) is constructed in place, never moved.
+  std::deque<NodeState> state_;
+};
+
+}  // namespace tham::transport

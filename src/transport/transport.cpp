@@ -1,6 +1,7 @@
 #include "transport/transport.hpp"
 
 #include "common/check.hpp"
+#include "transport/reliable.hpp"
 
 namespace tham::transport {
 
@@ -46,19 +47,34 @@ SimTime charge_cost(const CostModel& cm, Charge c) {
       return cm.nx_buffer_alloc + cm.nx_name_resolve;
     case Charge::TcpTxBuffer:
       return cm.nx_buffer_alloc;
+    case Charge::RelFrameSend:
+    case Charge::RelFrameRecv:
+      return cm.rel_frame_overhead;
+    case Charge::RelAckRecv:
+      return cm.rel_ack_overhead;
   }
   return 0;  // unreachable
 }
 
 void Channel::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
                    sim::InlineHandler deliver) {
+  if (reliable_ != nullptr) {
+    reliable_->send(src, dst, wire, bytes, std::move(deliver));
+    return;
+  }
+  raw_send(src, dst, wire, bytes, /*flags=*/0, std::move(deliver));
+}
+
+void Channel::raw_send(sim::Node& src, NodeId dst, Wire wire,
+                       std::size_t bytes, std::uint8_t flags,
+                       sim::InlineHandler deliver) {
   WireCost wc = wire_cost(cost(), wire, bytes);
   sends_[static_cast<std::size_t>(wire)].fetch_add(1,
                                                    std::memory_order_relaxed);
   bytes_[static_cast<std::size_t>(wire)].fetch_add(
       bytes, std::memory_order_relaxed);
   net_.send(src, dst, wire, bytes, wc.sender_cpu, wc.wire_time,
-            std::move(deliver));
+            std::move(deliver), flags);
 }
 
 std::uint64_t Channel::total_sends() const {

@@ -57,9 +57,14 @@ enum class Charge {
   TcpRecv,      ///< kernel TCP receive path + interrupt upcall
   TcpDispatch,  ///< dynamic buffer + full-name handler resolution
   TcpTxBuffer,  ///< outgoing dynamic message buffer (send side)
+  RelFrameSend, ///< reliable transport: frame sequencing/bookkeeping (tx)
+  RelFrameRecv, ///< reliable transport: frame sequencing/dedup check (rx)
+  RelAckRecv,   ///< reliable transport: cumulative-ack processing
 };
 
 SimTime charge_cost(const CostModel& cm, Charge c);
+
+class Reliable;
 
 /// A backend's send side. Each messaging layer owns one Channel, so the
 /// per-wire counters double as per-layer counters.
@@ -72,8 +77,22 @@ class Channel {
 
   /// Sends from the current task on `src`: prices the message for the
   /// active machine profile, counts it, and hands it to the network.
+  /// When a Reliable service is attached, the message is framed and
+  /// sequenced through it instead of going straight to the wire.
   void send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
             sim::InlineHandler deliver);
+
+  /// The unsequenced path: prices, counts, and hands to the network with
+  /// the given net::kSend* flags, bypassing any attached Reliable service.
+  /// This is what Reliable itself uses for frames, retransmits, and acks.
+  void raw_send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
+                std::uint8_t flags, sim::InlineHandler deliver);
+
+  /// Attaches (or detaches, with nullptr) a reliable-delivery service; all
+  /// subsequent send() calls are framed through it. The service must
+  /// outlive the channel's traffic.
+  void set_reliable(Reliable* r) { reliable_ = r; }
+  Reliable* reliable() const { return reliable_; }
 
   /// Messages / payload bytes this channel has sent on `w`.
   std::uint64_t sends(Wire w) const {
@@ -94,6 +113,7 @@ class Channel {
   static constexpr std::size_t kWires = 4;  // AmShort, AmBulk, Mpl, Tcp
 
   net::Network& net_;
+  Reliable* reliable_ = nullptr;
   std::array<std::atomic<std::uint64_t>, kWires> sends_{};
   std::array<std::atomic<std::uint64_t>, kWires> bytes_{};
 };
@@ -139,6 +159,12 @@ class Endpoint {
   /// false). poll_only marks the wait as satisfiable only by delivery,
   /// exactly Node::wait_for_inbox.
   bool wait(bool poll_only = false) { return node_.wait_for_inbox(poll_only); }
+
+  /// Like wait(), but also returns (true) when the node clock reaches
+  /// `deadline` — the timer wait protocol-timeout daemons are built on.
+  bool wait_until(SimTime deadline, bool poll_only = false) {
+    return node_.wait_for_inbox_until(deadline, poll_only);
+  }
 
  private:
   sim::Node& node_;

@@ -215,7 +215,7 @@ TEST(CheckerUnit, AmProtocolLintCatchesPairingViolations) {
 TEST(CheckerUnit, TerminalAuditReportsStuckTasksInboxesAndLeaks) {
   Checker chk;
   chk.audit_stuck_task(1, 7, "waiter", "Blocked", 42);
-  chk.audit_inbox(2, 3, 100, 0, 400);
+  chk.audit_inbox(2, 3, /*artifacts=*/0, 100, 0, 400);
   chk.audit_pool(2, 64, 60, 1, 400);  // 64 != 60 free + 1 pending
   chk.finish_run();
 

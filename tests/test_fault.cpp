@@ -1,0 +1,414 @@
+// Fault injection + reliable transport: the determinism contract of
+// fault::Injector (decisions are pure functions of the plan and the message
+// key, never of host scheduling), the protocol mechanics of
+// transport::Reliable (exactly-once in-order delivery, geometric backoff,
+// the give-up failure path), and the end-to-end guarantee the two give the
+// applications — EM3D, Water, and LU produce bit-identical results on a
+// lossy wire, at any host thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "am/am.hpp"
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/water.hpp"
+#include "check/checker.hpp"
+#include "common/machine.hpp"
+#include "fault/fault.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "transport/reliable.hpp"
+#include "transport/transport.hpp"
+
+namespace tham {
+namespace {
+
+using sim::Engine;
+using sim::Node;
+
+// ---------------------------------------------------------------------------
+// The decision hash: deterministic, keyed on every input, uniform
+// ---------------------------------------------------------------------------
+
+TEST(FaultHash, DeterministicAndKeyedOnEveryInput) {
+  std::uint64_t h = fault::fault_hash(42, 1, 2, 3, 4);
+  EXPECT_EQ(h, fault::fault_hash(42, 1, 2, 3, 4));  // pure
+  EXPECT_NE(h, fault::fault_hash(43, 1, 2, 3, 4));  // seed
+  EXPECT_NE(h, fault::fault_hash(42, 2, 2, 3, 4));  // src
+  EXPECT_NE(h, fault::fault_hash(42, 1, 3, 3, 4));  // dst
+  EXPECT_NE(h, fault::fault_hash(42, 1, 2, 4, 4));  // seq
+  EXPECT_NE(h, fault::fault_hash(42, 1, 2, 3, 5));  // salt
+}
+
+TEST(FaultHash, UniformCoversTheUnitInterval) {
+  double sum = 0, lo = 1, hi = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double u = fault::hash_uniform(
+        fault::fault_hash(7, 0, 1, static_cast<std::uint64_t>(i), 0));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+// ---------------------------------------------------------------------------
+// Injector decisions: pure, frequency-correct, window-aware
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, DecisionsArePureAndMatchThePlanRates) {
+  fault::Plan plan;
+  plan.seed = 99;
+  plan.loss = 0.10;
+  plan.dup = 0.05;
+  plan.delay = 0.20;
+  plan.corrupt = 0.02;
+  plan.delay_spike = usec(40);
+  fault::Injector inj(plan, 4);
+
+  const int n = 20000;
+  int drops = 0, dups = 0, delays = 0, corrupts = 0;
+  for (int i = 0; i < n; ++i) {
+    auto seq = static_cast<std::uint64_t>(i);
+    fault::Decision a = inj.decide(0, 1, seq, usec(10) * i);
+    fault::Decision b = inj.decide(0, 1, seq, usec(10) * i);
+    // Purity: the same key derives the same outcome, every time.
+    ASSERT_EQ(a.drop, b.drop);
+    ASSERT_EQ(a.duplicate, b.duplicate);
+    ASSERT_EQ(a.corrupt, b.corrupt);
+    ASSERT_EQ(a.extra_delay, b.extra_delay);
+    drops += a.drop;
+    dups += a.duplicate;
+    delays += a.extra_delay > 0;
+    corrupts += a.corrupt;
+  }
+  // Frequencies track the plan probabilities (3-sigma-ish tolerances).
+  // Drop wins over every other fate, so the dup/delay/corrupt rates are
+  // conditioned on the message surviving the loss coin.
+  double survive = 1.0 - plan.loss;
+  EXPECT_NEAR(static_cast<double>(drops) / n, plan.loss, 0.01);
+  EXPECT_NEAR(static_cast<double>(dups) / n, plan.dup * survive, 0.008);
+  EXPECT_NEAR(static_cast<double>(delays) / n, plan.delay * survive, 0.012);
+  EXPECT_NEAR(static_cast<double>(corrupts) / n, plan.corrupt * survive,
+              0.005);
+}
+
+TEST(FaultInjector, WindowsRaiseLossOnOneLinkForPartOfTheRun) {
+  fault::Plan plan;
+  plan.seed = 5;
+  fault::Window w;
+  w.src = 0;
+  w.dst = 1;
+  w.begin = usec(100);
+  w.end = usec(200);
+  w.extra_loss = 1.0;  // certain loss inside the window
+  plan.windows.push_back(w);
+  fault::Injector inj(plan, 4);
+
+  for (std::uint64_t seq = 0; seq < 64; ++seq) {
+    EXPECT_TRUE(inj.decide(0, 1, seq, usec(150)).drop) << seq;    // inside
+    EXPECT_FALSE(inj.decide(0, 1, seq, usec(50)).drop) << seq;    // before
+    EXPECT_FALSE(inj.decide(0, 1, seq, usec(200)).drop) << seq;   // end excl.
+    EXPECT_FALSE(inj.decide(1, 0, seq, usec(150)).drop) << seq;   // other link
+  }
+}
+
+TEST(FaultInjector, LedgerCountsWhatItWasTold) {
+  fault::Plan plan;
+  fault::Injector inj(plan, 3);
+  fault::Decision d;
+  d.drop = true;
+  inj.record(d, 0, 1);
+  inj.record(d, 0, 1);
+  d.drop = false;
+  d.duplicate = true;
+  d.extra_delay = usec(10);
+  d.corrupt = true;
+  inj.record(d, 1, 2);
+  EXPECT_EQ(inj.decisions(), 3u);
+  EXPECT_EQ(inj.drops(), 2u);
+  EXPECT_EQ(inj.dups(), 1u);
+  EXPECT_EQ(inj.delays(), 1u);
+  EXPECT_EQ(inj.corruptions(), 1u);
+  EXPECT_EQ(inj.drops_on(0, 1), 2u);
+  EXPECT_EQ(inj.drops_on(1, 2), 0u);
+}
+
+TEST(FaultPlan, FromMachinePicksUpTheLossyClusterDefaults) {
+  CostModel cm = make_machine("lossy-cluster");
+  fault::Plan p = fault::Plan::from_machine(cm, 77);
+  EXPECT_EQ(p.seed, 77u);
+  EXPECT_EQ(p.loss, cm.fault_loss);
+  EXPECT_EQ(p.dup, cm.fault_dup);
+  EXPECT_EQ(p.delay, cm.fault_delay);
+  EXPECT_EQ(p.corrupt, cm.fault_corrupt);
+  EXPECT_EQ(p.delay_spike, cm.fault_delay_spike);
+  EXPECT_GT(p.loss, 0.0);  // the profile really is lossy
+}
+
+// ---------------------------------------------------------------------------
+// Reliable protocol mechanics
+// ---------------------------------------------------------------------------
+
+// A loss window covering [0, 1ms) on the 0->1 link swallows the original
+// transmission and every retransmit whose deadline lands inside it. With
+// rto_initial = 100us and backoff 2 the timer fires at ~100, ~300, ~700,
+// ~1500us after the send: exactly the first three retransmits are lost and
+// the fourth (the first one past the window) delivers. This pins down the
+// geometric schedule in virtual-time units, not just "it retried".
+TEST(Reliable, BackoffScheduleIsGeometricInVirtualTime) {
+  Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);
+  transport::Reliable::Config cfg;
+  cfg.rto_initial = usec(100);
+  cfg.rto_min = usec(50);
+  cfg.rto_max = usec(10000);
+  cfg.backoff = 2;
+  cfg.max_retries = 20;
+  transport::Reliable rel(am.channel(), cfg);
+
+  fault::Plan plan;
+  fault::Window w;
+  w.src = 0;
+  w.dst = 1;
+  w.begin = 0;
+  w.end = msec(1);
+  w.extra_loss = 1.0;
+  plan.windows.push_back(w);
+  fault::Injector inj(plan, e.size());
+  net.set_injector(&inj);
+
+  bool delivered = false;
+  e.node(0).spawn(
+      [&] {
+        am.channel().send(sim::this_node(), 1, net::Wire::AmShort, 0,
+                          [&delivered](Node&) { delivered = true; });
+      },
+      "sender");
+  e.node(1).spawn(
+      [&] {
+        transport::Endpoint ep(sim::this_node());
+        ep.poll_until([&] { return delivered; });
+      },
+      "receiver");
+  e.run();
+
+  EXPECT_TRUE(delivered);
+  transport::Reliable::Stats t = rel.total();
+  EXPECT_EQ(t.data_frames, 1u);
+  EXPECT_EQ(t.retransmits, 4u);  // lost at ~100/~300/~700us, heard at ~1.5ms
+  EXPECT_EQ(t.gave_up, 0u);
+  EXPECT_EQ(inj.drops(), 4u);  // the original + three in-window retransmits
+  // Delivery happened at the fourth timeout: past the window, within the
+  // (un-backed-off would be 500us) geometric horizon.
+  EXPECT_GE(e.node(1).now(), msec(1));
+  EXPECT_LT(e.node(1).now(), msec(2));
+}
+
+TEST(Reliable, ExactlyOnceInOrderUnderLossDupAndCorruption) {
+  Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);
+  transport::Reliable rel(am.channel());
+
+  fault::Plan plan;
+  plan.seed = 31337;
+  plan.loss = 0.20;
+  plan.dup = 0.20;
+  plan.delay = 0.10;
+  plan.corrupt = 0.15;
+  plan.delay_spike = usec(30);
+  fault::Injector inj(plan, e.size());
+  net.set_injector(&inj);
+
+  constexpr int kN = 150;
+  std::vector<int> got;
+  e.node(0).spawn(
+      [&] {
+        for (int i = 0; i < kN; ++i) {
+          am.channel().send(sim::this_node(), 1, net::Wire::AmShort, 0,
+                            [v = &got, i](Node&) { v->push_back(i); });
+        }
+      },
+      "sender");
+  e.node(1).spawn(
+      [&] {
+        transport::Endpoint ep(sim::this_node());
+        ep.poll_until(
+            [&] { return got.size() == static_cast<std::size_t>(kN); });
+      },
+      "receiver");
+  e.run();
+
+  // Despite drops, dups, corruption, and delay spikes on the wire, the
+  // application saw every message exactly once, in send order.
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+
+  transport::Reliable::Stats t = rel.total();
+  EXPECT_EQ(t.data_frames, static_cast<std::uint64_t>(kN));
+  EXPECT_GT(t.retransmits, 0u);    // losses really were repaired
+  EXPECT_GT(t.dup_drops, 0u);      // duplicates really were discarded
+  EXPECT_GT(t.corrupt_drops, 0u);  // corrupted frames really were rejected
+  EXPECT_GT(inj.drops(), 0u);
+  EXPECT_EQ(t.gave_up, 0u);
+}
+
+TEST(Reliable, GiveUpAfterMaxRetriesIsCountedAndDiagnosed) {
+  Engine e(2);
+  net::Network net(e);
+  am::AmLayer am(net);
+  transport::Reliable::Config cfg;
+  cfg.rto_initial = usec(100);
+  cfg.rto_min = usec(50);
+  cfg.rto_max = usec(10000);
+  cfg.max_retries = 2;
+  transport::Reliable rel(am.channel(), cfg);
+
+  fault::Plan plan;
+  plan.loss = 1.0;  // the wire is gone
+  fault::Injector inj(plan, e.size());
+  net.set_injector(&inj);
+
+  e.node(0).spawn(
+      [&] {
+        Node& n = sim::this_node();
+        am.channel().send(n, 1, net::Wire::AmShort, 0, [](Node&) {});
+        // Stay alive past the give-up horizon so the timer daemon gets to
+        // exhaust the budget (fire-and-forget senders otherwise end the
+        // run with the frame still pending).
+        while (rel.total().gave_up == 0 && n.now() < msec(5)) {
+          n.wait_for_inbox_until(n.now() + usec(100), /*poll_only=*/true);
+        }
+      },
+      "sender");
+  e.run();
+
+  transport::Reliable::Stats t = rel.total();
+  EXPECT_EQ(t.gave_up, 1u);
+  EXPECT_EQ(t.retransmits, static_cast<std::uint64_t>(cfg.max_retries));
+  if (check::kHooksCompiledIn && e.checker() != nullptr) {
+    // Giving up is a genuine loss: always a LostMessage diagnostic, never
+    // downgraded to info just because an injector was attached.
+    EXPECT_GE(e.checker()->count(check::Kind::LostMessage), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the applications on a lossy wire
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kAppPlanSeed = 4242;
+constexpr double kAppLoss = 0.05;
+
+template <typename RunFn>
+apps::RunResult run_lossy(int procs, int threads, RunFn&& run) {
+  Engine engine(procs);
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  transport::Reliable rel(am.channel());
+  fault::Plan plan;
+  plan.seed = kAppPlanSeed;
+  plan.loss = kAppLoss;
+  fault::Injector inj(plan, engine.size());
+  net.set_injector(&inj);
+  return run(engine, net, am);
+}
+
+TEST(ReliableApps, Em3dChecksumIdenticalToFaultFreeRun) {
+  apps::em3d::Config cfg;
+  cfg.procs = 4;
+  cfg.graph_nodes = 128;
+  cfg.degree = 5;
+  cfg.iters = 3;
+  cfg.remote_fraction = 0.6;
+  double baseline =
+      apps::em3d::run_splitc(cfg, apps::em3d::Version::Ghost).checksum;
+  apps::RunResult lossy = run_lossy(
+      cfg.procs, 1, [&](Engine& e, net::Network& n, am::AmLayer& a) {
+        return apps::em3d::run_splitc(e, n, a, cfg,
+                                      apps::em3d::Version::Ghost);
+      });
+  // Bit-identical, not merely close: reductions land in per-rank slots, so
+  // fault-induced timing cannot reorder a floating-point sum.
+  EXPECT_EQ(lossy.checksum, baseline);
+}
+
+TEST(ReliableApps, WaterChecksumIdenticalToFaultFreeRun) {
+  apps::water::Config cfg;
+  cfg.molecules = 16;
+  cfg.procs = 2;
+  cfg.steps = 2;
+  double baseline =
+      apps::water::run_splitc(cfg, apps::water::Version::Atomic).checksum;
+  apps::RunResult lossy = run_lossy(
+      cfg.procs, 1, [&](Engine& e, net::Network& n, am::AmLayer& a) {
+        return apps::water::run_splitc(e, n, a, cfg,
+                                       apps::water::Version::Atomic);
+      });
+  EXPECT_EQ(lossy.checksum, baseline);
+}
+
+TEST(ReliableApps, LuChecksumIdenticalToFaultFreeRun) {
+  apps::lu::Config cfg;
+  cfg.n = 32;
+  cfg.block = 8;
+  cfg.procs = 4;
+  double baseline = apps::lu::run_splitc(cfg).checksum;
+  apps::RunResult lossy = run_lossy(
+      cfg.procs, 1, [&](Engine& e, net::Network& n, am::AmLayer& a) {
+        return apps::lu::run_splitc(e, n, a, cfg);
+      });
+  EXPECT_EQ(lossy.checksum, baseline);
+}
+
+// The PR 3 bit-identity guarantee extends to lossy runs: per-node dispatch
+// digests (delivery-order hashes) of a 5%-loss EM3D run over Reliable are
+// equal on the sequential engine and on 2/4/8 host threads.
+TEST(ReliableApps, LossyDispatchDigestsBitIdenticalAcrossHostThreads) {
+  apps::em3d::Config cfg;
+  cfg.procs = 8;
+  cfg.graph_nodes = 256;
+  cfg.degree = 5;
+  cfg.iters = 3;
+  cfg.remote_fraction = 0.6;
+
+  auto fingerprint = [&](int threads) {
+    std::ostringstream os;
+    apps::RunResult r = run_lossy(
+        cfg.procs, threads, [&](Engine& e, net::Network& n, am::AmLayer& a) {
+          apps::RunResult out = apps::em3d::run_splitc(
+              e, n, a, cfg, apps::em3d::Version::Ghost);
+          for (NodeId i = 0; i < e.size(); ++i) {
+            os << "node " << i << ": now=" << e.node(i).now() << " digest="
+               << std::hex << e.node(i).counters().dispatch_digest
+               << std::dec << '\n';
+          }
+          return out;
+        });
+    os << "vtime=" << r.elapsed << " msgs=" << r.messages
+       << " checksum=" << std::hexfloat << r.checksum << std::defaultfloat;
+    return os.str();
+  };
+
+  std::string seq = fingerprint(1);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(seq, fingerprint(threads)) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace tham

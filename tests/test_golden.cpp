@@ -31,8 +31,10 @@
 #include "apps/water.hpp"
 #include "ccxx/runtime.hpp"
 #include "common/hash.hpp"
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "transport/reliable.hpp"
 
 namespace {
 
@@ -141,6 +143,54 @@ GoldenRecord run_water(int threads) {
                       });
 }
 
+// A lossy variant of the machine: the same workload over transport::Reliable
+// with 5% injected loss (plus dups and delay spikes). The fault pattern is a
+// pure function of the plan seed and per-source sequence numbers, so these
+// records pin down the full lossy protocol behavior — retransmission times,
+// dedup, dispatch order — and both engines must reproduce them exactly.
+template <class Fn>
+GoldenRecord with_lossy_machine(int threads, int procs, Fn&& body) {
+  sim::Engine engine(procs);
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  transport::Reliable rel(am.channel());
+  fault::Plan plan;
+  plan.seed = 20250807;
+  plan.loss = 0.05;
+  plan.dup = 0.01;
+  plan.delay = 0.02;
+  plan.delay_spike = usec(40);
+  fault::Injector inj(plan, engine.size());
+  net.set_injector(&inj);
+  RunResult r = body(engine, net, am);
+  return make_record(r, engine);
+}
+
+GoldenRecord run_em3d_lossy(int threads) {
+  em3d::Config cfg = em3d_cfg();
+  return with_lossy_machine(
+      threads, cfg.procs, [&](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+        return em3d::run_splitc(e, n, a, cfg, em3d::Version::Ghost);
+      });
+}
+
+GoldenRecord run_water_lossy(int threads) {
+  water::Config cfg = water_cfg();
+  return with_lossy_machine(
+      threads, cfg.procs, [&](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+        return water::run_splitc(e, n, a, cfg, water::Version::Atomic);
+      });
+}
+
+GoldenRecord run_lu_lossy(int threads) {
+  lu::Config cfg = lu_cfg();
+  return with_lossy_machine(
+      threads, cfg.procs, [&](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+        return lu::run_splitc(e, n, a, cfg);
+      });
+}
+
 template <bool Ccxx>
 GoldenRecord run_lu(int threads) {
   lu::Config cfg = lu_cfg();
@@ -172,6 +222,9 @@ const std::vector<Workload>& workloads() {
        run_water<water::Version::Prefetch, true>},
       {"lu", "lu-splitc", run_lu<false>},
       {"lu", "lu-ccxx", run_lu<true>},
+      {"fault", "em3d-ghost-splitc-lossy", run_em3d_lossy},
+      {"fault", "water-atomic-splitc-lossy", run_water_lossy},
+      {"fault", "lu-splitc-lossy", run_lu_lossy},
   };
   return w;
 }

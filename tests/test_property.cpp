@@ -25,8 +25,10 @@
 #include "check/checked.hpp"
 #include "check/checker.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "splitc/world.hpp"
 #include "threads/threads.hpp"
+#include "transport/reliable.hpp"
 
 namespace tham {
 namespace {
@@ -393,6 +395,165 @@ TEST_P(ScheduleFuzz, ParallelEngineBitIdenticalToSequential) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz, ::testing::Range(0, 26));
+
+// ---------------------------------------------------------------------------
+// Fault fuzz: bit identity survives a misbehaving wire
+// ---------------------------------------------------------------------------
+// The ScheduleFuzz bar on a lossy machine: every seed picks a node count, a
+// loss/dup/delay mix, and a workload of AM ping-pongs, local spawn/join
+// churn, global writes, and barriers, all riding transport::Reliable over
+// an injector-equipped network. Fault decisions are keyed on (plan seed,
+// src, dst, per-source seq) and retransmission timers run on virtual time
+// only, so the sequential and parallel engines must drop, retransmit, and
+// deduplicate the same frames at the same virtual times: the fingerprint —
+// clocks, counters, dispatch digests, and the protocol's own per-node
+// ledger — must match bit-for-bit.
+
+FuzzResult run_fault_fuzz(std::uint64_t seed, int threads) {
+  Rng cfg(seed * 0x9E3779B97F4A7C15ull + 71);
+  int procs = 2 + static_cast<int>(cfg.next_below(7));  // 2..8 nodes
+  Engine engine(procs);
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  transport::Reliable rel(am.channel());
+
+  fault::Plan plan;
+  plan.seed = cfg.next_u64();
+  plan.loss = 0.01 * static_cast<double>(1 + cfg.next_below(5));  // 1..5%
+  plan.dup = 0.02;
+  plan.delay = 0.05;
+  plan.delay_spike = usec(40);
+  fault::Injector inj(plan, engine.size());
+  net.set_injector(&inj);
+
+  splitc::World world(engine, net, am);
+
+  std::vector<std::vector<double>> mail(
+      static_cast<std::size_t>(procs), std::vector<double>(16, 0.0));
+  std::vector<std::uint64_t> hits(static_cast<std::size_t>(procs), 0);
+  std::vector<std::uint64_t> acks(static_cast<std::size_t>(procs), 0);
+  am::HandlerId pong = am.register_short(
+      "fault.pong", [&](sim::Node& self, am::Token, const am::Words& w) {
+        acks[static_cast<std::size_t>(self.id())] += w[0];
+      });
+  am::HandlerId ping = am.register_short(
+      "fault.ping", [&](sim::Node& self, am::Token tok, const am::Words& w) {
+        hits[static_cast<std::size_t>(self.id())] += 1;
+        am.reply(tok, pong, w[0]);
+      });
+
+  std::uint64_t base = cfg.next_u64();
+  Rng shared_src(base);
+  int ops = 8 + static_cast<int>(shared_src.next_below(12));
+  std::vector<bool> barrier_here(static_cast<std::size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    barrier_here[static_cast<std::size_t>(i)] = shared_src.next_below(5) == 0;
+  }
+
+  world.run([&] {
+    NodeId me = splitc::MYPROC();
+    Rng local(base + static_cast<std::uint64_t>(me) * 6007 + 3);
+    std::uint64_t my_pings = 0;
+    for (int i = 0; i < ops; ++i) {
+      switch (local.next_below(4)) {
+        case 0: {  // AM round trip over the lossy wire
+          auto peer = static_cast<NodeId>(
+              (static_cast<std::uint64_t>(me) + 1 +
+               local.next_below(
+                   static_cast<std::uint64_t>(splitc::PROCS() - 1))) %
+              static_cast<std::uint64_t>(splitc::PROCS()));
+          my_pings += 1;
+          am.request(peer, ping, 1);
+          am.poll_until([&] {
+            return acks[static_cast<std::size_t>(me)] >= my_pings;
+          });
+          break;
+        }
+        case 1: {  // local thread fan-out under a mutex
+          threads::Mutex mu;
+          int count = 0;
+          int k = 1 + static_cast<int>(local.next_below(3));
+          std::vector<threads::Thread> ts;
+          for (int j = 0; j < k; ++j) {
+            ts.push_back(threads::spawn(
+                [&] {
+                  mu.lock();
+                  ++count;
+                  mu.unlock();
+                },
+                "fault-worker"));
+          }
+          for (auto& t : ts) threads::join(t);
+          break;
+        }
+        case 2: {  // synchronous global write (request + ack, both lossy)
+          auto dst = static_cast<NodeId>(local.next_below(
+              static_cast<std::uint64_t>(splitc::PROCS())));
+          auto slot = static_cast<std::size_t>(local.next_below(16));
+          splitc::global_ptr<double> gp(
+              dst, &mail[static_cast<std::size_t>(dst)][slot]);
+          splitc::write(gp, local.next_double(-4, 4));
+          break;
+        }
+        default:  // compute burst + cooperative yield
+          sim::this_node().advance(
+              sim::Component::Cpu,
+              static_cast<SimTime>(1 + local.next_below(200)));
+          threads::yield();
+          break;
+      }
+      if (barrier_here[static_cast<std::size_t>(i)]) splitc::barrier();
+    }
+    splitc::barrier();
+  });
+
+  FuzzResult r;
+  r.shards = engine.shards_used();
+  r.procs = procs;
+  std::ostringstream os;
+  for (NodeId i = 0; i < procs; ++i) {
+    const sim::Node& n = engine.node(i);
+    const auto& c = n.counters();
+    const auto& st = rel.stats(i);
+    os << "node " << i << ": now=" << n.now() << " sent=" << c.msgs_sent
+       << " recv=" << c.msgs_recv << " polls=" << c.polls
+       << " digest=" << std::hex << c.dispatch_digest << std::dec
+       << " rel(df=" << st.data_frames << " rtx=" << st.retransmits
+       << " dup=" << st.dup_drops << " corrupt=" << st.corrupt_drops
+       << " acks=" << st.acks_sent << '/' << st.acks_recv
+       << " gaveup=" << st.gave_up << ")\n";
+  }
+  os << "vtime=" << engine.vtime() << " net_msgs=" << net.total_messages()
+     << " faults(drop=" << inj.drops() << " dup=" << inj.dups()
+     << " delay=" << inj.delays() << " corrupt=" << inj.corruptions()
+     << ")\n";
+  r.fingerprint = os.str();
+  return r;
+}
+
+class FaultFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFuzz, LossyRunsBitIdenticalToSequential) {
+  // Two seeds per parameter, thread counts cycling over 2..8.
+  for (int k = 0; k < 2; ++k) {
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 2 +
+                         static_cast<std::uint64_t>(k);
+    int threads = 2 + static_cast<int>(seed % 7);
+    FuzzResult seq = run_fault_fuzz(seed, 1);
+    FuzzResult par = run_fault_fuzz(seed, threads);
+    ASSERT_EQ(seq.shards, 1) << "seed " << seed;
+    if (!check::kHooksCompiledIn) {
+      EXPECT_EQ(par.shards, std::min(threads, par.procs)) << "seed " << seed;
+    }
+    EXPECT_EQ(seq.fingerprint, par.fingerprint)
+        << "seed " << seed << " diverged under " << threads
+        << " threads with faults injected (" << par.shards
+        << " shards used)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(0, 8));
 
 // A planted data race must produce the same tham-check diagnostics whether
 // the run asked for the sequential or the parallel engine. (An attached
