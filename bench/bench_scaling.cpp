@@ -7,25 +7,38 @@
 //
 // Host-scaling mode (the parallel engine):
 //
-//   bench_scaling --threads N [--json[=PATH]]
+//   bench_scaling --threads N[,N2,...] [--nodes N[,N2,...]] [--json[=PATH]]
 //
-// runs a 64-node weak-scaling EM3D workload once on the sequential engine
-// and once sharded across N host worker threads, asserts the two runs are
-// bit-identical (elapsed vtime, checksum, message/switch counts), and
-// reports host wall-clock for both plus the speedup. --json writes
-// BENCH_scaling.json (schema tham-scaling-v1) including host_cpus, because
-// speedup is only attainable when the host actually has spare cores — on a
-// single-core host the honest result is ~1x plus barrier overhead.
+// Thread sweep: runs a 64-node weak-scaling EM3D workload once on the
+// sequential engine and once sharded across each requested worker count,
+// asserts every parallel run is bit-identical to the sequential one
+// (elapsed vtime, checksum, message/switch counts, and the per-node
+// dispatch digests), and reports host wall-clock plus speedup.
+//
+// Node sweep: scales the simulated machine itself (64 .. 100k+ simulated
+// nodes) at a fixed worker count, reporting wall-clock, resident memory,
+// and bytes per simulated node. Large machines (>= 10k nodes) switch to a
+// lighter per-node workload and 32 KiB fiber stacks so a 100k-node run
+// completes in minutes on one core.
+//
+// --json writes BENCH_scaling.json (schema tham-scaling-v2): both sweeps,
+// host_cpus, an explicit `oversubscribed` mark on every point whose worker
+// count exceeds the host's cpus (wall-clock speedup is not attainable
+// there; the run still proves bit-identity), and the epoch-protocol
+// counter block (Engine::EpochProfile) of the largest parallel run.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "am/am.hpp"
 #include "apps/em3d.hpp"
 #include "common/env.hpp"
+#include "common/hash.hpp"
 #include "json_out.hpp"
 #include "apps/water.hpp"
 #include "net/network.hpp"
@@ -81,68 +94,208 @@ int ratio_sweep() {
 
 // --- Host-scaling mode ------------------------------------------------------
 
-struct HostRun {
+/// Resident-set size from /proc/self/status, in KiB (0 where unsupported).
+long read_vm_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  long kb = 0;
+  std::size_t klen = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, klen) == 0 && line[klen] == ':') {
+      kb = std::strtol(line + klen + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+/// The weak-scaling EM3D workload for `sim_nodes` simulated processors.
+/// Large machines get lighter per-node work (the point there is machine
+/// size, not per-node compute) so a 100k-node run stays in minutes.
+apps::em3d::Config scaled_config(int sim_nodes) {
+  apps::em3d::Config cfg;
+  cfg.procs = sim_nodes;
+  if (sim_nodes >= 10000) {
+    cfg.graph_nodes = 2 * sim_nodes;  // one E and one H node per processor
+    cfg.degree = 4;
+    cfg.iters = 2;
+  } else {
+    cfg.graph_nodes = 100 * sim_nodes;
+    cfg.degree = 10;
+    cfg.iters = 5;
+  }
+  cfg.remote_fraction = 0.5;
+  return cfg;
+}
+
+struct Point {
+  int threads = 1;
+  int sim_nodes = 0;
+  int shards_used = 1;
   apps::RunResult result;
-  double seconds = 0;  ///< host wall clock
+  std::uint64_t digest = 0;  ///< combined per-node dispatch digests
+  double seconds = 0;        ///< host wall clock
+  long rss_kb = 0;           ///< VmRSS right after run(), engine still live
+  sim::Engine::EpochProfile prof;
 };
 
-HostRun run_weak_scaling(int threads) {
-  // 64 simulated nodes, constant work per node: the ROADMAP's large-N
-  // shape, big enough that epoch-barrier overhead is amortized.
-  apps::em3d::Config cfg;
-  cfg.procs = 64;
-  cfg.graph_nodes = 100 * cfg.procs;
-  cfg.degree = 10;
-  cfg.iters = 5;
-  cfg.remote_fraction = 0.5;
-  HostRun r;
+Point run_em3d(int threads, int sim_nodes) {
+  apps::em3d::Config cfg = scaled_config(sim_nodes);
+  // 32 KiB fiber stacks on big machines: EM3D tasks are shallow, and stack
+  // memory is the dominant per-node cost at 100k nodes.
+  std::size_t stack_bytes =
+      sim_nodes >= 10000 ? 32 * 1024 : 128 * 1024;
+  Point p;
+  p.threads = threads;
+  p.sim_nodes = sim_nodes;
   auto t0 = std::chrono::steady_clock::now();
-  sim::Engine engine(cfg.procs);
+  sim::Engine engine(cfg.procs, default_cost_model(), stack_bytes);
   engine.set_threads(threads);
   net::Network net(engine);
   am::AmLayer am(net);
-  r.result =
+  p.result =
       apps::em3d::run_splitc(engine, net, am, cfg, apps::em3d::Version::Ghost);
   auto t1 = std::chrono::steady_clock::now();
-  r.seconds = std::chrono::duration<double>(t1 - t0).count();
-  return r;
+  p.seconds = std::chrono::duration<double>(t1 - t0).count();
+  p.rss_kb = read_vm_kb("VmRSS");
+  p.shards_used = engine.shards_used();
+  p.prof = engine.epoch_profile();
+  for (NodeId i = 0; i < engine.size(); ++i) {
+    p.digest = hash_mix(p.digest, engine.node(i).counters().dispatch_digest);
+  }
+  return p;
 }
 
-bool identical(const apps::RunResult& a, const apps::RunResult& b) {
-  return a.elapsed == b.elapsed && a.checksum == b.checksum &&
-         a.messages == b.messages && a.thread_creates == b.thread_creates &&
-         a.context_switches == b.context_switches && a.sync_ops == b.sync_ops;
+bool identical(const Point& a, const Point& b) {
+  return a.result.elapsed == b.result.elapsed &&
+         a.result.checksum == b.result.checksum &&
+         a.result.messages == b.result.messages &&
+         a.result.thread_creates == b.result.thread_creates &&
+         a.result.context_switches == b.result.context_switches &&
+         a.result.sync_ops == b.result.sync_ops && a.digest == b.digest;
 }
 
-int host_scaling(int threads, bool json, const std::string& json_path) {
+void profile_fields(bench::JsonWriter& w, const sim::Engine::EpochProfile& p) {
+  w.field("epochs", p.epochs);
+  w.field("shard_epochs", p.shard_epochs);
+  w.field("parked_epochs", p.parked_epochs);
+  w.field("events", p.events);
+  w.field("stale_events", p.stale_events);
+  w.field("max_epoch_events", p.max_epoch_events);
+  w.field("merged_msgs", p.merged_msgs);
+  w.field("flushes", p.flushes);
+  w.field("drain_ns", p.drain_ns);
+  w.field("merge_ns", p.merge_ns);
+  w.field("barrier_ns", p.barrier_ns);
+  w.field("parked_ns", p.parked_ns);
+  w.field("plan_ns", p.plan_ns);
+  w.field("wall_ns", p.wall_ns);
+}
+
+int host_scaling(const std::vector<int>& threads_sweep,
+                 const std::vector<int>& nodes_sweep, bool json,
+                 const std::string& json_path) {
   unsigned host_cpus = std::thread::hardware_concurrency();
+  bool all_identical = true;
+
+  // --- thread sweep at the reference 64-node machine ---
   std::printf("Host-scaling run: em3d-ghost, 64 simulated nodes (weak"
-              " scaling), %d worker thread(s), %u host cpu(s)\n\n",
-              threads, host_cpus);
+              " scaling), %u host cpu(s)\n\n",
+              host_cpus);
+  Point seq64 = run_em3d(1, 64);
+  std::vector<Point> tpoints;
+  for (int n : threads_sweep) {
+    if (n <= 1) continue;
+    tpoints.push_back(run_em3d(n, 64));
+  }
 
-  HostRun seq = run_weak_scaling(1);
-  HostRun par = run_weak_scaling(threads);
-  bool bit = identical(seq.result, par.result);
-  double speedup = par.seconds > 0 ? seq.seconds / par.seconds : 0;
-
-  stats::Table t({"engine", "host (s)", "vtime (s)", "checksum", "messages"});
-  t.add_row({"sequential", stats::Table::num(seq.seconds, 3),
-             stats::Table::num(to_sec(seq.result.elapsed), 3),
-             stats::Table::num(seq.result.checksum, 6),
-             std::to_string(seq.result.messages)});
-  t.add_row({std::to_string(threads) + "-thread",
-             stats::Table::num(par.seconds, 3),
-             stats::Table::num(to_sec(par.result.elapsed), 3),
-             stats::Table::num(par.result.checksum, 6),
-             std::to_string(par.result.messages)});
+  stats::Table t({"engine", "host (s)", "speedup", "bit-identical",
+                  "oversubscribed"});
+  t.add_row({"sequential", stats::Table::num(seq64.seconds, 3), "-", "-",
+             "-"});
+  for (const Point& p : tpoints) {
+    bool bit = identical(seq64, p);
+    all_identical = all_identical && bit;
+    t.add_row({std::to_string(p.threads) + "-thread",
+               stats::Table::num(p.seconds, 3),
+               stats::Table::num(seq64.seconds / p.seconds, 2),
+               bit ? "yes" : "NO",
+               static_cast<unsigned>(p.threads) > host_cpus ? "yes" : "no"});
+  }
   t.print();
-  std::printf("\nbit-identical: %s   speedup: %.2fx\n", bit ? "yes" : "NO",
-              speedup);
-  if (host_cpus < static_cast<unsigned>(threads)) {
-    std::printf("note: %d workers on %u host cpu(s) — wall-clock speedup is"
-                " not attainable here; the run still\nexercises the sharded"
-                " engine and proves bit-identity.\n",
-                threads, host_cpus);
+  for (const Point& p : tpoints) {
+    if (static_cast<unsigned>(p.threads) > host_cpus) {
+      std::printf("\nnote: worker counts above %u host cpu(s) are"
+                  " oversubscribed — wall-clock speedup is not\nattainable"
+                  " there; those runs still exercise the sharded engine and"
+                  " prove bit-identity.\n",
+                  host_cpus);
+      break;
+    }
+  }
+
+  // --- node sweep: scale the simulated machine itself ---
+  std::vector<Point> npoints;
+  std::vector<std::uint8_t> nbit;
+  if (!nodes_sweep.empty()) {
+    int nthreads = 1;
+    for (int n : threads_sweep) nthreads = std::max(nthreads, n);
+    std::printf("\nMachine-size sweep: em3d-ghost, %d worker thread(s)\n\n",
+                nthreads);
+    stats::Table nt({"sim nodes", "host (s)", "vtime (s)", "messages",
+                     "rss (MB)", "KiB/node", "bit-identical"});
+    for (int n : nodes_sweep) {
+      Point par = run_em3d(nthreads, n);
+      Point ref = run_em3d(1, n);
+      bool bit = identical(ref, par);
+      all_identical = all_identical && bit;
+      npoints.push_back(par);
+      nbit.push_back(bit ? 1 : 0);
+      nt.add_row({std::to_string(n), stats::Table::num(par.seconds, 3),
+                  stats::Table::num(to_sec(par.result.elapsed), 3),
+                  std::to_string(par.result.messages),
+                  stats::Table::num(static_cast<double>(par.rss_kb) / 1024, 1),
+                  stats::Table::num(static_cast<double>(par.rss_kb) / n, 1),
+                  bit ? "yes" : "NO"});
+    }
+    nt.print();
+    std::printf("\nKiB/node divides whole-process RSS by machine size, so"
+                " small machines carry the process baseline;\nthe largest"
+                " point is the honest per-node footprint.\n");
+  }
+
+  // Epoch-protocol profile of the largest parallel run.
+  const Point* prof_pt = nullptr;
+  for (const Point& p : tpoints) {
+    if (p.shards_used > 1) prof_pt = &p;
+  }
+  for (const Point& p : npoints) {
+    if (p.shards_used > 1) prof_pt = &p;
+  }
+  if (prof_pt != nullptr && prof_pt->prof.epochs > 0) {
+    const auto& pr = prof_pt->prof;
+    // Shares of aggregate worker time (wall x workers): on an
+    // oversubscribed host, one worker's barrier wait is another worker's
+    // run time, so per-wall shares would exceed 100% by construction.
+    double wall =
+        static_cast<double>(pr.wall_ns) * prof_pt->shards_used;
+    std::printf("\nEpoch profile (%d threads, %d sim nodes): %llu epochs,"
+                " %llu shard-epochs (%llu parked), %llu events"
+                " (%llu stale)\n  drain %.1f%%  merge %.1f%%  barrier %.1f%%"
+                "  parked %.1f%%  plan %.1f%% of aggregate worker time\n",
+                prof_pt->threads, prof_pt->sim_nodes,
+                static_cast<unsigned long long>(pr.epochs),
+                static_cast<unsigned long long>(pr.shard_epochs),
+                static_cast<unsigned long long>(pr.parked_epochs),
+                static_cast<unsigned long long>(pr.events),
+                static_cast<unsigned long long>(pr.stale_events),
+                100 * static_cast<double>(pr.drain_ns) / wall,
+                100 * static_cast<double>(pr.merge_ns) / wall,
+                100 * static_cast<double>(pr.barrier_ns) / wall,
+                100 * static_cast<double>(pr.parked_ns) / wall,
+                100 * static_cast<double>(pr.plan_ns) / wall);
   }
 
   if (json) {
@@ -154,49 +307,144 @@ int host_scaling(int threads, bool json, const std::string& json_path) {
     {
       bench::JsonWriter w(f);
       w.begin_object();
-      w.header("tham-scaling-v1", default_cost_model(),
+      w.header("tham-scaling-v2", default_cost_model(),
                apps::em3d::Config{}.seed, env_sim_threads());
       w.field("workload", "em3d-ghost weak scaling");
-      w.field("sim_nodes", 64);
       w.field("host_cpus", host_cpus);
-      w.field("threads", threads);
-      w.field("seconds_sequential", seq.seconds, 6);
-      w.field("seconds_parallel", par.seconds, 6);
-      w.field("speedup", speedup, 4);
-      w.field("bit_identical", bit);
-      w.field("vtime_ns", static_cast<long long>(seq.result.elapsed));
-      w.field("messages", seq.result.messages);
+      w.begin_array("thread_sweep");
+      for (const Point& p : tpoints) {
+        w.begin_object(nullptr, /*inline_scope=*/true);
+        w.field("threads", p.threads);
+        w.field("sim_nodes", p.sim_nodes);
+        w.field("seconds", p.seconds, 6);
+        w.field("seconds_sequential", seq64.seconds, 6);
+        w.field("speedup", seq64.seconds / p.seconds, 4);
+        w.field("bit_identical", identical(seq64, p));
+        w.field("oversubscribed",
+                static_cast<unsigned>(p.threads) > host_cpus);
+        w.end_object();
+      }
+      w.end_array();
+      w.begin_array("node_sweep");
+      for (std::size_t i = 0; i < npoints.size(); ++i) {
+        const Point& p = npoints[i];
+        w.begin_object(nullptr, /*inline_scope=*/true);
+        w.field("sim_nodes", p.sim_nodes);
+        w.field("threads", p.threads);
+        w.field("seconds", p.seconds, 6);
+        w.field("vtime_ns", static_cast<long long>(p.result.elapsed));
+        w.field("messages", p.result.messages);
+        w.field("rss_kb", static_cast<long long>(p.rss_kb));
+        w.field("bytes_per_node",
+                static_cast<long long>(p.rss_kb * 1024 / p.sim_nodes));
+        w.field("bit_identical", nbit[i] != 0);
+        w.field("oversubscribed",
+                static_cast<unsigned>(p.threads) > host_cpus);
+        w.end_object();
+      }
+      w.end_array();
+      if (prof_pt != nullptr) {
+        w.begin_object("epoch_profile");
+        w.field("threads", prof_pt->threads);
+        w.field("sim_nodes", prof_pt->sim_nodes);
+        profile_fields(w, prof_pt->prof);
+        w.end_object();
+      }
       w.end_object();
     }
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return bit ? 0 : 1;
+  return all_identical ? 0 : 1;
+}
+
+/// The perf_scaling_smoke ctest: a 10k-node EM3D run on 1 vs 4 threads.
+/// Bit-identity is asserted unconditionally; the wall-clock speedup floor
+/// (> 1.0x) only where it is attainable — a host with fewer than 4 cpus is
+/// oversubscribed by construction and skips that assertion cleanly, as does
+/// a THAM_CHECK build whose attached checker forces the sequential engine.
+int scaling_smoke() {
+  unsigned host_cpus = std::thread::hardware_concurrency();
+  Point par = run_em3d(4, 10240);
+  Point ref = run_em3d(1, 10240);
+  bool bit = identical(ref, par);
+  double speedup = ref.seconds / par.seconds;
+  std::printf("perf_scaling_smoke: 10240-node em3d-ghost, 1 vs 4 threads\n"
+              "  sequential %.3fs, parallel %.3fs (speedup %.2fx),"
+              " bit-identical %s, %u host cpu(s)\n",
+              ref.seconds, par.seconds, speedup, bit ? "yes" : "NO",
+              host_cpus);
+  if (!bit) {
+    std::fprintf(stderr, "FAIL: parallel run diverged from sequential\n");
+    return 1;
+  }
+  if (par.shards_used <= 1) {
+    std::printf("  skip: run fell back to the sequential executor"
+                " (THAM_CHECK build or forced sequential); speedup floor"
+                " not asserted\n");
+    return 0;
+  }
+  if (host_cpus < 4) {
+    std::printf("  skip: %u host cpu(s) < 4 workers — oversubscribed, the"
+                " wall-clock speedup floor is not attainable here\n",
+                host_cpus);
+    return 0;
+  }
+  if (speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: speedup %.2fx <= 1.0x on a %u-cpu host\n", speedup,
+                 host_cpus);
+    return 1;
+  }
+  return 0;
+}
+
+std::vector<int> parse_int_list(const char* s) {
+  std::vector<int> out;
+  while (*s != '\0') {
+    char* end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (end == s) break;
+    out.push_back(static_cast<int>(v));
+    s = *end == ',' ? end + 1 : end;
+  }
+  return out;
 }
 
 int bench_main(int argc, char** argv) {
-  int threads = 0;
+  std::vector<int> threads;
+  std::vector<int> nodes;
   bool json = false;
   std::string json_path = "BENCH_scaling.json";
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+      threads = parse_int_list(argv[++i]);
     } else if (std::strncmp(a, "--threads=", 10) == 0) {
-      threads = std::atoi(a + 10);
+      threads = parse_int_list(a + 10);
+    } else if (std::strcmp(a, "--nodes") == 0 && i + 1 < argc) {
+      nodes = parse_int_list(argv[++i]);
+    } else if (std::strncmp(a, "--nodes=", 8) == 0) {
+      nodes = parse_int_list(a + 8);
     } else if (std::strcmp(a, "--json") == 0) {
       json = true;
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       json = true;
       json_path = a + 7;
+    } else if (std::strcmp(a, "--smoke") == 0) {
+      return scaling_smoke();
     } else {
-      std::fprintf(stderr, "usage: %s [--threads N [--json[=PATH]]]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--threads N[,N...]] [--nodes N[,N...]]"
+                   " [--json[=PATH]] [--smoke]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (threads > 0 || json) return host_scaling(threads > 0 ? threads : 4,
-                                               json, json_path);
+  if (!threads.empty() || !nodes.empty() || json) {
+    if (threads.empty()) threads = {4};
+    return host_scaling(threads, nodes, json, json_path);
+  }
   return ratio_sweep();
 }
 

@@ -35,6 +35,11 @@ THAM_MACHINE=modern-cluster ./build/tests/test_transport
 # proved on the profile users will actually run faults on.
 THAM_MACHINE=lossy-cluster ./build/tests/test_fault
 THAM_MACHINE=lossy-cluster ./build/tests/test_property --gtest_filter='*FaultFuzz*'
+# The golden-trace and fuzz suites again at the CI's widest shard count:
+# 8 workers exercise epoch schedules (smaller shards, more cross-shard
+# traffic) that the 4-thread leg never sees.
+THAM_SIM_THREADS=8 ./build/tests/test_golden
+THAM_SIM_THREADS=8 ./build/tests/test_property --gtest_filter='*Fuzz*'
 
 if [ "${1:-}" = "quick" ]; then
   echo "verify: OK (quick)"

@@ -15,26 +15,51 @@ namespace {
 /// index overhead on the simulated P2SC).
 constexpr int kFlopsPerEdge = 4;
 
-/// A ghost-resolution plan shared by the ghost and bulk versions:
-/// for each (consumer p, producer q, kind) the sorted list of producer-local
-/// indices p needs, plus per-edge rewrites pointing into ghost slots.
+/// One consumer's traffic with one producer peer: the producer-local
+/// indices the consumer reads (first-encounter order, the ghost slot
+/// numbering) and the landing storage aligned with them.
+struct NeighborNeed {
+  int q = -1;                ///< producer processor
+  std::vector<int> idx;      ///< producer-local indices consumer reads
+  std::vector<double> land;  ///< ghost landing slots aligned with idx
+};
+
+/// A ghost-resolution plan shared by the ghost and bulk versions. Sparse:
+/// storage and iteration are O(distinct communicating (p, q) pairs), not
+/// O(P^2) — the dense per-pair matrices made 10k+-processor machines pay
+/// gigabytes and quadratic fetch loops for mostly-empty peer lists.
+/// Iteration order over peers is ascending q, identical to the old dense
+/// 0..P-1 sweep with empties skipped, so results are bit-identical.
 struct GhostPlan {
-  // needs[kind][p][q] = indices of q's nodes that p reads. kind 0 = H
-  // values needed by the E phase; kind 1 = E values needed by the H phase.
-  std::vector<std::vector<std::vector<int>>> needs[2];
-  // ghost[kind][p][q] = landing storage aligned with needs.
-  std::vector<std::vector<std::vector<double>>> ghost[2];
+  // neigh[kind][p] = p's producer peers, ascending q. kind 0 = H values
+  // needed by the E phase; kind 1 = E values needed by the H phase.
+  std::vector<std::vector<NeighborNeed>> neigh[2];
+  // consumers[kind][p] = (consumer c, index j into neigh[kind][c]) with
+  // neigh[kind][c][j].q == p, ascending c — the transposed view the bulk
+  // producers iterate.
+  std::vector<std::vector<std::pair<int, int>>> consumers[2];
   // Edge rewrites: for each proc and kind, edges with src_proc == -1 read
-  // locally; otherwise (src_proc = q, src_index = slot into ghost[p][q]).
+  // locally; otherwise src_proc is the *position* of the producer peer in
+  // neigh[kind][p] and src_index the slot in that peer's landing array.
   std::vector<std::vector<Edge>> e_edges, h_edges;
+
+  /// The peer entry of producer `q` in consumer `p`'s list (binary search
+  /// over the q-sorted list); nullptr when p reads nothing from q.
+  NeighborNeed* find(int kind, int p, int q) {
+    auto& lst = neigh[kind][static_cast<std::size_t>(p)];
+    auto it = std::lower_bound(
+        lst.begin(), lst.end(), q,
+        [](const NeighborNeed& nb, int key) { return nb.q < key; });
+    return it != lst.end() && it->q == q ? &*it : nullptr;
+  }
 
   static GhostPlan build(const Graph& g) {
     GhostPlan plan;
     int P = g.cfg.procs;
     auto sz = static_cast<std::size_t>(P);
     for (int k = 0; k < 2; ++k) {
-      plan.needs[k].assign(sz, std::vector<std::vector<int>>(sz));
-      plan.ghost[k].assign(sz, std::vector<std::vector<double>>(sz));
+      plan.neigh[k].assign(sz, {});
+      plan.consumers[k].assign(sz, {});
     }
     plan.e_edges.assign(sz, {});
     plan.h_edges.assign(sz, {});
@@ -45,6 +70,7 @@ struct GhostPlan {
         const auto& in = k == 0 ? g.e_edges[up] : g.h_edges[up];
         auto& out = k == 0 ? plan.e_edges[up] : plan.h_edges[up];
         std::map<std::pair<int, int>, int> slot;  // (q, idx) -> ghost slot
+        std::map<int, std::vector<int>> by_q;     // q -> needed indices
         for (const Edge& e : in) {
           if (e.src_proc == p) {
             out.push_back(Edge{e.dst, -1, e.src_index, e.w});
@@ -54,19 +80,37 @@ struct GhostPlan {
           auto it = slot.find(key);
           int s;
           if (it == slot.end()) {
-            auto& lst =
-                plan.needs[k][up][static_cast<std::size_t>(e.src_proc)];
+            auto& lst = by_q[e.src_proc];
             s = static_cast<int>(lst.size());
             lst.push_back(e.src_index);
             slot.emplace(key, s);
           } else {
             s = it->second;
           }
+          // src_proc holds q for now; rewritten to the peer position below.
           out.push_back(Edge{e.dst, e.src_proc, s, e.w});
         }
-        for (int q = 0; q < P; ++q) {
-          plan.ghost[k][up][static_cast<std::size_t>(q)].assign(
-              plan.needs[k][up][static_cast<std::size_t>(q)].size(), 0.0);
+        std::map<int, int> qpos;
+        for (auto& [q, idx] : by_q) {
+          qpos[q] = static_cast<int>(plan.neigh[k][up].size());
+          NeighborNeed nb;
+          nb.q = q;
+          nb.land.assign(idx.size(), 0.0);
+          nb.idx = std::move(idx);
+          plan.neigh[k][up].push_back(std::move(nb));
+        }
+        for (Edge& e : out) {
+          if (e.src_proc >= 0) e.src_proc = qpos.at(e.src_proc);
+        }
+      }
+    }
+    for (int k = 0; k < 2; ++k) {
+      for (int c = 0; c < P; ++c) {
+        auto uc = static_cast<std::size_t>(c);
+        for (std::size_t j = 0; j < plan.neigh[k][uc].size(); ++j) {
+          plan.consumers[k][static_cast<std::size_t>(
+                                plan.neigh[k][uc][j].q)]
+              .emplace_back(c, static_cast<int>(j));
         }
       }
     }
@@ -185,14 +229,13 @@ RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
 
     // Ghost version: fetch distinct remote values with split-phase gets.
     auto ghost_fetch = [&](int kind, std::vector<std::vector<double>>& src) {
-      for (int q = 0; q < cfg.procs; ++q) {
-        auto uq = static_cast<std::size_t>(q);
-        const auto& need = plan.needs[kind][ume][uq];
-        auto& land = plan.ghost[kind][ume][uq];
-        for (std::size_t i = 0; i < need.size(); ++i) {
-          splitc::get(&land[i],
+      for (NeighborNeed& nb : plan.neigh[kind][ume]) {
+        auto uq = static_cast<std::size_t>(nb.q);
+        for (std::size_t i = 0; i < nb.idx.size(); ++i) {
+          splitc::get(&nb.land[i],
                       splitc::global_ptr<double>(
-                          q, &src[uq][static_cast<std::size_t>(need[i])]));
+                          nb.q,
+                          &src[uq][static_cast<std::size_t>(nb.idx[i])]));
         }
       }
       splitc::sync();
@@ -200,19 +243,17 @@ RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
 
     // Bulk version: the *producer* pushes aggregated values to consumers.
     auto bulk_push = [&](int kind, std::vector<double>& myvals) {
-      for (int q = 0; q < cfg.procs; ++q) {
-        if (q == me) continue;
-        auto uq = static_cast<std::size_t>(q);
-        const auto& need = plan.needs[kind][uq][ume];  // q reads from me
-        if (need.empty()) continue;
-        std::vector<double> packed(need.size());
-        for (std::size_t i = 0; i < need.size(); ++i) {
-          packed[i] = myvals[static_cast<std::size_t>(need[i])];
+      for (auto [c, j] : plan.consumers[kind][ume]) {  // c reads from me
+        NeighborNeed& nb =
+            plan.neigh[kind][static_cast<std::size_t>(c)]
+                      [static_cast<std::size_t>(j)];
+        std::vector<double> packed(nb.idx.size());
+        for (std::size_t i = 0; i < nb.idx.size(); ++i) {
+          packed[i] = myvals[static_cast<std::size_t>(nb.idx[i])];
           n.advance(engine.cost().flop);  // packing
         }
-        splitc::bulk_store(
-            splitc::global_ptr<double>(q, plan.ghost[kind][uq][ume].data()),
-            packed.data(), packed.size() * sizeof(double));
+        splitc::bulk_store(splitc::global_ptr<double>(c, nb.land.data()),
+                           packed.data(), packed.size() * sizeof(double));
       }
       splitc::all_store_sync();
     };
@@ -226,8 +267,8 @@ RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
         double v =
             e.src_proc < 0
                 ? local_src[static_cast<std::size_t>(e.src_index)]
-                : plan.ghost[kind][ume][static_cast<std::size_t>(e.src_proc)]
-                            [static_cast<std::size_t>(e.src_index)];
+                : plan.neigh[kind][ume][static_cast<std::size_t>(e.src_proc)]
+                      .land[static_cast<std::size_t>(e.src_index)];
         n.advance(edge_cost);
         acc[static_cast<std::size_t>(e.dst)] += e.w * v;
       }
@@ -286,10 +327,9 @@ struct Em3dProc {
 
   /// Bulk RMI: deposit ghost values of `kind` coming from processor `from`.
   long recv_ghost(int kind, int from, std::vector<double> vals) {
-    auto& land = plan->ghost[kind][static_cast<std::size_t>(me)]
-                            [static_cast<std::size_t>(from)];
-    THAM_CHECK(vals.size() == land.size());
-    std::copy(vals.begin(), vals.end(), land.begin());
+    NeighborNeed* nb = plan->find(kind, static_cast<int>(me), from);
+    THAM_CHECK(nb != nullptr && vals.size() == nb->land.size());
+    std::copy(vals.begin(), vals.end(), nb->land.begin());
     return static_cast<long>(vals.size());
   }
 };
@@ -337,17 +377,13 @@ RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version) {
     // Ghost: parfor'd global-pointer reads of the deduplicated remote set
     // (threads hide part of the latency, as in the Prefetch bench).
     auto ghost_fetch = [&](int kind, std::vector<std::vector<double>>& src) {
-      for (int q = 0; q < cfg.procs; ++q) {
-        if (q == me) continue;
-        auto uq = static_cast<std::size_t>(q);
-        const auto& need = plan.needs[kind][ume][uq];
-        auto& land = plan.ghost[kind][ume][uq];
-        if (need.empty()) continue;
-        rt.parfor(0, static_cast<int>(need.size()), [&](int i) {
+      for (NeighborNeed& nb : plan.neigh[kind][ume]) {
+        auto uq = static_cast<std::size_t>(nb.q);
+        rt.parfor(0, static_cast<int>(nb.idx.size()), [&](int i) {
           auto ui = static_cast<std::size_t>(i);
           ccxx::gvar<double> gv{
-              q, &src[uq][static_cast<std::size_t>(need[ui])]};
-          land[ui] = rt.read(gv);
+              nb.q, &src[uq][static_cast<std::size_t>(nb.idx[ui])]};
+          nb.land[ui] = rt.read(gv);
         });
       }
     };
@@ -357,18 +393,18 @@ RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version) {
     // CC++ latency-hiding idiom).
     auto bulk_push = [&](int kind, std::vector<double>& myvals) {
       std::vector<std::function<void()>> pushes;
-      for (int q = 0; q < cfg.procs; ++q) {
-        if (q == me) continue;
-        auto uq = static_cast<std::size_t>(q);
-        const auto& need = plan.needs[kind][uq][ume];
-        if (need.empty()) continue;
-        auto packed = std::make_shared<std::vector<double>>(need.size());
-        for (std::size_t i = 0; i < need.size(); ++i) {
-          (*packed)[i] = myvals[static_cast<std::size_t>(need[i])];
+      for (auto [c, j] : plan.consumers[kind][ume]) {  // c reads from me
+        const NeighborNeed& nb =
+            plan.neigh[kind][static_cast<std::size_t>(c)]
+                      [static_cast<std::size_t>(j)];
+        auto packed = std::make_shared<std::vector<double>>(nb.idx.size());
+        for (std::size_t i = 0; i < nb.idx.size(); ++i) {
+          (*packed)[i] = myvals[static_cast<std::size_t>(nb.idx[i])];
           n.advance(engine.cost().flop);
         }
-        pushes.push_back([&rt, &procs, &recv_ghost, kind, me, uq, packed] {
-          rt.rmi(procs[uq], recv_ghost, kind, static_cast<int>(me), *packed);
+        auto uc = static_cast<std::size_t>(c);
+        pushes.push_back([&rt, &procs, &recv_ghost, kind, me, uc, packed] {
+          rt.rmi(procs[uc], recv_ghost, kind, static_cast<int>(me), *packed);
         });
       }
       rt.par(std::move(pushes));
@@ -387,8 +423,8 @@ RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version) {
               me, &local_src[static_cast<std::size_t>(e.src_index)]};
           v = rt.read(gv);
         } else {
-          v = plan.ghost[kind][ume][static_cast<std::size_t>(e.src_proc)]
-                        [static_cast<std::size_t>(e.src_index)];
+          v = plan.neigh[kind][ume][static_cast<std::size_t>(e.src_proc)]
+                  .land[static_cast<std::size_t>(e.src_index)];
         }
         n.advance(edge_cost);
         acc[static_cast<std::size_t>(e.dst)] += e.w * v;

@@ -141,12 +141,17 @@ struct CostModel {
 
   /// Conservative-lookahead horizon of the parallel engine: the minimum
   /// wire time any message can spend in flight, i.e. the LogGP latency L.
-  /// Every Network::send computes its arrival as at least
-  /// `sender clock + wire latency`, so no message issued at virtual time t
-  /// can be delivered before t + lookahead() — which is exactly what lets
-  /// shards advance independently inside one lookahead window. A model
-  /// perturbed to zero latency has no safe horizon; Engine::run() then
-  /// falls back to the sequential executor.
+  /// Every wire class's zero-byte wire time (transport::wire_cost) floors
+  /// at am_wire_latency or nx_tcp_latency, so no message issued at virtual
+  /// time t can be delivered before t + lookahead() — which is exactly
+  /// what lets shards advance independently inside one lookahead window.
+  /// This is the *global* floor; a program that declares its topology
+  /// (transport::Channel::declare_link) gets per-shard-pair floors
+  /// instead, which widen the horizon of shards reachable only over slow
+  /// wire classes — and those floors are enforced per send, so they stay
+  /// sound even if a future wire class undercuts the two latencies below.
+  /// A model perturbed to zero latency has no safe horizon; Engine::run()
+  /// then falls back to the sequential executor.
   SimTime lookahead() const {
     return am_wire_latency < nx_tcp_latency ? am_wire_latency
                                             : nx_tcp_latency;

@@ -1,12 +1,23 @@
 #pragma once
-// Environment-variable configuration knobs. Kept deliberately tiny: the
-// simulator has exactly one runtime knob today (host worker threads), and
-// everything else is explicit CostModel / Config state so runs stay
-// reproducible from code alone.
+// Environment-variable configuration knobs. Kept deliberately tiny:
+// besides the machine-profile name (THAM_MACHINE, read in
+// common/machine.hpp) the simulator has exactly three runtime knobs —
+// host worker threads (THAM_SIM_THREADS), the node→shard assignment
+// policy (THAM_SIM_SHARD_POLICY: "block" | "roundrobin"), and the epoch-
+// horizon policy (THAM_SIM_LOOKAHEAD: "link" | "global"); both policy
+// strings are parsed in sim/engine.cpp. Everything else is explicit
+// CostModel / Config state so runs stay reproducible from code alone.
 
 #include <cstdlib>
 
 namespace tham {
+
+/// Reads a string environment variable, returning `fallback` when the
+/// variable is unset or empty.
+inline const char* env_str(const char* name, const char* fallback) {
+  const char* s = std::getenv(name);
+  return (s != nullptr && *s != '\0') ? s : fallback;
+}
 
 /// Reads an integer environment variable, returning `fallback` when the
 /// variable is unset or unparsable. Negative values are clamped to

@@ -9,8 +9,7 @@ namespace tham::net {
 
 Network::Network(sim::Engine& engine)
     : engine_(engine),
-      channel_clock_(static_cast<std::size_t>(engine.size()) *
-                     static_cast<std::size_t>(engine.size())) {}
+      channel_clock_(static_cast<std::size_t>(engine.size())) {}
 
 void Network::set_injector(fault::Injector* injector) {
   injector_ = injector;
@@ -30,6 +29,9 @@ void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
                    sim::InlineHandler deliver, std::uint8_t flags) {
   THAM_CHECK(dst >= 0 && dst < engine_.size());
   THAM_CHECK_MSG(dst != src.id(), "network send to self");
+  // When a topology was declared, every send must honour its wire-time
+  // floors — the invariant per-link lookahead epochs are built on.
+  engine_.check_wire_floor(src.id(), dst, wire_time);
 
   src.advance(sender_cpu);
 
@@ -56,11 +58,9 @@ void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
   SimTime arrival = src.now() + wire_time + fd.extra_delay;
   // FIFO per channel: a message cannot overtake an earlier one on the same
   // (src, dst) link.
-  auto chan = static_cast<std::size_t>(src.id()) *
-                  static_cast<std::size_t>(engine_.size()) +
-              static_cast<std::size_t>(dst);
-  arrival = std::max(arrival, channel_clock_[chan]);
-  channel_clock_[chan] = arrival;
+  SimTime& chan = channel_clock_[static_cast<std::size_t>(src.id())][dst];
+  arrival = std::max(arrival, chan);
+  chan = arrival;
 
   total_messages_.fetch_add(1, std::memory_order_relaxed);
   total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -116,7 +116,9 @@ void Network::send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
     SimTime gap =
         injector_->plan().dup_gap > 0 ? injector_->plan().dup_gap : 1;
     SimTime dup_arrival = arrival + gap;
-    channel_clock_[chan] = std::max(channel_clock_[chan], dup_arrival);
+    SimTime& dup_chan =
+        channel_clock_[static_cast<std::size_t>(src.id())][dst];
+    dup_chan = std::max(dup_chan, dup_arrival);
     if (observer_) {
       observer_(SendEvent{src.id(), dst, src.now(), dup_arrival, bytes, wire,
                           flags, Fate::DupCopy});

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -119,10 +120,12 @@ class Network {
   Observer observer_;
   sim::Engine& engine_;
   fault::Injector* injector_ = nullptr;
-  /// Last arrival per src*N+dst. Row `src` is only touched by sends from
-  /// `src`, which all execute on the shard worker owning that node, so
-  /// parallel runs write disjoint elements.
-  std::vector<SimTime> channel_clock_;
+  /// Last arrival per (src, dst) link, held sparsely per source — a dense
+  /// N*N vector would cost O(N^2) host memory on large machines whose
+  /// nodes each talk to a handful of peers. Row `src` is only touched by
+  /// sends from `src`, which all execute on the shard worker owning that
+  /// node, so parallel runs write disjoint rows.
+  std::vector<std::unordered_map<NodeId, SimTime>> channel_clock_;
   std::atomic<std::uint64_t> total_messages_{0};
   std::atomic<std::uint64_t> total_bytes_{0};
 };

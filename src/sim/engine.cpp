@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "check/checker.hpp"
@@ -10,8 +12,40 @@
 
 namespace tham::sim {
 
+namespace {
+
+Engine::ShardPolicy env_shard_policy() {
+  const char* s = env_str("THAM_SIM_SHARD_POLICY", "block");
+  if (std::strcmp(s, "block") == 0) return Engine::ShardPolicy::Block;
+  if (std::strcmp(s, "roundrobin") == 0 || std::strcmp(s, "rr") == 0) {
+    return Engine::ShardPolicy::RoundRobin;
+  }
+  std::fprintf(stderr,
+               "tham-sim: unknown THAM_SIM_SHARD_POLICY '%s' "
+               "(expected block|roundrobin); using block\n",
+               s);
+  return Engine::ShardPolicy::Block;
+}
+
+Engine::LookaheadPolicy env_lookahead_policy() {
+  const char* s = env_str("THAM_SIM_LOOKAHEAD", "link");
+  if (std::strcmp(s, "link") == 0) return Engine::LookaheadPolicy::PerLink;
+  if (std::strcmp(s, "global") == 0) return Engine::LookaheadPolicy::Global;
+  std::fprintf(stderr,
+               "tham-sim: unknown THAM_SIM_LOOKAHEAD '%s' "
+               "(expected link|global); using link\n",
+               s);
+  return Engine::LookaheadPolicy::PerLink;
+}
+
+}  // namespace
+
 Engine::Engine(int num_nodes, const CostModel& cm, std::size_t stack_bytes)
-    : cost_(cm), stack_pool_(stack_bytes), threads_(env_sim_threads()) {
+    : cost_(cm),
+      stack_pool_(stack_bytes),
+      threads_(env_sim_threads()),
+      shard_policy_(env_shard_policy()),
+      lookahead_policy_(env_lookahead_policy()) {
   THAM_CHECK(num_nodes > 0);
 #if defined(THAM_CHECK_ENABLED)
   if (check::Checker::auto_attach()) {
@@ -19,15 +53,19 @@ Engine::Engine(int num_nodes, const CostModel& cm, std::size_t stack_bytes)
     checker_->install();
   }
 #endif
-  nodes_.reserve(static_cast<std::size_t>(num_nodes));
+  num_nodes_ = num_nodes;
+  nodes_ = std::allocator<Node>{}.allocate(static_cast<std::size_t>(num_nodes));
   for (NodeId i = 0; i < num_nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>(*this, i));
+    std::construct_at(nodes_ + i, *this, i);
   }
   setup_shards(1);
 }
 
 Engine::~Engine() {
   if (checker_) checker_->uninstall();
+  for (NodeId i = num_nodes_; i-- > 0;) std::destroy_at(nodes_ + i);
+  std::allocator<Node>{}.deallocate(nodes_,
+                                    static_cast<std::size_t>(num_nodes_));
 }
 
 void Engine::set_threads(int n) {
@@ -35,9 +73,28 @@ void Engine::set_threads(int n) {
   threads_ = n < 1 ? 1 : n;
 }
 
+void Engine::set_shard_policy(ShardPolicy p) {
+  THAM_CHECK_MSG(!ran_, "set_shard_policy() after run()");
+  shard_policy_ = p;
+}
+
+void Engine::set_lookahead_policy(LookaheadPolicy p) {
+  THAM_CHECK_MSG(!ran_, "set_lookahead_policy() after run()");
+  lookahead_policy_ = p;
+}
+
 void Engine::set_machine(std::string_view name) {
   THAM_CHECK_MSG(!ran_, "set_machine() after run()");
   cost_ = make_machine(name);
+}
+
+void Engine::declare_link(NodeId src, NodeId dst, SimTime min_wire) {
+  THAM_CHECK_MSG(!ran_, "declare_link() after run()");
+  THAM_CHECK(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
+  THAM_CHECK_MSG(src != dst, "declare_link() on a self link");
+  THAM_CHECK_MSG(min_wire > 0,
+                 "declare_link() needs a positive wire-time floor");
+  links_.push_back(Link{src, dst, min_wire});
 }
 
 void Engine::require_sequential(const char* why) {
@@ -53,8 +110,23 @@ SimTime Engine::head_time() const {
 }
 
 void Engine::wake(Node* n, SimTime t) {
-  shards_[shard_ix_[static_cast<std::size_t>(n->id())]]->queue.push(
-      Ev{t, n->id()});
+  // Coalesced (see engine.hpp): the armed activation already covers any
+  // wake at or after it; re-arming after dispatch reconstructs the rest.
+  if (t >= n->armed_at()) return;
+  n->set_armed(t);
+  shards_[static_cast<std::size_t>(
+              shard_ix_[static_cast<std::size_t>(n->id())])]
+      ->queue.push(Ev{t, n->id()});
+}
+
+bool Engine::dispatch(const Ev& ev) {
+  Node& n = nodes_[static_cast<std::size_t>(ev.n)];
+  if (ev.t != n.armed_at()) return false;  // superseded entry: drop
+  n.set_armed(Node::kNeverArmed);
+  n.on_wake(ev.t);
+  SimTime next = n.next_activation_time();
+  if (next != Node::kNeverArmed) wake(&n, next);
+  return true;
 }
 
 void Engine::deliver(NodeId dst, Message m) {
@@ -63,14 +135,17 @@ void Engine::deliver(NodeId dst, Message m) {
     int ss = worker_slot();
     if (ds != ss) {
       // Mid-epoch cross-shard send: park it in this shard's outbox; the
-      // owning worker moves it into the destination inbox at the barrier
-      // (its arrival is beyond the epoch horizon, so nothing is lost).
-      shards_[static_cast<std::size_t>(ss)]->outbox[static_cast<std::size_t>(
-          ds)].push_back(PendingMsg{dst, std::move(m)});
+      // destination shard batch-merges it at the epoch boundary (its
+      // arrival is beyond the epoch horizon, so nothing is lost).
+      // min_arrival caps the destination's horizon until then.
+      Outbox& box = shards_[static_cast<std::size_t>(ss)]
+                        ->outbox[static_cast<std::size_t>(ds)];
+      if (m.arrival < box.min_arrival) box.min_arrival = m.arrival;
+      box.msgs.push_back(PendingMsg{dst, std::move(m)});
       return;
     }
   }
-  nodes_[static_cast<std::size_t>(dst)]->enqueue_message(std::move(m));
+  nodes_[static_cast<std::size_t>(dst)].enqueue_message(std::move(m));
 }
 
 int Engine::plan_shards() {
@@ -101,7 +176,8 @@ int Engine::plan_shards() {
 
 void Engine::setup_shards(int count) {
   // Collect any events already queued (pre-run sends from tests/benches)
-  // so re-sharding never drops an activation.
+  // so re-sharding never drops an activation. Armed times live on the
+  // nodes and survive the move unchanged.
   std::vector<Ev> pending;
   for (auto& s : shards_) {
     while (!s->queue.empty()) {
@@ -116,13 +192,45 @@ void Engine::setup_shards(int count) {
     s->outbox.resize(static_cast<std::size_t>(count));
     shards_.push_back(std::move(s));
   }
-  shard_ix_.resize(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    shard_ix_[i] = static_cast<int>(i) % count;
+  shard_limits_ = std::vector<ShardLimit>(static_cast<std::size_t>(count));
+  shard_ix_.resize(static_cast<std::size_t>(num_nodes_));
+  if (shard_policy_ == ShardPolicy::RoundRobin) {
+    for (std::size_t i = 0; i < shard_ix_.size(); ++i) {
+      shard_ix_[i] = static_cast<int>(i) % count;
+    }
+  } else {
+    // Block: shard s owns the contiguous id range [s*base + min(s, rem),
+    // ...) — the first `rem` shards get one extra node. Contiguous ranges
+    // keep each worker's slice of the node arena contiguous too.
+    std::size_t n = shard_ix_.size();
+    std::size_t base = n / static_cast<std::size_t>(count);
+    std::size_t rem = n % static_cast<std::size_t>(count);
+    std::size_t i = 0;
+    for (int s = 0; s < count; ++s) {
+      std::size_t take = base + (static_cast<std::size_t>(s) < rem ? 1 : 0);
+      for (std::size_t k = 0; k < take; ++k) shard_ix_[i++] = s;
+    }
+    THAM_CHECK(i == n);
   }
   for (const Ev& ev : pending) {
-    shards_[static_cast<std::size_t>(shard_ix_[static_cast<std::size_t>(
-        ev.n)])]->queue.push(ev);
+    shards_[static_cast<std::size_t>(
+                shard_ix_[static_cast<std::size_t>(ev.n)])]
+        ->queue.push(ev);
+  }
+}
+
+void Engine::build_wire_floors() {
+  wire_floor_.clear();
+  if (links_.empty()) return;
+  auto count = shards_.size();
+  wire_floor_.assign(count * count, std::numeric_limits<SimTime>::max());
+  for (const Link& l : links_) {
+    auto ix = static_cast<std::size_t>(
+                  shard_ix_[static_cast<std::size_t>(l.src)]) *
+                  count +
+              static_cast<std::size_t>(
+                  shard_ix_[static_cast<std::size_t>(l.dst)]);
+    if (l.min_wire < wire_floor_[ix]) wire_floor_[ix] = l.min_wire;
   }
 }
 
@@ -133,9 +241,11 @@ void Engine::run() {
   int count = plan_shards();
   shards_used_ = count;
   if (count != static_cast<int>(shards_.size())) setup_shards(count);
+  build_wire_floors();
+  profile_ = EpochProfile{};
 
   // Kick every node that already has spawned tasks.
-  for (auto& n : nodes_) wake(n.get(), 0);
+  for (NodeId i = 0; i < num_nodes_; ++i) wake(nodes_ + i, 0);
 
   if (count > 1) {
     ParallelExecutor ex(*this, count);
@@ -149,14 +259,14 @@ void Engine::run() {
   // timestamps, because the activation multiset contains engine-dependent
   // bookkeeping wakes (epoch pauses) while node clocks are bit-identical
   // across executors.
-  for (const auto& n : nodes_) {
-    if (n->now() > vtime_) vtime_ = n->now();
+  for (NodeId i = 0; i < num_nodes_; ++i) {
+    if (nodes_[i].now() > vtime_) vtime_ = nodes_[i].now();
   }
 
   // Event queues drained: the program is over. Unwind daemon tasks (polling
   // threads) so their fibers finish cleanly, then look for real deadlocks.
   // This drain runs merged on the calling thread regardless of shard count.
-  for (auto& n : nodes_) n->begin_shutdown();
+  for (NodeId i = 0; i < num_nodes_; ++i) nodes_[i].begin_shutdown();
   for (;;) {
     Shard* best = nullptr;
     for (auto& s : shards_) {
@@ -168,7 +278,7 @@ void Engine::run() {
     if (best == nullptr) break;
     Ev ev = best->queue.top();
     best->queue.pop();
-    nodes_[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
+    dispatch(ev);
   }
 
   finish_run();
@@ -176,7 +286,9 @@ void Engine::run() {
 
 void Engine::finish_run() {
   if (checker_ && check::Checker::active() == checker_.get()) {
-    for (auto& n : nodes_) n->audit_terminal(*checker_);
+    for (NodeId i = 0; i < num_nodes_; ++i) {
+      nodes_[i].audit_terminal(*checker_);
+    }
     for (auto& hook : audit_hooks_) hook(*checker_);
     checker_->finish_run();
     // Diagnostics are advisory: print them, leave pass/fail to the caller
@@ -184,8 +296,8 @@ void Engine::finish_run() {
     checker_->print(stderr);
   }
 
-  for (auto& n : nodes_) {
-    for (auto& s : n->stuck_tasks()) stuck_.push_back(s);
+  for (NodeId i = 0; i < num_nodes_; ++i) {
+    for (auto& s : nodes_[i].stuck_tasks()) stuck_.push_back(s);
   }
   deadlocked_ = !stuck_.empty();
   if (deadlocked_ && !allow_deadlock_) {

@@ -6,20 +6,25 @@
 //   * SequentialExecutor — one scheduler thread drains the merged queues in
 //     global (time, node) order; the reference semantics.
 //   * ParallelExecutor — nodes are sharded across host worker threads that
-//     advance in conservative lookahead epochs of width CostModel::
-//     lookahead() (the LogGP latency L). No message sent at virtual time t
-//     can arrive before t + L, so all events strictly inside one epoch
-//     window commute across shards; cross-shard messages are buffered in
-//     per-shard outboxes and exchanged at the epoch barrier. Arrival-time
-//     ties break on (src node, per-source seq) and event-queue ties on
-//     node id — keys every run derives deterministically — so dispatch
-//     order, and therefore every checksum, counter, and breakdown, is
-//     bit-identical to the sequential engine.
+//     advance in conservative lookahead epochs. The horizon of shard s is
+//     per-shard: no other shard s' can cause an arrival at s before
+//     (s' head) + L[s'][s], where L is the shard-pair wire-time floor — the
+//     declared topology's minimum wire cost under the per-link policy, or
+//     CostModel::lookahead() (the LogGP latency L) globally. Events
+//     strictly inside a shard's window commute with every other shard;
+//     cross-shard messages are buffered in per-(src, dst) shard outboxes
+//     and batch-merged at the epoch boundary. Arrival-time ties break on
+//     (src node, per-source seq) and event-queue ties on node id — keys
+//     every run derives deterministically — so dispatch order, and
+//     therefore every checksum, counter, and breakdown, is bit-identical
+//     to the sequential engine.
 //
 // Thread count comes from set_threads() or THAM_SIM_THREADS (default 1).
-// Runs that attach instrumentation which is not shard-safe (a tham-check
-// checker, a network observer) are forced onto the sequential executor
-// with a diagnostic.
+// Node→shard assignment and the lookahead policy come from
+// THAM_SIM_SHARD_POLICY ("block" | "roundrobin") and THAM_SIM_LOOKAHEAD
+// ("link" | "global"), or the matching setters. Runs that attach
+// instrumentation which is not shard-safe (a tham-check checker, a network
+// observer) are forced onto the sequential executor with a diagnostic.
 
 #include <atomic>
 #include <cstdint>
@@ -29,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/cost_model.hpp"
 #include "common/machine.hpp"
 #include "common/types.hpp"
@@ -52,8 +58,11 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  int size() const { return static_cast<int>(nodes_.size()); }
-  Node& node(NodeId i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  int size() const { return num_nodes_; }
+  Node& node(NodeId i) {
+    THAM_CHECK(i >= 0 && i < num_nodes_);
+    return nodes_[static_cast<std::size_t>(i)];
+  }
   const CostModel& cost() const { return cost_; }
   StackPool& stack_pool() { return stack_pool_; }
 
@@ -83,6 +92,54 @@ class Engine {
   /// forced to 1, see require_sequential()).
   int shards_used() const { return shards_used_; }
 
+  /// How node ids map to shards under the parallel executor. Block (the
+  /// default) gives each shard one contiguous node-id range — neighbour-
+  /// heavy graphs keep most edges shard-local and each worker walks a
+  /// contiguous slice of the node arena. RoundRobin stripes ids modulo the
+  /// shard count. Results are bit-identical under either (the dispatch
+  /// order is a pure function of (t, node) keys, not of shard shape).
+  enum class ShardPolicy { Block, RoundRobin };
+  /// Overrides THAM_SIM_SHARD_POLICY. Must be called before run().
+  void set_shard_policy(ShardPolicy p);
+  ShardPolicy shard_policy() const { return shard_policy_; }
+
+  /// How parallel epoch horizons are derived. PerLink (the default) uses
+  /// the declared topology's per-shard-pair wire-time floors, so a shard
+  /// whose inbound links are all slow advances in wider epochs; it falls
+  /// back to Global when no topology was declared. Global uses
+  /// CostModel::lookahead() for every pair.
+  enum class LookaheadPolicy { PerLink, Global };
+  /// Overrides THAM_SIM_LOOKAHEAD. Must be called before run().
+  void set_lookahead_policy(LookaheadPolicy p);
+  LookaheadPolicy lookahead_policy() const { return lookahead_policy_; }
+
+  /// Declares that messages may flow src -> dst with wire time >=
+  /// `min_wire` (virtual ns, > 0). transport::Channel::declare_link prices
+  /// this from a wire class; multiple declarations per pair keep the
+  /// minimum. Once anything is declared the topology is closed: every send
+  /// is checked against the declared floor of its shard pair and the run
+  /// aborts on a send that undercuts it (or crosses a shard pair with no
+  /// declared link) — the invariant per-link lookahead horizons rely on.
+  /// Must be called before run().
+  void declare_link(NodeId src, NodeId dst, SimTime min_wire);
+  bool topology_declared() const { return !links_.empty(); }
+
+  /// The declared-topology enforcement check, called on every
+  /// Network::send. No-op unless a topology was declared. Granularity is
+  /// the shard pair — exactly the floor the epoch planner uses.
+  void check_wire_floor(NodeId src, NodeId dst, SimTime wire_time) const {
+    if (wire_floor_.empty()) return;
+    SimTime floor =
+        wire_floor_[static_cast<std::size_t>(
+                        shard_ix_[static_cast<std::size_t>(src)]) *
+                        shards_.size() +
+                    static_cast<std::size_t>(
+                        shard_ix_[static_cast<std::size_t>(dst)])];
+    THAM_CHECK_MSG(wire_time >= floor,
+                   "send undercuts the declared link wire-time floor "
+                   "(or crosses a pair with no declared link)");
+  }
+
   /// Forces every run() of this engine onto the sequential executor and
   /// remembers why, for the one-line diagnostic printed when a parallel
   /// run was requested. Called by subsystems whose instrumentation is not
@@ -94,14 +151,16 @@ class Engine {
   SimTime head_time() const;
 
   /// Earliest pending virtual time node `n` may run ahead of: its shard's
-  /// queue head, additionally capped by the epoch horizon while a parallel
-  /// window is executing. This is the causality bound Node::advance checks.
+  /// queue head, additionally capped by the shard's epoch horizon while a
+  /// parallel window is executing. This is the causality bound
+  /// Node::advance checks.
   SimTime head_limit(NodeId n) const {
-    const Shard& s = *shards_[shard_ix_[static_cast<std::size_t>(n)]];
+    auto sx = static_cast<std::size_t>(shard_ix_[static_cast<std::size_t>(n)]);
+    const Shard& s = *shards_[sx];
     SimTime h = s.queue.empty() ? std::numeric_limits<SimTime>::max()
                                 : s.queue.top().t;
     if (in_parallel_window_.load(std::memory_order_relaxed)) {
-      SimTime lim = epoch_limit_.load(std::memory_order_relaxed);
+      SimTime lim = shard_limits_[sx].v.load(std::memory_order_relaxed);
       if (lim < h) h = lim;
     } else if (shards_.size() > 1) {
       // Post-epoch sequential drain over a sharded queue set: the bound is
@@ -113,12 +172,20 @@ class Engine {
     return h;
   }
 
-  /// Schedules a node activation at virtual time `t`.
+  /// Schedules a node activation at virtual time `t`. Coalesced: a node
+  /// carries at most one *live* activation (Node::armed_at); a wake at or
+  /// after the armed time is covered by it and enqueues nothing. After the
+  /// live activation dispatches, the engine re-arms from
+  /// Node::next_activation_time(), which reconstructs whatever the
+  /// coalescing suppressed. Keeps dispatch order bit-identical to the
+  /// one-activation-per-request scheme while doing O(live events) heap
+  /// work instead of O(requests).
   void wake(Node* n, SimTime t);
 
   /// Routes a freshly sent message to `dst`: pushed straight into the
   /// destination inbox, except mid-epoch across shards, where it is
-  /// buffered in the sending shard's outbox and exchanged at the barrier.
+  /// buffered in the sending shard's outbox and batch-merged at the epoch
+  /// boundary.
   void deliver(NodeId dst, Message m);
 
   /// Runs the simulation until the event queues drain, then shuts down
@@ -135,6 +202,46 @@ class Engine {
   bool deadlocked() const { return deadlocked_; }
   /// After run(): "node N: name (reason)" for every stuck non-daemon task.
   const std::vector<std::string>& stuck_tasks() const { return stuck_; }
+
+  /// Host-side counters from the last parallel run's epoch protocol, for
+  /// perf work (`bench_scaling --json` dumps them). Wall times in host ns.
+  /// All zero after a sequential run.
+  struct EpochProfile {
+    std::uint64_t epochs = 0;        ///< parallel epochs planned
+    std::uint64_t shard_epochs = 0;  ///< sum of per-shard participations
+    std::uint64_t parked_epochs = 0; ///< shard-epochs skipped by the idle
+                                     ///< fast path (no barrier traffic)
+    std::uint64_t events = 0;        ///< live events dispatched in windows
+    std::uint64_t stale_events = 0;  ///< coalesced entries dropped on pop
+    std::uint64_t max_epoch_events = 0;  ///< most events one shard drained
+                                         ///< in one epoch
+    std::uint64_t merged_msgs = 0;   ///< cross-shard messages batch-merged
+    std::uint64_t flushes = 0;       ///< non-empty outboxes merged
+    std::uint64_t drain_ns = 0;      ///< in-window event execution
+    std::uint64_t merge_ns = 0;      ///< batched exchange/merge phases
+    std::uint64_t barrier_ns = 0;    ///< waiting at epoch barriers
+    std::uint64_t parked_ns = 0;     ///< parked by the idle fast path (and
+                                     ///< waiting on the serial plan)
+    std::uint64_t plan_ns = 0;       ///< serial planning sections
+    std::uint64_t wall_ns = 0;       ///< parallel section wall clock
+  };
+  const EpochProfile& epoch_profile() const { return profile_; }
+
+  /// One parallel epoch, as seen by the serial planning section.
+  struct EpochInfo {
+    std::uint64_t index;    ///< 0-based epoch number
+    SimTime window_start;   ///< earliest effective shard head
+    int participants;      ///< shards in this epoch's barrier group
+  };
+  /// Observes every parallel epoch. Invoked from the serial planning
+  /// section — never concurrently — so, unlike a network observer, it does
+  /// NOT force the sequential executor. Only fired in THAM_CHECK builds
+  /// (stats::EpochTrace documents this); a plain build never pays the
+  /// std::function call on the epoch path.
+  using EpochObserver = std::function<void(const EpochInfo&)>;
+  void set_epoch_observer(EpochObserver obs) {
+    epoch_observer_ = std::move(obs);
+  }
 
   /// The tham-check instance auditing this engine. Non-null only in
   /// THAM_CHECK=ON builds with Checker::auto_attach() left on at
@@ -169,10 +276,18 @@ class Engine {
     }
   };
 
-  /// A cross-shard message parked until the epoch barrier.
+  /// A cross-shard message parked until the epoch boundary.
   struct PendingMsg {
     NodeId dst;
     Message m;
+  };
+
+  /// Mid-epoch cross-shard traffic parked for one destination shard.
+  /// min_arrival caps the destination's horizon until it merges: the
+  /// sender's head no longer bounds a message that is already in flight.
+  struct Outbox {
+    std::vector<PendingMsg> msgs;
+    SimTime min_arrival = std::numeric_limits<SimTime>::max();
   };
 
   /// One shard: a slice of the nodes, their event queue, and the outboxes
@@ -180,25 +295,56 @@ class Engine {
   /// only its worker thread touches it between barriers.
   struct alignas(64) Shard {
     QuadHeap<Ev, EvBefore> queue;
-    std::vector<std::vector<PendingMsg>> outbox;  ///< indexed by dest shard
+    std::vector<Outbox> outbox;  ///< indexed by dest shard
   };
+
+  /// Per-shard epoch horizon, one cache line each: the planner writes
+  /// them, each worker re-reads only its own on the event hot path.
+  struct alignas(64) ShardLimit {
+    std::atomic<SimTime> v{0};
+  };
+
+  /// Dispatches one popped event: a stale entry (superseded by an earlier
+  /// wake, or belonging to an already-dispatched time) is dropped; a live
+  /// one runs Node::on_wake and re-arms the node from its own state.
+  /// Returns true when the event was live. The single dispatch path of
+  /// both executors and the shutdown drain.
+  bool dispatch(const Ev& ev);
 
   /// Decides the shard count for this run (1 = sequential), printing the
   /// fallback diagnostic when parallelism was requested but is unsafe.
   int plan_shards();
   void setup_shards(int count);
+  /// Rebuilds the shard-pair wire-time floor matrix from the declared
+  /// links for the current shard count (empty when none are declared).
+  void build_wire_floors();
   /// Audits the terminal state and aborts on deadlock (see run()).
   void finish_run();
 
   CostModel cost_;
   StackPool stack_pool_;
-  std::vector<std::unique_ptr<Node>> nodes_;
+  /// The nodes, placement-constructed in one contiguous cache-line-aligned
+  /// arena: with block sharding each worker owns a contiguous slice, and
+  /// the per-event fields it touches (clock, counters, queues) never share
+  /// a line with another shard's nodes.
+  Node* nodes_ = nullptr;
+  int num_nodes_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<int> shard_ix_;  ///< node -> shard
+  std::vector<ShardLimit> shard_limits_;
   std::atomic<std::uint64_t> seq_{0};
   SimTime vtime_ = 0;
   int threads_;  ///< from THAM_SIM_THREADS; see set_threads()
   int shards_used_ = 1;
+  ShardPolicy shard_policy_;          ///< from THAM_SIM_SHARD_POLICY
+  LookaheadPolicy lookahead_policy_;  ///< from THAM_SIM_LOOKAHEAD
+  struct Link {
+    NodeId src;
+    NodeId dst;
+    SimTime min_wire;
+  };
+  std::vector<Link> links_;        ///< declared topology (see declare_link)
+  std::vector<SimTime> wire_floor_;  ///< shard-pair floors; empty = no topo
   const char* seq_only_why_ = nullptr;
   bool allow_deadlock_ = false;
   bool deadlocked_ = false;
@@ -206,9 +352,8 @@ class Engine {
   /// True while parallel epoch windows execute; switches deliver() to
   /// outbox buffering and head_limit() to the epoch horizon.
   std::atomic<bool> in_parallel_window_{false};
-  /// Inclusive upper bound of the current epoch window (window start
-  /// + lookahead - 1): tasks pause once their clock would pass it.
-  std::atomic<SimTime> epoch_limit_{0};
+  EpochProfile profile_;
+  EpochObserver epoch_observer_;
   std::vector<std::string> stuck_;
   std::vector<std::function<void(check::Checker&)>> audit_hooks_;
   std::unique_ptr<check::Checker> checker_;  ///< null when not auto-attached

@@ -1,5 +1,6 @@
 #include "sim/executor.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/check.hpp"
@@ -7,9 +8,19 @@
 
 namespace tham::sim {
 
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
 void SequentialExecutor::run() {
   auto& shards = eng_.shards_;
-  auto& nodes = eng_.nodes_;
   for (;;) {
     Engine::Shard* best = nullptr;
     for (auto& s : shards) {
@@ -22,17 +33,58 @@ void SequentialExecutor::run() {
     if (best == nullptr) break;
     Engine::Ev ev = best->queue.top();
     best->queue.pop();
-    nodes[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
+    eng_.dispatch(ev);
   }
 }
 
 ParallelExecutor::ParallelExecutor(Engine& eng, int shards)
-    : eng_(eng), count_(shards), lookahead_(eng.cost().lookahead()) {
+    : eng_(eng), count_(shards) {
   THAM_CHECK(shards > 1);
-  THAM_CHECK_MSG(lookahead_ > 0, "parallel executor needs positive lookahead");
+  auto n = static_cast<std::size_t>(shards);
+  // Shard-pair lookahead edges. Per-link horizons are sound only because
+  // Engine::check_wire_floor enforces every send against the same floors;
+  // pairs with no declared link get kNever = "no bound" (a send there
+  // would abort).
+  if (eng.lookahead_policy() == Engine::LookaheadPolicy::PerLink &&
+      !eng.wire_floor_.empty()) {
+    la_ = eng.wire_floor_;
+  } else {
+    SimTime g = eng.cost().lookahead();
+    THAM_CHECK_MSG(g > 0, "parallel executor needs positive lookahead");
+    la_.assign(n * n, g);
+  }
+  // Close the edges into the *reaction distance* matrix D: D[o][s] is the
+  // minimum accumulated wire time on any inter-shard message chain
+  // o -> ... -> s, and D[s][s] the shortest proper cycle. The horizon of a
+  // shard must respect chains, not just direct links: a message s sends
+  // this epoch can wake a far-ahead shard o next epoch, and o's *response*
+  // lands back at s only eff(s) + D[s][o] + D[o][s] in — which is far
+  // earlier than eff(o) + L[o][s] when o's own head is large. Intra-shard
+  // hops never appear as edges (delivery inside a shard is direct and
+  // ordered by the shard drain, and dropping them only widens D, which a
+  // chain through a real intra-shard hop still satisfies).
+  for (std::size_t i = 0; i < n; ++i) la_[i * n + i] = kNever;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      SimTime ik = la_[i * n + k];
+      if (ik == kNever) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        SimTime kj = la_[k * n + j];
+        if (kj == kNever || ik > kNever - kj) continue;
+        if (ik + kj < la_[i * n + j]) la_[i * n + j] = ik + kj;
+      }
+    }
+  }
+  ctl_ = std::vector<WorkerCtl>(n);
+  stats_ = std::vector<WorkerStats>(n);
+  participant_.assign(n, 0);
+  heads_.assign(n, kNever);
+  inbound_.assign(n, kNever);
+  scratch_.resize(n);
 }
 
 void ParallelExecutor::run() {
+  auto t0 = std::chrono::steady_clock::now();
   eng_.in_parallel_window_.store(true, std::memory_order_release);
   plan_epoch();  // first window, computed before any worker starts
   if (!done_.load(std::memory_order_relaxed)) {
@@ -45,74 +97,238 @@ void ParallelExecutor::run() {
     for (auto& t : threads) t.join();
   }
   eng_.in_parallel_window_.store(false, std::memory_order_release);
+
+  Engine::EpochProfile p;
+  p.epochs = epochs_;
+  p.plan_ns = plan_ns_;
+  for (const WorkerStats& st : stats_) {
+    p.shard_epochs += st.epochs;
+    p.events += st.live;
+    p.stale_events += st.stale;
+    p.max_epoch_events = std::max(p.max_epoch_events, st.max_epoch);
+    p.merged_msgs += st.merged;
+    p.flushes += st.flushes;
+    p.drain_ns += st.drain_ns;
+    p.merge_ns += st.merge_ns;
+    p.barrier_ns += st.barrier_ns;
+    p.parked_ns += st.parked_ns;
+  }
+  p.parked_epochs =
+      epochs_ * static_cast<std::uint64_t>(count_) - p.shard_epochs;
+  p.wall_ns = elapsed_ns(t0, std::chrono::steady_clock::now());
+  eng_.profile_ = p;
 }
 
 void ParallelExecutor::worker(int slot) {
   set_worker_slot(slot);
-  bool sense = false;
-  while (!done_.load(std::memory_order_acquire)) {
+  WorkerStats& st = stats_[static_cast<std::size_t>(slot)];
+  for (;;) {
+    // Parked until this shard is in some epoch's participant set (or the
+    // run is over): the idle-shard fast path — no barrier traffic, no
+    // queue scans, just one mailbox wait.
+    wait_go(slot, &st.parked_ns);
+    if (done_.load(std::memory_order_acquire)) break;
+    ++st.epochs;
     drain_window(slot);
-    sense = !sense;
-    arrive(sense, /*plan=*/false);  // all drains finished; outboxes final
-    exchange(slot);
-    sense = !sense;
-    arrive(sense, /*plan=*/true);  // all inboxes settled; plan next window
+    arrive(/*planning=*/false);  // drains done; outboxes sealed
+    wait_go(slot, &st.barrier_ns);
+    merge_boxes(slot);
+    arrive(/*planning=*/true);  // inboxes settled; last arriver plans
   }
   // Leave the slot set: worker 0 is the main thread, and the post-epoch
   // shutdown drain reuses its slot-0 stack free list.
 }
 
 void ParallelExecutor::drain_window(int slot) {
+  auto t0 = std::chrono::steady_clock::now();
+  WorkerStats& st = stats_[static_cast<std::size_t>(slot)];
   Engine::Shard& s = *eng_.shards_[static_cast<std::size_t>(slot)];
-  const SimTime limit = eng_.epoch_limit_.load(std::memory_order_acquire);
-  auto& nodes = eng_.nodes_;
+  // Ordering: the planner wrote the limit before releasing this worker's
+  // mailbox; wait_go's acquire pairs with that release.
+  const SimTime limit =
+      eng_.shard_limits_[static_cast<std::size_t>(slot)].v.load(
+          std::memory_order_relaxed);
+  std::uint64_t live = 0;
   while (!s.queue.empty() && s.queue.top().t <= limit) {
     Engine::Ev ev = s.queue.top();
     s.queue.pop();
-    nodes[static_cast<std::size_t>(ev.n)]->on_wake(ev.t);
+    if (eng_.dispatch(ev)) {
+      ++live;
+    } else {
+      ++st.stale;
+    }
   }
+  st.live += live;
+  st.max_epoch = std::max(st.max_epoch, live);
+  st.drain_ns += elapsed_ns(t0, std::chrono::steady_clock::now());
 }
 
-void ParallelExecutor::exchange(int slot) {
-  auto& nodes = eng_.nodes_;
-  for (auto& from : eng_.shards_) {
-    auto& box = from->outbox[static_cast<std::size_t>(slot)];
-    for (auto& pm : box) {
-      nodes[static_cast<std::size_t>(pm.dst)]->enqueue_message(std::move(pm.m));
+void ParallelExecutor::merge_boxes(int slot) {
+  auto t0 = std::chrono::steady_clock::now();
+  WorkerStats& st = stats_[static_cast<std::size_t>(slot)];
+  auto& scratch = scratch_[static_cast<std::size_t>(slot)];
+  scratch.clear();
+  for (int src = 0; src < count_; ++src) {
+    Engine::Outbox& box = eng_.shards_[static_cast<std::size_t>(src)]
+                              ->outbox[static_cast<std::size_t>(slot)];
+    if (box.msgs.empty()) continue;
+    ++st.flushes;
+    st.merged += box.msgs.size();
+    for (auto& pm : box.msgs) {
+      // Engine::wake inlined for the batch: inbox push without scheduling,
+      // armed-time coalescing by hand, heap insertion deferred to one
+      // bulk_push below.
+      Node& n = eng_.nodes_[static_cast<std::size_t>(pm.dst)];
+      SimTime a = pm.m.arrival;
+      n.enqueue_message_batched(std::move(pm.m));
+      if (a < n.armed_at()) {
+        n.set_armed(a);
+        scratch.push_back(Engine::Ev{a, pm.dst});
+      }
     }
-    box.clear();
+    box.msgs.clear();
+    box.min_arrival = kNever;
   }
+  if (!scratch.empty()) {
+    eng_.shards_[static_cast<std::size_t>(slot)]->queue.bulk_push(
+        scratch.begin(), scratch.end());
+  }
+  st.merge_ns += elapsed_ns(t0, std::chrono::steady_clock::now());
 }
 
 void ParallelExecutor::plan_epoch() {
-  SimTime gmin = std::numeric_limits<SimTime>::max();
-  for (const auto& s : eng_.shards_) {
-    if (!s->queue.empty() && s->queue.top().t < gmin) gmin = s->queue.top().t;
+  auto t0 = std::chrono::steady_clock::now();
+  auto& shards = eng_.shards_;
+  // Effective head per shard: the earliest thing it could dispatch or
+  // merge. A queue head may be a stale coalesced entry (time before the
+  // node's armed time); that only under-estimates the head, which is
+  // always safe. Unmerged inbound outbox arrivals count too: a message
+  // already in flight is no longer bounded by its sender's head.
+  SimTime start = kNever;
+  for (int s = 0; s < count_; ++s) {
+    auto sx = static_cast<std::size_t>(s);
+    heads_[sx] = shards[sx]->queue.empty() ? kNever : shards[sx]->queue.top().t;
+    inbound_[sx] = kNever;
   }
-  if (gmin == std::numeric_limits<SimTime>::max()) {
-    done_.store(true, std::memory_order_release);
-    return;
-  }
-  // Inclusive horizon one tick short of gmin + lookahead: a cross-shard
-  // message sent at gmin arrives at gmin + lookahead at the earliest, and
-  // the sequential engine delivers an arrival the instant a clock reaches
-  // it — so the window must not let a task's clock reach that boundary.
-  eng_.epoch_limit_.store(gmin + lookahead_ - 1, std::memory_order_release);
-}
-
-void ParallelExecutor::arrive(bool my_sense, bool plan) {
-  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == count_) {
-    arrived_.store(0, std::memory_order_relaxed);
-    if (plan) plan_epoch();
-    global_sense_.store(my_sense, std::memory_order_release);
-  } else {
-    // Spin briefly (epochs are short), then yield: the common deployment is
-    // more workers than free cores, where pure spinning would live-lock.
-    int spins = 0;
-    while (global_sense_.load(std::memory_order_acquire) != my_sense) {
-      if (++spins > 512) std::this_thread::yield();
+  for (int src = 0; src < count_; ++src) {
+    for (int dst = 0; dst < count_; ++dst) {
+      const Engine::Outbox& box = shards[static_cast<std::size_t>(src)]
+                                      ->outbox[static_cast<std::size_t>(dst)];
+      if (!box.msgs.empty() &&
+          box.min_arrival < inbound_[static_cast<std::size_t>(dst)]) {
+        inbound_[static_cast<std::size_t>(dst)] = box.min_arrival;
+      }
     }
   }
+  for (int s = 0; s < count_; ++s) {
+    auto sx = static_cast<std::size_t>(s);
+    SimTime eff = std::min(heads_[sx], inbound_[sx]);
+    if (eff < start) start = eff;
+  }
+
+  if (start == kNever) {
+    done_.store(true, std::memory_order_release);
+    for (int s = 0; s < count_; ++s) release(s);
+    plan_ns_ += elapsed_ns(t0, std::chrono::steady_clock::now());
+    return;
+  }
+
+  int parts = 0;
+  for (int s = 0; s < count_; ++s) {
+    auto sx = static_cast<std::size_t>(s);
+    SimTime lim = kNever;
+    for (int o = 0; o < count_; ++o) {
+      auto ox = static_cast<std::size_t>(o);
+      SimTime eo = std::min(heads_[ox], inbound_[ox]);
+      if (eo == kNever) continue;
+      // Reaction distance, not the direct link: anything o dispatches from
+      // eo on needs at least D[o][s] of accumulated wire time before any
+      // consequence of it can reach s — including o == s, where D is the
+      // shortest inter-shard cycle (s's own sends can bounce off another
+      // shard and come back at eff(s) + cycle).
+      SimTime d = la_[ox * static_cast<std::size_t>(count_) + sx];
+      if (d == kNever) continue;  // s unreachable from o: no bound
+      // Inclusive horizon one tick short of the earliest consequence: a
+      // chain leaving o's head arrives at eo + D at the soonest, and the
+      // sequential engine delivers an arrival the instant a clock reaches
+      // it — so the window must not let a task's clock reach that boundary.
+      SimTime bound = eo > kNever - d ? kNever : eo + d - 1;
+      if (bound < lim) lim = bound;
+    }
+    if (inbound_[sx] != kNever && inbound_[sx] - 1 < lim) {
+      lim = inbound_[sx] - 1;
+    }
+    eng_.shard_limits_[sx].v.store(lim, std::memory_order_relaxed);
+    bool in = (heads_[sx] != kNever && heads_[sx] <= lim) ||
+              inbound_[sx] != kNever;
+    participant_[sx] = in ? 1 : 0;
+    parts += in ? 1 : 0;
+  }
+  // The globally minimal shard always qualifies (its bounds all sit at or
+  // above its own head), so every epoch makes progress.
+  THAM_CHECK(parts > 0);
+  expected_ = parts;
+  ++epochs_;
+
+#if defined(THAM_CHECK_ENABLED)
+  if (eng_.epoch_observer_) {
+    eng_.epoch_observer_(Engine::EpochInfo{epochs_ - 1, start, parts});
+  }
+#endif
+
+  // Adaptive barrier spin: budget ~ one epoch of spin iterations (an
+  // acquire-load spin iteration is a few ns), clamped to stay responsive
+  // on oversubscribed hosts and bounded on huge epochs.
+  auto now = std::chrono::steady_clock::now();
+  if (have_last_plan_) {
+    auto ns = static_cast<double>(elapsed_ns(last_plan_, now));
+    ewma_epoch_ns_ =
+        ewma_epoch_ns_ == 0 ? ns : ns / 8.0 + ewma_epoch_ns_ * 7.0 / 8.0;
+    auto budget = static_cast<std::uint32_t>(std::clamp(
+        ewma_epoch_ns_ / 4.0, 256.0, 65536.0));
+    spin_budget_.store(budget, std::memory_order_relaxed);
+  }
+  last_plan_ = now;
+  have_last_plan_ = true;
+  plan_ns_ += elapsed_ns(t0, now);
+
+  for (int s = 0; s < count_; ++s) {
+    if (participant_[static_cast<std::size_t>(s)] != 0) release(s);
+  }
+}
+
+void ParallelExecutor::arrive(bool planning) {
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == expected_) {
+    arrived_.store(0, std::memory_order_relaxed);
+    if (planning) {
+      plan_epoch();
+    } else {
+      for (int s = 0; s < count_; ++s) {
+        if (participant_[static_cast<std::size_t>(s)] != 0) release(s);
+      }
+    }
+  }
+  // Not-last arrivers (and the last arriver, whose own release is already
+  // in its mailbox) fall through to wait_go().
+}
+
+void ParallelExecutor::wait_go(int slot, std::uint64_t* wait_ns) {
+  WorkerCtl& c = ctl_[static_cast<std::size_t>(slot)];
+  std::uint64_t v = c.go.load(std::memory_order_acquire);
+  if (v > c.seen) {  // already released: skip the clock reads
+    c.seen = v;
+    return;
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  const std::uint32_t budget = spin_budget_.load(std::memory_order_relaxed);
+  std::uint32_t spins = 0;
+  while ((v = c.go.load(std::memory_order_acquire)) <= c.seen) {
+    // Spin up to the adaptive budget, then yield: the common deployment is
+    // more workers than free cores, where pure spinning would live-lock.
+    if (++spins > budget) std::this_thread::yield();
+  }
+  c.seen = v;
+  *wait_ns += elapsed_ns(t0, std::chrono::steady_clock::now());
 }
 
 }  // namespace tham::sim

@@ -5,6 +5,9 @@
 // argument both executors implement.
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -25,39 +28,115 @@ class SequentialExecutor {
 };
 
 /// Conservative-lookahead parallel executor. Each shard gets a host worker
-/// (the calling thread doubles as worker 0). Workers advance in epochs:
+/// (the calling thread doubles as worker 0). Workers advance in epochs
+/// over a *participant set* — the shards that actually have work inside
+/// their horizon:
 ///
-///   plan (serial): gmin = min event time anywhere; window = [gmin,
-///                  gmin + lookahead - 1]; done when queues are empty
-///   drain (parallel): each worker pops its shard's events with t <= limit
-///   exchange (parallel): each worker moves messages parked for its shard
-///                        out of every outbox into its own nodes' inboxes
+///   plan (serial): per shard s, an effective head h[s] = min(queue head,
+///       earliest unmerged inbound outbox arrival). Horizon limit[s] =
+///       min over shards o (including s itself) of h[o] + D[o][s] - 1,
+///       where D is the *reaction distance* matrix: the all-pairs
+///       shortest-path closure of the shard-pair lookahead edges (declared
+///       per-link wire floors, or the global CostModel::lookahead()), with
+///       D[s][s] the shortest proper cycle. Chains matter, not just direct
+///       links: a message s sends this epoch can wake a far-ahead shard
+///       whose response returns at h[s] + cycle, long before that shard's
+///       own head plus one hop. The limit is additionally capped one tick
+///       below any unmerged inbound arrival. Participants = shards with a
+///       queue head inside their horizon or inbound traffic to merge;
+///       everyone else stays parked on a per-worker mailbox and costs the
+///       epoch nothing (the idle-shard fast path). Done when every h[s] is
+///       infinite.
+///   drain (parallel, participants): pop shard events with t <= limit[s];
+///       cross-shard sends park in per-(src, dst) outboxes.
+///   merge (parallel, participants): batch-move every outbox addressed to
+///       this shard into its nodes' inboxes and bulk-insert the armed
+///       activations into the shard queue in one pass.
 ///
-/// separated by a sense-reversing spin-then-yield barrier whose last
-/// arriver runs the next plan as the serial section. Cross-shard sends
-/// arrive no earlier than gmin + lookahead, i.e. outside the window, so
-/// draining shards concurrently cannot miss or reorder a delivery.
+/// The two phases are separated by barriers over the participant set; the
+/// last arriver of the merge barrier runs the next plan as the serial
+/// section. All outbox and queue handoff is sealed by those barriers (a
+/// parked shard's boxes are only read after the epoch in which they were
+/// written has fully barriered), so no phase ever reads state another
+/// thread is still writing. Workers wait with an adaptive spin: the
+/// planner measures the epoch wall time and sizes the spin budget to it,
+/// so short epochs never yield and long ones never burn a core.
+///
+/// Progress: the shard with the globally minimal effective head is always
+/// a participant (every bound on it is at least its own head), so each
+/// epoch advances at least one shard.
 class ParallelExecutor {
  public:
   ParallelExecutor(Engine& eng, int shards);
   void run();
 
  private:
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+  /// Per-worker release mailbox, one cache line each. The serial sections
+  /// hand a worker its next phase by bumping `go`; the worker spin-then-
+  /// yield waits for it. Parked shards simply never get bumped — an idle
+  /// shard costs no barrier traffic at all.
+  struct alignas(64) WorkerCtl {
+    std::atomic<std::uint64_t> go{0};
+    std::uint64_t seen = 0;  ///< worker-local; lives here to stay padded
+  };
+
+  /// Per-worker counters, one cache line each; folded into
+  /// Engine::EpochProfile when the run ends.
+  struct alignas(64) WorkerStats {
+    std::uint64_t epochs = 0;
+    std::uint64_t live = 0;
+    std::uint64_t stale = 0;
+    std::uint64_t max_epoch = 0;
+    std::uint64_t merged = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t drain_ns = 0;
+    std::uint64_t merge_ns = 0;
+    std::uint64_t barrier_ns = 0;
+    std::uint64_t parked_ns = 0;
+  };
+
   void worker(int slot);
   void drain_window(int slot);
-  void exchange(int slot);
-  /// Serial section: computes the next epoch window, or sets done_.
+  void merge_boxes(int slot);
+  /// Serial section: computes the next epoch's horizons and participant
+  /// set and releases the participants — or sets done_ and releases
+  /// everyone. Runs on whichever worker arrived last at the merge barrier
+  /// (or on the caller of run() for the first epoch).
   void plan_epoch();
-  /// Sense-reversing barrier; the last arriver runs plan_epoch() when
-  /// `plan` is set, then releases the others.
-  void arrive(bool my_sense, bool plan);
+  /// Epoch barrier over the current participant set. The last arriver
+  /// either releases the participants into the merge phase or runs
+  /// plan_epoch(); everyone then falls through to wait_go().
+  void arrive(bool planning);
+  /// Waits for this worker's next release; wait time is added to
+  /// *wait_ns (barrier wait vs. parked time, depending on the call site).
+  void wait_go(int slot, std::uint64_t* wait_ns);
+  void release(int slot) {
+    ctl_[static_cast<std::size_t>(slot)].go.fetch_add(
+        1, std::memory_order_release);
+  }
 
   Engine& eng_;
   int count_;
-  SimTime lookahead_;
+  /// Reaction-distance matrix D, count_²: shortest-path closure of the
+  /// shard-pair lookahead edges; diagonal = shortest proper cycle.
+  std::vector<SimTime> la_;
+  std::vector<WorkerCtl> ctl_;
+  std::vector<WorkerStats> stats_;
+  std::vector<std::uint8_t> participant_;
+  std::vector<SimTime> heads_;    ///< plan scratch: effective heads
+  std::vector<SimTime> inbound_;  ///< plan scratch: unmerged inbound mins
+  std::vector<std::vector<Engine::Ev>> scratch_;  ///< per-worker bulk batch
+  int expected_ = 0;  ///< barrier size = participant count, set by plan
   std::atomic<int> arrived_{0};
-  std::atomic<bool> global_sense_{false};
   std::atomic<bool> done_{false};
+  std::atomic<std::uint32_t> spin_budget_{4096};
+  std::uint64_t epochs_ = 0;
+  std::uint64_t plan_ns_ = 0;
+  double ewma_epoch_ns_ = 0;
+  std::chrono::steady_clock::time_point last_plan_{};
+  bool have_last_plan_ = false;
 };
 
 }  // namespace tham::sim

@@ -192,12 +192,52 @@ void Node::enqueue_message(Message m) {
   THAM_CHECK(static_cast<bool>(m.deliver));
   SimTime arrival = m.arrival;
   inbox_.push(std::move(m));
-  // One activation per message, unconditionally at its arrival time. The
-  // activation multiset is then a pure function of the message set — not of
-  // when this push executed relative to the node's own scheduling — which
-  // is what makes sequential and parallel dispatch orders bit-identical.
-  // (A dedup against pending earlier wakes would re-encode push timing.)
+  // One activation request per message, at its arrival time. The request
+  // set is a pure function of the message set — not of when this push
+  // executed relative to the node's own scheduling — which is what makes
+  // sequential and parallel dispatch orders bit-identical. The engine
+  // coalesces requests (Engine::wake keeps only the earliest pending one
+  // per node); that stays schedule-independent because min() over the same
+  // request set is order-insensitive, and every suppressed later request
+  // is re-derived from node state (next_activation_time) when the armed
+  // one dispatches.
   engine_.wake(this, arrival);
+}
+
+void Node::enqueue_message_batched(Message m) {
+  THAM_CHECK(static_cast<bool>(m.deliver));
+  inbox_.push(std::move(m));
+}
+
+SimTime Node::next_activation_time() const {
+  if (!runq_.empty()) return clock_;
+  SimTime t = kNeverArmed;
+  for (const Task* w : inbox_waiters_) {
+    if (w->wait_deadline_ < t) t = w->wait_deadline_;
+  }
+  if (!inbox_.empty()) {
+    SimTime a = inbox_.top().arrival;
+    if (a > clock_) {
+      if (a < t) t = a;
+    } else if (!inbox_waiters_.empty()) {
+      // A due message with parked waiters is deliverable right now.
+      t = clock_;
+    } else {
+      // Due messages nobody is waiting for (terminal residue of lossy
+      // runs). Per-message activations used to fire an idle clock jump at
+      // each *future* arrival regardless; reconstruct the earliest one so
+      // coalescing leaves node clocks bit-identical.
+      SimTime fut = kNeverArmed;
+      inbox_.for_each_pending([&](const Message& m) {
+        if (m.arrival > clock_ && m.arrival < fut) fut = m.arrival;
+      });
+      if (fut < t) t = fut;
+    }
+  }
+  // A deadline can sit in the past only transiently (its waiter is woken
+  // at the next dispatch); never arm behind the clock.
+  if (t != kNeverArmed && t < clock_) t = clock_;
+  return t;
 }
 
 bool Node::poll_one() {

@@ -108,7 +108,11 @@ class ComponentScope {
   Component prev_;
 };
 
-class Node {
+/// Cache-line aligned so adjacent nodes in the engine's contiguous node
+/// arena never share a line: the executor bumps counters_ and clock_ on
+/// every event, and with block sharding the neighbours of a shard-boundary
+/// node belong to another worker thread.
+class alignas(64) Node {
  public:
   Node(Engine& engine, NodeId id);
   ~Node();
@@ -220,6 +224,27 @@ class Node {
   // --- Engine interface (not for runtime/application code) ----------------
   void on_wake(SimTime t);
   void begin_shutdown();
+  /// Sentinel for "no engine activation armed" (see armed_at()).
+  static constexpr SimTime kNeverArmed = std::numeric_limits<SimTime>::max();
+  /// Earliest engine activation currently queued for this node, or
+  /// kNeverArmed. The engine coalesces wake() calls through this: only a
+  /// wake earlier than the armed time enters the event queue, and a popped
+  /// entry is live only if it still equals the armed time. Entries that
+  /// were superseded (or belong to an already-dispatched time) are dropped
+  /// on pop instead of cycling through the heap again.
+  SimTime armed_at() const { return armed_t_; }
+  void set_armed(SimTime t) { armed_t_ = t; }
+  /// Earliest virtual time an engine activation would find work here — a
+  /// pure function of node state (run queue, inbox, timed waiters), never
+  /// of the engine schedule. The engine re-arms from this after every live
+  /// dispatch, which is what lets wake() coalesce: any activation the
+  /// coalescing suppressed is reconstructed here the moment it could
+  /// matter. Returns kNeverArmed when the node is fully idle.
+  SimTime next_activation_time() const;
+  /// Inbox insertion without scheduling an activation — the epoch-merge
+  /// batch path, where the caller arms the activation itself and bulk-
+  /// inserts the event records into the shard queue in one pass.
+  void enqueue_message_batched(Message m);
   /// Monotonic per-source sequence stamped on outgoing messages by the
   /// network; combined with the node id it breaks arrival-time ties
   /// identically under the sequential and parallel engines.
@@ -268,6 +293,7 @@ class Node {
   bool shutting_down_ = false;
   std::uint64_t next_task_id_ = 0;
   std::uint64_t send_seq_ = 0;
+  SimTime armed_t_ = kNeverArmed;  ///< see armed_at()
 
   MessagePool inbox_;
 };

@@ -43,7 +43,33 @@ class QuadHeap {
     }
   }
 
+  /// Inserts [first, last) in one pass: append everything, then repair the
+  /// heap either by sifting each new element up (small batches) or by a
+  /// full Floyd rebuild (large batches, O(n) total instead of O(k log n)).
+  /// Equivalent to push()-ing each element: the internal layout may differ
+  /// between the two strategies, but pop order is fixed by the ordering,
+  /// which simulator keys make total (equal elements are identical).
+  template <typename InputIt>
+  void bulk_push(InputIt first, InputIt last) {
+    const std::size_t old = v_.size();
+    v_.insert(v_.end(), first, last);
+    const std::size_t added = v_.size() - old;
+    if (added == 0) return;
+    if (added * 4 >= v_.size()) {
+      rebuild();
+    } else {
+      for (std::size_t i = old; i < v_.size(); ++i) sift_up(i);
+    }
+  }
+
  private:
+  /// Floyd heap construction: sift every internal node down, deepest
+  /// parents first. O(n) for a 4-ary heap.
+  void rebuild() {
+    if (v_.size() < 2) return;
+    for (std::size_t i = (v_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+
   void sift_up(std::size_t i) {
     T x = std::move(v_[i]);
     while (i > 0) {

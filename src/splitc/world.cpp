@@ -45,9 +45,6 @@ World::World(sim::Engine& engine, net::Network& net, am::AmLayer& am)
       state_(static_cast<std::size_t>(engine.size())) {
   THAM_CHECK_MSG(current_ == nullptr, "only one Split-C world at a time");
   current_ = this;
-  for (auto& st : state_) {
-    st.stores_sent.assign(static_cast<std::size_t>(engine.size()), 0);
-  }
 
   // ---- Synchronous read/write ------------------------------------------
   h_read_done_ = am_.register_short(
@@ -347,7 +344,7 @@ void World::store_word(NodeId node, void* addr, Word value,
     return;
   }
   n.advance(n.cost().sc_issue);
-  ++self_state().stores_sent[static_cast<std::size_t>(node)];
+  ++self_state().stores_sent[node];
   am_.request(node, h_store_, to_word(addr), nbytes, value);
 }
 
@@ -361,7 +358,7 @@ void World::bulk_store(NodeId node, void* addr, const void* src,
     return;
   }
   n.advance(n.cost().sc_issue);
-  ++self_state().stores_sent[static_cast<std::size_t>(node)];
+  ++self_state().stores_sent[node];
   am_.xfer(node, addr, src, len, h_store_bulk_);
 }
 
@@ -373,8 +370,8 @@ void World::all_store_sync() {
   for (NodeId j = 0; j < procs(); ++j) {
     if (j == me) continue;
     n.advance(n.cost().sc_barrier_fan);
-    am_.request(j, h_store_count_,
-                st.stores_sent[static_cast<std::size_t>(j)]);
+    auto it = st.stores_sent.find(j);
+    am_.request(j, h_store_count_, it == st.stores_sent.end() ? 0 : it->second);
   }
   int expect_counts = procs() - 1;
   am_.poll_until([&st, expect_counts] {
@@ -384,7 +381,7 @@ void World::all_store_sync() {
   st.store_counts_got = 0;
   st.store_expect = 0;
   st.stores_recv = 0;
-  std::fill(st.stores_sent.begin(), st.stores_sent.end(), 0);
+  st.stores_sent.clear();
   barrier();
 }
 

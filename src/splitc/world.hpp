@@ -8,6 +8,7 @@
 #include <cstring>
 #include <functional>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "am/am.hpp"
@@ -90,8 +91,11 @@ class World {
 
  private:
   struct ProcState {
-    std::uint64_t outstanding = 0;       ///< split-phase gets+puts in flight
-    std::vector<std::uint64_t> stores_sent;  ///< per destination node
+    std::uint64_t outstanding = 0;  ///< split-phase gets+puts in flight
+    /// Stores issued per destination node since the last all_store_sync.
+    /// Sparse: a node stores to its few neighbors, and a dense per-pair
+    /// vector would cost O(procs^2) host memory across the world.
+    std::unordered_map<NodeId, std::uint64_t> stores_sent;
     std::uint64_t stores_recv = 0;
     std::uint64_t store_expect = 0;
     int store_counts_got = 0;

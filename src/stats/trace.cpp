@@ -88,4 +88,41 @@ bool Tracer::write_chrome_json(const std::string& path) const {
   return true;
 }
 
+EpochTrace::EpochTrace(sim::Engine& engine, std::size_t cap)
+    : engine_(engine), cap_(cap) {
+  engine_.set_epoch_observer([this](const sim::Engine::EpochInfo& info) {
+    if (epochs_.size() >= cap_) {
+      ++dropped_;
+      return;
+    }
+    epochs_.push_back(info);
+  });
+}
+
+EpochTrace::~EpochTrace() { engine_.set_epoch_observer(nullptr); }
+
+bool EpochTrace::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  bool first = true;
+  for (const auto& e : epochs_) {
+    std::fprintf(f,
+                 "%s{\"name\":\"epoch\",\"ph\":\"i\",\"s\":\"p\",\"pid\":0,"
+                 "\"tid\":-1,\"ts\":%.3f,"
+                 "\"args\":{\"index\":%llu,\"participants\":%d}}",
+                 first ? "" : ",\n", to_usec(e.window_start),
+                 static_cast<unsigned long long>(e.index), e.participants);
+    first = false;
+  }
+  std::fprintf(f, "\n]}\n");
+  if (dropped_ > 0) {
+    std::fprintf(stderr,
+                 "tham-stats: epoch buffer full, %llu epoch(s) not recorded\n",
+                 static_cast<unsigned long long>(dropped_));
+  }
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace tham::stats

@@ -68,6 +68,53 @@ class Tracer {
   std::vector<Event> events_;
 };
 
+/// Records every epoch of the parallel engine (index, window start,
+/// participant count) through Engine::set_epoch_observer, and exports them
+/// as Chrome-tracing instants — one marker per epoch on a dedicated track,
+/// so a trace shows where the conservative windows fell relative to the
+/// message traffic a Tracer recorded on the same run.
+///
+/// The engine only fires epoch observers in THAM_CHECK builds (the plain
+/// build never pays a std::function call on the epoch path), so in a
+/// release build this class attaches successfully but records nothing;
+/// enabled() says which build this is. Sequential runs have no epochs and
+/// also record nothing.
+class EpochTrace {
+ public:
+  /// Default epoch-buffer cap; overflow is counted, not silently dropped.
+  static constexpr std::size_t kDefaultCap = 1u << 20;
+
+  explicit EpochTrace(sim::Engine& engine, std::size_t cap = kDefaultCap);
+  ~EpochTrace();
+
+  EpochTrace(const EpochTrace&) = delete;
+  EpochTrace& operator=(const EpochTrace&) = delete;
+
+  /// True when this build's engine fires epoch observers (THAM_CHECK=ON).
+  static constexpr bool enabled() {
+#if defined(THAM_CHECK_ENABLED)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  const std::vector<sim::Engine::EpochInfo>& epochs() const {
+    return epochs_;
+  }
+  std::uint64_t dropped_epochs() const { return dropped_; }
+
+  /// Writes the epochs as a Chrome-tracing instant track ("traceEvents"
+  /// array format, same schema as Tracer::write_chrome_json).
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  sim::Engine& engine_;
+  std::size_t cap_;
+  std::uint64_t dropped_ = 0;
+  std::vector<sim::Engine::EpochInfo> epochs_;
+};
+
 /// Human-readable name of a wire class (also used as the slice name).
 const char* wire_name(net::Wire w);
 

@@ -88,6 +88,18 @@ class Channel {
   void raw_send(sim::Node& src, NodeId dst, Wire wire, std::size_t bytes,
                 std::uint8_t flags, sim::InlineHandler deliver);
 
+  /// Declares a src -> dst link of the given wire class in the engine's
+  /// communication topology, priced from the machine profile (the zero-
+  /// byte wire time of the class, i.e. its latency floor). The parallel
+  /// engine's per-link lookahead derives shard horizons from declared
+  /// floors, and once anything is declared every send is checked against
+  /// them — declare every link (per wire class) the program will use,
+  /// before Engine::run(). Programs that declare nothing keep the global
+  /// CostModel::lookahead() horizon and pay no check.
+  void declare_link(NodeId src, NodeId dst, Wire wire) {
+    engine().declare_link(src, dst, wire_cost(cost(), wire, 0).wire_time);
+  }
+
   /// Attaches (or detaches, with nullptr) a reliable-delivery service; all
   /// subsequent send() calls are framed through it. The service must
   /// outlive the channel's traffic.

@@ -120,6 +120,67 @@ TEST(QuadHeap, PopsInOrder) {
   EXPECT_TRUE(h.empty());
 }
 
+TEST(QuadHeap, BulkPushMatchesIndividualPushes) {
+  // The parallel engine's merge phase bulk-inserts batched activations
+  // keyed on (arrival, node) tuples with heavy key collisions. Both repair
+  // strategies — per-element sift-up for small batches and the Floyd
+  // rebuild for large ones — must pop in exactly the order individual
+  // pushes produce, since that order IS the deterministic schedule.
+  struct Ev {
+    int t;
+    int node;
+  };
+  struct Before {
+    bool operator()(const Ev& a, const Ev& b) const {
+      return a.t != b.t ? a.t < b.t : a.node < b.node;
+    }
+  };
+  auto drain = [](sim::QuadHeap<Ev, Before>& h) {
+    std::vector<std::pair<int, int>> out;
+    while (!h.empty()) {
+      out.emplace_back(h.top().t, h.top().node);
+      h.pop();
+    }
+    return out;
+  };
+  std::uint32_t x = 98765;
+  auto next = [&x](int mod) {
+    x = x * 1664525u + 1013904223u;
+    return static_cast<int>(x % static_cast<std::uint32_t>(mod));
+  };
+  // Seed heap contents, then two batches: one small enough to take the
+  // sift-up path (added * 4 < size) and one large enough to force the
+  // Floyd rebuild. Few distinct timestamps, so ties are everywhere and
+  // only the unique (t, node) key keeps the order total.
+  std::vector<Ev> seed, small_batch, big_batch;
+  int node = 0;
+  for (int i = 0; i < 200; ++i) seed.push_back(Ev{next(13), node++});
+  for (int i = 0; i < 20; ++i) small_batch.push_back(Ev{next(13), node++});
+  for (int i = 0; i < 400; ++i) big_batch.push_back(Ev{next(13), node++});
+
+  sim::QuadHeap<Ev, Before> bulk{Before{}};
+  sim::QuadHeap<Ev, Before> serial{Before{}};
+  for (const Ev& e : seed) {
+    bulk.push(e);
+    serial.push(e);
+  }
+  bulk.bulk_push(small_batch.begin(), small_batch.end());
+  for (const Ev& e : small_batch) serial.push(e);
+  bulk.bulk_push(big_batch.begin(), big_batch.end());
+  for (const Ev& e : big_batch) serial.push(e);
+  EXPECT_EQ(drain(bulk), drain(serial));
+
+  // Degenerate shapes the merge phase produces: a batch into an empty
+  // heap (whole-queue rebuild) and an empty batch (no-op).
+  sim::QuadHeap<Ev, Before> fresh{Before{}};
+  fresh.bulk_push(big_batch.begin(), big_batch.end());
+  std::vector<Ev> none;
+  fresh.bulk_push(none.begin(), none.end());
+  sim::QuadHeap<Ev, Before> ref{Before{}};
+  for (const Ev& e : big_batch) ref.push(e);
+  EXPECT_EQ(drain(fresh), drain(ref));
+}
+
 TEST(RingQueue, FifoAcrossGrowth) {
   sim::RingQueue<int> q;
   // Interleave pushes and pops so the ring wraps, then force growth.

@@ -221,11 +221,14 @@ struct FuzzResult {
   int procs = 0;            ///< node count the seed chose
 };
 
-FuzzResult run_schedule_fuzz(std::uint64_t seed, int threads) {
+FuzzResult run_schedule_fuzz(
+    std::uint64_t seed, int threads,
+    Engine::ShardPolicy policy = Engine::ShardPolicy::Block) {
   Rng cfg(seed * 0x9E3779B97F4A7C15ull + 17);
   int procs = 2 + static_cast<int>(cfg.next_below(7));  // 2..8 nodes
   Engine engine(procs);
   engine.set_threads(threads);
+  engine.set_shard_policy(policy);
   net::Network net(engine);
   am::AmLayer am(net);
   splitc::World world(engine, net, am);
@@ -554,6 +557,213 @@ TEST_P(FaultFuzz, LossyRunsBitIdenticalToSequential) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Shard policy: block and round-robin assignment are interchangeable
+// ---------------------------------------------------------------------------
+// The dispatch order is a pure function of (time, node) keys, so how node
+// ids map onto shards must not be observable. Replay ScheduleFuzz seeds
+// under both policies and demand the sequential fingerprint from each.
+
+TEST(ShardPolicy, BlockIsTheDefault) {
+  Engine e(4);
+  EXPECT_EQ(e.shard_policy(), Engine::ShardPolicy::Block);
+}
+
+TEST(ShardPolicyFuzz, BlockAndRoundRobinBitIdenticalToSequential) {
+  for (std::uint64_t seed : {3u, 11u, 19u, 27u}) {
+    int threads = 2 + static_cast<int>(seed % 7);
+    FuzzResult seq = run_schedule_fuzz(seed, 1);
+    FuzzResult blk =
+        run_schedule_fuzz(seed, threads, Engine::ShardPolicy::Block);
+    FuzzResult rr =
+        run_schedule_fuzz(seed, threads, Engine::ShardPolicy::RoundRobin);
+    EXPECT_EQ(seq.fingerprint, blk.fingerprint)
+        << "seed " << seed << " diverged under block sharding";
+    EXPECT_EQ(seq.fingerprint, rr.fingerprint)
+        << "seed " << seed << " diverged under round-robin sharding";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lookahead policy: per-link horizons match the global floor bit-for-bit
+// ---------------------------------------------------------------------------
+// A declared ring-plus-star topology gives the per-link planner genuinely
+// heterogeneous reaction distances (ring neighbours one hop apart, far
+// pairs routed through the collective root), so its epoch schedule differs
+// from the global-floor one — but every per-node observable must not.
+
+FuzzResult run_topology_fuzz(std::uint64_t seed, int threads,
+                             Engine::LookaheadPolicy policy) {
+  Rng cfg(seed * 0x9E3779B97F4A7C15ull + 131);
+  int procs = 4 + static_cast<int>(cfg.next_below(5));  // 4..8 nodes
+  Engine engine(procs);
+  engine.set_threads(threads);
+  engine.set_lookahead_policy(policy);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  // Ring links both ways, plus a star on node 0 (the barrier root). Every
+  // message the workload sends — neighbour traffic, barrier fan-in/out,
+  // and the replies riding the reverse direction — stays on a declared
+  // link.
+  for (NodeId i = 0; i < procs; ++i) {
+    NodeId nxt = (i + 1) % procs;
+    am.channel().declare_link(i, nxt, net::Wire::AmShort);
+    am.channel().declare_link(nxt, i, net::Wire::AmShort);
+    if (i != 0) {
+      am.channel().declare_link(0, i, net::Wire::AmShort);
+      am.channel().declare_link(i, 0, net::Wire::AmShort);
+    }
+  }
+  splitc::World world(engine, net, am);
+
+  std::vector<std::vector<double>> mail(
+      static_cast<std::size_t>(procs), std::vector<double>(16, 0.0));
+  std::uint64_t base = cfg.next_u64();
+  Rng shared_src(base);
+  int ops = 12 + static_cast<int>(shared_src.next_below(20));
+  std::vector<bool> barrier_here(static_cast<std::size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    barrier_here[static_cast<std::size_t>(i)] = shared_src.next_below(5) == 0;
+  }
+
+  world.run([&] {
+    NodeId me = splitc::MYPROC();
+    int P = splitc::PROCS();
+    Rng local(base + static_cast<std::uint64_t>(me) * 7919 + 5);
+    for (int i = 0; i < ops; ++i) {
+      // Traffic only along declared links: ring neighbours or the root.
+      NodeId dst;
+      switch (local.next_below(3)) {
+        case 0: dst = (me + 1) % P; break;
+        case 1: dst = (me + P - 1) % P; break;
+        default: dst = 0; break;
+      }
+      auto slot = static_cast<std::size_t>(local.next_below(16));
+      double val = local.next_double(-4, 4);
+      splitc::global_ptr<double> gp(
+          dst, &mail[static_cast<std::size_t>(dst)][slot]);
+      switch (local.next_below(5)) {
+        case 0:
+          splitc::write(gp, val);
+          break;
+        case 1:
+          (void)splitc::read(gp);
+          break;
+        case 2:
+          splitc::put(gp, val);
+          break;
+        case 3: {
+          double tmp = 0;
+          splitc::get(&tmp, gp);
+          splitc::sync();
+          break;
+        }
+        default:
+          sim::this_node().advance(
+              sim::Component::Cpu,
+              static_cast<SimTime>(1 + local.next_below(150)));
+          break;
+      }
+      if (barrier_here[static_cast<std::size_t>(i)]) splitc::barrier();
+    }
+    splitc::sync();
+    splitc::barrier();
+  });
+
+  FuzzResult r;
+  r.shards = engine.shards_used();
+  r.procs = procs;
+  std::ostringstream os;
+  for (NodeId i = 0; i < procs; ++i) {
+    const sim::Node& n = engine.node(i);
+    const auto& c = n.counters();
+    os << "node " << i << ": now=" << n.now() << " sent=" << c.msgs_sent
+       << " recv=" << c.msgs_recv << " polls=" << c.polls << " digest="
+       << std::hex << c.dispatch_digest << std::dec << '\n';
+  }
+  os << "vtime=" << engine.vtime() << " net_msgs=" << net.total_messages()
+     << " net_bytes=" << net.total_bytes() << '\n';
+  r.fingerprint = os.str();
+  return r;
+}
+
+class LookaheadPolicyFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(LookaheadPolicyFuzz, PerLinkMatchesGlobalAndSequential) {
+  auto seed = static_cast<std::uint64_t>(GetParam());
+  int threads = 2 + static_cast<int>(seed % 7);
+  FuzzResult seq =
+      run_topology_fuzz(seed, 1, Engine::LookaheadPolicy::PerLink);
+  FuzzResult link =
+      run_topology_fuzz(seed, threads, Engine::LookaheadPolicy::PerLink);
+  FuzzResult global =
+      run_topology_fuzz(seed, threads, Engine::LookaheadPolicy::Global);
+  ASSERT_EQ(seq.shards, 1) << "seed " << seed;
+  if (!check::kHooksCompiledIn) {
+    EXPECT_EQ(link.shards, std::min(threads, link.procs)) << "seed " << seed;
+  }
+  EXPECT_EQ(seq.fingerprint, link.fingerprint)
+      << "seed " << seed << " diverged under per-link lookahead ("
+      << link.shards << " shards)";
+  EXPECT_EQ(seq.fingerprint, global.fingerprint)
+      << "seed " << seed << " diverged under global lookahead ("
+      << global.shards << " shards)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LookaheadPolicyFuzz, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Idle-shard fast path: parked shards cost nothing and change nothing
+// ---------------------------------------------------------------------------
+// One shard chats while everyone else sits in a barrier: the planner must
+// actually park the idle shards (parked_epochs > 0 — they skip the epoch
+// barriers entirely), and parking must not perturb a single observable.
+
+TEST(IdleShardFastPath, ParksIdleShardsAndStaysBitIdentical) {
+  struct Out {
+    std::string fingerprint;
+    int shards = 1;
+    std::uint64_t parked = 0;
+  };
+  auto run = [](int threads) {
+    Engine engine(8);
+    engine.set_threads(threads);
+    net::Network net(engine);
+    am::AmLayer am(net);
+    splitc::World world(engine, net, am);
+    std::vector<double> mail(64, 0.0);
+    world.run([&] {
+      if (splitc::MYPROC() == 0) {
+        // A long exchange with node 1 while nodes 2..7 wait in the
+        // barrier: under block sharding at 4 threads those six nodes
+        // span three shards with nothing in their horizon.
+        for (int i = 0; i < 40; ++i) {
+          splitc::global_ptr<double> gp(1, &mail[static_cast<std::size_t>(i)]);
+          splitc::write(gp, static_cast<double>(i));
+        }
+      }
+      splitc::barrier();
+    });
+    Out o;
+    o.shards = engine.shards_used();
+    o.parked = engine.epoch_profile().parked_epochs;
+    std::ostringstream os;
+    for (NodeId i = 0; i < 8; ++i) {
+      const sim::Node& n = engine.node(i);
+      os << i << ":" << n.now() << "/" << std::hex
+         << n.counters().dispatch_digest << std::dec << ' ';
+    }
+    o.fingerprint = os.str();
+    return o;
+  };
+  Out seq = run(1);
+  Out par = run(4);
+  EXPECT_EQ(seq.fingerprint, par.fingerprint);
+  if (par.shards > 1) {
+    EXPECT_GT(par.parked, 0u) << "no shard was ever parked";
+  }
+}
 
 // A planted data race must produce the same tham-check diagnostics whether
 // the run asked for the sequential or the parallel engine. (An attached
