@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
-# Full verification, five legs:
+# Full verification, seven legs:
 #
 #   1. tier-1:  default build + the whole ctest suite (includes the
 #      perf-smoke harness and the checker unit tests, which compile in
 #      every flavor), then the transport conformance suite again under
 #      THAM_MACHINE=modern-cluster and the fault/reliable-transport suite
-#      under THAM_MACHINE=lossy-cluster.
+#      under THAM_MACHINE=lossy-cluster, and the static analyzer over
+#      every app x machine profile (clean verdicts + bound validation).
 #   2. werror:  -DTHAM_WERROR=ON build, so the warnings-as-errors gate
 #      actually builds at least once per change.
 #   3. check:   -DTHAM_CHECK=ON build + ctest. Turns on the tham-check
@@ -15,7 +16,12 @@
 #   4. asan:    -DTHAM_SANITIZE=ON (ASan+UBSan) build + ctest. The fiber
 #      switcher carries the sanitizer annotations; this leg keeps them
 #      honest.
-#   5. lint:    scripts/lint.sh (clang-tidy; skips when not installed).
+#   5. tsan:    -DTHAM_TSAN=ON build + the golden and schedule-fuzz
+#      suites at 8 engine threads — the schedules most likely to surface
+#      a real race in the epoch barrier or the outbox handoff.
+#   6. lint:    scripts/lint.sh (clang-tidy; skips when not installed).
+#   7. analyze: already folded into tier-1 (see above); listed here so
+#      the CI matrix in .github/workflows/ci.yml maps one-to-one.
 #
 # Each flavor gets its own build tree so caches never cross-pollute.
 #
@@ -40,6 +46,11 @@ THAM_MACHINE=lossy-cluster ./build/tests/test_property --gtest_filter='*FaultFuz
 # traffic) that the 4-thread leg never sees.
 THAM_SIM_THREADS=8 ./build/tests/test_golden
 THAM_SIM_THREADS=8 ./build/tests/test_property --gtest_filter='*Fuzz*'
+# Static communication-graph analysis: clean verdicts on every app x
+# machine profile, then the CAMP-style lower bound validated against the
+# measured virtual times (--validate runs the real apps).
+./build/src/analyze/tham_analyze --app all --machine all
+./build/src/analyze/tham_analyze --app all --machine all --validate
 
 if [ "${1:-}" = "quick" ]; then
   echo "verify: OK (quick)"
@@ -56,6 +67,11 @@ ctest --test-dir build-check --output-on-failure
 cmake -B build-asan -S . -DTHAM_SANITIZE=ON
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure
+
+cmake -B build-tsan -S . -DTHAM_TSAN=ON
+cmake --build build-tsan -j
+THAM_SIM_THREADS=8 ./build-tsan/tests/test_golden
+THAM_SIM_THREADS=8 ./build-tsan/tests/test_property --gtest_filter='*ScheduleFuzz*'
 
 scripts/lint.sh
 

@@ -49,6 +49,18 @@ const char* AmLayer::handler_name(HandlerId h) const {
   return handlers_.at(h).name;
 }
 
+std::vector<AmLayer::HandlerInfo> AmLayer::handlers() const {
+  std::vector<HandlerInfo> out;
+  out.reserve(handlers_.size());
+  for (std::size_t i = 0; i < handlers_.size(); ++i) {
+    const Entry& e = handlers_[i];
+    out.push_back(HandlerInfo{static_cast<HandlerId>(i), e.name,
+                              static_cast<bool>(e.short_fn),
+                              static_cast<bool>(e.bulk_fn)});
+  }
+  return out;
+}
+
 void AmLayer::send_short(NodeId dst, HandlerId h, const Words& w) {
   sim::Node& src = sim::this_node();
   ComponentScope scope(src, Component::Net);

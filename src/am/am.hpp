@@ -75,6 +75,18 @@ class AmLayer {
   HandlerId register_bulk(const char* name, BulkHandler fn);
   const char* handler_name(HandlerId h) const;
 
+  /// One registered handler-table entry, as seen by the static analyzer's
+  /// harvest (src/analyze): the id, the registered name, and which
+  /// dispatch kinds the slot serves. Slot 0 is the reserved "am.none".
+  struct HandlerInfo {
+    HandlerId id;
+    const char* name;
+    bool has_short;
+    bool has_bulk;
+  };
+  /// Snapshot of the whole handler table, in registration order.
+  std::vector<HandlerInfo> handlers() const;
+
   // --- Sending (all send from the current task's node, poll on send) ------
   /// Short request; `h` must be a short handler.
   void request(NodeId dst, HandlerId h, Word w0 = 0, Word w1 = 0, Word w2 = 0,

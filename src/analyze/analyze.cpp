@@ -1,0 +1,496 @@
+#include "analyze/analyze.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace tham::analyze {
+
+namespace {
+
+using transport::charge_cost;
+using transport::wire_cost;
+
+const char* wire_name(net::Wire w) {
+  switch (w) {
+    case net::Wire::AmShort: return "AmShort";
+    case net::Wire::AmBulk: return "AmBulk";
+    case net::Wire::Mpl: return "Mpl";
+    case net::Wire::Tcp: return "Tcp";
+  }
+  return "?";
+}
+
+const char* collective_name(Collective::Kind k) {
+  switch (k) {
+    case Collective::Kind::Barrier: return "barrier";
+    case Collective::Kind::Reduce: return "reduce";
+    case Collective::Kind::AllStoreSync: return "all_store_sync";
+  }
+  return "?";
+}
+
+std::uint64_t pair_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+         static_cast<std::uint32_t>(dst);
+}
+
+std::string pair_str(NodeId src, NodeId dst) {
+  return std::to_string(src) + " -> " + std::to_string(dst);
+}
+
+/// The cheapest zero-byte wire time any class can carry on this profile —
+/// the weakest floor a link could ever soundly declare.
+SimTime cheapest_wire(const CostModel& cm) {
+  SimTime best = std::numeric_limits<SimTime>::max();
+  for (net::Wire w : {net::Wire::AmShort, net::Wire::AmBulk, net::Wire::Mpl,
+                      net::Wire::Tcp}) {
+    best = std::min(best, wire_cost(cm, w, 0).wire_time);
+  }
+  return best;
+}
+
+struct Auditor {
+  const CommGraph& g;
+  std::vector<Finding>& out;
+
+  void add(Finding::Severity sev, const char* code, std::string msg) {
+    out.push_back(Finding{sev, code, std::move(msg)});
+  }
+
+  bool node_ok(NodeId n) const { return n >= 0 && n < g.nodes; }
+
+  // -- Link-shape and lookahead-floor soundness ---------------------------
+  void audit_links() {
+    std::unordered_map<std::uint64_t, SimTime> floor;  // pair -> min floor
+    std::set<std::tuple<NodeId, NodeId, SimTime>> exact;
+    for (const Link& l : g.links) {
+      if (!node_ok(l.src) || !node_ok(l.dst)) {
+        add(Finding::Severity::Error, "link-node-range",
+            "link " + pair_str(l.src, l.dst) + ": node id out of range");
+        continue;
+      }
+      if (l.src == l.dst) {
+        add(Finding::Severity::Error, "self-link",
+            "link " + pair_str(l.src, l.dst) + ": self link declared");
+        continue;
+      }
+      if (l.min_wire <= 0) {
+        add(Finding::Severity::Error, "nonpositive-floor",
+            "link " + pair_str(l.src, l.dst) + ": nonpositive floor " +
+                std::to_string(l.min_wire) + " ns");
+        continue;
+      }
+      if (!exact.emplace(l.src, l.dst, l.min_wire).second) {
+        add(Finding::Severity::Error, "duplicate-link",
+            "link " + pair_str(l.src, l.dst) + ": duplicate declaration at "
+                "floor " + std::to_string(l.min_wire) + " ns");
+      }
+      auto [it, fresh] = floor.emplace(pair_key(l.src, l.dst), l.min_wire);
+      if (!fresh) it->second = std::min(it->second, l.min_wire);
+    }
+
+    // Cheapest modeled traffic per pair: the floor every send on that pair
+    // is guaranteed to meet is the zero-byte wire time of its class.
+    std::unordered_map<std::uint64_t, const Flow*> cheapest;
+    for (const Flow& f : g.flows) {
+      if (!node_ok(f.src) || !node_ok(f.dst)) continue;
+      SimTime zc = wire_cost(g.cost, f.wire, 0).wire_time;
+      auto [it, fresh] = cheapest.emplace(pair_key(f.src, f.dst), &f);
+      if (!fresh &&
+          zc < wire_cost(g.cost, it->second->wire, 0).wire_time) {
+        it->second = &f;
+      }
+    }
+
+    if (g.links.empty()) {
+      if (!g.flows.empty()) {
+        add(Finding::Severity::Info, "no-topology",
+            "no links declared; the parallel engine falls back to the "
+            "global lookahead floor");
+      }
+      return;
+    }
+
+    for (const auto& [key, f] : cheapest) {
+      auto it = floor.find(key);
+      if (it == floor.end()) {
+        add(Finding::Severity::Error, "undeclared-pair",
+            "flow " + pair_str(f->src, f->dst) + " (" + f->handler + ", " +
+                std::to_string(f->count) +
+                " msgs) crosses a pair with no declared link; the run "
+                "aborts at send time once the topology is closed");
+        continue;
+      }
+      SimTime zc = wire_cost(g.cost, f->wire, 0).wire_time;
+      if (it->second > zc) {
+        add(Finding::Severity::Error, "lookahead-floor",
+            "link " + pair_str(f->src, f->dst) + ": declared floor " +
+                std::to_string(it->second) + " ns exceeds the cheapest "
+                "wire cost " + std::to_string(zc) + " ns of its traffic (" +
+                wire_name(f->wire) + ", handler " + f->handler +
+                "); per-link lookahead horizons would be unsound");
+      }
+    }
+
+    // Without modeled traffic a floor can only be checked against the
+    // cheapest wire the machine has at all.
+    SimTime wire_min = cheapest_wire(g.cost);
+    for (const auto& [key, fl] : floor) {
+      auto src = static_cast<NodeId>(key >> 32);
+      auto dst = static_cast<NodeId>(key & 0xffffffffu);
+      if (cheapest.find(key) == cheapest.end()) {
+        if (fl > wire_min) {
+          add(Finding::Severity::Warning, "floor-above-cheapest-wire",
+              "link " + pair_str(src, dst) + ": declared floor " +
+                  std::to_string(fl) + " ns exceeds the machine's cheapest "
+                  "wire time " + std::to_string(wire_min) +
+                  " ns and the link has no modeled traffic to justify it");
+        } else if (!g.flows.empty()) {
+          add(Finding::Severity::Info, "idle-link",
+              "link " + pair_str(src, dst) + " carries no modeled traffic");
+        }
+      }
+    }
+  }
+
+  // -- Handler-table consistency ------------------------------------------
+  void audit_handlers() {
+    if (g.handlers.empty()) return;  // nothing harvested: nothing to check
+    std::unordered_map<std::string, const HandlerDecl*> table;
+    for (const HandlerDecl& h : g.handlers) table.emplace(h.name, &h);
+
+    std::unordered_set<std::string> reached;
+    for (const Flow& f : g.flows) {
+      reached.insert(f.handler);
+      if (!f.reply_handler.empty()) reached.insert(f.reply_handler);
+      auto it = table.find(f.handler);
+      if (it == table.end()) {
+        add(Finding::Severity::Error, "unknown-handler",
+            "flow " + pair_str(f.src, f.dst) + " targets unregistered "
+                "handler " + f.handler);
+        continue;
+      }
+      if (f.wire == net::Wire::AmShort && !it->second->has_short) {
+        add(Finding::Severity::Error, "handler-kind",
+            "flow " + pair_str(f.src, f.dst) + ": short message targets "
+                "bulk-only handler " + f.handler);
+      }
+      // A bulk flow may legally finish in a short handler (the am::get
+      // completion path runs one after the deposit), so only a handler
+      // serving neither kind is an error — caught above as unknown.
+    }
+
+    for (const HandlerDecl& h : g.handlers) {
+      if (h.name == "am.none") continue;  // reserved empty slot
+      if (reached.find(h.name) == reached.end()) {
+        add(Finding::Severity::Info, "unreachable-handler",
+            "handler " + h.name + " is registered but no modeled flow "
+                "reaches it");
+      }
+    }
+  }
+
+  // -- Request/reply pairing ----------------------------------------------
+  void audit_replies() {
+    std::set<std::pair<std::uint64_t, std::string>> present;
+    for (const Flow& f : g.flows) {
+      present.emplace(pair_key(f.src, f.dst), f.handler);
+    }
+    for (const Flow& f : g.flows) {
+      if (f.reply_handler.empty()) continue;
+      if (present.find({pair_key(f.dst, f.src), f.reply_handler}) ==
+          present.end()) {
+        add(Finding::Severity::Error, "unpaired-reply",
+            "flow " + pair_str(f.src, f.dst) + " (" + f.handler +
+                ") expects reply " + f.reply_handler + " but no " +
+                pair_str(f.dst, f.src) + " flow runs it; the requester "
+                "waits forever");
+      }
+    }
+  }
+
+  // -- Charge coverage -----------------------------------------------------
+  void audit_charges() {
+    for (const Flow& f : g.flows) {
+      if (f.charges.empty()) {
+        add(Finding::Severity::Error, "unpriced-path",
+            "flow " + pair_str(f.src, f.dst) + " (" + f.handler + ", " +
+                wire_name(f.wire) + ") carries no receive-side charge; "
+                "the path escapes the cost model");
+      }
+    }
+  }
+
+  // -- Wait-for deadlock ----------------------------------------------------
+  // Edges only for task-serviced blocking: a polling waiter services
+  // inbound requests while blocked (the AM discipline), so two pollers
+  // waiting on each other still make progress; two task-serviced waiters
+  // do not.
+  void audit_deadlock() {
+    std::map<NodeId, std::vector<const Flow*>> adj;
+    for (const Flow& f : g.flows) {
+      if (f.waits != Flow::Waits::TaskServiced) continue;
+      if (!node_ok(f.src) || !node_ok(f.dst)) continue;
+      adj[f.src].push_back(&f);
+    }
+    // Iterative DFS with tri-color marking; first back edge reported.
+    std::unordered_map<NodeId, int> color;  // 0 white, 1 gray, 2 black
+    std::vector<const Flow*> path;
+    for (const auto& [start, unused] : adj) {
+      if (color[start] != 0) continue;
+      if (dfs(start, adj, color, path)) return;  // one cycle is enough
+    }
+  }
+
+  bool dfs(NodeId n, const std::map<NodeId, std::vector<const Flow*>>& adj,
+           std::unordered_map<NodeId, int>& color,
+           std::vector<const Flow*>& path) {
+    color[n] = 1;
+    auto it = adj.find(n);
+    if (it != adj.end()) {
+      for (const Flow* f : it->second) {
+        int c = color[f->dst];
+        if (c == 1) {
+          // Back edge: the cycle is the path suffix from f->dst plus f.
+          std::string cyc;
+          bool in_cycle = false;
+          for (const Flow* p : path) {
+            if (p->src == f->dst) in_cycle = true;
+            if (in_cycle) {
+              cyc += pair_str(p->src, p->dst) + " (" + p->handler + "), ";
+            }
+          }
+          cyc += pair_str(f->src, f->dst) + " (" + f->handler + ")";
+          add(Finding::Severity::Error, "wait-for-cycle",
+              "wait-for cycle over task-serviced blocking flows: " + cyc);
+          return true;
+        }
+        if (c == 0) {
+          path.push_back(f);
+          if (dfs(f->dst, adj, color, path)) return true;
+          path.pop_back();
+        }
+      }
+    }
+    color[n] = 2;
+    return false;
+  }
+
+  // -- Collective rank coverage --------------------------------------------
+  void audit_collectives() {
+    for (std::size_t i = 0; i < g.collectives.size(); ++i) {
+      const Collective& c = g.collectives[i];
+      std::set<NodeId> ranks(c.ranks.begin(), c.ranks.end());
+      std::string label = std::string(collective_name(c.kind)) + " #" +
+                          std::to_string(i) + " (root " +
+                          std::to_string(c.root) + ")";
+      for (NodeId r : ranks) {
+        if (!node_ok(r)) {
+          add(Finding::Severity::Error, "collective-rank-range",
+              label + ": rank " + std::to_string(r) + " out of range");
+        }
+      }
+      for (NodeId r = 0; r < g.nodes; ++r) {
+        if (ranks.find(r) == ranks.end()) {
+          add(Finding::Severity::Error, "collective-rank-gap",
+              label + ": rank " + std::to_string(r) + " of " +
+                  std::to_string(g.nodes) + " never participates; the "
+                  "release fan-out never fires and every arrived rank "
+                  "waits forever");
+        }
+      }
+    }
+  }
+
+  // -- Flow shape -----------------------------------------------------------
+  void audit_flows() {
+    for (const Flow& f : g.flows) {
+      if (!node_ok(f.src) || !node_ok(f.dst)) {
+        add(Finding::Severity::Error, "flow-node-range",
+            "flow " + pair_str(f.src, f.dst) + " (" + f.handler +
+                "): node id out of range");
+      } else if (f.src == f.dst) {
+        add(Finding::Severity::Warning, "self-flow",
+            "flow " + pair_str(f.src, f.dst) + " (" + f.handler +
+                "): the runtimes short-circuit local access; a modeled "
+                "self message is usually a model bug");
+      }
+    }
+  }
+};
+
+std::vector<SimTime> lower_bounds(const CommGraph& g) {
+  std::vector<SimTime> lb(static_cast<std::size_t>(g.nodes > 0 ? g.nodes : 0),
+                          0);
+  for (const Flow& f : g.flows) {
+    if (f.src < 0 || f.src >= g.nodes || f.dst < 0 || f.dst >= g.nodes) {
+      continue;
+    }
+    auto cnt = static_cast<SimTime>(f.count);
+    lb[static_cast<std::size_t>(f.src)] +=
+        cnt * wire_cost(g.cost, f.wire, f.bytes).sender_cpu;
+    for (transport::Charge c : f.charges) {
+      lb[static_cast<std::size_t>(f.dst)] += cnt * charge_cost(g.cost, c);
+    }
+  }
+  return lb;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* severity_name(Finding::Severity s) {
+  switch (s) {
+    case Finding::Severity::Info: return "info";
+    case Finding::Severity::Warning: return "warning";
+    case Finding::Severity::Error: return "error";
+  }
+  return "?";
+}
+
+int Report::count(Finding::Severity s) const {
+  int n = 0;
+  for (const Finding& f : findings) n += f.severity == s ? 1 : 0;
+  return n;
+}
+
+SimTime Report::max_bound() const {
+  SimTime m = 0;
+  for (SimTime b : node_lower_bound) m = std::max(m, b);
+  return m;
+}
+
+Report analyze(CommGraph g) {
+  Report r;
+  r.node_lower_bound = lower_bounds(g);
+  Auditor a{g, r.findings};
+  a.audit_flows();
+  a.audit_links();
+  a.audit_handlers();
+  a.audit_replies();
+  a.audit_charges();
+  a.audit_deadlock();
+  a.audit_collectives();
+  // Stable order: severity (errors first), then code, then message — the
+  // golden reports diff cleanly and tests can assert on the first finding.
+  std::stable_sort(r.findings.begin(), r.findings.end(),
+                   [](const Finding& x, const Finding& y) {
+                     if (x.severity != y.severity) {
+                       return static_cast<int>(x.severity) >
+                              static_cast<int>(y.severity);
+                     }
+                     if (x.code != y.code) return x.code < y.code;
+                     return x.message < y.message;
+                   });
+  r.graph = std::move(g);
+  return r;
+}
+
+std::string dump_dot(const CommGraph& g) {
+  // Aggregate per directed pair, with per-wire message counts.
+  std::map<std::pair<NodeId, NodeId>, std::map<net::Wire, std::uint64_t>>
+      edges;
+  for (const Flow& f : g.flows) {
+    edges[{f.src, f.dst}][f.wire] += f.count;
+  }
+  std::ostringstream os;
+  os << "digraph \"" << g.program << "\" {\n";
+  os << "  label=\"" << g.program << " on " << g.cost.machine << " ("
+     << g.nodes << " nodes, " << g.total_messages() << " msgs)\";\n";
+  os << "  node [shape=circle];\n";
+  for (NodeId n = 0; n < g.nodes; ++n) {
+    os << "  n" << n << " [label=\"" << n << "\"];\n";
+  }
+  for (const auto& [pair, wires] : edges) {
+    os << "  n" << pair.first << " -> n" << pair.second << " [label=\"";
+    bool first = true;
+    for (const auto& [w, cnt] : wires) {
+      if (!first) os << "\\n";
+      os << wire_name(w) << " x" << cnt;
+      first = false;
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string dump_json(const Report& r) {
+  const CommGraph& g = r.graph;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"program\": \"" << json_escape(g.program) << "\",\n";
+  os << "  \"machine\": \"" << g.cost.machine << "\",\n";
+  os << "  \"nodes\": " << g.nodes << ",\n";
+  os << "  \"links\": " << g.links.size() << ",\n";
+  os << "  \"handlers\": " << g.handlers.size() << ",\n";
+  os << "  \"flows\": " << g.flows.size() << ",\n";
+  os << "  \"collectives\": " << g.collectives.size() << ",\n";
+  os << "  \"messages\": " << g.total_messages() << ",\n";
+  os << "  \"errors\": " << r.count(Finding::Severity::Error) << ",\n";
+  os << "  \"warnings\": " << r.count(Finding::Severity::Warning) << ",\n";
+  os << "  \"infos\": " << r.count(Finding::Severity::Info) << ",\n";
+  os << "  \"verdict\": \"" << (r.clean() ? "clean" : "errors") << "\",\n";
+  SimTime mn = 0, mx = 0, sum = 0;
+  if (!r.node_lower_bound.empty()) {
+    mn = *std::min_element(r.node_lower_bound.begin(),
+                           r.node_lower_bound.end());
+    mx = r.max_bound();
+    for (SimTime b : r.node_lower_bound) sum += b;
+  }
+  os << "  \"bound_min_ns\": " << mn << ",\n";
+  os << "  \"bound_max_ns\": " << mx << ",\n";
+  os << "  \"bound_sum_ns\": " << sum << ",\n";
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const Finding& f = r.findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"severity\": \"" << severity_name(f.severity)
+       << "\", \"code\": \"" << json_escape(f.code) << "\", \"message\": \""
+       << json_escape(f.message) << "\"}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace tham::analyze
+
+namespace tham::sim {
+
+// Defined here, in the analyze library, so the sim layer does not link
+// upward: Engine declares analyze() against a forward-declared Report, and
+// only callers that link tham_analyze can call it.
+analyze::Report Engine::analyze() const {
+  analyze::CommGraph g;
+  g.program = "engine";
+  g.nodes = size();
+  g.cost = cost();
+  g.links.reserve(links().size());
+  for (const Link& l : links()) {
+    g.links.push_back(analyze::Link{l.src, l.dst, l.min_wire});
+  }
+  return analyze::analyze(std::move(g));
+}
+
+}  // namespace tham::sim

@@ -1,0 +1,65 @@
+#pragma once
+// Static pre-execution analysis over a CommGraph (ISSUE 7): the audits
+// that can be discharged from program *structure* alone, before a single
+// event runs, and the CAMP-style per-node cost lower bound.
+//
+// Audits (each yields Findings; an Error finding fails the verdict):
+//   * lookahead soundness — every declared floor must be <= the cheapest
+//     wire cost the machine profile assigns to traffic modeled on that
+//     link, and (once any link is declared) every flow must ride a
+//     declared pair — the static counterpart of the engine's send-time
+//     floor check;
+//   * wait-for deadlock — cycles over task-serviced blocking flows,
+//     plus unknown/unreachable handlers, unpaired request/reply flows,
+//     and collective rank-coverage gaps;
+//   * charge coverage — every flow must carry at least one receive-side
+//     charge, so no reachable message path escapes the cost model.
+//
+// The cost bound composes the flow counts with the LogGP machine profile:
+// for each node, the send overheads of its outbound flows plus the receive
+// charges of its inbound flows. Everything else a run pays — polls,
+// handler bodies, compute, idle — is nonnegative and excluded, so the
+// bound is a certified undercount: bound <= measured per-node vtime on
+// every machine profile (asserted by tests/test_analyze.cpp).
+
+#include <string>
+#include <vector>
+
+#include "analyze/comm_graph.hpp"
+
+namespace tham::analyze {
+
+struct Finding {
+  enum class Severity { Info, Warning, Error };
+  Severity severity = Severity::Info;
+  std::string code;     ///< stable kebab-case id, e.g. "lookahead-floor"
+  std::string message;  ///< names the node/link/handler concerned
+};
+
+const char* severity_name(Finding::Severity s);
+
+struct Report {
+  CommGraph graph;
+  std::vector<Finding> findings;
+  /// Per-node lower bound on final virtual time (communication costs of
+  /// certainly-occurring messages only).
+  std::vector<SimTime> node_lower_bound;
+
+  int count(Finding::Severity s) const;
+  /// True when no Error-severity finding was raised.
+  bool clean() const { return count(Finding::Severity::Error) == 0; }
+  /// Largest per-node bound (0 for an empty graph).
+  SimTime max_bound() const;
+};
+
+/// Runs every audit and the cost bound over `g`.
+Report analyze(CommGraph g);
+
+/// Graphviz dump: one edge per communicating pair, labelled with message
+/// counts per wire class.
+std::string dump_dot(const CommGraph& g);
+
+/// Flat JSON dump of a report: graph shape, findings, verdict, bounds.
+std::string dump_json(const Report& r);
+
+}  // namespace tham::analyze

@@ -1,0 +1,349 @@
+#include "analyze/app_models.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "am/am.hpp"
+#include "common/check.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "splitc/world.hpp"
+
+namespace tham::analyze {
+
+namespace {
+
+using transport::Charge;
+using transport::wire_cost;
+
+/// Every short AM rides the same fixed envelope (the cost model prices it
+/// flat regardless).
+constexpr std::size_t kShortBytes = sizeof(am::Words);
+
+/// Assembles a CommGraph from protocol-level strokes, aggregating repeated
+/// message classes into single flows with counts. All insertion orders are
+/// deterministic functions of the app inputs, so the resulting graph (and
+/// its golden JSON dump) is stable run to run.
+struct Builder {
+  CommGraph g;
+  std::map<std::tuple<NodeId, NodeId, int, std::size_t, std::string,
+                      std::string>,
+           std::size_t>
+      flow_at;
+  std::map<int, std::size_t> collective_at;
+
+  explicit Builder(std::string program, int nodes, const CostModel& cm) {
+    g.program = std::move(program);
+    g.nodes = nodes;
+    g.cost = cm;
+  }
+
+  void add_flow(NodeId src, NodeId dst, net::Wire wire, std::size_t bytes,
+                const std::string& handler, const std::string& reply,
+                Flow::Waits waits, std::vector<Charge> charges,
+                std::uint64_t count) {
+    if (count == 0) return;
+    auto key = std::make_tuple(src, dst, static_cast<int>(wire), bytes,
+                               handler, reply);
+    auto it = flow_at.find(key);
+    if (it != flow_at.end()) {
+      g.flows[it->second].count += count;
+      return;
+    }
+    Flow f;
+    f.src = src;
+    f.dst = dst;
+    f.wire = wire;
+    f.bytes = bytes;
+    f.count = count;
+    f.handler = handler;
+    f.reply_handler = reply;
+    f.waits = waits;
+    f.charges = std::move(charges);
+    flow_at.emplace(std::move(key), g.flows.size());
+    g.flows.push_back(std::move(f));
+  }
+
+  /// One-way short message (fire and forget at the protocol level).
+  void short_oneway(NodeId src, NodeId dst, const std::string& handler,
+                    std::uint64_t count) {
+    add_flow(src, dst, net::Wire::AmShort, kShortBytes, handler, "",
+             Flow::Waits::None, {Charge::AmShortRecv}, count);
+  }
+
+  /// Short request/short reply round trip, completion awaited by polling.
+  void short_rt(NodeId src, NodeId dst, const std::string& handler,
+                const std::string& reply, std::uint64_t count) {
+    add_flow(src, dst, net::Wire::AmShort, kShortBytes, handler, reply,
+             Flow::Waits::Polling, {Charge::AmShortRecv}, count);
+    short_oneway(dst, src, reply, count);
+  }
+
+  /// One-way bulk deposit running a bulk handler at the receiver.
+  void bulk_oneway(NodeId src, NodeId dst, const std::string& handler,
+                   std::size_t bytes, std::uint64_t count) {
+    add_flow(src, dst, net::Wire::AmBulk, bytes, handler, "",
+             Flow::Waits::None, {Charge::AmBulkRecv}, count);
+  }
+
+  /// am::get: short request to the internal server, bulk reply that lands
+  /// the payload and runs the completion handler at the requester.
+  void bulk_get(NodeId src, NodeId dst, std::size_t bytes,
+                std::uint64_t count) {
+    add_flow(src, dst, net::Wire::AmShort, kShortBytes, "am.get_server",
+             "sc.bulk_get_done", Flow::Waits::Polling, {Charge::AmShortRecv},
+             count);
+    add_flow(dst, src, net::Wire::AmBulk, bytes, "sc.bulk_get_done", "",
+             Flow::Waits::None, {Charge::AmBulkRecv}, count);
+  }
+
+  void record_collective(Collective::Kind kind, std::uint64_t count) {
+    auto it = collective_at.find(static_cast<int>(kind));
+    if (it != collective_at.end()) {
+      g.collectives[it->second].count += count;
+      return;
+    }
+    Collective c;
+    c.kind = kind;
+    c.root = 0;
+    for (NodeId r = 0; r < g.nodes; ++r) c.ranks.push_back(r);
+    c.count = count;
+    collective_at.emplace(static_cast<int>(kind), g.collectives.size());
+    g.collectives.push_back(std::move(c));
+  }
+
+  /// Central barrier: every non-root arrives at 0, 0 fans releases out.
+  void barrier(std::uint64_t count) {
+    if (count == 0) return;
+    for (NodeId p = 1; p < g.nodes; ++p) {
+      short_oneway(p, 0, "sc.bar_arrive", count);
+    }
+    for (NodeId p = 1; p < g.nodes; ++p) {
+      short_oneway(0, p, "sc.bar_release", count);
+    }
+    record_collective(Collective::Kind::Barrier, count);
+  }
+
+  /// Sum reduction: same fan shape as the barrier (root contributes
+  /// locally).
+  void reduce(std::uint64_t count) {
+    if (count == 0) return;
+    for (NodeId p = 1; p < g.nodes; ++p) {
+      short_oneway(p, 0, "sc.red_arrive", count);
+    }
+    for (NodeId p = 1; p < g.nodes; ++p) {
+      short_oneway(0, p, "sc.red_release", count);
+    }
+    record_collective(Collective::Kind::Reduce, count);
+  }
+
+  /// Store-count exchange (every proc tells every other how many one-way
+  /// stores to expect — even zero) followed by a barrier.
+  void all_store_sync(std::uint64_t count) {
+    if (count == 0) return;
+    for (NodeId p = 0; p < g.nodes; ++p) {
+      for (NodeId q = 0; q < g.nodes; ++q) {
+        if (p != q) short_oneway(p, q, "sc.store_count", count);
+      }
+    }
+    record_collective(Collective::Kind::AllStoreSync, count);
+    barrier(count);
+  }
+
+  /// Mirrors apps::declare_full_topology: the AmShort floor on every
+  /// ordered pair.
+  void all_pairs_links() {
+    SimTime floor = wire_cost(g.cost, net::Wire::AmShort, 0).wire_time;
+    for (NodeId p = 0; p < g.nodes; ++p) {
+      for (NodeId q = 0; q < g.nodes; ++q) {
+        if (p != q) g.links.push_back(Link{p, q, floor});
+      }
+    }
+  }
+
+  /// Harvests the Split-C handler table from a throwaway one-node machine
+  /// (the table is static program structure: identical on every node and
+  /// for every app).
+  void harvest_splitc_handlers() {
+    sim::Engine engine(1, g.cost);
+    net::Network net(engine);
+    am::AmLayer am(net);
+    splitc::World world(engine, net, am);
+    for (const auto& h : am.handlers()) {
+      g.handlers.push_back(HandlerDecl{h.name, h.has_short, h.has_bulk});
+    }
+  }
+};
+
+/// Water's half-shell membership (mirrors the app's pair enumeration).
+bool in_half_shell(int i, int dj, int n) {
+  if (dj == n / 2 && n % 2 == 0) return i < n / 2;
+  return true;
+}
+
+}  // namespace
+
+CommGraph model_em3d(const apps::em3d::Config& cfg, apps::em3d::Version v,
+                     const CostModel& cm) {
+  using apps::em3d::Version;
+  apps::em3d::Graph graph = apps::em3d::build_graph(cfg);
+  Builder b(apps::em3d::version_name(v), cfg.procs, cm);
+  b.all_pairs_links();
+  b.harvest_splitc_handlers();
+  auto iters = static_cast<std::uint64_t>(cfg.iters);
+
+  if (v == Version::Base) {
+    // Every remote edge is re-read through a global pointer each
+    // iteration: one sc.read round trip per remote edge per iteration.
+    std::map<std::pair<NodeId, NodeId>, std::uint64_t> reads;
+    for (int p = 0; p < cfg.procs; ++p) {
+      auto up = static_cast<std::size_t>(p);
+      for (const auto* edges : {&graph.e_edges[up], &graph.h_edges[up]}) {
+        for (const apps::em3d::Edge& e : *edges) {
+          if (e.src_proc != p) ++reads[{p, e.src_proc}];
+        }
+      }
+    }
+    for (const auto& [pq, n] : reads) {
+      b.short_rt(pq.first, pq.second, "sc.read", "sc.read_done", n * iters);
+    }
+  } else {
+    // Ghost and bulk both communicate the *deduplicated* remote value set:
+    // the distinct (producer, index) pairs each consumer reads, per kind.
+    // need[kind][{consumer, producer}] = distinct indices.
+    std::map<std::pair<NodeId, NodeId>, std::set<int>> need[2];
+    for (int p = 0; p < cfg.procs; ++p) {
+      auto up = static_cast<std::size_t>(p);
+      for (int kind = 0; kind < 2; ++kind) {
+        const auto& edges = kind == 0 ? graph.e_edges[up] : graph.h_edges[up];
+        for (const apps::em3d::Edge& e : edges) {
+          if (e.src_proc != p) need[kind][{p, e.src_proc}].insert(e.src_index);
+        }
+      }
+    }
+    if (v == Version::Ghost) {
+      // One sc.get round trip per distinct remote value per iteration.
+      for (int kind = 0; kind < 2; ++kind) {
+        for (const auto& [pq, idx] : need[kind]) {
+          b.short_rt(pq.first, pq.second, "sc.get", "sc.get_done",
+                     idx.size() * iters);
+        }
+      }
+    } else {
+      // The producer pushes each consumer's packed values with one one-way
+      // bulk store per iteration, then everyone runs all_store_sync.
+      for (int kind = 0; kind < 2; ++kind) {
+        for (const auto& [pq, idx] : need[kind]) {
+          b.bulk_oneway(pq.second, pq.first, "sc.store_bulk",
+                        idx.size() * sizeof(double), iters);
+        }
+      }
+      b.all_store_sync(2 * iters);
+    }
+  }
+  b.barrier(2 * iters);  // the two per-iteration phase barriers
+  b.reduce(1);           // the final checksum reduction
+  return std::move(b.g);
+}
+
+CommGraph model_water(const apps::water::Config& cfg, apps::water::Version v,
+                      const CostModel& cm) {
+  using apps::water::Version;
+  THAM_CHECK(cfg.molecules % cfg.procs == 0 && cfg.molecules % 2 == 0);
+  int n = cfg.molecules;
+  int per_proc = n / cfg.procs;
+  Builder b(apps::water::version_name(v), cfg.procs, cm);
+  b.all_pairs_links();
+  b.harvest_splitc_handlers();
+  auto steps = static_cast<std::uint64_t>(cfg.steps);
+
+  // Remote half-shell pairs per (owner of i, owner of j) — the app's pair
+  // enumeration with local pairs dropped (they short-circuit).
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> pairs;
+  for (int i = 0; i < n; ++i) {
+    int me = i / per_proc;
+    for (int dj = 1; dj <= n / 2; ++dj) {
+      if (!in_half_shell(i, dj, n)) continue;
+      int qj = ((i + dj) % n) / per_proc;
+      if (qj != me) ++pairs[{me, qj}];
+    }
+  }
+
+  for (const auto& [pq, cnt] : pairs) {
+    if (v == Version::Atomic) {
+      // Three coordinate reads per remote pair, as split-phase gets.
+      b.short_rt(pq.first, pq.second, "sc.get", "sc.get_done",
+                 3 * cnt * steps);
+    }
+    // The reaction force lands with an atomic RPC in both versions.
+    b.short_rt(pq.first, pq.second, "sc.atomic", "sc.atomic_done",
+               cnt * steps);
+  }
+  if (v == Version::Prefetch) {
+    // One bundled position fetch per remote processor per step.
+    auto bytes = static_cast<std::size_t>(per_proc) * 3 * sizeof(double);
+    for (NodeId p = 0; p < cfg.procs; ++p) {
+      for (NodeId q = 0; q < cfg.procs; ++q) {
+        if (p != q) b.bulk_get(p, q, bytes, steps);
+      }
+    }
+  }
+  b.barrier(3 * steps);  // post-intra, post-pairs, post-update
+  b.reduce(1);
+  return std::move(b.g);
+}
+
+CommGraph model_lu(const apps::lu::Config& cfg, const CostModel& cm) {
+  THAM_CHECK(cfg.n % cfg.block == 0);
+  apps::lu::Layout layout;
+  layout.nb = cfg.n / cfg.block;
+  layout.pr = static_cast<int>(std::lround(std::sqrt(cfg.procs)));
+  THAM_CHECK_MSG(layout.pr * layout.pr == cfg.procs,
+                 "LU needs a square processor count");
+  std::size_t bb_bytes = static_cast<std::size_t>(cfg.block) *
+                         static_cast<std::size_t>(cfg.block) * sizeof(double);
+  Builder b("sc-lu", cfg.procs, cm);
+  b.all_pairs_links();
+  b.harvest_splitc_handlers();
+  int nb = layout.nb;
+
+  for (int k = 0; k < nb; ++k) {
+    // Sub-step 1: the pivot owner pushes the factored block to everyone.
+    int o = layout.owner(k, k);
+    for (int q = 0; q < cfg.procs; ++q) {
+      if (q != o) b.bulk_oneway(o, q, "sc.store_bulk", bb_bytes, 1);
+    }
+    // Sub-step 3 prefetch: each proc bulk-gets the row/column blocks it
+    // needs for its interior updates but does not own.
+    for (int me = 0; me < cfg.procs; ++me) {
+      for (int j = k + 1; j < nb; ++j) {
+        if (layout.owner(k, j) == me) continue;
+        bool needed = false;
+        for (int i = k + 1; i < nb && !needed; ++i) {
+          needed = layout.owner(i, j) == me;
+        }
+        if (needed) b.bulk_get(me, layout.owner(k, j), bb_bytes, 1);
+      }
+      for (int i = k + 1; i < nb; ++i) {
+        if (layout.owner(i, k) == me) continue;
+        bool needed = false;
+        for (int j = k + 1; j < nb && !needed; ++j) {
+          needed = layout.owner(i, j) == me;
+        }
+        if (needed) b.bulk_get(me, layout.owner(i, k), bb_bytes, 1);
+      }
+    }
+  }
+  auto rounds = static_cast<std::uint64_t>(nb);
+  b.all_store_sync(rounds);  // pivot distribution sync, once per k
+  b.barrier(2 * rounds);     // post-solve and post-update barriers
+  b.reduce(1);
+  return std::move(b.g);
+}
+
+}  // namespace tham::analyze

@@ -1,0 +1,33 @@
+#pragma once
+// Static communication models of the three applications: the exact message
+// flows an EM3D/Water/LU run will put on the wire, derived from the same
+// deterministic inputs (graph, molecule count, block layout) the run itself
+// uses — before any event executes.
+//
+// Each model mirrors its app's communication loop message for message:
+// the same Split-C protocol flows (read/get/atomic round trips, one-way
+// bulk stores, am::get request + bulk reply), the same collective protocol
+// (arrive/release fan-in/out, store counts), the same counts and payload
+// sizes. The handler table is harvested from a throwaway World (not
+// transcribed by hand), and the links mirror apps::declare_full_topology.
+// tests/test_analyze.cpp holds the models to account: the per-node cost
+// bound computed from them must lower-bound the measured vtime of the real
+// run on every machine profile.
+
+#include "analyze/comm_graph.hpp"
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/water.hpp"
+
+namespace tham::analyze {
+
+CommGraph model_em3d(const apps::em3d::Config& cfg, apps::em3d::Version v,
+                     const CostModel& cm = default_cost_model());
+
+CommGraph model_water(const apps::water::Config& cfg, apps::water::Version v,
+                      const CostModel& cm = default_cost_model());
+
+CommGraph model_lu(const apps::lu::Config& cfg,
+                   const CostModel& cm = default_cost_model());
+
+}  // namespace tham::analyze

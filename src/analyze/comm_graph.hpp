@@ -1,0 +1,99 @@
+#pragma once
+// The static communication graph: an explicit, pre-execution model of who
+// talks to whom, through which wire class, at what cost — the substrate the
+// analyzer's audits and CAMP-style cost bounds run on (ISSUE 7; see
+// DESIGN.md "Static analysis").
+//
+// A CommGraph is assembled from three sources:
+//   * the declared link topology (Engine::declare_link, harvested via
+//     Engine::links() or mirrored by an app model);
+//   * the registered handler tables (AmLayer::handlers(),
+//     NexusLayer::handlers());
+//   * the message flows: per-(src, dst) message classes with exact counts,
+//     wire classes, payload sizes, receive-side charges, and blocking
+//     semantics. Flows come either from an app model (src/analyze
+//     app_models.hpp — static mirrors of the EM3D/Water/LU communication
+//     loops) or are hand-built by tests planting defects.
+//
+// Collectives are carried twice, deliberately: their point-to-point
+// protocol messages appear as ordinary flows (so the cost bound prices
+// them), and a Collective record names the participating ranks (so the
+// rank-coverage audit can prove the release fan-out fires).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cost_model.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "transport/transport.hpp"
+
+namespace tham::analyze {
+
+/// A declared link, mirroring sim::Engine::Link (kept structurally
+/// separate so hand-built graphs need no engine).
+struct Link {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  SimTime min_wire = 0;  ///< declared wire-time floor (virtual ns)
+};
+
+/// A registered message handler, as harvested from a handler table.
+struct HandlerDecl {
+  std::string name;
+  bool has_short = true;  ///< serves short (word-payload) dispatch
+  bool has_bulk = false;  ///< serves bulk (memory-deposit) dispatch
+};
+
+/// One directed message class: `count` messages src -> dst on `wire`, each
+/// carrying `bytes` of payload and running `handler` at the receiver.
+struct Flow {
+  /// How the sender waits for this flow's completion. Polling waiters
+  /// service inbound requests while blocked (the AM discipline), so they
+  /// contribute no wait-for edge; a TaskServiced waiter parks its task
+  /// until the peer's runtime serves it, and does.
+  enum class Waits { None, Polling, TaskServiced };
+
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  net::Wire wire = net::Wire::AmShort;
+  std::size_t bytes = 0;       ///< payload size (per message)
+  std::uint64_t count = 1;     ///< messages of this class over the run
+  std::string handler;         ///< receiver handler name
+  std::string reply_handler;   ///< expected reply handler ("" = one-way)
+  Waits waits = Waits::None;
+  /// Receive-side charges per message (normally the wire class's recv
+  /// charge; empty = unpriced path, which the charge-coverage lint flags).
+  std::vector<transport::Charge> charges;
+};
+
+/// A collective operation and its participating ranks.
+struct Collective {
+  enum class Kind { Barrier, Reduce, AllStoreSync };
+  Kind kind = Kind::Barrier;
+  NodeId root = 0;
+  std::vector<NodeId> ranks;  ///< participants (must cover 0..nodes-1)
+  std::uint64_t count = 1;    ///< occurrences over the run
+};
+
+/// The full static model of one program run.
+struct CommGraph {
+  std::string program;  ///< label, e.g. "em3d-bulk"
+  int nodes = 0;
+  CostModel cost;  ///< machine profile the graph is analyzed against
+  std::vector<Link> links;
+  std::vector<HandlerDecl> handlers;
+  std::vector<Flow> flows;
+  std::vector<Collective> collectives;
+
+  /// Total messages across all flows.
+  std::uint64_t total_messages() const {
+    std::uint64_t n = 0;
+    for (const Flow& f : flows) n += f.count;
+    return n;
+  }
+};
+
+}  // namespace tham::analyze

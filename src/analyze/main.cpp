@@ -1,0 +1,236 @@
+// tham_analyze: static communication-graph analysis of the ThAM apps.
+//
+//   tham_analyze [--app NAME|all] [--machine NAME|all]
+//                [--dot FILE] [--json FILE] [--validate]
+//
+// For each selected (app, machine) pair: builds the app's static
+// communication model, runs every audit plus the per-node cost lower
+// bound, and prints a verdict line. --validate additionally executes the
+// real app on a fresh engine and checks bound <= measured virtual time on
+// every node, printing the bound-vs-measured table. Exit status is
+// nonzero when any audit reports an Error or a bound is violated.
+//
+// --dot/--json write the graph/report for the selection; with more than
+// one (app, machine) pair the app and machine names are appended to the
+// file stem so every report lands in its own file.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "am/am.hpp"
+#include "analyze/analyze.hpp"
+#include "analyze/app_models.hpp"
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/topology.hpp"
+#include "apps/water.hpp"
+#include "common/machine.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace tham;          // NOLINT(google-build-using-namespace)
+using namespace tham::analyze; // NOLINT(google-build-using-namespace)
+
+struct AppSpec {
+  const char* name;
+  int procs;
+  std::function<CommGraph(const CostModel&)> model;
+  /// Runs the real app on the given engine (for --validate).
+  std::function<void(sim::Engine&, net::Network&, am::AmLayer&)> run;
+};
+
+std::vector<AppSpec> app_specs() {
+  using apps::em3d::Version;
+  apps::em3d::Config ec;
+  apps::water::Config wc;
+  apps::lu::Config lc;
+  std::vector<AppSpec> specs;
+  auto em = [&](Version v) {
+    return AppSpec{
+        apps::em3d::version_name(v), ec.procs,
+        [=](const CostModel& cm) { return model_em3d(ec, v, cm); },
+        [=](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+          apps::em3d::run_splitc(e, n, a, ec, v);
+        }};
+  };
+  specs.push_back(em(Version::Base));
+  specs.push_back(em(Version::Ghost));
+  specs.push_back(em(Version::Bulk));
+  auto water = [&](apps::water::Version v) {
+    return AppSpec{
+        apps::water::version_name(v), wc.procs,
+        [=](const CostModel& cm) { return model_water(wc, v, cm); },
+        [=](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+          apps::water::run_splitc(e, n, a, wc, v);
+        }};
+  };
+  specs.push_back(water(apps::water::Version::Atomic));
+  specs.push_back(water(apps::water::Version::Prefetch));
+  specs.push_back(AppSpec{
+      "sc-lu", lc.procs,
+      [=](const CostModel& cm) { return model_lu(lc, cm); },
+      [=](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+        apps::lu::run_splitc(e, n, a, lc);
+      }});
+  return specs;
+}
+
+/// "reports/em3d.json" -> "reports/em3d-<app>-<machine>.json".
+std::string suffixed(const std::string& path, const std::string& app,
+                     const std::string& machine) {
+  auto dot = path.rfind('.');
+  auto slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "-" + app + "-" + machine;
+  }
+  return path.substr(0, dot) + "-" + app + "-" + machine + path.substr(dot);
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "tham_analyze: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+int usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: tham_analyze [--app NAME|all] [--machine NAME|all]\n"
+      "                    [--dot FILE] [--json FILE] [--validate]\n"
+      "apps: em3d-base em3d-ghost em3d-bulk water-atomic water-prefetch "
+      "sc-lu\n"
+      "machines:");
+  for (const MachineProfile& p : machine_profiles()) {
+    std::fprintf(stderr, " %s", p.name);
+  }
+  std::fprintf(stderr, "\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string app_sel = "all";
+  std::string machine_sel;
+  std::string dot_path;
+  std::string json_path;
+  bool validate = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tham_analyze: %s needs a value\n", arg.c_str());
+        std::exit(usage(2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      app_sel = value();
+    } else if (arg == "--machine") {
+      machine_sel = value();
+    } else if (arg == "--dot") {
+      dot_path = value();
+    } else if (arg == "--json") {
+      json_path = value();
+    } else if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else {
+      std::fprintf(stderr, "tham_analyze: unknown option %s\n", arg.c_str());
+      return usage(2);
+    }
+  }
+
+  std::vector<AppSpec> apps;
+  for (AppSpec& s : app_specs()) {
+    if (app_sel == "all" || app_sel == s.name) apps.push_back(std::move(s));
+  }
+  if (apps.empty()) {
+    std::fprintf(stderr, "tham_analyze: unknown app \"%s\"\n",
+                 app_sel.c_str());
+    return usage(2);
+  }
+  std::vector<CostModel> machines;
+  if (machine_sel == "all") {
+    for (const MachineProfile& p : machine_profiles()) {
+      machines.push_back(p.make());
+    }
+  } else if (machine_sel.empty()) {
+    machines.push_back(default_cost_model());
+  } else if (const MachineProfile* p = find_machine(machine_sel)) {
+    machines.push_back(p->make());
+  } else {
+    std::fprintf(stderr, "tham_analyze: unknown machine \"%s\"\n",
+                 machine_sel.c_str());
+    return usage(2);
+  }
+
+  bool many = apps.size() * machines.size() > 1;
+  int failures = 0;
+  for (const AppSpec& spec : apps) {
+    for (const CostModel& cm : machines) {
+      Report report = tham::analyze::analyze(spec.model(cm));
+      const CommGraph& g = report.graph;
+      std::printf("%-14s %-15s nodes %d  flows %zu  msgs %llu  "
+                  "bound_max %lld ns  %s (%dE/%dW/%dI)\n",
+                  g.program.c_str(), cm.machine, g.nodes, g.flows.size(),
+                  static_cast<unsigned long long>(g.total_messages()),
+                  static_cast<long long>(report.max_bound()),
+                  report.clean() ? "clean" : "ERRORS",
+                  report.count(Finding::Severity::Error),
+                  report.count(Finding::Severity::Warning),
+                  report.count(Finding::Severity::Info));
+      for (const Finding& f : report.findings) {
+        if (f.severity == Finding::Severity::Error) {
+          std::printf("    error [%s] %s\n", f.code.c_str(),
+                      f.message.c_str());
+        }
+      }
+      if (!report.clean()) ++failures;
+
+      if (!dot_path.empty()) {
+        std::string p = many ? suffixed(dot_path, g.program, cm.machine)
+                             : dot_path;
+        if (!write_file(p, dump_dot(g))) ++failures;
+      }
+      if (!json_path.empty()) {
+        std::string p = many ? suffixed(json_path, g.program, cm.machine)
+                             : json_path;
+        if (!write_file(p, dump_json(report))) ++failures;
+      }
+
+      if (validate) {
+        sim::Engine engine(spec.procs, cm);
+        net::Network net(engine);
+        am::AmLayer am(net);
+        apps::declare_full_topology(am);
+        spec.run(engine, net, am);
+        std::printf("    %-5s %16s %16s\n", "node", "bound(ns)",
+                    "measured(ns)");
+        for (NodeId p = 0; p < engine.size(); ++p) {
+          SimTime bound = report.node_lower_bound[static_cast<std::size_t>(p)];
+          SimTime measured = engine.node(p).now();
+          bool ok = bound <= measured;
+          std::printf("    %-5d %16lld %16lld%s\n", p,
+                      static_cast<long long>(bound),
+                      static_cast<long long>(measured),
+                      ok ? "" : "  BOUND VIOLATED");
+          if (!ok) ++failures;
+        }
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

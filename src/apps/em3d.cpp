@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "apps/topology.hpp"
 #include "common/check.hpp"
 
 namespace tham::apps::em3d {
@@ -304,7 +305,10 @@ RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
     double sum = 0;
     for (double v : g.e_vals[ume]) sum += v;
     for (double v : g.h_vals[ume]) sum += v;
-    checksum = world.all_reduce_sum(sum);
+    // Every rank computes the same total; a single writer keeps the shared
+    // host frame race-free when node fibers run on different threads.
+    double total = world.all_reduce_sum(sum);
+    if (me == 0) checksum = total;
   });
 
   RunResult r = collect(engine);
@@ -461,7 +465,8 @@ RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version) {
     double sum = 0;
     for (double v : g.e_vals[ume]) sum += v;
     for (double v : g.h_vals[ume]) sum += v;
-    checksum = rt.all_reduce_sum(sum);
+    double total = rt.all_reduce_sum(sum);
+    if (me == 0) checksum = total;
   });
 
   RunResult r = collect(engine);
@@ -473,6 +478,7 @@ RunResult run_splitc(const Config& cfg, Version v, const CostModel& cm) {
   sim::Engine engine(cfg.procs, cm);
   net::Network net(engine);
   am::AmLayer am(net);
+  declare_full_topology(am);
   return run_splitc(engine, net, am, cfg, v);
 }
 
@@ -480,6 +486,7 @@ RunResult run_ccxx(const Config& cfg, Version v, const CostModel& cm) {
   sim::Engine engine(cfg.procs, cm);
   net::Network net(engine);
   am::AmLayer am(net);
+  declare_full_topology(am);
   ccxx::Runtime rt(engine, net, am);
   return run_ccxx(rt, cfg, v);
 }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "apps/topology.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
@@ -252,7 +253,10 @@ RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
         for (double v : blk(i, j)) sum += v;
       }
     }
-    checksum = world.all_reduce_sum(sum);
+    // Every rank computes the same total; a single writer keeps the shared
+    // host frame race-free when node fibers run on different threads.
+    double total = world.all_reduce_sum(sum);
+    if (me == 0) checksum = total;
   });
 
   RunResult r = collect(engine);
@@ -390,7 +394,8 @@ RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg) {
         for (double v : blk(i, j)) sum += v;
       }
     }
-    checksum = rt.all_reduce_sum(sum);
+    double total = rt.all_reduce_sum(sum);
+    if (me == 0) checksum = total;
   });
 
   RunResult r = collect(engine);
@@ -402,6 +407,7 @@ RunResult run_splitc(const Config& cfg, const CostModel& cm) {
   sim::Engine engine(cfg.procs, cm);
   net::Network net(engine);
   am::AmLayer am(net);
+  declare_full_topology(am);
   return run_splitc(engine, net, am, cfg);
 }
 
@@ -409,6 +415,7 @@ RunResult run_ccxx(const Config& cfg, const CostModel& cm) {
   sim::Engine engine(cfg.procs, cm);
   net::Network net(engine);
   am::AmLayer am(net);
+  declare_full_topology(am);
   ccxx::Runtime rt(engine, net, am);
   return run_ccxx(rt, cfg);
 }

@@ -1,0 +1,28 @@
+#pragma once
+// All-pairs link topology for the app runs. Split-C and CC++ programs are
+// SPMD over a fully connected machine: any processor may message any
+// other, and the cheapest class either runtime puts on the wire is the
+// short active message. Declaring that floor on every ordered pair gives
+// the parallel engine per-link lookahead horizons and arms the send-time
+// floor check — it changes no timing (declared links only widen the
+// conservative horizon, never the event order).
+//
+// O(P^2) declarations: callers with huge machines (bench_scaling's
+// 100k-node run) build their engines directly and skip this.
+
+#include "am/am.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace tham::apps {
+
+inline void declare_full_topology(am::AmLayer& am) {
+  sim::Engine& engine = am.channel().engine();
+  for (NodeId p = 0; p < engine.size(); ++p) {
+    for (NodeId q = 0; q < engine.size(); ++q) {
+      if (p != q) am.channel().declare_link(p, q, net::Wire::AmShort);
+    }
+  }
+}
+
+}  // namespace tham::apps

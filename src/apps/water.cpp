@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "apps/topology.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
@@ -267,7 +268,10 @@ RunResult run_splitc(sim::Engine& engine, net::Network& net, am::AmLayer& am,
       }
       intra += intra_energy(mine, l);
     }
-    checksum = world.all_reduce_sum(pot + kin + intra);
+    // Every rank computes the same total; a single writer keeps the shared
+    // host frame race-free when node fibers run on different threads.
+    double total = world.all_reduce_sum(pot + kin + intra);
+    if (me == 0) checksum = total;
   });
 
   RunResult r = collect(engine);
@@ -416,7 +420,8 @@ RunResult run_ccxx(ccxx::Runtime& rt, const Config& cfg, Version version) {
       }
       intra += intra_energy(mine, l);
     }
-    checksum = rt.all_reduce_sum(pot + kin + intra);
+    double total = rt.all_reduce_sum(pot + kin + intra);
+    if (me == 0) checksum = total;
   });
 
   RunResult r = collect(engine);
@@ -428,6 +433,7 @@ RunResult run_splitc(const Config& cfg, Version v, const CostModel& cm) {
   sim::Engine engine(cfg.procs, cm);
   net::Network net(engine);
   am::AmLayer am(net);
+  declare_full_topology(am);
   return run_splitc(engine, net, am, cfg, v);
 }
 
@@ -435,6 +441,7 @@ RunResult run_ccxx(const Config& cfg, Version v, const CostModel& cm) {
   sim::Engine engine(cfg.procs, cm);
   net::Network net(engine);
   am::AmLayer am(net);
+  declare_full_topology(am);
   ccxx::Runtime rt(engine, net, am);
   return run_ccxx(rt, cfg, v);
 }

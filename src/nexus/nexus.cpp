@@ -1,5 +1,6 @@
 #include "nexus/nexus.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.hpp"
@@ -76,6 +77,24 @@ void NexusLayer::rsr(const Startpoint& sp, const std::string& handler,
 
 void NexusLayer::start_service_threads() {
   transport::start_service_daemons(chan_.engine(), "nexus-service");
+}
+
+std::vector<NexusLayer::HandlerInfo> NexusLayer::handlers() const {
+  std::vector<HandlerInfo> out;
+  for (std::size_t ep = 0; ep < endpoints_.size(); ++ep) {
+    const Endpoint& e = endpoints_[ep];
+    for (const auto& [name, fn] : e.handlers) {
+      out.push_back(HandlerInfo{e.node, static_cast<std::uint32_t>(ep), name});
+    }
+  }
+  // The per-endpoint map iterates in hash order; sort so the harvest is
+  // deterministic run to run.
+  std::sort(out.begin(), out.end(), [](const HandlerInfo& a,
+                                       const HandlerInfo& b) {
+    if (a.endpoint != b.endpoint) return a.endpoint < b.endpoint;
+    return a.name < b.name;
+  });
+  return out;
 }
 
 }  // namespace tham::nexus

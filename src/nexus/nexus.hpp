@@ -93,6 +93,17 @@ class NexusLayer {
 
   std::uint64_t rsr_count() const { return rsr_count_; }
 
+  /// One registered RSR handler, for the static analyzer's handler-table
+  /// harvest: the endpoint's owning node, its id, and the handler name the
+  /// receiver resolves on every RSR.
+  struct HandlerInfo {
+    NodeId node;
+    std::uint32_t endpoint;
+    std::string name;
+  };
+  /// Snapshot of every registered handler, ordered by (endpoint, name).
+  std::vector<HandlerInfo> handlers() const;
+
   /// This layer's transport channel (per-layer send accounting).
   transport::Channel& channel() { return chan_; }
 

@@ -90,10 +90,25 @@ void Engine::set_machine(std::string_view name) {
 
 void Engine::declare_link(NodeId src, NodeId dst, SimTime min_wire) {
   THAM_CHECK_MSG(!ran_, "declare_link() after run()");
-  THAM_CHECK(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
-  THAM_CHECK_MSG(src != dst, "declare_link() on a self link");
-  THAM_CHECK_MSG(min_wire > 0,
-                 "declare_link() needs a positive wire-time floor");
+  // Declaration mistakes throw (not abort): topology is host-side setup
+  // driven by app/config code, and the planner silently absorbing a
+  // duplicate or a nonpositive floor is exactly the footgun the static
+  // analyzer exists to close.
+  auto where = [&] {
+    return " (link " + std::to_string(src) + " -> " + std::to_string(dst) +
+           ", floor " + std::to_string(min_wire) + " ns)";
+  };
+  THAM_REQUIRE(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_,
+               "declare_link(): node id out of range" + where());
+  THAM_REQUIRE(src != dst, "declare_link() on a self link" + where());
+  THAM_REQUIRE(min_wire > 0,
+               "declare_link() needs a positive wire-time floor" + where());
+  auto [it, inserted] = link_floor_.emplace(link_key(src, dst), min_wire);
+  if (!inserted) {
+    THAM_REQUIRE(it->second != min_wire,
+                 "declare_link(): exact duplicate declaration" + where());
+    if (min_wire < it->second) it->second = min_wire;
+  }
   links_.push_back(Link{src, dst, min_wire});
 }
 

@@ -32,6 +32,7 @@
 #include <limits>
 #include <memory>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
@@ -40,6 +41,10 @@
 #include "common/types.hpp"
 #include "sim/node.hpp"
 #include "sim/quad_heap.hpp"
+
+namespace tham::analyze {
+struct Report;
+}
 
 namespace tham::sim {
 
@@ -120,13 +125,35 @@ class Engine {
   /// is checked against the declared floor of its shard pair and the run
   /// aborts on a send that undercuts it (or crosses a shard pair with no
   /// declared link) — the invariant per-link lookahead horizons rely on.
-  /// Must be called before run().
+  /// Must be called before run(). Throws tham::RuntimeError on an invalid
+  /// declaration: out-of-range ids, a self link, a nonpositive floor, or an
+  /// exact duplicate of an earlier declaration (same src, dst, and floor —
+  /// a duplicate is always a bug in topology setup; distinct floors on one
+  /// pair remain legal and keep the minimum).
   void declare_link(NodeId src, NodeId dst, SimTime min_wire);
   bool topology_declared() const { return !links_.empty(); }
 
+  /// One declared link (see declare_link). Exposed for the static
+  /// analyzer's topology harvest.
+  struct Link {
+    NodeId src;
+    NodeId dst;
+    SimTime min_wire;
+  };
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Static pre-execution analysis of this engine's declared topology
+  /// against its cost model (lookahead-floor soundness and link shape; the
+  /// full protocol-level audits need a flow model, see src/analyze).
+  /// Defined in the tham_analyze library — callers must link it.
+  analyze::Report analyze() const;
+
   /// The declared-topology enforcement check, called on every
   /// Network::send. No-op unless a topology was declared. Granularity is
-  /// the shard pair — exactly the floor the epoch planner uses.
+  /// the shard pair — exactly the floor the epoch planner uses. THAM_CHECK
+  /// builds additionally assert at exact (src, dst) link granularity, so an
+  /// undercut hidden by a cheaper link elsewhere in the same shard pair
+  /// still aborts with a diagnostic before it can skew a horizon.
   void check_wire_floor(NodeId src, NodeId dst, SimTime wire_time) const {
     if (wire_floor_.empty()) return;
     SimTime floor =
@@ -138,6 +165,13 @@ class Engine {
     THAM_CHECK_MSG(wire_time >= floor,
                    "send undercuts the declared link wire-time floor "
                    "(or crosses a pair with no declared link)");
+#if defined(THAM_CHECK_ENABLED)
+    auto it = link_floor_.find(link_key(src, dst));
+    THAM_CHECK_MSG(it != link_floor_.end(),
+                   "send crosses a node pair with no declared link");
+    THAM_CHECK_MSG(wire_time >= it->second,
+                   "send undercuts its own link's declared wire-time floor");
+#endif
   }
 
   /// Forces every run() of this engine onto the sequential executor and
@@ -338,12 +372,15 @@ class Engine {
   int shards_used_ = 1;
   ShardPolicy shard_policy_;          ///< from THAM_SIM_SHARD_POLICY
   LookaheadPolicy lookahead_policy_;  ///< from THAM_SIM_LOOKAHEAD
-  struct Link {
-    NodeId src;
-    NodeId dst;
-    SimTime min_wire;
-  };
+  static std::uint64_t link_key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(dst);
+  }
   std::vector<Link> links_;        ///< declared topology (see declare_link)
+  /// Minimum declared floor per exact (src, dst) pair; duplicate detection
+  /// at declare time and the per-link THAM_CHECK assert at send time.
+  std::unordered_map<std::uint64_t, SimTime> link_floor_;
   std::vector<SimTime> wire_floor_;  ///< shard-pair floors; empty = no topo
   const char* seq_only_why_ = nullptr;
   bool allow_deadlock_ = false;

@@ -77,7 +77,7 @@ ParallelExecutor::ParallelExecutor(Engine& eng, int shards)
   }
   ctl_ = std::vector<WorkerCtl>(n);
   stats_ = std::vector<WorkerStats>(n);
-  participant_.assign(n, 0);
+  to_release_.reserve(n);
   heads_.assign(n, kNever);
   inbound_.assign(n, kNever);
   scratch_.resize(n);
@@ -234,6 +234,7 @@ void ParallelExecutor::plan_epoch() {
   }
 
   int parts = 0;
+  to_release_.clear();
   for (int s = 0; s < count_; ++s) {
     auto sx = static_cast<std::size_t>(s);
     SimTime lim = kNever;
@@ -261,13 +262,13 @@ void ParallelExecutor::plan_epoch() {
     eng_.shard_limits_[sx].v.store(lim, std::memory_order_relaxed);
     bool in = (heads_[sx] != kNever && heads_[sx] <= lim) ||
               inbound_[sx] != kNever;
-    participant_[sx] = in ? 1 : 0;
+    if (in) to_release_.push_back(s);
     parts += in ? 1 : 0;
   }
   // The globally minimal shard always qualifies (its bounds all sit at or
   // above its own head), so every epoch makes progress.
   THAM_CHECK(parts > 0);
-  expected_ = parts;
+  expected_.store(parts, std::memory_order_relaxed);
   ++epochs_;
 
 #if defined(THAM_CHECK_ENABLED)
@@ -292,20 +293,21 @@ void ParallelExecutor::plan_epoch() {
   have_last_plan_ = true;
   plan_ns_ += elapsed_ns(t0, now);
 
-  for (int s = 0; s < count_; ++s) {
-    if (participant_[static_cast<std::size_t>(s)] != 0) release(s);
-  }
+  for (int s : to_release_) release(s);
 }
 
 void ParallelExecutor::arrive(bool planning) {
-  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == expected_) {
+  // Loaded *before* the increment: once our increment lands, the last
+  // arriver may already be planning the next epoch and overwriting
+  // expected_. Reading it inside the comparison would leave the load
+  // unsequenced relative to our own fetch_add and racing with that store.
+  const int expected = expected_.load(std::memory_order_relaxed);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == expected) {
     arrived_.store(0, std::memory_order_relaxed);
     if (planning) {
       plan_epoch();
     } else {
-      for (int s = 0; s < count_; ++s) {
-        if (participant_[static_cast<std::size_t>(s)] != 0) release(s);
-      }
+      for (int s : to_release_) release(s);
     }
   }
   // Not-last arrivers (and the last arriver, whose own release is already

@@ -124,11 +124,19 @@ class ParallelExecutor {
   std::vector<SimTime> la_;
   std::vector<WorkerCtl> ctl_;
   std::vector<WorkerStats> stats_;
-  std::vector<std::uint8_t> participant_;
+  /// The current epoch's participant list, rebuilt by each plan. Both
+  /// release loops iterate this list instead of per-shard flags: a release
+  /// loop must never read an entry the *next* planner may already be
+  /// rewriting, and the list is only read before the releases that make
+  /// that next planner reachable.
+  std::vector<int> to_release_;
   std::vector<SimTime> heads_;    ///< plan scratch: effective heads
   std::vector<SimTime> inbound_;  ///< plan scratch: unmerged inbound mins
   std::vector<std::vector<Engine::Ev>> scratch_;  ///< per-worker bulk batch
-  int expected_ = 0;  ///< barrier size = participant count, set by plan
+  /// Barrier size = participant count, set by plan. Atomic because a
+  /// non-last arriver's read overlaps the last arriver's store for the
+  /// next epoch; ordering comes from arrived_ and the mailboxes.
+  std::atomic<int> expected_{0};
   std::atomic<int> arrived_{0};
   std::atomic<bool> done_{false};
   std::atomic<std::uint32_t> spin_budget_{4096};

@@ -38,6 +38,33 @@ extern "C" void tham_fctx_entry();
 #define THAM_NO_ASAN
 #endif
 
+// ThreadSanitizer keeps per-context shadow state (stack bounds, clocks,
+// the happens-before graph) just like ASan keeps shadow stacks, so it too
+// must be told about every stack switch or each fiber switch looks like a
+// wild jump below the thread stack and every resumed fiber races with its
+// scheduler. The protocol mirrors the ASan one above: one TSan context per
+// Fiber (__tsan_create_fiber, created lazily at first resume),
+// __tsan_switch_to_fiber immediately before each stack switch — with the
+// default sync flag, so the switch itself establishes happens-before between
+// scheduler and fiber — and __tsan_destroy_fiber only from the scheduler
+// side once the fiber is Done (a context cannot destroy itself). The
+// scheduler's own context is re-captured on every resume because a fiber can
+// suspend on one shard worker and resume on another.
+#if defined(__SANITIZE_THREAD__)
+#define THAM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define THAM_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(THAM_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#define THAM_NO_TSAN __attribute__((no_sanitize_thread))
+#else
+#define THAM_NO_TSAN
+#endif
+
 namespace tham::sim {
 
 namespace {
@@ -81,6 +108,21 @@ void asan_enter_sched(void* fake_save) {
 inline void asan_leave(void**, const void*, std::size_t) {}
 inline void asan_enter_fiber(void*) {}
 inline void asan_enter_sched(void*) {}
+#endif
+
+#if defined(THAM_TSAN_FIBERS)
+void* tsan_self() { return __tsan_get_current_fiber(); }
+void* tsan_create() { return __tsan_create_fiber(0); }
+void tsan_destroy(void* ctx) {
+  if (ctx != nullptr) __tsan_destroy_fiber(ctx);
+}
+// Must run immediately before the stack switch that makes `ctx` current.
+void tsan_switch(void* ctx) { __tsan_switch_to_fiber(ctx, 0); }
+#else
+inline void* tsan_self() { return nullptr; }
+inline void* tsan_create() { return nullptr; }
+inline void tsan_destroy(void*) {}
+inline void tsan_switch(void*) {}
 #endif
 }  // namespace
 
@@ -126,6 +168,7 @@ Fiber::~Fiber() {
   THAM_CHECK_MSG(state_ != State::Running,
                  "fiber destroyed while running");
   if (stack_ != nullptr) pool_.release(stack_);
+  tsan_destroy(tsan_fiber_);  // abandoned fibers still hold their context
 }
 
 #if defined(THAM_FIBER_FAST_SWITCH)
@@ -153,7 +196,7 @@ void* Fiber::make_initial_sp() {
 
 #else  // ucontext fallback
 
-THAM_NO_ASAN void Fiber::trampoline() {
+THAM_NO_ASAN THAM_NO_TSAN void Fiber::trampoline() {
   Fiber* self = g_current;
   self->run_body();
   // Unreachable: run_body never returns.
@@ -184,6 +227,9 @@ void Fiber::run_body() {
   set_current_fiber(nullptr);
   // nullptr fake-stack save: this fiber is dying, let ASan free its state.
   asan_leave(nullptr, g_sched_stack_bottom, g_sched_stack_size);
+  // The TSan context outlives this switch (a context cannot destroy itself);
+  // resume() destroys it scheduler-side once it observes Done.
+  tsan_switch(tsan_return_);
 #if defined(THAM_FIBER_FAST_SWITCH)
   void* scratch;
   tham_fctx_switch(&scratch, return_sp_);
@@ -197,6 +243,10 @@ void Fiber::resume() {
   THAM_CHECK_MSG(g_current == nullptr, "resume() from inside a fiber");
   THAM_CHECK_MSG(state_ == State::Ready || state_ == State::Suspended,
                  "resume() on a fiber that is not runnable");
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = tsan_create();
+  // Captured fresh on every resume: after an executor barrier this fiber may
+  // be running on a different scheduler thread than last time.
+  tsan_return_ = tsan_self();
   void* fake = nullptr;
 #if defined(THAM_FIBER_FAST_SWITCH)
   if (state_ == State::Ready) {
@@ -206,6 +256,7 @@ void Fiber::resume() {
   state_ = State::Running;
   g_current = this;
   asan_leave(&fake, stack_, pool_.stack_bytes());
+  tsan_switch(tsan_fiber_);
   tham_fctx_switch(&return_sp_, sp_);
 #else
   if (state_ == State::Ready) {
@@ -219,11 +270,17 @@ void Fiber::resume() {
   state_ = State::Running;
   g_current = this;
   asan_leave(&fake, stack_, pool_.stack_bytes());
+  tsan_switch(tsan_fiber_);
   THAM_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
 #endif
   asan_enter_sched(fake);
   // Back in main: the fiber either suspended or finished.
   THAM_CHECK(g_current == nullptr);
+  if (state_ == State::Done) {
+    // reset() may rearm this object; a fresh context is created then.
+    tsan_destroy(tsan_fiber_);
+    tsan_fiber_ = nullptr;
+  }
 }
 
 void Fiber::reset(std::function<void()> body) {
@@ -239,6 +296,7 @@ void Fiber::suspend() {
   g_current = nullptr;
   void* fake = nullptr;
   asan_leave(&fake, g_sched_stack_bottom, g_sched_stack_size);
+  tsan_switch(self->tsan_return_);
 #if defined(THAM_FIBER_FAST_SWITCH)
   tham_fctx_switch(&self->sp_, self->return_sp_);
 #else
@@ -256,7 +314,7 @@ Fiber* Fiber::current() { return g_current; }
 }  // namespace tham::sim
 
 #if defined(THAM_FIBER_FAST_SWITCH)
-extern "C" THAM_NO_ASAN void tham_fiber_trampoline(void* fiber) {
+extern "C" THAM_NO_ASAN THAM_NO_TSAN void tham_fiber_trampoline(void* fiber) {
   static_cast<tham::sim::Fiber*>(fiber)->run_body();
   // Unreachable: run_body never returns.
 }

@@ -118,6 +118,11 @@ class Fiber {
   ucontext_t ctx_{};
   ucontext_t return_ctx_{};
 #endif
+  // ThreadSanitizer shadow contexts (see the TSan protocol note in
+  // fiber.cpp). Declared unconditionally so the class layout does not vary
+  // with sanitizer flags; both stay nullptr outside TSan builds.
+  void* tsan_fiber_ = nullptr;   ///< __tsan_create_fiber context, owned
+  void* tsan_return_ = nullptr;  ///< resuming scheduler's TSan context
   State state_ = State::Ready;
 };
 

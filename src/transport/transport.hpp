@@ -95,7 +95,10 @@ class Channel {
   /// floors, and once anything is declared every send is checked against
   /// them — declare every link (per wire class) the program will use,
   /// before Engine::run(). Programs that declare nothing keep the global
-  /// CostModel::lookahead() horizon and pay no check.
+  /// CostModel::lookahead() horizon and pay no check. Validation follows
+  /// Engine::declare_link: declaring the same (src, dst, wire class) twice
+  /// throws tham::RuntimeError (wire classes that price to distinct floors
+  /// may coexist on one pair and keep the minimum).
   void declare_link(NodeId src, NodeId dst, Wire wire) {
     engine().declare_link(src, dst, wire_cost(cost(), wire, 0).wire_time);
   }

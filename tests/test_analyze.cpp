@@ -1,0 +1,414 @@
+// Static-analyzer suite: declare_link validation, the planted-defect
+// negative paths (each defect must be caught *statically*, before any
+// event runs, with a finding that names the node/link/handler concerned),
+// the clean-app assertions, the golden analysis reports, and the cost
+// lower bound held to account against the real runs: for every app and
+// every machine profile, the model's per-node bound must not exceed the
+// measured per-node virtual time, and the model's message count must equal
+// the run's exactly.
+//
+// Regenerating the golden reports after an intentional model change:
+//
+//   ./tests/test_analyze --regen
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "am/am.hpp"
+#include "analyze/analyze.hpp"
+#include "analyze/app_models.hpp"
+#include "apps/em3d.hpp"
+#include "apps/lu.hpp"
+#include "apps/topology.hpp"
+#include "apps/water.hpp"
+#include "common/check.hpp"
+#include "common/machine.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace tham;
+using namespace tham::analyze;
+using apps::RunResult;
+using transport::Charge;
+
+// --- Shared fixtures --------------------------------------------------------
+// Regression-test-sized configurations (same shapes as tests/test_golden).
+
+apps::em3d::Config em3d_cfg() {
+  apps::em3d::Config c;
+  c.graph_nodes = 400;
+  c.degree = 10;
+  c.remote_fraction = 0.5;
+  c.iters = 3;
+  return c;
+}
+
+apps::water::Config water_cfg() {
+  apps::water::Config c;
+  c.molecules = 32;
+  c.steps = 2;
+  return c;
+}
+
+apps::lu::Config lu_cfg() {
+  apps::lu::Config c;
+  c.n = 96;
+  c.block = 8;
+  return c;
+}
+
+struct Spec {
+  const char* file;  ///< golden stem: tests/golden/<file>.json
+  int procs;
+  std::function<CommGraph(const CostModel&)> model;
+  std::function<RunResult(sim::Engine&, net::Network&, am::AmLayer&)> run;
+};
+
+std::vector<Spec> specs() {
+  using apps::em3d::Version;
+  auto ec = em3d_cfg();
+  auto wc = water_cfg();
+  auto lc = lu_cfg();
+  std::vector<Spec> out;
+  auto em = [&](const char* file, Version v) {
+    out.push_back(Spec{
+        file, ec.procs,
+        [=](const CostModel& cm) { return model_em3d(ec, v, cm); },
+        [=](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+          return apps::em3d::run_splitc(e, n, a, ec, v);
+        }});
+  };
+  em("analyze_em3d_base", Version::Base);
+  em("analyze_em3d_ghost", Version::Ghost);
+  em("analyze_em3d_bulk", Version::Bulk);
+  auto water = [&](const char* file, apps::water::Version v) {
+    out.push_back(Spec{
+        file, wc.procs,
+        [=](const CostModel& cm) { return model_water(wc, v, cm); },
+        [=](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+          return apps::water::run_splitc(e, n, a, wc, v);
+        }});
+  };
+  water("analyze_water_atomic", apps::water::Version::Atomic);
+  water("analyze_water_prefetch", apps::water::Version::Prefetch);
+  out.push_back(Spec{
+      "analyze_lu", lc.procs,
+      [=](const CostModel& cm) { return model_lu(lc, cm); },
+      [=](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+        return apps::lu::run_splitc(e, n, a, lc);
+      }});
+  return out;
+}
+
+const Finding* find_code(const Report& r, const std::string& code) {
+  for (const Finding& f : r.findings) {
+    if (f.code == code) return &f;
+  }
+  return nullptr;
+}
+
+std::string error_codes(const Report& r) {
+  std::string out;
+  for (const Finding& f : r.findings) {
+    if (f.severity == Finding::Severity::Error) out += f.code + " ";
+  }
+  return out;
+}
+
+/// A minimal well-formed graph the planted-defect tests perturb: two nodes,
+/// a declared pair each way, one priced round trip.
+CommGraph tiny_graph() {
+  CommGraph g;
+  g.program = "tiny";
+  g.nodes = 2;
+  g.cost = sp2_cost_model();
+  SimTime floor = transport::wire_cost(g.cost, net::Wire::AmShort, 0)
+                      .wire_time;
+  g.links.push_back(Link{0, 1, floor});
+  g.links.push_back(Link{1, 0, floor});
+  g.handlers.push_back(HandlerDecl{"ping", true, false});
+  g.handlers.push_back(HandlerDecl{"pong", true, false});
+  Flow req;
+  req.src = 0;
+  req.dst = 1;
+  req.handler = "ping";
+  req.reply_handler = "pong";
+  req.waits = Flow::Waits::Polling;
+  req.charges = {Charge::AmShortRecv};
+  g.flows.push_back(req);
+  Flow rep;
+  rep.src = 1;
+  rep.dst = 0;
+  rep.handler = "pong";
+  rep.charges = {Charge::AmShortRecv};
+  g.flows.push_back(rep);
+  return g;
+}
+
+// --- declare_link validation (satellite 1) ----------------------------------
+
+TEST(DeclareLink, RejectsExactDuplicate) {
+  sim::Engine engine(4);
+  engine.declare_link(0, 1, 100);
+  EXPECT_THROW(engine.declare_link(0, 1, 100), RuntimeError);
+}
+
+TEST(DeclareLink, DistinctFloorsOnOnePairAreLegal) {
+  sim::Engine engine(4);
+  engine.declare_link(0, 1, 100);
+  engine.declare_link(0, 1, 50);  // keeps the minimum
+  EXPECT_EQ(engine.links().size(), 2u);
+  EXPECT_THROW(engine.declare_link(0, 1, 50), RuntimeError);  // now a dup
+}
+
+TEST(DeclareLink, RejectsNonpositiveFloor) {
+  sim::Engine engine(4);
+  EXPECT_THROW(engine.declare_link(0, 1, 0), RuntimeError);
+  EXPECT_THROW(engine.declare_link(0, 1, -5), RuntimeError);
+}
+
+TEST(DeclareLink, RejectsSelfLinkAndOutOfRangeIds) {
+  sim::Engine engine(4);
+  EXPECT_THROW(engine.declare_link(2, 2, 100), RuntimeError);
+  EXPECT_THROW(engine.declare_link(0, 4, 100), RuntimeError);
+  EXPECT_THROW(engine.declare_link(-1, 0, 100), RuntimeError);
+}
+
+TEST(DeclareLink, ChannelRejectsDuplicateWireClassFloor) {
+  // AmShort, AmBulk, and Mpl all price a zero-byte message at the same
+  // wire-time floor, so declaring two of them on one pair is an exact
+  // duplicate declaration (transport.hpp documents this).
+  sim::Engine engine(4);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  am.channel().declare_link(0, 1, net::Wire::AmShort);
+  EXPECT_THROW(am.channel().declare_link(0, 1, net::Wire::AmShort),
+               RuntimeError);
+  EXPECT_THROW(am.channel().declare_link(0, 1, net::Wire::AmBulk),
+               RuntimeError);
+  am.channel().declare_link(0, 1, net::Wire::Tcp);  // distinct floor: legal
+}
+
+// --- Planted defects (satellite 2) ------------------------------------------
+
+TEST(Audit, CleanTinyGraphIsClean) {
+  Report r = tham::analyze::analyze(tiny_graph());
+  EXPECT_TRUE(r.clean()) << error_codes(r);
+}
+
+TEST(Audit, FlagsWaitForCycle) {
+  CommGraph g = tiny_graph();
+  g.flows[0].waits = Flow::Waits::TaskServiced;
+  g.flows[1].waits = Flow::Waits::TaskServiced;
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "wait-for-cycle");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_EQ(f->severity, Finding::Severity::Error);
+  // The finding names the cycle's nodes and handlers.
+  EXPECT_NE(f->message.find("0 -> 1"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("1 -> 0"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("ping"), std::string::npos) << f->message;
+}
+
+TEST(Audit, PollingWaitersFormNoCycle) {
+  // Two polling round trips in opposite directions are the AM discipline
+  // working as designed, not a deadlock.
+  CommGraph g = tiny_graph();
+  Flow back = g.flows[0];
+  back.src = 1;
+  back.dst = 0;
+  Flow back_rep = g.flows[1];
+  back_rep.src = 0;
+  back_rep.dst = 1;
+  g.flows.push_back(back);
+  g.flows.push_back(back_rep);
+  Report r = tham::analyze::analyze(std::move(g));
+  EXPECT_EQ(find_code(r, "wait-for-cycle"), nullptr) << error_codes(r);
+}
+
+TEST(Audit, FlagsUnderdeclaredLookaheadFloor) {
+  CommGraph g = tiny_graph();
+  // Declare a floor above the cheapest wire cost of the link's traffic.
+  SimTime zc = transport::wire_cost(g.cost, net::Wire::AmShort, 0).wire_time;
+  g.links[0].min_wire = zc + 1;
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "lookahead-floor");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_EQ(f->severity, Finding::Severity::Error);
+  EXPECT_NE(f->message.find("0 -> 1"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("ping"), std::string::npos) << f->message;
+}
+
+TEST(Audit, FlagsUnpricedMessagePath) {
+  CommGraph g = tiny_graph();
+  g.flows[1].charges.clear();
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "unpriced-path");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_EQ(f->severity, Finding::Severity::Error);
+  EXPECT_NE(f->message.find("pong"), std::string::npos) << f->message;
+}
+
+TEST(Audit, FlagsReduceWithMissingRank) {
+  CommGraph g = tiny_graph();
+  g.nodes = 4;
+  Collective red;
+  red.kind = Collective::Kind::Reduce;
+  red.ranks = {0, 1, 2};  // rank 3 never participates
+  g.collectives.push_back(red);
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "collective-rank-gap");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_EQ(f->severity, Finding::Severity::Error);
+  EXPECT_NE(f->message.find("reduce"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("rank 3"), std::string::npos) << f->message;
+}
+
+TEST(Audit, FlagsFlowOnUndeclaredPair) {
+  CommGraph g = tiny_graph();
+  g.links.pop_back();  // drop 1 -> 0; the reply flow now rides no link
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "undeclared-pair");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_NE(f->message.find("1 -> 0"), std::string::npos) << f->message;
+}
+
+TEST(Audit, FlagsUnpairedReply) {
+  CommGraph g = tiny_graph();
+  g.flows.pop_back();  // drop the pong reply flow
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "unpaired-reply");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_NE(f->message.find("pong"), std::string::npos) << f->message;
+}
+
+TEST(Audit, FlagsUnknownHandler) {
+  CommGraph g = tiny_graph();
+  g.flows[0].handler = "no.such.handler";
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "unknown-handler");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_NE(f->message.find("no.such.handler"), std::string::npos)
+      << f->message;
+}
+
+// --- Engine-level harvest ----------------------------------------------------
+
+TEST(EngineAnalyze, HarvestsDeclaredTopology) {
+  sim::Engine engine(3);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  apps::declare_full_topology(am);
+  Report r = engine.analyze();
+  EXPECT_EQ(r.graph.nodes, 3);
+  EXPECT_EQ(r.graph.links.size(), 6u);  // 3 * 2 ordered pairs
+  EXPECT_TRUE(r.clean()) << error_codes(r);
+}
+
+TEST(EngineAnalyze, WarnsOnFloorAboveCheapestWire) {
+  sim::Engine engine(2);
+  engine.declare_link(0, 1, usec(1000));  // above any wire class's floor
+  Report r = engine.analyze();
+  EXPECT_NE(find_code(r, "floor-above-cheapest-wire"), nullptr);
+}
+
+// --- Clean apps + cost bound vs. measured (the tentpole acceptance) ---------
+
+class Apps : public ::testing::TestWithParam<Spec> {};
+
+TEST_P(Apps, ModelIsCleanOnSp2) {
+  const Spec& s = GetParam();
+  Report r = tham::analyze::analyze(s.model(sp2_cost_model()));
+  EXPECT_TRUE(r.clean()) << r.graph.program << ": " << error_codes(r);
+  EXPECT_EQ(find_code(r, "wait-for-cycle"), nullptr);
+}
+
+TEST_P(Apps, BoundHoldsOnEveryMachineProfile) {
+  const Spec& s = GetParam();
+  for (const MachineProfile& mp : machine_profiles()) {
+    CostModel cm = mp.make();
+    Report report = tham::analyze::analyze(s.model(cm));
+    EXPECT_TRUE(report.clean())
+        << report.graph.program << " on " << mp.name << ": "
+        << error_codes(report);
+
+    sim::Engine engine(s.procs, cm);
+    net::Network net(engine);
+    am::AmLayer am(net);
+    apps::declare_full_topology(am);
+    RunResult r = s.run(engine, net, am);
+
+    // The model counts the run's messages exactly...
+    EXPECT_EQ(report.graph.total_messages(), r.messages)
+        << report.graph.program << " on " << mp.name;
+    // ...and its per-node bound never exceeds the measured virtual time.
+    ASSERT_EQ(report.node_lower_bound.size(),
+              static_cast<std::size_t>(engine.size()));
+    for (NodeId p = 0; p < engine.size(); ++p) {
+      SimTime bound = report.node_lower_bound[static_cast<std::size_t>(p)];
+      SimTime measured = engine.node(p).now();
+      EXPECT_LE(bound, measured)
+          << report.graph.program << " on " << mp.name << ", node " << p;
+      EXPECT_GT(bound, 0) << report.graph.program << " on " << mp.name;
+    }
+  }
+}
+
+// --- Golden analysis reports (satellite 3) -----------------------------------
+
+std::string golden_path(const std::string& stem) {
+  return std::string(THAM_GOLDEN_DIR) + "/" + stem + ".json";
+}
+
+std::string report_json(const Spec& s) {
+  return dump_json(tham::analyze::analyze(s.model(sp2_cost_model())));
+}
+
+TEST_P(Apps, GoldenReportMatches) {
+  const Spec& s = GetParam();
+  std::ifstream in(golden_path(s.file));
+  ASSERT_TRUE(in.good())
+      << "no golden report " << golden_path(s.file)
+      << " — run ./tests/test_analyze --regen and commit the result";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(report_json(s), want.str())
+      << s.file << " drifted from golden\nIf the change is intentional, run "
+      << "./tests/test_analyze --regen";
+}
+
+INSTANTIATE_TEST_SUITE_P(Analyze, Apps, ::testing::ValuesIn(specs()),
+                         [](const auto& pinfo) {
+                           std::string n = pinfo.param.file;
+                           return n.substr(std::string("analyze_").size());
+                         });
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regen") {
+      for (const Spec& s : specs()) {
+        std::ofstream out(golden_path(s.file));
+        if (!out.good()) {
+          std::fprintf(stderr, "cannot write %s\n",
+                       golden_path(s.file).c_str());
+          return 1;
+        }
+        out << report_json(s);
+        std::printf("regen %s\n", golden_path(s.file).c_str());
+      }
+      return 0;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

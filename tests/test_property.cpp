@@ -14,8 +14,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/em3d.hpp"
@@ -605,14 +607,21 @@ FuzzResult run_topology_fuzz(std::uint64_t seed, int threads,
   // Ring links both ways, plus a star on node 0 (the barrier root). Every
   // message the workload sends — neighbour traffic, barrier fan-in/out,
   // and the replies riding the reverse direction — stays on a declared
-  // link.
+  // link. The ring and the star overlap on node 0's neighbours and the
+  // engine rejects duplicate declarations, so declare through a set.
+  std::set<std::pair<NodeId, NodeId>> declared;
+  auto declare = [&](NodeId s, NodeId d) {
+    if (declared.emplace(s, d).second) {
+      am.channel().declare_link(s, d, net::Wire::AmShort);
+    }
+  };
   for (NodeId i = 0; i < procs; ++i) {
     NodeId nxt = (i + 1) % procs;
-    am.channel().declare_link(i, nxt, net::Wire::AmShort);
-    am.channel().declare_link(nxt, i, net::Wire::AmShort);
+    declare(i, nxt);
+    declare(nxt, i);
     if (i != 0) {
-      am.channel().declare_link(0, i, net::Wire::AmShort);
-      am.channel().declare_link(i, 0, net::Wire::AmShort);
+      declare(0, i);
+      declare(i, 0);
     }
   }
   splitc::World world(engine, net, am);
