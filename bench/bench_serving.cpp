@@ -1,0 +1,237 @@
+// Serving-fabric bench: offered load vs. latency tail on the RMI runtime.
+//
+//   bench_serving [--json[=PATH]]
+//
+// Two sweeps over the client/balancer/server fabric (src/serve):
+//
+//  1. Offered load 0.2x..4x of pool capacity on modern-cluster: completed
+//     throughput, p50/p90/p99/p999 latency, rejection rate, and the
+//     per-layer message counts (submits, forward batches, completion
+//     batches, deliveries, backend lookups, total wire messages). The
+//     interesting curve is the gap between nominal capacity and where
+//     rejection actually starts: RMI dispatch overhead inflates effective
+//     service time, so the knee arrives well before offered_load = 1 —
+//     the paper's CC++-overhead thesis replayed as a serving system.
+//
+//  2. Tail latency vs. injected loss at fixed load on lossy-cluster over
+//     transport::Reliable: the same workload at 0..10% frame loss, where
+//     retransmission delays land almost entirely in the tail quantiles
+//     while the median barely moves.
+//
+// --json writes BENCH_serving.json (schema tham-serving-v1). The sweeps
+// are seeded and single-valued: rerunning the bench reproduces every
+// number exactly.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "am/am.hpp"
+#include "apps/topology.hpp"
+#include "common/env.hpp"
+#include "fault/fault.hpp"
+#include "json_out.hpp"
+#include "net/network.hpp"
+#include "serve/serve.hpp"
+#include "sim/engine.hpp"
+#include "stats/table.hpp"
+#include "transport/reliable.hpp"
+
+namespace tham {
+namespace {
+
+constexpr std::uint64_t kPlanSeed = 20250809;
+
+serve::Config bench_cfg(double load) {
+  serve::Config cfg;
+  cfg.clients = 6;
+  cfg.servers = 3;
+  cfg.requests_per_client = 64;
+  cfg.open_loop = true;
+  cfg.offered_load = load;
+  cfg.mean_service = usec(50);
+  cfg.queue_cap = 16;
+  cfg.batch_max = 4;
+  cfg.policy = serve::Policy::LeastOutstanding;
+  cfg.backend_fraction = 0.25;
+  cfg.seed = 2027;
+  return cfg;
+}
+
+struct ServeRun {
+  double load = 0;
+  double loss = 0;
+  serve::Result res;
+  transport::Reliable::Stats rel;
+};
+
+ServeRun run_lossy(double load, double loss) {
+  serve::Config cfg = bench_cfg(load);
+  sim::Engine engine(cfg.procs(), make_machine("lossy-cluster"));
+  net::Network net(engine);
+  am::AmLayer am(net);
+  transport::Reliable rel(am.channel());
+  fault::Plan plan;
+  plan.seed = kPlanSeed;
+  plan.loss = loss;
+  plan.dup = loss > 0 ? 0.01 : 0;
+  fault::Injector inj(plan, engine.size());
+  if (loss > 0) net.set_injector(&inj);
+  apps::declare_full_topology(am);
+  ccxx::Runtime rt(engine, net, am);
+  ServeRun r;
+  r.load = load;
+  r.loss = loss;
+  r.res = serve::run(rt, cfg);
+  r.rel = rel.total();
+  return r;
+}
+
+void emit_point(bench::JsonWriter& w, const ServeRun& r) {
+  const serve::Result& s = r.res;
+  w.begin_object(nullptr, /*inline_scope=*/true);
+  w.field("offered_load", r.load, 3);
+  w.field("loss", r.loss, 3);
+  w.field("vtime_s", to_sec(s.run.elapsed), 6);
+  w.field("issued", s.issued);
+  w.field("completed", s.completed);
+  w.field("rejected", s.rejected);
+  w.field("rejection_rate", s.rejection_rate(), 5);
+  w.field("throughput_rps", s.throughput(), 1);
+  w.field("p50_us", to_usec(s.latency.p50()), 2);
+  w.field("p90_us", to_usec(s.latency.p90()), 2);
+  w.field("p99_us", to_usec(s.latency.p99()), 2);
+  w.field("p999_us", to_usec(s.latency.p999()), 2);
+  w.field("mean_queue_depth", s.queue_depth.mean(), 3);
+  w.field("submits", s.submits);
+  w.field("forward_batches", s.forward_batches);
+  w.field("completion_batches", s.completion_batches);
+  w.field("deliveries", s.deliveries);
+  w.field("backend_lookups", s.backend_lookups);
+  w.field("net_messages", s.net_messages);
+  w.end_object();
+}
+
+int run_bench(bool json, const std::string& json_path) {
+  serve::Config shape = bench_cfg(1.0);
+  std::printf("Serving fabric: %d clients -> balancer -> %d servers "
+              "(+backend), %llu requests, %s\n\n",
+              shape.clients, shape.servers,
+              static_cast<unsigned long long>(shape.total_requests()),
+              serve::policy_name(shape.policy));
+
+  // Sweep 1: offered load on modern-cluster.
+  const std::vector<double> loads = {0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.5, 4.0};
+  CostModel modern = make_machine("modern-cluster");
+  std::vector<ServeRun> load_runs;
+  load_runs.reserve(loads.size());
+  for (double load : loads) {
+    ServeRun r;
+    r.load = load;
+    r.res = serve::run(bench_cfg(load), modern);
+    load_runs.push_back(std::move(r));
+  }
+
+  std::printf("offered load sweep (modern-cluster):\n");
+  stats::Table t({"load", "thru (r/s)", "reject", "p50 (us)", "p90 (us)",
+                  "p99 (us)", "p999 (us)", "msgs"});
+  for (const ServeRun& r : load_runs) {
+    const serve::Result& s = r.res;
+    t.add_row({stats::Table::num(r.load, 2),
+               stats::Table::num(s.throughput(), 0),
+               stats::Table::num(s.rejection_rate() * 100, 1) + "%",
+               stats::Table::num(to_usec(s.latency.p50()), 1),
+               stats::Table::num(to_usec(s.latency.p90()), 1),
+               stats::Table::num(to_usec(s.latency.p99()), 1),
+               stats::Table::num(to_usec(s.latency.p999()), 1),
+               std::to_string(s.net_messages)});
+  }
+  t.print();
+
+  // Rejection must be monotone in offered load (same seeds, same arrival
+  // pattern scaled): a violation means admission accounting broke.
+  for (std::size_t i = 1; i < load_runs.size(); ++i) {
+    if (load_runs[i].res.rejected < load_runs[i - 1].res.rejected) {
+      std::printf("\nERROR: rejection not monotone in offered load\n");
+      return 1;
+    }
+  }
+
+  // Sweep 2: tail vs. loss at 0.8x load on lossy-cluster + Reliable.
+  const std::vector<double> losses = {0, 0.01, 0.02, 0.05, 0.10};
+  std::vector<ServeRun> loss_runs;
+  loss_runs.reserve(losses.size());
+  for (double loss : losses) loss_runs.push_back(run_lossy(0.8, loss));
+
+  std::printf("\ntail latency vs. loss (lossy-cluster, transport::Reliable, "
+              "load 0.8):\n");
+  stats::Table lt({"loss", "thru (r/s)", "p50 (us)", "p99 (us)", "p999 (us)",
+                   "retx", "acks"});
+  for (const ServeRun& r : loss_runs) {
+    const serve::Result& s = r.res;
+    lt.add_row({stats::Table::num(r.loss * 100, 1) + "%",
+                stats::Table::num(s.throughput(), 0),
+                stats::Table::num(to_usec(s.latency.p50()), 1),
+                stats::Table::num(to_usec(s.latency.p99()), 1),
+                stats::Table::num(to_usec(s.latency.p999()), 1),
+                std::to_string(r.rel.retransmits),
+                std::to_string(r.rel.acks_sent)});
+  }
+  lt.print();
+
+  // Reliability guarantee: every issued request is answered at every loss
+  // rate (completed + rejected == issued), or the transport dropped RPCs.
+  for (const ServeRun& r : loss_runs) {
+    if (r.res.completed + r.res.rejected != r.res.issued) {
+      std::printf("\nERROR: lost RPCs at %.0f%% loss\n", r.loss * 100);
+      return 1;
+    }
+  }
+
+  if (json) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    {
+      bench::JsonWriter w(f);
+      w.begin_object();
+      w.header("tham-serving-v1", modern, shape.seed, env_sim_threads());
+      w.field("workload",
+              "6 clients -> balancer -> 3 servers + backend, open loop, "
+              "least-outstanding, batch 4, queue cap 16");
+      w.begin_array("load_sweep");
+      for (const ServeRun& r : load_runs) emit_point(w, r);
+      w.end_array();
+      w.begin_array("loss_sweep");
+      for (const ServeRun& r : loss_runs) emit_point(w, r);
+      w.end_array();
+      w.end_object();
+    }
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tham
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json[=PATH]]\n", argv[0]);
+      return 2;
+    }
+  }
+  return tham::run_bench(json, path);
+}

@@ -2,103 +2,53 @@
 // "client-server type of setting" with dynamic task creation and irregular
 // communication that SPMD models express poorly.
 //
-// Node 0 runs a coordinator that creates worker processor objects on the
-// other nodes *at runtime* (rt.create), hands out work-stealing-style tasks
-// with fire-and-forget RMIs, and collects results through blocking RMIs.
-// Each worker also queries a shared dictionary server on node 1 mid-task —
-// the kind of nested, any-to-any RMI traffic MPMD allows at any time.
+// This is now a thin demo of src/serve, the full serving fabric: open-loop
+// Poisson clients, a batching load balancer, bounded-admission servers,
+// and the nested dictionary-lookup hop that used to live in this file
+// (serve::Config::backend_fraction routes a deterministic share of
+// requests through a blocking backend RMI mid-service). See
+// EXPERIMENTS.md "Serving fabric" and bench/bench_serving.cpp for the
+// load sweeps and tail-under-loss measurements.
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
-#include "ccxx/runtime.hpp"
+#include "serve/serve.hpp"
 
 using namespace tham;
 
-/// A dictionary server: processor object on node 1.
-struct Dictionary {
-  std::vector<long> primes{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37};
-  long lookup(long i) {
-    sim::this_node().advance(usec(2));  // table probe
-    return primes[static_cast<std::size_t>(i) % primes.size()];
-  }
-};
-
-/// A worker created dynamically by the coordinator.
-struct Worker {
-  long worked = 0;
-  long sum = 0;
-
-  /// Simulates a variable-size job that consults the dictionary mid-task.
-  long run_job(long job) {
-    sim::Node& n = sim::this_node();
-    // Irregular compute: job sizes vary 10x.
-    n.advance(usec(50.0 + 45.0 * static_cast<double>(job % 10)));
-    ++worked;
-    sum += job;
-    return job * job;
-  }
-
-  long stats() { return worked; }
-};
-
 int main() {
-  sim::Engine engine(4);
-  net::Network net(engine);
-  am::AmLayer am(net);
-  ccxx::Runtime rt(engine, net, am);
+  serve::Config cfg;
+  cfg.clients = 6;
+  cfg.servers = 3;
+  cfg.requests_per_client = 50;
+  cfg.open_loop = true;
+  cfg.offered_load = 0.8;
+  cfg.mean_service = usec(50);
+  cfg.queue_cap = 12;
+  cfg.batch_max = 4;
+  cfg.policy = serve::Policy::LeastOutstanding;
+  cfg.backend_fraction = 0.5;  // half the requests take the dictionary hop
 
-  auto lookup = rt.def_method("Dictionary::lookup", &Dictionary::lookup);
-  auto run_job = rt.def_method("Worker::run_job", &Worker::run_job);
-  auto stats = rt.def_method("Worker::stats", &Worker::stats);
-  auto make_worker = rt.def_class<Worker>("Worker::Worker");
+  serve::Result r = serve::run(cfg);
 
-  auto dict = rt.place<Dictionary>(1);
-
-  rt.run_main([&] {
-    sim::Node& n = sim::this_node();
-    std::printf("coordinator up on node %d\n", n.id());
-
-    // Dynamically create one worker per remaining node — the MPMD moment:
-    // these processor objects did not exist when the program started.
-    std::vector<ccxx::gptr<Worker>> workers;
-    for (NodeId node = 1; node < rt.nodes(); ++node) {
-      workers.push_back(rt.create(node, make_worker));
-      std::printf("[t=%7.1f us] created worker on node %d\n",
-                  to_usec(n.now()), node);
-    }
-
-    // Scatter 30 jobs round-robin; each dispatch is a par block of
-    // blocking RMIs so the coordinator overlaps the workers' latencies.
-    long total = 0;
-    for (int wave = 0; wave < 10; ++wave) {
-      std::vector<std::function<void()>> calls;
-      for (std::size_t w = 0; w < workers.size(); ++w) {
-        long job = wave * 3 + static_cast<long>(w);
-        calls.push_back([&, w, job] {
-          // The worker consults the dictionary as part of the job —
-          // nested any-to-any RMI.
-          long p = rt.rmi(dict, lookup, job);
-          total += rt.rmi(workers[w], run_job, job + p);
-        });
-      }
-      rt.par(std::move(calls));
-    }
-    std::printf("[t=%7.1f us] all waves done, result checksum %ld\n",
-                to_usec(n.now()), total);
-
-    for (std::size_t w = 0; w < workers.size(); ++w) {
-      std::printf("  worker %zu processed %ld jobs\n", w,
-                  rt.rmi(workers[w], stats));
-    }
-  });
-
-  std::printf("\nTotal virtual time %.2f ms; %llu messages;"
-              " cold/warm RMIs from node 0: %llu/%llu\n",
-              to_usec(engine.vtime()) / 1000.0,
-              static_cast<unsigned long long>(net.total_messages()),
-              static_cast<unsigned long long>(rt.cc_stats(0).rmi_cold),
-              static_cast<unsigned long long>(rt.cc_stats(0).rmi_warm));
+  std::printf("serving fabric: %d clients -> balancer -> %d servers "
+              "(+dictionary backend), %s, open-loop %.0f%% load\n",
+              cfg.clients, cfg.servers, serve::policy_name(cfg.policy),
+              cfg.offered_load * 100);
+  std::printf("  issued %llu  completed %llu  rejected %llu (%.1f%%)\n",
+              static_cast<unsigned long long>(r.issued),
+              static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.rejected),
+              r.rejection_rate() * 100);
+  std::printf("  latency us: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+              static_cast<double>(r.latency.p50()) / 1e3,
+              static_cast<double>(r.latency.p90()) / 1e3,
+              static_cast<double>(r.latency.p99()) / 1e3,
+              static_cast<double>(r.latency.max()) / 1e3);
+  std::printf("  throughput %.0f req/s  backend lookups %llu  "
+              "wire messages %llu\n",
+              r.throughput(),
+              static_cast<unsigned long long>(r.backend_lookups),
+              static_cast<unsigned long long>(r.net_messages));
   return 0;
 }

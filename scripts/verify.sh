@@ -41,6 +41,14 @@ THAM_MACHINE=modern-cluster ./build/tests/test_transport
 # proved on the profile users will actually run faults on.
 THAM_MACHINE=lossy-cluster ./build/tests/test_fault
 THAM_MACHINE=lossy-cluster ./build/tests/test_property --gtest_filter='*FaultFuzz*'
+# Serving fabric on its target profiles: the full suite (histograms,
+# admission control, determinism at 1/2/4/8 threads, lossy legs) on
+# modern-cluster, the serving fuzz leg on lossy-cluster, and the bench
+# itself as a smoke run (it asserts rejection monotonicity and that no
+# RPC is lost at any loss rate).
+THAM_MACHINE=modern-cluster ./build/tests/test_serving
+THAM_MACHINE=lossy-cluster ./build/tests/test_property --gtest_filter='*ServingFuzz*'
+./build/bench/bench_serving --json=build/BENCH_serving.json
 # The golden-trace and fuzz suites again at the CI's widest shard count:
 # 8 workers exercise epoch schedules (smaller shards, more cross-shard
 # traffic) that the 4-thread leg never sees.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "am/am.hpp"
+#include "ccxx/runtime.hpp"
 #include "common/check.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -178,6 +179,43 @@ struct Builder {
       g.handlers.push_back(HandlerDecl{h.name, h.has_short, h.has_bulk});
     }
   }
+
+  /// Same harvest for a CC++ runtime (the cc.* protocol handler table).
+  void harvest_ccxx_handlers() {
+    sim::Engine engine(1, g.cost);
+    net::Network net(engine);
+    am::AmLayer am(net);
+    ccxx::Runtime rt(engine, net, am);
+    for (const auto& h : am.handlers()) {
+      g.handlers.push_back(HandlerDecl{h.name, h.has_short, h.has_bulk});
+    }
+  }
+
+  /// A staged CC++ invocation (every rmi_spawn with arguments, and every
+  /// cold call, lands in cc.invoke_staged's per-node staging area).
+  void cc_staged(NodeId src, NodeId dst, std::size_t bytes,
+                 std::uint64_t count) {
+    add_flow(src, dst, net::Wire::AmBulk, bytes, "cc.invoke_staged", "",
+             Flow::Waits::None, {Charge::AmBulkRecv}, count);
+  }
+
+  /// The one-time stub-cache update a cold call's receiver sends back.
+  void cc_update(NodeId receiver, NodeId caller) {
+    if (!g.cost.cc_stub_caching) return;
+    short_oneway(receiver, caller, "cc.update", 1);
+  }
+
+  /// CC++ central barrier: same fan shape as Split-C's, cc.* handlers.
+  void cc_barrier(std::uint64_t count) {
+    if (count == 0) return;
+    for (NodeId p = 1; p < g.nodes; ++p) {
+      short_oneway(p, 0, "cc.bar_arrive", count);
+    }
+    for (NodeId p = 1; p < g.nodes; ++p) {
+      short_oneway(0, p, "cc.bar_release", count);
+    }
+    record_collective(Collective::Kind::Barrier, count);
+  }
 };
 
 /// Water's half-shell membership (mirrors the app's pair enumeration).
@@ -343,6 +381,63 @@ CommGraph model_lu(const apps::lu::Config& cfg, const CostModel& cm) {
   b.all_store_sync(rounds);  // pivot distribution sync, once per k
   b.barrier(2 * rounds);     // post-solve and post-update barriers
   b.reduce(1);
+  return std::move(b.g);
+}
+
+CommGraph model_serving(const serve::Config& cfg, const CostModel& cm) {
+  Builder b(cfg.policy == serve::Policy::RoundRobin ? "serving-rr"
+                                                    : "serving-lo",
+            cfg.procs(), cm);
+  b.all_pairs_links();
+  b.harvest_ccxx_handlers();
+
+  // Marshalled floors: a Request is 24 trivially-copyable bytes; every
+  // batch is a vector<> (u64 length prefix) holding at least one 24-byte
+  // element. Real batches are never smaller, so these bytes undercount.
+  constexpr std::size_t kRequestBytes = 24;
+  constexpr std::size_t kBatchBytes = 8 + 24;
+
+  auto per = static_cast<std::uint64_t>(cfg.requests_per_client);
+  auto bm = static_cast<std::uint64_t>(cfg.batch_max);
+  std::uint64_t total = cfg.total_requests();
+  NodeId bal = cfg.balancer_node();
+
+  for (int c = 0; c < cfg.clients; ++c) {
+    NodeId cn = cfg.client_node(c);
+    // Every request is its own staged submit (rmi_spawn with arguments).
+    b.cc_staged(cn, bal, kRequestBytes, per);
+    // The client's `per` replies arrive in delivery groups of at most
+    // batch_max (a group never outgrows the server batch it came from).
+    b.cc_staged(bal, cn, kBatchBytes, (per + bm - 1) / bm);
+    // First submit and first delivery on each pair are cold calls.
+    b.cc_update(bal, cn);
+    b.cc_update(cn, bal);
+  }
+
+  // The dispatcher forwards at least ceil(total / batch_max) batches.
+  // Round-robin spreads them evenly, so each server is guaranteed the
+  // floor share; least-outstanding starts at server 0 (all-zero tie) but
+  // guarantees nothing further statically.
+  std::uint64_t batches = (total + bm - 1) / bm;
+  auto servers = static_cast<std::uint64_t>(cfg.servers);
+  for (int s = 0; s < cfg.servers; ++s) {
+    std::uint64_t share =
+        cfg.policy == serve::Policy::RoundRobin ? batches / servers
+                                                : (s == 0 ? 1 : 0);
+    if (share == 0) continue;
+    NodeId sn = cfg.server_node(s);
+    b.cc_staged(bal, sn, kBatchBytes, share);
+    // Each forwarded request comes back in a completion batch of at most
+    // batch_max replies (rejections included).
+    b.cc_staged(sn, bal, kBatchBytes, (share + bm - 1) / bm);
+    b.cc_update(sn, bal);
+    b.cc_update(bal, sn);
+  }
+
+  // Backend lookups are omitted: whether a given server ever takes the
+  // hop depends on which requests land on it, which is dynamic state.
+
+  b.cc_barrier(1);  // the end-of-run release every node sits through
   return std::move(b.g);
 }
 

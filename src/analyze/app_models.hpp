@@ -18,6 +18,7 @@
 #include "apps/em3d.hpp"
 #include "apps/lu.hpp"
 #include "apps/water.hpp"
+#include "serve/serve.hpp"
 
 namespace tham::analyze {
 
@@ -29,5 +30,16 @@ CommGraph model_water(const apps::water::Config& cfg, apps::water::Version v,
 
 CommGraph model_lu(const apps::lu::Config& cfg,
                    const CostModel& cm = default_cost_model());
+
+/// Static model of the serving fabric (CC++ RMI protocol flows). Because
+/// admission, batch boundaries, and balancing outcomes depend on queue
+/// state at virtual-time instants, the model is a certified floor rather
+/// than an exact transcript: it counts only the messages every execution
+/// must send — per-client submits, the minimum delivery/forward/completion
+/// batch counts, the cold-call stub updates, and the closing barrier —
+/// and omits the dynamic remainder (backend hops, extra under-filled
+/// batches). The cost audit's bound <= measured contract still holds.
+CommGraph model_serving(const serve::Config& cfg,
+                        const CostModel& cm = default_cost_model());
 
 }  // namespace tham::analyze

@@ -26,8 +26,10 @@
 #include "analyze/app_models.hpp"
 #include "apps/em3d.hpp"
 #include "apps/lu.hpp"
+#include "apps/serving.hpp"
 #include "apps/topology.hpp"
 #include "apps/water.hpp"
+#include "ccxx/runtime.hpp"
 #include "common/machine.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -78,6 +80,17 @@ std::vector<AppSpec> app_specs() {
       [=](sim::Engine& e, net::Network& n, am::AmLayer& a) {
         apps::lu::run_splitc(e, n, a, lc);
       }});
+  auto serving = [](const char* name, serve::Config sc) {
+    return AppSpec{
+        name, sc.procs(),
+        [=](const CostModel& cm) { return model_serving(sc, cm); },
+        [=](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+          ccxx::Runtime rt(e, n, a);
+          serve::run(rt, sc);
+        }};
+  };
+  specs.push_back(serving("serving-rr", apps::serving::small_open()));
+  specs.push_back(serving("serving-lo", apps::serving::small_closed()));
   return specs;
 }
 
@@ -109,7 +122,7 @@ int usage(int code) {
       "usage: tham_analyze [--app NAME|all] [--machine NAME|all]\n"
       "                    [--dot FILE] [--json FILE] [--validate]\n"
       "apps: em3d-base em3d-ghost em3d-bulk water-atomic water-prefetch "
-      "sc-lu\n"
+      "sc-lu serving-rr serving-lo\n"
       "machines:");
   for (const MachineProfile& p : machine_profiles()) {
     std::fprintf(stderr, " %s", p.name);

@@ -1,0 +1,53 @@
+#pragma once
+// The serving fabric registered as a fourth scenario alongside EM3D/Water/
+// LU: shared preset configurations so the golden records, the checker
+// smoke suite, the property fuzzer, and tham_analyze all exercise the same
+// workloads (ISSUE 8).
+
+#include "apps/results.hpp"
+#include "serve/serve.hpp"
+
+namespace tham::apps::serving {
+
+/// Small open-loop preset: 3 clients Poisson-offering 80% of a 2-server
+/// pool, with batching, bounded queues, and the backend dictionary hop.
+inline serve::Config small_open(
+    serve::Policy p = serve::Policy::RoundRobin) {
+  serve::Config cfg;
+  cfg.clients = 3;
+  cfg.servers = 2;
+  cfg.requests_per_client = 16;
+  cfg.open_loop = true;
+  cfg.offered_load = 0.8;
+  cfg.mean_service = 40'000;
+  cfg.queue_cap = 8;
+  cfg.batch_max = 4;
+  cfg.policy = p;
+  cfg.backend_fraction = 0.25;
+  cfg.seed = 2027;
+  return cfg;
+}
+
+/// Small closed-loop preset: think-time pacing, least-outstanding
+/// balancing, tighter batches.
+inline serve::Config small_closed() {
+  serve::Config cfg;
+  cfg.clients = 3;
+  cfg.servers = 2;
+  cfg.requests_per_client = 12;
+  cfg.open_loop = false;
+  cfg.think_time = 30'000;
+  cfg.mean_service = 40'000;
+  cfg.queue_cap = 8;
+  cfg.batch_max = 2;
+  cfg.policy = serve::Policy::LeastOutstanding;
+  cfg.backend_fraction = 0.25;
+  cfg.seed = 2027;
+  return cfg;
+}
+
+inline RunResult run_ccxx(ccxx::Runtime& rt, const serve::Config& cfg) {
+  return serve::run(rt, cfg).run;
+}
+
+}  // namespace tham::apps::serving

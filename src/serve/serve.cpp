@@ -1,0 +1,516 @@
+#include "serve/serve.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "am/am.hpp"
+#include "apps/topology.hpp"
+#include "check/checked.hpp"
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/node.hpp"
+#include "threads/threads.hpp"
+#include "transport/transport.hpp"
+
+namespace tham::serve {
+
+namespace {
+
+/// One in-flight request. Trivially copyable: marshals by memcpy, and
+/// vector<Request> batches ride a single bulk RMI.
+struct Request {
+  std::uint64_t id = 0;
+  std::int64_t issued = 0;  ///< client's virtual clock at issue
+  std::int32_t client = 0;
+  std::int32_t pad = 0;
+};
+
+struct Reply {
+  std::uint64_t id = 0;
+  std::int64_t issued = 0;
+  std::int32_t client = 0;
+  std::int32_t rejected = 0;
+};
+
+std::uint64_t request_id(int client, int seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(client))
+          << 32) |
+         static_cast<std::uint32_t>(seq);
+}
+
+constexpr std::uint64_t kServiceSalt = 0x5e7ece00c0ffee01ull;
+constexpr std::uint64_t kBackendSalt = 0xd1c7100a2b3c4d5eull;
+
+struct Fabric;
+
+/// The dictionary backend from examples/client_server.cpp, kept as the
+/// nested-RMI dependency hop: a keyed lookup the server blocks on before
+/// replying. Simple mode — the paper's cheapest RMI; the caller poll-spins.
+class Backend {
+ public:
+  Fabric* fab = nullptr;
+  std::uint64_t lookups = 0;
+
+  std::uint64_t lookup(std::uint64_t key);
+};
+
+class Client {
+ public:
+  Fabric* fab = nullptr;
+  int index = 0;
+
+  threads::Mutex mu;
+  threads::CondVar cv;
+  checked<std::uint64_t> done{0};  ///< replies received (ok + rejected)
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  stats::Histogram latency;
+
+  void deliver(std::vector<Reply> replies);
+};
+
+class Server {
+ public:
+  Fabric* fab = nullptr;
+  int index = 0;
+
+  threads::Mutex mu;
+  threads::CondVar cv;
+  checked<bool> stop{false};
+  std::deque<Request> queue;
+  stats::Histogram depth;  ///< queue depth sampled at each admission
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completion_batches = 0;
+  std::uint64_t backend_lookups = 0;
+
+  void enqueue_batch(std::vector<Request> batch);
+  void worker_loop();
+};
+
+class Balancer {
+ public:
+  Fabric* fab = nullptr;
+
+  threads::Mutex mu;
+  threads::CondVar cv;
+  checked<bool> stop{false};
+  checked<std::uint64_t> delivered{0};  ///< replies forwarded to clients
+  std::deque<Request> pending;
+  std::vector<std::uint64_t> outstanding;  ///< per server, incl. queued
+  int rr_next = 0;
+  std::uint64_t submits = 0;
+  std::uint64_t forward_batches = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t completion_batches = 0;
+  std::uint64_t deliveries = 0;
+
+  void submit(Request r);
+  void complete_batch(std::int32_t server, std::vector<Reply> replies);
+  void dispatcher_loop();
+  int pick_server();
+};
+
+/// Everything the processor objects need to reach each other: the runtime,
+/// the method table, and every gptr. Built host-side before run_spmd; the
+/// objects hold a plain pointer to it.
+struct Fabric {
+  ccxx::Runtime* rt = nullptr;
+  Config cfg;
+
+  ccxx::gptr<Balancer> balancer;
+  ccxx::gptr<Backend> backend;
+  std::vector<ccxx::gptr<Server>> servers;
+  std::vector<ccxx::gptr<Client>> clients;
+
+  ccxx::Method<Balancer, void, Request> m_submit;
+  ccxx::Method<Balancer, void, std::int32_t, std::vector<Reply>> m_complete;
+  ccxx::Method<Server, void, std::vector<Request>> m_enqueue;
+  ccxx::Method<Client, void, std::vector<Reply>> m_deliver;
+  ccxx::Method<Backend, std::uint64_t, std::uint64_t> m_lookup;
+};
+
+std::uint64_t Backend::lookup(std::uint64_t key) {
+  sim::Node& n = sim::this_node();
+  n.advance(sim::Component::Cpu, 500);  // hash-table probe
+  ++lookups;
+  return hash_mix(key, 0xd1c7ull);
+}
+
+void Client::deliver(std::vector<Reply> replies) {
+  sim::Node& n = sim::this_node();
+  mu.lock();
+  for (const Reply& r : replies) {
+    if (r.rejected != 0) {
+      ++rejected;
+    } else {
+      ++ok;
+      latency.record(static_cast<std::uint64_t>(n.now() - r.issued));
+    }
+  }
+  done.set(done.get("serve.client.done") + replies.size(),
+           "serve.client.done");
+  cv.broadcast();
+  mu.unlock();
+}
+
+void Server::enqueue_batch(std::vector<Request> batch) {
+  std::vector<Reply> rejects;
+  mu.lock();
+  for (const Request& r : batch) {
+    depth.record(queue.size());
+    if (queue.size() >= static_cast<std::size_t>(fab->cfg.queue_cap)) {
+      ++rejected;
+      rejects.push_back(Reply{r.id, r.issued, r.client, 1});
+    } else {
+      ++accepted;
+      queue.push_back(r);
+      cv.signal();
+    }
+  }
+  mu.unlock();
+  if (!rejects.empty()) {
+    ++completion_batches;
+    fab->rt->rmi_spawn(fab->balancer, fab->m_complete,
+                       static_cast<std::int32_t>(index), rejects);
+  }
+}
+
+void Server::worker_loop() {
+  sim::Node& n = sim::this_node();
+  std::vector<Reply> out;
+  for (;;) {
+    mu.lock();
+    while (queue.empty() && !stop.get("serve.server.stop")) cv.wait(mu);
+    if (queue.empty()) {
+      mu.unlock();
+      break;
+    }
+    Request r = queue.front();
+    queue.pop_front();
+    mu.unlock();
+
+    n.advance(sim::Component::Cpu,
+              service_demand(fab->cfg.seed, r.id, fab->cfg.mean_service));
+    if (takes_backend_hop(fab->cfg.seed, r.id, fab->cfg.backend_fraction)) {
+      ++backend_lookups;
+      (void)fab->rt->rmi(fab->backend, fab->m_lookup, r.id);
+    }
+    out.push_back(Reply{r.id, r.issued, r.client, 0});
+
+    mu.lock();
+    bool flush = queue.empty() ||
+                 out.size() >= static_cast<std::size_t>(fab->cfg.batch_max);
+    mu.unlock();
+    if (flush) {
+      ++completion_batches;
+      fab->rt->rmi_spawn(fab->balancer, fab->m_complete,
+                         static_cast<std::int32_t>(index), out);
+      out.clear();
+    }
+  }
+  THAM_CHECK(out.empty());  // the queue-empty flush drained it
+}
+
+void Balancer::submit(Request r) {
+  mu.lock();
+  ++submits;
+  pending.push_back(r);
+  cv.broadcast();
+  mu.unlock();
+}
+
+int Balancer::pick_server() {
+  int servers = fab->cfg.servers;
+  if (fab->cfg.policy == Policy::RoundRobin) {
+    int s = rr_next;
+    rr_next = (rr_next + 1) % servers;
+    return s;
+  }
+  int best = 0;
+  for (int s = 1; s < servers; ++s) {
+    if (outstanding[static_cast<std::size_t>(s)] <
+        outstanding[static_cast<std::size_t>(best)]) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+void Balancer::dispatcher_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    int target = 0;
+    mu.lock();
+    while (pending.empty() && !stop.get("serve.balancer.stop")) cv.wait(mu);
+    if (pending.empty()) {
+      mu.unlock();
+      break;
+    }
+    while (!pending.empty() &&
+           batch.size() < static_cast<std::size_t>(fab->cfg.batch_max)) {
+      batch.push_back(pending.front());
+      pending.pop_front();
+    }
+    target = pick_server();
+    outstanding[static_cast<std::size_t>(target)] += batch.size();
+    ++forward_batches;
+    forwarded += batch.size();
+    mu.unlock();
+    fab->rt->rmi_spawn(fab->servers[static_cast<std::size_t>(target)],
+                       fab->m_enqueue, batch);
+  }
+}
+
+void Balancer::complete_batch(std::int32_t server,
+                              std::vector<Reply> replies) {
+  mu.lock();
+  ++completion_batches;
+  outstanding[static_cast<std::size_t>(server)] -= replies.size();
+  mu.unlock();
+  // Group per owning client (std::map: deterministic order) and forward.
+  std::map<std::int32_t, std::vector<Reply>> by_client;
+  for (const Reply& r : replies) by_client[r.client].push_back(r);
+  for (auto& [client, group] : by_client) {
+    ++deliveries;
+    fab->rt->rmi_spawn(fab->clients[static_cast<std::size_t>(client)],
+                       fab->m_deliver, group);
+  }
+  mu.lock();
+  delivered.set(delivered.get("serve.balancer.delivered") + replies.size(),
+                "serve.balancer.delivered");
+  cv.broadcast();
+  mu.unlock();
+}
+
+/// Parks the calling task until the node clock reaches `t`. Parked as a
+/// poll_only waiter: when the scheduler hands us due traffic instead of
+/// the deadline, we honor the drain contract (transport::Reliable's timer
+/// idiom) so replies keep flowing while the client sleeps.
+void sleep_until(sim::Node& n, SimTime t) {
+  while (n.now() < t) {
+    if (!n.wait_for_inbox_until(t, /*poll_only=*/true)) break;  // shutdown
+    transport::Endpoint(n).drain_due();
+  }
+}
+
+void client_main(Fabric& fab, int index) {
+  sim::Node& n = sim::this_node();
+  const Config& cfg = fab.cfg;
+  Client& me = *fab.clients[static_cast<std::size_t>(index)].ptr;
+  Rng rng(hash_mix(hash_mix(cfg.seed, 0xc11e47ull),
+                   static_cast<std::uint64_t>(index)));
+  const auto total = static_cast<std::uint64_t>(cfg.requests_per_client);
+
+  if (cfg.open_loop) {
+    double lambda = cfg.lambda_per_client();
+    SimTime next = n.now();
+    for (int k = 0; k < cfg.requests_per_client; ++k) {
+      double gap_ns = -std::log1p(-rng.next_double()) / lambda;
+      next += static_cast<SimTime>(gap_ns);
+      sleep_until(n, next);
+      fab.rt->rmi_spawn(fab.balancer, fab.m_submit,
+                        Request{request_id(index, k), n.now(),
+                                static_cast<std::int32_t>(index), 0});
+    }
+    me.mu.lock();
+    while (me.done.get("serve.client.done") < total) me.cv.wait(me.mu);
+    me.mu.unlock();
+  } else {
+    for (int k = 0; k < cfg.requests_per_client; ++k) {
+      fab.rt->rmi_spawn(fab.balancer, fab.m_submit,
+                        Request{request_id(index, k), n.now(),
+                                static_cast<std::int32_t>(index), 0});
+      me.mu.lock();
+      while (me.done.get("serve.client.done") <
+             static_cast<std::uint64_t>(k) + 1) {
+        me.cv.wait(me.mu);
+      }
+      me.mu.unlock();
+      if (cfg.think_time > 0) n.advance(sim::Component::Cpu, cfg.think_time);
+    }
+  }
+}
+
+void balancer_main(Fabric& fab) {
+  Balancer& me = *fab.balancer.ptr;
+  threads::Thread disp =
+      threads::spawn([&me] { me.dispatcher_loop(); }, "lb-dispatcher");
+  const std::uint64_t total = fab.cfg.total_requests();
+  me.mu.lock();
+  while (me.delivered.get("serve.balancer.delivered") < total) {
+    me.cv.wait(me.mu);
+  }
+  me.stop.set(true, "serve.balancer.stop");
+  me.cv.broadcast();
+  me.mu.unlock();
+  threads::join(disp);
+}
+
+void server_main(Fabric& fab, int index) {
+  Server& me = *fab.servers[static_cast<std::size_t>(index)].ptr;
+  threads::Thread worker =
+      threads::spawn([&me] { me.worker_loop(); }, "server-worker");
+  // The end-of-run barrier releases once every client has all its replies,
+  // at which point the queue is drained and the worker can be retired.
+  fab.rt->barrier();
+  me.mu.lock();
+  me.stop.set(true, "serve.server.stop");
+  me.cv.broadcast();
+  me.mu.unlock();
+  threads::join(worker);
+}
+
+}  // namespace
+
+const char* policy_name(Policy p) {
+  return p == Policy::RoundRobin ? "round-robin" : "least-outstanding";
+}
+
+double Config::lambda_per_client() const {
+  THAM_CHECK(mean_service > 0 && clients > 0);
+  return offered_load * static_cast<double>(servers) /
+         (static_cast<double>(mean_service) * static_cast<double>(clients));
+}
+
+SimTime service_demand(std::uint64_t seed, std::uint64_t id, SimTime mean) {
+  Rng rng(hash_mix(hash_mix(kServiceSalt, seed), id));
+  auto d = static_cast<SimTime>(-std::log1p(-rng.next_double()) *
+                                static_cast<double>(mean));
+  return d < 1 ? 1 : d;
+}
+
+bool takes_backend_hop(std::uint64_t seed, std::uint64_t id,
+                       double fraction) {
+  if (fraction <= 0) return false;
+  Rng rng(hash_mix(hash_mix(kBackendSalt, seed), id));
+  return rng.next_double() < fraction;
+}
+
+double Result::throughput() const {
+  if (run.elapsed <= 0) return 0;
+  return static_cast<double>(completed) / to_sec(run.elapsed);
+}
+
+std::uint64_t Result::fingerprint() const {
+  std::uint64_t h = digest;
+  h = hash_mix(h, static_cast<std::uint64_t>(run.elapsed));
+  h = hash_mix(h, run.messages);
+  h = hash_mix(h, latency.digest());
+  h = hash_mix(h, queue_depth.digest());
+  h = hash_mix(h, issued);
+  h = hash_mix(h, completed);
+  h = hash_mix(h, rejected);
+  h = hash_mix(h, submits);
+  h = hash_mix(h, forward_batches);
+  h = hash_mix(h, forwarded);
+  h = hash_mix(h, completion_batches);
+  h = hash_mix(h, deliveries);
+  h = hash_mix(h, backend_lookups);
+  return h;
+}
+
+Result run(ccxx::Runtime& rt, const Config& cfg) {
+  sim::Engine& engine = rt.engine();
+  THAM_CHECK(cfg.clients >= 1 && cfg.servers >= 1);
+  THAM_CHECK(cfg.requests_per_client >= 1 && cfg.queue_cap >= 1 &&
+             cfg.batch_max >= 1);
+  THAM_CHECK(engine.size() == cfg.procs());
+
+  Fabric fab;
+  fab.rt = &rt;
+  fab.cfg = cfg;
+  fab.m_submit = rt.def_method("Balancer::submit", &Balancer::submit,
+                               ccxx::RmiMode::Threaded);
+  fab.m_complete = rt.def_method("Balancer::complete_batch",
+                                 &Balancer::complete_batch,
+                                 ccxx::RmiMode::Threaded);
+  fab.m_enqueue = rt.def_method("Server::enqueue_batch",
+                                &Server::enqueue_batch,
+                                ccxx::RmiMode::Threaded);
+  fab.m_deliver = rt.def_method("Client::deliver", &Client::deliver,
+                                ccxx::RmiMode::Threaded);
+  fab.m_lookup = rt.def_method("Backend::lookup", &Backend::lookup,
+                               ccxx::RmiMode::Simple);
+
+  fab.balancer = rt.place<Balancer>(cfg.balancer_node());
+  fab.balancer.ptr->fab = &fab;
+  fab.balancer.ptr->outstanding.assign(
+      static_cast<std::size_t>(cfg.servers), 0);
+  fab.backend = rt.place<Backend>(cfg.backend_node());
+  fab.backend.ptr->fab = &fab;
+  for (int s = 0; s < cfg.servers; ++s) {
+    auto gp = rt.place<Server>(cfg.server_node(s));
+    gp.ptr->fab = &fab;
+    gp.ptr->index = s;
+    fab.servers.push_back(gp);
+  }
+  for (int c = 0; c < cfg.clients; ++c) {
+    auto gp = rt.place<Client>(cfg.client_node(c));
+    gp.ptr->fab = &fab;
+    gp.ptr->index = c;
+    fab.clients.push_back(gp);
+  }
+
+  rt.run_spmd([&fab] {
+    sim::Node& n = sim::this_node();
+    const Config& c = fab.cfg;
+    NodeId me = n.id();
+    if (me == c.balancer_node()) {
+      balancer_main(fab);
+    } else if (me >= c.server_node(0) && me < c.server_node(c.servers)) {
+      server_main(fab, static_cast<int>(me - c.server_node(0)));
+      return;  // server_main already sat through the barrier
+    } else if (me >= c.client_node(0)) {
+      client_main(fab, static_cast<int>(me - c.client_node(0)));
+    }
+    fab.rt->barrier();
+  });
+
+  Result res;
+  res.run = apps::collect(engine);
+  for (const auto& gp : fab.clients) {
+    res.latency.merge(gp.ptr->latency);
+    res.completed += gp.ptr->ok;
+    res.rejected += gp.ptr->rejected;
+    res.issued += gp.ptr->done.raw();
+  }
+  for (const auto& gp : fab.servers) {
+    res.queue_depth.merge(gp.ptr->depth);
+    res.completion_batches += gp.ptr->completion_batches;
+    res.backend_lookups += gp.ptr->backend_lookups;
+  }
+  const Balancer& lb = *fab.balancer.ptr;
+  res.submits = lb.submits;
+  res.forward_batches = lb.forward_batches;
+  res.forwarded = lb.forwarded;
+  res.deliveries = lb.deliveries;
+  res.net_messages = res.run.messages;
+  std::uint64_t h = 0x5e21ceull;
+  for (NodeId i = 0; i < engine.size(); ++i) {
+    const sim::Node& n = engine.node(i);
+    h = hash_mix(h, static_cast<std::uint64_t>(n.now()));
+    h = hash_mix(h, n.counters().dispatch_digest);
+  }
+  res.digest = h;
+  res.run.checksum = static_cast<double>(res.fingerprint() >> 11);
+  return res;
+}
+
+Result run(const Config& cfg, const CostModel& cm) {
+  sim::Engine engine(cfg.procs(), cm);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  apps::declare_full_topology(am);
+  ccxx::Runtime rt(engine, net, am);
+  return run(rt, cfg);
+}
+
+}  // namespace tham::serve

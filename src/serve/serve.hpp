@@ -1,0 +1,120 @@
+#pragma once
+// The serving fabric: a client-server RPC workload generator on the CC++
+// RMI layer (ROADMAP item 2, ISSUE 8). Turns the paper's microbenchmark
+// runtime into a traffic-serving system with the heavy fan-in its
+// introduction motivates but never measures.
+//
+// Topology (procs() = 2 + servers + clients simulated nodes):
+//
+//   node 0              the load balancer: clients submit requests here;
+//                       a dispatcher thread batches up to batch_max pending
+//                       requests per forward and picks a server by policy
+//                       (round-robin or least-outstanding).
+//   node 1              the backend dictionary (the nested-RMI pattern from
+//                       examples/client_server.cpp): a deterministic subset
+//                       of requests takes a blocking lookup hop from the
+//                       server before replying.
+//   nodes 2..2+S-1      servers: bounded admission queue (queue_cap) with
+//                       explicit rejection replies when full, one worker
+//                       thread servicing requests at a seeded-exponential
+//                       demand, completion replies batched back.
+//   the rest            clients: open-loop (Poisson arrivals in virtual
+//                       time) or closed-loop (think time) request streams.
+//
+// Every source of randomness is a seeded tham::Rng keyed on (seed,
+// request id) or (seed, client), so runs are bit-identical across 1/2/4/8
+// host threads and under deterministic fault injection — enforced by
+// tests/test_serving.cpp and the ServingFuzz property leg.
+
+#include <cstdint>
+
+#include "apps/results.hpp"
+#include "ccxx/runtime.hpp"
+#include "common/machine.hpp"
+#include "common/types.hpp"
+#include "stats/histogram.hpp"
+
+namespace tham::serve {
+
+enum class Policy { RoundRobin, LeastOutstanding };
+
+const char* policy_name(Policy p);
+
+struct Config {
+  int clients = 4;
+  int servers = 2;
+  int requests_per_client = 32;
+  bool open_loop = true;          ///< Poisson arrivals; else closed loop
+  double offered_load = 0.7;      ///< open loop: fraction of pool capacity
+  SimTime mean_service = 50'000;  ///< mean per-request service demand (ns)
+  SimTime think_time = 20'000;    ///< closed loop: gap between requests (ns)
+  int queue_cap = 16;             ///< per-server admission bound
+  int batch_max = 4;              ///< balancer / completion batch limit
+  Policy policy = Policy::RoundRobin;
+  double backend_fraction = 0.25; ///< share of requests taking the dict hop
+  std::uint64_t seed = 2027;
+
+  int procs() const { return 2 + servers + clients; }
+  NodeId balancer_node() const { return 0; }
+  NodeId backend_node() const { return 1; }
+  NodeId server_node(int s) const { return 2 + s; }
+  NodeId client_node(int c) const { return 2 + servers + c; }
+  std::uint64_t total_requests() const {
+    return static_cast<std::uint64_t>(clients) *
+           static_cast<std::uint64_t>(requests_per_client);
+  }
+  /// Open-loop per-client arrival rate (requests per virtual ns): the pool
+  /// services servers/mean_service requests/ns at saturation; offered_load
+  /// scales that, split evenly across clients.
+  double lambda_per_client() const;
+};
+
+struct Result {
+  apps::RunResult run;
+  stats::Histogram latency;      ///< accepted-request latency, virtual ns
+  stats::Histogram queue_depth;  ///< server queue depth at admission
+
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;  ///< accepted and serviced
+  std::uint64_t rejected = 0;   ///< bounced by admission control
+
+  // Per-layer message counts (serve-layer semantics; one RMI each).
+  std::uint64_t submits = 0;            ///< client -> balancer requests
+  std::uint64_t forward_batches = 0;    ///< balancer -> server batches
+  std::uint64_t forwarded = 0;          ///< requests inside those batches
+  std::uint64_t completion_batches = 0; ///< server -> balancer reply batches
+  std::uint64_t deliveries = 0;         ///< balancer -> client reply batches
+  std::uint64_t backend_lookups = 0;    ///< server -> backend nested RMIs
+  std::uint64_t net_messages = 0;       ///< wire messages, all layers
+
+  std::uint64_t digest = 0;  ///< fold of per-node (now, dispatch_digest)
+
+  double rejection_rate() const {
+    return issued == 0 ? 0
+                       : static_cast<double>(rejected) /
+                             static_cast<double>(issued);
+  }
+  /// Completed requests per virtual second.
+  double throughput() const;
+  /// One value covering everything the determinism guarantee promises:
+  /// clocks, dispatch order, histograms, and every serve-layer counter.
+  std::uint64_t fingerprint() const;
+};
+
+/// Runs the scenario on a caller-built runtime (engine size must equal
+/// cfg.procs()); the caller controls machine profile, host threads, fault
+/// injection, and reliable transport.
+Result run(ccxx::Runtime& rt, const Config& cfg);
+
+/// Convenience: fresh engine + AM + full topology on `cm`.
+Result run(const Config& cfg, const CostModel& cm = default_cost_model());
+
+/// Deterministic per-request service demand (seeded exponential, >= 1 ns)
+/// and backend-hop decision — exposed so the static flow model and tests
+/// can replay them without running the fabric.
+SimTime service_demand(std::uint64_t seed, std::uint64_t request_id,
+                       SimTime mean);
+bool takes_backend_hop(std::uint64_t seed, std::uint64_t request_id,
+                       double fraction);
+
+}  // namespace tham::serve

@@ -1,0 +1,110 @@
+#include "stats/histogram.hpp"
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace tham::stats {
+
+namespace {
+
+/// Index of the highest set bit (value != 0).
+int high_bit(std::uint64_t v) {
+  int h = 0;
+  while (v >>= 1) ++h;
+  return h;
+}
+
+}  // namespace
+
+int Histogram::num_buckets() {
+  // Octaves kSubBits..63 contribute kSub buckets each on top of the 2*kSub
+  // exact width-1 buckets covering [0, 2^(kSubBits+1)).
+  return static_cast<int>((64 - kSubBits - 1) * kSub + 2 * kSub);
+}
+
+int Histogram::bucket_index(std::uint64_t v) {
+  if (v < 2 * kSub) return static_cast<int>(v);
+  int h = high_bit(v);  // >= kSubBits + 1
+  int shift = h - kSubBits;
+  return static_cast<int>(static_cast<std::uint64_t>(shift) * kSub +
+                          (v >> shift));
+}
+
+std::uint64_t Histogram::bucket_lo(int idx) {
+  auto i = static_cast<std::uint64_t>(idx);
+  if (i < 2 * kSub) return i;
+  std::uint64_t shift = (i >> kSubBits) - 1;
+  std::uint64_t top = (i & (kSub - 1)) + kSub;
+  return top << shift;
+}
+
+std::uint64_t Histogram::bucket_hi(int idx) {
+  auto i = static_cast<std::uint64_t>(idx);
+  if (i < 2 * kSub) return i;
+  std::uint64_t shift = (i >> kSubBits) - 1;
+  return bucket_lo(idx) + ((1ull << shift) - 1);
+}
+
+void Histogram::record(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  if (counts_.empty()) counts_.assign(static_cast<std::size_t>(num_buckets()), 0);
+  counts_[static_cast<std::size_t>(bucket_index(value))] += n;
+  count_ += n;
+  sum_ += value * n;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(static_cast<std::size_t>(num_buckets()), 0);
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) return 0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.9999999999);  // ceil(q * count)
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) return bucket_hi(static_cast<int>(i));
+  }
+  return max_;
+}
+
+std::uint64_t Histogram::bucket_count(int idx) const {
+  auto i = static_cast<std::size_t>(idx);
+  return i < counts_.size() ? counts_[i] : 0;
+}
+
+std::uint64_t Histogram::digest() const {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  h = hash_mix(h, count_);
+  h = hash_mix(h, sum_);
+  h = hash_mix(h, min());
+  h = hash_mix(h, max_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    h = hash_mix(h, i);
+    h = hash_mix(h, counts_[i]);
+  }
+  return h;
+}
+
+}  // namespace tham::stats

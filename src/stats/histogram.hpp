@@ -1,0 +1,70 @@
+#pragma once
+// stats::Histogram: a log-bucketed value histogram for virtual-time latency
+// and queue-depth distributions (ISSUE 8, ROADMAP item 2).
+//
+// Bucketing is HdrHistogram-style base-2 with kSubBits linear sub-buckets
+// per octave: values below 2^(kSubBits+1) land in exact width-1 buckets,
+// everything above is recorded with relative error bounded by
+// 2^-kSubBits (~3% at kSubBits=5). The full uint64 range is covered — the
+// top bucket ends at 2^64-1, so "overflow" values are representable, and
+// value 0 has its own exact bucket.
+//
+// Merging is element-wise integer addition: exactly associative and
+// commutative, so per-client histograms folded in any grouping produce
+// bit-identical payloads — the property the serving determinism tests
+// (1/2/4/8 host threads) and the golden records rely on. digest() folds
+// the payload into one u64 for fingerprints and golden checksums.
+
+#include <cstdint>
+#include <vector>
+
+namespace tham::stats {
+
+class Histogram {
+ public:
+  /// Linear sub-buckets per octave (32): max relative quantile error 1/32.
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kSub = 1ull << kSubBits;
+
+  void record(std::uint64_t value) { record(value, 1); }
+  void record(std::uint64_t value, std::uint64_t n);
+
+  /// Element-wise sum; exactly associative and commutative.
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t total() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+
+  /// Value at quantile q in [0,1]: the highest value representable by the
+  /// bucket holding the rank-ceil(q*count) sample (exact where buckets are
+  /// exact; at most 1/kSub relative overshoot above). 0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  std::uint64_t p50() const { return quantile(0.50); }
+  std::uint64_t p90() const { return quantile(0.90); }
+  std::uint64_t p99() const { return quantile(0.99); }
+  std::uint64_t p999() const { return quantile(0.999); }
+
+  /// Order-independent fold of the full payload (bucket vector + count +
+  /// sum + min + max) — the golden-record / fingerprint checksum.
+  std::uint64_t digest() const;
+
+  // --- bucket introspection (unit tests, serialization) -------------------
+  static int num_buckets();
+  static int bucket_index(std::uint64_t value);
+  static std::uint64_t bucket_lo(int idx);
+  static std::uint64_t bucket_hi(int idx);
+  std::uint64_t bucket_count(int idx) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;  ///< allocated on first record
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace tham::stats

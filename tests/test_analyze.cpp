@@ -25,8 +25,10 @@
 #include "analyze/app_models.hpp"
 #include "apps/em3d.hpp"
 #include "apps/lu.hpp"
+#include "apps/serving.hpp"
 #include "apps/topology.hpp"
 #include "apps/water.hpp"
+#include "ccxx/runtime.hpp"
 #include "common/check.hpp"
 #include "common/machine.hpp"
 #include "net/network.hpp"
@@ -361,6 +363,53 @@ TEST_P(Apps, BoundHoldsOnEveryMachineProfile) {
     }
   }
 }
+
+// --- Serving fabric: certified floor, not exact transcript ------------------
+// Admission and batch boundaries depend on dynamic queue state, so
+// model_serving counts only the messages every execution must send. The
+// contract is therefore one-sided: modeled messages <= measured messages,
+// and (as for the exact models) per-node bound <= measured virtual time.
+
+class ServingModel
+    : public ::testing::TestWithParam<std::pair<const char*, serve::Config>> {
+};
+
+TEST_P(ServingModel, FloorHoldsOnEveryMachineProfile) {
+  const serve::Config& cfg = GetParam().second;
+  for (const MachineProfile& mp : machine_profiles()) {
+    CostModel cm = mp.make();
+    Report report = tham::analyze::analyze(model_serving(cfg, cm));
+    EXPECT_TRUE(report.clean())
+        << report.graph.program << " on " << mp.name << ": "
+        << error_codes(report);
+
+    sim::Engine engine(cfg.procs(), cm);
+    net::Network net(engine);
+    am::AmLayer am(net);
+    apps::declare_full_topology(am);
+    ccxx::Runtime rt(engine, net, am);
+    serve::Result res = serve::run(rt, cfg);
+
+    EXPECT_LE(report.graph.total_messages(), res.run.messages)
+        << report.graph.program << " on " << mp.name;
+    ASSERT_EQ(report.node_lower_bound.size(),
+              static_cast<std::size_t>(engine.size()));
+    for (NodeId p = 0; p < engine.size(); ++p) {
+      SimTime bound = report.node_lower_bound[static_cast<std::size_t>(p)];
+      SimTime measured = engine.node(p).now();
+      EXPECT_LE(bound, measured)
+          << report.graph.program << " on " << mp.name << ", node " << p;
+      EXPECT_GT(bound, 0) << report.graph.program << " on " << mp.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Analyze, ServingModel,
+    ::testing::Values(
+        std::make_pair("serving_rr", apps::serving::small_open()),
+        std::make_pair("serving_lo", apps::serving::small_closed())),
+    [](const auto& pinfo) { return std::string(pinfo.param.first); });
 
 // --- Golden analysis reports (satellite 3) -----------------------------------
 

@@ -13,6 +13,7 @@
 
 #include "apps/em3d.hpp"
 #include "apps/lu.hpp"
+#include "apps/serving.hpp"
 #include "apps/water.hpp"
 #include "check/checker.hpp"
 
@@ -102,6 +103,21 @@ TEST(CheckerSmoke, LuSplitc) {
 
 TEST(CheckerSmoke, LuCcxx) {
   auto [chk, plain] = ab_run([] { return lu::run_ccxx(small_lu()); });
+  expect_bit_identical(chk, plain);
+}
+
+// The serving fabric leans on checked<> state far more than the paper apps
+// (admission counters, dispatcher stop flags, completion tallies), so it is
+// the sharpest probe that attaching the checker does not perturb scheduling.
+TEST(CheckerSmoke, ServingOpenRoundRobin) {
+  auto [chk, plain] = ab_run(
+      [] { return serve::run(serving::small_open()).run; });
+  expect_bit_identical(chk, plain);
+}
+
+TEST(CheckerSmoke, ServingClosedLeastOutstanding) {
+  auto [chk, plain] = ab_run(
+      [] { return serve::run(serving::small_closed()).run; });
   expect_bit_identical(chk, plain);
 }
 

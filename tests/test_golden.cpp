@@ -28,6 +28,8 @@
 #include "am/am.hpp"
 #include "apps/em3d.hpp"
 #include "apps/lu.hpp"
+#include "apps/serving.hpp"
+#include "apps/topology.hpp"
 #include "apps/water.hpp"
 #include "ccxx/runtime.hpp"
 #include "common/hash.hpp"
@@ -191,6 +193,38 @@ GoldenRecord run_lu_lossy(int threads) {
       });
 }
 
+// Serving-fabric records: the RunResult checksum is the fabric fingerprint
+// (issue/completion/rejection counts folded with both histogram digests),
+// so a drifting latency or queue-depth distribution fails the comparison
+// even when the message counts still line up.
+GoldenRecord run_serving_cfg(int threads, const serve::Config& cfg) {
+  return with_machine(threads, cfg.procs(),
+                      [&](sim::Engine& e, net::Network& n, am::AmLayer& a) {
+                        apps::declare_full_topology(a);
+                        ccxx::Runtime rt(e, n, a);
+                        return apps::serving::run_ccxx(rt, cfg);
+                      });
+}
+
+GoldenRecord run_serving_open(int threads) {
+  return run_serving_cfg(threads, apps::serving::small_open());
+}
+
+GoldenRecord run_serving_closed(int threads) {
+  return run_serving_cfg(threads, apps::serving::small_closed());
+}
+
+GoldenRecord run_serving_lossy(int threads) {
+  serve::Config cfg = apps::serving::small_open();
+  return with_lossy_machine(threads, cfg.procs(),
+                            [&](sim::Engine& e, net::Network& n,
+                                am::AmLayer& a) {
+                              apps::declare_full_topology(a);
+                              ccxx::Runtime rt(e, n, a);
+                              return apps::serving::run_ccxx(rt, cfg);
+                            });
+}
+
 template <bool Ccxx>
 GoldenRecord run_lu(int threads) {
   lu::Config cfg = lu_cfg();
@@ -225,6 +259,9 @@ const std::vector<Workload>& workloads() {
       {"fault", "em3d-ghost-splitc-lossy", run_em3d_lossy},
       {"fault", "water-atomic-splitc-lossy", run_water_lossy},
       {"fault", "lu-splitc-lossy", run_lu_lossy},
+      {"serving", "serving-open-rr", run_serving_open},
+      {"serving", "serving-closed-lo", run_serving_closed},
+      {"serving", "serving-open-rr-lossy", run_serving_lossy},
   };
   return w;
 }

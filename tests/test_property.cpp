@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
@@ -22,12 +23,14 @@
 
 #include "apps/em3d.hpp"
 #include "apps/lu.hpp"
+#include "apps/topology.hpp"
 #include "apps/water.hpp"
 #include "ccxx/runtime.hpp"
 #include "check/checked.hpp"
 #include "check/checker.hpp"
 #include "common/rng.hpp"
 #include "fault/fault.hpp"
+#include "serve/serve.hpp"
 #include "splitc/world.hpp"
 #include "threads/threads.hpp"
 #include "transport/reliable.hpp"
@@ -559,6 +562,100 @@ TEST_P(FaultFuzz, LossyRunsBitIdenticalToSequential) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// Serving fuzz: the serving fabric is bit-identical seq-vs-parallel
+// ---------------------------------------------------------------------------
+// Each seed draws a full serving-fabric configuration — client/server/
+// balancer shape, open- or closed-loop arrivals, batching, admission
+// bounds, policy, backend-hop fraction — and half the seeds run it at
+// 2..6% loss over transport::Reliable. The scenario exercises the stack
+// differently from ScheduleFuzz: RMI fan-in to one node, condvar-paced
+// dispatcher/worker threads, virtual-time timers (open-loop sleeps), and
+// cross-node latency measurement, all of which must stay bit-identical
+// between the sequential and the sharded engine.
+
+FuzzResult run_serving_fuzz(std::uint64_t seed, int threads) {
+  Rng cfg(seed * 0x9E3779B97F4A7C15ull + 2027);
+  serve::Config sc;
+  sc.clients = 1 + static_cast<int>(cfg.next_below(4));
+  sc.servers = 1 + static_cast<int>(cfg.next_below(3));
+  sc.requests_per_client = 4 + static_cast<int>(cfg.next_below(17));
+  sc.open_loop = cfg.next_below(2) == 0;
+  sc.offered_load = 0.3 + cfg.next_double() * 3.0;
+  sc.mean_service = usec(20) + static_cast<SimTime>(cfg.next_below(60'000));
+  sc.think_time = static_cast<SimTime>(cfg.next_below(40'000));
+  sc.queue_cap = 2 + static_cast<int>(cfg.next_below(9));
+  sc.batch_max = 1 + static_cast<int>(cfg.next_below(5));
+  sc.policy = cfg.next_below(2) == 0 ? serve::Policy::RoundRobin
+                                     : serve::Policy::LeastOutstanding;
+  sc.backend_fraction = 0.5 * static_cast<double>(cfg.next_below(3));
+  sc.seed = cfg.next_u64();
+  bool lossy = cfg.next_below(2) == 0;
+
+  FuzzResult r;
+  r.procs = sc.procs();
+  Engine engine(sc.procs());
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  std::optional<transport::Reliable> rel;
+  fault::Plan plan;
+  plan.seed = cfg.next_u64();
+  plan.loss = 0.02 + 0.01 * static_cast<double>(cfg.next_below(5));
+  plan.dup = 0.01;
+  fault::Injector inj(plan, engine.size());
+  if (lossy) {
+    rel.emplace(am.channel());
+    net.set_injector(&inj);
+  }
+  apps::declare_full_topology(am);
+  ccxx::Runtime rt(engine, net, am);
+  serve::Result res = serve::run(rt, sc);
+  r.shards = engine.shards_used();
+
+  EXPECT_EQ(res.completed + res.rejected, res.issued) << "seed " << seed;
+  EXPECT_EQ(res.issued, sc.total_requests()) << "seed " << seed;
+
+  std::ostringstream os;
+  os << "serving fp=" << std::hex << res.fingerprint()
+     << " lat=" << res.latency.digest() << " depth="
+     << res.queue_depth.digest() << std::dec << " issued=" << res.issued
+     << " ok=" << res.completed << " rej=" << res.rejected << '\n';
+  for (NodeId i = 0; i < engine.size(); ++i) {
+    const sim::Node& n = engine.node(i);
+    const auto& c = n.counters();
+    os << "node " << i << ": now=" << n.now() << " sent=" << c.msgs_sent
+       << " recv=" << c.msgs_recv << " digest=" << std::hex
+       << c.dispatch_digest << std::dec << '\n';
+  }
+  os << "vtime=" << engine.vtime() << " net_msgs=" << net.total_messages()
+     << '\n';
+  r.fingerprint = os.str();
+  return r;
+}
+
+class ServingFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServingFuzz, ServingRunsBitIdenticalToSequential) {
+  // Two seeds per parameter, thread counts cycling over 2..8.
+  for (int k = 0; k < 2; ++k) {
+    std::uint64_t seed = static_cast<std::uint64_t>(GetParam()) * 2 +
+                         static_cast<std::uint64_t>(k);
+    int threads = 2 + static_cast<int>(seed % 7);
+    FuzzResult seq = run_serving_fuzz(seed, 1);
+    FuzzResult par = run_serving_fuzz(seed, threads);
+    ASSERT_EQ(seq.shards, 1) << "seed " << seed;
+    if (!check::kHooksCompiledIn) {
+      EXPECT_EQ(par.shards, std::min(threads, par.procs)) << "seed " << seed;
+    }
+    EXPECT_EQ(seq.fingerprint, par.fingerprint)
+        << "seed " << seed << " diverged under " << threads << " threads ("
+        << par.shards << " shards used)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServingFuzz, ::testing::Range(0, 8));
 
 // ---------------------------------------------------------------------------
 // Shard policy: block and round-robin assignment are interchangeable

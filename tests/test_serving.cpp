@@ -1,0 +1,308 @@
+// Serving-fabric suite (ISSUE 8): stats::Histogram units (bucket
+// boundaries, merge associativity, exact quantiles, zero/overflow),
+// admission control (the bounded queue rejects exactly when full and
+// rejection replies are priced and delivered), and the determinism
+// guarantee: bit-identical runs across 1/2/4/8 host threads, fault-free
+// and at 5% loss over transport::Reliable. The ServingSmoke suite doubles
+// as the `serving_smoke` ctest gate (monotone rejection rate vs offered
+// load, p99 >= p50).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "am/am.hpp"
+#include "apps/serving.hpp"
+#include "apps/topology.hpp"
+#include "ccxx/runtime.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "net/network.hpp"
+#include "serve/serve.hpp"
+#include "sim/engine.hpp"
+#include "stats/histogram.hpp"
+#include "transport/reliable.hpp"
+
+namespace tham {
+namespace {
+
+using stats::Histogram;
+
+// ---------------------------------------------------------------------------
+// stats::Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, ExactBucketsBelowTwoOctaves) {
+  for (std::uint64_t v = 0; v < 2 * Histogram::kSub; ++v) {
+    int idx = Histogram::bucket_index(v);
+    EXPECT_EQ(idx, static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_lo(idx), v);
+    EXPECT_EQ(Histogram::bucket_hi(idx), v);
+  }
+}
+
+TEST(Histogram, BucketBoundariesTileTheFullRange) {
+  int n = Histogram::num_buckets();
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_hi(n - 1), ~0ull);
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t lo = Histogram::bucket_lo(i);
+    std::uint64_t hi = Histogram::bucket_hi(i);
+    EXPECT_LE(lo, hi);
+    EXPECT_EQ(Histogram::bucket_index(lo), i);
+    EXPECT_EQ(Histogram::bucket_index(hi), i);
+    if (i > 0) EXPECT_EQ(lo, Histogram::bucket_hi(i - 1) + 1);
+  }
+}
+
+TEST(Histogram, ExactQuantilesOnKnownDistribution) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 50; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 50u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 50u);
+  EXPECT_DOUBLE_EQ(h.mean(), 25.5);
+  // Values 1..50 land in exact width-1 buckets, so quantiles are exact:
+  // quantile(q) = ceil(q * 50)-th smallest value.
+  EXPECT_EQ(h.quantile(0.02), 1u);
+  EXPECT_EQ(h.p50(), 25u);
+  EXPECT_EQ(h.p90(), 45u);
+  EXPECT_EQ(h.p99(), 50u);
+  EXPECT_EQ(h.quantile(1.0), 50u);
+}
+
+TEST(Histogram, ZeroAndOverflowBuckets) {
+  Histogram h;
+  h.record(0, 3);
+  h.record(~0ull);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_EQ(h.quantile(0.5), 0u);   // rank 2 of {0,0,0,max}
+  EXPECT_EQ(h.quantile(1.0), ~0ull);
+  EXPECT_EQ(h.bucket_count(0), 3u);
+  EXPECT_EQ(h.bucket_count(Histogram::num_buckets() - 1), 1u);
+}
+
+TEST(Histogram, QuantileRelativeErrorIsBounded) {
+  for (std::uint64_t v : {100ull, 12'345ull, 1'000'000ull, 987'654'321ull,
+                          (1ull << 40) + 17, (1ull << 62) + 999}) {
+    Histogram h;
+    h.record(v);
+    std::uint64_t q = h.quantile(1.0);
+    EXPECT_GE(q, v);
+    EXPECT_LE(q - v, v / Histogram::kSub + 1);
+  }
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  Rng rng(42);
+  Histogram parts[3];
+  for (int p = 0; p < 3; ++p) {
+    for (int i = 0; i < 200; ++i) parts[p].record(rng.next_below(1u << 20));
+  }
+  Histogram ab_c;  // (a + b) + c
+  ab_c.merge(parts[0]);
+  ab_c.merge(parts[1]);
+  ab_c.merge(parts[2]);
+  Histogram bc_a;  // a + (b + c), built right-to-left
+  Histogram bc;
+  bc.merge(parts[1]);
+  bc.merge(parts[2]);
+  bc_a.merge(bc);
+  bc_a.merge(parts[0]);
+  Histogram cba;  // reversed order
+  cba.merge(parts[2]);
+  cba.merge(parts[1]);
+  cba.merge(parts[0]);
+  EXPECT_EQ(ab_c.digest(), bc_a.digest());
+  EXPECT_EQ(ab_c.digest(), cba.digest());
+  EXPECT_EQ(ab_c.count(), 600u);
+  EXPECT_EQ(ab_c.total(), bc_a.total());
+}
+
+TEST(Histogram, MergeEqualsRecordingEverythingInOnePlace) {
+  Rng rng(7);
+  Histogram whole;
+  Histogram parts[4];
+  for (int i = 0; i < 400; ++i) {
+    std::uint64_t v = rng.next_below(1ull << 33);
+    whole.record(v);
+    parts[i % 4].record(v);
+  }
+  Histogram merged;
+  for (const Histogram& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.digest(), whole.digest());
+}
+
+// ---------------------------------------------------------------------------
+// The fabric: invariants, admission control, policies
+// ---------------------------------------------------------------------------
+
+/// Every request is answered exactly once; counters agree across layers.
+void expect_conservation(const serve::Config& cfg, const serve::Result& r) {
+  EXPECT_EQ(r.issued, cfg.total_requests());
+  EXPECT_EQ(r.submits, r.issued);
+  EXPECT_EQ(r.forwarded, r.issued);
+  EXPECT_EQ(r.completed + r.rejected, r.issued);
+  EXPECT_EQ(r.latency.count(), r.completed);
+  EXPECT_GE(r.net_messages,
+            r.submits + r.forward_batches + r.completion_batches +
+                r.deliveries);
+}
+
+TEST(Serving, ClosedLoopCompletesEverythingWithRoomyQueues) {
+  serve::Config cfg = apps::serving::small_closed();
+  cfg.queue_cap = 64;  // closed loop can't overrun this
+  serve::Result r = serve::run(cfg);
+  expect_conservation(cfg, r);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.completed, r.issued);
+  EXPECT_GT(r.latency.p50(), 0u);
+}
+
+TEST(Serving, AdmissionRejectsExactlyWhenFull) {
+  serve::Config cfg;
+  cfg.clients = 2;
+  cfg.servers = 1;
+  cfg.requests_per_client = 40;
+  cfg.open_loop = true;
+  cfg.offered_load = 12.0;  // far past saturation
+  cfg.mean_service = 80'000;
+  cfg.queue_cap = 3;
+  cfg.batch_max = 4;
+  cfg.backend_fraction = 0;
+  serve::Result r = serve::run(cfg);
+  expect_conservation(cfg, r);
+  ASSERT_GT(r.rejected, 0u);
+  // The admission bound holds: sampled depth never exceeds the cap...
+  EXPECT_EQ(r.queue_depth.count(), r.issued);
+  EXPECT_EQ(r.queue_depth.max(), static_cast<std::uint64_t>(cfg.queue_cap));
+  // ...and "rejects exactly when full": every rejection sampled the queue
+  // at exactly queue_cap, every acceptance strictly below it, so the
+  // depth histogram's top bucket count IS the rejection count.
+  int full = stats::Histogram::bucket_index(
+      static_cast<std::uint64_t>(cfg.queue_cap));
+  EXPECT_EQ(r.queue_depth.bucket_count(full), r.rejected);
+  // Rejection replies were delivered (client-side tally equals the
+  // server-side events above) and priced like any other message.
+  EXPECT_GT(r.completion_batches, 0u);
+  EXPECT_GT(r.run.elapsed, 0);
+}
+
+TEST(Serving, BackendHopFractionIsHonored) {
+  serve::Config cfg = apps::serving::small_open();
+  cfg.backend_fraction = 1.0;
+  serve::Result all = serve::run(cfg);
+  EXPECT_EQ(all.backend_lookups, all.completed);
+  cfg.backend_fraction = 0.0;
+  serve::Result none = serve::run(cfg);
+  EXPECT_EQ(none.backend_lookups, 0u);
+}
+
+TEST(Serving, LeastOutstandingPolicyServes) {
+  serve::Config cfg = apps::serving::small_open(
+      serve::Policy::LeastOutstanding);
+  serve::Result r = serve::run(cfg);
+  expect_conservation(cfg, r);
+  EXPECT_GT(r.completed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: 1/2/4/8 host threads, fault-free and at 5% loss
+// ---------------------------------------------------------------------------
+
+struct ServingTrace {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t latency_digest = 0;
+  std::uint64_t depth_digest = 0;
+  std::uint64_t digest = 0;
+  SimTime elapsed = 0;
+  std::uint64_t messages = 0;
+
+  bool operator==(const ServingTrace&) const = default;
+};
+
+ServingTrace run_serving(const serve::Config& cfg, int threads, bool lossy) {
+  sim::Engine engine(cfg.procs());
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  std::optional<transport::Reliable> rel;
+  fault::Plan plan;
+  plan.seed = 20250809;
+  plan.loss = 0.05;
+  plan.dup = 0.01;
+  fault::Injector inj(plan, engine.size());
+  if (lossy) {
+    rel.emplace(am.channel());
+    net.set_injector(&inj);
+  }
+  apps::declare_full_topology(am);
+  ccxx::Runtime rt(engine, net, am);
+  serve::Result r = serve::run(rt, cfg);
+  expect_conservation(cfg, r);
+  return ServingTrace{r.fingerprint(), r.latency.digest(),
+                      r.queue_depth.digest(), r.digest,
+                      r.run.elapsed,   r.run.messages};
+}
+
+class ServingDeterminism : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServingDeterminism, OpenLoopBitIdenticalAcrossHostThreads) {
+  bool lossy = GetParam();
+  serve::Config cfg = apps::serving::small_open();
+  ServingTrace seq = run_serving(cfg, 1, lossy);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(run_serving(cfg, threads, lossy), seq)
+        << "threads=" << threads << " lossy=" << lossy;
+  }
+}
+
+TEST_P(ServingDeterminism, ClosedLoopBitIdenticalAcrossHostThreads) {
+  bool lossy = GetParam();
+  serve::Config cfg = apps::serving::small_closed();
+  ServingTrace seq = run_serving(cfg, 1, lossy);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(run_serving(cfg, threads, lossy), seq)
+        << "threads=" << threads << " lossy=" << lossy;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultFreeAndLossy, ServingDeterminism,
+                         ::testing::Values(false, true));
+
+// ---------------------------------------------------------------------------
+// ServingSmoke: the `serving_smoke` ctest gate
+// ---------------------------------------------------------------------------
+
+TEST(ServingSmoke, RejectionRateMonotoneInOfferedLoadAndTailOrdered) {
+  serve::Config cfg;
+  cfg.clients = 3;
+  cfg.servers = 2;
+  cfg.requests_per_client = 20;
+  cfg.open_loop = true;
+  cfg.mean_service = 60'000;
+  cfg.queue_cap = 4;
+  cfg.batch_max = 3;
+  cfg.backend_fraction = 0.25;
+  double prev = -1.0;
+  for (double load : {0.4, 1.5, 6.0}) {
+    cfg.offered_load = load;
+    serve::Result r = serve::run(cfg);
+    expect_conservation(cfg, r);
+    EXPECT_GE(r.rejection_rate(), prev) << "offered load " << load;
+    prev = r.rejection_rate();
+    if (r.completed > 0) {
+      EXPECT_GE(r.latency.p99(), r.latency.p50()) << "offered load " << load;
+      EXPECT_GE(r.latency.p999(), r.latency.p99());
+      EXPECT_GT(r.throughput(), 0.0);
+    }
+  }
+  EXPECT_GT(prev, 0.0);  // the 6x sweep point must actually shed load
+}
+
+}  // namespace
+}  // namespace tham
