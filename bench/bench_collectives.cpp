@@ -1,0 +1,336 @@
+// Collectives at scale: what does replacing the linear coordinator
+// protocols with log-depth ones actually buy, per machine profile?
+//
+//   bench_collectives [--smoke] [--json[=PATH]]
+//
+// For every machine profile the sweep runs barrier / all-reduce /
+// broadcast at N = 64 .. 102400 simulated nodes under both algorithms —
+// Algo::Linear (every rank funnels through node 0, the pre-collectives
+// runtime protocol) and Algo::Tree (dissemination barrier, radix-k
+// combining tree) — and reports virtual time per operation plus the
+// crossover: the smallest N where the tree wins. All-to-all sweeps a
+// smaller range (its payload is inherently O(N) per rank), and a
+// polling-vs-daemon column shows what the condvar discipline costs on top
+// of the same wire traffic. On lossy-cluster the wire additionally drops,
+// duplicates, and delays frames per the profile's fault defaults, over
+// transport::Reliable — the tree's advantage must survive retransmission.
+//
+// --json writes BENCH_collectives.json (schema tham-coll-v1). --smoke
+// runs the sp2 profile at N = 64/256/1024 only and exits nonzero if the
+// tree fails to beat the linear coordinator at N >= 256 (the ctest
+// coll_smoke gate).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "am/am.hpp"
+#include "coll/coll.hpp"
+#include "common/env.hpp"
+#include "common/machine.hpp"
+#include "fault/fault.hpp"
+#include "json_out.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "stats/table.hpp"
+#include "transport/reliable.hpp"
+
+namespace tham {
+namespace {
+
+constexpr std::uint64_t kFaultSeed = 20260809;
+constexpr int kOpsPerPhase = 3;  ///< ops averaged per measurement
+
+struct CasePoint {
+  double barrier_us = 0;  ///< virtual usec per op, rank-0 clock
+  double reduce_us = 0;
+  double bcast_us = 0;
+};
+
+double per_op_us(SimTime dt) {
+  return static_cast<double>(dt) / 1000.0 / kOpsPerPhase;
+}
+
+/// One engine run measuring all three phases: N ranks do kOpsPerPhase
+/// barriers, then reduces, then broadcasts, with rank 0's clock read at
+/// the phase boundaries. Barrier and reduce are globally synchronizing,
+/// so rank 0's deltas are true per-op times; broadcast's root never
+/// waits, so that column is the root's injection time — O(N) sends under
+/// Linear vs O(radix) under Tree, which is exactly the hotspot contrast.
+CasePoint run_case(const CostModel& cm, int nodes, coll::Algo algo,
+                   coll::Progress progress) {
+  std::size_t stack = nodes >= 10000 ? 32 * 1024 : 128 * 1024;
+  sim::Engine engine(nodes, cm, stack);
+  net::Network net(engine);
+  am::AmLayer am(net);
+
+  // lossy-cluster carries nonzero fault defaults: run the collectives
+  // over the reliable transport on the misbehaving wire it describes.
+  std::unique_ptr<transport::Reliable> rel;
+  std::unique_ptr<fault::Injector> inj;
+  fault::Plan plan = fault::Plan::from_machine(cm, kFaultSeed);
+  if (plan.loss > 0 || plan.dup > 0 || plan.delay > 0 || plan.corrupt > 0) {
+    rel = std::make_unique<transport::Reliable>(am.channel());
+    inj = std::make_unique<fault::Injector>(plan, engine.size());
+    net.set_injector(inj.get());
+  }
+
+  coll::Collectives coll(engine, am, coll::Config{algo, progress, 0});
+
+  CasePoint out;
+  for (NodeId i = 0; i < nodes; ++i) {
+    engine.node(i).spawn(
+        [&, i] {
+          double v = 1.0 + 0.25 * i;
+          for (int k = 0; k < kOpsPerPhase; ++k) coll.barrier();
+          SimTime t1 = i == 0 ? sim::this_node().now() : 0;
+          double acc = 0;
+          for (int k = 0; k < kOpsPerPhase; ++k) {
+            acc += coll.all_reduce_sum(v + k);
+          }
+          SimTime t2 = i == 0 ? sim::this_node().now() : 0;
+          for (int k = 0; k < kOpsPerPhase; ++k) {
+            acc += coll.broadcast(0, v);
+          }
+          if (i == 0) {
+            SimTime t3 = sim::this_node().now();
+            out.barrier_us = per_op_us(t1);
+            out.reduce_us = per_op_us(t2 - t1);
+            out.bcast_us = per_op_us(t3 - t2);
+          }
+          if (acc == 12345.6789) std::abort();  // keep acc observable
+        },
+        "coll-bench-main");
+  }
+  if (progress == coll::Progress::Daemon) coll.start_progress_daemons();
+  engine.run();
+  return out;
+}
+
+/// All-to-all virtual time per op (small N only: O(N) words per rank).
+double run_a2a(const CostModel& cm, int nodes, coll::Algo algo) {
+  sim::Engine engine(nodes, cm, 128 * 1024);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  coll::Collectives coll(engine, am,
+                         coll::Config{algo, coll::Progress::Polling, 0});
+  double us = 0;
+  for (NodeId i = 0; i < nodes; ++i) {
+    engine.node(i).spawn(
+        [&, i] {
+          std::vector<std::uint64_t> out(static_cast<std::size_t>(nodes)),
+              in;
+          for (int j = 0; j < nodes; ++j) {
+            out[static_cast<std::size_t>(j)] =
+                static_cast<std::uint64_t>(i + j);
+          }
+          for (int k = 0; k < kOpsPerPhase; ++k) coll.all_to_all(out, in);
+          if (i == 0) us = per_op_us(sim::this_node().now());
+        },
+        "a2a-bench-main");
+  }
+  engine.run();
+  return us;
+}
+
+struct SweepRow {
+  int nodes = 0;
+  CasePoint linear;
+  CasePoint tree;
+};
+
+int run_bench(bool smoke, bool json, const std::string& json_path) {
+  // Full sweep tops out at 16384: past that, the dissemination graph's
+  // millions of touched (src,dst) pairs make each engine's allocator
+  // footprint balloon, and a 5-profile x 2-algo sweep accumulates tens of
+  // GB of retained heap on small runners. 16384 already shows a ~400x
+  // linear-vs-tree barrier gap; nothing new happens at 100k.
+  std::vector<int> sizes = smoke
+                               ? std::vector<int>{64, 256, 1024}
+                               : std::vector<int>{64, 256, 1024, 4096,
+                                                  16384};
+  std::vector<int> a2a_sizes =
+      smoke ? std::vector<int>{64} : std::vector<int>{64, 256, 1024};
+  std::vector<const MachineProfile*> profiles;
+  for (const MachineProfile& mp : machine_profiles()) {
+    if (!smoke || std::string(mp.name) == "sp2") profiles.push_back(&mp);
+  }
+
+  bool gate_ok = true;
+  std::map<std::string, std::vector<SweepRow>> sweeps;
+  std::map<std::string, std::vector<std::pair<int, double>>> a2a_tree;
+  std::map<std::string, std::vector<std::pair<int, double>>> a2a_linear;
+  std::map<std::string, std::vector<std::pair<int, double>>> daemon_us;
+
+  for (const MachineProfile* mp : profiles) {
+    CostModel cm = mp->make();
+    // Lossy profiles run over transport::Reliable, whose per-message
+    // retransmission state (stacked on the retained heap of the clean
+    // profiles that ran first) exceeds small-runner memory at 16384
+    // nodes. 4096 under loss already shows the tree winning by >100x.
+    fault::Plan fp = fault::Plan::from_machine(cm, kFaultSeed);
+    bool lossy = fp.loss > 0 || fp.dup > 0 || fp.delay > 0 || fp.corrupt > 0;
+    std::printf("%s: radix %d\n", cm.machine,
+                coll::default_radix(cm));
+    stats::Table t({"nodes", "lin bar (us)", "tree bar (us)",
+                    "lin red (us)", "tree red (us)", "lin bc (us)",
+                    "tree bc (us)"});
+    for (int n : sizes) {
+      if (lossy && n > 4096) continue;
+      SweepRow row;
+      row.nodes = n;
+      row.linear = run_case(cm, n, coll::Algo::Linear,
+                            coll::Progress::Polling);
+      row.tree = run_case(cm, n, coll::Algo::Tree, coll::Progress::Polling);
+      sweeps[cm.machine].push_back(row);
+      t.add_row({std::to_string(n), stats::Table::num(row.linear.barrier_us, 1),
+                 stats::Table::num(row.tree.barrier_us, 1),
+                 stats::Table::num(row.linear.reduce_us, 1),
+                 stats::Table::num(row.tree.reduce_us, 1),
+                 stats::Table::num(row.linear.bcast_us, 1),
+                 stats::Table::num(row.tree.bcast_us, 1)});
+      if (n >= 256 && (row.tree.barrier_us >= row.linear.barrier_us ||
+                       row.tree.reduce_us >= row.linear.reduce_us)) {
+        gate_ok = false;
+        std::printf("GATE: tree does not beat linear at %d nodes on %s\n",
+                    n, cm.machine);
+      }
+    }
+    t.print();
+    for (int n : a2a_sizes) {
+      a2a_linear[cm.machine].emplace_back(
+          n, run_a2a(cm, n, coll::Algo::Linear));
+      a2a_tree[cm.machine].emplace_back(n, run_a2a(cm, n, coll::Algo::Tree));
+    }
+    // Daemon progress on the tree barrier+reduce+broadcast mix: same wire
+    // traffic, condvar wakeups instead of waiter-driven polling.
+    for (int n : a2a_sizes) {
+      CasePoint d = run_case(cm, n, coll::Algo::Tree,
+                             coll::Progress::Daemon);
+      daemon_us[cm.machine].emplace_back(
+          n, d.barrier_us + d.reduce_us + d.bcast_us);
+    }
+    std::printf("\n");
+    std::fflush(stdout);  // progress is visible per profile when redirected
+  }
+
+  std::printf("crossover (smallest N where the tree barrier wins):\n");
+  for (const auto& [machine, rows] : sweeps) {
+    int crossover = 0;
+    for (const SweepRow& r : rows) {
+      if (r.tree.barrier_us < r.linear.barrier_us) {
+        crossover = r.nodes;
+        break;
+      }
+    }
+    std::printf("  %-16s %d\n", machine.c_str(), crossover);
+  }
+
+  if (json) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    {
+      bench::JsonWriter w(f);
+      w.begin_object();
+      w.header("tham-coll-v1", default_cost_model(), kFaultSeed,
+               env_sim_threads());
+      w.field("ops_per_phase", kOpsPerPhase);
+      w.begin_array("profiles");
+      for (const MachineProfile* mp : profiles) {
+        CostModel cm = mp->make();
+        const auto& rows = sweeps[cm.machine];
+        w.begin_object();
+        w.field("machine", cm.machine);
+        w.field("radix", coll::default_radix(cm));
+        int crossover = 0;
+        for (const SweepRow& r : rows) {
+          if (r.tree.barrier_us < r.linear.barrier_us) {
+            crossover = r.nodes;
+            break;
+          }
+        }
+        w.field("crossover_nodes", crossover);
+        w.begin_array("sweep");
+        for (const SweepRow& r : rows) {
+          w.begin_object(nullptr, /*inline_scope=*/true);
+          w.field("nodes", r.nodes);
+          w.field("linear_barrier_us", r.linear.barrier_us, 2);
+          w.field("tree_barrier_us", r.tree.barrier_us, 2);
+          w.field("linear_reduce_us", r.linear.reduce_us, 2);
+          w.field("tree_reduce_us", r.tree.reduce_us, 2);
+          w.field("linear_bcast_us", r.linear.bcast_us, 2);
+          w.field("tree_bcast_us", r.tree.bcast_us, 2);
+          w.end_object();
+        }
+        w.end_array();
+        w.begin_array("all_to_all");
+        for (std::size_t i = 0; i < a2a_tree[cm.machine].size(); ++i) {
+          w.begin_object(nullptr, /*inline_scope=*/true);
+          w.field("nodes", a2a_tree[cm.machine][i].first);
+          w.field("linear_us", a2a_linear[cm.machine][i].second, 2);
+          w.field("staged_us", a2a_tree[cm.machine][i].second, 2);
+          w.end_object();
+        }
+        w.end_array();
+        w.begin_array("daemon_progress");
+        for (std::size_t i = 0; i < daemon_us[cm.machine].size(); ++i) {
+          const auto& rows2 = sweeps[cm.machine];
+          double polling = 0;
+          for (const SweepRow& r : rows2) {
+            if (r.nodes == daemon_us[cm.machine][i].first) {
+              polling = r.tree.barrier_us + r.tree.reduce_us +
+                        r.tree.bcast_us;
+            }
+          }
+          w.begin_object(nullptr, /*inline_scope=*/true);
+          w.field("nodes", daemon_us[cm.machine][i].first);
+          w.field("polling_us", polling, 2);
+          w.field("daemon_us", daemon_us[cm.machine][i].second, 2);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.field("gate_tree_beats_linear_from_256", gate_ok);
+      w.end_object();
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!gate_ok) {
+    std::printf("FAILED: linear coordinator outperformed the tree at >= 256"
+                " nodes\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tham
+
+int main(int argc, char** argv) {
+  bool smoke = false, json = false;
+  std::string path = "BENCH_collectives.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json[=PATH]]\n", argv[0]);
+      return 2;
+    }
+  }
+  return tham::run_bench(smoke, json, path);
+}

@@ -49,6 +49,13 @@ THAM_MACHINE=lossy-cluster ./build/tests/test_property --gtest_filter='*FaultFuz
 THAM_MACHINE=modern-cluster ./build/tests/test_serving
 THAM_MACHINE=lossy-cluster ./build/tests/test_property --gtest_filter='*ServingFuzz*'
 ./build/bench/bench_serving --json=build/BENCH_serving.json
+# Collectives layer: the full suite (topology, canonical-fold oracle,
+# daemon-vs-polling identity, thread determinism, lossy legs) on
+# modern-cluster, the mixed-schedule collective fuzz on lossy-cluster, and
+# the bench smoke (asserts the tree beats the linear coordinator >= 256).
+THAM_MACHINE=modern-cluster ./build/tests/test_coll
+THAM_MACHINE=lossy-cluster ./build/tests/test_property --gtest_filter='*CollFuzz*'
+./build/bench/bench_collectives --smoke
 # The golden-trace and fuzz suites again at the CI's widest shard count:
 # 8 workers exercise epoch schedules (smaller shards, more cross-shard
 # traffic) that the 4-thread leg never sees.

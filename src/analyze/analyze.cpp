@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "coll/coll.hpp"
 #include "sim/engine.hpp"
 
 namespace tham::analyze {
@@ -33,6 +34,15 @@ const char* collective_name(Collective::Kind k) {
     case Collective::Kind::Barrier: return "barrier";
     case Collective::Kind::Reduce: return "reduce";
     case Collective::Kind::AllStoreSync: return "all_store_sync";
+  }
+  return "?";
+}
+
+const char* shape_name(Collective::Shape s) {
+  switch (s) {
+    case Collective::Shape::Linear: return "linear";
+    case Collective::Shape::Tree: return "tree";
+    case Collective::Shape::Dissemination: return "dissemination";
   }
   return "?";
 }
@@ -285,13 +295,18 @@ struct Auditor {
   }
 
   // -- Collective rank coverage --------------------------------------------
+  // Beyond plain coverage of 0..nodes-1, the shape-aware checks walk the
+  // protocol's actual vertex set: a tree rank whose parent never
+  // participates hangs that whole subtree (the result rides parent ->
+  // child), and a dissemination rank whose round-k partner is missing
+  // never clears round k.
   void audit_collectives() {
     for (std::size_t i = 0; i < g.collectives.size(); ++i) {
       const Collective& c = g.collectives[i];
       std::set<NodeId> ranks(c.ranks.begin(), c.ranks.end());
       std::string label = std::string(collective_name(c.kind)) + " #" +
-                          std::to_string(i) + " (root " +
-                          std::to_string(c.root) + ")";
+                          std::to_string(i) + " (" + shape_name(c.shape) +
+                          ", root " + std::to_string(c.root) + ")";
       for (NodeId r : ranks) {
         if (!node_ok(r)) {
           add(Finding::Severity::Error, "collective-rank-range",
@@ -305,6 +320,50 @@ struct Auditor {
                   std::to_string(g.nodes) + " never participates; the "
                   "release fan-out never fires and every arrived rank "
                   "waits forever");
+        }
+      }
+      if (c.shape == Collective::Shape::Tree) {
+        if (c.radix < 1) {
+          add(Finding::Severity::Error, "collective-shape",
+              label + ": tree shape with radix " + std::to_string(c.radix));
+          continue;
+        }
+        for (NodeId r : ranks) {
+          if (r <= 0 || !node_ok(r)) continue;
+          auto parent = static_cast<NodeId>(coll::tree_parent(r, c.radix));
+          if (ranks.find(parent) == ranks.end()) {
+            add(Finding::Severity::Error, "collective-tree-orphan",
+                label + ": rank " + std::to_string(r) + "'s tree parent " +
+                    std::to_string(parent) + " never participates; the "
+                    "combined partial never reaches the root and no result "
+                    "comes back down that subtree");
+          }
+        }
+      } else if (c.shape == Collective::Shape::Dissemination) {
+        int want = coll::dissemination_rounds(g.nodes);
+        if (c.rounds != want) {
+          add(Finding::Severity::Error, "collective-shape",
+              label + ": " + std::to_string(c.rounds) + " rounds modeled "
+                  "but " + std::to_string(g.nodes) + " nodes need ceil(log2)"
+                  " = " + std::to_string(want));
+          continue;
+        }
+        // Rank r clears round k on the notification from the partner at
+        // distance -2^k; a missing inbound partner stalls r right there.
+        for (NodeId r : ranks) {
+          if (!node_ok(r) || g.nodes < 2) continue;
+          for (int k = 0; k < c.rounds; ++k) {
+            auto partner = static_cast<NodeId>(
+                (r - (1 << k) % g.nodes + g.nodes) % g.nodes);
+            if (ranks.find(partner) == ranks.end()) {
+              add(Finding::Severity::Error, "collective-partner-gap",
+                  label + ": rank " + std::to_string(r) + "'s round-" +
+                      std::to_string(k) + " inbound partner " +
+                      std::to_string(partner) + " never participates; "
+                      "rank " + std::to_string(r) + " never clears that "
+                      "round");
+            }
+          }
         }
       }
     }
@@ -462,6 +521,15 @@ std::string dump_json(const Report& r) {
   os << "  \"bound_min_ns\": " << mn << ",\n";
   os << "  \"bound_max_ns\": " << mx << ",\n";
   os << "  \"bound_sum_ns\": " << sum << ",\n";
+  os << "  \"collective_ops\": [";
+  for (std::size_t i = 0; i < g.collectives.size(); ++i) {
+    const Collective& c = g.collectives[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"kind\": \"" << collective_name(c.kind) << "\", \"shape\": \""
+       << shape_name(c.shape) << "\", \"radix\": " << c.radix
+       << ", \"rounds\": " << c.rounds << ", \"count\": " << c.count << "}";
+  }
+  os << "\n  ],\n";
   os << "  \"findings\": [";
   for (std::size_t i = 0; i < r.findings.size(); ++i) {
     const Finding& f = r.findings[i];

@@ -10,6 +10,7 @@
 
 #include "am/am.hpp"
 #include "ccxx/runtime.hpp"
+#include "coll/coll.hpp"
 #include "common/check.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -103,7 +104,8 @@ struct Builder {
              Flow::Waits::None, {Charge::AmBulkRecv}, count);
   }
 
-  void record_collective(Collective::Kind kind, std::uint64_t count) {
+  void record_collective(Collective::Kind kind, Collective::Shape shape,
+                         std::uint64_t count) {
     auto it = collective_at.find(static_cast<int>(kind));
     if (it != collective_at.end()) {
       g.collectives[it->second].count += count;
@@ -111,49 +113,59 @@ struct Builder {
     }
     Collective c;
     c.kind = kind;
+    c.shape = shape;
     c.root = 0;
+    c.radix = coll::default_radix(g.cost);
+    c.rounds = coll::dissemination_rounds(g.nodes);
     for (NodeId r = 0; r < g.nodes; ++r) c.ranks.push_back(r);
     c.count = count;
     collective_at.emplace(static_cast<int>(kind), g.collectives.size());
     g.collectives.push_back(std::move(c));
   }
 
-  /// Central barrier: every non-root arrives at 0, 0 fans releases out.
+  /// Dissemination barrier (the collectives layer both runtimes share):
+  /// every rank sends one notification to its partner at distance 2^r in
+  /// each of ceil(log2 P) rounds. Same topology functions as the wire
+  /// protocol, so the modeled flows match it by construction.
   void barrier(std::uint64_t count) {
-    if (count == 0) return;
-    for (NodeId p = 1; p < g.nodes; ++p) {
-      short_oneway(p, 0, "sc.bar_arrive", count);
-    }
-    for (NodeId p = 1; p < g.nodes; ++p) {
-      short_oneway(0, p, "sc.bar_release", count);
-    }
-    record_collective(Collective::Kind::Barrier, count);
-  }
-
-  /// Sum reduction: same fan shape as the barrier (root contributes
-  /// locally).
-  void reduce(std::uint64_t count) {
-    if (count == 0) return;
-    for (NodeId p = 1; p < g.nodes; ++p) {
-      short_oneway(p, 0, "sc.red_arrive", count);
-    }
-    for (NodeId p = 1; p < g.nodes; ++p) {
-      short_oneway(0, p, "sc.red_release", count);
-    }
-    record_collective(Collective::Kind::Reduce, count);
-  }
-
-  /// Store-count exchange (every proc tells every other how many one-way
-  /// stores to expect — even zero) followed by a barrier.
-  void all_store_sync(std::uint64_t count) {
-    if (count == 0) return;
+    if (count == 0 || g.nodes < 2) return;
     for (NodeId p = 0; p < g.nodes; ++p) {
-      for (NodeId q = 0; q < g.nodes; ++q) {
-        if (p != q) short_oneway(p, q, "sc.store_count", count);
+      for (int r = 0; r < coll::dissemination_rounds(g.nodes); ++r) {
+        auto partner = static_cast<NodeId>((p + (1 << r)) % g.nodes);
+        short_oneway(p, partner, "coll.bar", count);
       }
     }
-    record_collective(Collective::Kind::AllStoreSync, count);
-    barrier(count);
+    record_collective(Collective::Kind::Barrier,
+                      Collective::Shape::Dissemination, count);
+  }
+
+  /// Radix-k combining-tree reduction: each non-root rank sends one
+  /// partial up to its tree parent and receives one result back down.
+  void reduce_tree_flows(std::uint64_t count) {
+    int radix = coll::default_radix(g.cost);
+    for (NodeId p = 1; p < g.nodes; ++p) {
+      auto parent = static_cast<NodeId>(coll::tree_parent(p, radix));
+      short_oneway(p, parent, "coll.red_up", count);
+      short_oneway(parent, p, "coll.red_dn", count);
+    }
+  }
+
+  void reduce(std::uint64_t count) {
+    if (count == 0 || g.nodes < 2) return;
+    reduce_tree_flows(count);
+    record_collective(Collective::Kind::Reduce, Collective::Shape::Tree,
+                      count);
+  }
+
+  /// Store completion: the runtime reduces the global (sent, received)
+  /// store totals through the combining tree until they agree. At least
+  /// one count-reduce round always runs — more only when stores are still
+  /// in flight, which is dynamic — so one round is the sound floor.
+  void all_store_sync(std::uint64_t count) {
+    if (count == 0 || g.nodes < 2) return;
+    reduce_tree_flows(count);
+    record_collective(Collective::Kind::AllStoreSync,
+                      Collective::Shape::Tree, count);
   }
 
   /// Mirrors apps::declare_full_topology: the AmShort floor on every
@@ -205,17 +217,9 @@ struct Builder {
     short_oneway(receiver, caller, "cc.update", 1);
   }
 
-  /// CC++ central barrier: same fan shape as Split-C's, cc.* handlers.
-  void cc_barrier(std::uint64_t count) {
-    if (count == 0) return;
-    for (NodeId p = 1; p < g.nodes; ++p) {
-      short_oneway(p, 0, "cc.bar_arrive", count);
-    }
-    for (NodeId p = 1; p < g.nodes; ++p) {
-      short_oneway(0, p, "cc.bar_release", count);
-    }
-    record_collective(Collective::Kind::Barrier, count);
-  }
+  /// CC++ barrier: the runtime delegates to the same collectives layer
+  /// (daemon progress instead of polling, but identical wire shape).
+  void cc_barrier(std::uint64_t count) { barrier(count); }
 };
 
 /// Water's half-shell membership (mirrors the app's pair enumeration).

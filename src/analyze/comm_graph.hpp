@@ -72,8 +72,16 @@ struct Flow {
 /// A collective operation and its participating ranks.
 struct Collective {
   enum class Kind { Barrier, Reduce, AllStoreSync };
+  /// Wire shape of the protocol: a linear coordinator fan, the radix-k
+  /// combining tree, or the dissemination exchange. The rank-coverage
+  /// audit walks the shape's actual vertex set — a missing tree parent or
+  /// dissemination partner hangs a specific subtree, not just "someone".
+  enum class Shape { Linear, Tree, Dissemination };
   Kind kind = Kind::Barrier;
+  Shape shape = Shape::Linear;
   NodeId root = 0;
+  int radix = 0;              ///< tree arity (Shape::Tree)
+  int rounds = 0;             ///< exchange rounds (Shape::Dissemination)
   std::vector<NodeId> ranks;  ///< participants (must cover 0..nodes-1)
   std::uint64_t count = 1;    ///< occurrences over the run
 };

@@ -50,7 +50,9 @@ Runtime::~Runtime() {
 
 Runtime::Runtime(sim::Engine& engine, net::Network& net, am::AmLayer& am)
     : engine_(engine), net_(net), am_(am),
-      stats_(static_cast<std::size_t>(engine.size())) {
+      stats_(static_cast<std::size_t>(engine.size())),
+      coll_(engine, am,
+            coll::Config{coll::Algo::Tree, coll::Progress::Daemon, 0}) {
   THAM_CHECK_MSG(current_ == nullptr, "only one CC++ runtime at a time");
   current_ = this;
   state_.reserve(static_cast<std::size_t>(engine.size()));
@@ -243,48 +245,6 @@ Runtime::Runtime(sim::Engine& engine, net::Network& net, am::AmLayer& am)
         threads::detach(t);
       });
 
-  // ---- Barrier & reduction (RMI-style collectives for the app ports) -----
-  h_bar_release_ = am_.register_short(
-      "cc.bar_release",
-      [this](sim::Node& self, am::Token, const am::Words& w) {
-        ComponentScope scope(self, Component::Runtime);
-        self.advance(cost().cc_reply_handling);
-        auto& st = self_state(self);
-        st.gate_mu.lock();
-        st.bar_epoch_seen.set(w[0], "cc.bar_epoch");
-        st.gate_cv.broadcast();
-        st.gate_mu.unlock();
-      });
-  h_bar_arrive_ = am_.register_short(
-      "cc.bar_arrive", [this](sim::Node& self, am::Token, const am::Words&) {
-        ComponentScope scope(self, Component::Runtime);
-        self.advance(cost().cc_dispatch);
-        coord_barrier_arrive(self);
-      });
-  h_red_release_ = am_.register_short(
-      "cc.red_release",
-      [this](sim::Node& self, am::Token, const am::Words& w) {
-        ComponentScope scope(self, Component::Runtime);
-        self.advance(cost().cc_reply_handling);
-        auto& st = self_state(self);
-        double v;
-        Word bits = w[1];
-        std::memcpy(&v, &bits, sizeof(v));
-        st.gate_mu.lock();
-        st.red_value.set(v, "cc.red_value");
-        st.red_epoch_seen.set(w[0], "cc.red_epoch");
-        st.gate_cv.broadcast();
-        st.gate_mu.unlock();
-      });
-  h_red_arrive_ = am_.register_short(
-      "cc.red_arrive", [this](sim::Node& self, am::Token t, const am::Words& w) {
-        ComponentScope scope(self, Component::Runtime);
-        self.advance(cost().cc_dispatch);
-        double v;
-        Word bits = w[0];
-        std::memcpy(&v, &bits, sizeof(v));
-        coord_reduce_arrive(self, t.reply_to, v);
-      });
 }
 
 std::uint32_t Runtime::add_method(std::string name, RmiMode mode,
@@ -606,87 +566,23 @@ void Runtime::spawn_thread(std::function<void()> body) {
   threads::detach(t);
 }
 
-void Runtime::coord_barrier_arrive(sim::Node& self) {
-  THAM_CHECK(self.id() == 0);
-  auto& s0 = *state_[0];
-  ++s0.bar_arrivals;
-  if (s0.bar_arrivals < engine_.size()) return;
-  s0.bar_arrivals = 0;
-  ++s0.bar_epoch;
-  // Release everyone (self directly, others by message).
-  s0.gate_mu.lock();
-  s0.bar_epoch_seen.set(s0.bar_epoch, "cc.bar_epoch");
-  s0.gate_cv.broadcast();
-  s0.gate_mu.unlock();
-  for (NodeId j = 1; j < engine_.size(); ++j) {
-    am_.request(j, h_bar_release_, s0.bar_epoch);
-  }
-}
-
-void Runtime::coord_reduce_arrive(sim::Node& self, NodeId rank, double v) {
-  THAM_CHECK(self.id() == 0);
-  auto& s0 = *state_[0];
-  if (s0.red_vals.empty()) {
-    s0.red_vals.resize(static_cast<std::size_t>(engine_.size()), 0.0);
-  }
-  s0.red_vals[static_cast<std::size_t>(rank)] = v;
-  ++s0.red_arrivals;
-  if (s0.red_arrivals < engine_.size()) return;
-  s0.red_arrivals = 0;
-  ++s0.red_epoch;
-  // Rank-ordered summation: arrival order cannot change the result.
-  double total = 0;
-  for (double x : s0.red_vals) total += x;
-  Word bits;
-  std::memcpy(&bits, &total, sizeof(bits));
-  s0.gate_mu.lock();
-  s0.red_value.set(total, "cc.red_value");
-  s0.red_epoch_seen.set(s0.red_epoch, "cc.red_epoch");
-  s0.gate_cv.broadcast();
-  s0.gate_mu.unlock();
-  for (NodeId j = 1; j < engine_.size(); ++j) {
-    am_.request(j, h_red_release_, s0.red_epoch, bits);
-  }
-}
-
+// The collectives delegate to the coll layer under its Daemon discipline:
+// the caller blocks on the layer's condvar gate and the cc-polling-thread
+// drives delivery — the same progress split the linear protocol had, with
+// log-depth message shapes and the same bit-determinism guarantee (the
+// tree fold is rank-ordered; see coll::canonical_fold).
 void Runtime::barrier() {
   sim::Node& n = sim::this_node();
   ComponentScope scope(n, Component::Runtime);
-  auto& st = self_state(n);
-  std::uint64_t target = ++st.bar_epoch_entered;
-  n.advance(cost().cc_stub_lookup);
-  if (n.id() == 0) {
-    coord_barrier_arrive(n);
-  } else {
-    am_.request(0, h_bar_arrive_);
-  }
-  st.gate_mu.lock();
-  while (st.bar_epoch_seen.get("cc.bar_epoch") < target) {
-    st.gate_cv.wait(st.gate_mu);
-  }
-  st.gate_mu.unlock();
+  n.advance(cost().cc_stub_lookup);  // runtime-entry bookkeeping
+  coll_.barrier();
 }
 
 double Runtime::all_reduce_sum(double v) {
   sim::Node& n = sim::this_node();
   ComponentScope scope(n, Component::Runtime);
-  auto& st = self_state(n);
-  std::uint64_t target = ++st.red_epoch_entered;
   n.advance(cost().cc_stub_lookup);
-  if (n.id() == 0) {
-    coord_reduce_arrive(n, 0, v);
-  } else {
-    Word bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    am_.request(0, h_red_arrive_, bits);
-  }
-  st.gate_mu.lock();
-  while (st.red_epoch_seen.get("cc.red_epoch") < target) {
-    st.gate_cv.wait(st.gate_mu);
-  }
-  double out = st.red_value.get("cc.red_value");
-  st.gate_mu.unlock();
-  return out;
+  return coll_.all_reduce_sum(v);
 }
 
 }  // namespace tham::ccxx

@@ -29,6 +29,7 @@
 
 #include "am/am.hpp"
 #include "check/checked.hpp"
+#include "coll/coll.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -442,25 +443,6 @@ class Runtime {
     std::unordered_map<std::uint64_t, std::uint32_t> local_by_hash;
     std::vector<std::uint32_t> canon_of_local;  ///< local idx -> canonical id
     std::vector<std::uint32_t> local_of_canon;
-    // Barrier / reduction gates. The *_seen epochs and the reduction value
-    // cross tasks (release handlers write them, waiting threads read them),
-    // so they go through the race detector; every app barrier exercises
-    // the mutex and message happens-before edges this way.
-    check::checked<std::uint64_t> bar_epoch_seen;
-    std::uint64_t bar_epoch_entered = 0;
-    threads::Mutex gate_mu;
-    threads::CondVar gate_cv;
-    check::checked<std::uint64_t> red_epoch_seen;
-    std::uint64_t red_epoch_entered = 0;
-    check::checked<double> red_value;
-    // Coordinator (node 0) state.
-    int bar_arrivals = 0;
-    std::uint64_t bar_epoch = 0;
-    int red_arrivals = 0;
-    /// Per-rank reduction slots, summed in rank order at release so the
-    /// result is independent of arrival order (message timing).
-    std::vector<double> red_vals;
-    std::uint64_t red_epoch = 0;
   };
 
   // Flags word layout for invoke messages.
@@ -539,9 +521,6 @@ class Runtime {
     return stats_[static_cast<std::size_t>(n.id())];
   }
 
-  void coord_barrier_arrive(sim::Node& self);
-  void coord_reduce_arrive(sim::Node& self, NodeId rank, double v);
-
   sim::Engine& engine_;
   net::Network& net_;
   am::AmLayer& am_;
@@ -567,8 +546,13 @@ class Runtime {
   am::HandlerId h_invoke_short_ = 0, h_invoke_bulk_ = 0, h_invoke_cold_ = 0;
   am::HandlerId h_update_ = 0, h_done_short_ = 0, h_done_bulk_ = 0;
   am::HandlerId h_gp_read_ = 0, h_gp_write_ = 0, h_gp_done_ = 0;
-  am::HandlerId h_bar_arrive_ = 0, h_bar_release_ = 0;
-  am::HandlerId h_red_arrive_ = 0, h_red_release_ = 0;
+
+  /// The collectives layer behind barrier()/all_reduce_sum(). Daemon
+  /// progress: waiters block on the layer's per-node gate (a mutex +
+  /// condvar + check::checked epoch stamp, so every app barrier still
+  /// exercises the race detector's happens-before edges) and the per-node
+  /// cc-polling-thread drains the endpoint.
+  coll::Collectives coll_;
 
   static Runtime* current_;
 };

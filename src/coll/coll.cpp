@@ -1,0 +1,490 @@
+#include "coll/coll.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "common/check.hpp"
+#include "transport/transport.hpp"
+
+namespace tham::coll {
+
+using am::Word;
+using sim::Component;
+using sim::ComponentScope;
+
+namespace {
+
+double f64(Word bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Word bits64(double v) {
+  Word w;
+  std::memcpy(&w, &v, sizeof(w));
+  return w;
+}
+
+/// In-place rank-ordered combine: (a0,a1) := (a0,a1) op (b0,b1). The left
+/// operand is always the lower-ranked partial.
+void combine(std::uint8_t op, std::uint64_t& a0, std::uint64_t& a1,
+             std::uint64_t b0, std::uint64_t b1) {
+  switch (static_cast<Op>(op)) {
+    case Op::SumF64:
+      a0 = bits64(f64(a0) + f64(b0));
+      break;
+    case Op::MinF64:
+      a0 = bits64(std::min(f64(a0), f64(b0)));
+      break;
+    case Op::MaxF64:
+      a0 = bits64(std::max(f64(a0), f64(b0)));
+      break;
+    case Op::SumU64Pair:
+      a0 += b0;
+      a1 += b1;
+      break;
+  }
+}
+
+std::uint64_t fold_vertex(const std::vector<std::uint64_t>& vals, int rank,
+                          int radix, Op op) {
+  std::uint64_t a = vals[static_cast<std::size_t>(rank)];
+  int procs = static_cast<int>(vals.size());
+  int first = tree_first_child(rank, radix);
+  int nc = tree_child_count(rank, radix, procs);
+  for (int i = 0; i < nc; ++i) {
+    std::uint64_t dummy = 0, sub1 = 0;
+    std::uint64_t sub0 = fold_vertex(vals, first + i, radix, op);
+    combine(static_cast<std::uint8_t>(op), a, dummy, sub0, sub1);
+  }
+  return a;
+}
+
+}  // namespace
+
+int default_radix(const CostModel& cm) {
+  // Level cost of a radix-k tree: one hop of wire plus k child messages
+  // serialized at the vertex; depth scales as 1/ln(k). Minimize the
+  // product's continuous proxy over a fixed candidate set so the choice
+  // is a deterministic function of the profile alone.
+  const int candidates[] = {2, 3, 4, 8, 16};
+  int best = 2;
+  double best_cost = 0;
+  for (int k : candidates) {
+    double level = static_cast<double>(cm.am_wire_latency) +
+                   static_cast<double>(cm.am_send_overhead) +
+                   static_cast<double>(k) *
+                       (static_cast<double>(cm.am_recv_overhead) +
+                        static_cast<double>(cm.coll_step));
+    double c = level / std::log(static_cast<double>(k));
+    if (best_cost == 0 || c < best_cost) {
+      best_cost = c;
+      best = k;
+    }
+  }
+  return best;
+}
+
+double canonical_fold(const std::vector<double>& vals, int radix, Op op) {
+  THAM_CHECK(!vals.empty());
+  THAM_CHECK(radix >= 1);
+  std::vector<std::uint64_t> bits(vals.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) bits[i] = bits64(vals[i]);
+  return f64(fold_vertex(bits, 0, radix, op));
+}
+
+std::vector<std::pair<NodeId, NodeId>> collective_links(int procs,
+                                                        int radix) {
+  THAM_CHECK(procs >= 1 && radix >= 1);
+  std::set<std::pair<NodeId, NodeId>> links;
+  auto add = [&](int s, int d) {
+    if (s != d) links.emplace(static_cast<NodeId>(s), static_cast<NodeId>(d));
+  };
+  for (int i = 0; i < procs; ++i) {
+    for (int r = 0; r < dissemination_rounds(procs); ++r) {
+      int partner = (i + (1 << r)) % procs;
+      add(i, partner);
+      add(partner, i);
+    }
+    if (i > 0) {
+      add(i, tree_parent(i, radix));
+      add(tree_parent(i, radix), i);
+    }
+  }
+  return {links.begin(), links.end()};
+}
+
+Collectives::Collectives(sim::Engine& engine, am::AmLayer& am, Config cfg)
+    : engine_(engine), am_(am), cfg_(cfg) {
+  radix_ = cfg_.radix > 0 ? cfg_.radix : default_radix(engine.cost());
+  rounds_ = dissemination_rounds(engine.size());
+  state_.reserve(static_cast<std::size_t>(engine.size()));
+  for (int i = 0; i < engine.size(); ++i) {
+    auto st = std::make_unique<NodeState>();
+    st->bar_recv.assign(static_cast<std::size_t>(rounds_), 0);
+    int nc = tree_child_count(i, radix_, engine.size());
+    st->red_sub0.assign(static_cast<std::size_t>(nc), 0);
+    st->red_sub1.assign(static_cast<std::size_t>(nc), 0);
+    st->red_fill.assign(static_cast<std::size_t>(nc), 0);
+    state_.push_back(std::move(st));
+  }
+
+  // ---- Dissemination barrier ---------------------------------------------
+  // w0 = round. The count is the epoch: sender of (receiver, round) is one
+  // fixed rank, and links are FIFO, so arrivals land in epoch order.
+  h_bar_ = am_.register_short(
+      "coll.bar", [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().coll_step);
+        auto& st = state_of(self);
+        ++st.bar_recv[static_cast<std::size_t>(w[0])];
+        notify(st);
+      });
+
+  // ---- Tree reduce ---------------------------------------------------------
+  // Up: w0 = epoch, w1 = op, w2/w3 = partial. The sender is a child of this
+  // vertex; its partial goes in that child's slot, never into a running
+  // accumulator — rank order at fold time is what makes the result a pure
+  // function of the contributions.
+  h_red_up_ = am_.register_short(
+      "coll.red_up", [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().coll_step);
+        auto& st = state_of(self);
+        int idx = static_cast<int>(tok.reply_to) -
+                  tree_first_child(self.id(), radix_);
+        THAM_CHECK(idx >= 0 && idx < static_cast<int>(st.red_sub0.size()));
+        THAM_CHECK_MSG(!st.red_fill[static_cast<std::size_t>(idx)],
+                       "reduce child slot reused before the fold");
+        if (st.red_entered) THAM_CHECK(static_cast<std::uint8_t>(w[1]) == st.red_op);
+        st.red_sub0[static_cast<std::size_t>(idx)] = w[2];
+        st.red_sub1[static_cast<std::size_t>(idx)] = w[3];
+        st.red_fill[static_cast<std::size_t>(idx)] = 1;
+        ++st.red_got;
+        try_complete_reduce(self);
+      });
+  // Down: w0 = epoch, w1/w2 = result; forwarded along the same tree.
+  h_red_dn_ = am_.register_short(
+      "coll.red_dn", [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().coll_step);
+        deliver_reduce_result(self, w[0], w[1], w[2]);
+      });
+
+  // ---- Broadcast -----------------------------------------------------------
+  // w0 = epoch, w1 = root, w2 = value bits. Forwarded along the radix tree
+  // re-rooted at w1 by rank rotation (Tree); the root sends directly to
+  // everyone under Linear, so there is nothing to forward. Delivery is
+  // keyed by the epoch word: back-to-back broadcasts from different roots
+  // arrive over different links, so arrival order proves nothing.
+  h_bcast_ = am_.register_short(
+      "coll.bcast", [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().coll_step);
+        auto& st = state_of(self);
+        THAM_CHECK_MSG(st.bc_vals.emplace(w[0], w[2]).second,
+                       "broadcast epoch delivered twice");
+        if (cfg_.algo == Algo::Tree) {
+          int p = procs();
+          int root = static_cast<int>(w[1]);
+          int vrank = (self.id() - root + p) % p;
+          int first = tree_first_child(vrank, radix_);
+          int nc = tree_child_count(vrank, radix_, p);
+          for (int i = 0; i < nc; ++i) {
+            am_.request((first + i + root) % p, h_bcast_, w[0], w[1], w[2]);
+          }
+        }
+        notify(st);
+      });
+
+  // ---- All-to-all ----------------------------------------------------------
+  // w0 = epoch, w1 = value. The sender identifies the slot; the two-deep
+  // parity ring is explained on NodeState.
+  h_a2a_ = am_.register_short(
+      "coll.a2a", [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().coll_step);
+        auto& st = state_of(self);
+        ensure_a2a(st);
+        auto src = static_cast<std::size_t>(tok.reply_to);
+        st.a2a_val[src * 2 + (w[0] & 1)] = w[1];
+        ++st.a2a_cnt[src];
+        THAM_CHECK(st.a2a_cnt[src] == w[0]);
+        notify(st);
+      });
+
+  // ---- Linear coordinator (Algo::Linear reference path) -------------------
+  // Arrive: w0 = epoch, w1 = op, w2/w3 = contribution, into rank slots on
+  // node 0. Release: w0 = epoch, w1/w2 = result.
+  h_lin_release_ = am_.register_short(
+      "coll.lin_release",
+      [this](sim::Node& self, am::Token, const am::Words& w) {
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().coll_step);
+        deliver_reduce_result(self, w[0], w[1], w[2]);
+      });
+  h_lin_arrive_ = am_.register_short(
+      "coll.lin_arrive",
+      [this](sim::Node& self, am::Token tok, const am::Words& w) {
+        THAM_CHECK(self.id() == 0);
+        ComponentScope scope(self, Component::Runtime);
+        self.advance(self.cost().coll_step);
+        lin_arrive(self, tok.reply_to, static_cast<std::uint8_t>(w[1]), w[2],
+                   w[3]);
+      });
+}
+
+void Collectives::wait_local(NodeState& st,
+                             const std::function<bool()>& pred) {
+  if (cfg_.progress == Progress::Polling) {
+    am_.poll_until(pred);
+    return;
+  }
+  st.gate_mu.lock();
+  while (!pred()) {
+    // The checked read pairs with the handler's checked write under the
+    // same mutex: the handler->waiter happens-before edge the race
+    // detector certifies.
+    st.gate_stamp.get("coll.gate");
+    st.gate_cv.wait(st.gate_mu);
+  }
+  st.gate_mu.unlock();
+}
+
+void Collectives::notify(NodeState& st) {
+  if (cfg_.progress == Progress::Polling) return;
+  st.gate_mu.lock();
+  st.gate_stamp.set(st.gate_stamp.raw() + 1, "coll.gate");
+  st.gate_cv.broadcast();
+  st.gate_mu.unlock();
+}
+
+void Collectives::barrier() {
+  if (cfg_.algo == Algo::Linear) {
+    all_reduce_counts(0, 0);
+    return;
+  }
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  n.advance(n.cost().coll_step);
+  if (procs() == 1) return;
+  auto& st = state_of(n);
+  std::uint64_t e = ++st.bar_epoch;
+  int me = n.id(), p = procs();
+  for (int r = 0; r < rounds_; ++r) {
+    am_.request((me + (1 << r)) % p, h_bar_, static_cast<Word>(r));
+    std::size_t round = static_cast<std::size_t>(r);
+    wait_local(st, [&st, round, e] { return st.bar_recv[round] >= e; });
+  }
+}
+
+double Collectives::all_reduce(double v, Op op) {
+  THAM_CHECK(op != Op::SumU64Pair);
+  Pair64 r = reduce_words(bits64(v), 0, op);
+  return f64(r.a);
+}
+
+Pair64 Collectives::all_reduce_counts(std::uint64_t a, std::uint64_t b) {
+  return reduce_words(a, b, Op::SumU64Pair);
+}
+
+Pair64 Collectives::reduce_words(std::uint64_t w0, std::uint64_t w1, Op op) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  n.advance(n.cost().coll_step);
+  auto& st = state_of(n);
+  std::uint64_t target = ++st.red_epoch;
+  if (procs() == 1) {
+    st.red_res0 = w0;
+    st.red_res1 = w1;
+    ++st.red_done;
+    return {w0, w1};
+  }
+  auto op8 = static_cast<std::uint8_t>(op);
+  if (cfg_.algo == Algo::Linear) {
+    if (n.id() == 0) {
+      lin_arrive(n, 0, op8, w0, w1);
+    } else {
+      am_.request(0, h_lin_arrive_, target, op8, w0, w1);
+    }
+  } else {
+    st.red_entered = true;
+    st.red_op = op8;
+    st.red_own0 = w0;
+    st.red_own1 = w1;
+    try_complete_reduce(n);  // leaves (and late parents) complete here
+  }
+  wait_local(st, [&st, target] { return st.red_done >= target; });
+  return {st.red_res0, st.red_res1};
+}
+
+void Collectives::try_complete_reduce(sim::Node& self) {
+  auto& st = state_of(self);
+  int nc = static_cast<int>(st.red_sub0.size());
+  if (!st.red_entered || st.red_got < nc) return;
+  // Fold in rank order: this vertex's rank precedes all its children's.
+  std::uint64_t a0 = st.red_own0, a1 = st.red_own1;
+  for (int i = 0; i < nc; ++i) {
+    combine(st.red_op, a0, a1, st.red_sub0[static_cast<std::size_t>(i)],
+            st.red_sub1[static_cast<std::size_t>(i)]);
+  }
+  st.red_entered = false;
+  st.red_got = 0;
+  std::fill(st.red_fill.begin(), st.red_fill.end(), 0);
+  std::uint64_t e = st.red_epoch;
+  if (self.id() == 0) {
+    deliver_reduce_result(self, e, a0, a1);
+  } else {
+    am_.request(tree_parent(self.id(), radix_), h_red_up_, e, st.red_op, a0,
+                a1);
+  }
+}
+
+void Collectives::deliver_reduce_result(sim::Node& self, std::uint64_t epoch,
+                                        std::uint64_t r0, std::uint64_t r1) {
+  auto& st = state_of(self);
+  st.red_res0 = r0;
+  st.red_res1 = r1;
+  ++st.red_done;
+  THAM_CHECK(st.red_done == epoch);
+  if (cfg_.algo == Algo::Tree) {
+    int first = tree_first_child(self.id(), radix_);
+    int nc = tree_child_count(self.id(), radix_, procs());
+    for (int i = 0; i < nc; ++i) {
+      am_.request(first + i, h_red_dn_, epoch, r0, r1);
+    }
+  } else if (self.id() == 0) {
+    for (NodeId j = 1; j < procs(); ++j) {
+      self.advance(self.cost().coll_step);  // coordinator fan serialization
+      am_.request(j, h_lin_release_, epoch, r0, r1);
+    }
+  }
+  notify(st);
+}
+
+void Collectives::lin_arrive(sim::Node& node0, NodeId rank, std::uint8_t op,
+                             std::uint64_t v0, std::uint64_t v1) {
+  auto& s0 = *state_[0];
+  if (s0.lin_slot0.empty()) {
+    s0.lin_slot0.assign(static_cast<std::size_t>(procs()), 0);
+    s0.lin_slot1.assign(static_cast<std::size_t>(procs()), 0);
+  }
+  if (s0.lin_arrivals > 0) THAM_CHECK(op == s0.lin_op);
+  s0.lin_op = op;
+  s0.lin_slot0[static_cast<std::size_t>(rank)] = v0;
+  s0.lin_slot1[static_cast<std::size_t>(rank)] = v1;
+  ++s0.lin_arrivals;
+  if (s0.lin_arrivals < procs()) return;
+  s0.lin_arrivals = 0;
+  ++s0.lin_epoch;
+  // Rank-ordered flat fold: arrival order cannot change the result.
+  std::uint64_t a0 = s0.lin_slot0[0], a1 = s0.lin_slot1[0];
+  for (std::size_t j = 1; j < s0.lin_slot0.size(); ++j) {
+    combine(op, a0, a1, s0.lin_slot0[j], s0.lin_slot1[j]);
+  }
+  deliver_reduce_result(node0, s0.lin_epoch, a0, a1);
+}
+
+double Collectives::broadcast(NodeId root, double v) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  n.advance(n.cost().coll_step);
+  if (procs() == 1) return v;
+  auto& st = state_of(n);
+  std::uint64_t target = ++st.bc_entered;
+  if (n.id() == root) {
+    Word bits = bits64(v);
+    st.bc_vals.emplace(target, bits);
+    if (cfg_.algo == Algo::Tree) {
+      int p = procs();
+      int first = tree_first_child(0, radix_);
+      int nc = tree_child_count(0, radix_, p);
+      for (int i = 0; i < nc; ++i) {
+        am_.request((first + i + root) % p, h_bcast_, target,
+                    static_cast<Word>(root), bits);
+      }
+    } else {
+      for (NodeId j = 0; j < procs(); ++j) {
+        if (j == root) continue;
+        n.advance(n.cost().coll_step);
+        am_.request(j, h_bcast_, target, static_cast<Word>(root), bits);
+      }
+    }
+  }
+  wait_local(st, [&st, target] { return st.bc_vals.count(target) != 0; });
+  auto it = st.bc_vals.find(target);
+  Word out = it->second;
+  st.bc_vals.erase(it);
+  return f64(out);
+}
+
+void Collectives::ensure_a2a(NodeState& st) {
+  if (st.a2a_cnt.empty()) {
+    st.a2a_cnt.assign(static_cast<std::size_t>(procs()), 0);
+    st.a2a_val.assign(static_cast<std::size_t>(procs()) * 2, 0);
+  }
+}
+
+void Collectives::all_to_all(const std::vector<std::uint64_t>& out,
+                             std::vector<std::uint64_t>& in) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  n.advance(n.cost().coll_step);
+  int p = procs();
+  THAM_CHECK(static_cast<int>(out.size()) == p);
+  in.assign(static_cast<std::size_t>(p), 0);
+  auto& st = state_of(n);
+  ensure_a2a(st);
+  std::uint64_t e = ++st.a2a_epoch;
+  int me = n.id();
+  in[static_cast<std::size_t>(me)] = out[static_cast<std::size_t>(me)];
+  if (cfg_.algo == Algo::Linear) {
+    // Eager fan-out: every rank fires all p-1 messages, then drains — the
+    // fan-in-prone shape the staged schedule exists to avoid.
+    for (int s = 1; s < p; ++s) {
+      int dst = (me + s) % p;
+      am_.request(dst, h_a2a_, e, out[static_cast<std::size_t>(dst)]);
+    }
+    wait_local(st, [&st, me, p, e] {
+      for (int j = 0; j < p; ++j) {
+        if (j != me && st.a2a_cnt[static_cast<std::size_t>(j)] < e) return false;
+      }
+      return true;
+    });
+    for (int j = 0; j < p; ++j) {
+      if (j == me) continue;
+      in[static_cast<std::size_t>(j)] =
+          st.a2a_val[static_cast<std::size_t>(j) * 2 + (e & 1)];
+    }
+  } else {
+    // Staged permutation: stage s pairs i -> (i+s); each rank has exactly
+    // one send and one receive in flight per stage.
+    for (int s = 1; s < p; ++s) {
+      int dst = (me + s) % p;
+      auto src = static_cast<std::size_t>((me - s % p + p) % p);
+      am_.request(dst, h_a2a_, e, out[static_cast<std::size_t>(dst)]);
+      wait_local(st, [&st, src, e] { return st.a2a_cnt[src] >= e; });
+      in[src] = st.a2a_val[src * 2 + (e & 1)];
+    }
+  }
+}
+
+void Collectives::start_progress_daemons() {
+  for (int i = 0; i < engine_.size(); ++i) {
+    engine_.node(i).spawn(
+        [this] {
+          transport::Endpoint ep = transport::Endpoint::current();
+          ComponentScope scope(ep.node(), Component::Net);
+          while (!ep.node().shutting_down()) {
+            if (!ep.wait(/*poll_only=*/true)) break;
+            am_.poll();
+          }
+        },
+        "coll-daemon", /*daemon=*/true);
+  }
+}
+
+}  // namespace tham::coll

@@ -1,0 +1,242 @@
+#pragma once
+// Scalable collectives over Active Messages: the synchronization layer both
+// runtimes (splitc::World, ccxx::Runtime) and the serving fabric share.
+//
+// Every operation here replaces a linear coordinator protocol (all N-1
+// participants funneling through node 0) with a log-depth one:
+//
+//   * barrier        — dissemination: ceil(log2 N) rounds, round r pairing
+//                      rank i with rank (i + 2^r) mod N.
+//   * all_reduce     — rank-ordered radix tree rooted at 0: contributions
+//                      climb the tree, each vertex combining its own value
+//                      and its children's partials in ascending rank order,
+//                      then the result rides the same tree back down.
+//   * broadcast      — the reduce tree re-rooted by rank rotation.
+//   * all_to_all     — staged permutation exchange: stage s sends to
+//                      (i + s) mod N and waits on (i - s) mod N, so no rank
+//                      is ever a fan-in hotspot.
+//
+// Determinism is the design center, not an afterthought. A reduce vertex
+// never combines on arrival: contributions land in per-child slots and are
+// folded in fixed rank order once the last one is in, so the floating-point
+// result equals canonical_fold() — a pure function of (N, radix, values) —
+// no matter how message timing, host-thread count, or injected faults
+// (over transport::Reliable, which re-delivers in order, exactly once)
+// interleave the arrivals. The linear coordinator algorithm is retained
+// behind Algo::Linear as the reference point benchmarks compare against.
+//
+// Progress comes in the two disciplines the paper contrasts:
+//   * Polling — waiters drive the network themselves (am::poll_until);
+//     handlers run on the waiter's own stack, splitc-style.
+//   * Daemon  — waiters block on a per-node condition variable and some
+//     other task (ccxx's polling thread, or start_progress_daemons()) drains
+//     the endpoint; handlers signal through a gate mutex, ccxx-style, with
+//     a check::checked epoch stamp so the race detector sees every edge.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "am/am.hpp"
+#include "check/checked.hpp"
+#include "common/cost_model.hpp"
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+#include "threads/threads.hpp"
+
+namespace tham::coll {
+
+enum class Algo {
+  Linear,  ///< coordinator fan-in/fan-out on rank 0 (the reference point)
+  Tree,    ///< dissemination barrier, radix-tree reduce/broadcast, staged A2A
+};
+
+enum class Progress {
+  Polling,  ///< waiters poll the endpoint themselves
+  Daemon,   ///< waiters block on a condvar; an external task drains the inbox
+};
+
+/// Reduction combiner. Applied in ascending rank order at every vertex, so
+/// each op defines exactly one canonical fold per (N, radix) — see
+/// canonical_fold().
+enum class Op : std::uint8_t { SumF64, MinF64, MaxF64, SumU64Pair };
+
+struct Config {
+  Algo algo = Algo::Tree;
+  Progress progress = Progress::Polling;
+  /// Tree arity; 0 picks the machine profile's default (default_radix).
+  int radix = 0;
+};
+
+/// Two-word exact payload (Op::SumU64Pair): the combining-tree currency of
+/// all_store_sync termination detection.
+struct Pair64 {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+// --- Topology (pure functions; the analyze layer's static models use the
+// --- same ones, so modeled flows match the wire protocol by construction).
+
+/// Tree arity for a machine profile: minimizes per-level cost divided by
+/// ln(arity), the continuous proxy for (depth x level time). Deterministic.
+int default_radix(const CostModel& cm);
+
+/// Parent of `rank` in the radix tree rooted at 0 (rank > 0).
+inline int tree_parent(int rank, int radix) { return (rank - 1) / radix; }
+/// First child of `rank` in the radix tree rooted at 0.
+inline int tree_first_child(int rank, int radix) { return radix * rank + 1; }
+/// Number of children `rank` has among ranks 0..procs-1.
+inline int tree_child_count(int rank, int radix, int procs) {
+  long first = static_cast<long>(radix) * rank + 1;
+  if (first >= procs) return 0;
+  long n = static_cast<long>(procs) - first;
+  return static_cast<int>(n < radix ? n : radix);
+}
+/// Rounds of the dissemination barrier: ceil(log2 procs).
+inline int dissemination_rounds(int procs) {
+  int r = 0;
+  while ((1 << r) < procs) ++r;
+  return r;
+}
+
+/// Host-side mirror of the runtime's rank-ordered tree fold: the value
+/// every rank returns from all_reduce(vals[rank], op) with this radix,
+/// computed serially. Algo::Linear folds like radix >= N-1 (one flat
+/// rank-ordered pass).
+double canonical_fold(const std::vector<double>& vals, int radix, Op op);
+
+/// Every (src, dst) pair the Tree-algorithm collectives rooted at 0 can
+/// touch: dissemination partners for every round plus the radix tree's
+/// edges, both directions (reduce results ride the down-tree, barrier
+/// notifications the forward ring offsets). Deduplicated and sorted, for
+/// tests and tools that pre-declare links. Broadcasts from root r rotate
+/// the tree by r; declare per-root when broadcasting from r != 0.
+std::vector<std::pair<NodeId, NodeId>> collective_links(int procs, int radix);
+
+class Collectives {
+ public:
+  /// Registers this instance's AM handlers; one Collectives per AmLayer.
+  Collectives(sim::Engine& engine, am::AmLayer& am, Config cfg = {});
+
+  Collectives(const Collectives&) = delete;
+  Collectives& operator=(const Collectives&) = delete;
+
+  // All operations are SPMD: every rank calls the same ops in the same
+  // order, from a node task (not a handler).
+
+  void barrier();
+  double all_reduce(double v, Op op);
+  double all_reduce_sum(double v) { return all_reduce(v, Op::SumF64); }
+  double all_reduce_min(double v) { return all_reduce(v, Op::MinF64); }
+  double all_reduce_max(double v) { return all_reduce(v, Op::MaxF64); }
+  /// Exact pairwise u64 sum — overflow-free counting for termination
+  /// detection (all_store_sync). Fully synchronizing, like any reduce.
+  Pair64 all_reduce_counts(std::uint64_t a, std::uint64_t b);
+  /// Broadcast `v` from `root`; returns the root's value on every rank.
+  double broadcast(NodeId root, double v);
+  /// One word to every peer: out[j] is delivered to rank j (out[me] is
+  /// copied locally); in[j] receives rank j's word. Staged under
+  /// Algo::Tree, eager fan-out under Algo::Linear.
+  void all_to_all(const std::vector<std::uint64_t>& out,
+                  std::vector<std::uint64_t>& in);
+
+  /// Spawns one inbox-draining daemon per node ("coll-daemon"). Required
+  /// under Progress::Daemon when no runtime-owned poller (e.g. ccxx's
+  /// polling thread) is driving the endpoint.
+  void start_progress_daemons();
+
+  int procs() const { return engine_.size(); }
+  int radix() const { return radix_; }
+  int rounds() const { return rounds_; }
+  const Config& config() const { return cfg_; }
+
+ private:
+  struct NodeState {
+    // Dissemination barrier: arrivals ever received per round. Monotone
+    // counters suffice — the sender for (receiver, round) is one fixed
+    // rank and links deliver in order, so the count doubles as an epoch.
+    std::vector<std::uint64_t> bar_recv;
+    std::uint64_t bar_epoch = 0;  ///< epochs entered
+
+    // Reduce. A vertex's children deposit into per-child slots; the fold
+    // happens only when the vertex has its own contribution and all
+    // child partials (rank order is then forced, not arrival order).
+    // A child cannot start epoch e+1 before its parent consumed epoch e
+    // (the release comes from the parent), so one slot per child is safe.
+    std::uint64_t red_epoch = 0;  ///< epochs entered
+    std::uint64_t red_done = 0;   ///< results delivered
+    bool red_entered = false;
+    std::uint8_t red_op = 0;
+    std::uint64_t red_own0 = 0, red_own1 = 0;
+    int red_got = 0;
+    std::vector<std::uint64_t> red_sub0, red_sub1;
+    std::vector<char> red_fill;  ///< per-child occupancy (protocol check)
+    std::uint64_t red_res0 = 0, red_res1 = 0;
+
+    // Linear coordinator (rank slots; allocated lazily on rank 0 only).
+    int lin_arrivals = 0;
+    std::uint64_t lin_epoch = 0;
+    std::vector<std::uint64_t> lin_slot0, lin_slot1;
+    std::uint8_t lin_op = 0;
+
+    // Broadcast. Values park per node because the root never waits: it
+    // can enter broadcast e+1 while a slow rank still holds e unread.
+    // Keyed by epoch, NOT arrival order: consecutive broadcasts from
+    // different roots travel over different links, and nothing orders one
+    // link's delivery against another's, so arrivals can cross.
+    std::uint64_t bc_entered = 0;
+    std::map<std::uint64_t, std::uint64_t> bc_vals;  ///< epoch -> bits
+
+    // All-to-all: per-source monotone arrival counts plus a two-deep
+    // value ring. A source reaches epoch e+2 only after this rank sent
+    // its own e+1 traffic — i.e. after it consumed e — so parity slots
+    // cannot be overwritten before they are read. Allocated lazily
+    // (O(procs) per node would be O(procs^2) across a 100k-node world).
+    std::uint64_t a2a_epoch = 0;
+    std::vector<std::uint64_t> a2a_cnt;
+    std::vector<std::uint64_t> a2a_val;
+
+    // Daemon-mode gate: handlers bump the checked stamp under the mutex
+    // and broadcast; waiters re-test their predicate per wakeup. The
+    // stamp is the race detector's witness for the handler->waiter edge.
+    threads::Mutex gate_mu;
+    threads::CondVar gate_cv;
+    check::checked<std::uint64_t> gate_stamp;
+  };
+
+  NodeState& state_of(const sim::Node& n) {
+    return *state_[static_cast<std::size_t>(n.id())];
+  }
+
+  /// Blocks until pred() holds, per the configured progress discipline.
+  void wait_local(NodeState& st, const std::function<bool()>& pred);
+  /// Handler-side wakeup (no-op under Polling).
+  void notify(NodeState& st);
+
+  Pair64 reduce_words(std::uint64_t w0, std::uint64_t w1, Op op);
+  void try_complete_reduce(sim::Node& self);
+  void deliver_reduce_result(sim::Node& self, std::uint64_t epoch,
+                             std::uint64_t r0, std::uint64_t r1);
+  void lin_arrive(sim::Node& node0, NodeId rank, std::uint8_t op,
+                  std::uint64_t v0, std::uint64_t v1);
+  void ensure_a2a(NodeState& st);
+
+  sim::Engine& engine_;
+  am::AmLayer& am_;
+  Config cfg_;
+  int radix_;
+  int rounds_;
+  std::vector<std::unique_ptr<NodeState>> state_;
+
+  am::HandlerId h_bar_ = 0;
+  am::HandlerId h_red_up_ = 0, h_red_dn_ = 0;
+  am::HandlerId h_bcast_ = 0;
+  am::HandlerId h_a2a_ = 0;
+  am::HandlerId h_lin_arrive_ = 0, h_lin_release_ = 0;
+};
+
+}  // namespace tham::coll

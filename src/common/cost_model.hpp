@@ -93,6 +93,14 @@ struct CostModel {
   SimTime cc_buffer_alloc = usec(3.5);  ///< dynamic (non-persistent) buffer
   SimTime cc_sync_var = usec(0.6);      ///< write-once sync variable op
 
+  // --- Collectives layer (src/coll) ----------------------------------------
+  /// Per-message vertex bookkeeping in a collective: depositing a
+  /// dissemination-round arrival, filling a child slot of a reduce vertex,
+  /// forwarding a broadcast. Paid once per collective handler dispatch and
+  /// once at operation entry; the wire and AM overheads ride the normal
+  /// Charge/WireCost path on top.
+  SimTime coll_step = usec(1.0);
+
   // --- Nexus-like portable runtime (src/nexus) ----------------------------
   // Models CC++ v0.4 over Nexus v3.0 with TCP/IP over the SP switch
   // (the configuration the paper measured; Section 6, footnote 2).

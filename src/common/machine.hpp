@@ -90,6 +90,7 @@ inline CostModel modern_cluster_cost_model() {
   m.sc_complete = usec(0.04);
   m.sc_local_access = usec(0.005);
   m.sc_barrier_fan = usec(0.06);
+  m.coll_step = usec(0.04);
   // CC++ runtime software path.
   m.cc_stub_lookup = usec(0.12);
   m.cc_stub_install = usec(0.16);

@@ -42,7 +42,8 @@ World::~World() { current_ = nullptr; }
 
 World::World(sim::Engine& engine, net::Network& net, am::AmLayer& am)
     : engine_(engine), net_(net), am_(am),
-      state_(static_cast<std::size_t>(engine.size())) {
+      state_(static_cast<std::size_t>(engine.size())),
+      coll_(engine, am, coll::Config{}) {
   THAM_CHECK_MSG(current_ == nullptr, "only one Split-C world at a time");
   current_ = this;
 
@@ -128,14 +129,6 @@ World::World(sim::Engine& engine, net::Network& net, am::AmLayer& am)
         self.advance(self.cost().sc_handler);
         ++state_of(self).stores_recv;
       });
-  h_store_count_ = am_.register_short(
-      "sc.store_count", [this](sim::Node& self, am::Token, const am::Words& w) {
-        ComponentScope scope(self, Component::Runtime);
-        auto& st = state_of(self);
-        st.store_expect += w[0];
-        ++st.store_counts_got;
-      });
-
   // ---- Bulk transfers -----------------------------------------------------
   h_bulk_done_ = am_.register_short(
       "sc.bulk_done", [](sim::Node& self, am::Token, const am::Words& w) {
@@ -158,21 +151,6 @@ World::World(sim::Engine& engine, net::Network& net, am::AmLayer& am)
         am_.reply(tok, h_ack_, w[0]);
       });
 
-  // ---- Barrier -------------------------------------------------------------
-  h_bar_release_ = am_.register_short(
-      "sc.bar_release", [this](sim::Node& self, am::Token, const am::Words& w) {
-        state_of(self).release_epoch = w[0];
-      });
-  h_bar_arrive_ = am_.register_short(
-      "sc.bar_arrive", [this](sim::Node& self, am::Token, const am::Words&) {
-        THAM_CHECK(self.id() == 0);
-        ComponentScope scope(self, Component::Runtime);
-        self.advance(self.cost().sc_barrier_fan);
-        auto& s0 = state_of(self);
-        ++s0.barrier_arrivals;
-        if (s0.barrier_arrivals == procs()) release_barrier(self);
-      });
-
   // ---- Atomic RPC ------------------------------------------------------------
   h_atomic_done_ = am_.register_short(
       "sc.atomic_done", [](sim::Node& self, am::Token, const am::Words& w) {
@@ -190,66 +168,6 @@ World::World(sim::Engine& engine, net::Network& net, am::AmLayer& am)
                                                              w[4], w[5]);
         am_.reply(tok, h_atomic_done_, w[1], r);
       });
-
-  // ---- Reduction --------------------------------------------------------------
-  h_red_release_ = am_.register_short(
-      "sc.red_release", [this](sim::Node& self, am::Token, const am::Words& w) {
-        auto& st = state_of(self);
-        double v;
-        Word bits = w[1];
-        std::memcpy(&v, &bits, sizeof(v));
-        st.red_result = v;
-        st.red_release = w[0];
-      });
-  h_red_arrive_ = am_.register_short(
-      "sc.red_arrive", [this](sim::Node& self, am::Token t, const am::Words& w) {
-        THAM_CHECK(self.id() == 0);
-        ComponentScope scope(self, Component::Runtime);
-        self.advance(self.cost().sc_barrier_fan);
-        double v;
-        Word bits = w[0];
-        std::memcpy(&v, &bits, sizeof(v));
-        reduce_arrive(self, t.reply_to, v);
-      });
-}
-
-void World::release_barrier(sim::Node& node0) {
-  auto& s0 = state_[0];
-  s0.barrier_arrivals = 0;
-  ++s0.barrier_epoch;
-  s0.release_epoch = s0.barrier_epoch;
-  for (NodeId j = 1; j < procs(); ++j) {
-    node0.advance(node0.cost().sc_barrier_fan);
-    am_.request(j, h_bar_release_, s0.barrier_epoch);
-  }
-}
-
-void World::reduce_arrive(sim::Node& node0, NodeId rank, double v) {
-  auto& s0 = state_[0];
-  if (s0.red_vals.empty()) {
-    s0.red_vals.resize(static_cast<std::size_t>(procs()), 0.0);
-  }
-  s0.red_vals[static_cast<std::size_t>(rank)] = v;
-  ++s0.red_arrivals;
-  if (s0.red_arrivals == procs()) release_reduction(node0);
-}
-
-void World::release_reduction(sim::Node& node0) {
-  auto& s0 = state_[0];
-  s0.red_arrivals = 0;
-  ++s0.red_epoch;
-  s0.red_release = s0.red_epoch;
-  // Rank-ordered summation: the result is a pure function of the
-  // contributions, whatever order the arrive messages landed in.
-  double acc = 0;
-  for (double v : s0.red_vals) acc += v;
-  s0.red_result = acc;
-  Word bits;
-  std::memcpy(&bits, &acc, sizeof(bits));
-  for (NodeId j = 1; j < procs(); ++j) {
-    node0.advance(node0.cost().sc_barrier_fan);
-    am_.request(j, h_red_release_, s0.red_epoch, bits);
-  }
 }
 
 void World::run(std::function<void()> program) {
@@ -344,7 +262,7 @@ void World::store_word(NodeId node, void* addr, Word value,
     return;
   }
   n.advance(n.cost().sc_issue);
-  ++self_state().stores_sent[node];
+  ++self_state().stores_sent;
   am_.request(node, h_store_, to_word(addr), nbytes, value);
 }
 
@@ -358,7 +276,7 @@ void World::bulk_store(NodeId node, void* addr, const void* src,
     return;
   }
   n.advance(n.cost().sc_issue);
-  ++self_state().stores_sent[node];
+  ++self_state().stores_sent;
   am_.xfer(node, addr, src, len, h_store_bulk_);
 }
 
@@ -366,23 +284,19 @@ void World::all_store_sync() {
   sim::Node& n = sim::this_node();
   ComponentScope scope(n, Component::Runtime);
   auto& st = self_state();
-  NodeId me = n.id();
-  for (NodeId j = 0; j < procs(); ++j) {
-    if (j == me) continue;
+  // Combining-tree termination detection: reduce the exact (sent, recv)
+  // totals until they agree globally. This node's sent total is frozen at
+  // entry (stores issued after the sync belong to the next epoch), the
+  // received total climbs monotonically toward it, and equality means no
+  // store is in flight anywhere. Every rank leaves on the same round —
+  // the round count is the same deterministic function of message timing
+  // on every node — and the final reduce doubles as the exit barrier.
+  std::uint64_t sent = st.stores_sent;
+  for (;;) {
     n.advance(n.cost().sc_barrier_fan);
-    auto it = st.stores_sent.find(j);
-    am_.request(j, h_store_count_, it == st.stores_sent.end() ? 0 : it->second);
+    coll::Pair64 totals = coll_.all_reduce_counts(sent, st.stores_recv);
+    if (totals.a == totals.b) break;
   }
-  int expect_counts = procs() - 1;
-  am_.poll_until([&st, expect_counts] {
-    return st.store_counts_got == expect_counts &&
-           st.stores_recv == st.store_expect;
-  });
-  st.store_counts_got = 0;
-  st.store_expect = 0;
-  st.stores_recv = 0;
-  st.stores_sent.clear();
-  barrier();
 }
 
 void World::bulk_read(void* dst, NodeId node, const void* addr,
@@ -432,18 +346,8 @@ void World::bulk_write(NodeId node, void* addr, const void* src,
 void World::barrier() {
   sim::Node& n = sim::this_node();
   ComponentScope scope(n, Component::Runtime);
-  auto& st = self_state();
-  ++st.my_epoch;
-  std::uint64_t target = st.my_epoch;
-  n.advance(n.cost().sc_barrier_fan);
-  if (n.id() == 0) {
-    auto& s0 = state_[0];
-    ++s0.barrier_arrivals;
-    if (s0.barrier_arrivals == procs()) release_barrier(n);
-  } else {
-    am_.request(0, h_bar_arrive_);
-  }
-  am_.poll_until([&st, target] { return st.release_epoch >= target; });
+  n.advance(n.cost().sc_barrier_fan);  // runtime-entry bookkeeping
+  coll_.barrier();
 }
 
 Word World::atomic(int fn_index, NodeId node, Word a0, Word a1, Word a2,
@@ -462,73 +366,36 @@ Word World::atomic(int fn_index, NodeId node, Word a0, Word a1, Word a2,
   return wt.val;
 }
 
-// min/max/broadcast reuse the sum-reduction message protocol by encoding
-// the combiner in the value stream: we run a sum over transformed values.
-// Simpler and fully deterministic: run the generic reduce with a combiner
-// selected per call via a per-epoch mode kept on node 0.
+// The reductions and the broadcast are straight delegations: the coll
+// layer's rank-ordered tree fold keeps every result a pure function of the
+// contributions (see coll::canonical_fold), exactly the determinism
+// contract the old linear rank-slot protocol provided — now in log depth.
+double World::all_reduce_sum(double v) {
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  n.advance(n.cost().sc_barrier_fan);
+  return coll_.all_reduce_sum(v);
+}
+
 double World::all_reduce_min(double v) {
-  // Implemented as -max(-v).
-  return -all_reduce_max(-v);
+  sim::Node& n = sim::this_node();
+  ComponentScope scope(n, Component::Runtime);
+  n.advance(n.cost().sc_barrier_fan);
+  return coll_.all_reduce_min(v);
 }
 
 double World::all_reduce_max(double v) {
-  // max(a,b) = log-free trick is messy; use iterated pairwise exchange:
-  // everyone contributes to node 0 via the existing arrive path, but we
-  // cannot reuse the sum-reduction slots. Instead: reduce the *bit
-  // pattern* via
-  // repeated all_reduce_sum rounds of indicator comparisons would be
-  // expensive; so: gather via P point-to-point reads after a barrier.
   sim::Node& n = sim::this_node();
-  NodeId me = n.id();
-  auto& st = self_state();
-  st.red_gather = v;
-  barrier();
-  double best = v;
-  for (NodeId j = 0; j < procs(); ++j) {
-    if (j == me) continue;
-    Word w = read_word(j, &state_[static_cast<std::size_t>(j)].red_gather,
-                       sizeof(double));
-    double other;
-    std::memcpy(&other, &w, sizeof(other));
-    best = std::max(best, other);
-  }
-  barrier();
-  return best;
+  ComponentScope scope(n, Component::Runtime);
+  n.advance(n.cost().sc_barrier_fan);
+  return coll_.all_reduce_max(v);
 }
 
 double World::broadcast(NodeId root, double v) {
   sim::Node& n = sim::this_node();
-  auto& st = self_state();
-  if (n.id() == root) st.red_gather = v;
-  barrier();
-  double out;
-  if (n.id() == root) {
-    out = v;
-  } else {
-    Word w = read_word(root,
-                       &state_[static_cast<std::size_t>(root)].red_gather,
-                       sizeof(double));
-    std::memcpy(&out, &w, sizeof(out));
-  }
-  barrier();
-  return out;
-}
-
-double World::all_reduce_sum(double v) {
-  sim::Node& n = sim::this_node();
   ComponentScope scope(n, Component::Runtime);
-  auto& st = self_state();
-  std::uint64_t target = st.red_release + 1;
-  Word bits;
-  std::memcpy(&bits, &v, sizeof(bits));
   n.advance(n.cost().sc_barrier_fan);
-  if (n.id() == 0) {
-    reduce_arrive(n, 0, v);
-  } else {
-    am_.request(0, h_red_arrive_, bits);
-  }
-  am_.poll_until([&st, target] { return st.red_release >= target; });
-  return st.red_result;
+  return coll_.broadcast(root, v);
 }
 
 }  // namespace tham::splitc

@@ -8,10 +8,10 @@
 #include <cstring>
 #include <functional>
 #include <type_traits>
-#include <unordered_map>
 #include <vector>
 
 #include "am/am.hpp"
+#include "coll/coll.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -92,35 +92,17 @@ class World {
  private:
   struct ProcState {
     std::uint64_t outstanding = 0;  ///< split-phase gets+puts in flight
-    /// Stores issued per destination node since the last all_store_sync.
-    /// Sparse: a node stores to its few neighbors, and a dense per-pair
-    /// vector would cost O(procs^2) host memory across the world.
-    std::unordered_map<NodeId, std::uint64_t> stores_sent;
-    std::uint64_t stores_recv = 0;
-    std::uint64_t store_expect = 0;
-    int store_counts_got = 0;
-    // Barrier (counter state lives on node 0).
-    int barrier_arrivals = 0;
-    std::uint64_t barrier_epoch = 0;   ///< completed epochs (node 0)
-    std::uint64_t release_epoch = 0;   ///< last release seen (all nodes)
-    std::uint64_t my_epoch = 0;        ///< epochs this node entered
-    // Reduction (per-rank slots on node 0). Contributions land in their
-    // sender's slot and are summed in rank order at release, so the
-    // floating-point result is independent of arrival order — message
-    // timing (machine profile, injected faults) cannot change a checksum.
-    int red_arrivals = 0;
-    std::vector<double> red_vals;
-    std::uint64_t red_epoch = 0;
-    std::uint64_t red_release = 0;
-    double red_result = 0;
-    double red_gather = 0;  ///< staging slot for max/broadcast collectives
+    // Store totals are cumulative over the node's lifetime, never reset:
+    // all_store_sync terminates when the global sent and received totals
+    // agree (a combining-tree count reduce), and cumulative counters make
+    // that test immune to the reset race where a fast node's next-epoch
+    // store lands before a slow peer rearmed its counters.
+    std::uint64_t stores_sent = 0;  ///< one-way stores this node issued
+    std::uint64_t stores_recv = 0;  ///< one-way stores deposited here
   };
 
   ProcState& self_state();
   ProcState& state_of(const sim::Node& n);
-  void release_barrier(sim::Node& node0);
-  void reduce_arrive(sim::Node& node0, NodeId rank, double v);
-  void release_reduction(sim::Node& node0);
 
   sim::Engine& engine_;
   net::Network& net_;
@@ -131,11 +113,15 @@ class World {
   // Handler ids.
   am::HandlerId h_read_, h_read_done_, h_write_, h_ack_;
   am::HandlerId h_get_, h_get_done_, h_put_, h_put_done_;
-  am::HandlerId h_store_, h_store_bulk_, h_store_count_;
+  am::HandlerId h_store_, h_store_bulk_;
   am::HandlerId h_bulk_write_, h_bulk_done_, h_bulk_get_done_;
-  am::HandlerId h_bar_arrive_, h_bar_release_;
   am::HandlerId h_atomic_, h_atomic_done_;
-  am::HandlerId h_red_arrive_, h_red_release_;
+
+  /// The collectives layer: barrier/reduce/broadcast and the combining
+  /// tree behind all_store_sync. Polling progress — Split-C waiters drive
+  /// the network themselves. Declared last so its handlers register after
+  /// the sc.* set.
+  coll::Collectives coll_;
 
   static World* current_;
 };

@@ -274,6 +274,57 @@ TEST(Audit, FlagsReduceWithMissingRank) {
   EXPECT_NE(f->message.find("rank 3"), std::string::npos) << f->message;
 }
 
+TEST(Audit, FlagsTreeReduceWithOrphanedSubtree) {
+  CommGraph g = tiny_graph();
+  g.nodes = 6;
+  Collective red;
+  red.kind = Collective::Kind::Reduce;
+  red.shape = Collective::Shape::Tree;
+  red.radix = 2;
+  red.ranks = {0, 1, 3, 4, 5};  // rank 2 (parent of 5) missing
+  g.collectives.push_back(red);
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "collective-tree-orphan");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_EQ(f->severity, Finding::Severity::Error);
+  // The finding names the stalled edge, not just "someone is missing".
+  EXPECT_NE(f->message.find("rank 5"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("parent 2"), std::string::npos) << f->message;
+}
+
+TEST(Audit, FlagsDisseminationBarrierWithMissingPartner) {
+  CommGraph g = tiny_graph();
+  g.nodes = 4;
+  Collective bar;
+  bar.kind = Collective::Kind::Barrier;
+  bar.shape = Collective::Shape::Dissemination;
+  bar.rounds = 2;            // correct for 4 nodes
+  bar.ranks = {0, 2, 3};     // rank 1 missing: 2 never clears round 0
+  g.collectives.push_back(bar);
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "collective-partner-gap");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_EQ(f->severity, Finding::Severity::Error);
+  EXPECT_NE(f->message.find("rank 2"), std::string::npos) << f->message;
+  EXPECT_NE(f->message.find("partner 1"), std::string::npos) << f->message;
+}
+
+TEST(Audit, FlagsDisseminationRoundCountMismatch) {
+  CommGraph g = tiny_graph();
+  g.nodes = 8;
+  Collective bar;
+  bar.kind = Collective::Kind::Barrier;
+  bar.shape = Collective::Shape::Dissemination;
+  bar.rounds = 2;  // 8 nodes need ceil(log2 8) = 3
+  for (NodeId p = 0; p < 8; ++p) bar.ranks.push_back(p);
+  g.collectives.push_back(bar);
+  Report r = tham::analyze::analyze(std::move(g));
+  const Finding* f = find_code(r, "collective-shape");
+  ASSERT_NE(f, nullptr) << error_codes(r);
+  EXPECT_EQ(f->severity, Finding::Severity::Error);
+  EXPECT_NE(f->message.find("2 rounds"), std::string::npos) << f->message;
+}
+
 TEST(Audit, FlagsFlowOnUndeclaredPair) {
   CommGraph g = tiny_graph();
   g.links.pop_back();  // drop 1 -> 0; the reply flow now rides no link
@@ -348,9 +399,22 @@ TEST_P(Apps, BoundHoldsOnEveryMachineProfile) {
     apps::declare_full_topology(am);
     RunResult r = s.run(engine, net, am);
 
-    // The model counts the run's messages exactly...
-    EXPECT_EQ(report.graph.total_messages(), r.messages)
-        << report.graph.program << " on " << mp.name;
+    // The model counts the run's messages exactly — except when the app
+    // uses all_store_sync, whose termination detection reduces the global
+    // (sent, received) store totals until they agree: how many rounds the
+    // loop takes depends on message timing, so the model prices the one
+    // round every execution must run and the contract is a floor.
+    bool dynamic_rounds = false;
+    for (const Collective& c : report.graph.collectives) {
+      if (c.kind == Collective::Kind::AllStoreSync) dynamic_rounds = true;
+    }
+    if (dynamic_rounds) {
+      EXPECT_LE(report.graph.total_messages(), r.messages)
+          << report.graph.program << " on " << mp.name;
+    } else {
+      EXPECT_EQ(report.graph.total_messages(), r.messages)
+          << report.graph.program << " on " << mp.name;
+    }
     // ...and its per-node bound never exceeds the measured virtual time.
     ASSERT_EQ(report.node_lower_bound.size(),
               static_cast<std::size_t>(engine.size()));

@@ -1,0 +1,420 @@
+// Tests for the collectives layer (src/coll): topology functions, the
+// rank-ordered combining tree's bit-exact floating-point contract, both
+// progress disciplines, and determinism across host-thread counts — with
+// and without injected faults over transport::Reliable.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coll/coll.hpp"
+#include "common/machine.hpp"
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "transport/reliable.hpp"
+
+namespace tham::coll {
+namespace {
+
+std::uint64_t bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+/// A machine with one Collectives instance, plus the SPMD driver every
+/// test uses: one main task per node running `body(rank)`.
+struct Machine {
+  Machine(int nodes, Config cfg, const CostModel& cm = sp2_cost_model())
+      : engine(nodes, cm), net(engine), am(net), coll(engine, am, cfg) {}
+
+  void run_spmd(const std::function<void(NodeId)>& body) {
+    for (NodeId i = 0; i < engine.size(); ++i) {
+      engine.node(i).spawn([&body, i] { body(i); }, "spmd-main");
+    }
+    if (coll.config().progress == Progress::Daemon) {
+      coll.start_progress_daemons();
+    }
+    engine.run();
+  }
+
+  sim::Engine engine;
+  net::Network net;
+  am::AmLayer am;
+  Collectives coll;
+};
+
+// --- Topology ---------------------------------------------------------------
+
+TEST(Topology, TreeParentChildInverse) {
+  for (int radix : {2, 3, 4, 8}) {
+    for (int procs = 1; procs <= 40; ++procs) {
+      int children = 0;
+      for (int r = 0; r < procs; ++r) {
+        children += tree_child_count(r, radix, procs);
+        if (r == 0) continue;
+        int p = tree_parent(r, radix);
+        ASSERT_GE(p, 0);
+        ASSERT_LT(p, r);  // parents precede children: no cycles
+        int first = tree_first_child(p, radix);
+        ASSERT_GE(r, first);
+        ASSERT_LT(r, first + tree_child_count(p, radix, procs));
+      }
+      // Every rank but the root is somebody's child, exactly once.
+      ASSERT_EQ(children, procs - 1) << "radix " << radix << " procs "
+                                     << procs;
+    }
+  }
+}
+
+TEST(Topology, DisseminationRounds) {
+  EXPECT_EQ(dissemination_rounds(1), 0);
+  EXPECT_EQ(dissemination_rounds(2), 1);
+  EXPECT_EQ(dissemination_rounds(3), 2);
+  EXPECT_EQ(dissemination_rounds(4), 2);
+  EXPECT_EQ(dissemination_rounds(5), 3);
+  EXPECT_EQ(dissemination_rounds(8), 3);
+  EXPECT_EQ(dissemination_rounds(9), 4);
+  EXPECT_EQ(dissemination_rounds(100000), 17);
+}
+
+TEST(Topology, DefaultRadixIsSaneOnEveryProfile) {
+  for (const MachineProfile& mp : machine_profiles()) {
+    int k = default_radix(mp.make());
+    EXPECT_GE(k, 2) << mp.name;
+    EXPECT_LE(k, 16) << mp.name;
+    // Deterministic: same profile, same answer.
+    EXPECT_EQ(k, default_radix(mp.make())) << mp.name;
+  }
+}
+
+TEST(Topology, CollectiveLinksCoverTreeAndDissemination) {
+  int procs = 11, radix = 3;
+  auto links = collective_links(procs, radix);
+  std::set<std::pair<NodeId, NodeId>> have(links.begin(), links.end());
+  for (int i = 0; i < procs; ++i) {
+    for (int r = 0; r < dissemination_rounds(procs); ++r) {
+      auto j = static_cast<NodeId>((i + (1 << r)) % procs);
+      EXPECT_TRUE(have.count({static_cast<NodeId>(i), j}));
+      EXPECT_TRUE(have.count({j, static_cast<NodeId>(i)}));
+    }
+    if (i > 0) {
+      auto p = static_cast<NodeId>(tree_parent(i, radix));
+      EXPECT_TRUE(have.count({static_cast<NodeId>(i), p}));
+      EXPECT_TRUE(have.count({p, static_cast<NodeId>(i)}));
+    }
+  }
+  for (auto [s, d] : links) EXPECT_NE(s, d);  // never a self link
+}
+
+// --- Canonical fold ---------------------------------------------------------
+
+TEST(CanonicalFold, FlatFoldWhenRadixCoversAllRanks) {
+  std::vector<double> vals{0.1, -7.25, 3.5, 1e-3, 42.0};
+  double flat = vals[0];
+  for (std::size_t i = 1; i < vals.size(); ++i) flat += vals[i];
+  EXPECT_EQ(bits(canonical_fold(vals, 4, Op::SumF64)), bits(flat));
+}
+
+TEST(CanonicalFold, TreeShapeChangesTheSumButNotMinMax) {
+  // Non-associativity is the whole point of pinning the fold order: the
+  // radix-2 tree sum differs from the flat sum in the last bits, while
+  // min/max are order-insensitive.
+  std::vector<double> vals;
+  Rng rng(7);
+  for (int i = 0; i < 13; ++i) vals.push_back(rng.next_double(-1e12, 1e12));
+  double flat = vals[0];
+  double mn = vals[0], mx = vals[0];
+  for (std::size_t i = 1; i < vals.size(); ++i) {
+    flat += vals[i];
+    mn = std::min(mn, vals[i]);
+    mx = std::max(mx, vals[i]);
+  }
+  EXPECT_NE(bits(canonical_fold(vals, 2, Op::SumF64)), bits(flat));
+  EXPECT_EQ(bits(canonical_fold(vals, 2, Op::MinF64)), bits(mn));
+  EXPECT_EQ(bits(canonical_fold(vals, 2, Op::MaxF64)), bits(mx));
+}
+
+// --- Functional correctness (polling, fault-free) ---------------------------
+
+TEST(Coll, BarrierSeparatesPhases) {
+  Machine m(7, Config{});
+  std::vector<int> phase(7, -1);
+  m.run_spmd([&](NodeId me) {
+    for (int k = 0; k < 5; ++k) {
+      phase[static_cast<std::size_t>(me)] = k;
+      m.coll.barrier();
+      // After the barrier no rank can still be in phase k-1.
+      for (int p = 0; p < 7; ++p) ASSERT_GE(phase[p], k) << "rank " << me;
+      m.coll.barrier();
+    }
+  });
+}
+
+class ReduceShape
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // procs, radix
+
+TEST_P(ReduceShape, MatchesCanonicalFoldBitExactly) {
+  auto [procs, radix] = GetParam();
+  Machine m(procs, Config{Algo::Tree, Progress::Polling, radix});
+  std::vector<double> vals;
+  Rng rng(static_cast<std::uint64_t>(procs) * 131 + radix);
+  for (int i = 0; i < procs; ++i) vals.push_back(rng.next_double(-1e9, 1e9));
+  std::vector<double> sum(procs), mn(procs), mx(procs);
+  m.run_spmd([&](NodeId me) {
+    auto u = static_cast<std::size_t>(me);
+    sum[u] = m.coll.all_reduce_sum(vals[u]);
+    mn[u] = m.coll.all_reduce_min(vals[u]);
+    mx[u] = m.coll.all_reduce_max(vals[u]);
+  });
+  double want_sum = canonical_fold(vals, m.coll.radix(), Op::SumF64);
+  double want_min = canonical_fold(vals, m.coll.radix(), Op::MinF64);
+  double want_max = canonical_fold(vals, m.coll.radix(), Op::MaxF64);
+  for (int i = 0; i < procs; ++i) {
+    EXPECT_EQ(bits(sum[static_cast<std::size_t>(i)]), bits(want_sum));
+    EXPECT_EQ(bits(mn[static_cast<std::size_t>(i)]), bits(want_min));
+    EXPECT_EQ(bits(mx[static_cast<std::size_t>(i)]), bits(want_max));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReduceShape,
+    ::testing::Values(std::pair{1, 2}, std::pair{2, 2}, std::pair{3, 2},
+                      std::pair{5, 2}, std::pair{8, 3}, std::pair{13, 4},
+                      std::pair{13, 12}, std::pair{9, 0}));
+
+TEST(Coll, LinearAlgoFoldsFlat) {
+  int procs = 6;
+  Machine m(procs, Config{Algo::Linear, Progress::Polling, 0});
+  std::vector<double> vals;
+  Rng rng(99);
+  for (int i = 0; i < procs; ++i) vals.push_back(rng.next_double(-50, 50));
+  std::vector<double> got(procs);
+  m.run_spmd([&](NodeId me) {
+    auto u = static_cast<std::size_t>(me);
+    m.coll.barrier();  // the linear barrier is a count reduce
+    got[u] = m.coll.all_reduce_sum(vals[u]);
+  });
+  double want = canonical_fold(vals, procs - 1, Op::SumF64);
+  for (int i = 0; i < procs; ++i) {
+    EXPECT_EQ(bits(got[static_cast<std::size_t>(i)]), bits(want));
+  }
+}
+
+TEST(Coll, CountsReduceIsExact) {
+  int procs = 9;
+  Machine m(procs, Config{});
+  std::uint64_t n = 9;
+  m.run_spmd([&](NodeId me) {
+    auto u = static_cast<std::uint64_t>(me);
+    Pair64 t = m.coll.all_reduce_counts(u + 1, 1000 + u);
+    ASSERT_EQ(t.a, n * (n + 1) / 2);
+    ASSERT_EQ(t.b, 1000 * n + n * (n - 1) / 2);
+  });
+}
+
+TEST(Coll, BroadcastFromEveryRoot) {
+  int procs = 9;
+  Machine m(procs, Config{});
+  m.run_spmd([&](NodeId me) {
+    for (NodeId root = 0; root < procs; ++root) {
+      double v = me == root ? 42.5 + root : -1.0;
+      ASSERT_EQ(m.coll.broadcast(root, v), 42.5 + root) << "rank " << me;
+    }
+  });
+}
+
+TEST(Coll, AllToAllPermutes) {
+  int procs = 8;
+  Machine m(procs, Config{});
+  m.run_spmd([&](NodeId me) {
+    for (int epoch = 0; epoch < 3; ++epoch) {  // exercise the parity ring
+      std::vector<std::uint64_t> out(8), in;
+      for (int j = 0; j < 8; ++j) {
+        out[static_cast<std::size_t>(j)] = static_cast<std::uint64_t>(
+            me * 100 + j + epoch * 10000);
+      }
+      m.coll.all_to_all(out, in);
+      ASSERT_EQ(in.size(), 8u);
+      for (int j = 0; j < 8; ++j) {
+        ASSERT_EQ(in[static_cast<std::size_t>(j)],
+                  static_cast<std::uint64_t>(j * 100 + me + epoch * 10000))
+            << "rank " << me << " epoch " << epoch;
+      }
+    }
+  });
+}
+
+// --- Determinism across progress, threads, and faults -----------------------
+
+struct RunOut {
+  std::string results;      ///< every collective result, bit-exact
+  std::string fingerprint;  ///< results + per-node virtual-time transcript
+};
+
+/// The shared workload all determinism tests replay: a fixed mix of
+/// reduces, barriers, broadcasts, all-to-alls, and count reduces.
+RunOut run_mixed(int procs, int threads, Config cfg, bool lossy,
+                 std::uint64_t seed) {
+  sim::Engine engine(procs);
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+
+  std::unique_ptr<transport::Reliable> rel;
+  std::unique_ptr<fault::Injector> inj;
+  if (lossy) {
+    rel = std::make_unique<transport::Reliable>(am.channel());
+    fault::Plan plan;
+    plan.seed = seed * 0x9E3779B97F4A7C15ull + 17;
+    plan.loss = 0.05;
+    plan.dup = 0.02;
+    plan.delay = 0.05;
+    plan.delay_spike = usec(40);
+    inj = std::make_unique<fault::Injector>(plan, engine.size());
+    net.set_injector(inj.get());
+  }
+
+  Collectives coll(engine, am, cfg);
+
+  std::vector<double> vals;
+  Rng rng(seed);
+  for (int i = 0; i < procs; ++i) vals.push_back(rng.next_double(-1e6, 1e6));
+
+  std::vector<std::ostringstream> log(static_cast<std::size_t>(procs));
+  for (NodeId i = 0; i < procs; ++i) {
+    engine.node(i).spawn(
+        [&, i] {
+          auto u = static_cast<std::size_t>(i);
+          for (int k = 0; k < 4; ++k) {
+            double s = coll.all_reduce_sum(vals[u] + k);
+            coll.barrier();
+            double mn = coll.all_reduce_min(vals[u] * (k + 1));
+            double bc = coll.broadcast(k % procs, vals[u] + 0.5);
+            Pair64 t = coll.all_reduce_counts(u + k, 2 * u + 1);
+            std::vector<std::uint64_t> out(static_cast<std::size_t>(procs)),
+                in;
+            for (int j = 0; j < procs; ++j) {
+              out[static_cast<std::size_t>(j)] =
+                  static_cast<std::uint64_t>(i * 1000 + j * 10 + k);
+            }
+            coll.all_to_all(out, in);
+            std::uint64_t a2a = 0;
+            for (std::uint64_t w : in) a2a = a2a * 1099511628211ull + w;
+            log[u] << std::hex << bits(s) << ' ' << bits(mn) << ' '
+                   << bits(bc) << ' ' << t.a << ' ' << t.b << ' ' << a2a
+                   << '\n';
+          }
+        },
+        "mixed-main");
+  }
+  if (cfg.progress == Progress::Daemon) coll.start_progress_daemons();
+  engine.run();
+
+  RunOut o;
+  std::ostringstream fp;
+  for (NodeId i = 0; i < procs; ++i) {
+    o.results += log[static_cast<std::size_t>(i)].str();
+    const sim::Node& n = engine.node(i);
+    fp << "node " << i << ": now=" << n.now() << " digest=" << std::hex
+       << n.counters().dispatch_digest << std::dec << '\n';
+  }
+  o.fingerprint = o.results + fp.str();
+  return o;
+}
+
+TEST(Coll, DaemonVsPollingIdenticalResults) {
+  for (bool lossy : {false, true}) {
+    RunOut poll = run_mixed(6, 1, Config{Algo::Tree, Progress::Polling, 0},
+                            lossy, 321);
+    RunOut daemon = run_mixed(6, 1, Config{Algo::Tree, Progress::Daemon, 0},
+                              lossy, 321);
+    // Timing differs (daemons charge their own polls); results must not.
+    EXPECT_EQ(poll.results, daemon.results) << "lossy=" << lossy;
+  }
+}
+
+class ThreadDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadDeterminism, FaultFreeBitIdenticalAcrossHostThreads) {
+  int threads = GetParam();
+  Config cfg{Algo::Tree, Progress::Polling, 0};
+  RunOut seq = run_mixed(7, 1, cfg, false, 1234);
+  RunOut par = run_mixed(7, threads, cfg, false, 1234);
+  EXPECT_EQ(seq.fingerprint, par.fingerprint) << threads << " threads";
+}
+
+TEST_P(ThreadDeterminism, LossyBitIdenticalAcrossHostThreads) {
+  int threads = GetParam();
+  Config cfg{Algo::Tree, Progress::Polling, 0};
+  RunOut seq = run_mixed(7, 1, cfg, true, 1234);
+  RunOut par = run_mixed(7, threads, cfg, true, 1234);
+  EXPECT_EQ(seq.fingerprint, par.fingerprint) << threads << " threads";
+  // Loss reshuffles timing but not values: the collective results match
+  // the fault-free run bit for bit.
+  RunOut clean = run_mixed(7, 1, cfg, false, 1234);
+  EXPECT_EQ(seq.results, clean.results);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadDeterminism,
+                         ::testing::Values(2, 4, 8));
+
+TEST(Coll, LossyReduceStillMatchesCanonicalFold) {
+  int procs = 7;
+  std::uint64_t seed = 88;
+  sim::Engine engine(procs);
+  net::Network net(engine);
+  am::AmLayer am(net);
+  transport::Reliable rel(am.channel());
+  // A single 7-rank reduce is only ~a dozen wire messages; at 5% loss a
+  // seed (or a machine profile's different schedule) can sail through
+  // untouched. Six epochs at 25% loss push P(no drop) below 1e-9, so the
+  // "plan actually bit" assertion holds on every profile.
+  fault::Plan plan;
+  plan.seed = seed;
+  plan.loss = 0.25;
+  plan.dup = 0.05;
+  fault::Injector inj(plan, engine.size());
+  net.set_injector(&inj);
+  Collectives coll(engine, am, Config{});
+
+  const int epochs = 6;
+  std::vector<double> vals;
+  Rng rng(seed);
+  for (int i = 0; i < procs; ++i) vals.push_back(rng.next_double(-1e9, 1e9));
+  std::vector<std::vector<double>> got(
+      static_cast<std::size_t>(epochs),
+      std::vector<double>(static_cast<std::size_t>(procs)));
+  for (NodeId i = 0; i < procs; ++i) {
+    engine.node(i).spawn(
+        [&, i] {
+          for (int e = 0; e < epochs; ++e) {
+            got[static_cast<std::size_t>(e)][static_cast<std::size_t>(i)] =
+                coll.all_reduce_sum(vals[static_cast<std::size_t>(i)] + e);
+          }
+        },
+        "lossy-main");
+  }
+  engine.run();
+  EXPECT_GT(inj.drops(), 0u);  // the plan actually bit
+  for (int e = 0; e < epochs; ++e) {
+    std::vector<double> shifted;
+    for (double v : vals) shifted.push_back(v + e);
+    double want = canonical_fold(shifted, coll.radix(), Op::SumF64);
+    for (int i = 0; i < procs; ++i) {
+      EXPECT_EQ(bits(got[static_cast<std::size_t>(e)][static_cast<std::size_t>(
+                    i)]),
+                bits(want))
+          << "epoch " << e << " rank " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tham::coll

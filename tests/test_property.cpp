@@ -28,6 +28,7 @@
 #include "ccxx/runtime.hpp"
 #include "check/checked.hpp"
 #include "check/checker.hpp"
+#include "coll/coll.hpp"
 #include "common/rng.hpp"
 #include "fault/fault.hpp"
 #include "serve/serve.hpp"
@@ -701,10 +702,11 @@ FuzzResult run_topology_fuzz(std::uint64_t seed, int threads,
   engine.set_lookahead_policy(policy);
   net::Network net(engine);
   am::AmLayer am(net);
-  // Ring links both ways, plus a star on node 0 (the barrier root). Every
-  // message the workload sends — neighbour traffic, barrier fan-in/out,
-  // and the replies riding the reverse direction — stays on a declared
-  // link. The ring and the star overlap on node 0's neighbours and the
+  // Ring links both ways, plus a star on node 0, plus the links the
+  // collectives layer needs (dissemination-barrier partners and the
+  // combining tree). Every message the workload sends — neighbour
+  // traffic, collective rounds, and the replies riding the reverse
+  // direction — stays on a declared link. The sets overlap and the
   // engine rejects duplicate declarations, so declare through a set.
   std::set<std::pair<NodeId, NodeId>> declared;
   auto declare = [&](NodeId s, NodeId d) {
@@ -720,6 +722,10 @@ FuzzResult run_topology_fuzz(std::uint64_t seed, int threads,
       declare(0, i);
       declare(i, 0);
     }
+  }
+  for (auto [s, d] :
+       coll::collective_links(procs, coll::default_radix(engine.cost()))) {
+    declare(s, d);
   }
   splitc::World world(engine, net, am);
 
@@ -996,6 +1002,217 @@ TEST(Accounting, Table4IdentityHoldsForNullRmi) {
   EXPECT_EQ(engine.node(0).breakdown().total(), engine.node(0).now());
   EXPECT_GE(sum.total(), caller_active);
 }
+
+// ---------------------------------------------------------------------------
+// Collectives fuzz: random op tapes, lossy or clean, polling or daemon
+// ---------------------------------------------------------------------------
+// Each seed draws a world size, a shared collective op tape, a radix, and
+// a progress discipline; odd seeds run at 1..5% loss over
+// transport::Reliable. Beyond seq-vs-parallel bit identity, every result
+// is checked against a host-side replay (canonical_fold for reductions):
+// neither loss, nor thread count, nor the daemon discipline may change a
+// single result bit.
+
+std::uint64_t f64_bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+FuzzResult run_coll_fuzz(std::uint64_t seed, int threads,
+                         std::string* results_out,
+                         std::string* expected_out) {
+  Rng cfg(seed * 0x9E3779B97F4A7C15ull + 977);
+  int procs = 2 + static_cast<int>(cfg.next_below(7));  // 2..8 nodes
+  Engine engine(procs);
+  engine.set_threads(threads);
+  net::Network net(engine);
+  am::AmLayer am(net);
+
+  std::unique_ptr<transport::Reliable> rel;
+  std::unique_ptr<fault::Injector> inj;
+  if (seed % 2 == 1) {
+    rel = std::make_unique<transport::Reliable>(am.channel());
+    fault::Plan plan;
+    plan.seed = cfg.next_u64();
+    plan.loss = 0.01 * static_cast<double>(1 + cfg.next_below(5));  // 1..5%
+    plan.dup = 0.02;
+    plan.delay = 0.05;
+    plan.delay_spike = usec(40);
+    inj = std::make_unique<fault::Injector>(plan, engine.size());
+    net.set_injector(inj.get());
+  }
+
+  coll::Config ccfg;
+  ccfg.progress = (seed / 2) % 2 == 0 ? coll::Progress::Polling
+                                      : coll::Progress::Daemon;
+  ccfg.radix =
+      cfg.next_below(2) == 0 ? 0 : 2 + static_cast<int>(cfg.next_below(3));
+  coll::Collectives coll(engine, am, ccfg);
+
+  // One shared tape: SPMD ranks must agree on the collective sequence.
+  std::uint64_t base = cfg.next_u64();
+  Rng tape(base);
+  int ops = 6 + static_cast<int>(tape.next_below(10));
+  std::vector<int> opcode(static_cast<std::size_t>(ops));
+  std::vector<NodeId> root(static_cast<std::size_t>(ops));
+  for (int i = 0; i < ops; ++i) {
+    opcode[static_cast<std::size_t>(i)] =
+        static_cast<int>(tape.next_below(6));
+    root[static_cast<std::size_t>(i)] = static_cast<NodeId>(
+        tape.next_below(static_cast<std::uint64_t>(procs)));
+  }
+  std::vector<double> vals;
+  Rng vrng(base ^ 0x5bf03635);
+  for (int i = 0; i < procs; ++i) vals.push_back(vrng.next_double(-1e6, 1e6));
+
+  // Host-side replay of the tape: what every rank must log, bit for bit.
+  std::ostringstream want;
+  for (int i = 0; i < ops; ++i) {
+    auto ui = static_cast<std::size_t>(i);
+    switch (opcode[ui]) {
+      case 0:
+        want << "bar\n";
+        break;
+      case 1: {
+        std::vector<double> shifted;
+        for (double v : vals) shifted.push_back(v + i);
+        want << std::hex
+             << f64_bits(coll::canonical_fold(shifted, coll.radix(),
+                                              coll::Op::SumF64))
+             << std::dec << '\n';
+        break;
+      }
+      case 2: {
+        std::vector<double> scaled;
+        for (double v : vals) scaled.push_back(v * (i + 1));
+        want << std::hex
+             << f64_bits(coll::canonical_fold(scaled, coll.radix(),
+                                              coll::Op::MinF64))
+             << std::dec << '\n';
+        break;
+      }
+      case 3:
+        want << std::hex
+             << f64_bits(vals[static_cast<std::size_t>(root[ui])] + i)
+             << std::dec << '\n';
+        break;
+      case 4: {
+        std::uint64_t a = 0, b = 0;
+        for (int r = 0; r < procs; ++r) {
+          a += static_cast<std::uint64_t>(r + i);
+          b += static_cast<std::uint64_t>(2 * r + 1);
+        }
+        want << a << ' ' << b << '\n';
+        break;
+      }
+      default:
+        want << "a2a-ok\n";
+        break;
+    }
+  }
+
+  std::vector<std::ostringstream> log(static_cast<std::size_t>(procs));
+  for (NodeId p = 0; p < procs; ++p) {
+    engine.node(p).spawn(
+        [&, p] {
+          auto up = static_cast<std::size_t>(p);
+          for (int i = 0; i < ops; ++i) {
+            auto ui = static_cast<std::size_t>(i);
+            switch (opcode[ui]) {
+              case 0:
+                coll.barrier();
+                log[up] << "bar\n";
+                break;
+              case 1:
+                log[up] << std::hex
+                        << f64_bits(coll.all_reduce_sum(vals[up] + i))
+                        << std::dec << '\n';
+                break;
+              case 2:
+                log[up] << std::hex
+                        << f64_bits(
+                               coll.all_reduce_min(vals[up] * (i + 1)))
+                        << std::dec << '\n';
+                break;
+              case 3:
+                log[up] << std::hex
+                        << f64_bits(coll.broadcast(
+                               root[ui], p == root[ui] ? vals[up] + i : 0))
+                        << std::dec << '\n';
+                break;
+              case 4: {
+                coll::Pair64 t = coll.all_reduce_counts(
+                    static_cast<std::uint64_t>(p + i),
+                    static_cast<std::uint64_t>(2 * p + 1));
+                log[up] << t.a << ' ' << t.b << '\n';
+                break;
+              }
+              default: {
+                std::vector<std::uint64_t> out(
+                    static_cast<std::size_t>(procs)),
+                    in;
+                for (int j = 0; j < procs; ++j) {
+                  out[static_cast<std::size_t>(j)] =
+                      static_cast<std::uint64_t>(p * 1000 + j * 10 + i);
+                }
+                coll.all_to_all(out, in);
+                bool ok = in.size() == out.size();
+                for (int j = 0; ok && j < procs; ++j) {
+                  ok = in[static_cast<std::size_t>(j)] ==
+                       static_cast<std::uint64_t>(j * 1000 + p * 10 + i);
+                }
+                log[up] << (ok ? "a2a-ok\n" : "a2a-BAD\n");
+                break;
+              }
+            }
+          }
+        },
+        "coll-fuzz-main");
+  }
+  if (ccfg.progress == coll::Progress::Daemon) coll.start_progress_daemons();
+  engine.run();
+
+  FuzzResult r;
+  r.shards = engine.shards_used();
+  r.procs = procs;
+  results_out->clear();
+  expected_out->clear();
+  std::ostringstream os;
+  for (NodeId p = 0; p < procs; ++p) {
+    *results_out += log[static_cast<std::size_t>(p)].str();
+    *expected_out += want.str();
+    const sim::Node& n = engine.node(p);
+    const auto& c = n.counters();
+    os << "node " << p << ": now=" << n.now() << " sent=" << c.msgs_sent
+       << " recv=" << c.msgs_recv << " digest=" << std::hex
+       << c.dispatch_digest << std::dec << '\n';
+  }
+  os << *results_out;
+  os << "vtime=" << engine.vtime() << " net_msgs=" << net.total_messages()
+     << '\n';
+  r.fingerprint = os.str();
+  return r;
+}
+
+class CollFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollFuzz, BitIdenticalAcrossThreadsAndCanonical) {
+  auto seed = static_cast<std::uint64_t>(GetParam());
+  int threads = 2 + static_cast<int>(seed % 7);
+  std::string seq_res, seq_want, par_res, par_want;
+  FuzzResult seq = run_coll_fuzz(seed, 1, &seq_res, &seq_want);
+  FuzzResult par = run_coll_fuzz(seed, threads, &par_res, &par_want);
+  ASSERT_EQ(seq.shards, 1) << "seed " << seed;
+  EXPECT_EQ(seq.fingerprint, par.fingerprint)
+      << "seed " << seed << " diverged under " << threads << " threads";
+  // Every rank's every result matches the host-side replay bit for bit,
+  // sequential and parallel, lossy (odd seeds) or clean.
+  EXPECT_EQ(seq_res, seq_want) << "seed " << seed;
+  EXPECT_EQ(par_res, par_want) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollFuzz, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace tham
